@@ -1,0 +1,167 @@
+//! Breadth-First Search over the Boolean semiring (§V of the paper).
+//!
+//! Each iteration performs a one-hop edge traversal of the current frontier
+//! with `vxm()` over the Boolean semiring, then filters out already-visited
+//! vertices with a complemented mask.  On the bit backend this maps to
+//! `bmv_bin_bin_bin_masked()`: the frontier and the visited mask are both
+//! binarized, and the mask is applied with a bitwise AND-NOT right before the
+//! output store (no early exit, to avoid warp divergence — §V).
+
+use bitgblas_core::grb::{mxv, Descriptor, Mask, Matrix, Vector};
+use bitgblas_core::Semiring;
+
+/// The result of a BFS run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfsResult {
+    /// `levels[v]` = number of hops from the source, `-1` if unreachable.
+    pub levels: Vec<i64>,
+    /// Number of `vxm` iterations executed (= eccentricity of the source + 1).
+    pub iterations: usize,
+    /// Number of vertices reached (including the source).
+    pub n_reached: usize,
+}
+
+/// Run BFS from `source` on the graph held by `a` (treated as directed; pass
+/// a symmetrized matrix for undirected traversal).
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn bfs(a: &Matrix, source: usize) -> BfsResult {
+    let n = a.nrows();
+    assert!(source < n, "source vertex {source} out of range (n = {n})");
+
+    let mut levels = vec![-1i64; n];
+    levels[source] = 0;
+    let mut visited = vec![false; n];
+    visited[source] = true;
+
+    let mut frontier = Vector::indicator(n, &[source]);
+    let mut level = 0i64;
+    let mut iterations = 0usize;
+    let mut n_reached = 1usize;
+
+    loop {
+        iterations += 1;
+        level += 1;
+
+        // next = frontier ⊕.⊗ A over the Boolean semiring, masked by ¬visited.
+        let mask = Mask::complemented(visited.clone());
+        let next = mxv(a, &frontier, Semiring::Boolean, Some(&mask), &Descriptor::with_transpose());
+
+        // Record levels and update the visited set.
+        let mut any = false;
+        for (v, &x) in next.as_slice().iter().enumerate() {
+            if x != 0.0 {
+                visited[v] = true;
+                levels[v] = level;
+                n_reached += 1;
+                any = true;
+            }
+        }
+        if !any || iterations >= n {
+            break;
+        }
+        frontier = next;
+    }
+
+    BfsResult { levels, iterations, n_reached }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use bitgblas_core::{Backend, TileSize};
+    use bitgblas_datagen::generators;
+    use bitgblas_sparse::Coo;
+
+    fn backends() -> Vec<Backend> {
+        vec![
+            Backend::Bit(TileSize::S4),
+            Backend::Bit(TileSize::S8),
+            Backend::Bit(TileSize::S16),
+            Backend::Bit(TileSize::S32),
+            Backend::FloatCsr,
+        ]
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_chain_and_star() {
+        let chain = generators::path(17);
+        let star = generators::star(20);
+        for adj in [chain, star] {
+            let expected = reference::bfs_levels(&adj, 0);
+            for backend in backends() {
+                let m = Matrix::from_csr(&adj, backend);
+                let got = bfs(&m, 0);
+                assert_eq!(got.levels, expected, "{backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_random_graphs() {
+        for seed in [1u64, 2, 3] {
+            let adj = generators::erdos_renyi(120, 0.03, true, seed);
+            let expected = reference::bfs_levels(&adj, 5);
+            for backend in [Backend::Bit(TileSize::S8), Backend::Bit(TileSize::S32), Backend::FloatCsr] {
+                let m = Matrix::from_csr(&adj, backend);
+                let got = bfs(&m, 5);
+                assert_eq!(got.levels, expected, "seed {seed} {backend:?}");
+                assert_eq!(
+                    got.n_reached as usize,
+                    expected.iter().filter(|&&l| l >= 0).count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_on_disconnected_graph_leaves_unreached_at_minus_one() {
+        let mut coo = Coo::new(10, 10);
+        coo.push_undirected_edge(0, 1).unwrap();
+        coo.push_undirected_edge(1, 2).unwrap();
+        coo.push_undirected_edge(5, 6).unwrap();
+        let adj = coo.to_binary_csr();
+        for backend in backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            let got = bfs(&m, 0);
+            assert_eq!(got.levels[5], -1);
+            assert_eq!(got.levels[6], -1);
+            assert_eq!(got.n_reached, 3);
+        }
+    }
+
+    #[test]
+    fn bfs_on_directed_graph_respects_edge_direction() {
+        // 0 -> 1 -> 2, and 3 -> 0: vertex 3 unreachable from 0.
+        let mut coo = Coo::new(4, 4);
+        coo.push_edge(0, 1).unwrap();
+        coo.push_edge(1, 2).unwrap();
+        coo.push_edge(3, 0).unwrap();
+        let adj = coo.to_binary_csr();
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let m = Matrix::from_csr(&adj, backend);
+            let got = bfs(&m, 0);
+            assert_eq!(got.levels, vec![0, 1, 2, -1], "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn bfs_iteration_count_is_graph_depth() {
+        let adj = generators::path(9); // 0-1-...-8
+        let m = Matrix::from_csr(&adj, Backend::Bit(TileSize::S8));
+        let got = bfs(&m, 0);
+        assert_eq!(got.levels[8], 8);
+        // 8 productive levels + 1 terminating empty iteration.
+        assert_eq!(got.iterations, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_rejects_bad_source() {
+        let adj = generators::path(4);
+        let m = Matrix::from_csr(&adj, Backend::FloatCsr);
+        let _ = bfs(&m, 10);
+    }
+}

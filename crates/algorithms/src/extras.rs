@@ -1,0 +1,207 @@
+//! Additional semiring algorithms listed in Table IV beyond the five the
+//! paper evaluates: Maximal Independent Set (Luby's algorithm over the
+//! max-times semiring) and source-eccentricity / diameter estimation over the
+//! Boolean semiring.  Both are written against the same GrB API and run on
+//! either backend, demonstrating that the B2SR kernels cover the full
+//! semiring table rather than only the benchmarked algorithms.
+
+use bitgblas_core::grb::{ewise, mxv, Descriptor, Mask, Matrix, Vector};
+use bitgblas_core::Semiring;
+
+/// The result of a Maximal Independent Set computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MisResult {
+    /// `true` for vertices in the independent set.
+    pub in_set: Vec<bool>,
+    /// Number of vertices selected.
+    pub set_size: usize,
+    /// Number of Luby rounds executed.
+    pub iterations: usize,
+}
+
+/// Luby's Maximal Independent Set over the max-times semiring (Table IV).
+///
+/// Each round every still-active vertex draws a deterministic pseudo-random
+/// priority; a vertex joins the set when its priority is a strict local
+/// maximum among its active neighbours (computed with a `MaxTimes` `mxv`),
+/// after which it and its neighbours are deactivated.
+pub fn maximal_independent_set(a: &Matrix, seed: u64) -> MisResult {
+    let n = a.nrows();
+    let mut in_set = vec![false; n];
+    let mut active = vec![true; n];
+    let mut iterations = 0usize;
+
+    // Deterministic per-vertex hash priority in (0, 1], re-salted per round.
+    let priority = |v: usize, round: u64| -> f32 {
+        let mut z = seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ round.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let frac = ((z >> 11) as f64) / ((1u64 << 53) as f64);
+        (frac as f32).max(f32::MIN_POSITIVE)
+    };
+
+    while active.iter().any(|&x| x) && iterations < n + 1 {
+        iterations += 1;
+        // Priorities of active vertices (inactive vertices contribute the
+        // max-times identity so they never dominate a neighbour).
+        let prio = Vector::from_vec(
+            (0..n)
+                .map(|v| if active[v] { priority(v, iterations as u64) } else { f32::NEG_INFINITY })
+                .collect(),
+        );
+
+        // Maximum neighbour priority via the max-times semiring (both edge
+        // directions so directed inputs behave as undirected graphs).
+        let fwd = mxv(a, &prio, Semiring::MaxTimes(1.0), None, &Descriptor::new());
+        let bwd = mxv(a, &prio, Semiring::MaxTimes(1.0), None, &Descriptor::with_transpose());
+        let neighbour_max = ewise::ewise_add(&fwd, &bwd, Semiring::MaxTimes(1.0));
+
+        // A vertex wins the round when its priority beats every active
+        // neighbour's (isolated vertices win immediately).
+        let mut winners = Vec::new();
+        for v in 0..n {
+            if active[v] && prio.get(v) > neighbour_max.get(v) {
+                winners.push(v);
+            }
+        }
+        if winners.is_empty() {
+            // Extremely unlikely tie situation: fall back to picking the
+            // lowest-id active vertex to guarantee progress.
+            if let Some(v) = (0..n).find(|&v| active[v]) {
+                winners.push(v);
+            }
+        }
+
+        // Add winners to the set and deactivate them and their neighbours
+        // (one Boolean mxv from the winner indicator).
+        let winner_vec = Vector::indicator(n, &winners);
+        let mask = Mask::new(active.clone());
+        let covered_fwd = mxv(a, &winner_vec, Semiring::Boolean, Some(&mask), &Descriptor::new());
+        let covered_bwd =
+            mxv(a, &winner_vec, Semiring::Boolean, Some(&mask), &Descriptor::with_transpose());
+        for &v in &winners {
+            in_set[v] = true;
+            active[v] = false;
+        }
+        for v in 0..n {
+            if covered_fwd.get(v) != 0.0 || covered_bwd.get(v) != 0.0 {
+                active[v] = false;
+            }
+        }
+    }
+
+    let set_size = in_set.iter().filter(|&&x| x).count();
+    MisResult { in_set, set_size, iterations }
+}
+
+/// Eccentricity of `source`: the maximum finite BFS level, or `None` when the
+/// graph is empty from that source.
+pub fn eccentricity(a: &Matrix, source: usize) -> Option<i64> {
+    let levels = crate::bfs::bfs(a, source).levels;
+    levels.iter().copied().filter(|&l| l >= 0).max()
+}
+
+/// Estimate the graph diameter by taking the maximum eccentricity over
+/// `n_samples` deterministic source vertices (exact when `n_samples >= n`).
+/// This is the "diameter" entry of Table IV's Boolean-semiring algorithms.
+pub fn diameter_estimate(a: &Matrix, n_samples: usize) -> i64 {
+    let n = a.nrows();
+    if n == 0 {
+        return 0;
+    }
+    let samples = n_samples.clamp(1, n);
+    let stride = (n / samples).max(1);
+    (0..n)
+        .step_by(stride)
+        .take(samples)
+        .filter_map(|s| eccentricity(a, s))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgblas_core::{Backend, TileSize};
+    use bitgblas_datagen::generators;
+
+    fn assert_valid_mis(adj: &bitgblas_sparse::Csr, result: &MisResult) {
+        // Independence: no two selected vertices are adjacent.
+        for (r, c, _) in adj.iter() {
+            if r != c {
+                assert!(
+                    !(result.in_set[r] && result.in_set[c]),
+                    "vertices {r} and {c} are adjacent and both selected"
+                );
+            }
+        }
+        // Maximality: every unselected vertex has a selected neighbour.
+        for v in 0..adj.nrows() {
+            if !result.in_set[v] {
+                let has_selected_neighbour = adj.row(v).0.iter().any(|&u| result.in_set[u])
+                    || adj.iter().any(|(r, c, _)| c == v && result.in_set[r]);
+                assert!(has_selected_neighbour, "vertex {v} could be added to the set");
+            }
+        }
+    }
+
+    #[test]
+    fn mis_is_independent_and_maximal_on_random_graphs() {
+        for seed in [1u64, 2] {
+            let adj = generators::erdos_renyi(90, 0.05, true, seed);
+            for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+                let m = Matrix::from_csr(&adj, backend);
+                let result = maximal_independent_set(&m, 99);
+                assert_valid_mis(&adj, &result);
+                assert!(result.set_size > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mis_on_special_graphs() {
+        // Complete graph: exactly one vertex can be selected.
+        let k = Matrix::from_csr(&generators::complete(12), Backend::Bit(TileSize::S4));
+        assert_eq!(maximal_independent_set(&k, 3).set_size, 1);
+        // Star: either the hub alone or all the leaves.
+        let star_adj = generators::star(10);
+        let star = Matrix::from_csr(&star_adj, Backend::FloatCsr);
+        let r = maximal_independent_set(&star, 5);
+        assert_valid_mis(&star_adj, &r);
+        assert!(r.set_size == 1 || r.set_size == 9);
+        // Edgeless graph: everything is selected.
+        let empty = Matrix::from_csr(&bitgblas_sparse::Csr::empty(6, 6), Backend::FloatCsr);
+        assert_eq!(maximal_independent_set(&empty, 1).set_size, 6);
+    }
+
+    #[test]
+    fn mis_backends_produce_valid_sets_of_similar_size() {
+        let adj = generators::grid2d(12, 12);
+        let bit = maximal_independent_set(&Matrix::from_csr(&adj, Backend::Bit(TileSize::S16)), 7);
+        let float = maximal_independent_set(&Matrix::from_csr(&adj, Backend::FloatCsr), 7);
+        assert_valid_mis(&adj, &bit);
+        assert_valid_mis(&adj, &float);
+        assert_eq!(bit.in_set, float.in_set, "same seed and priorities give the same set");
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        let path = Matrix::from_csr(&generators::path(20), Backend::Bit(TileSize::S8));
+        assert_eq!(diameter_estimate(&path, 20), 19);
+        let cycle = Matrix::from_csr(&generators::cycle(20), Backend::FloatCsr);
+        assert_eq!(diameter_estimate(&cycle, 20), 10);
+        assert_eq!(eccentricity(&path, 0), Some(19));
+        assert_eq!(eccentricity(&path, 10), Some(10));
+    }
+
+    #[test]
+    fn diameter_estimate_with_few_samples_is_a_lower_bound() {
+        let adj = generators::grid2d(10, 10);
+        let m = Matrix::from_csr(&adj, Backend::Bit(TileSize::S8));
+        let exact = diameter_estimate(&m, 100);
+        let sampled = diameter_estimate(&m, 5);
+        assert_eq!(exact, 18);
+        assert!(sampled <= exact);
+        assert!(sampled > 0);
+    }
+}

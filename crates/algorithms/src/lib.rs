@@ -1,0 +1,34 @@
+//! # bitgblas-algorithms
+//!
+//! The five graph algorithms of the paper's evaluation — Breadth-First
+//! Search, Single-Source Shortest Path, PageRank, Connected Components and
+//! Triangle Counting — written once against the GraphBLAS-style API of
+//! `bitgblas-core` and runnable on either backend:
+//!
+//! * `Backend::Bit(tile_size)` — Bit-GraphBLAS (B2SR + bit kernels), the
+//!   paper's system;
+//! * `Backend::FloatCsr` — the float-CSR baseline standing in for GraphBLAST.
+//!
+//! Each module also documents which BMV/BMM scheme and semiring the paper
+//! assigns to the algorithm (Table IV and §V).  The [`reference`] module
+//! holds simple graph-traversal implementations (queue BFS, Bellman-Ford,
+//! union-find, wedge-checking TC, dense power iteration) used by the test
+//! suite to validate both backends.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bfs;
+pub mod cc;
+pub mod extras;
+pub mod pagerank;
+pub mod reference;
+pub mod sssp;
+pub mod tc;
+
+pub use bfs::{bfs, BfsResult};
+pub use cc::{connected_components, CcResult};
+pub use extras::{diameter_estimate, eccentricity, maximal_independent_set, MisResult};
+pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
+pub use sssp::{sssp, SsspResult};
+pub use tc::triangle_count;

@@ -1,0 +1,140 @@
+//! Single-Source Shortest Path over the tropical min-plus semiring (§V).
+//!
+//! The paper implements delta-stepping SSSP as in GraphBLAST, with
+//! `bmv_bin_full_full()` carrying the distance vector in full precision and
+//! treating the adjacency matrix's zeros as `+∞` (unreachable).  On an
+//! unweighted (binary) graph delta-stepping degenerates to synchronous
+//! Bellman-Ford rounds — every edge has weight 1 and every bucket holds one
+//! frontier — so the implementation here iterates min-plus `vxm` relaxations
+//! until the distance vector reaches a fixpoint, which yields exactly the
+//! same distances.
+
+use bitgblas_core::grb::{mxv, Descriptor, Matrix, Vector};
+use bitgblas_core::Semiring;
+
+/// The result of an SSSP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsspResult {
+    /// `distances[v]` = length of the shortest path from the source
+    /// (`f32::INFINITY` when unreachable).
+    pub distances: Vec<f32>,
+    /// Number of relaxation rounds executed.
+    pub iterations: usize,
+}
+
+/// Run SSSP from `source` over unit edge weights.
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn sssp(a: &Matrix, source: usize) -> SsspResult {
+    let n = a.nrows();
+    assert!(source < n, "source vertex {source} out of range (n = {n})");
+
+    let semiring = Semiring::MinPlus(1.0);
+    let mut dist = Vector::identity(n, semiring);
+    dist.set(source, 0.0);
+
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        // relaxed[v] = min_u (dist[u] + 1) over edges u -> v.
+        let relaxed = mxv(a, &dist, semiring, None, &Descriptor::with_transpose());
+        // dist = min(dist, relaxed): the accumulate step of the tropical
+        // semiring (keeps the source at 0 and any already-shorter paths).
+        let mut next = dist.clone();
+        next.accumulate(&relaxed, semiring);
+        if next == dist || iterations >= n {
+            dist = next;
+            break;
+        }
+        dist = next;
+    }
+
+    SsspResult { distances: dist.into_vec(), iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use bitgblas_core::{Backend, TileSize};
+    use bitgblas_datagen::generators;
+    use bitgblas_sparse::Coo;
+
+    fn assert_distances_match(got: &[f32], want: &[f32]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            let both_inf = g.is_infinite() && w.is_infinite();
+            assert!(both_inf || (g - w).abs() < 1e-5, "vertex {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn sssp_matches_reference_on_random_graphs() {
+        for seed in [4u64, 5] {
+            let adj = generators::erdos_renyi(100, 0.04, true, seed);
+            let expected = reference::sssp_distances(&adj, 0);
+            for backend in [
+                Backend::Bit(TileSize::S4),
+                Backend::Bit(TileSize::S8),
+                Backend::Bit(TileSize::S32),
+                Backend::FloatCsr,
+            ] {
+                let m = Matrix::from_csr(&adj, backend);
+                let got = sssp(&m, 0);
+                assert_distances_match(&got.distances, &expected);
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_equals_bfs_levels_on_unit_weights() {
+        let adj = generators::grid2d(8, 8);
+        let m = Matrix::from_csr(&adj, Backend::Bit(TileSize::S16));
+        let got = sssp(&m, 10);
+        let levels = reference::bfs_levels(&adj, 10);
+        for (d, l) in got.distances.iter().zip(levels) {
+            if l < 0 {
+                assert!(d.is_infinite());
+            } else {
+                assert_eq!(*d, l as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_on_directed_chain() {
+        let mut coo = Coo::new(5, 5);
+        for i in 0..4usize {
+            coo.push_edge(i, i + 1).unwrap();
+        }
+        let adj = coo.to_binary_csr();
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let m = Matrix::from_csr(&adj, backend);
+            let got = sssp(&m, 0);
+            assert_eq!(got.distances, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+            // Distances from the tail: everything upstream unreachable.
+            let tail = sssp(&m, 4);
+            assert!(tail.distances[..4].iter().all(|d| d.is_infinite()));
+            assert_eq!(tail.distances[4], 0.0);
+        }
+    }
+
+    #[test]
+    fn sssp_iteration_count_is_bounded_by_eccentricity() {
+        let adj = generators::path(12);
+        let m = Matrix::from_csr(&adj, Backend::FloatCsr);
+        let got = sssp(&m, 0);
+        // 11 productive rounds + 1 fixpoint-detection round.
+        assert_eq!(got.iterations, 12);
+        assert_eq!(got.distances[11], 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sssp_rejects_bad_source() {
+        let adj = generators::path(4);
+        let m = Matrix::from_csr(&adj, Backend::FloatCsr);
+        let _ = sssp(&m, 4);
+    }
+}

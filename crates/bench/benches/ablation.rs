@@ -1,0 +1,87 @@
+//! Criterion bench: ablations of the design choices called out in DESIGN.md.
+//!
+//! 1. **Tile size** — the same BMV across all four B2SR variants (which tile
+//!    size wins depends on the matrix pattern, Figure 3/5).
+//! 2. **Binarized vs full-precision multiplier vector** — `bmv_bin_bin_full`
+//!    vs `bmv_bin_full_full` on the same matrix (Figure 6b vs 6c).
+//! 3. **Mask fused in the kernel vs applied afterwards** — the BFS masking
+//!    choice of §V.
+//! 4. **Column-major vs row-major tile packing** of a dense tile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bitgblas_bitops::pack::{pack_tile_colmajor, pack_tile_rowmajor};
+use bitgblas_core::b2sr::convert::from_csr;
+use bitgblas_core::kernels::{
+    bmv_bin_bin_bin, bmv_bin_bin_bin_masked, bmv_bin_bin_full, bmv_bin_full_full,
+    pack_vector_bits, pack_vector_tilewise,
+};
+use bitgblas_core::Semiring;
+use bitgblas_datagen::generators;
+
+fn ablation_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    let csr = generators::banded(4096, 3, 0.7, 11);
+    let n = csr.ncols();
+    let x: Vec<f32> = (0..n).map(|i| ((i % 4) + 1) as f32).collect();
+
+    // 1. Tile-size sweep for the same scheme.
+    let b4 = from_csr::<u8>(&csr, 4);
+    let b8 = from_csr::<u8>(&csr, 8);
+    let b16 = from_csr::<u16>(&csr, 16);
+    let b32 = from_csr::<u32>(&csr, 32);
+    group.bench_function(BenchmarkId::new("tile_size/bmv_full", "B2SR-4"), |b| {
+        b.iter(|| bmv_bin_full_full(&b4, &x, Semiring::Arithmetic));
+    });
+    group.bench_function(BenchmarkId::new("tile_size/bmv_full", "B2SR-8"), |b| {
+        b.iter(|| bmv_bin_full_full(&b8, &x, Semiring::Arithmetic));
+    });
+    group.bench_function(BenchmarkId::new("tile_size/bmv_full", "B2SR-16"), |b| {
+        b.iter(|| bmv_bin_full_full(&b16, &x, Semiring::Arithmetic));
+    });
+    group.bench_function(BenchmarkId::new("tile_size/bmv_full", "B2SR-32"), |b| {
+        b.iter(|| bmv_bin_full_full(&b32, &x, Semiring::Arithmetic));
+    });
+
+    // 2. Binarized vs full-precision multiplier vector.
+    let x8 = pack_vector_tilewise::<u8>(&x, 8);
+    group.bench_function("vector_precision/binarized_bmv_bin_bin_full", |b| {
+        b.iter(|| bmv_bin_bin_full(&b8, &x8));
+    });
+    group.bench_function("vector_precision/full_bmv_bin_full_full", |b| {
+        b.iter(|| bmv_bin_full_full(&b8, &x, Semiring::Arithmetic));
+    });
+
+    // 3. Mask fused in the kernel vs applied after the kernel.
+    let visited: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    let mask8 = pack_vector_bits::<u8>(&visited, 8);
+    group.bench_function("masking/fused_in_kernel", |b| {
+        b.iter(|| bmv_bin_bin_bin_masked(&b8, &x8, &mask8));
+    });
+    group.bench_function("masking/post_filter", |b| {
+        b.iter(|| {
+            let mut y = bmv_bin_bin_bin(&b8, &x8);
+            for (w, m) in y.iter_mut().zip(&mask8) {
+                *w &= !m;
+            }
+            y
+        });
+    });
+
+    // 4. Column-major vs row-major packing of a dense 32x32 tile.
+    let tile: Vec<f32> = (0..32 * 32).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+    group.bench_function("packing/row_major", |b| {
+        b.iter(|| pack_tile_rowmajor::<u32>(&tile, 32));
+    });
+    group.bench_function("packing/col_major", |b| {
+        b.iter(|| pack_tile_colmajor::<u32>(&tile, 32));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: BMV kernel schemes vs the float CSR SpMV baseline
+//! (the statistically-sound counterpart of Figures 6a–c / 7a–c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bitgblas_core::b2sr::convert::from_csr;
+use bitgblas_core::kernels::{
+    bmv_bin_bin_bin, bmv_bin_bin_full, bmv_bin_full_full, pack_vector_tilewise,
+};
+use bitgblas_core::Semiring;
+use bitgblas_datagen::generators;
+use bitgblas_sparse::{ops, Csr, DenseVec};
+
+fn bench_matrices() -> Vec<(&'static str, Csr)> {
+    vec![
+        ("banded_4k", generators::banded(4096, 3, 0.7, 1)),
+        ("blocks_2k", generators::block_community(32, 64, 0.3, 1e-5, 2)),
+        ("scatter_4k", generators::erdos_renyi(4096, 0.002, true, 3)),
+    ]
+}
+
+fn bmv_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bmv");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    for (name, csr) in bench_matrices() {
+        let n = csr.ncols();
+        let x: Vec<f32> = (0..n).map(|i| ((i % 5) + 1) as f32).collect();
+        let x_dense = DenseVec::from_vec(x.clone());
+
+        // Baseline: float CSR SpMV (cuSPARSE stand-in).
+        group.bench_with_input(BenchmarkId::new("csr_spmv_baseline", name), &csr, |b, csr| {
+            b.iter(|| ops::spmv_parallel(csr, &x_dense).unwrap());
+        });
+
+        // B2SR-8 and B2SR-32 variants of the three BMV schemes.
+        let b8 = from_csr::<u8>(&csr, 8);
+        let x8 = pack_vector_tilewise::<u8>(&x, 8);
+        let b32 = from_csr::<u32>(&csr, 32);
+        let x32 = pack_vector_tilewise::<u32>(&x, 32);
+
+        group.bench_function(BenchmarkId::new("bmv_bin_bin_bin/B2SR-8", name), |b| {
+            b.iter(|| bmv_bin_bin_bin(&b8, &x8));
+        });
+        group.bench_function(BenchmarkId::new("bmv_bin_bin_bin/B2SR-32", name), |b| {
+            b.iter(|| bmv_bin_bin_bin(&b32, &x32));
+        });
+        group.bench_function(BenchmarkId::new("bmv_bin_bin_full/B2SR-8", name), |b| {
+            b.iter(|| bmv_bin_bin_full(&b8, &x8));
+        });
+        group.bench_function(BenchmarkId::new("bmv_bin_full_full/B2SR-8", name), |b| {
+            b.iter(|| bmv_bin_full_full(&b8, &x, Semiring::Arithmetic));
+        });
+        group.bench_function(BenchmarkId::new("bmv_bin_full_full/B2SR-32", name), |b| {
+            b.iter(|| bmv_bin_full_full(&b32, &x, Semiring::Arithmetic));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bmv_benches);
+criterion_main!(benches);

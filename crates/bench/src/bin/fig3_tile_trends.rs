@@ -1,0 +1,45 @@
+//! Figure 3 — effect of the tile dimension on (a) the non-empty tile ratio
+//! and (b) the nonzero occupancy inside non-empty tiles, for the five study
+//! matrices (G47, sphere3, cage, will199, email-Eu-core stand-ins).
+//!
+//! Run with: `cargo run -p bitgblas-bench --release --bin fig3_tile_trends`
+
+use bitgblas_bench::{fig3_matrices, load};
+use bitgblas_core::b2sr::stats::stats_all_sizes;
+
+fn main() {
+    println!("Figure 3a: non-empty tile ratio (%) per tile dimension");
+    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "matrix", "4x4", "8x8", "16x16", "32x32");
+    let mut all_stats = Vec::new();
+    for name in fig3_matrices() {
+        let csr = load(name);
+        let stats = stats_all_sizes(&csr);
+        println!(
+            "{:<16} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
+            name,
+            stats[0].nonempty_tile_ratio * 100.0,
+            stats[1].nonempty_tile_ratio * 100.0,
+            stats[2].nonempty_tile_ratio * 100.0,
+            stats[3].nonempty_tile_ratio * 100.0
+        );
+        all_stats.push((name, stats));
+    }
+
+    println!("\nFigure 3b: nonzero occupancy in non-empty tiles (%) per tile dimension");
+    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "matrix", "4x4", "8x8", "16x16", "32x32");
+    for (name, stats) in &all_stats {
+        println!(
+            "{:<16} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
+            name,
+            stats[0].nonzero_occupancy * 100.0,
+            stats[1].nonzero_occupancy * 100.0,
+            stats[2].nonzero_occupancy * 100.0,
+            stats[3].nonzero_occupancy * 100.0
+        );
+    }
+
+    println!(
+        "\nPaper trends: the non-empty tile ratio rises with the tile dimension (under 30% at 4x4,\n\
+         above 80% for some matrices at 32x32) while the occupancy falls (from ~20% to under 5%)."
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 5 — compression of the evaluation corpus: (a) histogram of the
+//! B2SR/CSR compression ratio per tile size, (b) number of matrices whose
+//! optimal (smallest) representation is each tile size, and how many are
+//! compressed (< 100 %) at all.
+//!
+//! The paper runs this over the 521 SuiteSparse binary matrices; here the
+//! synthetic sweep of `bitgblas-datagen` plays that role (120 matrices across
+//! the six pattern categories), plus every named stand-in.
+//!
+//! Run with: `cargo run -p bitgblas-bench --release --bin fig5_compression`
+
+use bitgblas_core::b2sr::stats::{compressing_tile_sizes, optimal_tile_size, stats_for};
+use bitgblas_core::TileSize;
+use bitgblas_datagen::corpus;
+use bitgblas_sparse::Csr;
+
+fn main() {
+    // Corpus: the parameterised sweep plus the named stand-ins.
+    let mut matrices: Vec<(String, Csr)> = corpus::corpus_sweep(120, 0x521)
+        .into_iter()
+        .map(|e| (e.name, e.matrix))
+        .collect();
+    for name in corpus::named_matrix_list() {
+        matrices.push((name.to_string(), corpus::named_matrix(name).unwrap()));
+    }
+    println!("corpus: {} matrices\n", matrices.len());
+
+    // Figure 5a: histogram of compression ratios per tile size (10 % buckets).
+    println!("Figure 5a: compression-ratio histogram (# matrices per 10% bucket, ratio = B2SR/CSR)");
+    println!("{:>10} {:>7} {:>7} {:>7} {:>7}", "bucket", "4x4", "8x8", "16x16", "32x32");
+    let mut hist = [[0usize; 4]; 11]; // 0-10%, ..., 90-100%, >100%
+    for (_, csr) in &matrices {
+        for (k, ts) in TileSize::ALL.iter().enumerate() {
+            let ratio = stats_for(csr, *ts).compression_ratio;
+            let bucket = if ratio >= 1.0 { 10 } else { (ratio * 10.0) as usize };
+            hist[bucket][k] += 1;
+        }
+    }
+    for (b, row) in hist.iter().enumerate() {
+        let label = if b == 10 { ">100%".to_string() } else { format!("{}-{}%", b * 10, b * 10 + 10) };
+        println!("{:>10} {:>7} {:>7} {:>7} {:>7}", label, row[0], row[1], row[2], row[3]);
+    }
+
+    // Figure 5b: optimal and compressed counts per tile size.
+    let mut optimal = [0usize; 4];
+    let mut compressed = [0usize; 4];
+    for (_, csr) in &matrices {
+        let best = optimal_tile_size(csr);
+        optimal[TileSize::ALL.iter().position(|&t| t == best).unwrap()] += 1;
+        for ts in compressing_tile_sizes(csr) {
+            compressed[TileSize::ALL.iter().position(|&t| t == ts).unwrap()] += 1;
+        }
+    }
+    println!("\nFigure 5b: per-tile-size counts over the corpus");
+    println!("{:<12} {:>9} {:>12}", "tile size", "optimal", "compressed");
+    for (k, ts) in TileSize::ALL.iter().enumerate() {
+        println!("{:<12} {:>9} {:>12}", ts.to_string(), optimal[k], compressed[k]);
+    }
+    println!(
+        "\nPaper (521 matrices): optimal = 162 / 291 / 26 / 12 and compressed = 491 / 421 / 329 / 263\n\
+         for B2SR-4/8/16/32 — small tiles are optimal for most matrices and almost all matrices\n\
+         compress under B2SR-4; the synthetic corpus should show the same ordering."
+    );
+}

@@ -1,0 +1,45 @@
+//! §VI-C — memory-system statistics: modelled global-memory load
+//! transactions and L1 hit rates of the float CSR SpMV vs the B2SR BMV, per
+//! matrix and device.
+//!
+//! Run with: `cargo run -p bitgblas-bench --release --bin memstats -- --device pascal`
+
+use bitgblas_bench::{device_from_args, load, table7_matrices};
+use bitgblas_core::{B2srMatrix, TileSize};
+use bitgblas_perfmodel::traffic::compare_traffic;
+
+fn main() {
+    let device = device_from_args();
+    println!(
+        "§VI-C memory statistics on the {} profile ({} GB/s, {} KiB L1/SM)\n",
+        device.name, device.mem_bandwidth_gbps, device.l1_per_sm_kb
+    );
+    println!(
+        "{:<16} {:>10} {:>14} {:>14} {:>10} {:>10} {:>10}",
+        "matrix", "nnz", "CSR loads", "B2SR loads", "reduction", "CSR L1%", "B2SR L1%"
+    );
+
+    let mut names = vec!["mycielskian8"];
+    names.extend(table7_matrices());
+    for name in names {
+        let csr = load(name);
+        let b2sr = B2srMatrix::from_csr(&csr, TileSize::S8);
+        let cmp = compare_traffic(&csr, &b2sr, &device);
+        println!(
+            "{:<16} {:>10} {:>14} {:>14} {:>9.1}x {:>9.1}% {:>9.1}%",
+            name,
+            csr.nnz(),
+            cmp.csr.load_transactions,
+            cmp.b2sr.load_transactions,
+            cmp.transaction_reduction,
+            cmp.csr.l1_hit_rate * 100.0,
+            cmp.b2sr.l1_hit_rate * 100.0
+        );
+    }
+
+    println!(
+        "\nPaper (§VI-C, mycielskian8): global load transactions fall 4x (6630 -> 1826) and the L1\n\
+         hit rate rises from 65.6% to 81.8%; the model should show a comparable transaction\n\
+         reduction on the block-dense matrices."
+    );
+}

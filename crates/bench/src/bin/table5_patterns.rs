@@ -1,0 +1,45 @@
+//! Table V — structural pattern categories of the evaluation corpus.
+//!
+//! Classifies every matrix of the synthetic sweep (plus the named stand-ins)
+//! with the Table V classifier and reports the share of each category.
+//!
+//! Run with: `cargo run -p bitgblas-bench --release --bin table5_patterns`
+
+use std::collections::BTreeMap;
+
+use bitgblas_datagen::{classify, corpus};
+
+fn main() {
+    let mut matrices = corpus::corpus_sweep(120, 0x521);
+    for name in corpus::named_matrix_list() {
+        matrices.push(corpus::CorpusEntry {
+            name: name.to_string(),
+            category: corpus::named_matrix_category(name).unwrap(),
+            matrix: corpus::named_matrix(name).unwrap(),
+        });
+    }
+
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut agreement = 0usize;
+    for entry in &matrices {
+        let detected = classify::classify(&entry.matrix);
+        *counts.entry(detected.to_string()).or_insert(0) += 1;
+        if detected == entry.category {
+            agreement += 1;
+        }
+    }
+
+    println!("Table V: pattern categories detected over {} matrices", matrices.len());
+    println!("{:<12} {:>8} {:>9}", "category", "count", "share");
+    for (cat, count) in &counts {
+        println!("{:<12} {:>8} {:>8.1}%", cat, count, *count as f64 / matrices.len() as f64 * 100.0);
+    }
+    println!(
+        "\nclassifier agrees with the generator's intended category for {:.1}% of the corpus",
+        agreement as f64 / matrices.len() as f64 * 100.0
+    );
+    println!(
+        "\nPaper shares (overlapping labels allowed): diagonal 45.9%, dot 36.7%, hybrid 25.7%,\n\
+         block 25.0%, stripe 13.1%, road 5.2%."
+    );
+}

@@ -1,0 +1,56 @@
+//! Table IX — Triangle Counting (the SpGEMM/BMM-based algorithm):
+//! Bit-GraphBLAS vs the float-CSR baseline, per matrix.
+//!
+//! Run with: `cargo run -p bitgblas-bench --release --bin table9_tc -- --device pascal`
+
+use std::time::Instant;
+
+use bitgblas_algorithms::triangle_count;
+use bitgblas_bench::{device_from_args, fmt_speedup, load, table9_matrices};
+use bitgblas_core::grb::Matrix;
+use bitgblas_core::{Backend, TileSize};
+
+fn ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let device = device_from_args();
+    println!(
+        "Table IX: Triangle Counting runtimes (ms, CPU substrate; device profile {} selected for\n\
+         reporting parity — wall-clock columns are device-independent)\n",
+        device.name
+    );
+    println!(
+        "{:<24} {:>10} {:>12} {:>14} {:>14} {:>9}",
+        "matrix", "vertices", "triangles", "baseline (ms)", "B2SR-32 (ms)", "speedup"
+    );
+
+    for name in table9_matrices() {
+        // TC operates on the undirected simple graph.
+        let csr = load(name).symmetrized().without_diagonal();
+        let baseline = Matrix::from_csr(&csr, Backend::FloatCsr);
+        let ours = Matrix::from_csr(&csr, Backend::Bit(TileSize::S32));
+
+        let (tri_base, t_base) = ms(|| triangle_count(&baseline));
+        let (tri_ours, t_ours) = ms(|| triangle_count(&ours));
+        assert_eq!(tri_base, tri_ours, "{name}: backends disagree");
+
+        println!(
+            "{:<24} {:>10} {:>12} {:>14.2} {:>14.2} {:>9}",
+            name,
+            csr.nrows(),
+            tri_ours,
+            t_base,
+            t_ours,
+            fmt_speedup(t_base, t_ours)
+        );
+    }
+
+    println!(
+        "\nPaper: TC accelerates 2-52x on Pascal and 1-27x on Volta, with the largest gains on\n\
+         diagonal/mesh matrices (3dtube, trdheim) and the smallest on the mycielskian family."
+    );
+}

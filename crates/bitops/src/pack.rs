@@ -1,0 +1,305 @@
+//! Low-level bit-packing helpers.
+//!
+//! Figure 2 of the paper shows the two packings of a 32×32 float tile into 32
+//! `u32` words:
+//!
+//! * **column-major packing** — lane `i` holds bit-column `i`:
+//!   `BVal[i] = __brev(__ballot_sync(FULL_MASK, f[i] > 0))` repeated per row;
+//! * **row-major packing** — lane `i` holds bit-row `i`:
+//!   `BVal[i] = (BVal[i] << 1) | (f[i] > 0)` repeated per column.
+//!
+//! The functions here implement both packings for a generic square tile of
+//! dimension `dim ≤ 32` stored as a row-major `f32` slice, plus the nibble
+//! packing (two 4-bit rows per `u8`) used by B2SR-4, and dense bit-vector
+//! packing/unpacking for the binarized frontier vectors of the BMV kernels.
+
+use crate::intrinsics::{ballot_from, brev_u32};
+use crate::word::BitWord;
+
+/// Pack a dense row-major `dim × dim` `f32` tile into `dim` words, **row-major**:
+/// word `r` holds row `r`, bit `c` of word `r` is set iff `tile[r*dim + c] != 0`.
+///
+/// Bit `c` is the *least-significant-first* convention used throughout the
+/// crate (bit 0 = column 0), matching how `__ballot_sync` indexes lanes.
+pub fn pack_tile_rowmajor<W: BitWord>(tile: &[f32], dim: usize) -> Vec<W> {
+    assert!(dim as u32 <= W::BITS, "tile dimension exceeds word width");
+    assert_eq!(tile.len(), dim * dim, "tile slice has wrong length");
+    let mut words = vec![W::ZERO; dim];
+    for r in 0..dim {
+        let mut w = W::ZERO;
+        for c in 0..dim {
+            if tile[r * dim + c] != 0.0 {
+                w = w.with_bit(c as u32);
+            }
+        }
+        words[r] = w;
+    }
+    words
+}
+
+/// Pack a dense row-major `dim × dim` `f32` tile into `dim` words,
+/// **column-major**: word `c` holds column `c`, bit `r` of word `c` is set iff
+/// `tile[r*dim + c] != 0`.
+///
+/// This is the default packing for the multiplicand tiles (the adjacency
+/// matrix is accessed row-by-row while the binarized vector is packed
+/// column-major, so the bit-dot-product is a single AND + popcount).
+pub fn pack_tile_colmajor<W: BitWord>(tile: &[f32], dim: usize) -> Vec<W> {
+    assert!(dim as u32 <= W::BITS, "tile dimension exceeds word width");
+    assert_eq!(tile.len(), dim * dim, "tile slice has wrong length");
+    let mut words = vec![W::ZERO; dim];
+    for c in 0..dim {
+        let mut w = W::ZERO;
+        for r in 0..dim {
+            if tile[r * dim + c] != 0.0 {
+                w = w.with_bit(r as u32);
+            }
+        }
+        words[c] = w;
+    }
+    words
+}
+
+/// The ballot-based 32×32 column packer exactly as in Figure 2 of the paper:
+/// for each row the 32 "lanes" vote on `f > 0`, the vote word is bit-reversed,
+/// and the packed columns are accumulated by shifting.
+///
+/// Only meaningful for `dim == 32`; provided to validate that the generic
+/// packers above produce the same result as the intrinsic formulation
+/// (`pack_tile_colmajor::<u32>` must equal `pack_tile_colmajor_ballot`
+/// up to the documented bit order).
+pub fn pack_tile_colmajor_ballot(tile: &[f32]) -> [u32; 32] {
+    assert_eq!(tile.len(), 32 * 32, "ballot packer requires a 32x32 tile");
+    let mut cols = [0u32; 32];
+    for r in 0..32 {
+        // Lane i votes on element (r, i) of the tile.
+        let vote = ballot_from((0..32).map(|lane| tile[r * 32 + lane] != 0.0));
+        let rev = brev_u32(vote);
+        // Bit 31-i of `rev` is row-r's element in column i; distribute it.
+        for (c, col) in cols.iter_mut().enumerate() {
+            if (rev >> (31 - c)) & 1 == 1 {
+                *col |= 1 << r;
+            }
+        }
+    }
+    cols
+}
+
+/// Unpack `dim` row-major words back into a dense row-major `f32` tile with
+/// 1.0 at set bits — the inverse of [`pack_tile_rowmajor`].
+pub fn unpack_tile_rowmajor<W: BitWord>(words: &[W], dim: usize) -> Vec<f32> {
+    assert_eq!(words.len(), dim, "word slice has wrong length");
+    let mut tile = vec![0.0f32; dim * dim];
+    for r in 0..dim {
+        for c in 0..dim {
+            if words[r].bit(c as u32) {
+                tile[r * dim + c] = 1.0;
+            }
+        }
+    }
+    tile
+}
+
+/// Transpose a packed square bit-tile: `out[c].bit(r) == input[r].bit(c)`.
+///
+/// B2SR stores tiles row-major for `mxv`; the transpose (needed when the
+/// algorithm wants `A^T`, e.g. pull-direction traversal or TC's `L·L^T`) is a
+/// pure bit permutation.
+pub fn transpose_tile<W: BitWord>(words: &[W], dim: usize) -> Vec<W> {
+    assert_eq!(words.len(), dim);
+    let mut out = vec![W::ZERO; dim];
+    for r in 0..dim {
+        for c in words[r].iter_ones() {
+            if (c as usize) < dim {
+                out[c as usize] = out[c as usize].with_bit(r as u32);
+            }
+        }
+    }
+    out
+}
+
+/// Pack two 4-bit rows into each `u8`: nibble packing for B2SR-4 (§III-B).
+///
+/// `rows` holds one 4-bit row per entry (only the low nibble used); the result
+/// has `ceil(len/2)` bytes, with even rows in the low nibble and odd rows in
+/// the high nibble.
+pub fn pack_nibbles(rows: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(rows.len().div_ceil(2));
+    let mut it = rows.chunks(2);
+    for pair in &mut it {
+        let low = pair[0] & 0x0F;
+        let high = if pair.len() > 1 { (pair[1] & 0x0F) << 4 } else { 0 };
+        out.push(low | high);
+    }
+    out
+}
+
+/// Inverse of [`pack_nibbles`]: expand each byte back into two 4-bit rows.
+/// `n_rows` tells how many rows were originally packed (to drop a padding
+/// nibble when the count was odd).
+pub fn unpack_nibbles(packed: &[u8], n_rows: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n_rows);
+    for &byte in packed {
+        out.push(byte & 0x0F);
+        if out.len() < n_rows {
+            out.push(byte >> 4);
+        }
+        if out.len() >= n_rows {
+            break;
+        }
+    }
+    out.truncate(n_rows);
+    out
+}
+
+/// Pack a dense `f32` vector into a bit-vector of `W` words: bit `i % BITS` of
+/// word `i / BITS` is set iff `v[i] != 0`.  This is the "binarized vector"
+/// layout consumed by `bmv_bin_bin_*`.
+pub fn pack_bitvector<W: BitWord>(v: &[f32]) -> Vec<W> {
+    let bits = W::BITS as usize;
+    let mut words = vec![W::ZERO; v.len().div_ceil(bits)];
+    for (i, &x) in v.iter().enumerate() {
+        if x != 0.0 {
+            words[i / bits] = words[i / bits].with_bit((i % bits) as u32);
+        }
+    }
+    words
+}
+
+/// Pack a boolean slice into a bit-vector of `W` words.
+pub fn pack_bools<W: BitWord>(v: &[bool]) -> Vec<W> {
+    let bits = W::BITS as usize;
+    let mut words = vec![W::ZERO; v.len().div_ceil(bits)];
+    for (i, &b) in v.iter().enumerate() {
+        if b {
+            words[i / bits] = words[i / bits].with_bit((i % bits) as u32);
+        }
+    }
+    words
+}
+
+/// Unpack a bit-vector into `len` booleans (inverse of [`pack_bools`]).
+pub fn unpack_bools<W: BitWord>(words: &[W], len: usize) -> Vec<bool> {
+    let bits = W::BITS as usize;
+    (0..len)
+        .map(|i| {
+            let w = i / bits;
+            w < words.len() && words[w].bit((i % bits) as u32)
+        })
+        .collect()
+}
+
+/// Count the set bits of a packed bit-vector.
+pub fn count_ones<W: BitWord>(words: &[W]) -> u64 {
+    words.iter().map(|w| w.popcount() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tile(dim: usize) -> Vec<f32> {
+        // Deterministic pattern: (r*7 + c*3) % 5 == 0 marks a nonzero.
+        (0..dim * dim)
+            .map(|i| {
+                let (r, c) = (i / dim, i % dim);
+                if (r * 7 + c * 3) % 5 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rowmajor_pack_roundtrip() {
+        for dim in [4usize, 8, 16, 32] {
+            let tile = sample_tile(dim);
+            let packed = pack_tile_rowmajor::<u32>(&tile, dim);
+            let back = unpack_tile_rowmajor(&packed, dim);
+            assert_eq!(tile, back, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn colmajor_is_transpose_of_rowmajor() {
+        for dim in [4usize, 8, 16, 32] {
+            let tile = sample_tile(dim);
+            let rows = pack_tile_rowmajor::<u32>(&tile, dim);
+            let cols = pack_tile_colmajor::<u32>(&tile, dim);
+            assert_eq!(transpose_tile(&rows, dim), cols, "dim {dim}");
+            assert_eq!(transpose_tile(&cols, dim), rows, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn ballot_packer_matches_generic_colmajor() {
+        let tile = sample_tile(32);
+        let generic = pack_tile_colmajor::<u32>(&tile, 32);
+        let ballot = pack_tile_colmajor_ballot(&tile);
+        assert_eq!(generic, ballot.to_vec());
+    }
+
+    #[test]
+    fn pack_respects_word_width() {
+        let tile = sample_tile(8);
+        let as_u8 = pack_tile_rowmajor::<u8>(&tile, 8);
+        let as_u32 = pack_tile_rowmajor::<u32>(&tile, 8);
+        for r in 0..8 {
+            assert_eq!(as_u8[r] as u32, as_u32[r]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds word width")]
+    fn packing_16_into_u8_panics() {
+        let tile = sample_tile(16);
+        let _ = pack_tile_rowmajor::<u8>(&tile, 16);
+    }
+
+    #[test]
+    fn nibble_roundtrip_even_and_odd() {
+        let rows: Vec<u8> = vec![0b0001, 0b1010, 0b0110, 0b1111, 0b0101];
+        let packed = pack_nibbles(&rows);
+        assert_eq!(packed.len(), 3);
+        assert_eq!(unpack_nibbles(&packed, rows.len()), rows);
+
+        let even: Vec<u8> = vec![0xF, 0x1, 0x2, 0x3];
+        assert_eq!(unpack_nibbles(&pack_nibbles(&even), 4), even);
+    }
+
+    #[test]
+    fn nibble_packing_halves_storage() {
+        let rows = vec![0x0Fu8; 64];
+        assert_eq!(pack_nibbles(&rows).len(), 32);
+    }
+
+    #[test]
+    fn bitvector_pack_counts_nonzeros() {
+        let v: Vec<f32> = (0..100).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        let packed = pack_bitvector::<u32>(&v);
+        assert_eq!(packed.len(), 4);
+        assert_eq!(count_ones(&packed), v.iter().filter(|&&x| x != 0.0).count() as u64);
+    }
+
+    #[test]
+    fn bools_roundtrip() {
+        let v: Vec<bool> = (0..77).map(|i| i % 5 == 0 || i % 7 == 0).collect();
+        for_each_word_width(&v);
+    }
+
+    fn for_each_word_width(v: &[bool]) {
+        assert_eq!(unpack_bools(&pack_bools::<u8>(v), v.len()), v);
+        assert_eq!(unpack_bools(&pack_bools::<u16>(v), v.len()), v);
+        assert_eq!(unpack_bools(&pack_bools::<u32>(v), v.len()), v);
+        assert_eq!(unpack_bools(&pack_bools::<u64>(v), v.len()), v);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let tile = sample_tile(16);
+        let rows = pack_tile_rowmajor::<u16>(&tile, 16);
+        assert_eq!(transpose_tile(&transpose_tile(&rows, 16), 16), rows);
+    }
+}

@@ -1,0 +1,209 @@
+//! The software warp execution model.
+//!
+//! On the GPU, a *warp* of 32 threads executes in lockstep and communicates
+//! through register shuffles and votes.  Bit-GraphBLAS assigns one tile-row of
+//! the B2SR matrix to one warp ("warp-consolidation" model, §IV of the paper).
+//!
+//! This module models a warp as a value type: [`Warp`] carries the lane count
+//! and provides the collective operations (`ballot`, `shfl`, reductions) over
+//! explicit per-lane register slices.  Kernels written against this model have
+//! the same structure as the CUDA listings — an outer loop over tiles, an
+//! inner per-lane body, collectives where the paper uses intrinsics — which is
+//! the point of the substitution documented in `DESIGN.md`.
+
+use crate::intrinsics;
+
+/// Number of lanes per warp on every NVIDIA architecture the paper targets.
+pub const WARP_SIZE: usize = 32;
+
+/// A software warp: a group of up to 32 lanes executing a kernel body in
+/// lockstep.
+///
+/// The model is deliberately simple: per-lane "registers" are slices indexed
+/// by lane id, and collectives are plain functions over those slices.  The
+/// determinism of the model (no real concurrency inside a warp) makes kernel
+/// results reproducible and easy to test, while the surrounding tile-row loop
+/// is parallelized across real CPU threads with Rayon in `bitgblas-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Warp {
+    lanes: usize,
+}
+
+impl Default for Warp {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl Warp {
+    /// A full 32-lane warp.
+    #[inline]
+    pub fn full() -> Self {
+        Warp { lanes: WARP_SIZE }
+    }
+
+    /// A warp with `lanes` active lanes (1..=32).  Tiles smaller than 32×32
+    /// (B2SR-4/8/16) only keep `tile_dim` lanes active, mirroring the thread
+    /// mappings of Figure 4 in the paper.
+    ///
+    /// # Panics
+    /// Panics if `lanes` is zero or greater than [`WARP_SIZE`].
+    #[inline]
+    pub fn with_lanes(lanes: usize) -> Self {
+        assert!(
+            (1..=WARP_SIZE).contains(&lanes),
+            "a warp has between 1 and {WARP_SIZE} lanes, got {lanes}"
+        );
+        Warp { lanes }
+    }
+
+    /// Number of active lanes.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Iterator over the active lane ids (`0..lanes`).
+    #[inline]
+    pub fn lane_ids(&self) -> std::ops::Range<usize> {
+        0..self.lanes
+    }
+
+    /// Run `body` once per active lane and collect the per-lane results into a
+    /// register file (a `Vec` with one entry per lane).
+    ///
+    /// This is the software analogue of a SIMT region: each lane sees its own
+    /// `laneid` exactly as the CUDA kernels do.
+    #[inline]
+    pub fn map<T, F: FnMut(usize) -> T>(&self, mut body: F) -> Vec<T> {
+        (0..self.lanes).map(|lane| body(lane)).collect()
+    }
+
+    /// Warp vote: evaluate `pred` on every active lane and pack the outcomes
+    /// into a 32-bit word (software `__ballot_sync`).
+    #[inline]
+    pub fn ballot<F: FnMut(usize) -> bool>(&self, mut pred: F) -> u32 {
+        intrinsics::ballot_from((0..self.lanes).map(|lane| pred(lane)))
+    }
+
+    /// Broadcast the register of `src_lane` to the whole warp (software
+    /// `__shfl_sync`).
+    #[inline]
+    pub fn shfl<T: Copy>(&self, regs: &[T], src_lane: usize) -> T {
+        debug_assert_eq!(regs.len(), self.lanes);
+        intrinsics::shfl(regs, src_lane)
+    }
+
+    /// Sum-reduce a `u32` register file across the warp.
+    #[inline]
+    pub fn reduce_sum(&self, regs: &[u32]) -> u64 {
+        debug_assert_eq!(regs.len(), self.lanes);
+        intrinsics::warp_reduce_sum(regs)
+    }
+
+    /// Min-reduce an `f32` register file across the warp.
+    #[inline]
+    pub fn reduce_min(&self, regs: &[f32]) -> f32 {
+        debug_assert_eq!(regs.len(), self.lanes);
+        intrinsics::warp_reduce_min(regs)
+    }
+}
+
+/// Split a range of `n_items` work items into contiguous chunks of
+/// `items_per_warp`, returning `(warp_id, start, end)` triples.
+///
+/// This mirrors how thread blocks map warps to consecutive tile-rows in the
+/// `bmv_bin_full_full` kernel (32 warps per block processing 32 consecutive
+/// tile-rows); the caller typically feeds the chunks to Rayon.
+pub fn warp_partition(n_items: usize, items_per_warp: usize) -> Vec<(usize, usize, usize)> {
+    assert!(items_per_warp > 0, "items_per_warp must be positive");
+    let mut out = Vec::with_capacity(n_items.div_ceil(items_per_warp));
+    let mut start = 0usize;
+    let mut warp_id = 0usize;
+    while start < n_items {
+        let end = (start + items_per_warp).min(n_items);
+        out.push((warp_id, start, end));
+        start = end;
+        warp_id += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_warp_has_32_lanes() {
+        assert_eq!(Warp::full().lanes(), 32);
+        assert_eq!(Warp::default().lanes(), 32);
+    }
+
+    #[test]
+    fn partial_warp_respects_lane_count() {
+        for lanes in [1, 4, 8, 16, 32] {
+            let w = Warp::with_lanes(lanes);
+            assert_eq!(w.lanes(), lanes);
+            assert_eq!(w.lane_ids().count(), lanes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 32")]
+    fn zero_lane_warp_panics() {
+        let _ = Warp::with_lanes(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 32")]
+    fn oversized_warp_panics() {
+        let _ = Warp::with_lanes(33);
+    }
+
+    #[test]
+    fn map_runs_body_per_lane() {
+        let w = Warp::with_lanes(8);
+        let regs = w.map(|lane| lane * lane);
+        assert_eq!(regs, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn ballot_packs_lane_predicates() {
+        let w = Warp::with_lanes(8);
+        let word = w.ballot(|lane| lane % 2 == 0);
+        assert_eq!(word, 0b0101_0101);
+        let full = Warp::full().ballot(|_| true);
+        assert_eq!(full, u32::MAX);
+    }
+
+    #[test]
+    fn shfl_broadcasts() {
+        let w = Warp::with_lanes(4);
+        let regs = w.map(|lane| (lane as u32 + 1) * 100);
+        assert_eq!(w.shfl(&regs, 2), 300);
+    }
+
+    #[test]
+    fn reductions() {
+        let w = Warp::with_lanes(16);
+        let regs = w.map(|lane| lane as u32);
+        assert_eq!(w.reduce_sum(&regs), (0..16u64).sum());
+        let fregs = w.map(|lane| 100.0 - lane as f32);
+        assert_eq!(w.reduce_min(&fregs), 85.0);
+    }
+
+    #[test]
+    fn warp_partition_covers_range_without_overlap() {
+        let parts = warp_partition(100, 32);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], (0, 0, 32));
+        assert_eq!(parts[3], (3, 96, 100));
+        let covered: usize = parts.iter().map(|&(_, s, e)| e - s).sum();
+        assert_eq!(covered, 100);
+    }
+
+    #[test]
+    fn warp_partition_empty_input() {
+        assert!(warp_partition(0, 32).is_empty());
+    }
+}

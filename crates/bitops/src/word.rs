@@ -1,0 +1,247 @@
+//! The [`BitWord`] abstraction over the packing word types used by B2SR.
+//!
+//! The four B2SR variants pack each tile row into a different unsigned
+//! integer type (Table I of the paper):
+//!
+//! | Tile size | Packing word | bits used per row |
+//! |-----------|--------------|-------------------|
+//! | 4×4       | `u8` (nibble)| 4                 |
+//! | 8×8       | `u8`         | 8                 |
+//! | 16×16     | `u16`        | 16                |
+//! | 32×32     | `u32`        | 32                |
+//!
+//! `BitWord` exposes exactly the operations the kernels need — population
+//! count, AND, OR, shift, bit get/set, reversal — so the BMV/BMM kernels can
+//! be written once, generic over the tile size.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, Not, Shl, Shr};
+
+/// An unsigned machine word used to pack one row of a bit-tile.
+pub trait BitWord:
+    Copy
+    + Clone
+    + Debug
+    + Default
+    + PartialEq
+    + Eq
+    + Hash
+    + Send
+    + Sync
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + Not<Output = Self>
+    + BitAndAssign
+    + BitOrAssign
+    + Shl<u32, Output = Self>
+    + Shr<u32, Output = Self>
+    + 'static
+{
+    /// Number of bits in the word (8, 16 or 32).
+    const BITS: u32;
+
+    /// The all-zeros word.
+    const ZERO: Self;
+
+    /// The all-ones word.
+    const ONES: Self;
+
+    /// Word with only the lowest bit set.
+    const ONE: Self;
+
+    /// Population count (`__popc` equivalent for this word width).
+    fn popcount(self) -> u32;
+
+    /// Bit reversal (`__brev` equivalent for this word width).
+    fn reverse(self) -> Self;
+
+    /// True if bit `i` (0 = least significant) is set.
+    fn bit(self, i: u32) -> bool;
+
+    /// Return `self` with bit `i` set.
+    fn with_bit(self, i: u32) -> Self;
+
+    /// Return `self` with bit `i` cleared.
+    fn without_bit(self, i: u32) -> Self;
+
+    /// Widen to `u64` (for accumulation and serialization).
+    fn to_u64(self) -> u64;
+
+    /// Truncating conversion from `u64`.
+    fn from_u64(v: u64) -> Self;
+
+    /// Number of trailing zeros; `Self::BITS` when the word is zero.
+    fn trailing_zeros(self) -> u32;
+
+    /// Iterator over the indices of set bits, from least to most significant.
+    fn iter_ones(self) -> BitIter<Self> {
+        BitIter { word: self }
+    }
+}
+
+/// Iterator over set-bit positions of a [`BitWord`].
+#[derive(Debug, Clone)]
+pub struct BitIter<W: BitWord> {
+    word: W,
+}
+
+impl<W: BitWord> Iterator for BitIter<W> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.word == W::ZERO {
+            None
+        } else {
+            let i = self.word.trailing_zeros();
+            self.word = self.word.without_bit(i);
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.word.popcount() as usize;
+        (n, Some(n))
+    }
+}
+
+impl<W: BitWord> ExactSizeIterator for BitIter<W> {}
+
+macro_rules! impl_bitword {
+    ($ty:ty, $bits:expr) => {
+        impl BitWord for $ty {
+            const BITS: u32 = $bits;
+            const ZERO: Self = 0;
+            const ONES: Self = <$ty>::MAX;
+            const ONE: Self = 1;
+
+            #[inline(always)]
+            fn popcount(self) -> u32 {
+                self.count_ones()
+            }
+
+            #[inline(always)]
+            fn reverse(self) -> Self {
+                self.reverse_bits()
+            }
+
+            #[inline(always)]
+            fn bit(self, i: u32) -> bool {
+                debug_assert!(i < Self::BITS);
+                (self >> i) & 1 == 1
+            }
+
+            #[inline(always)]
+            fn with_bit(self, i: u32) -> Self {
+                debug_assert!(i < Self::BITS);
+                self | (1 << i)
+            }
+
+            #[inline(always)]
+            fn without_bit(self, i: u32) -> Self {
+                debug_assert!(i < Self::BITS);
+                self & !(1 << i)
+            }
+
+            #[inline(always)]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+
+            #[inline(always)]
+            fn from_u64(v: u64) -> Self {
+                v as $ty
+            }
+
+            #[inline(always)]
+            fn trailing_zeros(self) -> u32 {
+                <$ty>::trailing_zeros(self)
+            }
+        }
+    };
+}
+
+impl_bitword!(u8, 8);
+impl_bitword!(u16, 16);
+impl_bitword!(u32, 32);
+impl_bitword!(u64, 64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_bits<W: BitWord>() {
+        let mut w = W::ZERO;
+        for i in (0..W::BITS).step_by(3) {
+            w = w.with_bit(i);
+        }
+        for i in 0..W::BITS {
+            assert_eq!(w.bit(i), i % 3 == 0, "bit {i}");
+        }
+        let cleared = (0..W::BITS).fold(w, |acc, i| acc.without_bit(i));
+        assert_eq!(cleared, W::ZERO);
+    }
+
+    #[test]
+    fn set_get_clear_u8() {
+        roundtrip_bits::<u8>();
+    }
+
+    #[test]
+    fn set_get_clear_u16() {
+        roundtrip_bits::<u16>();
+    }
+
+    #[test]
+    fn set_get_clear_u32() {
+        roundtrip_bits::<u32>();
+    }
+
+    #[test]
+    fn set_get_clear_u64() {
+        roundtrip_bits::<u64>();
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(u8::ONES.popcount(), 8);
+        assert_eq!(u16::ONES.popcount(), 16);
+        assert_eq!(u32::ONES.popcount(), 32);
+        assert_eq!(u64::ONES.popcount(), 64);
+        assert_eq!(u32::ONE.trailing_zeros(), 0);
+        assert_eq!(u32::ZERO.trailing_zeros(), 32);
+    }
+
+    #[test]
+    fn iter_ones_yields_all_set_bits() {
+        let w: u32 = 0b1001_0110;
+        let ones: Vec<u32> = w.iter_ones().collect();
+        assert_eq!(ones, vec![1, 2, 4, 7]);
+        assert_eq!(0u16.iter_ones().count(), 0);
+        assert_eq!(u8::ONES.iter_ones().count(), 8);
+    }
+
+    #[test]
+    fn iter_ones_size_hint_is_exact() {
+        let w: u32 = 0xF0F0_00FF;
+        let it = w.iter_ones();
+        assert_eq!(it.size_hint(), (w.count_ones() as usize, Some(w.count_ones() as usize)));
+    }
+
+    #[test]
+    fn reverse_matches_std() {
+        assert_eq!(BitWord::reverse(0x01u8), 0x80u8);
+        assert_eq!(BitWord::reverse(0x0001u16), 0x8000u16);
+        assert_eq!(BitWord::reverse(0x0000_0001u32), 0x8000_0000u32);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 1, 0xFF, 0xFFFF, 0xFFFF_FFFF] {
+            assert_eq!(u32::from_u64(v).to_u64(), v & 0xFFFF_FFFF);
+            assert_eq!(u8::from_u64(v).to_u64(), v & 0xFF);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! CSR ↔ B2SR conversion.
+//!
+//! The paper converts CSR to B2SR in two steps: `cusparseXcsr2bsrNnz()`
+//! discovers the non-empty tiles per tile-row, then per-tile bit-packing
+//! kernels encode each tile (§III-B, "Bit-packing overhead": the whole
+//! routine costs 3–34 ms and is amortized over repeated use of the graph).
+//! Here the same two passes run on the CPU, parallelised over tile-rows with
+//! Rayon exactly like the per-tile-row GPU kernels.
+
+use rayon::prelude::*;
+
+use bitgblas_bitops::BitWord;
+use bitgblas_sparse::Csr;
+
+use super::format::B2sr;
+
+/// One tile-row's worth of conversion output.
+struct TileRow<W> {
+    tile_cols: Vec<usize>,
+    words: Vec<W>,
+}
+
+/// Convert a binary CSR matrix into B2SR with the given tile dimension.
+///
+/// Any nonzero value in `csr` is treated as a set bit (the matrix is
+/// binarized on the fly), matching the paper's homogeneous-graph assumption.
+///
+/// # Panics
+/// Panics if `tile_dim` is zero or larger than the packing word `W`.
+pub fn from_csr<W: BitWord>(csr: &Csr, tile_dim: usize) -> B2sr<W> {
+    assert!(
+        tile_dim > 0 && tile_dim as u32 <= W::BITS,
+        "tile_dim {tile_dim} does not fit packing word of {} bits",
+        W::BITS
+    );
+    let nrows = csr.nrows();
+    let ncols = csr.ncols();
+    let n_tile_rows = nrows.div_ceil(tile_dim);
+
+    // One parallel task per tile-row: discover non-empty tile columns and
+    // pack their bits in a single pass over the CSR rows of that tile-row.
+    let rows: Vec<TileRow<W>> = (0..n_tile_rows)
+        .into_par_iter()
+        .map(|tr| {
+            let r_start = tr * tile_dim;
+            let r_end = ((tr + 1) * tile_dim).min(nrows);
+
+            // Pass 1 (csr2bsrNnz analogue): which tile columns are non-empty?
+            let mut tile_cols: Vec<usize> = Vec::new();
+            for r in r_start..r_end {
+                for &c in csr.row(r).0 {
+                    tile_cols.push(c / tile_dim);
+                }
+            }
+            tile_cols.sort_unstable();
+            tile_cols.dedup();
+
+            // Pass 2 (bit-packing kernel): scatter each nonzero into its
+            // tile's row word.
+            let mut words = vec![W::ZERO; tile_cols.len() * tile_dim];
+            for r in r_start..r_end {
+                let local_r = r - r_start;
+                let (cols, vals) = csr.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    if v == 0.0 {
+                        continue;
+                    }
+                    let tc = c / tile_dim;
+                    let slot = tile_cols.binary_search(&tc).expect("tile discovered in pass 1");
+                    let local_c = (c % tile_dim) as u32;
+                    let w = &mut words[slot * tile_dim + local_r];
+                    *w = w.with_bit(local_c);
+                }
+            }
+            TileRow { tile_cols, words }
+        })
+        .collect();
+
+    // Stitch the per-tile-row results into the global arrays.
+    let mut tile_rowptr = vec![0usize; n_tile_rows + 1];
+    for (tr, row) in rows.iter().enumerate() {
+        tile_rowptr[tr + 1] = tile_rowptr[tr] + row.tile_cols.len();
+    }
+    let n_tiles = tile_rowptr[n_tile_rows];
+    let mut tile_colind = Vec::with_capacity(n_tiles);
+    let mut bit_tiles = Vec::with_capacity(n_tiles * tile_dim);
+    for row in rows {
+        tile_colind.extend_from_slice(&row.tile_cols);
+        bit_tiles.extend_from_slice(&row.words);
+    }
+
+    B2sr::from_parts(nrows, ncols, tile_dim, tile_rowptr, tile_colind, bit_tiles)
+}
+
+/// Convenience wrapper: convert and return along with the conversion time in
+/// seconds, for the conversion-overhead experiment (§III-B).
+pub fn from_csr_timed<W: BitWord>(csr: &Csr, tile_dim: usize) -> (B2sr<W>, f64) {
+    let start = std::time::Instant::now();
+    let b = from_csr::<W>(csr, tile_dim);
+    (b, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgblas_sparse::Coo;
+
+    fn sample(n: usize, seed: u64) -> Csr {
+        // Deterministic pseudo-random binary matrix without external deps.
+        let mut coo = Coo::new(n, n);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..n * 4 {
+            let r = (next() % n as u64) as usize;
+            let c = (next() % n as u64) as usize;
+            coo.push_edge(r, c).unwrap();
+        }
+        coo.to_binary_csr()
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let a = sample(100, 3);
+        assert_eq!(from_csr::<u8>(&a, 4).to_csr(), a);
+        assert_eq!(from_csr::<u8>(&a, 8).to_csr(), a);
+        assert_eq!(from_csr::<u16>(&a, 16).to_csr(), a);
+        assert_eq!(from_csr::<u32>(&a, 32).to_csr(), a);
+    }
+
+    #[test]
+    fn roundtrip_non_multiple_dimensions() {
+        for n in [1usize, 5, 17, 33, 63, 65] {
+            let a = sample(n, n as u64);
+            let b = from_csr::<u32>(&a, 32);
+            assert_eq!(b.to_csr(), a, "n={n}");
+            assert_eq!(b.n_tile_rows(), n.div_ceil(32));
+        }
+    }
+
+    #[test]
+    fn nnz_preserved() {
+        let a = sample(200, 9);
+        for dim in [4usize, 8] {
+            let b = from_csr::<u8>(&a, dim);
+            assert_eq!(b.nnz() as usize, a.nnz());
+        }
+    }
+
+    #[test]
+    fn tile_structure_matches_bsr() {
+        // The upper level of B2SR must agree with the float BSR conversion.
+        let a = sample(96, 5);
+        let b2 = from_csr::<u8>(&a, 8);
+        let bsr = bitgblas_sparse::Bsr::from_csr(&a, 8);
+        assert_eq!(b2.n_tiles(), bsr.n_blocks());
+        assert_eq!(b2.tile_rowptr(), bsr.block_rowptr());
+        assert_eq!(b2.tile_colind(), bsr.block_colind());
+    }
+
+    #[test]
+    fn explicit_zeros_are_not_packed() {
+        let a = Csr::from_raw(4, 4, vec![0, 2, 2, 2, 2], vec![0, 1], vec![0.0, 1.0]).unwrap();
+        let b = from_csr::<u8>(&a, 4);
+        assert_eq!(b.nnz(), 1);
+        assert!(!b.get(0, 0));
+        assert!(b.get(0, 1));
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let a = Csr::empty(40, 40);
+        let b = from_csr::<u16>(&a, 16);
+        assert_eq!(b.n_tiles(), 0);
+        assert_eq!(b.nnz(), 0);
+        assert_eq!(b.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn transpose_matches_csr_transpose() {
+        let a = sample(70, 12);
+        for_each_variant(&a);
+    }
+
+    fn for_each_variant(a: &Csr) {
+        let t = a.transpose();
+        assert_eq!(from_csr::<u8>(a, 4).transpose().to_csr(), t);
+        assert_eq!(from_csr::<u8>(a, 8).transpose().to_csr(), t);
+        assert_eq!(from_csr::<u16>(a, 16).transpose().to_csr(), t);
+        assert_eq!(from_csr::<u32>(a, 32).transpose().to_csr(), t);
+    }
+
+    #[test]
+    fn timed_conversion_reports_duration() {
+        let a = sample(128, 1);
+        let (b, secs) = from_csr_timed::<u32>(&a, 32);
+        assert!(secs >= 0.0);
+        assert_eq!(b.to_csr(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit packing word")]
+    fn oversized_tile_dim_panics() {
+        let a = sample(16, 2);
+        let _ = from_csr::<u8>(&a, 16);
+    }
+}

@@ -1,0 +1,281 @@
+//! Storage statistics for B2SR — the quantities plotted in Figures 3 and 5
+//! and tabulated in Table I.
+
+use bitgblas_sparse::Csr;
+
+use super::format::{B2srMatrix, TileSize};
+
+/// One row of Table I: the per-tile packing format and its space saving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackingRow {
+    /// Tile size of the variant.
+    pub tile_size: TileSize,
+    /// Bytes a full tile would occupy in 32-bit-float CSR storage
+    /// ("at most": values + column indices).
+    pub csr_bytes_per_tile: usize,
+    /// Bytes of the binarized packed tile.
+    pub packed_bytes_per_tile: usize,
+    /// The space-saving factor (`csr / packed`).
+    pub saving_factor: f64,
+}
+
+/// Compute Table I: the maximal per-tile space saving of each packing format
+/// relative to 32-bit-float CSR value storage.
+///
+/// The paper counts only the 4-byte float values of a full tile against the
+/// packed bit representation (`4×4 float → 4×1 uchar = 16×`, all larger tiles
+/// = 32×).
+pub fn packing_table() -> Vec<PackingRow> {
+    TileSize::ALL
+        .iter()
+        .map(|&ts| {
+            let dim = ts.dim();
+            let csr_bytes = dim * dim * 4;
+            let packed = ts.bytes_per_tile();
+            PackingRow {
+                tile_size: ts,
+                csr_bytes_per_tile: csr_bytes,
+                packed_bytes_per_tile: packed,
+                saving_factor: csr_bytes as f64 / packed as f64,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate storage statistics of a matrix under one B2SR tile size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct B2srStats {
+    /// The tile size the statistics refer to.
+    pub tile_size: TileSize,
+    /// Number of non-empty tiles.
+    pub n_tiles: usize,
+    /// Total number of tile positions (`n_tile_rows × n_tile_cols`).
+    pub n_tile_slots: usize,
+    /// Fraction of tile positions that are non-empty (Figure 3a, in %
+    /// when multiplied by 100).
+    pub nonempty_tile_ratio: f64,
+    /// Average fraction of set bits inside the non-empty tiles (Figure 3b).
+    pub nonzero_occupancy: f64,
+    /// B2SR storage footprint in bytes.
+    pub b2sr_bytes: usize,
+    /// CSR (float, 32-bit index) storage footprint in bytes.
+    pub csr_bytes: usize,
+    /// `b2sr_bytes / csr_bytes` — the paper's compression ratio (< 1 means
+    /// B2SR is smaller; Figure 5a's x-axis as a percentage).
+    pub compression_ratio: f64,
+}
+
+/// Compute the storage statistics of `csr` under the given tile size.
+pub fn stats_for(csr: &Csr, size: TileSize) -> B2srStats {
+    let b2sr = B2srMatrix::from_csr(csr, size);
+    let n_tiles = b2sr.n_tiles();
+    let dim = size.dim();
+    let n_tile_slots = csr.nrows().div_ceil(dim) * csr.ncols().div_ceil(dim);
+    let nonempty_tile_ratio = if n_tile_slots == 0 {
+        0.0
+    } else {
+        n_tiles as f64 / n_tile_slots as f64
+    };
+    let nonzero_occupancy = if n_tiles == 0 {
+        0.0
+    } else {
+        b2sr.nnz() as f64 / (n_tiles as f64 * (dim * dim) as f64)
+    };
+    let b2sr_bytes = b2sr.storage_bytes();
+    let csr_bytes = csr.storage_bytes();
+    let compression_ratio = if csr_bytes == 0 { 0.0 } else { b2sr_bytes as f64 / csr_bytes as f64 };
+    B2srStats {
+        tile_size: size,
+        n_tiles,
+        n_tile_slots,
+        nonempty_tile_ratio,
+        nonzero_occupancy,
+        b2sr_bytes,
+        csr_bytes,
+        compression_ratio,
+    }
+}
+
+/// Compute the statistics for all four variants (one Figure 3 x-position per
+/// entry).
+pub fn stats_all_sizes(csr: &Csr) -> Vec<B2srStats> {
+    TileSize::ALL.iter().map(|&ts| stats_for(csr, ts)).collect()
+}
+
+/// The tile size with the smallest B2SR footprint for this matrix (the
+/// "optimal" series of Figure 5b).
+pub fn optimal_tile_size(csr: &Csr) -> TileSize {
+    stats_all_sizes(csr)
+        .into_iter()
+        .min_by(|a, b| a.b2sr_bytes.cmp(&b.b2sr_bytes))
+        .map(|s| s.tile_size)
+        .unwrap_or(TileSize::S8)
+}
+
+/// The tile sizes that actually compress the matrix (compression ratio below
+/// 1.0 — the "compressed" series of Figure 5b).
+pub fn compressing_tile_sizes(csr: &Csr) -> Vec<TileSize> {
+    stats_all_sizes(csr)
+        .into_iter()
+        .filter(|s| s.compression_ratio < 1.0)
+        .map(|s| s.tile_size)
+        .collect()
+}
+
+/// Exact B2SR byte sizes for all four variants, convenient for reporting
+/// (e.g. the mycielskian12 example of §III-C).
+pub fn byte_sizes(csr: &Csr) -> Vec<(TileSize, usize)> {
+    stats_all_sizes(csr).into_iter().map(|s| (s.tile_size, s.b2sr_bytes)).collect()
+}
+
+/// Direct conversion helper mirroring [`stats_for`] but reusing an existing
+/// conversion when the caller already has one (avoids converting twice in
+/// benches).
+pub fn stats_from_b2sr(csr: &Csr, b2sr: &B2srMatrix) -> B2srStats {
+    let size = b2sr.tile_size();
+    let dim = size.dim();
+    let n_tiles = b2sr.n_tiles();
+    let n_tile_slots = csr.nrows().div_ceil(dim) * csr.ncols().div_ceil(dim);
+    B2srStats {
+        tile_size: size,
+        n_tiles,
+        n_tile_slots,
+        nonempty_tile_ratio: if n_tile_slots == 0 { 0.0 } else { n_tiles as f64 / n_tile_slots as f64 },
+        nonzero_occupancy: if n_tiles == 0 {
+            0.0
+        } else {
+            b2sr.nnz() as f64 / (n_tiles as f64 * (dim * dim) as f64)
+        },
+        b2sr_bytes: b2sr.storage_bytes(),
+        csr_bytes: csr.storage_bytes(),
+        compression_ratio: if csr.storage_bytes() == 0 {
+            0.0
+        } else {
+            b2sr.storage_bytes() as f64 / csr.storage_bytes() as f64
+        },
+    }
+}
+
+/// Space saving of the pure bit packing for a single full tile, by word type,
+/// reproducing the "up to 32×" claim: `dim*dim*4` bytes of floats vs the
+/// packed bytes.
+pub fn tile_saving(size: TileSize) -> f64 {
+    let dim = size.dim();
+    (dim * dim * 4) as f64 / size.bytes_per_tile() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgblas_sparse::Coo;
+
+    fn banded(n: usize, bw: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for r in 0..n {
+            for c in r.saturating_sub(bw)..(r + bw + 1).min(n) {
+                coo.push_edge(r, c).unwrap();
+            }
+        }
+        coo.to_binary_csr()
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = packing_table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].saving_factor, 16.0); // 4x4
+        assert_eq!(t[1].saving_factor, 32.0); // 8x8
+        assert_eq!(t[2].saving_factor, 32.0); // 16x16
+        assert_eq!(t[3].saving_factor, 32.0); // 32x32
+        assert_eq!(t[3].csr_bytes_per_tile, 4096);
+        assert_eq!(t[3].packed_bytes_per_tile, 128);
+        assert_eq!(tile_saving(TileSize::S4), 16.0);
+        assert_eq!(tile_saving(TileSize::S32), 32.0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let a = banded(256, 2);
+        for s in stats_all_sizes(&a) {
+            assert!(s.nonempty_tile_ratio > 0.0 && s.nonempty_tile_ratio <= 1.0);
+            assert!(s.nonzero_occupancy > 0.0 && s.nonzero_occupancy <= 1.0);
+            assert!(s.b2sr_bytes > 0);
+            assert_eq!(s.csr_bytes, a.storage_bytes());
+            assert!((s.compression_ratio - s.b2sr_bytes as f64 / s.csr_bytes as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn banded_matrix_compresses_well() {
+        // A banded matrix has dense tiles along the diagonal: B2SR should be
+        // significantly smaller than float CSR for at least one tile size.
+        let a = banded(1024, 3);
+        let best = stats_all_sizes(&a)
+            .into_iter()
+            .map(|s| s.compression_ratio)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 0.6, "expected good compression, got ratio {best}");
+        assert!(!compressing_tile_sizes(&a).is_empty());
+    }
+
+    #[test]
+    fn scattered_matrix_compresses_poorly_at_large_tiles() {
+        // One isolated nonzero per 32x32 tile region: every non-empty 32x32
+        // tile stores 128 bytes for a single bit, worse than CSR's 12 bytes.
+        let n = 512;
+        let mut coo = Coo::new(n, n);
+        for i in (0..n).step_by(32) {
+            for j in (0..n).step_by(32) {
+                coo.push_edge(i, j).unwrap();
+            }
+        }
+        let a = coo.to_binary_csr();
+        let s32 = stats_for(&a, TileSize::S32);
+        assert!(s32.compression_ratio > 1.0, "ratio {}", s32.compression_ratio);
+        // The small-tile variant wastes much less.
+        let s4 = stats_for(&a, TileSize::S4);
+        assert!(s4.compression_ratio < s32.compression_ratio);
+        assert_eq!(optimal_tile_size(&a), TileSize::S4);
+    }
+
+    #[test]
+    fn nonempty_ratio_grows_with_tile_size() {
+        // Figure 3a trend: larger tiles -> fewer slots -> higher non-empty %.
+        let a = banded(512, 1);
+        let stats = stats_all_sizes(&a);
+        for w in stats.windows(2) {
+            assert!(
+                w[1].nonempty_tile_ratio >= w[0].nonempty_tile_ratio - 1e-9,
+                "{:?} -> {:?}",
+                w[0].tile_size,
+                w[1].tile_size
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_falls_with_tile_size() {
+        // Figure 3b trend: larger tiles dilute the nonzeros.
+        let a = banded(512, 1);
+        let stats = stats_all_sizes(&a);
+        for w in stats.windows(2) {
+            assert!(w[1].nonzero_occupancy <= w[0].nonzero_occupancy + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stats_from_existing_conversion_match() {
+        let a = banded(128, 2);
+        let b = B2srMatrix::from_csr(&a, TileSize::S16);
+        assert_eq!(stats_from_b2sr(&a, &b), stats_for(&a, TileSize::S16));
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let a = Csr::empty(64, 64);
+        let s = stats_for(&a, TileSize::S8);
+        assert_eq!(s.n_tiles, 0);
+        assert_eq!(s.nonzero_occupancy, 0.0);
+        assert_eq!(s.nonempty_tile_ratio, 0.0);
+    }
+}

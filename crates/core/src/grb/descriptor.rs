@@ -1,0 +1,131 @@
+//! Masks and descriptors for the GrB-style operations.
+
+/// A vector mask: controls which output positions an operation may write.
+///
+/// With `complement == false` (the GraphBLAS default) position `i` is written
+/// only where `structure[i]` is `true`.  With `complement == true` the sense
+/// is inverted — this is the form BFS uses (`¬visited`): only *unvisited*
+/// vertices may receive a new frontier value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    structure: Vec<bool>,
+    complement: bool,
+}
+
+impl Mask {
+    /// A mask that allows writes where `structure[i]` is `true`.
+    pub fn new(structure: Vec<bool>) -> Self {
+        Mask { structure, complement: false }
+    }
+
+    /// A mask that allows writes where `structure[i]` is `false`
+    /// (complemented mask, e.g. "not yet visited").
+    pub fn complemented(structure: Vec<bool>) -> Self {
+        Mask { structure, complement: true }
+    }
+
+    /// Length of the mask.
+    pub fn len(&self) -> usize {
+        self.structure.len()
+    }
+
+    /// True if the mask has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.structure.is_empty()
+    }
+
+    /// Whether the mask is complemented.
+    pub fn is_complemented(&self) -> bool {
+        self.complement
+    }
+
+    /// The raw structure flags.
+    pub fn structure(&self) -> &[bool] {
+        &self.structure
+    }
+
+    /// Does the mask allow writing output position `i`?
+    #[inline]
+    pub fn allows(&self, i: usize) -> bool {
+        let set = self.structure.get(i).copied().unwrap_or(false);
+        set != self.complement
+    }
+
+    /// The "filter out" view used by the bit kernels: a boolean per position
+    /// that is `true` where the output must be suppressed.
+    pub fn suppressed(&self) -> Vec<bool> {
+        (0..self.structure.len()).map(|i| !self.allows(i)).collect()
+    }
+
+    /// Number of positions the mask allows.
+    pub fn n_allowed(&self) -> usize {
+        (0..self.structure.len()).filter(|&i| self.allows(i)).count()
+    }
+}
+
+/// Operation descriptor: the handful of GraphBLAS descriptor switches the
+/// algorithms need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Descriptor {
+    /// Replace the output entirely (GraphBLAS `GrB_REPLACE`): positions not
+    /// written by the operation are reset to the semiring identity instead of
+    /// keeping their previous value.  All ops here always produce a fresh
+    /// output vector, so this is informational, but kept for API parity.
+    pub replace: bool,
+    /// Use the transpose of the matrix operand (`GrB_TRAN`).  The [`Matrix`]
+    /// object caches its transpose on first use.
+    pub transpose: bool,
+}
+
+#[allow(unused_imports)]
+use super::matrix::Matrix;
+
+impl Descriptor {
+    /// The default descriptor (no transpose, no replace).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Descriptor with the transpose flag set.
+    pub fn with_transpose() -> Self {
+        Descriptor { transpose: true, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_mask_allows_set_positions() {
+        let m = Mask::new(vec![true, false, true]);
+        assert!(m.allows(0));
+        assert!(!m.allows(1));
+        assert!(m.allows(2));
+        assert!(!m.allows(7), "out of range defaults to not allowed");
+        assert_eq!(m.n_allowed(), 2);
+        assert_eq!(m.suppressed(), vec![false, true, false]);
+        assert!(!m.is_complemented());
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn complemented_mask_inverts_sense() {
+        let m = Mask::complemented(vec![true, false, true]);
+        assert!(!m.allows(0));
+        assert!(m.allows(1));
+        assert!(!m.allows(2));
+        assert!(m.allows(9), "out of range counts as unset, which a complemented mask allows");
+        assert_eq!(m.suppressed(), vec![true, false, true]);
+        assert!(m.is_complemented());
+    }
+
+    #[test]
+    fn descriptor_defaults() {
+        let d = Descriptor::new();
+        assert!(!d.transpose);
+        assert!(!d.replace);
+        assert!(Descriptor::with_transpose().transpose);
+    }
+}

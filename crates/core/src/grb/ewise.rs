@@ -1,0 +1,133 @@
+//! Element-wise GraphBLAS operations on vectors.
+//!
+//! GraphBLAS algorithms interleave the matrix products with element-wise
+//! scalar updates of the frontier/result vectors (the "several element-wise
+//! scalar operations" per iteration the paper mentions in §VI-E): monoid
+//! accumulation, masked assignment, and apply (map).  These helpers keep
+//! those updates within the GrB vocabulary so the algorithms read like their
+//! GraphBLAS pseudo-code.
+
+use crate::semiring::Semiring;
+
+use super::descriptor::Mask;
+use super::vector::Vector;
+
+/// Element-wise "addition": `out[i] = a[i] ⊕ b[i]` with the additive monoid
+/// of the semiring (sum, min, max or logical OR).
+pub fn ewise_add(a: &Vector, b: &Vector, semiring: Semiring) -> Vector {
+    assert_eq!(a.len(), b.len(), "ewise_add requires equal lengths");
+    Vector::from_vec(
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| semiring.reduce(x, y))
+            .collect(),
+    )
+}
+
+/// Element-wise "multiplication": `out[i] = a[i] ⊗ b[i]`.  For the
+/// arithmetic semiring this is the Hadamard product; for min-plus it adds
+/// the two operands; for Boolean it is a logical AND.
+pub fn ewise_mult(a: &Vector, b: &Vector, semiring: Semiring) -> Vector {
+    assert_eq!(a.len(), b.len(), "ewise_mult requires equal lengths");
+    Vector::from_vec(
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| match semiring {
+                Semiring::Boolean => {
+                    if x != 0.0 && y != 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Semiring::Arithmetic => x * y,
+                Semiring::MinPlus(_) => x + y,
+                Semiring::MaxTimes(_) => x * y,
+            })
+            .collect(),
+    )
+}
+
+/// Apply a unary function to every entry: `out[i] = f(a[i])` (GraphBLAS
+/// `apply`).
+pub fn apply<F: Fn(f32) -> f32>(a: &Vector, f: F) -> Vector {
+    Vector::from_vec(a.as_slice().iter().map(|&x| f(x)).collect())
+}
+
+/// Masked assignment: copy `src[i]` into `dst[i]` wherever the mask allows
+/// it, leaving the other positions untouched (GraphBLAS `assign` with a
+/// mask and no replace).
+pub fn assign_masked(dst: &mut Vector, src: &Vector, mask: &Mask) {
+    assert_eq!(dst.len(), src.len(), "assign_masked requires equal lengths");
+    for i in 0..dst.len() {
+        if mask.allows(i) {
+            dst.set(i, src.get(i));
+        }
+    }
+}
+
+/// Select the entries that satisfy a predicate, producing an indicator
+/// vector (1.0 where the predicate holds) — GraphBLAS `select` specialised
+/// to the uses in the algorithms (frontier extraction).
+pub fn select<F: Fn(f32) -> bool>(a: &Vector, pred: F) -> Vector {
+    Vector::from_vec(
+        a.as_slice().iter().map(|&x| if pred(x) { 1.0 } else { 0.0 }).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewise_add_uses_the_additive_monoid() {
+        let a = Vector::from_vec(vec![1.0, 5.0, f32::INFINITY]);
+        let b = Vector::from_vec(vec![2.0, 3.0, 4.0]);
+        assert_eq!(ewise_add(&a, &b, Semiring::Arithmetic).as_slice(), &[3.0, 8.0, f32::INFINITY]);
+        assert_eq!(ewise_add(&a, &b, Semiring::MinPlus(1.0)).as_slice(), &[1.0, 3.0, 4.0]);
+        assert_eq!(ewise_add(&a, &b, Semiring::MaxTimes(1.0)).as_slice(), &[2.0, 5.0, f32::INFINITY]);
+        let bools = ewise_add(
+            &Vector::from_vec(vec![0.0, 1.0, 0.0]),
+            &Vector::from_vec(vec![0.0, 0.0, 2.0]),
+            Semiring::Boolean,
+        );
+        assert_eq!(bools.as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn ewise_mult_follows_the_multiplicative_op() {
+        let a = Vector::from_vec(vec![2.0, 0.0, 3.0]);
+        let b = Vector::from_vec(vec![4.0, 5.0, 0.5]);
+        assert_eq!(ewise_mult(&a, &b, Semiring::Arithmetic).as_slice(), &[8.0, 0.0, 1.5]);
+        assert_eq!(ewise_mult(&a, &b, Semiring::MinPlus(0.0)).as_slice(), &[6.0, 5.0, 3.5]);
+        assert_eq!(ewise_mult(&a, &b, Semiring::Boolean).as_slice(), &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn apply_and_select() {
+        let a = Vector::from_vec(vec![1.0, -2.0, 3.0]);
+        assert_eq!(apply(&a, f32::abs).as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(select(&a, |x| x > 0.0).as_slice(), &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn assign_masked_only_touches_allowed_positions() {
+        let mut dst = Vector::from_vec(vec![0.0; 4]);
+        let src = Vector::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let mask = Mask::new(vec![true, false, true, false]);
+        assign_masked(&mut dst, &src, &mask);
+        assert_eq!(dst.as_slice(), &[1.0, 0.0, 3.0, 0.0]);
+
+        let complemented = Mask::complemented(vec![true, false, true, false]);
+        assign_masked(&mut dst, &src, &complemented);
+        assert_eq!(dst.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn length_mismatch_panics() {
+        let _ = ewise_add(&Vector::zeros(2), &Vector::zeros(3), Semiring::Arithmetic);
+    }
+}

@@ -1,0 +1,209 @@
+//! The GrB-style matrix object with switchable storage backend.
+
+use std::sync::OnceLock;
+
+use bitgblas_sparse::Csr;
+
+use crate::b2sr::{B2srMatrix, TileSize};
+
+/// Which storage format and kernel family a [`Matrix`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Bit-GraphBLAS: B2SR storage + bit kernels (the paper's contribution).
+    Bit(TileSize),
+    /// The baseline: 32-bit-float CSR + reference kernels (GraphBLAST /
+    /// cuSPARSE stand-in).
+    FloatCsr,
+}
+
+impl Backend {
+    /// The default bit backend used by the paper's algorithm evaluation
+    /// (B2SR-8 is optimal for the majority of matrices in Figure 5b).
+    pub fn default_bit() -> Backend {
+        Backend::Bit(TileSize::S8)
+    }
+}
+
+/// A binary adjacency matrix held by the GraphBLAS-style layer.
+///
+/// The binary CSR form is always kept (it is needed for conversions,
+/// transposes and the float baseline); when the backend is [`Backend::Bit`]
+/// the B2SR representation is built eagerly at construction (the "one-time
+/// conversion cost" the paper amortizes) and the transpose lazily on first
+/// use.
+#[derive(Debug)]
+pub struct Matrix {
+    csr: Csr,
+    backend: Backend,
+    b2sr: Option<B2srMatrix>,
+    /// Lazily-built representations of `A^T` for `vxm` / descriptor-transpose.
+    csr_t: OnceLock<Csr>,
+    b2sr_t: OnceLock<B2srMatrix>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Matrix {
+            csr: self.csr.clone(),
+            backend: self.backend,
+            b2sr: self.b2sr.clone(),
+            csr_t: OnceLock::new(),
+            b2sr_t: OnceLock::new(),
+        }
+    }
+}
+
+impl Matrix {
+    /// Build a matrix from any CSR: values are binarized (every stored
+    /// nonzero becomes an edge), matching the homogeneous-graph assumption.
+    pub fn from_csr(csr: &Csr, backend: Backend) -> Self {
+        let bin = if csr.is_binary() { csr.clone() } else { csr.binarized() };
+        let b2sr = match backend {
+            Backend::Bit(ts) => Some(B2srMatrix::from_csr(&bin, ts)),
+            Backend::FloatCsr => None,
+        };
+        Matrix { csr: bin, backend, b2sr, csr_t: OnceLock::new(), b2sr_t: OnceLock::new() }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.csr.nrows()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.csr.ncols()
+    }
+
+    /// Number of edges (stored entries).
+    pub fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    /// The storage/kernel backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The binary CSR view (always available).
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The B2SR view, present only for the bit backend.
+    pub fn b2sr(&self) -> Option<&B2srMatrix> {
+        self.b2sr.as_ref()
+    }
+
+    /// The CSR view of `A^T`, built and cached on first use.
+    pub fn csr_t(&self) -> &Csr {
+        self.csr_t.get_or_init(|| self.csr.transpose())
+    }
+
+    /// The B2SR view of `A^T`, built and cached on first use (bit backend
+    /// only).
+    pub fn b2sr_t(&self) -> Option<&B2srMatrix> {
+        self.b2sr.as_ref().map(|b| self.b2sr_t.get_or_init(|| b.transpose()))
+    }
+
+    /// Out-degree of every vertex (row nnz), used by PageRank.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        self.csr.out_degrees()
+    }
+
+    /// Storage bytes of the active representation (B2SR for the bit backend,
+    /// float CSR for the baseline).
+    pub fn storage_bytes(&self) -> usize {
+        match &self.b2sr {
+            Some(b) => b.storage_bytes(),
+            None => self.csr.storage_bytes(),
+        }
+    }
+
+    /// A new matrix holding the strictly lower triangle, same backend
+    /// (Triangle Counting's `L`).
+    pub fn lower_triangle(&self) -> Matrix {
+        Matrix::from_csr(&self.csr.lower_triangle(), self.backend)
+    }
+
+    /// A new matrix holding `A^T`, same backend.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_csr(&self.csr.transpose(), self.backend)
+    }
+
+    /// True if the matrix equals its transpose (undirected graph).
+    pub fn is_symmetric(&self) -> bool {
+        self.csr.iter().all(|(r, c, _)| self.csr.get(c, r).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgblas_sparse::Coo;
+
+    fn sample() -> Csr {
+        let mut coo = Coo::new(6, 6);
+        for &(r, c) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)] {
+            coo.push(r, c, 2.5).unwrap(); // non-unit values: must be binarized
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn construction_binarizes_and_builds_backend() {
+        let a = Matrix::from_csr(&sample(), Backend::Bit(TileSize::S4));
+        assert!(a.csr().is_binary());
+        assert_eq!(a.nnz(), 7);
+        assert!(a.b2sr().is_some());
+        assert_eq!(a.b2sr().unwrap().nnz(), 7);
+        assert_eq!(a.b2sr().unwrap().tile_size(), TileSize::S4);
+
+        let f = Matrix::from_csr(&sample(), Backend::FloatCsr);
+        assert!(f.b2sr().is_none());
+        assert!(f.b2sr_t().is_none());
+    }
+
+    #[test]
+    fn transpose_views_are_cached_and_correct() {
+        let a = Matrix::from_csr(&sample(), Backend::Bit(TileSize::S8));
+        let t1 = a.csr_t() as *const Csr;
+        let t2 = a.csr_t() as *const Csr;
+        assert_eq!(t1, t2, "transpose must be cached");
+        assert_eq!(a.csr_t(), &a.csr().transpose());
+        let bt = a.b2sr_t().unwrap();
+        assert_eq!(bt.to_csr(), a.csr().transpose());
+    }
+
+    #[test]
+    fn lower_triangle_and_transpose_keep_backend() {
+        let a = Matrix::from_csr(&sample(), Backend::Bit(TileSize::S16));
+        let l = a.lower_triangle();
+        assert_eq!(l.backend(), Backend::Bit(TileSize::S16));
+        assert!(l.csr().iter().all(|(r, c, _)| c < r));
+        let t = a.transpose();
+        assert_eq!(t.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let directed = Matrix::from_csr(&sample(), Backend::FloatCsr);
+        assert!(!directed.is_symmetric());
+        let sym = Matrix::from_csr(&sample().symmetrized(), Backend::FloatCsr);
+        assert!(sym.is_symmetric());
+    }
+
+    #[test]
+    fn storage_bytes_reflect_backend() {
+        let csr = sample().symmetrized();
+        let bit = Matrix::from_csr(&csr, Backend::Bit(TileSize::S4));
+        let float = Matrix::from_csr(&csr, Backend::FloatCsr);
+        assert_eq!(float.storage_bytes(), float.csr().storage_bytes());
+        assert_eq!(bit.storage_bytes(), bit.b2sr().unwrap().storage_bytes());
+    }
+
+    #[test]
+    fn default_bit_backend_is_b2sr8() {
+        assert_eq!(Backend::default_bit(), Backend::Bit(TileSize::S8));
+    }
+}

@@ -1,0 +1,32 @@
+//! A small GraphBLAS-style object API over the Bit-GraphBLAS kernels.
+//!
+//! The paper presents Bit-GraphBLAS as a drop-in acceleration of the
+//! GraphBLAS execution model: graph algorithms are written against matrix /
+//! vector objects and semiring operations (`mxv`, `vxm`, `mxm`, `reduce`,
+//! element-wise ops with masks), and the framework decides how the adjacency
+//! matrix is stored and which kernel implements each operation.
+//!
+//! This module provides that layer with two interchangeable backends:
+//!
+//! * [`Backend::Bit`] — the adjacency matrix is stored in B2SR and the
+//!   operations run on the bit kernels of [`crate::kernels`] (the paper's
+//!   contribution);
+//! * [`Backend::FloatCsr`] — the adjacency matrix stays in 32-bit-float CSR
+//!   and the operations run on the reference kernels of `bitgblas-sparse`
+//!   (the GraphBLAST/cuSPARSE stand-in used as the baseline).
+//!
+//! `bitgblas-algorithms` writes each graph algorithm once against this API
+//! and the benchmarks toggle the backend, exactly as the paper compares
+//! Bit-GraphBLAS to GraphBLAST.
+
+pub mod descriptor;
+pub mod ewise;
+pub mod matrix;
+pub mod ops;
+pub mod vector;
+
+pub use descriptor::{Descriptor, Mask};
+pub use ewise::{apply, assign_masked, ewise_add, ewise_mult, select};
+pub use matrix::{Backend, Matrix};
+pub use ops::{mxm_reduce_masked, mxv, reduce, vxm};
+pub use vector::Vector;

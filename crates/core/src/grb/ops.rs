@@ -1,0 +1,310 @@
+//! The GraphBLAS-style operations, dispatched over the two backends.
+//!
+//! * [`mxv`] — `y = A ⊕.⊗ x` (matrix × vector) with an optional mask;
+//! * [`vxm`] — `y = x ⊕.⊗ A` (vector × matrix), i.e. `Aᵀ ⊕.⊗ x`, the
+//!   push-direction traversal used by BFS/SSSP;
+//! * [`mxm_reduce_masked`] — `Σ (mask .* (A · B))`, the Triangle Counting
+//!   primitive;
+//! * [`reduce`] — reduce a vector with the semiring's additive monoid.
+//!
+//! On the [`Backend::Bit`] path every operation runs on the B2SR bit kernels
+//! of [`crate::kernels`]; on the [`Backend::FloatCsr`] path the reference
+//! float kernels of `bitgblas-sparse` are used, reproducing the
+//! GraphBLAST-style baseline.
+
+use rayon::prelude::*;
+
+use bitgblas_sparse::{ops as float_ops, Csr};
+
+use crate::b2sr::B2srMatrix;
+use crate::kernels::{
+    bmm_bin_bin_sum_masked, bmv_bin_bin_bin, bmv_bin_bin_bin_masked, bmv_bin_full_full,
+    bmv_bin_full_full_masked, pack_vector_bits, pack_vector_tilewise, unpack_vector_bits,
+};
+use crate::semiring::Semiring;
+
+use super::descriptor::{Descriptor, Mask};
+use super::matrix::{Backend, Matrix};
+use super::vector::Vector;
+
+/// Row-parallel CSR SpMV over an arbitrary semiring — the float-CSR baseline
+/// path (GraphBLAST-style).  The adjacency matrix is binary, so a stored
+/// entry contributes `⊗(x[j])` and absent entries contribute nothing; masked
+/// rows are skipped entirely (GraphBLAST's early exit).
+fn float_mxv(csr: &Csr, x: &[f32], semiring: Semiring, mask: Option<&Mask>) -> Vec<f32> {
+    let identity = semiring.identity();
+    let mut y = vec![identity; csr.nrows()];
+    y.par_iter_mut().enumerate().for_each(|(r, out)| {
+        if let Some(m) = mask {
+            if !m.allows(r) {
+                return;
+            }
+        }
+        let (cols, _) = csr.row(r);
+        let mut acc = identity;
+        for &c in cols {
+            acc = semiring.reduce(acc, semiring.combine(x[c]));
+        }
+        *out = acc;
+    });
+    y
+}
+
+/// Matrix–vector multiply over a semiring: `y[i] = ⊕_j A[i][j] ⊗ x[j]`,
+/// optionally masked.
+///
+/// With `desc.transpose` set, `Aᵀ` is used (the transpose representation is
+/// cached inside the [`Matrix`]).
+pub fn mxv(
+    a: &Matrix,
+    x: &Vector,
+    semiring: Semiring,
+    mask: Option<&Mask>,
+    desc: &Descriptor,
+) -> Vector {
+    assert_eq!(a.ncols(), x.len(), "mxv dimension mismatch");
+    if let Some(m) = mask {
+        assert_eq!(m.len(), a.nrows(), "mask length must equal output length");
+    }
+
+    let values = match a.backend() {
+        Backend::Bit(_) => {
+            let b2sr = if desc.transpose {
+                a.b2sr_t().expect("bit backend always has a B2SR representation")
+            } else {
+                a.b2sr().expect("bit backend always has a B2SR representation")
+            };
+            bit_mxv(b2sr, x.as_slice(), semiring, mask)
+        }
+        Backend::FloatCsr => {
+            let csr = if desc.transpose { a.csr_t() } else { a.csr() };
+            float_mxv(csr, x.as_slice(), semiring, mask)
+        }
+    };
+    Vector::from_vec(values)
+}
+
+/// Dispatch a bit-backend `mxv` over the four B2SR variants.
+fn bit_mxv(b2sr: &B2srMatrix, x: &[f32], semiring: Semiring, mask: Option<&Mask>) -> Vec<f32> {
+    macro_rules! run {
+        ($m:expr, $w:ty) => {{
+            let m = $m;
+            let dim = m.tile_dim();
+            match semiring {
+                Semiring::Boolean => {
+                    // Boolean semiring: binarize the vector and use the
+                    // minimal-footprint bin/bin/bin scheme.
+                    let xp = pack_vector_tilewise::<$w>(x, dim);
+                    let y_bits = match mask {
+                        Some(mk) => {
+                            let suppressed = mk.suppressed();
+                            let mp = pack_vector_bits::<$w>(&suppressed, dim);
+                            bmv_bin_bin_bin_masked(m, &xp, &mp)
+                        }
+                        None => bmv_bin_bin_bin(m, &xp),
+                    };
+                    unpack_vector_bits(&y_bits, dim, m.nrows())
+                        .into_iter()
+                        .map(|b| if b { 1.0 } else { 0.0 })
+                        .collect()
+                }
+                _ => match mask {
+                    Some(mk) => {
+                        let suppressed = mk.suppressed();
+                        bmv_bin_full_full_masked(m, x, &suppressed, semiring)
+                    }
+                    None => bmv_bin_full_full(m, x, semiring),
+                },
+            }
+        }};
+    }
+    match b2sr {
+        B2srMatrix::B4(m) => run!(m, u8),
+        B2srMatrix::B8(m) => run!(m, u8),
+        B2srMatrix::B16(m) => run!(m, u16),
+        B2srMatrix::B32(m) => run!(m, u32),
+    }
+}
+
+/// Vector–matrix multiply: `y[j] = ⊕_i x[i] ⊗ A[i][j]`, which equals
+/// `mxv(Aᵀ, x)`.  This is the push-direction step of BFS/SSSP.
+pub fn vxm(
+    x: &Vector,
+    a: &Matrix,
+    semiring: Semiring,
+    mask: Option<&Mask>,
+    desc: &Descriptor,
+) -> Vector {
+    // vxm(x, A) = mxv(A, x) with the transpose flag flipped.
+    let flipped = Descriptor { transpose: !desc.transpose, ..*desc };
+    assert_eq!(a.nrows(), x.len(), "vxm dimension mismatch");
+    mxv(a, x, semiring, mask, &flipped)
+}
+
+/// Masked matrix–matrix multiply reduced to a scalar:
+/// `Σ_{(i,j) ∈ mask} (A · B)[i][j]` over the arithmetic semiring.
+///
+/// This is the Triangle Counting primitive; with `A = L`, `B = Lᵀ`,
+/// `mask = L` the result is the graph's triangle count.
+pub fn mxm_reduce_masked(a: &Matrix, b: &Matrix, mask: &Matrix) -> f64 {
+    assert_eq!(a.ncols(), b.nrows(), "mxm inner dimension mismatch");
+    match (a.backend(), b.backend(), mask.backend()) {
+        (Backend::Bit(_), Backend::Bit(_), Backend::Bit(_)) => {
+            let (ab, bb, mb) = (
+                a.b2sr().expect("bit backend"),
+                b.b2sr().expect("bit backend"),
+                mask.b2sr().expect("bit backend"),
+            );
+            bit_mxm_sum(ab, bb, mb) as f64
+        }
+        _ => {
+            // Mixed or float backends fall back to the reference kernel.
+            // `spgemm_masked_sum` treats its second operand as Bᵀ stored by
+            // rows, so pass B's transpose CSR.
+            float_ops::spgemm_masked_sum(a.csr(), b.csr_t(), mask.csr())
+                .expect("dimensions checked above")
+        }
+    }
+}
+
+fn bit_mxm_sum(a: &B2srMatrix, b: &B2srMatrix, mask: &B2srMatrix) -> u64 {
+    match (a, b, mask) {
+        (B2srMatrix::B4(a), B2srMatrix::B4(b), B2srMatrix::B4(m)) => bmm_bin_bin_sum_masked(a, b, m),
+        (B2srMatrix::B8(a), B2srMatrix::B8(b), B2srMatrix::B8(m)) => bmm_bin_bin_sum_masked(a, b, m),
+        (B2srMatrix::B16(a), B2srMatrix::B16(b), B2srMatrix::B16(m)) => {
+            bmm_bin_bin_sum_masked(a, b, m)
+        }
+        (B2srMatrix::B32(a), B2srMatrix::B32(b), B2srMatrix::B32(m)) => {
+            bmm_bin_bin_sum_masked(a, b, m)
+        }
+        _ => panic!("mxm operands must use the same B2SR tile size"),
+    }
+}
+
+/// Reduce a vector with the semiring's additive monoid.
+pub fn reduce(x: &Vector, semiring: Semiring) -> f32 {
+    semiring.reduce_slice(x.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::b2sr::TileSize;
+    use bitgblas_sparse::{Coo, Csr};
+
+    fn sample(n: usize, seed: u64) -> Csr {
+        let mut coo = Coo::new(n, n);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..n * 4 {
+            let r = (next() % n as u64) as usize;
+            let c = (next() % n as u64) as usize;
+            coo.push_edge(r, c).unwrap();
+        }
+        coo.to_binary_csr()
+    }
+
+    fn close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let both_inf = x.is_infinite() && y.is_infinite();
+            assert!(both_inf || (x - y).abs() < 1e-4, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn bit_and_float_backends_agree_on_mxv() {
+        let csr = sample(90, 3);
+        let x = Vector::from_vec((0..90).map(|i| (i % 5) as f32).collect());
+        let float = Matrix::from_csr(&csr, Backend::FloatCsr);
+        for ts in TileSize::ALL {
+            let bit = Matrix::from_csr(&csr, Backend::Bit(ts));
+            for semiring in [Semiring::Arithmetic, Semiring::MinPlus(1.0), Semiring::MaxTimes(1.0)] {
+                let yb = mxv(&bit, &x, semiring, None, &Descriptor::new());
+                let yf = mxv(&float, &x, semiring, None, &Descriptor::new());
+                close(yb.as_slice(), yf.as_slice());
+            }
+            // Boolean compares as reachability flags.
+            let yb = mxv(&bit, &x, Semiring::Boolean, None, &Descriptor::new());
+            let yf = mxv(&float, &x, Semiring::Boolean, None, &Descriptor::new());
+            for (b, f) in yb.as_slice().iter().zip(yf.as_slice()) {
+                assert_eq!(*b != 0.0, *f != 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_mxv_respects_complemented_mask() {
+        let csr = sample(40, 7);
+        let x = Vector::indicator(40, &[0, 1, 2, 3]);
+        let visited: Vec<bool> = (0..40).map(|i| i < 20).collect();
+        let mask = Mask::complemented(visited.clone());
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            let y = mxv(&a, &x, Semiring::Boolean, Some(&mask), &Descriptor::new());
+            for i in 0..20 {
+                assert_eq!(y.get(i), 0.0, "visited vertex {i} must stay filtered ({backend:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn vxm_equals_mxv_on_transpose() {
+        let csr = sample(50, 11);
+        let x = Vector::from_vec((0..50).map(|i| (i % 3) as f32).collect());
+        for backend in [Backend::Bit(TileSize::S16), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            let at = Matrix::from_csr(&csr.transpose(), backend);
+            let push = vxm(&x, &a, Semiring::Arithmetic, None, &Descriptor::new());
+            let reference = mxv(&at, &x, Semiring::Arithmetic, None, &Descriptor::new());
+            close(push.as_slice(), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn descriptor_transpose_flag() {
+        let csr = sample(30, 13);
+        let x = Vector::from_vec((0..30).map(|i| i as f32).collect());
+        let a = Matrix::from_csr(&csr, Backend::Bit(TileSize::S32));
+        let explicit_t = Matrix::from_csr(&csr.transpose(), Backend::Bit(TileSize::S32));
+        let via_desc = mxv(&a, &x, Semiring::Arithmetic, None, &Descriptor::with_transpose());
+        let via_matrix = mxv(&explicit_t, &x, Semiring::Arithmetic, None, &Descriptor::new());
+        close(via_desc.as_slice(), via_matrix.as_slice());
+    }
+
+    #[test]
+    fn triangle_counting_primitive_agrees_across_backends() {
+        // An undirected graph with known triangles.
+        let adj = sample(60, 17).symmetrized().without_diagonal();
+        let mut counts = Vec::new();
+        for backend in [Backend::Bit(TileSize::S8), Backend::Bit(TileSize::S32), Backend::FloatCsr] {
+            let l = Matrix::from_csr(&adj.lower_triangle(), backend);
+            let lt = Matrix::from_csr(&adj.lower_triangle().transpose(), backend);
+            let tri = mxm_reduce_masked(&l, &lt, &l);
+            counts.push(tri);
+        }
+        assert!(counts.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "{counts:?}");
+    }
+
+    #[test]
+    fn reduce_uses_semiring() {
+        let v = Vector::from_vec(vec![3.0, 1.0, 7.0]);
+        assert_eq!(reduce(&v, Semiring::Arithmetic), 11.0);
+        assert_eq!(reduce(&v, Semiring::MinPlus(1.0)), 1.0);
+        assert_eq!(reduce(&v, Semiring::MaxTimes(1.0)), 7.0);
+        assert_eq!(reduce(&v, Semiring::Boolean), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mxv_rejects_bad_dimensions() {
+        let a = Matrix::from_csr(&sample(10, 1), Backend::FloatCsr);
+        let x = Vector::zeros(7);
+        let _ = mxv(&a, &x, Semiring::Arithmetic, None, &Descriptor::new());
+    }
+}

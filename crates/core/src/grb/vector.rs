@@ -1,0 +1,176 @@
+//! The GrB-style vector object.
+//!
+//! Bit-GraphBLAS keeps frontier vectors dense: binarized for Boolean
+//! semirings, full-precision for the others (§V).  `Vector` wraps a dense
+//! `f32` buffer and provides the frontier-style constructors and queries the
+//! algorithms need; the binarized packing is produced on demand inside the
+//! ops layer.
+
+use bitgblas_sparse::DenseVec;
+
+use crate::semiring::Semiring;
+
+/// A dense GraphBLAS-style vector of `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector {
+    data: DenseVec,
+}
+
+impl Vector {
+    /// Vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: DenseVec::zeros(n) }
+    }
+
+    /// Vector filled with the identity of the given semiring (`0`, `+∞` or
+    /// `-∞`), the "empty" state for that domain.
+    pub fn identity(n: usize, semiring: Semiring) -> Self {
+        Vector { data: DenseVec::filled(n, semiring.identity()) }
+    }
+
+    /// Indicator vector with `1.0` at `positions`.
+    pub fn indicator(n: usize, positions: &[usize]) -> Self {
+        Vector { data: DenseVec::indicator(n, positions) }
+    }
+
+    /// Wrap an existing buffer.
+    pub fn from_vec(v: Vec<f32>) -> Self {
+        Vector { data: DenseVec::from_vec(v) }
+    }
+
+    /// Length of the vector.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &[f32] {
+        self.data.as_slice()
+    }
+
+    /// Mutable access to the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.data.as_mut_slice()
+    }
+
+    /// Consume into a `Vec<f32>`.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data.into_vec()
+    }
+
+    /// The value at position `i`.
+    pub fn get(&self, i: usize) -> f32 {
+        self.data[i]
+    }
+
+    /// Set the value at position `i`.
+    pub fn set(&mut self, i: usize, v: f32) {
+        self.data[i] = v;
+    }
+
+    /// Number of entries that differ from the given semiring's identity
+    /// (= the frontier size for that domain).
+    pub fn n_active(&self, semiring: Semiring) -> usize {
+        self.as_slice().iter().filter(|&&v| !semiring.is_identity(v)).count()
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.nnz()
+    }
+
+    /// Boolean view: `true` where the entry differs from the semiring
+    /// identity.  Used to build masks (e.g. the visited set in BFS).
+    pub fn active_flags(&self, semiring: Semiring) -> Vec<bool> {
+        self.as_slice().iter().map(|&v| !semiring.is_identity(v)).collect()
+    }
+
+    /// Element-wise accumulate with the semiring's additive monoid:
+    /// `self[i] = self[i] ⊕ other[i]`.
+    pub fn accumulate(&mut self, other: &Vector, semiring: Semiring) {
+        assert_eq!(self.len(), other.len(), "accumulate requires equal lengths");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a = semiring.reduce(*a, b);
+        }
+    }
+
+    /// Maximum absolute difference to another vector (PageRank convergence).
+    pub fn max_abs_diff(&self, other: &Vector) -> f32 {
+        self.data.max_abs_diff(&other.data)
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.sum()
+    }
+}
+
+impl From<Vec<f32>> for Vector {
+    fn from(v: Vec<f32>) -> Self {
+        Vector::from_vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_queries() {
+        let z = Vector::zeros(4);
+        assert_eq!(z.len(), 4);
+        assert_eq!(z.nnz(), 0);
+        let inf = Vector::identity(3, Semiring::MinPlus(1.0));
+        assert!(inf.as_slice().iter().all(|v| v.is_infinite()));
+        assert_eq!(inf.n_active(Semiring::MinPlus(1.0)), 0);
+        let ind = Vector::indicator(5, &[0, 4]);
+        assert_eq!(ind.nnz(), 2);
+        assert_eq!(ind.n_active(Semiring::Boolean), 2);
+        assert_eq!(ind.active_flags(Semiring::Boolean), vec![true, false, false, false, true]);
+    }
+
+    #[test]
+    fn get_set_and_conversion() {
+        let mut v = Vector::zeros(3);
+        v.set(1, 4.5);
+        assert_eq!(v.get(1), 4.5);
+        assert_eq!(v.clone().into_vec(), vec![0.0, 4.5, 0.0]);
+        let w: Vector = vec![1.0, 2.0].into();
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert_eq!(w.sum(), 3.0);
+    }
+
+    #[test]
+    fn accumulate_uses_semiring_monoid() {
+        let mut dist = Vector::from_vec(vec![0.0, 5.0, f32::INFINITY]);
+        let relaxed = Vector::from_vec(vec![1.0, 3.0, 7.0]);
+        dist.accumulate(&relaxed, Semiring::MinPlus(1.0));
+        assert_eq!(dist.as_slice(), &[0.0, 3.0, 7.0]);
+
+        let mut ranks = Vector::from_vec(vec![0.1, 0.2, 0.3]);
+        ranks.accumulate(&Vector::from_vec(vec![0.05, 0.0, 0.1]), Semiring::Arithmetic);
+        for (got, want) in ranks.as_slice().iter().zip([0.15f32, 0.2, 0.4]) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn accumulate_length_mismatch_panics() {
+        let mut a = Vector::zeros(2);
+        a.accumulate(&Vector::zeros(3), Semiring::Arithmetic);
+    }
+
+    #[test]
+    fn minplus_active_flags_treat_infinity_as_inactive() {
+        let v = Vector::from_vec(vec![f32::INFINITY, 0.0, 2.0]);
+        assert_eq!(v.active_flags(Semiring::MinPlus(1.0)), vec![false, true, true]);
+        assert_eq!(v.n_active(Semiring::MinPlus(1.0)), 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! BMM — Binarized sparse Matrix × Matrix kernels (Table III).
+//!
+//! Triangle Counting is the paper's SpGEMM consumer: both operands and the
+//! mask are binary, and the only output needed is the *sum* of the product's
+//! entries.  `bmm_bin_bin_sum` computes `Σ_{i,j} (A·B)[i][j]` and
+//! `bmm_bin_bin_sum_masked` computes `Σ_{(i,j) ∈ mask} (A·B)[i][j]`, both
+//! over the arithmetic semiring with binary inputs.
+//!
+//! Kernel structure (Listing 2 of the paper): one warp per tile-row of `A`;
+//! the outer loop walks `A`'s non-empty tiles `(tr, k)`, the middle loop
+//! walks `B`'s tile-row `k`, and the inner 32-step loop broadcasts each
+//! bit-row of the `B` tile to all lanes (`__shfl_sync`) so every lane
+//! accumulates `__popc(a_row & b_row)` into its private register.  Here the
+//! broadcast becomes an inner loop over the pre-transposed `B` tile (the
+//! paper stores `B`'s tiles column-major for the same reason) and the warp
+//! scheduling becomes Rayon parallelism over `A`'s tile-rows.
+
+use rayon::prelude::*;
+
+use bitgblas_bitops::pack::transpose_tile;
+use bitgblas_bitops::BitWord;
+
+use crate::b2sr::B2sr;
+
+/// Pre-transpose every tile of `b` so that word `j` of a transposed tile is
+/// bit-*column* `j` of the original tile — the "column-major packing" the
+/// paper uses for the `B` operand of BMM.
+fn transpose_tiles<W: BitWord>(b: &B2sr<W>) -> Vec<W> {
+    let dim = b.tile_dim();
+    let mut out = vec![W::ZERO; b.bit_tiles().len()];
+    out.par_chunks_mut(dim).enumerate().for_each(|(idx, chunk)| {
+        let t = transpose_tile(b.tile_words(idx), dim);
+        chunk.copy_from_slice(&t);
+    });
+    out
+}
+
+/// `bmm_bin_bin_sum()`: the sum of all entries of `A · B` over the arithmetic
+/// semiring, with both operands binary (in B2SR with the same tile size).
+///
+/// # Panics
+/// Panics if the operands' dimensions or tile sizes are incompatible.
+pub fn bmm_bin_bin_sum<W: BitWord>(a: &B2sr<W>, b: &B2sr<W>) -> u64 {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    assert_eq!(a.tile_dim(), b.tile_dim(), "operands must use the same tile size");
+    let dim = a.tile_dim();
+    let bt_tiles = transpose_tiles(b);
+
+    (0..a.n_tile_rows())
+        .into_par_iter()
+        .map(|tr| {
+            let mut local: u64 = 0;
+            for a_idx in a.tile_row_range(tr) {
+                let k = a.tile_colind()[a_idx];
+                let a_words = a.tile_words(a_idx);
+                if k >= b.n_tile_rows() {
+                    continue;
+                }
+                for b_idx in b.tile_row_range(k) {
+                    let bt = &bt_tiles[b_idx * dim..(b_idx + 1) * dim];
+                    // Every (lane i, broadcast j) pair contributes
+                    // popc(A_row_i & B_col_j) = (A·B) tile element (i, j).
+                    for &aw in a_words.iter().take(dim) {
+                        if aw == W::ZERO {
+                            continue;
+                        }
+                        for &bw in bt.iter().take(dim) {
+                            local += (aw & bw).popcount() as u64;
+                        }
+                    }
+                }
+            }
+            local
+        })
+        .sum()
+}
+
+/// `bmm_bin_bin_sum_masked()`: the sum of `A · B` restricted to the positions
+/// where `mask` has a set bit — the Triangle Counting kernel
+/// (`A = L`, `B = Lᵀ`, `mask = L` gives the triangle count).
+///
+/// # Panics
+/// Panics if dimensions or tile sizes are incompatible.
+pub fn bmm_bin_bin_sum_masked<W: BitWord>(a: &B2sr<W>, b: &B2sr<W>, mask: &B2sr<W>) -> u64 {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    assert_eq!(a.nrows(), mask.nrows(), "mask must match the output rows");
+    assert_eq!(b.ncols(), mask.ncols(), "mask must match the output columns");
+    assert_eq!(a.tile_dim(), b.tile_dim(), "operands must use the same tile size");
+    assert_eq!(a.tile_dim(), mask.tile_dim(), "mask must use the same tile size");
+    let dim = a.tile_dim();
+    let bt_tiles = transpose_tiles(b);
+
+    (0..mask.n_tile_rows())
+        .into_par_iter()
+        .map(|tr| {
+            let mut local: u64 = 0;
+            if tr >= a.n_tile_rows() {
+                return 0;
+            }
+            let a_range = a.tile_row_range(tr);
+            let a_cols = &a.tile_colind()[a_range.clone()];
+            for m_idx in mask.tile_row_range(tr) {
+                let tc = mask.tile_colind()[m_idx];
+                let m_words = mask.tile_words(m_idx);
+                // C(tr, tc) = Σ_k A(tr, k) · B(k, tc); only positions with a
+                // mask bit contribute to the sum.
+                for (a_off, &k) in a_cols.iter().enumerate() {
+                    let a_idx = a_range.start + a_off;
+                    let a_words = a.tile_words(a_idx);
+                    if k >= b.n_tile_rows() {
+                        continue;
+                    }
+                    // Find B's tile (k, tc) by binary search in tile-row k.
+                    let b_range = b.tile_row_range(k);
+                    let b_cols = &b.tile_colind()[b_range.clone()];
+                    let Ok(pos) = b_cols.binary_search(&tc) else { continue };
+                    let b_idx = b_range.start + pos;
+                    let bt = &bt_tiles[b_idx * dim..(b_idx + 1) * dim];
+                    for (i, &aw) in a_words.iter().enumerate().take(dim) {
+                        let mw = m_words[i];
+                        if aw == W::ZERO || mw == W::ZERO {
+                            continue;
+                        }
+                        for j in mw.iter_ones() {
+                            local += (aw & bt[j as usize]).popcount() as u64;
+                        }
+                    }
+                }
+            }
+            local
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::b2sr::convert::from_csr;
+    use bitgblas_sparse::{ops, Coo, Csr};
+
+    fn sample(n: usize, seed: u64, edges_per_row: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..n * edges_per_row {
+            let r = (next() % n as u64) as usize;
+            let c = (next() % n as u64) as usize;
+            coo.push_edge(r, c).unwrap();
+        }
+        coo.to_binary_csr()
+    }
+
+    /// Reference: sum of all entries of the float SpGEMM product.
+    fn reference_sum(a: &Csr, b: &Csr) -> u64 {
+        let c = ops::spgemm(a, b).unwrap();
+        ops::reduce_sum(&c) as u64
+    }
+
+    /// Reference: sum of the product restricted to the mask's positions.
+    fn reference_masked_sum(a: &Csr, b: &Csr, mask: &Csr) -> u64 {
+        let c = ops::spgemm(a, b).unwrap();
+        mask.iter()
+            .map(|(r, col, _)| c.get(r, col).unwrap_or(0.0) as u64)
+            .sum()
+    }
+
+    #[test]
+    fn sum_matches_float_spgemm_all_variants() {
+        let a = sample(70, 3, 4);
+        let b = sample(70, 9, 4);
+        let expected = reference_sum(&a, &b);
+        assert_eq!(bmm_bin_bin_sum(&from_csr::<u8>(&a, 4), &from_csr::<u8>(&b, 4)), expected);
+        assert_eq!(bmm_bin_bin_sum(&from_csr::<u8>(&a, 8), &from_csr::<u8>(&b, 8)), expected);
+        assert_eq!(bmm_bin_bin_sum(&from_csr::<u16>(&a, 16), &from_csr::<u16>(&b, 16)), expected);
+        assert_eq!(bmm_bin_bin_sum(&from_csr::<u32>(&a, 32), &from_csr::<u32>(&b, 32)), expected);
+    }
+
+    #[test]
+    fn sum_handles_rectangular_tiling_edges() {
+        // Dimensions that are not multiples of the tile size.
+        for n in [5usize, 17, 33, 61] {
+            let a = sample(n, n as u64, 3);
+            let b = sample(n, n as u64 + 5, 3);
+            let expected = reference_sum(&a, &b);
+            assert_eq!(
+                bmm_bin_bin_sum(&from_csr::<u32>(&a, 32), &from_csr::<u32>(&b, 32)),
+                expected,
+                "n={n}"
+            );
+            assert_eq!(
+                bmm_bin_bin_sum(&from_csr::<u8>(&a, 4), &from_csr::<u8>(&b, 4)),
+                expected,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_sum_matches_reference() {
+        let a = sample(64, 21, 5);
+        let b = sample(64, 22, 5);
+        let mask = sample(64, 23, 6);
+        let expected = reference_masked_sum(&a, &b, &mask);
+        for dim in [4usize, 8] {
+            let got = bmm_bin_bin_sum_masked(
+                &from_csr::<u8>(&a, dim),
+                &from_csr::<u8>(&b, dim),
+                &from_csr::<u8>(&mask, dim),
+            );
+            assert_eq!(got, expected, "dim {dim}");
+        }
+        let got32 = bmm_bin_bin_sum_masked(
+            &from_csr::<u32>(&a, 32),
+            &from_csr::<u32>(&b, 32),
+            &from_csr::<u32>(&mask, 32),
+        );
+        assert_eq!(got32, expected);
+    }
+
+    #[test]
+    fn triangle_counting_formulation_counts_k4_triangles() {
+        // K4 has 4 triangles; count with L·L^T masked by L.
+        let n = 4;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    coo.push_edge(i, j).unwrap();
+                }
+            }
+        }
+        let adj = coo.to_binary_csr();
+        let l = adj.lower_triangle();
+        let lt = l.transpose();
+        let tri = bmm_bin_bin_sum_masked(
+            &from_csr::<u8>(&l, 4),
+            &from_csr::<u8>(&lt, 4),
+            &from_csr::<u8>(&l, 4),
+        );
+        assert_eq!(tri, 4);
+    }
+
+    #[test]
+    fn empty_operands_give_zero() {
+        let e = Csr::empty(16, 16);
+        let b = sample(16, 2, 2);
+        assert_eq!(bmm_bin_bin_sum(&from_csr::<u8>(&e, 8), &from_csr::<u8>(&b, 8)), 0);
+        assert_eq!(bmm_bin_bin_sum(&from_csr::<u8>(&b, 8), &from_csr::<u8>(&e, 8)), 0);
+        assert_eq!(
+            bmm_bin_bin_sum_masked(
+                &from_csr::<u8>(&b, 8),
+                &from_csr::<u8>(&b, 8),
+                &from_csr::<u8>(&e, 8)
+            ),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same tile size")]
+    fn mismatched_tile_sizes_panic() {
+        let a = sample(16, 2, 2);
+        let _ = bmm_bin_bin_sum(&from_csr::<u8>(&a, 4), &from_csr::<u8>(&a, 8));
+    }
+
+    #[test]
+    fn masked_sum_is_never_larger_than_full_sum() {
+        let a = sample(48, 31, 4);
+        let b = sample(48, 37, 4);
+        let mask = sample(48, 41, 8);
+        let full = bmm_bin_bin_sum(&from_csr::<u16>(&a, 16), &from_csr::<u16>(&b, 16));
+        let masked = bmm_bin_bin_sum_masked(
+            &from_csr::<u16>(&a, 16),
+            &from_csr::<u16>(&b, 16),
+            &from_csr::<u16>(&mask, 16),
+        );
+        assert!(masked <= full);
+    }
+}

@@ -1,0 +1,416 @@
+//! BMV — Binarized sparse Matrix × Vector kernels (Table II).
+//!
+//! The adjacency matrix is in B2SR; the vector comes in one of two layouts:
+//!
+//! * **binarized** (`bin` input): packed one tile-segment per word, produced
+//!   by [`pack_vector_bits`] / [`pack_vector_tilewise`] — word `t` holds the
+//!   `tile_dim` vector entries of tile-column `t` in its low bits;
+//! * **full-precision** (`full` input): a plain `f32` slice.
+//!
+//! Each kernel processes one tile-row per logical warp, with one lane per
+//! tile row inside the tile (Listing 1 of the paper): lane `r` loads bit-row
+//! `r` of each tile, ANDs it against the vector word of that tile-column, and
+//! accumulates with `popc`.  Rayon parallelises over tile-rows.
+
+use rayon::prelude::*;
+
+use bitgblas_bitops::BitWord;
+
+use crate::b2sr::B2sr;
+use crate::semiring::Semiring;
+
+/// Pack a boolean vector into tile-granular words: word `t` holds entries
+/// `t*tile_dim .. (t+1)*tile_dim`, bit `i` = entry `t*tile_dim + i`.
+pub fn pack_vector_bits<W: BitWord>(v: &[bool], tile_dim: usize) -> Vec<W> {
+    assert!(tile_dim as u32 <= W::BITS);
+    let n_words = v.len().div_ceil(tile_dim);
+    let mut words = vec![W::ZERO; n_words];
+    for (i, &b) in v.iter().enumerate() {
+        if b {
+            words[i / tile_dim] = words[i / tile_dim].with_bit((i % tile_dim) as u32);
+        }
+    }
+    words
+}
+
+/// Pack a dense `f32` vector into tile-granular words (bit set where the
+/// entry is nonzero) — the "binarize the multiplier vector" step of the
+/// paper's BMV schemes.
+pub fn pack_vector_tilewise<W: BitWord>(v: &[f32], tile_dim: usize) -> Vec<W> {
+    assert!(tile_dim as u32 <= W::BITS);
+    let n_words = v.len().div_ceil(tile_dim);
+    let mut words = vec![W::ZERO; n_words];
+    for (i, &x) in v.iter().enumerate() {
+        if x != 0.0 {
+            words[i / tile_dim] = words[i / tile_dim].with_bit((i % tile_dim) as u32);
+        }
+    }
+    words
+}
+
+/// Unpack tile-granular words back into `len` booleans.
+pub fn unpack_vector_bits<W: BitWord>(words: &[W], tile_dim: usize, len: usize) -> Vec<bool> {
+    (0..len)
+        .map(|i| {
+            let w = i / tile_dim;
+            w < words.len() && words[w].bit((i % tile_dim) as u32)
+        })
+        .collect()
+}
+
+/// `bmv_bin_bin_bin()`: binarized matrix × binarized vector → binarized
+/// vector, over the Boolean semiring.
+///
+/// `x` must hold one word per tile-column ([`pack_vector_bits`]); the result
+/// holds one word per tile-row, bit `r` set iff output row `tr*dim + r` is
+/// reachable.  This is the minimal-footprint scheme used by BFS.
+pub fn bmv_bin_bin_bin<W: BitWord>(a: &B2sr<W>, x: &[W]) -> Vec<W> {
+    assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
+    let dim = a.tile_dim();
+    let mut y = vec![W::ZERO; a.n_tile_rows()];
+    y.par_iter_mut().enumerate().for_each(|(tr, out)| {
+        let mut acc = W::ZERO;
+        for idx in a.tile_row_range(tr) {
+            let tc = a.tile_colind()[idx];
+            let xw = x[tc];
+            let words = a.tile_words(idx);
+            // Lane r: does row r of this tile reach any active column?
+            for (r, &aw) in words.iter().enumerate().take(dim) {
+                if (aw & xw) != W::ZERO {
+                    acc = acc.with_bit(r as u32);
+                }
+            }
+        }
+        *out = acc;
+    });
+    y
+}
+
+/// `bmv_bin_bin_bin_masked()`: as [`bmv_bin_bin_bin`] but with the output
+/// ANDed against the *negation* of `mask` right before the store — the
+/// visited-vertex filter of BFS (§V).  `mask` is packed per tile-row like the
+/// output.
+pub fn bmv_bin_bin_bin_masked<W: BitWord>(a: &B2sr<W>, x: &[W], mask: &[W]) -> Vec<W> {
+    assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
+    assert!(mask.len() >= a.n_tile_rows(), "mask has too few tile words");
+    let dim = a.tile_dim();
+    let mut y = vec![W::ZERO; a.n_tile_rows()];
+    y.par_iter_mut().enumerate().for_each(|(tr, out)| {
+        let mut acc = W::ZERO;
+        for idx in a.tile_row_range(tr) {
+            let tc = a.tile_colind()[idx];
+            let xw = x[tc];
+            let words = a.tile_words(idx);
+            for (r, &aw) in words.iter().enumerate().take(dim) {
+                if (aw & xw) != W::ZERO {
+                    acc = acc.with_bit(r as u32);
+                }
+            }
+        }
+        // Bitmask applied right before the output store (no early exit, to
+        // avoid the warp divergence the paper describes).
+        *out = acc & !mask[tr];
+    });
+    y
+}
+
+/// `bmv_bin_bin_full()`: binarized matrix × binarized vector → full-precision
+/// vector.  Output row `i` counts how many active columns row `i` reaches
+/// (`__popc(A & b)` accumulated per tile), i.e. the arithmetic semiring over
+/// binary operands.
+pub fn bmv_bin_bin_full<W: BitWord>(a: &B2sr<W>, x: &[W]) -> Vec<f32> {
+    assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
+    let dim = a.tile_dim();
+    let padded = a.n_tile_rows() * dim;
+    let mut y = vec![0.0f32; padded];
+    y.par_chunks_mut(dim).enumerate().for_each(|(tr, out)| {
+        for idx in a.tile_row_range(tr) {
+            let tc = a.tile_colind()[idx];
+            let xw = x[tc];
+            let words = a.tile_words(idx);
+            for (r, &aw) in words.iter().enumerate().take(dim) {
+                out[r] += (aw & xw).popcount() as f32;
+            }
+        }
+    });
+    y.truncate(a.nrows());
+    y
+}
+
+/// `bmv_bin_bin_full_masked()`: as [`bmv_bin_bin_full`] but output rows whose
+/// mask bit is set are forced to `0.0`.
+pub fn bmv_bin_bin_full_masked<W: BitWord>(a: &B2sr<W>, x: &[W], mask: &[W]) -> Vec<f32> {
+    assert!(mask.len() >= a.n_tile_rows(), "mask has too few tile words");
+    let dim = a.tile_dim();
+    let mut y = bmv_bin_bin_full(a, x);
+    // Apply the mask tile-row by tile-row (bit r of mask[tr] covers row tr*dim+r).
+    y.par_chunks_mut(dim).enumerate().for_each(|(tr, out)| {
+        let m = mask[tr];
+        for (r, v) in out.iter_mut().enumerate() {
+            if m.bit(r as u32) {
+                *v = 0.0;
+            }
+        }
+    });
+    y
+}
+
+/// `bmv_bin_full_full()`: binarized matrix × full-precision vector →
+/// full-precision vector, generic over the semiring (Table IV).
+///
+/// * `Arithmetic` — `y[i] = Σ_{j : A[i][j]=1} x[j]` (PageRank, with the
+///   out-degree division folded into `x` by the caller);
+/// * `MinPlus(w)` — `y[i] = min_{j : A[i][j]=1} (x[j] + w)`; absent edges act
+///   as `+∞` exactly as the paper's SSSP relaxation treats the 0s of the
+///   adjacency matrix;
+/// * `Boolean` / `MaxTimes` analogous.
+pub fn bmv_bin_full_full<W: BitWord>(a: &B2sr<W>, x: &[f32], semiring: Semiring) -> Vec<f32> {
+    assert!(x.len() >= a.ncols(), "vector shorter than matrix columns");
+    let dim = a.tile_dim();
+    let padded = a.n_tile_rows() * dim;
+    let mut y = vec![semiring.identity(); padded];
+    y.par_chunks_mut(dim).enumerate().for_each(|(tr, out)| {
+        for idx in a.tile_row_range(tr) {
+            let tc = a.tile_colind()[idx];
+            let base = tc * dim;
+            let words = a.tile_words(idx);
+            for (r, &aw) in words.iter().enumerate().take(dim) {
+                if aw == W::ZERO {
+                    continue;
+                }
+                let mut acc = out[r];
+                for dc in aw.iter_ones() {
+                    let j = base + dc as usize;
+                    if j < x.len() {
+                        acc = semiring.reduce(acc, semiring.combine(x[j]));
+                    }
+                }
+                out[r] = acc;
+            }
+        }
+    });
+    y.truncate(a.nrows());
+    y
+}
+
+/// `bmv_bin_full_full_masked()`: as [`bmv_bin_full_full`] but rows whose mask
+/// entry is `true` produce the semiring identity (they are filtered out).
+pub fn bmv_bin_full_full_masked<W: BitWord>(
+    a: &B2sr<W>,
+    x: &[f32],
+    mask: &[bool],
+    semiring: Semiring,
+) -> Vec<f32> {
+    assert!(mask.len() >= a.nrows(), "mask shorter than matrix rows");
+    let mut y = bmv_bin_full_full(a, x, semiring);
+    y.par_iter_mut().enumerate().for_each(|(i, v)| {
+        if mask[i] {
+            *v = semiring.identity();
+        }
+    });
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::b2sr::convert::from_csr;
+    use bitgblas_sparse::{ops, Coo, Csr, DenseVec};
+
+    fn sample(n: usize, seed: u64) -> Csr {
+        let mut coo = Coo::new(n, n);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..n * 3 {
+            let r = (next() % n as u64) as usize;
+            let c = (next() % n as u64) as usize;
+            coo.push_edge(r, c).unwrap();
+        }
+        coo.to_binary_csr()
+    }
+
+    fn sample_x(n: usize) -> Vec<f32> {
+        (0..n).map(|i| if i % 3 == 0 { (i % 7) as f32 + 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Reference boolean reachability: y[i] = OR_j A[i][j] & (x[j] != 0).
+    fn reference_bool(a: &Csr, x: &[f32]) -> Vec<bool> {
+        (0..a.nrows())
+            .map(|r| a.row(r).0.iter().any(|&c| x[c] != 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn bin_bin_bin_matches_reference_all_variants() {
+        let a = sample(97, 3);
+        let x = sample_x(97);
+        let expected = reference_bool(&a, &x);
+        macro_rules! check {
+            ($w:ty, $dim:expr) => {{
+                let b = from_csr::<$w>(&a, $dim);
+                let xp = pack_vector_tilewise::<$w>(&x, $dim);
+                let y = bmv_bin_bin_bin(&b, &xp);
+                let yb = unpack_vector_bits(&y, $dim, a.nrows());
+                assert_eq!(yb, expected, "dim {}", $dim);
+            }};
+        }
+        check!(u8, 4);
+        check!(u8, 8);
+        check!(u16, 16);
+        check!(u32, 32);
+    }
+
+    #[test]
+    fn bin_bin_full_counts_reachable_columns() {
+        let a = sample(64, 5);
+        let x = sample_x(64);
+        let expected: Vec<f32> = (0..64)
+            .map(|r| a.row(r).0.iter().filter(|&&c| x[c] != 0.0).count() as f32)
+            .collect();
+        for dim in [4usize, 8] {
+            let b = from_csr::<u8>(&a, dim);
+            let xp = pack_vector_tilewise::<u8>(&x, dim);
+            assert_eq!(bmv_bin_bin_full(&b, &xp), expected, "dim {dim}");
+        }
+        let b = from_csr::<u32>(&a, 32);
+        let xp = pack_vector_tilewise::<u32>(&x, 32);
+        assert_eq!(bmv_bin_bin_full(&b, &xp), expected);
+    }
+
+    #[test]
+    fn bin_full_full_arithmetic_matches_float_spmv() {
+        let a = sample(80, 7);
+        let x = sample_x(80);
+        let reference = ops::spmv(&a, &DenseVec::from_vec(x.clone())).unwrap();
+        for dim in [4usize, 8] {
+            let b = from_csr::<u8>(&a, dim);
+            let y = bmv_bin_full_full(&b, &x, Semiring::Arithmetic);
+            for (i, (&got, &want)) in y.iter().zip(reference.as_slice()).enumerate() {
+                assert!((got - want).abs() < 1e-4, "row {i}: {got} vs {want} (dim {dim})");
+            }
+        }
+        let b = from_csr::<u16>(&a, 16);
+        let y = bmv_bin_full_full(&b, &x, Semiring::Arithmetic);
+        for (&got, &want) in y.iter().zip(reference.as_slice()) {
+            assert!((got - want).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bin_full_full_minplus_matches_semiring_spmv() {
+        let a = sample(60, 11);
+        let mut x = vec![f32::INFINITY; 60];
+        x[0] = 0.0;
+        x[17] = 2.0;
+        x[41] = 5.0;
+        let reference =
+            ops::spmv_semiring(&a, &DenseVec::from_vec(x.clone()), ops::SemiringKind::MinPlus)
+                .unwrap();
+        let b = from_csr::<u32>(&a, 32);
+        let y = bmv_bin_full_full(&b, &x, Semiring::MinPlus(1.0));
+        assert_eq!(y, reference.as_slice(), "binary weights are 1.0 so +1 relaxation matches");
+    }
+
+    #[test]
+    fn bin_full_full_maxtimes_and_boolean() {
+        let a = sample(48, 13);
+        let x: Vec<f32> = (0..48).map(|i| (i % 5) as f32).collect();
+        let b = from_csr::<u8>(&a, 8);
+        let ymax = bmv_bin_full_full(&b, &x, Semiring::MaxTimes(1.0));
+        let reference =
+            ops::spmv_semiring(&a, &DenseVec::from_vec(x.clone()), ops::SemiringKind::MaxTimes)
+                .unwrap();
+        assert_eq!(ymax, reference.as_slice());
+
+        let ybool = bmv_bin_full_full(&b, &x, Semiring::Boolean);
+        let refbool = reference_bool(&a, &x);
+        for (got, want) in ybool.iter().zip(refbool) {
+            assert_eq!(*got != 0.0, want);
+        }
+    }
+
+    #[test]
+    fn masked_bin_bin_bin_filters_visited() {
+        let a = sample(40, 17);
+        let x = sample_x(40);
+        let dim = 8usize;
+        let b = from_csr::<u8>(&a, dim);
+        let xp = pack_vector_tilewise::<u8>(&x, dim);
+        // Mask out every even row.
+        let visited: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let mask = pack_vector_bits::<u8>(&visited, dim);
+        let y = bmv_bin_bin_bin_masked(&b, &xp, &mask);
+        let yb = unpack_vector_bits(&y, dim, 40);
+        let unmasked = unpack_vector_bits(&bmv_bin_bin_bin(&b, &xp), dim, 40);
+        for i in 0..40 {
+            if visited[i] {
+                assert!(!yb[i], "masked row {i} must be filtered");
+            } else {
+                assert_eq!(yb[i], unmasked[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_bin_bin_full_zeroes_masked_rows() {
+        let a = sample(40, 19);
+        let x = sample_x(40);
+        let dim = 4usize;
+        let b = from_csr::<u8>(&a, dim);
+        let xp = pack_vector_tilewise::<u8>(&x, dim);
+        let visited: Vec<bool> = (0..40).map(|i| i % 3 == 0).collect();
+        let mask = pack_vector_bits::<u8>(&visited, dim);
+        let y = bmv_bin_bin_full_masked(&b, &xp, &mask);
+        let unmasked = bmv_bin_bin_full(&b, &xp);
+        for i in 0..40 {
+            if visited[i] {
+                assert_eq!(y[i], 0.0);
+            } else {
+                assert_eq!(y[i], unmasked[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_bin_full_full_produces_identity_on_masked_rows() {
+        let a = sample(32, 23);
+        let mut x = vec![f32::INFINITY; 32];
+        x[3] = 0.0;
+        let b = from_csr::<u32>(&a, 32);
+        let visited: Vec<bool> = (0..32).map(|i| i < 16).collect();
+        let y = bmv_bin_full_full_masked(&b, &x, &visited, Semiring::MinPlus(1.0));
+        for (i, &v) in y.iter().enumerate() {
+            if visited[i] {
+                assert_eq!(v, f32::INFINITY);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_packing_roundtrip() {
+        let v: Vec<bool> = (0..37).map(|i| i % 4 == 0).collect();
+        for dim in [4usize, 8, 16, 32] {
+            let packed = pack_vector_bits::<u32>(&v, dim);
+            assert_eq!(unpack_vector_bits(&packed, dim, v.len()), v, "dim {dim}");
+        }
+        let f: Vec<f32> = v.iter().map(|&b| if b { 2.5 } else { 0.0 }).collect();
+        let packed_f = pack_vector_tilewise::<u16>(&f, 16);
+        assert_eq!(unpack_vector_bits(&packed_f, 16, v.len()), v);
+    }
+
+    #[test]
+    fn empty_matrix_yields_identity_outputs() {
+        let a = Csr::empty(20, 20);
+        let b = from_csr::<u8>(&a, 4);
+        let xp = pack_vector_tilewise::<u8>(&vec![1.0; 20], 4);
+        assert!(bmv_bin_bin_bin(&b, &xp).iter().all(|&w| w == 0));
+        assert!(bmv_bin_bin_full(&b, &xp).iter().all(|&v| v == 0.0));
+        let y = bmv_bin_full_full(&b, &vec![1.0; 20], Semiring::MinPlus(1.0));
+        assert!(y.iter().all(|&v| v == f32::INFINITY));
+    }
+}

@@ -1,0 +1,26 @@
+//! Bit-level BLAS kernels over B2SR (RQ-2 of the paper).
+//!
+//! * [`bmv`] — Binarized Matrix × Vector: the six schemes of Table II
+//!   (`bmv_bin_bin_bin`, `bmv_bin_bin_full`, `bmv_bin_full_full` and their
+//!   masked variants), covering the Boolean, arithmetic and tropical
+//!   semirings of Table IV.
+//! * [`bmm`] — Binarized Matrix × Matrix: the two schemes of Table III
+//!   (`bmm_bin_bin_sum` and `bmm_bin_bin_sum_masked`), which reduce the
+//!   product to a full-precision scalar as required by Triangle Counting.
+//!
+//! Each kernel is structured exactly like the paper's CUDA listings: the
+//! tile-rows of the B2SR matrix are the unit of work (one warp per tile-row),
+//! the inner loop walks the non-empty tiles of that tile-row, and the
+//! per-element work is a bitwise AND followed by a population count.  The
+//! warp scheduling of the GPU is replaced by Rayon parallelism over
+//! tile-rows; everything inside a tile-row is deterministic.
+
+pub mod bmm;
+pub mod bmv;
+
+pub use bmm::{bmm_bin_bin_sum, bmm_bin_bin_sum_masked};
+pub use bmv::{
+    bmv_bin_bin_bin, bmv_bin_bin_bin_masked, bmv_bin_bin_full, bmv_bin_bin_full_masked,
+    bmv_bin_full_full, bmv_bin_full_full_masked, pack_vector_bits, pack_vector_tilewise,
+    unpack_vector_bits,
+};

@@ -1,0 +1,42 @@
+//! # bitgblas-core
+//!
+//! The core of the Bit-GraphBLAS reproduction — the paper's primary
+//! contribution, reimplemented in Rust on top of the software warp model of
+//! `bitgblas-bitops` and the sparse substrate of `bitgblas-sparse`.
+//!
+//! The crate is organised around the paper's three research questions:
+//!
+//! * **RQ-1 (storage format)** — [`b2sr`] implements the Bit-Block Compressed
+//!   Sparse Row format in its four variants (B2SR-4/8/16/32): a CSR-like upper
+//!   level over fixed-size tiles (`TileRowPtr`, `TileColInd`) and a dense
+//!   bit-packed lower level (`BitTiles`), together with the CSR↔B2SR
+//!   conversions, transposition, storage statistics (compression ratio,
+//!   non-empty-tile ratio, nonzero occupancy) and the sampling-profile
+//!   tile-size selector of Algorithm 1.
+//!
+//! * **RQ-2 (computation)** — [`kernels`] implements the BMV and BMM schemes of
+//!   Tables II and III: `bmv_bin_bin_bin`, `bmv_bin_bin_full`,
+//!   `bmv_bin_full_full` (plus masked variants) and `bmm_bin_bin_sum` (plus the
+//!   masked variant used by Triangle Counting), each structured as
+//!   one-warp-per-tile-row over the software warp model and parallelised
+//!   across tile-rows with Rayon.
+//!
+//! * **Graph-algorithm support** — [`semiring`] provides the semiring domains
+//!   of Table IV (Boolean, arithmetic, tropical min-plus, tropical max-times)
+//!   and [`grb`] exposes a small GraphBLAS-style object API (`Matrix`,
+//!   `Vector`, `mxv`/`vxm`/`mxm_reduce`, masks and descriptors) over two
+//!   interchangeable backends: the B2SR bit backend (this paper) and the
+//!   float-CSR baseline (the GraphBLAST stand-in), which is what
+//!   `bitgblas-algorithms` builds BFS/SSSP/PR/CC/TC on.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod b2sr;
+pub mod grb;
+pub mod kernels;
+pub mod semiring;
+
+pub use b2sr::{B2sr, B2srMatrix, TileSize};
+pub use grb::{Backend, Descriptor, Matrix, Vector};
+pub use semiring::Semiring;

@@ -1,0 +1,158 @@
+//! GraphBLAS semirings — Table IV of the paper.
+//!
+//! Matrix-centric graph computing models traversal as matrix operations over
+//! a semiring `(⊕, ⊗, identity)`.  Because Bit-GraphBLAS keeps the adjacency
+//! matrix binary, the multiplicative operand coming from the matrix is always
+//! "edge present / absent"; the semiring therefore only needs to describe how
+//! a present edge combines with the vector operand (`⊗`) and how the partial
+//! products reduce (`⊕`).
+//!
+//! | Semiring      | Domain          | Algorithms       | `⊗(x)`      | `⊕`   |
+//! |---------------|-----------------|------------------|-------------|-------|
+//! | Boolean       | {0, 1}          | BFS, MIS, GC     | `x ≠ 0`     | OR    |
+//! | Arithmetic    | ℝ               | PR, TC, LGC      | `x`         | +     |
+//! | Min-plus      | ℝ ∪ {+∞}        | SSSP, CC         | `x + w`     | min   |
+//! | Max-times     | ℝ               | MIS, GC          | `x · w`     | max   |
+
+/// A semiring over `f32` as used by the BMV/BMM kernels and the GrB ops.
+///
+/// `MinPlus` carries the uniform edge weight applied to every present edge
+/// (1.0 for hop-count SSSP on an unweighted graph, 0.0 for FastSV-style
+/// minimum propagation).  `MaxTimes` carries the uniform edge factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Semiring {
+    /// Boolean (OR, AND) — BFS and other reachability-style algorithms.
+    Boolean,
+    /// Arithmetic (+, ×) — PageRank, Triangle Counting.
+    Arithmetic,
+    /// Tropical min-plus (min, +) with the given uniform edge weight.
+    MinPlus(f32),
+    /// Tropical max-times (max, ×) with the given uniform edge factor.
+    MaxTimes(f32),
+}
+
+impl Semiring {
+    /// The identity element of the additive monoid (the value of an "empty"
+    /// output entry).
+    #[inline]
+    pub fn identity(&self) -> f32 {
+        match self {
+            Semiring::Boolean => 0.0,
+            Semiring::Arithmetic => 0.0,
+            Semiring::MinPlus(_) => f32::INFINITY,
+            Semiring::MaxTimes(_) => f32::NEG_INFINITY,
+        }
+    }
+
+    /// The multiplicative step for a *present* edge: combine the vector value
+    /// `x` with the (implicit, binary) matrix entry.
+    #[inline]
+    pub fn combine(&self, x: f32) -> f32 {
+        match self {
+            Semiring::Boolean => {
+                if x != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Semiring::Arithmetic => x,
+            Semiring::MinPlus(w) => x + w,
+            Semiring::MaxTimes(w) => x * w,
+        }
+    }
+
+    /// The additive reduction `acc ⊕ v`.
+    #[inline]
+    pub fn reduce(&self, acc: f32, v: f32) -> f32 {
+        match self {
+            Semiring::Boolean => {
+                if acc != 0.0 || v != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Semiring::Arithmetic => acc + v,
+            Semiring::MinPlus(_) => acc.min(v),
+            Semiring::MaxTimes(_) => acc.max(v),
+        }
+    }
+
+    /// Reduce a full slice starting from the identity.
+    #[inline]
+    pub fn reduce_slice(&self, xs: &[f32]) -> f32 {
+        xs.iter().fold(self.identity(), |acc, &v| self.reduce(acc, v))
+    }
+
+    /// True when an output value equals the semiring's "no contribution"
+    /// value — used to decide whether a vertex was reached.
+    #[inline]
+    pub fn is_identity(&self, v: f32) -> bool {
+        match self {
+            Semiring::Boolean | Semiring::Arithmetic => v == 0.0,
+            Semiring::MinPlus(_) => v == f32::INFINITY,
+            Semiring::MaxTimes(_) => v == f32::NEG_INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(Semiring::Boolean.identity(), 0.0);
+        assert_eq!(Semiring::Arithmetic.identity(), 0.0);
+        assert_eq!(Semiring::MinPlus(1.0).identity(), f32::INFINITY);
+        assert_eq!(Semiring::MaxTimes(1.0).identity(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn boolean_semiring_is_or_and() {
+        let s = Semiring::Boolean;
+        assert_eq!(s.combine(5.0), 1.0);
+        assert_eq!(s.combine(0.0), 0.0);
+        assert_eq!(s.reduce(0.0, 1.0), 1.0);
+        assert_eq!(s.reduce(0.0, 0.0), 0.0);
+        assert_eq!(s.reduce_slice(&[0.0, 0.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn arithmetic_semiring_sums_products() {
+        let s = Semiring::Arithmetic;
+        assert_eq!(s.combine(2.5), 2.5);
+        assert_eq!(s.reduce(1.0, 2.0), 3.0);
+        assert_eq!(s.reduce_slice(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn minplus_relaxation() {
+        let s = Semiring::MinPlus(1.0);
+        assert_eq!(s.combine(3.0), 4.0);
+        assert_eq!(s.reduce(10.0, 4.0), 4.0);
+        assert_eq!(s.reduce(f32::INFINITY, 7.0), 7.0);
+        assert!(s.is_identity(f32::INFINITY));
+        assert!(!s.is_identity(0.0));
+        // Zero-weight variant used by FastSV minimum propagation.
+        let s0 = Semiring::MinPlus(0.0);
+        assert_eq!(s0.combine(3.0), 3.0);
+    }
+
+    #[test]
+    fn maxtimes() {
+        let s = Semiring::MaxTimes(2.0);
+        assert_eq!(s.combine(3.0), 6.0);
+        assert_eq!(s.reduce(1.0, 6.0), 6.0);
+        assert_eq!(s.reduce_slice(&[1.0, 9.0, 4.0]), 9.0);
+        assert!(s.is_identity(f32::NEG_INFINITY));
+    }
+
+    #[test]
+    fn reduce_slice_of_empty_is_identity() {
+        for s in [Semiring::Boolean, Semiring::Arithmetic, Semiring::MinPlus(1.0), Semiring::MaxTimes(1.0)] {
+            assert_eq!(s.reduce_slice(&[]), s.identity());
+        }
+    }
+}

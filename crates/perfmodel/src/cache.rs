@@ -1,0 +1,182 @@
+//! A small set-associative cache simulator.
+//!
+//! Used to estimate L1 hit rates of the vector-gather streams of the SpMV /
+//! BMV kernels: the simulator is fed the sequence of byte addresses a kernel
+//! touches and reports hits and misses at cache-line granularity.  It models
+//! a single SM's L1 (the paper's §VI-C numbers are per-kernel aggregate hit
+//! rates), with LRU replacement within each set.
+
+/// A set-associative cache with LRU replacement, tracking only tags.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    line_bytes: usize,
+    n_sets: usize,
+    ways: usize,
+    /// `sets[s]` holds up to `ways` line tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// Build a cache of `capacity_bytes` with the given line size and
+    /// associativity.  Capacity is rounded down to a whole number of sets.
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero or the capacity is smaller than one
+    /// way of lines.
+    pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Self {
+        assert!(capacity_bytes > 0 && line_bytes > 0 && ways > 0, "cache parameters must be positive");
+        let n_lines = capacity_bytes / line_bytes;
+        assert!(n_lines >= ways, "cache must hold at least one set of {ways} ways");
+        let n_sets = (n_lines / ways).max(1);
+        CacheSim {
+            line_bytes,
+            n_sets,
+            ways,
+            sets: vec![Vec::with_capacity(ways); n_sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A cache shaped like one SM's L1 (128-byte lines, 4-way).
+    pub fn l1(capacity_kb: usize) -> Self {
+        CacheSim::new(capacity_kb * 1024, 128, 4)
+    }
+
+    /// Access one byte address; returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes as u64;
+        let set_idx = (line % self.n_sets as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            // Move to MRU position.
+            let tag = set.remove(pos);
+            set.push(tag);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0); // evict LRU
+            }
+            set.push(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Access a contiguous byte range, one access per touched cache line.
+    pub fn access_range(&mut self, addr: u64, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let first = addr / self.line_bytes as u64;
+        let last = (addr + bytes as u64 - 1) / self.line_bytes as u64;
+        for line in first..=last {
+            self.access(line * self.line_bytes as u64);
+        }
+    }
+
+    /// Number of hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when nothing was accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Reset the statistics but keep the cache contents.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63), "same line");
+        assert!(!c.access(64), "next line misses first");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 2 ways, 1 set: capacity 2 lines of 64B.
+        let mut c = CacheSim::new(128, 64, 2);
+        c.access(0); // line 0
+        c.access(64); // line 1
+        c.access(128); // line 2 evicts line 0
+        assert!(!c.access(0), "line 0 was evicted");
+        assert!(c.access(128), "line 2 still resident");
+    }
+
+    #[test]
+    fn streaming_larger_than_cache_never_hits() {
+        let mut c = CacheSim::l1(16); // 16 KiB
+        for i in 0..10_000u64 {
+            c.access(i * 128);
+        }
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn small_working_set_hits_after_warmup() {
+        let mut c = CacheSim::l1(48);
+        // 4 KiB working set accessed repeatedly fits easily.
+        for _round in 0..10 {
+            for i in 0..32u64 {
+                c.access(i * 128);
+            }
+        }
+        assert!(c.hit_rate() > 0.85, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn access_range_touches_every_line() {
+        let mut c = CacheSim::new(4096, 128, 4);
+        c.access_range(0, 512); // 4 lines
+        assert_eq!(c.misses(), 4);
+        c.access_range(0, 512);
+        assert_eq!(c.hits(), 4);
+        c.access_range(100, 0);
+        assert_eq!(c.hits() + c.misses(), 8);
+    }
+
+    #[test]
+    fn reset_keeps_contents() {
+        let mut c = CacheSim::new(1024, 128, 2);
+        c.access(0);
+        c.reset_stats();
+        assert_eq!(c.misses(), 0);
+        assert!(c.access(0), "content survived the stats reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_capacity_panics() {
+        let _ = CacheSim::new(0, 64, 2);
+    }
+}

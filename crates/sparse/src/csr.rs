@@ -1,0 +1,591 @@
+//! Compressed Sparse Row — the workhorse format and the baseline's storage.
+//!
+//! The paper's baselines (cuSPARSE `csrmv`/`csrgemm`, GraphBLAST) all operate
+//! on 32-bit-float CSR; B2SR is constructed *from* CSR.  This module provides
+//! a complete CSR implementation: construction from COO, structural
+//! validation, row access, transpose (`csr2csc` analogue), binarization,
+//! dense conversion, and helpers used by the tile-extraction step of the
+//! CSR→B2SR converter.
+
+use crate::coo::Coo;
+use crate::csc::Csc;
+use crate::error::SparseError;
+
+/// A sparse matrix in Compressed Sparse Row format with `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colind: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Create an empty `nrows × ncols` matrix (no stored entries).
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Csr {
+            nrows,
+            ncols,
+            rowptr: vec![0; nrows + 1],
+            colind: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from raw CSR arrays, validating the structure.
+    ///
+    /// Requirements checked: `rowptr.len() == nrows + 1`, `rowptr` monotone
+    /// non-decreasing starting at 0, `rowptr[nrows] == colind.len() ==
+    /// values.len()`, all column indices in range, and column indices sorted
+    /// strictly increasing within each row.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colind: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Result<Self, SparseError> {
+        if rowptr.len() != nrows + 1 {
+            return Err(SparseError::MalformedStructure(format!(
+                "rowptr has length {}, expected {}",
+                rowptr.len(),
+                nrows + 1
+            )));
+        }
+        if rowptr[0] != 0 {
+            return Err(SparseError::MalformedStructure("rowptr[0] must be 0".into()));
+        }
+        if colind.len() != values.len() {
+            return Err(SparseError::MalformedStructure(format!(
+                "colind ({}) and values ({}) have different lengths",
+                colind.len(),
+                values.len()
+            )));
+        }
+        if *rowptr.last().unwrap() != colind.len() {
+            return Err(SparseError::MalformedStructure(format!(
+                "rowptr[nrows] = {} but there are {} stored entries",
+                rowptr.last().unwrap(),
+                colind.len()
+            )));
+        }
+        for r in 0..nrows {
+            if rowptr[r] > rowptr[r + 1] {
+                return Err(SparseError::MalformedStructure(format!(
+                    "rowptr is not monotone at row {r}"
+                )));
+            }
+            let row = &colind[rowptr[r]..rowptr[r + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::MalformedStructure(format!(
+                        "column indices not strictly increasing in row {r}"
+                    )));
+                }
+            }
+            if let Some(&c) = row.last() {
+                if c >= ncols {
+                    return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+                }
+            }
+        }
+        Ok(Csr { nrows, ncols, rowptr, colind, values })
+    }
+
+    /// Build from a COO matrix, summing duplicate entries and sorting column
+    /// indices within each row.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        let (rows, cols, vals) = coo.raw();
+
+        // Counting sort by row.
+        let mut rowptr = vec![0usize; nrows + 1];
+        for &r in rows {
+            rowptr[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut next = rowptr.clone();
+        let nnz = rows.len();
+        let mut colind = vec![0usize; nnz];
+        let mut values = vec![0f32; nnz];
+        for i in 0..nnz {
+            let slot = next[rows[i]];
+            colind[slot] = cols[i];
+            values[slot] = vals[i];
+            next[rows[i]] += 1;
+        }
+
+        // Sort within each row and merge duplicates.
+        let mut out_colind = Vec::with_capacity(nnz);
+        let mut out_values = Vec::with_capacity(nnz);
+        let mut out_rowptr = vec![0usize; nrows + 1];
+        let mut scratch: Vec<(usize, f32)> = Vec::new();
+        for r in 0..nrows {
+            scratch.clear();
+            scratch.extend(
+                colind[rowptr[r]..rowptr[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(values[rowptr[r]..rowptr[r + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                out_colind.push(c);
+                out_values.push(v);
+                i = j;
+            }
+            out_rowptr[r + 1] = out_colind.len();
+        }
+
+        Csr { nrows, ncols, rowptr: out_rowptr, colind: out_colind, values: out_values }
+    }
+
+    /// Build a dense matrix (row-major `nrows × ncols` slice) into CSR,
+    /// storing every nonzero element.
+    pub fn from_dense(dense: &[f32], nrows: usize, ncols: usize) -> Self {
+        assert_eq!(dense.len(), nrows * ncols);
+        let mut rowptr = vec![0usize; nrows + 1];
+        let mut colind = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..nrows {
+            for c in 0..ncols {
+                let v = dense[r * ncols + c];
+                if v != 0.0 {
+                    colind.push(c);
+                    values.push(v);
+                }
+            }
+            rowptr[r + 1] = colind.len();
+        }
+        Csr { nrows, ncols, rowptr, colind, values }
+    }
+
+    /// Identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            nrows: n,
+            ncols: n,
+            rowptr: (0..=n).collect(),
+            colind: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.colind.len()
+    }
+
+    /// Nonzero density `nnz / (nrows * ncols)`, the x-axis of Figures 6 and 7.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+    }
+
+    /// The row-pointer array (`nrows + 1` entries).
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// The column-index array (`nnz` entries).
+    pub fn colind(&self) -> &[usize] {
+        &self.colind
+    }
+
+    /// The value array (`nnz` entries).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable access to the values (structure is immutable).
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Column indices and values of row `r`.
+    pub fn row(&self, r: usize) -> (&[usize], &[f32]) {
+        let range = self.rowptr[r]..self.rowptr[r + 1];
+        (&self.colind[range.clone()], &self.values[range])
+    }
+
+    /// Number of stored entries in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.rowptr[r + 1] - self.rowptr[r]
+    }
+
+    /// Value at `(r, c)` if stored.
+    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
+        let (cols, vals) = self.row(r);
+        cols.binary_search(&c).ok().map(|i| vals[i])
+    }
+
+    /// Iterate over all stored entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Out-degree of every row (used by PageRank's column-stochastic scaling).
+    pub fn out_degrees(&self) -> Vec<usize> {
+        (0..self.nrows).map(|r| self.row_nnz(r)).collect()
+    }
+
+    /// Storage footprint in bytes of the CSR arrays, assuming 4-byte integers
+    /// for `rowptr`/`colind` and 4-byte floats — the "CSR size" denominator of
+    /// the paper's compression ratio.
+    pub fn storage_bytes(&self) -> usize {
+        4 * (self.rowptr.len() + self.colind.len() + self.values.len())
+    }
+
+    /// A copy with every stored value replaced by `1.0`, dropping explicit
+    /// zeros: the binary adjacency-matrix view.
+    pub fn binarized(&self) -> Csr {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        let mut colind = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if v != 0.0 {
+                    colind.push(c);
+                    values.push(1.0);
+                }
+            }
+            rowptr[r + 1] = colind.len();
+        }
+        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colind, values }
+    }
+
+    /// True if every stored value equals `1.0` (a homogeneous / binary graph).
+    pub fn is_binary(&self) -> bool {
+        self.values.iter().all(|&v| v == 1.0)
+    }
+
+    /// Transpose, producing a CSC view of the same data — equivalent to the
+    /// paper's use of `cusparseScsr2csc()`.
+    pub fn to_csc(&self) -> Csc {
+        Csc::from_csr(self)
+    }
+
+    /// Transpose into a new CSR matrix (`A^T` stored row-major).
+    pub fn transpose(&self) -> Csr {
+        let mut rowptr = vec![0usize; self.ncols + 1];
+        for &c in &self.colind {
+            rowptr[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut next = rowptr.clone();
+        let mut colind = vec![0usize; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let slot = next[c];
+                colind[slot] = r;
+                values[slot] = v;
+                next[c] += 1;
+            }
+        }
+        Csr { nrows: self.ncols, ncols: self.nrows, rowptr, colind, values }
+    }
+
+    /// Strictly lower-triangular part (`r > c`), used by Triangle Counting.
+    pub fn lower_triangle(&self) -> Csr {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        let mut colind = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c < r {
+                    colind.push(c);
+                    values.push(v);
+                }
+            }
+            rowptr[r + 1] = colind.len();
+        }
+        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colind, values }
+    }
+
+    /// Upper-triangular part (`c > r`).
+    pub fn upper_triangle(&self) -> Csr {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        let mut colind = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c > r {
+                    colind.push(c);
+                    values.push(v);
+                }
+            }
+            rowptr[r + 1] = colind.len();
+        }
+        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colind, values }
+    }
+
+    /// A copy without diagonal entries.
+    pub fn without_diagonal(&self) -> Csr {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        let mut colind = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c != r {
+                    colind.push(c);
+                    values.push(v);
+                }
+            }
+            rowptr[r + 1] = colind.len();
+        }
+        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colind, values }
+    }
+
+    /// Symmetrize: `A ∨ A^T` with binary values — turns a directed adjacency
+    /// matrix into an undirected one.
+    pub fn symmetrized(&self) -> Csr {
+        let t = self.transpose();
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz() * 2);
+        for (r, c, _) in self.iter() {
+            coo.push(r, c, 1.0).expect("indices already validated");
+        }
+        for (r, c, _) in t.iter() {
+            coo.push(r, c, 1.0).expect("indices already validated");
+        }
+        Csr::from_coo(&coo).binarized()
+    }
+
+    /// Expand to a dense row-major matrix (tests and small examples only).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut dense = vec![0.0f32; self.nrows * self.ncols];
+        for (r, c, v) in self.iter() {
+            dense[r * self.ncols + c] = v;
+        }
+        dense
+    }
+
+    /// Convert back to COO triplets.
+    pub fn to_coo(&self) -> Coo {
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v).expect("indices already validated");
+        }
+        coo
+    }
+
+    /// Extract the dense `dim × dim` tile whose top-left corner is at
+    /// `(tile_row * dim, tile_col * dim)`, padding with zeros at the matrix
+    /// edge.  This is the per-tile step of the CSR→B2SR conversion
+    /// (the `cusparseScsr2bsr` analogue).
+    pub fn extract_tile(&self, tile_row: usize, tile_col: usize, dim: usize) -> Vec<f32> {
+        let mut tile = vec![0.0f32; dim * dim];
+        let r0 = tile_row * dim;
+        let c0 = tile_col * dim;
+        for dr in 0..dim {
+            let r = r0 + dr;
+            if r >= self.nrows {
+                break;
+            }
+            let (cols, vals) = self.row(r);
+            // Binary-search the start of the tile's column range.
+            let start = cols.partition_point(|&c| c < c0);
+            for i in start..cols.len() {
+                let c = cols[i];
+                if c >= c0 + dim {
+                    break;
+                }
+                tile[dr * dim + (c - c0)] = vals[i];
+            }
+        }
+        tile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // 4x4:
+        // [ 1 0 2 0 ]
+        // [ 0 0 0 3 ]
+        // [ 4 5 0 0 ]
+        // [ 0 0 0 6 ]
+        let mut coo = Coo::new(4, 4);
+        for &(r, c, v) in
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 0, 4.0), (2, 1, 5.0), (3, 3, 6.0)]
+        {
+            coo.push(r, c, v).unwrap();
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_coo_sorts_and_counts() {
+        let a = small();
+        assert_eq!(a.nnz(), 6);
+        assert_eq!(a.rowptr(), &[0, 2, 3, 5, 6]);
+        assert_eq!(a.row(0), (&[0usize, 2][..], &[1.0f32, 2.0][..]));
+        assert_eq!(a.row(2), (&[0usize, 1][..], &[4.0f32, 5.0][..]));
+        assert_eq!(a.get(1, 3), Some(3.0));
+        assert_eq!(a.get(1, 0), None);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.5).unwrap();
+        coo.push(0, 1, 2.5).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        let a = Csr::from_coo(&coo);
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 1), Some(4.0));
+    }
+
+    #[test]
+    fn from_raw_validation() {
+        assert!(Csr::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+        // wrong rowptr length
+        assert!(Csr::from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // non-monotone
+        assert!(Csr::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // unsorted columns in a row
+        assert!(Csr::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
+        // column out of range
+        assert!(Csr::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // nnz mismatch
+        assert!(Csr::from_raw(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let a = small();
+        let dense = a.to_dense();
+        let back = Csr::from_dense(&dense, 4, 4);
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn transpose_is_involution_and_correct() {
+        let a = small();
+        let t = a.transpose();
+        assert_eq!(t.get(3, 1), Some(3.0));
+        assert_eq!(t.get(0, 2), Some(4.0));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn identity_and_degrees() {
+        let i = Csr::identity(5);
+        assert_eq!(i.nnz(), 5);
+        assert!(i.is_binary());
+        assert_eq!(i.out_degrees(), vec![1; 5]);
+        let a = small();
+        assert_eq!(a.out_degrees(), vec![2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn triangles_and_diagonal() {
+        let a = small();
+        let lower = a.lower_triangle();
+        assert_eq!(lower.nnz(), 2); // (2,0) and (2,1)
+        let upper = a.upper_triangle();
+        assert_eq!(upper.nnz(), 2); // (0,2) and (1,3)
+        let nodiag = a.without_diagonal();
+        assert_eq!(nodiag.nnz(), 4);
+        // lower + upper + 2 diagonal entries account for every stored entry.
+        assert_eq!(lower.nnz() + upper.nnz() + 2, a.nnz());
+    }
+
+    #[test]
+    fn symmetrized_is_symmetric_binary() {
+        let a = small();
+        let s = a.symmetrized();
+        assert!(s.is_binary());
+        for (r, c, _) in s.iter() {
+            assert_eq!(s.get(c, r), Some(1.0), "missing mirror of ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn binarized_drops_explicit_zeros() {
+        let a = Csr::from_raw(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![0.0, 2.0, -1.0]).unwrap();
+        let b = a.binarized();
+        assert_eq!(b.nnz(), 2);
+        assert!(b.is_binary());
+        assert_eq!(b.get(0, 0), None);
+    }
+
+    #[test]
+    fn density_and_storage() {
+        let a = small();
+        assert!((a.density() - 6.0 / 16.0).abs() < 1e-12);
+        assert_eq!(a.storage_bytes(), 4 * (5 + 6 + 6));
+        assert_eq!(Csr::empty(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn extract_tile_reads_correct_block() {
+        let a = small();
+        let t00 = a.extract_tile(0, 0, 2);
+        assert_eq!(t00, vec![1.0, 0.0, 0.0, 0.0]);
+        let t01 = a.extract_tile(0, 1, 2);
+        assert_eq!(t01, vec![2.0, 0.0, 0.0, 3.0]);
+        let t10 = a.extract_tile(1, 0, 2);
+        assert_eq!(t10, vec![4.0, 5.0, 0.0, 0.0]);
+        let t11 = a.extract_tile(1, 1, 2);
+        assert_eq!(t11, vec![0.0, 0.0, 0.0, 6.0]);
+        // Tile partially outside the matrix is zero-padded.
+        let edge = a.extract_tile(1, 1, 3);
+        assert_eq!(edge.len(), 9);
+        // Global (3,3) = 6.0 lands at local (0,0) of the tile anchored at (3,3).
+        assert_eq!(edge[0], 6.0);
+        assert!(edge[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn extract_tile_edge_padding() {
+        // 3x3 matrix with dim-2 tiles: bottom-right tile covers only (2,2).
+        let a = Csr::from_dense(&[1., 0., 0., 0., 1., 0., 0., 0., 1.], 3, 3);
+        let t = a.extract_tile(1, 1, 2);
+        assert_eq!(t, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn iter_visits_all_entries_in_order() {
+        let a = small();
+        let entries: Vec<_> = a.iter().collect();
+        assert_eq!(entries.len(), 6);
+        assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by the sparse-matrix substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting or reading sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column index lies outside the declared dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows of the matrix.
+        nrows: usize,
+        /// Number of columns of the matrix.
+        ncols: usize,
+    },
+    /// Two operands have incompatible dimensions for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Dimensions of the left operand.
+        left: (usize, usize),
+        /// Dimensions of the right operand.
+        right: (usize, usize),
+    },
+    /// The CSR/CSC structural arrays are inconsistent (non-monotone row
+    /// pointer, wrong lengths, unsorted column indices, ...).
+    MalformedStructure(String),
+    /// A Matrix Market file could not be parsed.
+    Parse(String),
+    /// An I/O error occurred while reading or writing a file.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
+            ),
+            SparseError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::MalformedStructure(msg) => write!(f, "malformed sparse structure: {msg}"),
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 9, nrows: 4, ncols: 4 };
+        assert!(e.to_string().contains("(5, 9)"));
+        assert!(e.to_string().contains("4x4"));
+
+        let e = SparseError::DimensionMismatch { op: "spmv", left: (3, 4), right: (5, 1) };
+        assert!(e.to_string().contains("spmv"));
+
+        let e = SparseError::MalformedStructure("rowptr not monotone".into());
+        assert!(e.to_string().contains("rowptr"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.mtx");
+        let e: SparseError = ioe.into();
+        assert!(matches!(e, SparseError::Io(_)));
+    }
+}

@@ -1,0 +1,43 @@
+//! # bitgblas-sparse
+//!
+//! Sparse-matrix substrate for the Bit-GraphBLAS reproduction.
+//!
+//! The paper builds B2SR on top of conventional sparse formats and compares
+//! its kernels against cuSPARSE's CSR SpMV/SpGEMM and against GraphBLAST.
+//! Neither library is available here, so this crate implements the substrate
+//! from scratch:
+//!
+//! * the classic storage formats — [`coo::Coo`], [`csr::Csr`], [`csc::Csc`],
+//!   and the block format [`bsr::Bsr`] that inspired B2SR's upper level;
+//! * conversions between them (including the `csr2bsr` step the paper obtains
+//!   from `cusparseXcsr2bsrNnz`/`cusparseScsr2bsr`, and the `csr2csc`
+//!   transpose);
+//! * dense vectors ([`dense::DenseVec`]) and sparse vectors
+//!   ([`dense::SparseVec`]) used as frontiers;
+//! * Matrix Market I/O ([`io`]) so real SuiteSparse files can be loaded when
+//!   available;
+//! * reference full-precision kernels ([`ops`]): row-parallel CSR SpMV,
+//!   masked SpMV, sparse-vector SpMSpV, and Gustavson SpGEMM.  These are the
+//!   stand-ins for the cuSPARSE/GraphBLAST baselines in every experiment.
+//!
+//! All matrices store `f32` values, matching the "32-bit floating-point CSR"
+//! baseline configuration used throughout the paper's evaluation.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bsr;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod io;
+pub mod ops;
+
+pub use bsr::Bsr;
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dense::{DenseVec, SparseVec};
+pub use error::SparseError;

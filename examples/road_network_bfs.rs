@@ -1,0 +1,68 @@
+//! Road-network reachability: BFS and SSSP over a large 2-D grid graph, the
+//! "road" pattern category of the paper (minnesota, uk).
+//!
+//! The example measures wall-clock time of the whole algorithm on the
+//! Bit-GraphBLAS backend and on the float-CSR baseline, the same comparison
+//! Tables VII/VIII make per matrix.
+//!
+//! Run with: `cargo run --release --example road_network_bfs`
+
+use std::time::Instant;
+
+use bit_graphblas::datagen::generators;
+use bit_graphblas::prelude::*;
+
+fn main() {
+    // A 300x300 grid: 90 000 intersections, ~358 800 directed road segments.
+    let adjacency = generators::grid2d(300, 300);
+    let n = adjacency.nrows();
+    println!("road network: {} intersections, {} road segments", n, adjacency.nnz());
+
+    let source = n / 2 + 150; // roughly the middle of the map
+
+    let mut rows = Vec::new();
+    for (label, backend) in [
+        ("Bit-GraphBLAS (B2SR-8)", Backend::Bit(TileSize::S8)),
+        ("Bit-GraphBLAS (B2SR-32)", Backend::Bit(TileSize::S32)),
+        ("float-CSR baseline", Backend::FloatCsr),
+    ] {
+        let build_start = Instant::now();
+        let graph = Matrix::from_csr(&adjacency, backend);
+        let build = build_start.elapsed();
+
+        let bfs_start = Instant::now();
+        let levels = bfs(&graph, source);
+        let bfs_time = bfs_start.elapsed();
+
+        let sssp_start = Instant::now();
+        let dist = sssp(&graph, source);
+        let sssp_time = sssp_start.elapsed();
+
+        rows.push((label, build, bfs_time, sssp_time, levels, dist));
+    }
+
+    println!(
+        "\n{:<26} {:>12} {:>12} {:>12}",
+        "backend", "convert (ms)", "BFS (ms)", "SSSP (ms)"
+    );
+    for (label, build, bfs_time, sssp_time, _, _) in &rows {
+        println!(
+            "{:<26} {:>12.2} {:>12.2} {:>12.2}",
+            label,
+            build.as_secs_f64() * 1e3,
+            bfs_time.as_secs_f64() * 1e3,
+            sssp_time.as_secs_f64() * 1e3
+        );
+    }
+
+    // All backends must agree on the answers.
+    let reference_levels = &rows[0].4.levels;
+    let reference_dist = &rows[0].5.distances;
+    for (label, _, _, _, levels, dist) in &rows[1..] {
+        assert_eq!(&levels.levels, reference_levels, "{label} disagrees on BFS levels");
+        assert_eq!(&dist.distances, reference_dist, "{label} disagrees on SSSP distances");
+    }
+
+    let eccentricity = reference_levels.iter().max().unwrap();
+    println!("\nall backends agree; farthest intersection is {eccentricity} hops from the source");
+}
