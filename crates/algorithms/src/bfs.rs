@@ -7,7 +7,7 @@
 //! binarized, and the mask is applied with a bitwise AND-NOT right before the
 //! output store (no early exit, to avoid warp divergence — §V).
 
-use bitgblas_core::grb::{mxv, Descriptor, Mask, Matrix, Vector};
+use bitgblas_core::grb::{Context, Mask, Matrix, Op, Vector};
 use bitgblas_core::Semiring;
 
 /// The result of a BFS run.
@@ -29,6 +29,7 @@ pub struct BfsResult {
 pub fn bfs(a: &Matrix, source: usize) -> BfsResult {
     let n = a.nrows();
     assert!(source < n, "source vertex {source} out of range (n = {n})");
+    let ctx = Context::default();
 
     let mut levels = vec![-1i64; n];
     levels[source] = 0;
@@ -46,7 +47,10 @@ pub fn bfs(a: &Matrix, source: usize) -> BfsResult {
 
         // next = frontier ⊕.⊗ A over the Boolean semiring, masked by ¬visited.
         let mask = Mask::complemented(visited.clone());
-        let next = mxv(a, &frontier, Semiring::Boolean, Some(&mask), &Descriptor::with_transpose());
+        let next = Op::vxm(&frontier, a)
+            .semiring(Semiring::Boolean)
+            .mask(&mask)
+            .run(&ctx);
 
         // Record levels and update the visited set.
         let mut any = false;
@@ -64,7 +68,11 @@ pub fn bfs(a: &Matrix, source: usize) -> BfsResult {
         frontier = next;
     }
 
-    BfsResult { levels, iterations, n_reached }
+    BfsResult {
+        levels,
+        iterations,
+        n_reached,
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +90,7 @@ mod tests {
             Backend::Bit(TileSize::S16),
             Backend::Bit(TileSize::S32),
             Backend::FloatCsr,
+            Backend::Auto,
         ]
     }
 
@@ -104,7 +113,11 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let adj = generators::erdos_renyi(120, 0.03, true, seed);
             let expected = reference::bfs_levels(&adj, 5);
-            for backend in [Backend::Bit(TileSize::S8), Backend::Bit(TileSize::S32), Backend::FloatCsr] {
+            for backend in [
+                Backend::Bit(TileSize::S8),
+                Backend::Bit(TileSize::S32),
+                Backend::FloatCsr,
+            ] {
                 let m = Matrix::from_csr(&adj, backend);
                 let got = bfs(&m, 5);
                 assert_eq!(got.levels, expected, "seed {seed} {backend:?}");

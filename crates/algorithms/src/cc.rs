@@ -12,7 +12,7 @@
 //! repeating until the parent vector stops changing.  Vertices of the same
 //! component end up pointing at the component's minimum vertex id.
 
-use bitgblas_core::grb::{mxv, Descriptor, Matrix, Vector};
+use bitgblas_core::grb::{Context, Matrix, Op, Vector};
 use bitgblas_core::Semiring;
 
 /// The result of a connected-components run.
@@ -32,11 +32,16 @@ pub struct CcResult {
 pub fn connected_components(a: &Matrix) -> CcResult {
     let n = a.nrows();
     if n == 0 {
-        return CcResult { labels: Vec::new(), n_components: 0, iterations: 0 };
+        return CcResult {
+            labels: Vec::new(),
+            n_components: 0,
+            iterations: 0,
+        };
     }
 
     // Propagate minima along edges; the semiring adds 0 so values are the
     // neighbours' labels themselves.
+    let ctx = Context::default();
     let semiring = Semiring::MinPlus(0.0);
 
     let mut parent: Vec<usize> = (0..n).collect();
@@ -48,8 +53,11 @@ pub fn connected_components(a: &Matrix) -> CcResult {
 
         // Minimum neighbour parent, in both edge directions so directed
         // inputs behave as undirected graphs.
-        let forward = mxv(a, &parent_f, semiring, None, &Descriptor::new());
-        let backward = mxv(a, &parent_f, semiring, None, &Descriptor::with_transpose());
+        let forward = Op::mxv(a, &parent_f).semiring(semiring).run(&ctx);
+        let backward = Op::mxv(a, &parent_f)
+            .semiring(semiring)
+            .transpose()
+            .run(&ctx);
 
         let mut next = parent.clone();
         let mut hook = |u: usize, candidate: f32| {
@@ -95,7 +103,11 @@ pub fn connected_components(a: &Matrix) -> CcResult {
     let mut uniq: Vec<usize> = parent.clone();
     uniq.sort_unstable();
     uniq.dedup();
-    CcResult { n_components: uniq.len(), labels: parent, iterations }
+    CcResult {
+        n_components: uniq.len(),
+        labels: parent,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +140,7 @@ mod tests {
             Backend::Bit(TileSize::S16),
             Backend::Bit(TileSize::S32),
             Backend::FloatCsr,
+            Backend::Auto,
         ] {
             check_against_reference(&adj, backend);
         }

@@ -5,7 +5,7 @@
 //! either backend, demonstrating that the B2SR kernels cover the full
 //! semiring table rather than only the benchmarked algorithms.
 
-use bitgblas_core::grb::{ewise, mxv, Descriptor, Mask, Matrix, Vector};
+use bitgblas_core::grb::{Context, Mask, Matrix, Op, Vector};
 use bitgblas_core::Semiring;
 
 /// The result of a Maximal Independent Set computation.
@@ -26,6 +26,7 @@ pub struct MisResult {
 /// maximum among its active neighbours (computed with a `MaxTimes` `mxv`),
 /// after which it and its neighbours are deactivated.
 pub fn maximal_independent_set(a: &Matrix, seed: u64) -> MisResult {
+    let ctx = Context::default();
     let n = a.nrows();
     let mut in_set = vec![false; n];
     let mut active = vec![true; n];
@@ -33,7 +34,9 @@ pub fn maximal_independent_set(a: &Matrix, seed: u64) -> MisResult {
 
     // Deterministic per-vertex hash priority in (0, 1], re-salted per round.
     let priority = |v: usize, round: u64| -> f32 {
-        let mut z = seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ round.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        let mut z = seed
+            ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ round.wrapping_mul(0xD6E8_FEB8_6659_FD93);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         let frac = ((z >> 11) as f64) / ((1u64 << 53) as f64);
@@ -46,21 +49,34 @@ pub fn maximal_independent_set(a: &Matrix, seed: u64) -> MisResult {
         // max-times identity so they never dominate a neighbour).
         let prio = Vector::from_vec(
             (0..n)
-                .map(|v| if active[v] { priority(v, iterations as u64) } else { f32::NEG_INFINITY })
+                .map(|v| {
+                    if active[v] {
+                        priority(v, iterations as u64)
+                    } else {
+                        f32::NEG_INFINITY
+                    }
+                })
                 .collect(),
         );
 
         // Maximum neighbour priority via the max-times semiring (both edge
         // directions so directed inputs behave as undirected graphs).
-        let fwd = mxv(a, &prio, Semiring::MaxTimes(1.0), None, &Descriptor::new());
-        let bwd = mxv(a, &prio, Semiring::MaxTimes(1.0), None, &Descriptor::with_transpose());
-        let neighbour_max = ewise::ewise_add(&fwd, &bwd, Semiring::MaxTimes(1.0));
+        let fwd = Op::mxv(a, &prio)
+            .semiring(Semiring::MaxTimes(1.0))
+            .run(&ctx);
+        let bwd = Op::mxv(a, &prio)
+            .semiring(Semiring::MaxTimes(1.0))
+            .transpose()
+            .run(&ctx);
+        let neighbour_max = Op::ewise_add(&fwd, &bwd)
+            .semiring(Semiring::MaxTimes(1.0))
+            .run(&ctx);
 
         // A vertex wins the round when its priority beats every active
         // neighbour's (isolated vertices win immediately).
         let mut winners = Vec::new();
-        for v in 0..n {
-            if active[v] && prio.get(v) > neighbour_max.get(v) {
+        for (v, &is_active) in active.iter().enumerate() {
+            if is_active && prio.get(v) > neighbour_max.get(v) {
                 winners.push(v);
             }
         }
@@ -76,22 +92,32 @@ pub fn maximal_independent_set(a: &Matrix, seed: u64) -> MisResult {
         // (one Boolean mxv from the winner indicator).
         let winner_vec = Vector::indicator(n, &winners);
         let mask = Mask::new(active.clone());
-        let covered_fwd = mxv(a, &winner_vec, Semiring::Boolean, Some(&mask), &Descriptor::new());
-        let covered_bwd =
-            mxv(a, &winner_vec, Semiring::Boolean, Some(&mask), &Descriptor::with_transpose());
+        let covered_fwd = Op::mxv(a, &winner_vec)
+            .semiring(Semiring::Boolean)
+            .mask(&mask)
+            .run(&ctx);
+        let covered_bwd = Op::mxv(a, &winner_vec)
+            .semiring(Semiring::Boolean)
+            .mask(&mask)
+            .transpose()
+            .run(&ctx);
         for &v in &winners {
             in_set[v] = true;
             active[v] = false;
         }
-        for v in 0..n {
+        for (v, slot) in active.iter_mut().enumerate() {
             if covered_fwd.get(v) != 0.0 || covered_bwd.get(v) != 0.0 {
-                active[v] = false;
+                *slot = false;
             }
         }
     }
 
     let set_size = in_set.iter().filter(|&&x| x).count();
-    MisResult { in_set, set_size, iterations }
+    MisResult {
+        in_set,
+        set_size,
+        iterations,
+    }
 }
 
 /// Eccentricity of `source`: the maximum finite BFS level, or `None` when the
@@ -140,7 +166,10 @@ mod tests {
             if !result.in_set[v] {
                 let has_selected_neighbour = adj.row(v).0.iter().any(|&u| result.in_set[u])
                     || adj.iter().any(|(r, c, _)| c == v && result.in_set[r]);
-                assert!(has_selected_neighbour, "vertex {v} could be added to the set");
+                assert!(
+                    has_selected_neighbour,
+                    "vertex {v} could be added to the set"
+                );
             }
         }
     }
@@ -181,7 +210,10 @@ mod tests {
         let float = maximal_independent_set(&Matrix::from_csr(&adj, Backend::FloatCsr), 7);
         assert_valid_mis(&adj, &bit);
         assert_valid_mis(&adj, &float);
-        assert_eq!(bit.in_set, float.in_set, "same seed and priorities give the same set");
+        assert_eq!(
+            bit.in_set, float.in_set,
+            "same seed and priorities give the same set"
+        );
     }
 
     #[test]

@@ -2,12 +2,14 @@
 //!
 //! The five graph algorithms of the paper's evaluation — Breadth-First
 //! Search, Single-Source Shortest Path, PageRank, Connected Components and
-//! Triangle Counting — written once against the GraphBLAS-style API of
-//! `bitgblas-core` and runnable on either backend:
+//! Triangle Counting — written once against the builder API
+//! (`Op::mxv(..).run(&ctx)`) of `bitgblas-core`'s pluggable `GrbBackend`
+//! layer, and runnable on any backend:
 //!
 //! * `Backend::Bit(tile_size)` — Bit-GraphBLAS (B2SR + bit kernels), the
 //!   paper's system;
-//! * `Backend::FloatCsr` — the float-CSR baseline standing in for GraphBLAST.
+//! * `Backend::FloatCsr` — the float-CSR baseline standing in for GraphBLAST;
+//! * `Backend::Auto` — the framework picks format and tile size per matrix.
 //!
 //! Each module also documents which BMV/BMM scheme and semiring the paper
 //! assigns to the algorithm (Table IV and §V).  The [`reference`] module

@@ -12,7 +12,7 @@
 //! α = 0.85 and tolerance 1e-9; those are the defaults of
 //! [`PageRankConfig`].
 
-use bitgblas_core::grb::{mxv, Descriptor, Matrix, Vector};
+use bitgblas_core::grb::{Context, Matrix, Op, Vector};
 use bitgblas_core::Semiring;
 
 /// PageRank parameters (paper defaults: α = 0.85, 10 iterations, ε = 1e-9).
@@ -28,7 +28,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { alpha: 0.85, max_iterations: 10, tolerance: 1e-9 }
+        PageRankConfig {
+            alpha: 0.85,
+            max_iterations: 10,
+            tolerance: 1e-9,
+        }
     }
 }
 
@@ -47,8 +51,13 @@ pub struct PageRankResult {
 pub fn pagerank(a: &Matrix, config: &PageRankConfig) -> PageRankResult {
     let n = a.nrows();
     if n == 0 {
-        return PageRankResult { ranks: Vec::new(), iterations: 0, last_delta: 0.0 };
+        return PageRankResult {
+            ranks: Vec::new(),
+            iterations: 0,
+            last_delta: 0.0,
+        };
     }
+    let ctx = Context::default();
     let out_deg = a.out_degrees();
     let teleport = (1.0 - config.alpha) / n as f32;
 
@@ -73,8 +82,8 @@ pub fn pagerank(a: &Matrix, config: &PageRankConfig) -> PageRankResult {
         let scaled = Vector::from_vec(scaled);
 
         // contrib[v] = Σ_{u : u->v} rank[u] / deg(u)  — an arithmetic-semiring
-        // mxv along the transposed adjacency matrix.
-        let contrib = mxv(a, &scaled, Semiring::Arithmetic, None, &Descriptor::with_transpose());
+        // push along the adjacency matrix (mxv of the transpose).
+        let contrib = Op::vxm(&scaled, a).semiring(Semiring::Arithmetic).run(&ctx);
 
         let dangling_share = config.alpha * dangling / n as f32;
         let next = Vector::from_vec(
@@ -92,7 +101,11 @@ pub fn pagerank(a: &Matrix, config: &PageRankConfig) -> PageRankResult {
         }
     }
 
-    PageRankResult { ranks: rank.into_vec(), iterations, last_delta }
+    PageRankResult {
+        ranks: rank.into_vec(),
+        iterations,
+        last_delta,
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +125,7 @@ mod tests {
             Backend::Bit(TileSize::S16),
             Backend::Bit(TileSize::S32),
             Backend::FloatCsr,
+            Backend::Auto,
         ] {
             let m = Matrix::from_csr(&adj, backend);
             let pr = pagerank(&m, &PageRankConfig::default());
@@ -124,7 +138,10 @@ mod tests {
     #[test]
     fn bit_and_float_backends_agree() {
         let adj = generators::rmat(7, 8, 0.57, 0.19, 0.19, 21);
-        let config = PageRankConfig { max_iterations: 20, ..Default::default() };
+        let config = PageRankConfig {
+            max_iterations: 20,
+            ..Default::default()
+        };
         let float = pagerank(&Matrix::from_csr(&adj, Backend::FloatCsr), &config);
         for ts in TileSize::ALL {
             let bit = pagerank(&Matrix::from_csr(&adj, Backend::Bit(ts)), &config);
@@ -137,7 +154,11 @@ mod tests {
     #[test]
     fn agrees_with_dense_reference() {
         let adj = generators::erdos_renyi(80, 0.05, false, 10);
-        let config = PageRankConfig { max_iterations: 40, tolerance: 0.0, ..Default::default() };
+        let config = PageRankConfig {
+            max_iterations: 40,
+            tolerance: 0.0,
+            ..Default::default()
+        };
         let got = pagerank(&Matrix::from_csr(&adj, Backend::Bit(TileSize::S8)), &config);
         let expected = reference::pagerank_dense(&adj, 0.85, 40);
         for (i, (g, e)) in got.ranks.iter().zip(&expected).enumerate() {
@@ -153,7 +174,10 @@ mod tests {
             coo.push_edge(i, 0).unwrap();
         }
         let adj = coo.to_binary_csr();
-        let pr = pagerank(&Matrix::from_csr(&adj, Backend::Bit(TileSize::S8)), &PageRankConfig::default());
+        let pr = pagerank(
+            &Matrix::from_csr(&adj, Backend::Bit(TileSize::S8)),
+            &PageRankConfig::default(),
+        );
         for i in 1..9 {
             assert!(pr.ranks[0] > pr.ranks[i]);
         }
@@ -163,9 +187,17 @@ mod tests {
     fn tolerance_terminates_early_on_fixed_point() {
         // A ring reaches its uniform stationary distribution immediately.
         let adj = generators::cycle(16);
-        let config = PageRankConfig { max_iterations: 50, tolerance: 1e-6, ..Default::default() };
+        let config = PageRankConfig {
+            max_iterations: 50,
+            tolerance: 1e-6,
+            ..Default::default()
+        };
         let pr = pagerank(&Matrix::from_csr(&adj, Backend::FloatCsr), &config);
-        assert!(pr.iterations < 50, "should converge early, took {}", pr.iterations);
+        assert!(
+            pr.iterations < 50,
+            "should converge early, took {}",
+            pr.iterations
+        );
         let uniform = 1.0 / 16.0;
         for r in &pr.ranks {
             assert!((r - uniform).abs() < 1e-4);

@@ -69,7 +69,7 @@ pub fn cc_labels(adj: &Csr) -> Vec<usize> {
     let n = adj.nrows();
     let mut parent: Vec<usize> = (0..n).collect();
 
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

@@ -9,7 +9,7 @@
 //! until the distance vector reaches a fixpoint, which yields exactly the
 //! same distances.
 
-use bitgblas_core::grb::{mxv, Descriptor, Matrix, Vector};
+use bitgblas_core::grb::{Context, Matrix, Op, Vector};
 use bitgblas_core::Semiring;
 
 /// The result of an SSSP run.
@@ -30,6 +30,7 @@ pub fn sssp(a: &Matrix, source: usize) -> SsspResult {
     let n = a.nrows();
     assert!(source < n, "source vertex {source} out of range (n = {n})");
 
+    let ctx = Context::default();
     let semiring = Semiring::MinPlus(1.0);
     let mut dist = Vector::identity(n, semiring);
     dist.set(source, 0.0);
@@ -38,7 +39,7 @@ pub fn sssp(a: &Matrix, source: usize) -> SsspResult {
     loop {
         iterations += 1;
         // relaxed[v] = min_u (dist[u] + 1) over edges u -> v.
-        let relaxed = mxv(a, &dist, semiring, None, &Descriptor::with_transpose());
+        let relaxed = Op::vxm(&dist, a).semiring(semiring).run(&ctx);
         // dist = min(dist, relaxed): the accumulate step of the tropical
         // semiring (keeps the source at 0 and any already-shorter paths).
         let mut next = dist.clone();
@@ -50,7 +51,10 @@ pub fn sssp(a: &Matrix, source: usize) -> SsspResult {
         dist = next;
     }
 
-    SsspResult { distances: dist.into_vec(), iterations }
+    SsspResult {
+        distances: dist.into_vec(),
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +83,7 @@ mod tests {
                 Backend::Bit(TileSize::S8),
                 Backend::Bit(TileSize::S32),
                 Backend::FloatCsr,
+                Backend::Auto,
             ] {
                 let m = Matrix::from_csr(&adj, backend);
                 let got = sssp(&m, 0);

@@ -14,7 +14,7 @@
 //! straight into the global sum — the paper fuses the reduction into the
 //! `mxm()` the same way.
 
-use bitgblas_core::grb::{mxm_reduce_masked, Matrix};
+use bitgblas_core::grb::{Context, Matrix, Op};
 
 /// Count the triangles of the undirected graph held by `a`.
 ///
@@ -22,9 +22,10 @@ use bitgblas_core::grb::{mxm_reduce_masked, Matrix};
 /// self-loops are ignored because only the strictly lower triangle
 /// participates.
 pub fn triangle_count(a: &Matrix) -> u64 {
+    let ctx = Context::default();
     let l = a.lower_triangle();
     let lt = l.transpose();
-    let sum = mxm_reduce_masked(&l, &lt, &l);
+    let sum = Op::mxm_reduce(&l, &lt, &l).run(&ctx);
     sum.round() as u64
 }
 
@@ -43,6 +44,7 @@ mod tests {
             Backend::Bit(TileSize::S16),
             Backend::Bit(TileSize::S32),
             Backend::FloatCsr,
+            Backend::Auto,
         ]
     }
 
@@ -105,7 +107,10 @@ mod tests {
 
     #[test]
     fn empty_and_edgeless_graphs() {
-        let empty = Matrix::from_csr(&bitgblas_sparse::Csr::empty(10, 10), Backend::Bit(TileSize::S8));
+        let empty = Matrix::from_csr(
+            &bitgblas_sparse::Csr::empty(10, 10),
+            Backend::Bit(TileSize::S8),
+        );
         assert_eq!(triangle_count(&empty), 0);
         let pathish = Matrix::from_csr(&generators::path(30), Backend::FloatCsr);
         assert_eq!(triangle_count(&pathish), 0);

@@ -14,15 +14,18 @@ use std::time::Duration;
 use bitgblas_bitops::pack::{pack_tile_colmajor, pack_tile_rowmajor};
 use bitgblas_core::b2sr::convert::from_csr;
 use bitgblas_core::kernels::{
-    bmv_bin_bin_bin, bmv_bin_bin_bin_masked, bmv_bin_bin_full, bmv_bin_full_full,
-    pack_vector_bits, pack_vector_tilewise,
+    bmv_bin_bin_bin, bmv_bin_bin_bin_masked, bmv_bin_bin_full, bmv_bin_full_full, pack_vector_bits,
+    pack_vector_tilewise,
 };
 use bitgblas_core::Semiring;
 use bitgblas_datagen::generators;
 
 fn ablation_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     let csr = generators::banded(4096, 3, 0.7, 11);
     let n = csr.ncols();
@@ -72,7 +75,9 @@ fn ablation_benches(c: &mut Criterion) {
     });
 
     // 4. Column-major vs row-major packing of a dense 32x32 tile.
-    let tile: Vec<f32> = (0..32 * 32).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+    let tile: Vec<f32> = (0..32 * 32)
+        .map(|i| if i % 3 == 0 { 1.0 } else { 0.0 })
+        .collect();
     group.bench_function("packing/row_major", |b| {
         b.iter(|| pack_tile_rowmajor::<u32>(&tile, 32));
     });

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use bitgblas_algorithms::{bfs, connected_components, pagerank, sssp, triangle_count, PageRankConfig};
+use bitgblas_algorithms::{
+    bfs, connected_components, pagerank, sssp, triangle_count, PageRankConfig,
+};
 use bitgblas_core::{Backend, Matrix, TileSize};
 use bitgblas_datagen::generators;
 use bitgblas_sparse::Csr;
@@ -18,12 +20,18 @@ fn bench_graphs() -> Vec<(&'static str, Csr)> {
 }
 
 fn backends() -> Vec<(&'static str, Backend)> {
-    vec![("b2sr8", Backend::Bit(TileSize::S8)), ("float_csr", Backend::FloatCsr)]
+    vec![
+        ("b2sr8", Backend::Bit(TileSize::S8)),
+        ("float_csr", Backend::FloatCsr),
+    ]
 }
 
 fn algorithm_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithms");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     for (gname, adj) in bench_graphs() {
         for (bname, backend) in backends() {

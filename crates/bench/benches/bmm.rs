@@ -11,7 +11,10 @@ use bitgblas_sparse::{ops, Csr};
 
 fn bench_matrices() -> Vec<(&'static str, Csr)> {
     vec![
-        ("blocks_1k", generators::block_community(16, 64, 0.35, 1e-5, 1)),
+        (
+            "blocks_1k",
+            generators::block_community(16, 64, 0.35, 1e-5, 1),
+        ),
         ("banded_2k", generators::banded(2048, 4, 0.7, 2)),
         ("mycielskian10", generators::mycielskian(10)),
     ]
@@ -19,13 +22,20 @@ fn bench_matrices() -> Vec<(&'static str, Csr)> {
 
 fn bmm_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("bmm");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     for (name, csr) in bench_matrices() {
         // Baseline: float SpGEMM followed by a reduction (cuSPARSE csrgemm + sum).
-        group.bench_with_input(BenchmarkId::new("csr_spgemm_baseline", name), &csr, |b, csr| {
-            b.iter(|| ops::reduce_sum(&ops::spgemm_parallel(csr, csr).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("csr_spgemm_baseline", name),
+            &csr,
+            |b, csr| {
+                b.iter(|| ops::reduce_sum(&ops::spgemm_parallel(csr, csr).unwrap()));
+            },
+        );
 
         let b8 = from_csr::<u8>(&csr, 8);
         group.bench_function(BenchmarkId::new("bmm_bin_bin_sum/B2SR-8", name), |b| {
@@ -39,13 +49,24 @@ fn bmm_benches(c: &mut Criterion) {
         // The Triangle-Counting shape: L * L^T masked by L.
         let l = csr.symmetrized().without_diagonal().lower_triangle();
         let lt = l.transpose();
-        let (lb, ltb, mb) = (from_csr::<u32>(&l, 32), from_csr::<u32>(&lt, 32), from_csr::<u32>(&l, 32));
-        group.bench_function(BenchmarkId::new("bmm_bin_bin_sum_masked/tc_shape", name), |b| {
-            b.iter(|| bmm_bin_bin_sum_masked(&lb, &ltb, &mb));
-        });
-        group.bench_with_input(BenchmarkId::new("csr_spgemm_masked_baseline/tc_shape", name), &l, |b, l| {
-            b.iter(|| ops::spgemm_masked_sum(l, l, l).unwrap());
-        });
+        let (lb, ltb, mb) = (
+            from_csr::<u32>(&l, 32),
+            from_csr::<u32>(&lt, 32),
+            from_csr::<u32>(&l, 32),
+        );
+        group.bench_function(
+            BenchmarkId::new("bmm_bin_bin_sum_masked/tc_shape", name),
+            |b| {
+                b.iter(|| bmm_bin_bin_sum_masked(&lb, &ltb, &mb));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("csr_spgemm_masked_baseline/tc_shape", name),
+            &l,
+            |b, l| {
+                b.iter(|| ops::spgemm_masked_sum(l, l, l).unwrap());
+            },
+        );
     }
     group.finish();
 }

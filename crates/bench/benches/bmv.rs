@@ -15,14 +15,20 @@ use bitgblas_sparse::{ops, Csr, DenseVec};
 fn bench_matrices() -> Vec<(&'static str, Csr)> {
     vec![
         ("banded_4k", generators::banded(4096, 3, 0.7, 1)),
-        ("blocks_2k", generators::block_community(32, 64, 0.3, 1e-5, 2)),
+        (
+            "blocks_2k",
+            generators::block_community(32, 64, 0.3, 1e-5, 2),
+        ),
         ("scatter_4k", generators::erdos_renyi(4096, 0.002, true, 3)),
     ]
 }
 
 fn bmv_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("bmv");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     for (name, csr) in bench_matrices() {
         let n = csr.ncols();
@@ -30,9 +36,13 @@ fn bmv_benches(c: &mut Criterion) {
         let x_dense = DenseVec::from_vec(x.clone());
 
         // Baseline: float CSR SpMV (cuSPARSE stand-in).
-        group.bench_with_input(BenchmarkId::new("csr_spmv_baseline", name), &csr, |b, csr| {
-            b.iter(|| ops::spmv_parallel(csr, &x_dense).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("csr_spmv_baseline", name),
+            &csr,
+            |b, csr| {
+                b.iter(|| ops::spmv_parallel(csr, &x_dense).unwrap());
+            },
+        );
 
         // B2SR-8 and B2SR-32 variants of the three BMV schemes.
         let b8 = from_csr::<u8>(&csr, 8);

@@ -11,14 +11,23 @@ use bitgblas_sparse::{Bsr, Csr};
 fn bench_matrices() -> Vec<(&'static str, Csr)> {
     vec![
         ("banded_8k", generators::banded(8192, 3, 0.7, 1)),
-        ("delaunay_like_16k", generators::stripes(16384, &[1, 2, 127, 128], 0.75, 2)),
-        ("blocks_4k", generators::block_community(64, 64, 0.3, 1e-5, 3)),
+        (
+            "delaunay_like_16k",
+            generators::stripes(16384, &[1, 2, 127, 128], 0.75, 2),
+        ),
+        (
+            "blocks_4k",
+            generators::block_community(64, 64, 0.3, 1e-5, 3),
+        ),
     ]
 }
 
 fn conversion_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("conversion");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     for (name, csr) in bench_matrices() {
         group.bench_with_input(BenchmarkId::new("csr_to_b2sr4", name), &csr, |b, csr| {
@@ -34,9 +43,13 @@ fn conversion_benches(c: &mut Criterion) {
             b.iter(|| from_csr::<u32>(csr, 32));
         });
         // The float BSR conversion (the cusparseScsr2bsr analogue) for comparison.
-        group.bench_with_input(BenchmarkId::new("csr_to_float_bsr8", name), &csr, |b, csr| {
-            b.iter(|| Bsr::from_csr(csr, 8));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("csr_to_float_bsr8", name),
+            &csr,
+            |b, csr| {
+                b.iter(|| Bsr::from_csr(csr, 8));
+            },
+        );
         // Transpose cost of the already-converted matrix (the "simpler
         // transpose" merit claimed for the format).
         let b8 = from_csr::<u8>(&csr, 8);

@@ -60,5 +60,7 @@ fn main() {
         );
     }
 
-    println!("\nPaper: the conversion routine costs 3-34 ms and is amortized by repeated kernel use.");
+    println!(
+        "\nPaper: the conversion routine costs 3-34 ms and is amortized by repeated kernel use."
+    );
 }

@@ -9,7 +9,10 @@ use bitgblas_core::b2sr::stats::stats_all_sizes;
 
 fn main() {
     println!("Figure 3a: non-empty tile ratio (%) per tile dimension");
-    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "matrix", "4x4", "8x8", "16x16", "32x32");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}",
+        "matrix", "4x4", "8x8", "16x16", "32x32"
+    );
     let mut all_stats = Vec::new();
     for name in fig3_matrices() {
         let csr = load(name);
@@ -26,7 +29,10 @@ fn main() {
     }
 
     println!("\nFigure 3b: nonzero occupancy in non-empty tiles (%) per tile dimension");
-    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "matrix", "4x4", "8x8", "16x16", "32x32");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}",
+        "matrix", "4x4", "8x8", "16x16", "32x32"
+    );
     for (name, stats) in &all_stats {
         println!(
             "{:<16} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",

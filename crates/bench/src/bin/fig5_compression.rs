@@ -26,19 +26,35 @@ fn main() {
     println!("corpus: {} matrices\n", matrices.len());
 
     // Figure 5a: histogram of compression ratios per tile size (10 % buckets).
-    println!("Figure 5a: compression-ratio histogram (# matrices per 10% bucket, ratio = B2SR/CSR)");
-    println!("{:>10} {:>7} {:>7} {:>7} {:>7}", "bucket", "4x4", "8x8", "16x16", "32x32");
+    println!(
+        "Figure 5a: compression-ratio histogram (# matrices per 10% bucket, ratio = B2SR/CSR)"
+    );
+    println!(
+        "{:>10} {:>7} {:>7} {:>7} {:>7}",
+        "bucket", "4x4", "8x8", "16x16", "32x32"
+    );
     let mut hist = [[0usize; 4]; 11]; // 0-10%, ..., 90-100%, >100%
     for (_, csr) in &matrices {
         for (k, ts) in TileSize::ALL.iter().enumerate() {
             let ratio = stats_for(csr, *ts).compression_ratio;
-            let bucket = if ratio >= 1.0 { 10 } else { (ratio * 10.0) as usize };
+            let bucket = if ratio >= 1.0 {
+                10
+            } else {
+                (ratio * 10.0) as usize
+            };
             hist[bucket][k] += 1;
         }
     }
     for (b, row) in hist.iter().enumerate() {
-        let label = if b == 10 { ">100%".to_string() } else { format!("{}-{}%", b * 10, b * 10 + 10) };
-        println!("{:>10} {:>7} {:>7} {:>7} {:>7}", label, row[0], row[1], row[2], row[3]);
+        let label = if b == 10 {
+            ">100%".to_string()
+        } else {
+            format!("{}-{}%", b * 10, b * 10 + 10)
+        };
+        println!(
+            "{:>10} {:>7} {:>7} {:>7} {:>7}",
+            label, row[0], row[1], row[2], row[3]
+        );
     }
 
     // Figure 5b: optimal and compressed counts per tile size.
@@ -54,7 +70,12 @@ fn main() {
     println!("\nFigure 5b: per-tile-size counts over the corpus");
     println!("{:<12} {:>9} {:>12}", "tile size", "optimal", "compressed");
     for (k, ts) in TileSize::ALL.iter().enumerate() {
-        println!("{:<12} {:>9} {:>12}", ts.to_string(), optimal[k], compressed[k]);
+        println!(
+            "{:<12} {:>9} {:>12}",
+            ts.to_string(),
+            optimal[k],
+            compressed[k]
+        );
     }
     println!(
         "\nPaper (521 matrices): optimal = 162 / 291 / 26 / 12 and compressed = 491 / 421 / 329 / 263\n\

@@ -21,9 +21,9 @@ use bitgblas_core::b2sr::convert::from_csr;
 use bitgblas_core::kernels::{
     bmm_bin_bin_sum, bmv_bin_bin_bin, bmv_bin_bin_full, bmv_bin_full_full, pack_vector_tilewise,
 };
-use bitgblas_core::{B2srMatrix, Semiring, TileSize};
+use bitgblas_core::{Semiring, TileSize};
 use bitgblas_datagen::corpus;
-use bitgblas_perfmodel::estimate::speedup_estimate;
+use bitgblas_perfmodel::{speedup_estimate, B2srLayout};
 use bitgblas_sparse::{ops, Csr, DenseVec};
 
 /// One evaluated matrix: name, the matrix, and its nonzero density.
@@ -37,11 +37,26 @@ fn corpus_entries() -> Vec<Entry> {
     let mut out = Vec::new();
     // A slice of the synthetic sweep plus the named kernel-study matrices.
     for e in corpus::corpus_sweep(36, 0x67) {
-        out.push(Entry { density: e.matrix.density(), name: e.name, csr: e.matrix });
+        out.push(Entry {
+            density: e.matrix.density(),
+            name: e.name,
+            csr: e.matrix,
+        });
     }
-    for name in ["ins2", "mycielskian9", "ash292", "jagmesh6", "Erdos02", "delaunay_n14"] {
+    for name in [
+        "ins2",
+        "mycielskian9",
+        "ash292",
+        "jagmesh6",
+        "Erdos02",
+        "delaunay_n14",
+    ] {
         let csr = load(name);
-        out.push(Entry { density: csr.density(), name: name.to_string(), csr });
+        out.push(Entry {
+            density: csr.density(),
+            name: name.to_string(),
+            csr,
+        });
     }
     out.sort_by(|a, b| a.density.partial_cmp(&b.density).unwrap());
     out
@@ -98,7 +113,12 @@ fn kernel_speedups(csr: &Csr) -> [[f64; 4]; 4] {
 fn main() {
     let device = device_from_args();
     let entries = corpus_entries();
-    let schemes = ["bmv_bin_bin_bin", "bmv_bin_bin_full", "bmv_bin_full_full", "bmm_bin_bin_sum"];
+    let schemes = [
+        "bmv_bin_bin_bin",
+        "bmv_bin_bin_full",
+        "bmv_bin_full_full",
+        "bmm_bin_bin_sum",
+    ];
 
     println!(
         "Figures 6/7: kernel speedup over the float CSR baseline ({} matrices, device model = {})",
@@ -113,15 +133,21 @@ fn main() {
     let mut modelled: Vec<(String, f64)> = Vec::new();
     for e in &entries {
         let s = kernel_speedups(&e.csr);
-        per_bucket.entry(bucket_label(e.density)).or_default().push(s);
+        per_bucket
+            .entry(bucket_label(e.density))
+            .or_default()
+            .push(s);
         all.push(s);
-        let b2sr = B2srMatrix::from_csr(&e.csr, TileSize::S8);
-        modelled.push((e.name.clone(), speedup_estimate(&e.csr, &b2sr, &device)));
+        let layout = B2srLayout::from_csr(&e.csr, 8);
+        modelled.push((e.name.clone(), speedup_estimate(&e.csr, &layout, &device)));
     }
 
     for (si, scheme) in schemes.iter().enumerate() {
         println!("\n{scheme}: measured geomean speedup per density bucket");
-        println!("{:>8} {:>9} {:>9} {:>9} {:>9} {:>6}", "density", "4x4", "8x8", "16x16", "32x32", "n");
+        println!(
+            "{:>8} {:>9} {:>9} {:>9} {:>9} {:>6}",
+            "density", "4x4", "8x8", "16x16", "32x32", "n"
+        );
         for (bucket, rows) in &per_bucket {
             let mut per_ts = [0.0f64; 4];
             for (k, slot) in per_ts.iter_mut().enumerate() {
@@ -130,7 +156,12 @@ fn main() {
             }
             println!(
                 "{:>8} {:>8.2}x {:>8.2}x {:>8.2}x {:>8.2}x {:>6}",
-                bucket, per_ts[0], per_ts[1], per_ts[2], per_ts[3], rows.len()
+                bucket,
+                per_ts[0],
+                per_ts[1],
+                per_ts[2],
+                per_ts[3],
+                rows.len()
             );
         }
         // Overall averages and maxima (the numbers quoted in §VI-D).
@@ -138,12 +169,20 @@ fn main() {
         for k in 0..4 {
             let vals: Vec<f64> = all.iter().map(|r| r[si][k]).collect();
             let max = vals.iter().cloned().fold(0.0, f64::max);
-            line.push_str(&format!("  {}: avg {:.2}x max {:.1}x", TileSize::ALL[k], geomean(&vals), max));
+            line.push_str(&format!(
+                "  {}: avg {:.2}x max {:.1}x",
+                TileSize::ALL[k],
+                geomean(&vals),
+                max
+            ));
         }
         println!("  overall:{line}");
     }
 
-    println!("\nanalytic {}-model BMV speedup (B2SR-8), top 8 matrices:", device.architecture);
+    println!(
+        "\nanalytic {}-model BMV speedup (B2SR-8), top 8 matrices:",
+        device.architecture
+    );
     let mut modelled_sorted = modelled;
     modelled_sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (name, s) in modelled_sorted.iter().take(8) {

@@ -5,8 +5,8 @@
 //! Run with: `cargo run -p bitgblas-bench --release --bin memstats -- --device pascal`
 
 use bitgblas_bench::{device_from_args, load, table7_matrices};
-use bitgblas_core::{B2srMatrix, TileSize};
 use bitgblas_perfmodel::traffic::compare_traffic;
+use bitgblas_perfmodel::B2srLayout;
 
 fn main() {
     let device = device_from_args();
@@ -23,8 +23,8 @@ fn main() {
     names.extend(table7_matrices());
     for name in names {
         let csr = load(name);
-        let b2sr = B2srMatrix::from_csr(&csr, TileSize::S8);
-        let cmp = compare_traffic(&csr, &b2sr, &device);
+        let layout = B2srLayout::from_csr(&csr, 8);
+        let cmp = compare_traffic(&csr, &layout, &device);
         println!(
             "{:<16} {:>10} {:>14} {:>14} {:>9.1}x {:>9.1}% {:>9.1}%",
             name,

@@ -29,10 +29,18 @@ fn main() {
         }
     }
 
-    println!("Table V: pattern categories detected over {} matrices", matrices.len());
+    println!(
+        "Table V: pattern categories detected over {} matrices",
+        matrices.len()
+    );
     println!("{:<12} {:>8} {:>9}", "category", "count", "share");
     for (cat, count) in &counts {
-        println!("{:<12} {:>8} {:>8.1}%", cat, count, *count as f64 / matrices.len() as f64 * 100.0);
+        println!(
+            "{:<12} {:>8} {:>8.1}%",
+            cat,
+            count,
+            *count as f64 / matrices.len() as f64 * 100.0
+        );
     }
     println!(
         "\nclassifier agrees with the generator's intended category for {:.1}% of the corpus",

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use bitgblas_algorithms::{bfs, connected_components, pagerank, sssp, PageRankConfig};
 use bitgblas_bench::{device_from_args, fmt_speedup, load, table7_matrices};
-use bitgblas_core::grb::{mxv, Descriptor, Matrix, Vector};
+use bitgblas_core::grb::{Context, Matrix, Op, Vector};
 use bitgblas_core::{Backend, Semiring, TileSize};
 use bitgblas_perfmodel::traffic::compare_traffic;
 
@@ -28,15 +28,20 @@ fn ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// One matrix-vector kernel invocation time (the "kernel" rows of the table):
 /// a single full mxv over the algorithm's semiring.
 fn kernel_ms(m: &Matrix, semiring: Semiring) -> f64 {
+    let ctx = Context::default();
     let x = Vector::from_vec((0..m.ncols()).map(|i| (i % 3) as f32).collect());
-    let _warm = mxv(m, &x, semiring, None, &Descriptor::new());
-    let (_, t) = ms(|| mxv(m, &x, semiring, None, &Descriptor::new()));
+    let _warm = Op::mxv(m, &x).semiring(semiring).run(&ctx);
+    let (_, t) = ms(|| Op::mxv(m, &x).semiring(semiring).run(&ctx));
     t
 }
 
 fn main() {
     let device = device_from_args();
-    let table = if device.architecture == "Pascal" { "Table VII" } else { "Table VIII" };
+    let table = if device.architecture == "Pascal" {
+        "Table VII"
+    } else {
+        "Table VIII"
+    };
     println!(
         "{table}: SpMV-based graph algorithms, Bit-GraphBLAS (B2SR-8) vs float-CSR baseline\n\
          (wall-clock ms on the CPU substrate; 'model' = analytic load-transaction reduction on {})\n",
@@ -44,14 +49,22 @@ fn main() {
     );
     println!(
         "{:<16} {:<10} {:>10} {:>10} {:>9} | {:>10} {:>10} {:>9} {:>8}",
-        "matrix", "row", "BFS base", "BFS ours", "speedup", "SSSP base", "SSSP ours", "speedup", "model"
+        "matrix",
+        "row",
+        "BFS base",
+        "BFS ours",
+        "speedup",
+        "SSSP base",
+        "SSSP ours",
+        "speedup",
+        "model"
     );
 
     for name in table7_matrices() {
         let csr = load(name);
         let baseline = Matrix::from_csr(&csr, Backend::FloatCsr);
         let ours = Matrix::from_csr(&csr, Backend::Bit(TileSize::S8));
-        let cmp = compare_traffic(&csr, ours.b2sr().unwrap(), &device);
+        let cmp = compare_traffic(&csr, &ours.b2sr().unwrap().layout(), &device);
 
         // Algorithm-level timings.
         let (_, bfs_base) = ms(|| bfs(&baseline, 0));

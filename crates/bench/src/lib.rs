@@ -145,7 +145,11 @@ mod tests {
 
     #[test]
     fn table_matrix_lists_resolve_in_the_corpus() {
-        for name in table7_matrices().into_iter().chain(table9_matrices()).chain(fig3_matrices()) {
+        for name in table7_matrices()
+            .into_iter()
+            .chain(table9_matrices())
+            .chain(fig3_matrices())
+        {
             let m = load(name);
             assert!(m.nnz() > 0, "{name}");
         }

@@ -173,9 +173,7 @@ mod tests {
         // Bit-dot-product of two binary vectors packed into words.
         let a = 0b1101_0011u32;
         let b = 0b0101_0110u32;
-        let expected: u32 = (0..8)
-            .map(|i| ((a >> i) & 1) * ((b >> i) & 1))
-            .sum();
+        let expected: u32 = (0..8).map(|i| ((a >> i) & 1) * ((b >> i) & 1)).sum();
         assert_eq!(popc_u32(a & b), expected);
     }
 

@@ -108,8 +108,8 @@ pub fn unpack_tile_rowmajor<W: BitWord>(words: &[W], dim: usize) -> Vec<f32> {
 pub fn transpose_tile<W: BitWord>(words: &[W], dim: usize) -> Vec<W> {
     assert_eq!(words.len(), dim);
     let mut out = vec![W::ZERO; dim];
-    for r in 0..dim {
-        for c in words[r].iter_ones() {
+    for (r, word) in words.iter().enumerate() {
+        for c in word.iter_ones() {
             if (c as usize) < dim {
                 out[c as usize] = out[c as usize].with_bit(r as u32);
             }
@@ -128,7 +128,11 @@ pub fn pack_nibbles(rows: &[u8]) -> Vec<u8> {
     let mut it = rows.chunks(2);
     for pair in &mut it {
         let low = pair[0] & 0x0F;
-        let high = if pair.len() > 1 { (pair[1] & 0x0F) << 4 } else { 0 };
+        let high = if pair.len() > 1 {
+            (pair[1] & 0x0F) << 4
+        } else {
+            0
+        };
         out.push(low | high);
     }
     out
@@ -277,10 +281,15 @@ mod tests {
 
     #[test]
     fn bitvector_pack_counts_nonzeros() {
-        let v: Vec<f32> = (0..100).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        let v: Vec<f32> = (0..100)
+            .map(|i| if i % 3 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let packed = pack_bitvector::<u32>(&v);
         assert_eq!(packed.len(), 4);
-        assert_eq!(count_ones(&packed), v.iter().filter(|&&x| x != 0.0).count() as u64);
+        assert_eq!(
+            count_ones(&packed),
+            v.iter().filter(|&&x| x != 0.0).count() as u64
+        );
     }
 
     #[test]

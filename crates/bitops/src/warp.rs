@@ -75,15 +75,15 @@ impl Warp {
     /// This is the software analogue of a SIMT region: each lane sees its own
     /// `laneid` exactly as the CUDA kernels do.
     #[inline]
-    pub fn map<T, F: FnMut(usize) -> T>(&self, mut body: F) -> Vec<T> {
-        (0..self.lanes).map(|lane| body(lane)).collect()
+    pub fn map<T, F: FnMut(usize) -> T>(&self, body: F) -> Vec<T> {
+        (0..self.lanes).map(body).collect()
     }
 
     /// Warp vote: evaluate `pred` on every active lane and pack the outcomes
     /// into a 32-bit word (software `__ballot_sync`).
     #[inline]
-    pub fn ballot<F: FnMut(usize) -> bool>(&self, mut pred: F) -> u32 {
-        intrinsics::ballot_from((0..self.lanes).map(|lane| pred(lane)))
+    pub fn ballot<F: FnMut(usize) -> bool>(&self, pred: F) -> u32 {
+        intrinsics::ballot_from((0..self.lanes).map(pred))
     }
 
     /// Broadcast the register of `src_lane` to the whole warp (software

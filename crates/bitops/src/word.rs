@@ -227,7 +227,10 @@ mod tests {
     fn iter_ones_size_hint_is_exact() {
         let w: u32 = 0xF0F0_00FF;
         let it = w.iter_ones();
-        assert_eq!(it.size_hint(), (w.count_ones() as usize, Some(w.count_ones() as usize)));
+        assert_eq!(
+            it.size_hint(),
+            (w.count_ones() as usize, Some(w.count_ones() as usize))
+        );
     }
 
     #[test]

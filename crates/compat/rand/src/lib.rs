@@ -1,0 +1,163 @@
+//! Offline stand-in for [rand](https://crates.io/crates/rand).
+//!
+//! Provides the subset the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen_range, gen_bool, gen}`.
+//! The generator is splitmix64 — deterministic per seed, which is all the
+//! seeded corpus generators require (the real `StdRng` makes no cross-version
+//! stability promise either).
+
+use std::ops::Range;
+
+/// RNG construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods available on every RNG.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `[range.start, range.end)`.
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        uniform_f64(self.next_u64()) < p
+    }
+
+    /// A random value of `T` (uniform in `[0, 1)` for floats).
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self.next_u64())
+    }
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait UniformSample: Copy {
+    /// Map 64 random bits into `[range.start, range.end)`.
+    fn sample(bits: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(bits: u64, range: Range<$t>) -> $t {
+                let span = (range.end - range.start) as u64;
+                assert!(span > 0, "cannot sample from an empty range");
+                range.start + (bits % span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(usize, u64, u32, i64, i32);
+
+/// Types with a "standard" distribution (`rng.gen()`).
+pub trait Standard {
+    /// Produce a value from 64 random bits.
+    fn standard(bits: u64) -> Self;
+}
+
+fn uniform_f64(bits: u64) -> f64 {
+    ((bits >> 11) as f64) / ((1u64 << 53) as f64)
+}
+
+impl Standard for f64 {
+    fn standard(bits: u64) -> f64 {
+        uniform_f64(bits)
+    }
+}
+
+impl Standard for f32 {
+    fn standard(bits: u64) -> f32 {
+        uniform_f64(bits) as f32
+    }
+}
+
+impl Standard for bool {
+    fn standard(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// The concrete RNG types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic RNG (splitmix64 here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range should appear"
+        );
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "got {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_f64_is_unit_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

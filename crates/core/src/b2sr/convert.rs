@@ -66,7 +66,9 @@ pub fn from_csr<W: BitWord>(csr: &Csr, tile_dim: usize) -> B2sr<W> {
                         continue;
                     }
                     let tc = c / tile_dim;
-                    let slot = tile_cols.binary_search(&tc).expect("tile discovered in pass 1");
+                    let slot = tile_cols
+                        .binary_search(&tc)
+                        .expect("tile discovered in pass 1");
                     let local_c = (c % tile_dim) as u32;
                     let w = &mut words[slot * tile_dim + local_r];
                     *w = w.with_bit(local_c);

@@ -101,14 +101,37 @@ impl<W: BitWord> B2sr<W> {
         tile_colind: Vec<usize>,
         bit_tiles: Vec<W>,
     ) -> Self {
-        assert!(tile_dim > 0 && tile_dim as u32 <= W::BITS, "tile_dim must fit the packing word");
+        assert!(
+            tile_dim > 0 && tile_dim as u32 <= W::BITS,
+            "tile_dim must fit the packing word"
+        );
         let n_tile_rows = nrows.div_ceil(tile_dim);
         let n_tile_cols = ncols.div_ceil(tile_dim);
         assert_eq!(tile_rowptr.len(), n_tile_rows + 1, "tile_rowptr length");
-        assert_eq!(*tile_rowptr.last().unwrap_or(&0), tile_colind.len(), "tile count");
-        assert_eq!(bit_tiles.len(), tile_colind.len() * tile_dim, "bit_tiles length");
-        debug_assert!(tile_colind.iter().all(|&c| c < n_tile_cols), "tile column in range");
-        B2sr { nrows, ncols, tile_dim, n_tile_rows, n_tile_cols, tile_rowptr, tile_colind, bit_tiles }
+        assert_eq!(
+            *tile_rowptr.last().unwrap_or(&0),
+            tile_colind.len(),
+            "tile count"
+        );
+        assert_eq!(
+            bit_tiles.len(),
+            tile_colind.len() * tile_dim,
+            "bit_tiles length"
+        );
+        debug_assert!(
+            tile_colind.iter().all(|&c| c < n_tile_cols),
+            "tile column in range"
+        );
+        B2sr {
+            nrows,
+            ncols,
+            tile_dim,
+            n_tile_rows,
+            n_tile_cols,
+            tile_rowptr,
+            tile_colind,
+            bit_tiles,
+        }
     }
 
     /// Number of rows of the represented matrix.
@@ -376,6 +399,27 @@ impl B2srMatrix {
             B2srMatrix::B8(m) => B2srMatrix::B8(m.transpose()),
             B2srMatrix::B16(m) => B2srMatrix::B16(m.transpose()),
             B2srMatrix::B32(m) => B2srMatrix::B32(m.transpose()),
+        }
+    }
+
+    /// The upper-level tile structure as a `bitgblas-perfmodel` layout, for
+    /// feeding this matrix into the memory-traffic model.
+    pub fn layout(&self) -> bitgblas_perfmodel::B2srLayout {
+        macro_rules! to_layout {
+            ($m:expr) => {
+                bitgblas_perfmodel::B2srLayout::from_parts(
+                    $m.nrows(),
+                    $m.ncols(),
+                    $m.tile_dim(),
+                    $m.tile_colind().to_vec(),
+                )
+            };
+        }
+        match self {
+            B2srMatrix::B4(m) => to_layout!(m),
+            B2srMatrix::B8(m) => to_layout!(m),
+            B2srMatrix::B16(m) => to_layout!(m),
+            B2srMatrix::B32(m) => to_layout!(m),
         }
     }
 }

@@ -42,7 +42,11 @@ impl SamplingProfile {
     pub fn recommended_tile_size(&self) -> TileSize {
         self.estimates
             .iter()
-            .min_by(|a, b| a.est_compression_ratio.partial_cmp(&b.est_compression_ratio).unwrap())
+            .min_by(|a, b| {
+                a.est_compression_ratio
+                    .partial_cmp(&b.est_compression_ratio)
+                    .unwrap()
+            })
             .map(|e| e.tile_size)
             .unwrap_or(TileSize::S8)
     }
@@ -125,9 +129,8 @@ pub fn sample_profile(csr: &Csr, n_samples: usize, seed: u64) -> SamplingProfile
             // converting" here will compress at least this well in practice.
             // CSR costs 4 bytes of column index + 4 bytes of value per
             // nonzero, plus 4 bytes of RowPtr per row.
-            let est_b2sr_bytes_per_row = avg_touched_buckets
-                * (ts.bytes_per_tile() as f64 + 4.0)
-                + 4.0 / k as f64;
+            let est_b2sr_bytes_per_row =
+                avg_touched_buckets * (ts.bytes_per_tile() as f64 + 4.0) + 4.0 / k as f64;
             let est_csr_bytes_per_row = avg_row_nnz * 8.0 + 4.0;
             let est_compression_ratio = if est_csr_bytes_per_row == 0.0 {
                 f64::INFINITY
@@ -145,7 +148,10 @@ pub fn sample_profile(csr: &Csr, n_samples: usize, seed: u64) -> SamplingProfile
         })
         .collect();
 
-    SamplingProfile { sampled_rows: n_sampled, estimates }
+    SamplingProfile {
+        sampled_rows: n_sampled,
+        estimates,
+    }
 }
 
 #[cfg(test)]
@@ -232,7 +238,10 @@ mod tests {
         let p = sample_profile(&a, 512, 0);
         let occs: Vec<f64> = p.estimates.iter().map(|e| e.est_occupancy).collect();
         for w in occs.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "occupancy should not grow with tile size: {occs:?}");
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "occupancy should not grow with tile size: {occs:?}"
+            );
         }
     }
 }

@@ -83,7 +83,11 @@ pub fn stats_for(csr: &Csr, size: TileSize) -> B2srStats {
     };
     let b2sr_bytes = b2sr.storage_bytes();
     let csr_bytes = csr.storage_bytes();
-    let compression_ratio = if csr_bytes == 0 { 0.0 } else { b2sr_bytes as f64 / csr_bytes as f64 };
+    let compression_ratio = if csr_bytes == 0 {
+        0.0
+    } else {
+        b2sr_bytes as f64 / csr_bytes as f64
+    };
     B2srStats {
         tile_size: size,
         n_tiles,
@@ -125,7 +129,10 @@ pub fn compressing_tile_sizes(csr: &Csr) -> Vec<TileSize> {
 /// Exact B2SR byte sizes for all four variants, convenient for reporting
 /// (e.g. the mycielskian12 example of §III-C).
 pub fn byte_sizes(csr: &Csr) -> Vec<(TileSize, usize)> {
-    stats_all_sizes(csr).into_iter().map(|s| (s.tile_size, s.b2sr_bytes)).collect()
+    stats_all_sizes(csr)
+        .into_iter()
+        .map(|s| (s.tile_size, s.b2sr_bytes))
+        .collect()
 }
 
 /// Direct conversion helper mirroring [`stats_for`] but reusing an existing
@@ -140,7 +147,11 @@ pub fn stats_from_b2sr(csr: &Csr, b2sr: &B2srMatrix) -> B2srStats {
         tile_size: size,
         n_tiles,
         n_tile_slots,
-        nonempty_tile_ratio: if n_tile_slots == 0 { 0.0 } else { n_tiles as f64 / n_tile_slots as f64 },
+        nonempty_tile_ratio: if n_tile_slots == 0 {
+            0.0
+        } else {
+            n_tiles as f64 / n_tile_slots as f64
+        },
         nonzero_occupancy: if n_tiles == 0 {
             0.0
         } else {
@@ -231,7 +242,11 @@ mod tests {
         }
         let a = coo.to_binary_csr();
         let s32 = stats_for(&a, TileSize::S32);
-        assert!(s32.compression_ratio > 1.0, "ratio {}", s32.compression_ratio);
+        assert!(
+            s32.compression_ratio > 1.0,
+            "ratio {}",
+            s32.compression_ratio
+        );
         // The small-tile variant wastes much less.
         let s4 = stats_for(&a, TileSize::S4);
         assert!(s4.compression_ratio < s32.compression_ratio);

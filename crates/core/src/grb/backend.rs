@@ -1,0 +1,528 @@
+//! The pluggable storage/kernel backend trait and its two built-in
+//! implementations.
+//!
+//! [`GrbBackend`] is the extension point of the GrB layer: a backend owns a
+//! matrix's storage and supplies the kernel for every GraphBLAS operation.
+//! The layer ships two implementations —
+//!
+//! * [`BitB2sr`] — B2SR storage + the bit kernels of [`crate::kernels`]
+//!   (the paper's contribution);
+//! * [`FloatCsr`] — 32-bit-float CSR + the reference kernels of
+//!   `bitgblas-sparse` (the GraphBLAST/cuSPARSE stand-in baseline) —
+//!
+//! and future backends (sharded, cached, batched) plug in by implementing
+//! the same trait; neither the [`super::Matrix`] object nor the algorithms
+//! know which one they are running on.
+//!
+//! The trait is object-safe: matrices hold a `Box<dyn GrbBackend>`, and
+//! cross-backend operations (`mxm_reduce_masked` with mixed operands)
+//! negotiate through [`GrbBackend::as_any`] downcasts, falling back to the
+//! always-available CSR view when the operands' concrete types differ.
+
+use std::any::Any;
+use std::sync::OnceLock;
+
+use bitgblas_sparse::{ops as float_ops, Csr};
+
+use crate::b2sr::{B2srMatrix, TileSize};
+use crate::kernels::{
+    bmm_bin_bin_sum_masked, bmv_bin_bin_bin, bmv_bin_bin_bin_masked, bmv_bin_full_full,
+    bmv_bin_full_full_masked, pack_vector_bits, pack_vector_tilewise, unpack_vector_bits,
+};
+use crate::semiring::Semiring;
+
+use super::descriptor::Mask;
+use super::ewise;
+use super::matrix::Backend;
+
+/// A storage format plus the kernel family implementing every GraphBLAS
+/// operation on it.
+///
+/// All vector operands are dense `f32` slices (the GrB layer's [`super::Vector`]
+/// wraps one); binarized packing for the Boolean semiring happens inside the
+/// backend, where the storage format is known.  The `transpose` flags select
+/// the cached `Aᵀ` representation, so both traversal directions are one call.
+///
+/// The element-wise family (`reduce`, `ewise_add`, `ewise_mult`, `apply`,
+/// `select`) has semiring-generic default implementations; a backend only
+/// overrides them when it can do better (e.g. a future bit-packed frontier
+/// backend operating on words).
+pub trait GrbBackend: std::fmt::Debug + Send + Sync {
+    /// The resolved backend kind (never [`Backend::Auto`]).
+    fn kind(&self) -> Backend;
+
+    /// Number of rows.
+    fn nrows(&self) -> usize;
+
+    /// Number of columns.
+    fn ncols(&self) -> usize;
+
+    /// Number of stored edges.
+    fn nnz(&self) -> usize;
+
+    /// The binary CSR view.  Always available: it is the interchange format
+    /// conversions and cross-backend fallbacks go through.
+    fn csr(&self) -> &Csr;
+
+    /// The binary CSR view of `Aᵀ`, built and cached on first use.
+    fn csr_t(&self) -> &Csr;
+
+    /// `y = A ⊕.⊗ x` (or `Aᵀ` with `transpose`), optionally masked.
+    fn mxv(&self, x: &[f32], semiring: Semiring, mask: Option<&Mask>, transpose: bool) -> Vec<f32>;
+
+    /// `y = x ⊕.⊗ A`, i.e. `mxv` along the opposite direction.
+    fn vxm(&self, x: &[f32], semiring: Semiring, mask: Option<&Mask>, transpose: bool) -> Vec<f32> {
+        self.mxv(x, semiring, mask, !transpose)
+    }
+
+    /// `Σ_{(i,j) ∈ mask} (A · B)[i][j]` over the arithmetic semiring — the
+    /// Triangle Counting primitive.  `b` and `mask` may be any backend; the
+    /// implementation downcasts and falls back to the CSR reference kernel
+    /// when the concrete types (or tile sizes) differ.
+    fn mxm_reduce_masked(&self, b: &dyn GrbBackend, mask: &dyn GrbBackend) -> f64;
+
+    /// Reduce a vector with the semiring's additive monoid.
+    fn reduce(&self, x: &[f32], semiring: Semiring) -> f32 {
+        semiring.reduce_slice(x)
+    }
+
+    /// Element-wise `out[i] = a[i] ⊕ b[i]` with the additive monoid.
+    fn ewise_add(&self, a: &[f32], b: &[f32], semiring: Semiring) -> Vec<f32> {
+        ewise::ewise_add_slices(a, b, semiring)
+    }
+
+    /// Element-wise `out[i] = a[i] ⊗ b[i]` with the multiplicative op.
+    fn ewise_mult(&self, a: &[f32], b: &[f32], semiring: Semiring) -> Vec<f32> {
+        ewise::ewise_mult_slices(a, b, semiring)
+    }
+
+    /// Apply a unary function to every entry (GraphBLAS `apply`).
+    fn apply(&self, x: &[f32], f: &dyn Fn(f32) -> f32) -> Vec<f32> {
+        x.iter().map(|&v| f(v)).collect()
+    }
+
+    /// Indicator of the entries satisfying a predicate (GraphBLAS `select`).
+    fn select(&self, x: &[f32], pred: &dyn Fn(f32) -> bool) -> Vec<f32> {
+        x.iter().map(|&v| if pred(v) { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Storage bytes of the active representation.
+    fn storage_bytes(&self) -> usize;
+
+    /// A new backend of the same kind holding `Aᵀ`.
+    fn transpose_view(&self) -> Box<dyn GrbBackend>;
+
+    /// Clone into a boxed backend (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn GrbBackend>;
+
+    /// Downcast support for cross-backend negotiation.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Reference-kernel `mxm_reduce_masked` over the CSR views — the
+/// cross-backend fallback path.  `spgemm_masked_sum` treats its second
+/// operand as `Bᵀ` stored by rows, so `b`'s transpose CSR is passed.
+fn csr_mxm_reduce_masked(a: &dyn GrbBackend, b: &dyn GrbBackend, mask: &dyn GrbBackend) -> f64 {
+    float_ops::spgemm_masked_sum(a.csr(), b.csr_t(), mask.csr())
+        .expect("operand dimensions checked by the caller")
+}
+
+// ---------------------------------------------------------------------------
+// BitB2sr
+// ---------------------------------------------------------------------------
+
+/// The Bit-GraphBLAS backend: B2SR storage, bit kernels (Tables II and III).
+#[derive(Debug)]
+pub struct BitB2sr {
+    csr: Csr,
+    b2sr: B2srMatrix,
+    csr_t: OnceLock<Csr>,
+    b2sr_t: OnceLock<B2srMatrix>,
+}
+
+impl BitB2sr {
+    /// Convert a binary CSR matrix into B2SR with the given tile size.  The
+    /// conversion is eager (the "one-time conversion cost" the paper
+    /// amortizes); the transpose representations are built lazily.
+    pub fn new(csr: &Csr, tile_size: TileSize) -> Self {
+        let bin = if csr.is_binary() {
+            csr.clone()
+        } else {
+            csr.binarized()
+        };
+        let b2sr = B2srMatrix::from_csr(&bin, tile_size);
+        BitB2sr {
+            csr: bin,
+            b2sr,
+            csr_t: OnceLock::new(),
+            b2sr_t: OnceLock::new(),
+        }
+    }
+
+    /// The B2SR representation.
+    pub fn b2sr(&self) -> &B2srMatrix {
+        &self.b2sr
+    }
+
+    /// The B2SR representation of `Aᵀ`, built and cached on first use.
+    pub fn b2sr_t(&self) -> &B2srMatrix {
+        self.b2sr_t.get_or_init(|| self.b2sr.transpose())
+    }
+
+    /// The tile size of the underlying B2SR matrix.
+    pub fn tile_size(&self) -> TileSize {
+        self.b2sr.tile_size()
+    }
+
+    /// Dispatch one `mxv` over the four B2SR variants and the Table-II
+    /// kernel schemes.
+    fn bit_mxv(b2sr: &B2srMatrix, x: &[f32], semiring: Semiring, mask: Option<&Mask>) -> Vec<f32> {
+        macro_rules! run {
+            ($m:expr, $w:ty) => {{
+                let m = $m;
+                let dim = m.tile_dim();
+                match semiring {
+                    Semiring::Boolean => {
+                        // Boolean semiring: binarize the vector and use the
+                        // minimal-footprint bin/bin/bin scheme.
+                        let xp = pack_vector_tilewise::<$w>(x, dim);
+                        let y_bits = match mask {
+                            Some(mk) => {
+                                let suppressed = mk.suppressed();
+                                let mp = pack_vector_bits::<$w>(&suppressed, dim);
+                                bmv_bin_bin_bin_masked(m, &xp, &mp)
+                            }
+                            None => bmv_bin_bin_bin(m, &xp),
+                        };
+                        unpack_vector_bits(&y_bits, dim, m.nrows())
+                            .into_iter()
+                            .map(|b| if b { 1.0 } else { 0.0 })
+                            .collect()
+                    }
+                    _ => match mask {
+                        Some(mk) => {
+                            let suppressed = mk.suppressed();
+                            bmv_bin_full_full_masked(m, x, &suppressed, semiring)
+                        }
+                        None => bmv_bin_full_full(m, x, semiring),
+                    },
+                }
+            }};
+        }
+        match b2sr {
+            B2srMatrix::B4(m) => run!(m, u8),
+            B2srMatrix::B8(m) => run!(m, u8),
+            B2srMatrix::B16(m) => run!(m, u16),
+            B2srMatrix::B32(m) => run!(m, u32),
+        }
+    }
+
+    fn bit_mxm_sum(a: &B2srMatrix, b: &B2srMatrix, mask: &B2srMatrix) -> u64 {
+        match (a, b, mask) {
+            (B2srMatrix::B4(a), B2srMatrix::B4(b), B2srMatrix::B4(m)) => {
+                bmm_bin_bin_sum_masked(a, b, m)
+            }
+            (B2srMatrix::B8(a), B2srMatrix::B8(b), B2srMatrix::B8(m)) => {
+                bmm_bin_bin_sum_masked(a, b, m)
+            }
+            (B2srMatrix::B16(a), B2srMatrix::B16(b), B2srMatrix::B16(m)) => {
+                bmm_bin_bin_sum_masked(a, b, m)
+            }
+            (B2srMatrix::B32(a), B2srMatrix::B32(b), B2srMatrix::B32(m)) => {
+                bmm_bin_bin_sum_masked(a, b, m)
+            }
+            _ => unreachable!("caller checks the tile sizes agree"),
+        }
+    }
+}
+
+impl GrbBackend for BitB2sr {
+    fn kind(&self) -> Backend {
+        Backend::Bit(self.b2sr.tile_size())
+    }
+
+    fn nrows(&self) -> usize {
+        self.csr.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.csr.ncols()
+    }
+
+    fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    fn csr_t(&self) -> &Csr {
+        self.csr_t.get_or_init(|| self.csr.transpose())
+    }
+
+    fn mxv(&self, x: &[f32], semiring: Semiring, mask: Option<&Mask>, transpose: bool) -> Vec<f32> {
+        let b2sr = if transpose { self.b2sr_t() } else { &self.b2sr };
+        Self::bit_mxv(b2sr, x, semiring, mask)
+    }
+
+    fn mxm_reduce_masked(&self, b: &dyn GrbBackend, mask: &dyn GrbBackend) -> f64 {
+        // The one-call bit path needs all three operands in B2SR with the
+        // same tile size; anything else goes through the CSR fallback.
+        let (bb, mb) = match (
+            b.as_any().downcast_ref::<BitB2sr>(),
+            mask.as_any().downcast_ref::<BitB2sr>(),
+        ) {
+            (Some(bb), Some(mb)) => (bb, mb),
+            _ => return csr_mxm_reduce_masked(self, b, mask),
+        };
+        if bb.tile_size() != self.tile_size() || mb.tile_size() != self.tile_size() {
+            return csr_mxm_reduce_masked(self, b, mask);
+        }
+        Self::bit_mxm_sum(&self.b2sr, &bb.b2sr, &mb.b2sr) as f64
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.b2sr.storage_bytes()
+    }
+
+    fn transpose_view(&self) -> Box<dyn GrbBackend> {
+        Box::new(BitB2sr {
+            csr: self.csr_t().clone(),
+            b2sr: self.b2sr_t().clone(),
+            csr_t: OnceLock::from(self.csr.clone()),
+            b2sr_t: OnceLock::from(self.b2sr.clone()),
+        })
+    }
+
+    fn clone_box(&self) -> Box<dyn GrbBackend> {
+        Box::new(BitB2sr {
+            csr: self.csr.clone(),
+            b2sr: self.b2sr.clone(),
+            csr_t: OnceLock::new(),
+            b2sr_t: OnceLock::new(),
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FloatCsr
+// ---------------------------------------------------------------------------
+
+/// The baseline backend: 32-bit-float CSR + reference kernels (the
+/// GraphBLAST / cuSPARSE stand-in).
+#[derive(Debug)]
+pub struct FloatCsr {
+    csr: Csr,
+    csr_t: OnceLock<Csr>,
+}
+
+impl FloatCsr {
+    /// Wrap a binary CSR matrix (binarizing if needed).
+    pub fn new(csr: &Csr) -> Self {
+        let bin = if csr.is_binary() {
+            csr.clone()
+        } else {
+            csr.binarized()
+        };
+        FloatCsr {
+            csr: bin,
+            csr_t: OnceLock::new(),
+        }
+    }
+
+    /// Row-parallel CSR SpMV over an arbitrary semiring (GraphBLAST-style).
+    /// The adjacency matrix is binary, so a stored entry contributes
+    /// `⊗(x[j])` and absent entries contribute nothing; masked rows are
+    /// skipped entirely (GraphBLAST's early exit).
+    fn float_mxv(csr: &Csr, x: &[f32], semiring: Semiring, mask: Option<&Mask>) -> Vec<f32> {
+        use rayon::prelude::*;
+        let identity = semiring.identity();
+        let mut y = vec![identity; csr.nrows()];
+        y.par_iter_mut().enumerate().for_each(|(r, out)| {
+            if let Some(m) = mask {
+                if !m.allows(r) {
+                    return;
+                }
+            }
+            let (cols, _) = csr.row(r);
+            let mut acc = identity;
+            for &c in cols {
+                acc = semiring.reduce(acc, semiring.combine(x[c]));
+            }
+            *out = acc;
+        });
+        y
+    }
+}
+
+impl GrbBackend for FloatCsr {
+    fn kind(&self) -> Backend {
+        Backend::FloatCsr
+    }
+
+    fn nrows(&self) -> usize {
+        self.csr.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.csr.ncols()
+    }
+
+    fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    fn csr_t(&self) -> &Csr {
+        self.csr_t.get_or_init(|| self.csr.transpose())
+    }
+
+    fn mxv(&self, x: &[f32], semiring: Semiring, mask: Option<&Mask>, transpose: bool) -> Vec<f32> {
+        let csr = if transpose { self.csr_t() } else { &self.csr };
+        Self::float_mxv(csr, x, semiring, mask)
+    }
+
+    fn mxm_reduce_masked(&self, b: &dyn GrbBackend, mask: &dyn GrbBackend) -> f64 {
+        csr_mxm_reduce_masked(self, b, mask)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.csr.storage_bytes()
+    }
+
+    fn transpose_view(&self) -> Box<dyn GrbBackend> {
+        Box::new(FloatCsr {
+            csr: self.csr_t().clone(),
+            csr_t: OnceLock::from(self.csr.clone()),
+        })
+    }
+
+    fn clone_box(&self) -> Box<dyn GrbBackend> {
+        Box::new(FloatCsr {
+            csr: self.csr.clone(),
+            csr_t: OnceLock::new(),
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgblas_sparse::Coo;
+
+    fn sample(n: usize, seed: u64) -> Csr {
+        let mut coo = Coo::new(n, n);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..n * 4 {
+            let r = (next() % n as u64) as usize;
+            let c = (next() % n as u64) as usize;
+            coo.push_edge(r, c).unwrap();
+        }
+        coo.to_binary_csr()
+    }
+
+    #[test]
+    fn backends_agree_through_the_trait_object() {
+        let csr = sample(70, 5);
+        let x: Vec<f32> = (0..70).map(|i| (i % 7) as f32).collect();
+        let backends: Vec<Box<dyn GrbBackend>> = vec![
+            Box::new(FloatCsr::new(&csr)),
+            Box::new(BitB2sr::new(&csr, TileSize::S4)),
+            Box::new(BitB2sr::new(&csr, TileSize::S16)),
+        ];
+        let reference = backends[0].mxv(&x, Semiring::Arithmetic, None, false);
+        for b in &backends[1..] {
+            let got = b.mxv(&x, Semiring::Arithmetic, None, false);
+            for (g, r) in got.iter().zip(&reference) {
+                assert!((g - r).abs() < 1e-4, "{:?}", b.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn vxm_default_is_mxv_on_the_transpose() {
+        let csr = sample(40, 9);
+        let x: Vec<f32> = (0..40).map(|i| (i % 3) as f32).collect();
+        let b = BitB2sr::new(&csr, TileSize::S8);
+        let via_vxm = b.vxm(&x, Semiring::Arithmetic, None, false);
+        let via_mxv_t = b.mxv(&x, Semiring::Arithmetic, None, true);
+        assert_eq!(via_vxm, via_mxv_t);
+    }
+
+    #[test]
+    fn mixed_tile_sizes_fall_back_instead_of_panicking() {
+        let adj = sample(50, 3).symmetrized().without_diagonal();
+        let l_csr = adj.lower_triangle();
+        let a = BitB2sr::new(&l_csr, TileSize::S8);
+        let b = BitB2sr::new(&l_csr.transpose(), TileSize::S16);
+        let m = FloatCsr::new(&l_csr);
+        let mixed = a.mxm_reduce_masked(&b, &m);
+        let uniform_b = BitB2sr::new(&l_csr.transpose(), TileSize::S8);
+        let uniform_m = BitB2sr::new(&l_csr, TileSize::S8);
+        let bit = a.mxm_reduce_masked(&uniform_b, &uniform_m);
+        assert_eq!(mixed, bit, "fallback must produce the same triangle sum");
+    }
+
+    #[test]
+    fn transpose_view_swaps_dimensions_and_data() {
+        let mut coo = Coo::new(6, 4);
+        coo.push_edge(5, 1).unwrap();
+        coo.push_edge(0, 3).unwrap();
+        let csr = coo.to_binary_csr();
+        for backend in [
+            Box::new(BitB2sr::new(&csr, TileSize::S4)) as Box<dyn GrbBackend>,
+            Box::new(FloatCsr::new(&csr)) as Box<dyn GrbBackend>,
+        ] {
+            let t = backend.transpose_view();
+            assert_eq!(t.nrows(), 4);
+            assert_eq!(t.ncols(), 6);
+            assert_eq!(t.kind(), backend.kind());
+            assert_eq!(t.csr(), &csr.transpose());
+            assert_eq!(t.csr_t(), &csr);
+        }
+    }
+
+    #[test]
+    fn clone_box_preserves_kind_and_contents() {
+        let csr = sample(30, 11);
+        let b: Box<dyn GrbBackend> = Box::new(BitB2sr::new(&csr, TileSize::S32));
+        let c = b.clone_box();
+        assert_eq!(c.kind(), Backend::Bit(TileSize::S32));
+        assert_eq!(c.nnz(), b.nnz());
+        assert_eq!(c.csr(), b.csr());
+    }
+
+    #[test]
+    fn ewise_defaults_follow_the_semiring() {
+        let b = FloatCsr::new(&sample(10, 1));
+        assert_eq!(
+            b.ewise_add(&[1.0, 5.0], &[2.0, 3.0], Semiring::MinPlus(1.0)),
+            vec![1.0, 3.0]
+        );
+        assert_eq!(
+            b.ewise_mult(&[2.0, 0.0], &[4.0, 5.0], Semiring::Boolean),
+            vec![1.0, 0.0]
+        );
+        assert_eq!(b.apply(&[1.0, -2.0], &f32::abs), vec![1.0, 2.0]);
+        assert_eq!(b.select(&[1.0, -2.0], &|x| x > 0.0), vec![1.0, 0.0]);
+        assert_eq!(b.reduce(&[3.0, 1.0, 7.0], Semiring::MaxTimes(1.0)), 7.0);
+    }
+}

@@ -15,13 +15,19 @@ pub struct Mask {
 impl Mask {
     /// A mask that allows writes where `structure[i]` is `true`.
     pub fn new(structure: Vec<bool>) -> Self {
-        Mask { structure, complement: false }
+        Mask {
+            structure,
+            complement: false,
+        }
     }
 
     /// A mask that allows writes where `structure[i]` is `false`
     /// (complemented mask, e.g. "not yet visited").
     pub fn complemented(structure: Vec<bool>) -> Self {
-        Mask { structure, complement: true }
+        Mask {
+            structure,
+            complement: true,
+        }
     }
 
     /// Length of the mask.
@@ -59,7 +65,9 @@ impl Mask {
 
     /// Number of positions the mask allows.
     pub fn n_allowed(&self) -> usize {
-        (0..self.structure.len()).filter(|&i| self.allows(i)).count()
+        (0..self.structure.len())
+            .filter(|&i| self.allows(i))
+            .count()
     }
 }
 
@@ -88,7 +96,10 @@ impl Descriptor {
 
     /// Descriptor with the transpose flag set.
     pub fn with_transpose() -> Self {
-        Descriptor { transpose: true, ..Default::default() }
+        Descriptor {
+            transpose: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -116,7 +127,10 @@ mod tests {
         assert!(!m.allows(0));
         assert!(m.allows(1));
         assert!(!m.allows(2));
-        assert!(m.allows(9), "out of range counts as unset, which a complemented mask allows");
+        assert!(
+            m.allows(9),
+            "out of range counts as unset, which a complemented mask allows"
+        );
         assert_eq!(m.suppressed(), vec![true, false, true]);
         assert!(m.is_complemented());
     }

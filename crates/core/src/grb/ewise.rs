@@ -2,58 +2,79 @@
 //!
 //! GraphBLAS algorithms interleave the matrix products with element-wise
 //! scalar updates of the frontier/result vectors (the "several element-wise
-//! scalar operations" per iteration the paper mentions in §VI-E): monoid
-//! accumulation, masked assignment, and apply (map).  These helpers keep
-//! those updates within the GrB vocabulary so the algorithms read like their
-//! GraphBLAS pseudo-code.
+//! scalar operations" per iteration the paper mentions in §VI-E).  The slice
+//! helpers here are the shared implementations behind the
+//! [`GrbBackend`](super::GrbBackend) default methods and the
+//! [`Op`](super::Op) builders; the old free functions remain as deprecated
+//! shims.
 
 use crate::semiring::Semiring;
 
 use super::descriptor::Mask;
+use super::op::{Context, Op};
 use super::vector::Vector;
+
+/// `out[i] = a[i] ⊕ b[i]` over raw slices (the shared implementation).
+pub(crate) fn ewise_add_slices(a: &[f32], b: &[f32], semiring: Semiring) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| semiring.reduce(x, y))
+        .collect()
+}
+
+/// `out[i] = a[i] ⊗ b[i]` over raw slices (the shared implementation).
+pub(crate) fn ewise_mult_slices(a: &[f32], b: &[f32], semiring: Semiring) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| match semiring {
+            Semiring::Boolean => {
+                if x != 0.0 && y != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Semiring::Arithmetic => x * y,
+            Semiring::MinPlus(_) => x + y,
+            Semiring::MaxTimes(_) => x * y,
+        })
+        .collect()
+}
 
 /// Element-wise "addition": `out[i] = a[i] ⊕ b[i]` with the additive monoid
 /// of the semiring (sum, min, max or logical OR).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Op::ewise_add(&a, &b).semiring(s).run(&ctx)`"
+)]
 pub fn ewise_add(a: &Vector, b: &Vector, semiring: Semiring) -> Vector {
     assert_eq!(a.len(), b.len(), "ewise_add requires equal lengths");
-    Vector::from_vec(
-        a.as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(&x, &y)| semiring.reduce(x, y))
-            .collect(),
-    )
+    Op::ewise_add(a, b)
+        .semiring(semiring)
+        .run(&Context::default())
 }
 
 /// Element-wise "multiplication": `out[i] = a[i] ⊗ b[i]`.  For the
 /// arithmetic semiring this is the Hadamard product; for min-plus it adds
 /// the two operands; for Boolean it is a logical AND.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Op::ewise_mult(&a, &b).semiring(s).run(&ctx)`"
+)]
 pub fn ewise_mult(a: &Vector, b: &Vector, semiring: Semiring) -> Vector {
     assert_eq!(a.len(), b.len(), "ewise_mult requires equal lengths");
-    Vector::from_vec(
-        a.as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(&x, &y)| match semiring {
-                Semiring::Boolean => {
-                    if x != 0.0 && y != 0.0 {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                }
-                Semiring::Arithmetic => x * y,
-                Semiring::MinPlus(_) => x + y,
-                Semiring::MaxTimes(_) => x * y,
-            })
-            .collect(),
-    )
+    Op::ewise_mult(a, b)
+        .semiring(semiring)
+        .run(&Context::default())
 }
 
 /// Apply a unary function to every entry: `out[i] = f(a[i])` (GraphBLAS
 /// `apply`).
+#[deprecated(since = "0.2.0", note = "use `Op::apply(&a, f).run(&ctx)`")]
 pub fn apply<F: Fn(f32) -> f32>(a: &Vector, f: F) -> Vector {
-    Vector::from_vec(a.as_slice().iter().map(|&x| f(x)).collect())
+    Op::apply(a, f).run(&Context::default())
 }
 
 /// Masked assignment: copy `src[i]` into `dst[i]` wherever the mask allows
@@ -71,13 +92,13 @@ pub fn assign_masked(dst: &mut Vector, src: &Vector, mask: &Mask) {
 /// Select the entries that satisfy a predicate, producing an indicator
 /// vector (1.0 where the predicate holds) — GraphBLAS `select` specialised
 /// to the uses in the algorithms (frontier extraction).
+#[deprecated(since = "0.2.0", note = "use `Op::select(&a, pred).run(&ctx)`")]
 pub fn select<F: Fn(f32) -> bool>(a: &Vector, pred: F) -> Vector {
-    Vector::from_vec(
-        a.as_slice().iter().map(|&x| if pred(x) { 1.0 } else { 0.0 }).collect(),
-    )
+    Op::select(a, pred).run(&Context::default())
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -85,9 +106,18 @@ mod tests {
     fn ewise_add_uses_the_additive_monoid() {
         let a = Vector::from_vec(vec![1.0, 5.0, f32::INFINITY]);
         let b = Vector::from_vec(vec![2.0, 3.0, 4.0]);
-        assert_eq!(ewise_add(&a, &b, Semiring::Arithmetic).as_slice(), &[3.0, 8.0, f32::INFINITY]);
-        assert_eq!(ewise_add(&a, &b, Semiring::MinPlus(1.0)).as_slice(), &[1.0, 3.0, 4.0]);
-        assert_eq!(ewise_add(&a, &b, Semiring::MaxTimes(1.0)).as_slice(), &[2.0, 5.0, f32::INFINITY]);
+        assert_eq!(
+            ewise_add(&a, &b, Semiring::Arithmetic).as_slice(),
+            &[3.0, 8.0, f32::INFINITY]
+        );
+        assert_eq!(
+            ewise_add(&a, &b, Semiring::MinPlus(1.0)).as_slice(),
+            &[1.0, 3.0, 4.0]
+        );
+        assert_eq!(
+            ewise_add(&a, &b, Semiring::MaxTimes(1.0)).as_slice(),
+            &[2.0, 5.0, f32::INFINITY]
+        );
         let bools = ewise_add(
             &Vector::from_vec(vec![0.0, 1.0, 0.0]),
             &Vector::from_vec(vec![0.0, 0.0, 2.0]),
@@ -100,9 +130,18 @@ mod tests {
     fn ewise_mult_follows_the_multiplicative_op() {
         let a = Vector::from_vec(vec![2.0, 0.0, 3.0]);
         let b = Vector::from_vec(vec![4.0, 5.0, 0.5]);
-        assert_eq!(ewise_mult(&a, &b, Semiring::Arithmetic).as_slice(), &[8.0, 0.0, 1.5]);
-        assert_eq!(ewise_mult(&a, &b, Semiring::MinPlus(0.0)).as_slice(), &[6.0, 5.0, 3.5]);
-        assert_eq!(ewise_mult(&a, &b, Semiring::Boolean).as_slice(), &[1.0, 0.0, 1.0]);
+        assert_eq!(
+            ewise_mult(&a, &b, Semiring::Arithmetic).as_slice(),
+            &[8.0, 0.0, 1.5]
+        );
+        assert_eq!(
+            ewise_mult(&a, &b, Semiring::MinPlus(0.0)).as_slice(),
+            &[6.0, 5.0, 3.5]
+        );
+        assert_eq!(
+            ewise_mult(&a, &b, Semiring::Boolean).as_slice(),
+            &[1.0, 0.0, 1.0]
+        );
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! The GrB-style matrix object with switchable storage backend.
-
-use std::sync::OnceLock;
+//! The GrB-style matrix object with pluggable storage backend.
 
 use bitgblas_sparse::Csr;
 
 use crate::b2sr::{B2srMatrix, TileSize};
+
+use super::auto;
+use super::backend::{BitB2sr, FloatCsr, GrbBackend};
+use super::op::Context;
 
 /// Which storage format and kernel family a [`Matrix`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,6 +16,12 @@ pub enum Backend {
     /// The baseline: 32-bit-float CSR + reference kernels (GraphBLAST /
     /// cuSPARSE stand-in).
     FloatCsr,
+    /// Let the framework decide per matrix, the way the paper's Figure 5
+    /// selects a tile size per matrix: the Table-V pattern classifier, the
+    /// Algorithm-1 sampling profile and the memory-traffic model pick the
+    /// format (and tile size) at construction.  Query the outcome with
+    /// [`Matrix::resolved_backend`].
+    Auto,
 }
 
 impl Backend {
@@ -26,114 +34,164 @@ impl Backend {
 
 /// A binary adjacency matrix held by the GraphBLAS-style layer.
 ///
-/// The binary CSR form is always kept (it is needed for conversions,
-/// transposes and the float baseline); when the backend is [`Backend::Bit`]
-/// the B2SR representation is built eagerly at construction (the "one-time
-/// conversion cost" the paper amortizes) and the transpose lazily on first
-/// use.
+/// The matrix owns a boxed [`GrbBackend`] — the storage representation plus
+/// the kernels operating on it.  Construction with [`Backend::Bit`] builds
+/// the B2SR representation eagerly (the "one-time conversion cost" the paper
+/// amortizes); [`Backend::Auto`] first runs the format-selection procedure of
+/// [`auto::auto_decision`].  Transposed representations are cached lazily
+/// inside the backend.
 #[derive(Debug)]
 pub struct Matrix {
-    csr: Csr,
-    backend: Backend,
-    b2sr: Option<B2srMatrix>,
-    /// Lazily-built representations of `A^T` for `vxm` / descriptor-transpose.
-    csr_t: OnceLock<Csr>,
-    b2sr_t: OnceLock<B2srMatrix>,
+    requested: Backend,
+    state: Box<dyn GrbBackend>,
+    /// The context the matrix was constructed with; derived matrices
+    /// ([`Matrix::lower_triangle`]) re-run auto selection against the same
+    /// device profile and sampling parameters.
+    ctx: Context,
 }
 
 impl Clone for Matrix {
     fn clone(&self) -> Self {
         Matrix {
-            csr: self.csr.clone(),
-            backend: self.backend,
-            b2sr: self.b2sr.clone(),
-            csr_t: OnceLock::new(),
-            b2sr_t: OnceLock::new(),
+            requested: self.requested,
+            state: self.state.clone_box(),
+            ctx: self.ctx.clone(),
         }
     }
 }
 
 impl Matrix {
-    /// Build a matrix from any CSR: values are binarized (every stored
-    /// nonzero becomes an edge), matching the homogeneous-graph assumption.
+    /// Build a matrix from any CSR with the default [`Context`]: values are
+    /// binarized (every stored nonzero becomes an edge), matching the
+    /// homogeneous-graph assumption.
     pub fn from_csr(csr: &Csr, backend: Backend) -> Self {
-        let bin = if csr.is_binary() { csr.clone() } else { csr.binarized() };
-        let b2sr = match backend {
-            Backend::Bit(ts) => Some(B2srMatrix::from_csr(&bin, ts)),
-            Backend::FloatCsr => None,
+        Self::from_csr_ctx(csr, backend, &Context::default())
+    }
+
+    /// Build a matrix from any CSR; the context supplies the device profile
+    /// and sampling parameters [`Backend::Auto`] selects with.
+    pub fn from_csr_ctx(csr: &Csr, backend: Backend, ctx: &Context) -> Self {
+        let resolved = match backend {
+            Backend::Auto => auto::auto_decision(csr, ctx).chosen,
+            other => other,
         };
-        Matrix { csr: bin, backend, b2sr, csr_t: OnceLock::new(), b2sr_t: OnceLock::new() }
+        let state: Box<dyn GrbBackend> = match resolved {
+            Backend::Bit(ts) => Box::new(BitB2sr::new(csr, ts)),
+            Backend::FloatCsr => Box::new(FloatCsr::new(csr)),
+            Backend::Auto => unreachable!("auto_decision returns a resolved backend"),
+        };
+        Matrix {
+            requested: backend,
+            state,
+            ctx: ctx.clone(),
+        }
+    }
+
+    /// Wrap an existing backend implementation (the extension point for
+    /// backends defined outside this crate).
+    pub fn from_backend(state: Box<dyn GrbBackend>) -> Self {
+        Matrix {
+            requested: state.kind(),
+            state,
+            ctx: Context::default(),
+        }
+    }
+
+    /// The context this matrix was constructed with.
+    pub fn context(&self) -> &Context {
+        &self.ctx
     }
 
     /// Number of rows.
     pub fn nrows(&self) -> usize {
-        self.csr.nrows()
+        self.state.nrows()
     }
 
     /// Number of columns.
     pub fn ncols(&self) -> usize {
-        self.csr.ncols()
+        self.state.ncols()
     }
 
     /// Number of edges (stored entries).
     pub fn nnz(&self) -> usize {
-        self.csr.nnz()
+        self.state.nnz()
     }
 
-    /// The storage/kernel backend.
+    /// The backend this matrix was requested with (possibly
+    /// [`Backend::Auto`]).
     pub fn backend(&self) -> Backend {
-        self.backend
+        self.requested
+    }
+
+    /// The backend actually executing operations (never [`Backend::Auto`]).
+    pub fn resolved_backend(&self) -> Backend {
+        self.state.kind()
+    }
+
+    /// The backend state: storage plus kernels.
+    pub fn state(&self) -> &dyn GrbBackend {
+        self.state.as_ref()
     }
 
     /// The binary CSR view (always available).
     pub fn csr(&self) -> &Csr {
-        &self.csr
+        self.state.csr()
     }
 
-    /// The B2SR view, present only for the bit backend.
+    /// The B2SR view, present only when a bit backend is active.
     pub fn b2sr(&self) -> Option<&B2srMatrix> {
-        self.b2sr.as_ref()
+        self.state
+            .as_any()
+            .downcast_ref::<BitB2sr>()
+            .map(BitB2sr::b2sr)
     }
 
     /// The CSR view of `A^T`, built and cached on first use.
     pub fn csr_t(&self) -> &Csr {
-        self.csr_t.get_or_init(|| self.csr.transpose())
+        self.state.csr_t()
     }
 
-    /// The B2SR view of `A^T`, built and cached on first use (bit backend
+    /// The B2SR view of `A^T`, built and cached on first use (bit backends
     /// only).
     pub fn b2sr_t(&self) -> Option<&B2srMatrix> {
-        self.b2sr.as_ref().map(|b| self.b2sr_t.get_or_init(|| b.transpose()))
+        self.state
+            .as_any()
+            .downcast_ref::<BitB2sr>()
+            .map(BitB2sr::b2sr_t)
     }
 
     /// Out-degree of every vertex (row nnz), used by PageRank.
     pub fn out_degrees(&self) -> Vec<usize> {
-        self.csr.out_degrees()
+        self.csr().out_degrees()
     }
 
-    /// Storage bytes of the active representation (B2SR for the bit backend,
+    /// Storage bytes of the active representation (B2SR for bit backends,
     /// float CSR for the baseline).
     pub fn storage_bytes(&self) -> usize {
-        match &self.b2sr {
-            Some(b) => b.storage_bytes(),
-            None => self.csr.storage_bytes(),
-        }
+        self.state.storage_bytes()
     }
 
-    /// A new matrix holding the strictly lower triangle, same backend
-    /// (Triangle Counting's `L`).
+    /// A new matrix holding the strictly lower triangle (Triangle Counting's
+    /// `L`).  The requested backend is preserved — under [`Backend::Auto`]
+    /// the framework re-decides on the new structure.
     pub fn lower_triangle(&self) -> Matrix {
-        Matrix::from_csr(&self.csr.lower_triangle(), self.backend)
+        Matrix::from_csr_ctx(&self.csr().lower_triangle(), self.requested, &self.ctx)
     }
 
-    /// A new matrix holding `A^T`, same backend.
+    /// A new matrix holding `A^T`, sharing the backend's cached transpose
+    /// representation instead of reconverting.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_csr(&self.csr.transpose(), self.backend)
+        Matrix {
+            requested: self.requested,
+            state: self.state.transpose_view(),
+            ctx: self.ctx.clone(),
+        }
     }
 
     /// True if the matrix equals its transpose (undirected graph).
     pub fn is_symmetric(&self) -> bool {
-        self.csr.iter().all(|(r, c, _)| self.csr.get(c, r).is_some())
+        let csr = self.csr();
+        csr.iter().all(|(r, c, _)| csr.get(c, r).is_some())
     }
 }
 
@@ -158,10 +216,21 @@ mod tests {
         assert!(a.b2sr().is_some());
         assert_eq!(a.b2sr().unwrap().nnz(), 7);
         assert_eq!(a.b2sr().unwrap().tile_size(), TileSize::S4);
+        assert_eq!(a.resolved_backend(), Backend::Bit(TileSize::S4));
 
         let f = Matrix::from_csr(&sample(), Backend::FloatCsr);
         assert!(f.b2sr().is_none());
         assert!(f.b2sr_t().is_none());
+    }
+
+    #[test]
+    fn auto_backend_resolves_to_a_concrete_state() {
+        let a = Matrix::from_csr(&sample(), Backend::Auto);
+        assert_eq!(a.backend(), Backend::Auto);
+        assert_ne!(a.resolved_backend(), Backend::Auto);
+        // Whatever was chosen, the data survives.
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.csr(), &sample().binarized());
     }
 
     #[test]
@@ -183,6 +252,17 @@ mod tests {
         assert!(l.csr().iter().all(|(r, c, _)| c < r));
         let t = a.transpose();
         assert_eq!(t.nnz(), a.nnz());
+        assert_eq!(t.resolved_backend(), a.resolved_backend());
+        assert_eq!(t.csr(), &a.csr().transpose());
+    }
+
+    #[test]
+    fn clone_preserves_backend_state() {
+        let a = Matrix::from_csr(&sample(), Backend::Bit(TileSize::S4));
+        let b = a.clone();
+        assert_eq!(b.resolved_backend(), Backend::Bit(TileSize::S4));
+        assert_eq!(b.csr(), a.csr());
+        assert_eq!(b.nnz(), a.nnz());
     }
 
     #[test]

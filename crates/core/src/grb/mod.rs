@@ -1,4 +1,4 @@
-//! A small GraphBLAS-style object API over the Bit-GraphBLAS kernels.
+//! A GraphBLAS-style object API over the Bit-GraphBLAS kernels.
 //!
 //! The paper presents Bit-GraphBLAS as a drop-in acceleration of the
 //! GraphBLAS execution model: graph algorithms are written against matrix /
@@ -6,27 +6,50 @@
 //! element-wise ops with masks), and the framework decides how the adjacency
 //! matrix is stored and which kernel implements each operation.
 //!
-//! This module provides that layer with two interchangeable backends:
+//! This module provides that layer around the [`GrbBackend`] trait — the
+//! pluggable storage/kernel interface — with three ways to pick a backend:
 //!
 //! * [`Backend::Bit`] — the adjacency matrix is stored in B2SR and the
 //!   operations run on the bit kernels of [`crate::kernels`] (the paper's
-//!   contribution);
+//!   contribution), implemented by [`BitB2sr`];
 //! * [`Backend::FloatCsr`] — the adjacency matrix stays in 32-bit-float CSR
 //!   and the operations run on the reference kernels of `bitgblas-sparse`
-//!   (the GraphBLAST/cuSPARSE stand-in used as the baseline).
+//!   (the GraphBLAST/cuSPARSE stand-in baseline), implemented by
+//!   [`FloatCsr`];
+//! * [`Backend::Auto`] — the framework decides per matrix, combining the
+//!   Table-V pattern classifier, the Algorithm-1 sampling profile and the
+//!   memory-traffic model (see [`auto`]).
+//!
+//! Operations are assembled with the builder API of [`op`] and executed
+//! against a [`Context`]:
+//!
+//! ```text
+//! Op::mxv(&a, &x).semiring(s).mask(&m).desc(d).run(&ctx)
+//! ```
 //!
 //! `bitgblas-algorithms` writes each graph algorithm once against this API
 //! and the benchmarks toggle the backend, exactly as the paper compares
-//! Bit-GraphBLAS to GraphBLAST.
+//! Bit-GraphBLAS to GraphBLAST.  The pre-0.2 free functions (`mxv`, `vxm`,
+//! `mxm_reduce_masked`, `reduce`, the `ewise` family) remain available as
+//! deprecated shims.
 
+pub mod auto;
+pub mod backend;
 pub mod descriptor;
 pub mod ewise;
 pub mod matrix;
+pub mod op;
 pub mod ops;
 pub mod vector;
 
+pub use auto::{auto_decision, AutoDecision, TileCandidate};
+pub use backend::{BitB2sr, FloatCsr, GrbBackend};
 pub use descriptor::{Descriptor, Mask};
-pub use ewise::{apply, assign_masked, ewise_add, ewise_mult, select};
+pub use ewise::assign_masked;
+#[allow(deprecated)]
+pub use ewise::{apply, ewise_add, ewise_mult, select};
 pub use matrix::{Backend, Matrix};
+pub use op::{Context, Op};
+#[allow(deprecated)]
 pub use ops::{mxm_reduce_masked, mxv, reduce, vxm};
 pub use vector::Vector;

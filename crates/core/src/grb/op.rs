@@ -1,0 +1,494 @@
+//! The builder-style operation API: [`Context`] and [`Op`].
+//!
+//! GraphBLAS operations carry several optional modifiers (mask, descriptor,
+//! semiring); rather than threading them all positionally through free
+//! functions, operations are assembled with a builder and executed against a
+//! [`Context`]:
+//!
+//! ```
+//! use bitgblas_core::grb::{Context, Op, Mask};
+//! use bitgblas_core::{Backend, Matrix, Semiring, Vector};
+//! # use bitgblas_sparse::Coo;
+//! # let mut coo = Coo::new(4, 4);
+//! # coo.push_edge(0, 1).unwrap();
+//! # coo.push_edge(1, 2).unwrap();
+//! # let csr = coo.to_binary_csr();
+//!
+//! let ctx = Context::default();
+//! let a = Matrix::from_csr_ctx(&csr, Backend::Auto, &ctx);
+//! let frontier = Vector::indicator(4, &[0]);
+//! let visited = Mask::complemented(vec![true, false, false, false]);
+//!
+//! let next = Op::vxm(&frontier, &a)
+//!     .semiring(Semiring::Boolean)
+//!     .mask(&visited)
+//!     .run(&ctx);
+//! assert_eq!(next.get(1), 1.0);
+//! ```
+//!
+//! The [`Context`] carries the cross-operation configuration: the device
+//! profile the performance model scores backends against and the sampling
+//! parameters of the Algorithm-1 profile — i.e. everything
+//! [`Backend::Auto`](super::Backend::Auto) needs.  Execution itself is
+//! dispatched through the matrix's [`GrbBackend`](super::GrbBackend) state.
+
+use bitgblas_perfmodel::{pascal_gtx1080, DeviceProfile};
+
+use crate::semiring::Semiring;
+
+use super::descriptor::{Descriptor, Mask};
+use super::matrix::Matrix;
+use super::vector::Vector;
+
+/// Cross-operation execution configuration.
+#[derive(Debug, Clone)]
+pub struct Context {
+    /// Device profile used by the performance model when resolving
+    /// [`Backend::Auto`](super::Backend::Auto).
+    pub device: DeviceProfile,
+    /// Rows sampled by the Algorithm-1 profile during auto selection.
+    pub sample_rows: usize,
+    /// Seed of the deterministic row sample.
+    pub seed: u64,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context {
+            device: pascal_gtx1080(),
+            sample_rows: 256,
+            seed: 0xB17,
+        }
+    }
+}
+
+impl Context {
+    /// The default context (Pascal device profile, 256 sampled rows).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context modelling the given device.
+    pub fn with_device(device: DeviceProfile) -> Self {
+        Context {
+            device,
+            ..Self::default()
+        }
+    }
+}
+
+/// Entry points of the builder API; each returns a builder whose `run(&ctx)`
+/// executes on the matrix's backend.
+pub struct Op;
+
+impl Op {
+    /// `y = A ⊕.⊗ x`: matrix × vector.
+    pub fn mxv<'a>(a: &'a Matrix, x: &'a Vector) -> MxvBuilder<'a> {
+        MxvBuilder {
+            a,
+            x,
+            semiring: Semiring::Arithmetic,
+            mask: None,
+            desc: Descriptor::new(),
+            flip: false,
+        }
+    }
+
+    /// `y = x ⊕.⊗ A`: vector × matrix (the push-direction traversal).
+    pub fn vxm<'a>(x: &'a Vector, a: &'a Matrix) -> MxvBuilder<'a> {
+        MxvBuilder {
+            a,
+            x,
+            semiring: Semiring::Arithmetic,
+            mask: None,
+            desc: Descriptor::new(),
+            flip: true,
+        }
+    }
+
+    /// `Σ (mask .* (A · B))`: masked matrix product reduced to a scalar (the
+    /// Triangle Counting primitive).
+    pub fn mxm_reduce<'a>(a: &'a Matrix, b: &'a Matrix, mask: &'a Matrix) -> MxmReduceBuilder<'a> {
+        MxmReduceBuilder { a, b, mask }
+    }
+
+    /// Reduce a vector with a semiring's additive monoid.
+    pub fn reduce(x: &Vector) -> ReduceBuilder<'_> {
+        ReduceBuilder {
+            x,
+            semiring: Semiring::Arithmetic,
+        }
+    }
+
+    /// Element-wise `out[i] = a[i] ⊕ b[i]`.
+    pub fn ewise_add<'a>(a: &'a Vector, b: &'a Vector) -> EwiseBuilder<'a> {
+        EwiseBuilder {
+            a,
+            b,
+            semiring: Semiring::Arithmetic,
+            mult: false,
+        }
+    }
+
+    /// Element-wise `out[i] = a[i] ⊗ b[i]`.
+    pub fn ewise_mult<'a>(a: &'a Vector, b: &'a Vector) -> EwiseBuilder<'a> {
+        EwiseBuilder {
+            a,
+            b,
+            semiring: Semiring::Arithmetic,
+            mult: true,
+        }
+    }
+
+    /// `out[i] = f(x[i])` (GraphBLAS `apply`).
+    pub fn apply<F: Fn(f32) -> f32>(x: &Vector, f: F) -> ApplyBuilder<'_, F> {
+        ApplyBuilder { x, f }
+    }
+
+    /// Indicator of entries satisfying `pred` (GraphBLAS `select`).
+    pub fn select<F: Fn(f32) -> bool>(x: &Vector, pred: F) -> SelectBuilder<'_, F> {
+        SelectBuilder { x, pred }
+    }
+}
+
+/// Builder for `mxv` / `vxm` (created by [`Op::mxv`] / [`Op::vxm`]).
+#[must_use = "builders do nothing until run(&ctx)"]
+pub struct MxvBuilder<'a> {
+    a: &'a Matrix,
+    x: &'a Vector,
+    semiring: Semiring,
+    mask: Option<&'a Mask>,
+    desc: Descriptor,
+    /// `true` for the vxm direction.
+    flip: bool,
+}
+
+impl<'a> MxvBuilder<'a> {
+    /// Use the given semiring (default: arithmetic).
+    pub fn semiring(mut self, semiring: Semiring) -> Self {
+        self.semiring = semiring;
+        self
+    }
+
+    /// Write only where the mask allows.
+    pub fn mask(mut self, mask: &'a Mask) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Use the given descriptor.
+    pub fn desc(mut self, desc: Descriptor) -> Self {
+        self.desc = desc;
+        self
+    }
+
+    /// Shorthand for setting the descriptor's transpose flag.
+    pub fn transpose(mut self) -> Self {
+        self.desc.transpose = true;
+        self
+    }
+
+    /// Execute on the matrix's backend.
+    pub fn run(self, _ctx: &Context) -> Vector {
+        let transpose = self.desc.transpose;
+        // Output length is the non-contracted dimension.
+        let (contracted, produced) = if transpose != self.flip {
+            (self.a.nrows(), self.a.ncols())
+        } else {
+            (self.a.ncols(), self.a.nrows())
+        };
+        assert_eq!(
+            contracted,
+            self.x.len(),
+            "{} dimension mismatch",
+            if self.flip { "vxm" } else { "mxv" }
+        );
+        if let Some(m) = self.mask {
+            assert_eq!(m.len(), produced, "mask length must equal output length");
+        }
+        let values = if self.flip {
+            self.a
+                .state()
+                .vxm(self.x.as_slice(), self.semiring, self.mask, transpose)
+        } else {
+            self.a
+                .state()
+                .mxv(self.x.as_slice(), self.semiring, self.mask, transpose)
+        };
+        Vector::from_vec(values)
+    }
+}
+
+/// Builder for the masked matrix-product reduction (created by
+/// [`Op::mxm_reduce`]).
+#[must_use = "builders do nothing until run(&ctx)"]
+pub struct MxmReduceBuilder<'a> {
+    a: &'a Matrix,
+    b: &'a Matrix,
+    mask: &'a Matrix,
+}
+
+impl MxmReduceBuilder<'_> {
+    /// Execute on the operands' backends (mixed backends fall back to the
+    /// CSR reference kernel).
+    pub fn run(self, _ctx: &Context) -> f64 {
+        assert_eq!(
+            self.a.ncols(),
+            self.b.nrows(),
+            "mxm inner dimension mismatch"
+        );
+        assert_eq!(
+            (self.mask.nrows(), self.mask.ncols()),
+            (self.a.nrows(), self.b.ncols()),
+            "mxm mask dimension mismatch"
+        );
+        self.a
+            .state()
+            .mxm_reduce_masked(self.b.state(), self.mask.state())
+    }
+}
+
+/// Builder for vector reduction (created by [`Op::reduce`]).
+#[must_use = "builders do nothing until run(&ctx)"]
+pub struct ReduceBuilder<'a> {
+    x: &'a Vector,
+    semiring: Semiring,
+}
+
+impl ReduceBuilder<'_> {
+    /// Use the given semiring (default: arithmetic).
+    pub fn semiring(mut self, semiring: Semiring) -> Self {
+        self.semiring = semiring;
+        self
+    }
+
+    /// Execute.
+    pub fn run(self, _ctx: &Context) -> f32 {
+        self.semiring.reduce_slice(self.x.as_slice())
+    }
+}
+
+/// Builder for the element-wise monoid operations (created by
+/// [`Op::ewise_add`] / [`Op::ewise_mult`]).
+#[must_use = "builders do nothing until run(&ctx)"]
+pub struct EwiseBuilder<'a> {
+    a: &'a Vector,
+    b: &'a Vector,
+    semiring: Semiring,
+    mult: bool,
+}
+
+impl EwiseBuilder<'_> {
+    /// Use the given semiring (default: arithmetic).
+    pub fn semiring(mut self, semiring: Semiring) -> Self {
+        self.semiring = semiring;
+        self
+    }
+
+    /// Execute.
+    pub fn run(self, _ctx: &Context) -> Vector {
+        assert_eq!(
+            self.a.len(),
+            self.b.len(),
+            "ewise operands require equal lengths"
+        );
+        let out = if self.mult {
+            super::ewise::ewise_mult_slices(self.a.as_slice(), self.b.as_slice(), self.semiring)
+        } else {
+            super::ewise::ewise_add_slices(self.a.as_slice(), self.b.as_slice(), self.semiring)
+        };
+        Vector::from_vec(out)
+    }
+}
+
+/// Builder for `apply` (created by [`Op::apply`]).
+#[must_use = "builders do nothing until run(&ctx)"]
+pub struct ApplyBuilder<'a, F> {
+    x: &'a Vector,
+    f: F,
+}
+
+impl<F: Fn(f32) -> f32> ApplyBuilder<'_, F> {
+    /// Execute.
+    pub fn run(self, _ctx: &Context) -> Vector {
+        Vector::from_vec(self.x.as_slice().iter().map(|&v| (self.f)(v)).collect())
+    }
+}
+
+/// Builder for `select` (created by [`Op::select`]).
+#[must_use = "builders do nothing until run(&ctx)"]
+pub struct SelectBuilder<'a, F> {
+    x: &'a Vector,
+    pred: F,
+}
+
+impl<F: Fn(f32) -> bool> SelectBuilder<'_, F> {
+    /// Execute.
+    pub fn run(self, _ctx: &Context) -> Vector {
+        Vector::from_vec(
+            self.x
+                .as_slice()
+                .iter()
+                .map(|&v| if (self.pred)(v) { 1.0 } else { 0.0 })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::b2sr::TileSize;
+    use crate::grb::matrix::Backend;
+    use bitgblas_sparse::{Coo, Csr};
+
+    fn sample(n: usize, seed: u64) -> Csr {
+        let mut coo = Coo::new(n, n);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..n * 4 {
+            let r = (next() % n as u64) as usize;
+            let c = (next() % n as u64) as usize;
+            coo.push_edge(r, c).unwrap();
+        }
+        coo.to_binary_csr()
+    }
+
+    fn close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let both_inf = x.is_infinite() && y.is_infinite();
+            assert!(both_inf || (x - y).abs() < 1e-4, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn builder_mxv_agrees_across_backends() {
+        let csr = sample(90, 3);
+        let x = Vector::from_vec((0..90).map(|i| (i % 5) as f32).collect());
+        let ctx = Context::default();
+        let float = Matrix::from_csr(&csr, Backend::FloatCsr);
+        for ts in TileSize::ALL {
+            let bit = Matrix::from_csr(&csr, Backend::Bit(ts));
+            for semiring in [
+                Semiring::Arithmetic,
+                Semiring::MinPlus(1.0),
+                Semiring::MaxTimes(1.0),
+            ] {
+                let yb = Op::mxv(&bit, &x).semiring(semiring).run(&ctx);
+                let yf = Op::mxv(&float, &x).semiring(semiring).run(&ctx);
+                close(yb.as_slice(), yf.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn vxm_builder_equals_mxv_on_transpose() {
+        let csr = sample(50, 11);
+        let x = Vector::from_vec((0..50).map(|i| (i % 3) as f32).collect());
+        let ctx = Context::default();
+        for backend in [Backend::Bit(TileSize::S16), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            let at = Matrix::from_csr(&csr.transpose(), backend);
+            let push = Op::vxm(&x, &a).run(&ctx);
+            let reference = Op::mxv(&at, &x).run(&ctx);
+            close(push.as_slice(), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn masked_builder_respects_complemented_mask() {
+        let csr = sample(40, 7);
+        let x = Vector::indicator(40, &[0, 1, 2, 3]);
+        let visited: Vec<bool> = (0..40).map(|i| i < 20).collect();
+        let mask = Mask::complemented(visited);
+        let ctx = Context::default();
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr, Backend::Auto] {
+            let a = Matrix::from_csr(&csr, backend);
+            let y = Op::mxv(&a, &x)
+                .semiring(Semiring::Boolean)
+                .mask(&mask)
+                .run(&ctx);
+            for i in 0..20 {
+                assert_eq!(
+                    y.get(i),
+                    0.0,
+                    "visited vertex {i} must stay filtered ({backend:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn descriptor_and_transpose_shorthand_agree() {
+        let csr = sample(30, 13);
+        let x = Vector::from_vec((0..30).map(|i| i as f32).collect());
+        let ctx = Context::default();
+        let a = Matrix::from_csr(&csr, Backend::Bit(TileSize::S32));
+        let via_desc = Op::mxv(&a, &x).desc(Descriptor::with_transpose()).run(&ctx);
+        let via_shorthand = Op::mxv(&a, &x).transpose().run(&ctx);
+        assert_eq!(via_desc, via_shorthand);
+    }
+
+    #[test]
+    fn mxm_reduce_counts_triangles_across_backends() {
+        let adj = sample(60, 17).symmetrized().without_diagonal();
+        let ctx = Context::default();
+        let mut counts = Vec::new();
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr, Backend::Auto] {
+            let l = Matrix::from_csr(&adj.lower_triangle(), backend);
+            let lt = Matrix::from_csr(&adj.lower_triangle().transpose(), backend);
+            counts.push(Op::mxm_reduce(&l, &lt, &l).run(&ctx));
+        }
+        assert!(
+            counts.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9),
+            "{counts:?}"
+        );
+    }
+
+    #[test]
+    fn vector_builders_cover_the_ewise_family() {
+        let ctx = Context::default();
+        let a = Vector::from_vec(vec![1.0, 5.0, 0.0]);
+        let b = Vector::from_vec(vec![2.0, 3.0, 4.0]);
+        assert_eq!(
+            Op::ewise_add(&a, &b)
+                .semiring(Semiring::MinPlus(1.0))
+                .run(&ctx)
+                .as_slice(),
+            &[1.0, 3.0, 0.0]
+        );
+        assert_eq!(
+            Op::ewise_mult(&a, &b)
+                .semiring(Semiring::Boolean)
+                .run(&ctx)
+                .as_slice(),
+            &[1.0, 1.0, 0.0]
+        );
+        assert_eq!(
+            Op::apply(&a, |v| v * 2.0).run(&ctx).as_slice(),
+            &[2.0, 10.0, 0.0]
+        );
+        assert_eq!(
+            Op::select(&a, |v| v > 0.5).run(&ctx).as_slice(),
+            &[1.0, 1.0, 0.0]
+        );
+        assert_eq!(
+            Op::reduce(&a).semiring(Semiring::MaxTimes(1.0)).run(&ctx),
+            5.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn builder_rejects_bad_dimensions() {
+        let a = Matrix::from_csr(&sample(10, 1), Backend::FloatCsr);
+        let x = Vector::zeros(7);
+        let _ = Op::mxv(&a, &x).run(&Context::default());
+    }
+}

@@ -1,60 +1,30 @@
-//! The GraphBLAS-style operations, dispatched over the two backends.
+//! Deprecated free-function entry points for the GraphBLAS-style operations.
 //!
-//! * [`mxv`] — `y = A ⊕.⊗ x` (matrix × vector) with an optional mask;
-//! * [`vxm`] — `y = x ⊕.⊗ A` (vector × matrix), i.e. `Aᵀ ⊕.⊗ x`, the
-//!   push-direction traversal used by BFS/SSSP;
-//! * [`mxm_reduce_masked`] — `Σ (mask .* (A · B))`, the Triangle Counting
-//!   primitive;
-//! * [`reduce`] — reduce a vector with the semiring's additive monoid.
+//! These were the original API of the GrB layer; they survive as thin shims
+//! over the builder API of [`super::op`] so existing callers keep compiling.
+//! New code should use the builders:
 //!
-//! On the [`Backend::Bit`] path every operation runs on the B2SR bit kernels
-//! of [`crate::kernels`]; on the [`Backend::FloatCsr`] path the reference
-//! float kernels of `bitgblas-sparse` are used, reproducing the
-//! GraphBLAST-style baseline.
+//! * `mxv(a, x, s, m, d)` → `Op::mxv(&a, &x).semiring(s).mask(&m).desc(d).run(&ctx)`
+//! * `vxm(x, a, s, m, d)` → `Op::vxm(&x, &a).semiring(s).mask(&m).desc(d).run(&ctx)`
+//! * `mxm_reduce_masked(a, b, m)` → `Op::mxm_reduce(&a, &b, &m).run(&ctx)`
+//! * `reduce(x, s)` → `Op::reduce(&x).semiring(s).run(&ctx)`
 
-use rayon::prelude::*;
-
-use bitgblas_sparse::{ops as float_ops, Csr};
-
-use crate::b2sr::B2srMatrix;
-use crate::kernels::{
-    bmm_bin_bin_sum_masked, bmv_bin_bin_bin, bmv_bin_bin_bin_masked, bmv_bin_full_full,
-    bmv_bin_full_full_masked, pack_vector_bits, pack_vector_tilewise, unpack_vector_bits,
-};
 use crate::semiring::Semiring;
 
 use super::descriptor::{Descriptor, Mask};
-use super::matrix::{Backend, Matrix};
+use super::matrix::Matrix;
+use super::op::{Context, Op};
 use super::vector::Vector;
-
-/// Row-parallel CSR SpMV over an arbitrary semiring — the float-CSR baseline
-/// path (GraphBLAST-style).  The adjacency matrix is binary, so a stored
-/// entry contributes `⊗(x[j])` and absent entries contribute nothing; masked
-/// rows are skipped entirely (GraphBLAST's early exit).
-fn float_mxv(csr: &Csr, x: &[f32], semiring: Semiring, mask: Option<&Mask>) -> Vec<f32> {
-    let identity = semiring.identity();
-    let mut y = vec![identity; csr.nrows()];
-    y.par_iter_mut().enumerate().for_each(|(r, out)| {
-        if let Some(m) = mask {
-            if !m.allows(r) {
-                return;
-            }
-        }
-        let (cols, _) = csr.row(r);
-        let mut acc = identity;
-        for &c in cols {
-            acc = semiring.reduce(acc, semiring.combine(x[c]));
-        }
-        *out = acc;
-    });
-    y
-}
 
 /// Matrix–vector multiply over a semiring: `y[i] = ⊕_j A[i][j] ⊗ x[j]`,
 /// optionally masked.
 ///
 /// With `desc.transpose` set, `Aᵀ` is used (the transpose representation is
 /// cached inside the [`Matrix`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Op::mxv(&a, &x).semiring(s).mask(&m).desc(d).run(&ctx)`"
+)]
 pub fn mxv(
     a: &Matrix,
     x: &Vector,
@@ -62,72 +32,19 @@ pub fn mxv(
     mask: Option<&Mask>,
     desc: &Descriptor,
 ) -> Vector {
-    assert_eq!(a.ncols(), x.len(), "mxv dimension mismatch");
+    let mut op = Op::mxv(a, x).semiring(semiring).desc(*desc);
     if let Some(m) = mask {
-        assert_eq!(m.len(), a.nrows(), "mask length must equal output length");
+        op = op.mask(m);
     }
-
-    let values = match a.backend() {
-        Backend::Bit(_) => {
-            let b2sr = if desc.transpose {
-                a.b2sr_t().expect("bit backend always has a B2SR representation")
-            } else {
-                a.b2sr().expect("bit backend always has a B2SR representation")
-            };
-            bit_mxv(b2sr, x.as_slice(), semiring, mask)
-        }
-        Backend::FloatCsr => {
-            let csr = if desc.transpose { a.csr_t() } else { a.csr() };
-            float_mxv(csr, x.as_slice(), semiring, mask)
-        }
-    };
-    Vector::from_vec(values)
-}
-
-/// Dispatch a bit-backend `mxv` over the four B2SR variants.
-fn bit_mxv(b2sr: &B2srMatrix, x: &[f32], semiring: Semiring, mask: Option<&Mask>) -> Vec<f32> {
-    macro_rules! run {
-        ($m:expr, $w:ty) => {{
-            let m = $m;
-            let dim = m.tile_dim();
-            match semiring {
-                Semiring::Boolean => {
-                    // Boolean semiring: binarize the vector and use the
-                    // minimal-footprint bin/bin/bin scheme.
-                    let xp = pack_vector_tilewise::<$w>(x, dim);
-                    let y_bits = match mask {
-                        Some(mk) => {
-                            let suppressed = mk.suppressed();
-                            let mp = pack_vector_bits::<$w>(&suppressed, dim);
-                            bmv_bin_bin_bin_masked(m, &xp, &mp)
-                        }
-                        None => bmv_bin_bin_bin(m, &xp),
-                    };
-                    unpack_vector_bits(&y_bits, dim, m.nrows())
-                        .into_iter()
-                        .map(|b| if b { 1.0 } else { 0.0 })
-                        .collect()
-                }
-                _ => match mask {
-                    Some(mk) => {
-                        let suppressed = mk.suppressed();
-                        bmv_bin_full_full_masked(m, x, &suppressed, semiring)
-                    }
-                    None => bmv_bin_full_full(m, x, semiring),
-                },
-            }
-        }};
-    }
-    match b2sr {
-        B2srMatrix::B4(m) => run!(m, u8),
-        B2srMatrix::B8(m) => run!(m, u8),
-        B2srMatrix::B16(m) => run!(m, u16),
-        B2srMatrix::B32(m) => run!(m, u32),
-    }
+    op.run(&Context::default())
 }
 
 /// Vector–matrix multiply: `y[j] = ⊕_i x[i] ⊗ A[i][j]`, which equals
 /// `mxv(Aᵀ, x)`.  This is the push-direction step of BFS/SSSP.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Op::vxm(&x, &a).semiring(s).mask(&m).desc(d).run(&ctx)`"
+)]
 pub fn vxm(
     x: &Vector,
     a: &Matrix,
@@ -135,10 +52,11 @@ pub fn vxm(
     mask: Option<&Mask>,
     desc: &Descriptor,
 ) -> Vector {
-    // vxm(x, A) = mxv(A, x) with the transpose flag flipped.
-    let flipped = Descriptor { transpose: !desc.transpose, ..*desc };
-    assert_eq!(a.nrows(), x.len(), "vxm dimension mismatch");
-    mxv(a, x, semiring, mask, &flipped)
+    let mut op = Op::vxm(x, a).semiring(semiring).desc(*desc);
+    if let Some(m) = mask {
+        op = op.mask(m);
+    }
+    op.run(&Context::default())
 }
 
 /// Masked matrix–matrix multiply reduced to a scalar:
@@ -146,50 +64,26 @@ pub fn vxm(
 ///
 /// This is the Triangle Counting primitive; with `A = L`, `B = Lᵀ`,
 /// `mask = L` the result is the graph's triangle count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Op::mxm_reduce(&a, &b, &mask).run(&ctx)`"
+)]
 pub fn mxm_reduce_masked(a: &Matrix, b: &Matrix, mask: &Matrix) -> f64 {
-    assert_eq!(a.ncols(), b.nrows(), "mxm inner dimension mismatch");
-    match (a.backend(), b.backend(), mask.backend()) {
-        (Backend::Bit(_), Backend::Bit(_), Backend::Bit(_)) => {
-            let (ab, bb, mb) = (
-                a.b2sr().expect("bit backend"),
-                b.b2sr().expect("bit backend"),
-                mask.b2sr().expect("bit backend"),
-            );
-            bit_mxm_sum(ab, bb, mb) as f64
-        }
-        _ => {
-            // Mixed or float backends fall back to the reference kernel.
-            // `spgemm_masked_sum` treats its second operand as Bᵀ stored by
-            // rows, so pass B's transpose CSR.
-            float_ops::spgemm_masked_sum(a.csr(), b.csr_t(), mask.csr())
-                .expect("dimensions checked above")
-        }
-    }
-}
-
-fn bit_mxm_sum(a: &B2srMatrix, b: &B2srMatrix, mask: &B2srMatrix) -> u64 {
-    match (a, b, mask) {
-        (B2srMatrix::B4(a), B2srMatrix::B4(b), B2srMatrix::B4(m)) => bmm_bin_bin_sum_masked(a, b, m),
-        (B2srMatrix::B8(a), B2srMatrix::B8(b), B2srMatrix::B8(m)) => bmm_bin_bin_sum_masked(a, b, m),
-        (B2srMatrix::B16(a), B2srMatrix::B16(b), B2srMatrix::B16(m)) => {
-            bmm_bin_bin_sum_masked(a, b, m)
-        }
-        (B2srMatrix::B32(a), B2srMatrix::B32(b), B2srMatrix::B32(m)) => {
-            bmm_bin_bin_sum_masked(a, b, m)
-        }
-        _ => panic!("mxm operands must use the same B2SR tile size"),
-    }
+    Op::mxm_reduce(a, b, mask).run(&Context::default())
 }
 
 /// Reduce a vector with the semiring's additive monoid.
+#[deprecated(since = "0.2.0", note = "use `Op::reduce(&x).semiring(s).run(&ctx)`")]
 pub fn reduce(x: &Vector, semiring: Semiring) -> f32 {
-    semiring.reduce_slice(x.as_slice())
+    Op::reduce(x).semiring(semiring).run(&Context::default())
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::b2sr::TileSize;
+    use crate::grb::matrix::Backend;
     use bitgblas_sparse::{Coo, Csr};
 
     fn sample(n: usize, seed: u64) -> Csr {
@@ -209,86 +103,48 @@ mod tests {
         coo.to_binary_csr()
     }
 
-    fn close(a: &[f32], b: &[f32]) {
-        assert_eq!(a.len(), b.len());
-        for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            let both_inf = x.is_infinite() && y.is_infinite();
-            assert!(both_inf || (x - y).abs() < 1e-4, "index {i}: {x} vs {y}");
-        }
-    }
-
+    /// The shims must agree with the builder API they forward to.
     #[test]
-    fn bit_and_float_backends_agree_on_mxv() {
-        let csr = sample(90, 3);
-        let x = Vector::from_vec((0..90).map(|i| (i % 5) as f32).collect());
-        let float = Matrix::from_csr(&csr, Backend::FloatCsr);
-        for ts in TileSize::ALL {
-            let bit = Matrix::from_csr(&csr, Backend::Bit(ts));
-            for semiring in [Semiring::Arithmetic, Semiring::MinPlus(1.0), Semiring::MaxTimes(1.0)] {
-                let yb = mxv(&bit, &x, semiring, None, &Descriptor::new());
-                let yf = mxv(&float, &x, semiring, None, &Descriptor::new());
-                close(yb.as_slice(), yf.as_slice());
-            }
-            // Boolean compares as reachability flags.
-            let yb = mxv(&bit, &x, Semiring::Boolean, None, &Descriptor::new());
-            let yf = mxv(&float, &x, Semiring::Boolean, None, &Descriptor::new());
-            for (b, f) in yb.as_slice().iter().zip(yf.as_slice()) {
-                assert_eq!(*b != 0.0, *f != 0.0);
-            }
-        }
-    }
-
-    #[test]
-    fn masked_mxv_respects_complemented_mask() {
-        let csr = sample(40, 7);
-        let x = Vector::indicator(40, &[0, 1, 2, 3]);
-        let visited: Vec<bool> = (0..40).map(|i| i < 20).collect();
-        let mask = Mask::complemented(visited.clone());
+    fn shims_match_builders() {
+        let csr = sample(60, 3);
+        let ctx = Context::default();
+        let x = Vector::from_vec((0..60).map(|i| (i % 5) as f32).collect());
         for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
             let a = Matrix::from_csr(&csr, backend);
-            let y = mxv(&a, &x, Semiring::Boolean, Some(&mask), &Descriptor::new());
-            for i in 0..20 {
-                assert_eq!(y.get(i), 0.0, "visited vertex {i} must stay filtered ({backend:?})");
-            }
-        }
-    }
+            let shim = mxv(
+                &a,
+                &x,
+                Semiring::Arithmetic,
+                None,
+                &Descriptor::with_transpose(),
+            );
+            let builder = Op::mxv(&a, &x).transpose().run(&ctx);
+            assert_eq!(shim, builder, "{backend:?}");
 
-    #[test]
-    fn vxm_equals_mxv_on_transpose() {
-        let csr = sample(50, 11);
-        let x = Vector::from_vec((0..50).map(|i| (i % 3) as f32).collect());
-        for backend in [Backend::Bit(TileSize::S16), Backend::FloatCsr] {
-            let a = Matrix::from_csr(&csr, backend);
-            let at = Matrix::from_csr(&csr.transpose(), backend);
-            let push = vxm(&x, &a, Semiring::Arithmetic, None, &Descriptor::new());
-            let reference = mxv(&at, &x, Semiring::Arithmetic, None, &Descriptor::new());
-            close(push.as_slice(), reference.as_slice());
+            let visited: Vec<bool> = (0..60).map(|i| i % 2 == 0).collect();
+            let mask = Mask::complemented(visited);
+            let shim = vxm(&x, &a, Semiring::Boolean, Some(&mask), &Descriptor::new());
+            let builder = Op::vxm(&x, &a)
+                .semiring(Semiring::Boolean)
+                .mask(&mask)
+                .run(&ctx);
+            assert_eq!(shim, builder, "{backend:?}");
         }
-    }
+        assert_eq!(
+            reduce(&x, Semiring::MinPlus(1.0)),
+            Op::reduce(&x).semiring(Semiring::MinPlus(1.0)).run(&ctx)
+        );
 
-    #[test]
-    fn descriptor_transpose_flag() {
-        let csr = sample(30, 13);
-        let x = Vector::from_vec((0..30).map(|i| i as f32).collect());
-        let a = Matrix::from_csr(&csr, Backend::Bit(TileSize::S32));
-        let explicit_t = Matrix::from_csr(&csr.transpose(), Backend::Bit(TileSize::S32));
-        let via_desc = mxv(&a, &x, Semiring::Arithmetic, None, &Descriptor::with_transpose());
-        let via_matrix = mxv(&explicit_t, &x, Semiring::Arithmetic, None, &Descriptor::new());
-        close(via_desc.as_slice(), via_matrix.as_slice());
-    }
-
-    #[test]
-    fn triangle_counting_primitive_agrees_across_backends() {
-        // An undirected graph with known triangles.
-        let adj = sample(60, 17).symmetrized().without_diagonal();
-        let mut counts = Vec::new();
-        for backend in [Backend::Bit(TileSize::S8), Backend::Bit(TileSize::S32), Backend::FloatCsr] {
-            let l = Matrix::from_csr(&adj.lower_triangle(), backend);
-            let lt = Matrix::from_csr(&adj.lower_triangle().transpose(), backend);
-            let tri = mxm_reduce_masked(&l, &lt, &l);
-            counts.push(tri);
-        }
-        assert!(counts.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "{counts:?}");
+        let adj = sample(40, 9).symmetrized().without_diagonal();
+        let l = Matrix::from_csr(&adj.lower_triangle(), Backend::Bit(TileSize::S8));
+        let lt = Matrix::from_csr(
+            &adj.lower_triangle().transpose(),
+            Backend::Bit(TileSize::S8),
+        );
+        assert_eq!(
+            mxm_reduce_masked(&l, &lt, &l),
+            Op::mxm_reduce(&l, &lt, &l).run(&ctx)
+        );
     }
 
     #[test]

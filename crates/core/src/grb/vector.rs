@@ -19,23 +19,31 @@ pub struct Vector {
 impl Vector {
     /// Vector of `n` zeros.
     pub fn zeros(n: usize) -> Self {
-        Vector { data: DenseVec::zeros(n) }
+        Vector {
+            data: DenseVec::zeros(n),
+        }
     }
 
     /// Vector filled with the identity of the given semiring (`0`, `+∞` or
     /// `-∞`), the "empty" state for that domain.
     pub fn identity(n: usize, semiring: Semiring) -> Self {
-        Vector { data: DenseVec::filled(n, semiring.identity()) }
+        Vector {
+            data: DenseVec::filled(n, semiring.identity()),
+        }
     }
 
     /// Indicator vector with `1.0` at `positions`.
     pub fn indicator(n: usize, positions: &[usize]) -> Self {
-        Vector { data: DenseVec::indicator(n, positions) }
+        Vector {
+            data: DenseVec::indicator(n, positions),
+        }
     }
 
     /// Wrap an existing buffer.
     pub fn from_vec(v: Vec<f32>) -> Self {
-        Vector { data: DenseVec::from_vec(v) }
+        Vector {
+            data: DenseVec::from_vec(v),
+        }
     }
 
     /// Length of the vector.
@@ -76,7 +84,10 @@ impl Vector {
     /// Number of entries that differ from the given semiring's identity
     /// (= the frontier size for that domain).
     pub fn n_active(&self, semiring: Semiring) -> usize {
-        self.as_slice().iter().filter(|&&v| !semiring.is_identity(v)).count()
+        self.as_slice()
+            .iter()
+            .filter(|&&v| !semiring.is_identity(v))
+            .count()
     }
 
     /// Number of nonzero entries.
@@ -87,7 +98,10 @@ impl Vector {
     /// Boolean view: `true` where the entry differs from the semiring
     /// identity.  Used to build masks (e.g. the visited set in BFS).
     pub fn active_flags(&self, semiring: Semiring) -> Vec<bool> {
-        self.as_slice().iter().map(|&v| !semiring.is_identity(v)).collect()
+        self.as_slice()
+            .iter()
+            .map(|&v| !semiring.is_identity(v))
+            .collect()
     }
 
     /// Element-wise accumulate with the semiring's additive monoid:
@@ -131,7 +145,10 @@ mod tests {
         let ind = Vector::indicator(5, &[0, 4]);
         assert_eq!(ind.nnz(), 2);
         assert_eq!(ind.n_active(Semiring::Boolean), 2);
-        assert_eq!(ind.active_flags(Semiring::Boolean), vec![true, false, false, false, true]);
+        assert_eq!(
+            ind.active_flags(Semiring::Boolean),
+            vec![true, false, false, false, true]
+        );
     }
 
     #[test]
@@ -154,7 +171,10 @@ mod tests {
         assert_eq!(dist.as_slice(), &[0.0, 3.0, 7.0]);
 
         let mut ranks = Vector::from_vec(vec![0.1, 0.2, 0.3]);
-        ranks.accumulate(&Vector::from_vec(vec![0.05, 0.0, 0.1]), Semiring::Arithmetic);
+        ranks.accumulate(
+            &Vector::from_vec(vec![0.05, 0.0, 0.1]),
+            Semiring::Arithmetic,
+        );
         for (got, want) in ranks.as_slice().iter().zip([0.15f32, 0.2, 0.4]) {
             assert!((got - want).abs() < 1e-6, "{got} vs {want}");
         }
@@ -170,7 +190,10 @@ mod tests {
     #[test]
     fn minplus_active_flags_treat_infinity_as_inactive() {
         let v = Vector::from_vec(vec![f32::INFINITY, 0.0, 2.0]);
-        assert_eq!(v.active_flags(Semiring::MinPlus(1.0)), vec![false, true, true]);
+        assert_eq!(
+            v.active_flags(Semiring::MinPlus(1.0)),
+            vec![false, true, true]
+        );
         assert_eq!(v.n_active(Semiring::MinPlus(1.0)), 2);
     }
 }

@@ -28,10 +28,12 @@ use crate::b2sr::B2sr;
 fn transpose_tiles<W: BitWord>(b: &B2sr<W>) -> Vec<W> {
     let dim = b.tile_dim();
     let mut out = vec![W::ZERO; b.bit_tiles().len()];
-    out.par_chunks_mut(dim).enumerate().for_each(|(idx, chunk)| {
-        let t = transpose_tile(b.tile_words(idx), dim);
-        chunk.copy_from_slice(&t);
-    });
+    out.par_chunks_mut(dim)
+        .enumerate()
+        .for_each(|(idx, chunk)| {
+            let t = transpose_tile(b.tile_words(idx), dim);
+            chunk.copy_from_slice(&t);
+        });
     out
 }
 
@@ -42,7 +44,11 @@ fn transpose_tiles<W: BitWord>(b: &B2sr<W>) -> Vec<W> {
 /// Panics if the operands' dimensions or tile sizes are incompatible.
 pub fn bmm_bin_bin_sum<W: BitWord>(a: &B2sr<W>, b: &B2sr<W>) -> u64 {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
-    assert_eq!(a.tile_dim(), b.tile_dim(), "operands must use the same tile size");
+    assert_eq!(
+        a.tile_dim(),
+        b.tile_dim(),
+        "operands must use the same tile size"
+    );
     let dim = a.tile_dim();
     let bt_tiles = transpose_tiles(b);
 
@@ -84,9 +90,21 @@ pub fn bmm_bin_bin_sum<W: BitWord>(a: &B2sr<W>, b: &B2sr<W>) -> u64 {
 pub fn bmm_bin_bin_sum_masked<W: BitWord>(a: &B2sr<W>, b: &B2sr<W>, mask: &B2sr<W>) -> u64 {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
     assert_eq!(a.nrows(), mask.nrows(), "mask must match the output rows");
-    assert_eq!(b.ncols(), mask.ncols(), "mask must match the output columns");
-    assert_eq!(a.tile_dim(), b.tile_dim(), "operands must use the same tile size");
-    assert_eq!(a.tile_dim(), mask.tile_dim(), "mask must use the same tile size");
+    assert_eq!(
+        b.ncols(),
+        mask.ncols(),
+        "mask must match the output columns"
+    );
+    assert_eq!(
+        a.tile_dim(),
+        b.tile_dim(),
+        "operands must use the same tile size"
+    );
+    assert_eq!(
+        a.tile_dim(),
+        mask.tile_dim(),
+        "mask must use the same tile size"
+    );
     let dim = a.tile_dim();
     let bt_tiles = transpose_tiles(b);
 
@@ -113,7 +131,9 @@ pub fn bmm_bin_bin_sum_masked<W: BitWord>(a: &B2sr<W>, b: &B2sr<W>, mask: &B2sr<
                     // Find B's tile (k, tc) by binary search in tile-row k.
                     let b_range = b.tile_row_range(k);
                     let b_cols = &b.tile_colind()[b_range.clone()];
-                    let Ok(pos) = b_cols.binary_search(&tc) else { continue };
+                    let Ok(pos) = b_cols.binary_search(&tc) else {
+                        continue;
+                    };
                     let b_idx = b_range.start + pos;
                     let bt = &bt_tiles[b_idx * dim..(b_idx + 1) * dim];
                     for (i, &aw) in a_words.iter().enumerate().take(dim) {
@@ -174,10 +194,22 @@ mod tests {
         let a = sample(70, 3, 4);
         let b = sample(70, 9, 4);
         let expected = reference_sum(&a, &b);
-        assert_eq!(bmm_bin_bin_sum(&from_csr::<u8>(&a, 4), &from_csr::<u8>(&b, 4)), expected);
-        assert_eq!(bmm_bin_bin_sum(&from_csr::<u8>(&a, 8), &from_csr::<u8>(&b, 8)), expected);
-        assert_eq!(bmm_bin_bin_sum(&from_csr::<u16>(&a, 16), &from_csr::<u16>(&b, 16)), expected);
-        assert_eq!(bmm_bin_bin_sum(&from_csr::<u32>(&a, 32), &from_csr::<u32>(&b, 32)), expected);
+        assert_eq!(
+            bmm_bin_bin_sum(&from_csr::<u8>(&a, 4), &from_csr::<u8>(&b, 4)),
+            expected
+        );
+        assert_eq!(
+            bmm_bin_bin_sum(&from_csr::<u8>(&a, 8), &from_csr::<u8>(&b, 8)),
+            expected
+        );
+        assert_eq!(
+            bmm_bin_bin_sum(&from_csr::<u16>(&a, 16), &from_csr::<u16>(&b, 16)),
+            expected
+        );
+        assert_eq!(
+            bmm_bin_bin_sum(&from_csr::<u32>(&a, 32), &from_csr::<u32>(&b, 32)),
+            expected
+        );
     }
 
     #[test]
@@ -249,8 +281,14 @@ mod tests {
     fn empty_operands_give_zero() {
         let e = Csr::empty(16, 16);
         let b = sample(16, 2, 2);
-        assert_eq!(bmm_bin_bin_sum(&from_csr::<u8>(&e, 8), &from_csr::<u8>(&b, 8)), 0);
-        assert_eq!(bmm_bin_bin_sum(&from_csr::<u8>(&b, 8), &from_csr::<u8>(&e, 8)), 0);
+        assert_eq!(
+            bmm_bin_bin_sum(&from_csr::<u8>(&e, 8), &from_csr::<u8>(&b, 8)),
+            0
+        );
+        assert_eq!(
+            bmm_bin_bin_sum(&from_csr::<u8>(&b, 8), &from_csr::<u8>(&e, 8)),
+            0
+        );
         assert_eq!(
             bmm_bin_bin_sum_masked(
                 &from_csr::<u8>(&b, 8),

@@ -235,7 +235,15 @@ mod tests {
     }
 
     fn sample_x(n: usize) -> Vec<f32> {
-        (0..n).map(|i| if i % 3 == 0 { (i % 7) as f32 + 1.0 } else { 0.0 }).collect()
+        (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    (i % 7) as f32 + 1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
     }
 
     /// Reference boolean reachability: y[i] = OR_j A[i][j] & (x[j] != 0).
@@ -291,7 +299,10 @@ mod tests {
             let b = from_csr::<u8>(&a, dim);
             let y = bmv_bin_full_full(&b, &x, Semiring::Arithmetic);
             for (i, (&got, &want)) in y.iter().zip(reference.as_slice()).enumerate() {
-                assert!((got - want).abs() < 1e-4, "row {i}: {got} vs {want} (dim {dim})");
+                assert!(
+                    (got - want).abs() < 1e-4,
+                    "row {i}: {got} vs {want} (dim {dim})"
+                );
             }
         }
         let b = from_csr::<u16>(&a, 16);
@@ -308,12 +319,19 @@ mod tests {
         x[0] = 0.0;
         x[17] = 2.0;
         x[41] = 5.0;
-        let reference =
-            ops::spmv_semiring(&a, &DenseVec::from_vec(x.clone()), ops::SemiringKind::MinPlus)
-                .unwrap();
+        let reference = ops::spmv_semiring(
+            &a,
+            &DenseVec::from_vec(x.clone()),
+            ops::SemiringKind::MinPlus,
+        )
+        .unwrap();
         let b = from_csr::<u32>(&a, 32);
         let y = bmv_bin_full_full(&b, &x, Semiring::MinPlus(1.0));
-        assert_eq!(y, reference.as_slice(), "binary weights are 1.0 so +1 relaxation matches");
+        assert_eq!(
+            y,
+            reference.as_slice(),
+            "binary weights are 1.0 so +1 relaxation matches"
+        );
     }
 
     #[test]
@@ -322,9 +340,12 @@ mod tests {
         let x: Vec<f32> = (0..48).map(|i| (i % 5) as f32).collect();
         let b = from_csr::<u8>(&a, 8);
         let ymax = bmv_bin_full_full(&b, &x, Semiring::MaxTimes(1.0));
-        let reference =
-            ops::spmv_semiring(&a, &DenseVec::from_vec(x.clone()), ops::SemiringKind::MaxTimes)
-                .unwrap();
+        let reference = ops::spmv_semiring(
+            &a,
+            &DenseVec::from_vec(x.clone()),
+            ops::SemiringKind::MaxTimes,
+        )
+        .unwrap();
         assert_eq!(ymax, reference.as_slice());
 
         let ybool = bmv_bin_full_full(&b, &x, Semiring::Boolean);
@@ -407,10 +428,10 @@ mod tests {
     fn empty_matrix_yields_identity_outputs() {
         let a = Csr::empty(20, 20);
         let b = from_csr::<u8>(&a, 4);
-        let xp = pack_vector_tilewise::<u8>(&vec![1.0; 20], 4);
+        let xp = pack_vector_tilewise::<u8>(&[1.0; 20], 4);
         assert!(bmv_bin_bin_bin(&b, &xp).iter().all(|&w| w == 0));
         assert!(bmv_bin_bin_full(&b, &xp).iter().all(|&v| v == 0.0));
-        let y = bmv_bin_full_full(&b, &vec![1.0; 20], Semiring::MinPlus(1.0));
+        let y = bmv_bin_full_full(&b, &[1.0; 20], Semiring::MinPlus(1.0));
         assert!(y.iter().all(|&v| v == f32::INFINITY));
     }
 }

@@ -23,11 +23,14 @@
 //!
 //! * **Graph-algorithm support** — [`semiring`] provides the semiring domains
 //!   of Table IV (Boolean, arithmetic, tropical min-plus, tropical max-times)
-//!   and [`grb`] exposes a small GraphBLAS-style object API (`Matrix`,
-//!   `Vector`, `mxv`/`vxm`/`mxm_reduce`, masks and descriptors) over two
-//!   interchangeable backends: the B2SR bit backend (this paper) and the
-//!   float-CSR baseline (the GraphBLAST stand-in), which is what
-//!   `bitgblas-algorithms` builds BFS/SSSP/PR/CC/TC on.
+//!   and [`grb`] exposes a GraphBLAS-style object API (`Matrix`, `Vector`,
+//!   the `Op` builders, masks and descriptors) over the pluggable
+//!   [`grb::GrbBackend`] trait.  Two backends ship here — the B2SR bit
+//!   backend (this paper) and the float-CSR baseline (the GraphBLAST
+//!   stand-in) — plus [`grb::Backend::Auto`], which picks format and tile
+//!   size per matrix from the pattern classifier, the Algorithm-1 sampling
+//!   profile and the memory-traffic model.  `bitgblas-algorithms` builds
+//!   BFS/SSSP/PR/CC/TC on this API.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -38,5 +41,5 @@ pub mod kernels;
 pub mod semiring;
 
 pub use b2sr::{B2sr, B2srMatrix, TileSize};
-pub use grb::{Backend, Descriptor, Matrix, Vector};
+pub use grb::{Backend, Context, Descriptor, GrbBackend, Matrix, Op, Vector};
 pub use semiring::Semiring;

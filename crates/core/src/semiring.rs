@@ -82,7 +82,8 @@ impl Semiring {
     /// Reduce a full slice starting from the identity.
     #[inline]
     pub fn reduce_slice(&self, xs: &[f32]) -> f32 {
-        xs.iter().fold(self.identity(), |acc, &v| self.reduce(acc, v))
+        xs.iter()
+            .fold(self.identity(), |acc, &v| self.reduce(acc, v))
     }
 
     /// True when an output value equals the semiring's "no contribution"
@@ -151,7 +152,12 @@ mod tests {
 
     #[test]
     fn reduce_slice_of_empty_is_identity() {
-        for s in [Semiring::Boolean, Semiring::Arithmetic, Semiring::MinPlus(1.0), Semiring::MaxTimes(1.0)] {
+        for s in [
+            Semiring::Boolean,
+            Semiring::Arithmetic,
+            Semiring::MinPlus(1.0),
+            Semiring::MaxTimes(1.0),
+        ] {
             assert_eq!(s.reduce_slice(&[]), s.identity());
         }
     }

@@ -62,7 +62,13 @@ pub fn pattern_scores(a: &Csr) -> PatternScores {
     let n = a.nrows().max(1);
     if a.nnz() == 0 {
         // An empty matrix has no structure at all.
-        return PatternScores { diagonal: 0.0, block: 0.0, stripe: 0.0, road: 0.0, dot: 1.0 };
+        return PatternScores {
+            diagonal: 0.0,
+            block: 0.0,
+            stripe: 0.0,
+            road: 0.0,
+            dot: 1.0,
+        };
     }
     let nnz = a.nnz();
 
@@ -73,7 +79,8 @@ pub fn pattern_scores(a: &Csr) -> PatternScores {
 
     // Stripe affinity: mass on the few most popular |r-c| offsets outside the
     // near-diagonal band.
-    let mut offset_counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut offset_counts: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
     let mut off_band_total = 0usize;
     for (r, c, _) in a.iter() {
         let d = r.abs_diff(c);
@@ -115,13 +122,23 @@ pub fn pattern_scores(a: &Csr) -> PatternScores {
     let avg = degs.iter().sum::<usize>() as f64 / n as f64;
     let var = degs.iter().map(|&d| (d as f64 - avg).powi(2)).sum::<f64>() / n as f64;
     let cv = if avg > 0.0 { var.sqrt() / avg } else { 0.0 };
-    let road = if avg > 0.0 && avg <= 6.0 && cv < 0.5 { 1.0 - cv } else { 0.0 };
+    let road = if avg > 0.0 && avg <= 6.0 && cv < 0.5 {
+        1.0 - cv
+    } else {
+        0.0
+    };
 
     // Dot affinity: whatever is left when nothing else explains the structure.
     let structural_max = diagonal.max(block).max(stripe).max(road);
     let dot = (1.0 - structural_max).clamp(0.0, 1.0);
 
-    PatternScores { diagonal, block, stripe, road, dot }
+    PatternScores {
+        diagonal,
+        block,
+        stripe,
+        road,
+        dot,
+    }
 }
 
 /// Classify a matrix into one of the Table V categories.
@@ -140,7 +157,10 @@ pub fn classify(a: &Csr) -> PatternCategory {
         (PatternCategory::Diagonal, s.diagonal),
         (PatternCategory::Block, s.block),
         (PatternCategory::Stripe, s.stripe),
-        (PatternCategory::Road, if road_strong { s.road } else { 0.0 }),
+        (
+            PatternCategory::Road,
+            if road_strong { s.road } else { 0.0 },
+        ),
     ];
     let strong: Vec<_> = candidates.iter().filter(|(_, v)| *v >= STRONG).collect();
     // Lattice regularity is the most specific signal: a grid also looks like a
@@ -186,7 +206,12 @@ mod tests {
     fn random_matrix_is_dot() {
         let a = generators::erdos_renyi(512, 0.01, true, 2);
         let cat = classify(&a);
-        assert_eq!(cat, PatternCategory::Dot, "scores: {:?}", pattern_scores(&a));
+        assert_eq!(
+            cat,
+            PatternCategory::Dot,
+            "scores: {:?}",
+            pattern_scores(&a)
+        );
     }
 
     #[test]

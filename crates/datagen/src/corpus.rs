@@ -154,7 +154,9 @@ pub fn named_matrix_category(name: &str) -> Option<PatternCategory> {
     let c = match name {
         "delaunay_n14" | "se" | "debr" => Stripe,
         "ash292" | "netz4504_dual" | "jagmesh6" | "jagmesh2" | "whitaker3_dual" | "rajat07"
-        | "cage" | "sstmodel" | "lock2232" | "ramage02" | "s4dkt3m2" | "opt1" | "trdheim" => Diagonal,
+        | "cage" | "sstmodel" | "lock2232" | "ramage02" | "s4dkt3m2" | "opt1" | "trdheim" => {
+            Diagonal
+        }
         "minnesota" | "uk" => Road,
         "3dtube" | "sphere3" => Diagonal,
         "Erdos02" | "EX3" | "net25" | "ins2" | "mycielskian8" | "mycielskian9"
@@ -186,7 +188,7 @@ pub fn corpus_sweep(count: usize, seed: u64) -> Vec<CorpusEntry> {
     ];
     let mut schedule = Vec::with_capacity(100);
     for (cat, share) in SCHEDULE {
-        schedule.extend(std::iter::repeat(cat).take(share));
+        schedule.extend(std::iter::repeat_n(cat, share));
     }
 
     (0..count)
@@ -198,8 +200,12 @@ pub fn corpus_sweep(count: usize, seed: u64) -> Vec<CorpusEntry> {
             // Size grows with the index so the sweep spans small to mid-size.
             let n = 256 + (i % 17) * 192;
             let matrix = match cat {
-                PatternCategory::Diagonal => gen::banded(n, 2 + i % 7, 0.4 + 0.05 * (i % 8) as f64, s),
-                PatternCategory::Dot => gen::erdos_renyi(n, 0.002 + 0.002 * (i % 6) as f64, true, s),
+                PatternCategory::Diagonal => {
+                    gen::banded(n, 2 + i % 7, 0.4 + 0.05 * (i % 8) as f64, s)
+                }
+                PatternCategory::Dot => {
+                    gen::erdos_renyi(n, 0.002 + 0.002 * (i % 6) as f64, true, s)
+                }
                 PatternCategory::Hybrid => gen::hybrid(n, s),
                 PatternCategory::Block => gen::block_community(
                     2 + i % 6,
@@ -216,7 +222,11 @@ pub fn corpus_sweep(count: usize, seed: u64) -> Vec<CorpusEntry> {
                     gen::grid2d(side, side)
                 }
             };
-            CorpusEntry { name: format!("sweep_{i:04}_{cat}"), category: cat, matrix }
+            CorpusEntry {
+                name: format!("sweep_{i:04}_{cat}"),
+                category: cat,
+                matrix,
+            }
         })
         .collect()
 }
@@ -267,7 +277,10 @@ mod tests {
         let mut cats: Vec<_> = sweep.iter().map(|e| e.category).collect();
         cats.sort_by_key(|c| format!("{c}"));
         cats.dedup();
-        assert!(cats.len() >= 5, "sweep should span most categories, got {cats:?}");
+        assert!(
+            cats.len() >= 5,
+            "sweep should span most categories, got {cats:?}"
+        );
         for e in &sweep {
             assert!(e.matrix.is_binary());
             assert_eq!(e.matrix.nrows(), e.matrix.ncols());

@@ -50,7 +50,10 @@ pub fn erdos_renyi(n: usize, p: f64, symmetric: bool, seed: u64) -> Csr {
 /// `(a, b, c, d)`; `d` is implied as `1 - a - b - c`.  Power-law graphs are
 /// the "dot"/"hybrid" category and stress load balance.
 pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> Csr {
-    assert!(a + b + c < 1.0 + 1e-9, "partition probabilities must sum below 1");
+    assert!(
+        a + b + c < 1.0 + 1e-9,
+        "partition probabilities must sum below 1"
+    );
     let n = 1usize << scale;
     let n_edges = n * edge_factor;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -163,10 +166,12 @@ pub fn grid2d(rows: usize, cols: usize) -> Csr {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                coo.push_undirected_edge(id(r, c), id(r, c + 1)).expect("in bounds");
+                coo.push_undirected_edge(id(r, c), id(r, c + 1))
+                    .expect("in bounds");
             }
             if r + 1 < rows {
-                coo.push_undirected_edge(id(r, c), id(r + 1, c)).expect("in bounds");
+                coo.push_undirected_edge(id(r, c), id(r + 1, c))
+                    .expect("in bounds");
             }
         }
     }
@@ -183,13 +188,16 @@ pub fn grid3d(nx: usize, ny: usize, nz: usize) -> Csr {
         for y in 0..ny {
             for x in 0..nx {
                 if x + 1 < nx {
-                    coo.push_undirected_edge(id(x, y, z), id(x + 1, y, z)).expect("in bounds");
+                    coo.push_undirected_edge(id(x, y, z), id(x + 1, y, z))
+                        .expect("in bounds");
                 }
                 if y + 1 < ny {
-                    coo.push_undirected_edge(id(x, y, z), id(x, y + 1, z)).expect("in bounds");
+                    coo.push_undirected_edge(id(x, y, z), id(x, y + 1, z))
+                        .expect("in bounds");
                 }
                 if z + 1 < nz {
-                    coo.push_undirected_edge(id(x, y, z), id(x, y, z + 1)).expect("in bounds");
+                    coo.push_undirected_edge(id(x, y, z), id(x, y, z + 1))
+                        .expect("in bounds");
                 }
             }
         }
@@ -282,7 +290,13 @@ pub fn mycielskian(k: u32) -> Csr {
 /// patterns).
 pub fn hybrid(n: usize, seed: u64) -> Csr {
     let band = banded(n, 2, 0.8, seed);
-    let blocks = block_community(n.div_ceil(64).max(2), 64.min(n / 2).max(2), 0.2, 0.0, seed + 1);
+    let blocks = block_community(
+        n.div_ceil(64).max(2),
+        64.min(n / 2).max(2),
+        0.2,
+        0.0,
+        seed + 1,
+    );
     let scatter = erdos_renyi(n, (4.0 / n as f64).min(0.05), true, seed + 2);
     // Union of the three patterns, truncated/padded to n×n.
     let mut coo = Coo::new(n, n);
@@ -331,7 +345,10 @@ mod tests {
         let degs = a.out_degrees();
         let max = *degs.iter().max().unwrap();
         let avg = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
-        assert!(max as f64 > 3.0 * avg, "R-MAT should have hub vertices (max {max}, avg {avg})");
+        assert!(
+            max as f64 > 3.0 * avg,
+            "R-MAT should have hub vertices (max {max}, avg {avg})"
+        );
         assert!(is_symmetric(&a));
     }
 

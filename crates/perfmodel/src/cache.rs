@@ -26,9 +26,15 @@ impl CacheSim {
     /// Panics if any parameter is zero or the capacity is smaller than one
     /// way of lines.
     pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Self {
-        assert!(capacity_bytes > 0 && line_bytes > 0 && ways > 0, "cache parameters must be positive");
+        assert!(
+            capacity_bytes > 0 && line_bytes > 0 && ways > 0,
+            "cache parameters must be positive"
+        );
         let n_lines = capacity_bytes / line_bytes;
-        assert!(n_lines >= ways, "cache must hold at least one set of {ways} ways");
+        assert!(
+            n_lines >= ways,
+            "cache must hold at least one set of {ways} ways"
+        );
         let n_sets = (n_lines / ways).max(1);
         CacheSim {
             line_bytes,

@@ -1,9 +1,7 @@
 //! GPU device profiles — Table VI of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// The memory-hierarchy parameters of a GPU, as listed in Table VI.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     /// Marketing name of the device.
     pub name: String,

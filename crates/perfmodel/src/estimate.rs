@@ -8,17 +8,18 @@
 //! estimates are *not* a replacement for the measured wall-clock numbers of
 //! the benchmark harness; they reproduce the architecture-dependent trends
 //! (which device helps which kernel) that the CPU substrate cannot show.
+//!
+//! Like the traffic model, the B2SR estimates take a [`B2srLayout`] so they
+//! can be computed for a *hypothetical* conversion — this is what powers the
+//! automatic format selection in `bitgblas-core`.
 
-use serde::{Deserialize, Serialize};
-
-use bitgblas_core::B2srMatrix;
 use bitgblas_sparse::Csr;
 
 use crate::device::DeviceProfile;
-use crate::traffic::{b2sr_bmv_traffic, csr_spmv_traffic, MemoryTraffic};
+use crate::traffic::{b2sr_bmv_traffic, csr_spmv_traffic, B2srLayout, MemoryTraffic};
 
 /// An analytic estimate for one kernel on one device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelEstimate {
     /// Modelled memory traffic.
     pub traffic: MemoryTraffic,
@@ -35,13 +36,27 @@ pub struct KernelEstimate {
 /// ratios between kernels/devices are meaningful.
 const OP_TIME_NS: f64 = 0.5;
 
-fn make_estimate(traffic: MemoryTraffic, ops: f64, profile: &DeviceProfile, is_bit: bool) -> KernelEstimate {
+fn make_estimate(
+    traffic: MemoryTraffic,
+    ops: f64,
+    profile: &DeviceProfile,
+    is_bit: bool,
+) -> KernelEstimate {
     let memory_time_ms = traffic.bytes_loaded as f64 / (profile.mem_bandwidth_gbps * 1e9) * 1e3;
     let throughput = profile.sm_count as f64
-        * if is_bit { profile.bit_intrinsic_throughput } else { 1.0 };
+        * if is_bit {
+            profile.bit_intrinsic_throughput
+        } else {
+            1.0
+        };
     let compute_time_ms = ops * OP_TIME_NS * 1e-6 / throughput;
     let total_time_ms = memory_time_ms.max(compute_time_ms);
-    KernelEstimate { traffic, memory_time_ms, compute_time_ms, total_time_ms }
+    KernelEstimate {
+        traffic,
+        memory_time_ms,
+        compute_time_ms,
+        total_time_ms,
+    }
 }
 
 /// Estimate the time of one float CSR SpMV on `profile`.
@@ -51,12 +66,12 @@ pub fn estimate_csr_spmv(csr: &Csr, profile: &DeviceProfile) -> KernelEstimate {
     make_estimate(traffic, csr.nnz() as f64, profile, false)
 }
 
-/// Estimate the time of one B2SR BMV on `profile`.
-pub fn estimate_b2sr_bmv(b2sr: &B2srMatrix, profile: &DeviceProfile) -> KernelEstimate {
-    let traffic = b2sr_bmv_traffic(b2sr, profile);
+/// Estimate the time of one B2SR BMV with the given (real or hypothetical)
+/// tile layout on `profile`.
+pub fn estimate_b2sr_bmv(layout: &B2srLayout, profile: &DeviceProfile) -> KernelEstimate {
+    let traffic = b2sr_bmv_traffic(layout, profile);
     // One AND+popcount per packed word of every non-empty tile.
-    let dim = b2sr.tile_size().dim() as f64;
-    let ops = b2sr.n_tiles() as f64 * dim;
+    let ops = layout.n_tiles() as f64 * layout.tile_dim() as f64;
     make_estimate(traffic, ops, profile, true)
 }
 
@@ -67,9 +82,9 @@ pub fn estimate_time_ms(traffic: &MemoryTraffic, profile: &DeviceProfile) -> f64
 
 /// The modelled speedup of the B2SR BMV over the CSR SpMV baseline on one
 /// device — the analytic counterpart of one point of Figures 6/7.
-pub fn speedup_estimate(csr: &Csr, b2sr: &B2srMatrix, profile: &DeviceProfile) -> f64 {
+pub fn speedup_estimate(csr: &Csr, layout: &B2srLayout, profile: &DeviceProfile) -> f64 {
     let base = estimate_csr_spmv(csr, profile);
-    let bit = estimate_b2sr_bmv(b2sr, profile);
+    let bit = estimate_b2sr_bmv(layout, profile);
     if bit.total_time_ms == 0.0 {
         f64::INFINITY
     } else {
@@ -81,7 +96,6 @@ pub fn speedup_estimate(csr: &Csr, b2sr: &B2srMatrix, profile: &DeviceProfile) -
 mod tests {
     use super::*;
     use crate::device::{pascal_gtx1080, volta_titanv};
-    use bitgblas_core::TileSize;
     use bitgblas_sparse::Coo;
 
     fn banded(n: usize, bw: usize) -> Csr {
@@ -97,10 +111,10 @@ mod tests {
     #[test]
     fn estimates_are_positive_and_consistent() {
         let a = banded(2048, 3);
-        let b = B2srMatrix::from_csr(&a, TileSize::S8);
+        let l = B2srLayout::from_csr(&a, 8);
         for profile in [pascal_gtx1080(), volta_titanv()] {
             let base = estimate_csr_spmv(&a, &profile);
-            let bit = estimate_b2sr_bmv(&b, &profile);
+            let bit = estimate_b2sr_bmv(&l, &profile);
             assert!(base.total_time_ms > 0.0);
             assert!(bit.total_time_ms > 0.0);
             assert!(base.total_time_ms >= base.memory_time_ms.max(base.compute_time_ms) - 1e-12);
@@ -114,9 +128,9 @@ mod tests {
     #[test]
     fn bit_kernel_is_modelled_faster_on_compressible_matrices() {
         let a = banded(4096, 3);
-        let b = B2srMatrix::from_csr(&a, TileSize::S8);
+        let l = B2srLayout::from_csr(&a, 8);
         for profile in [pascal_gtx1080(), volta_titanv()] {
-            let s = speedup_estimate(&a, &b, &profile);
+            let s = speedup_estimate(&a, &l, &profile);
             assert!(s > 1.0, "{}: modelled speedup {s}", profile.name);
         }
     }
@@ -128,9 +142,9 @@ mod tests {
         // pay for explicit warp synchronisation.  The model reproduces the
         // direction of that effect.
         let a = banded(4096, 3);
-        let b = B2srMatrix::from_csr(&a, TileSize::S8);
-        let s_pascal = speedup_estimate(&a, &b, &pascal_gtx1080());
-        let s_volta = speedup_estimate(&a, &b, &volta_titanv());
+        let l = B2srLayout::from_csr(&a, 8);
+        let s_pascal = speedup_estimate(&a, &l, &pascal_gtx1080());
+        let s_volta = speedup_estimate(&a, &l, &volta_titanv());
         assert!(
             s_volta <= s_pascal * 1.05,
             "volta speedup {s_volta} should not exceed pascal {s_pascal}"
@@ -142,6 +156,9 @@ mod tests {
         let a = banded(4096, 3);
         let t_pascal = estimate_csr_spmv(&a, &pascal_gtx1080()).total_time_ms;
         let t_volta = estimate_csr_spmv(&a, &volta_titanv()).total_time_ms;
-        assert!(t_volta < t_pascal, "higher bandwidth must lower the baseline estimate");
+        assert!(
+            t_volta < t_pascal,
+            "higher bandwidth must lower the baseline estimate"
+        );
     }
 }

@@ -19,6 +19,12 @@
 //! * [`estimate`] — bandwidth-bound time estimates derived from the traffic,
 //!   used to reproduce the architecture-dependent observations (Volta's
 //!   higher bandwidth helping the float baseline more than the bit kernels).
+//!
+//! The B2SR-side entry points take a [`B2srLayout`] — the upper-level tile
+//! structure, computable from a CSR matrix *without* converting it — so the
+//! model can score hypothetical conversions.  `bitgblas-core` builds on this
+//! for its automatic backend selection (`Backend::Auto`); this crate
+//! deliberately does not depend on `bitgblas-core`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -29,5 +35,7 @@ pub mod estimate;
 pub mod traffic;
 
 pub use device::{pascal_gtx1080, volta_titanv, DeviceProfile};
-pub use estimate::{estimate_time_ms, speedup_estimate, KernelEstimate};
-pub use traffic::{b2sr_bmv_traffic, csr_spmv_traffic, MemoryTraffic};
+pub use estimate::{
+    estimate_b2sr_bmv, estimate_csr_spmv, estimate_time_ms, speedup_estimate, KernelEstimate,
+};
+pub use traffic::{b2sr_bmv_traffic, compare_traffic, csr_spmv_traffic, B2srLayout, MemoryTraffic};

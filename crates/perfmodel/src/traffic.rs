@@ -12,17 +12,126 @@
 //! Sequential streams are coalesced into `transaction_bytes`-wide
 //! transactions; the vector gathers go through the L1 cache simulator to
 //! estimate the hit rate, mirroring the counters the paper reports in §VI-C.
+//!
+//! The B2SR side of the model works on a [`B2srLayout`] — the upper-level
+//! tile structure (dimensions plus the non-empty tile columns in storage
+//! order) without the packed bits.  The layout is everything the traffic
+//! model needs, it can be computed straight from a CSR matrix *without*
+//! performing the conversion, and it keeps this crate independent of
+//! `bitgblas-core` so the core's automatic format selection can call into
+//! the model.
 
-use serde::{Deserialize, Serialize};
-
-use bitgblas_core::B2srMatrix;
 use bitgblas_sparse::Csr;
 
 use crate::cache::CacheSim;
 use crate::device::DeviceProfile;
 
+/// The upper-level structure of a B2SR matrix: everything the traffic model
+/// needs to know about a (real or hypothetical) conversion, without the
+/// packed tile payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct B2srLayout {
+    nrows: usize,
+    ncols: usize,
+    tile_dim: usize,
+    /// Tile-column index of every non-empty tile, in storage order
+    /// (tile-row major, ascending tile column within a tile-row).
+    tile_colind: Vec<usize>,
+}
+
+impl B2srLayout {
+    /// Assemble a layout from raw parts (used by `bitgblas-core` to describe
+    /// an already-converted matrix).
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        tile_dim: usize,
+        tile_colind: Vec<usize>,
+    ) -> Self {
+        assert!(tile_dim > 0, "tile_dim must be positive");
+        B2srLayout {
+            nrows,
+            ncols,
+            tile_dim,
+            tile_colind,
+        }
+    }
+
+    /// Compute the layout a CSR→B2SR conversion with `tile_dim` tiles would
+    /// produce, without converting: one pass over the nonzeros per tile-row.
+    pub fn from_csr(csr: &Csr, tile_dim: usize) -> Self {
+        assert!(tile_dim > 0, "tile_dim must be positive");
+        let nrows = csr.nrows();
+        let n_tile_rows = nrows.div_ceil(tile_dim);
+        let mut tile_colind = Vec::new();
+        let mut bucket: Vec<usize> = Vec::new();
+        for tr in 0..n_tile_rows {
+            bucket.clear();
+            for r in tr * tile_dim..((tr + 1) * tile_dim).min(nrows) {
+                bucket.extend(csr.row(r).0.iter().map(|&c| c / tile_dim));
+            }
+            bucket.sort_unstable();
+            bucket.dedup();
+            tile_colind.extend_from_slice(&bucket);
+        }
+        B2srLayout {
+            nrows,
+            ncols: csr.ncols(),
+            tile_dim,
+            tile_colind,
+        }
+    }
+
+    /// Number of rows of the represented matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns of the represented matrix.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The tile dimension.
+    pub fn tile_dim(&self) -> usize {
+        self.tile_dim
+    }
+
+    /// Number of non-empty tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.tile_colind.len()
+    }
+
+    /// Number of tile rows.
+    pub fn n_tile_rows(&self) -> usize {
+        self.nrows.div_ceil(self.tile_dim)
+    }
+
+    /// The tile-column index of every non-empty tile, in storage order.
+    pub fn tile_colind(&self) -> &[usize] {
+        &self.tile_colind
+    }
+
+    /// Bytes of one packed tile row (the Table-I packing word: `u8` up to
+    /// 8-wide tiles, `u16` up to 16, `u32` up to 32, wider as needed).
+    pub fn bytes_per_tile_row(&self) -> usize {
+        (self.tile_dim.next_power_of_two().max(8) / 8).max(1)
+    }
+
+    /// Bytes of one whole packed tile.
+    pub fn bytes_per_tile(&self) -> usize {
+        self.tile_dim * self.bytes_per_tile_row()
+    }
+
+    /// Storage footprint of the represented B2SR matrix in bytes (4-byte
+    /// integers for the two index arrays plus the packed tiles).
+    pub fn storage_bytes(&self) -> usize {
+        4 * (self.n_tile_rows() + 1 + self.n_tiles()) + self.bytes_per_tile() * self.n_tiles()
+    }
+}
+
 /// Aggregate memory traffic of one kernel invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryTraffic {
     /// Total bytes read from global memory (after L1 filtering of gathers).
     pub bytes_loaded: u64,
@@ -77,11 +186,11 @@ pub fn csr_spmv_traffic(csr: &Csr, profile: &DeviceProfile) -> MemoryTraffic {
 /// Model the memory traffic of one B2SR BMV (`bmv_bin_full_full` shape: the
 /// matrix is bit-packed, the vector is full precision and loaded one
 /// `tile_dim`-entry segment per non-empty tile).
-pub fn b2sr_bmv_traffic(b2sr: &B2srMatrix, profile: &DeviceProfile) -> MemoryTraffic {
-    let n_tiles = b2sr.n_tiles() as u64;
-    let dim = b2sr.tile_size().dim() as u64;
-    let tile_bytes = b2sr.tile_size().bytes_per_tile() as u64;
-    let n_tile_rows = (b2sr.nrows() as u64).div_ceil(dim);
+pub fn b2sr_bmv_traffic(layout: &B2srLayout, profile: &DeviceProfile) -> MemoryTraffic {
+    let n_tiles = layout.n_tiles() as u64;
+    let dim = layout.tile_dim() as u64;
+    let tile_bytes = layout.bytes_per_tile() as u64;
+    let n_tile_rows = layout.n_tile_rows() as u64;
 
     // Streamed matrix data: TileRowPtr, TileColInd (4 B each) and the packed
     // tiles.
@@ -94,8 +203,7 @@ pub fn b2sr_bmv_traffic(b2sr: &B2srMatrix, profile: &DeviceProfile) -> MemoryTra
     let mut l1 = CacheSim::l1(profile.l1_per_sm_kb);
     let mut segment_misses = 0u64;
     // Walk tiles in storage order (tile columns within each tile row).
-    let tile_cols = collect_tile_cols(b2sr);
-    for &tc in &tile_cols {
+    for &tc in layout.tile_colind() {
         let addr = tc as u64 * dim * 4;
         let before = l1.misses();
         l1.access_range(addr, (dim * 4) as usize);
@@ -114,18 +222,8 @@ pub fn b2sr_bmv_traffic(b2sr: &B2srMatrix, profile: &DeviceProfile) -> MemoryTra
     }
 }
 
-/// The tile-column index of every non-empty tile, in storage order.
-fn collect_tile_cols(b2sr: &B2srMatrix) -> Vec<usize> {
-    match b2sr {
-        B2srMatrix::B4(m) => m.tile_colind().to_vec(),
-        B2srMatrix::B8(m) => m.tile_colind().to_vec(),
-        B2srMatrix::B16(m) => m.tile_colind().to_vec(),
-        B2srMatrix::B32(m) => m.tile_colind().to_vec(),
-    }
-}
-
 /// The §VI-C style comparison of the two kernels on one matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficComparison {
     /// Traffic of the CSR float baseline.
     pub csr: MemoryTraffic,
@@ -138,23 +236,31 @@ pub struct TrafficComparison {
 }
 
 /// Compare the two kernels' modelled traffic on the same matrix.
-pub fn compare_traffic(csr: &Csr, b2sr: &B2srMatrix, profile: &DeviceProfile) -> TrafficComparison {
+pub fn compare_traffic(
+    csr: &Csr,
+    layout: &B2srLayout,
+    profile: &DeviceProfile,
+) -> TrafficComparison {
     let c = csr_spmv_traffic(csr, profile);
-    let b = b2sr_bmv_traffic(b2sr, profile);
+    let b = b2sr_bmv_traffic(layout, profile);
     let transaction_reduction = if b.load_transactions == 0 {
         f64::INFINITY
     } else {
         c.load_transactions as f64 / b.load_transactions as f64
     };
     let l1_hit_rate_gain = (b.l1_hit_rate - c.l1_hit_rate) * 100.0;
-    TrafficComparison { csr: c, b2sr: b, transaction_reduction, l1_hit_rate_gain }
+    TrafficComparison {
+        csr: c,
+        b2sr: b,
+        transaction_reduction,
+        l1_hit_rate_gain,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::device::pascal_gtx1080;
-    use bitgblas_core::TileSize;
     use bitgblas_sparse::Coo;
 
     fn banded(n: usize, bw: usize) -> Csr {
@@ -165,6 +271,33 @@ mod tests {
             }
         }
         coo.to_binary_csr()
+    }
+
+    #[test]
+    fn layout_matches_hand_computed_tiles() {
+        // 8x8 identity with tile_dim 4: two diagonal tiles.
+        let mut coo = Coo::new(8, 8);
+        for i in 0..8 {
+            coo.push_edge(i, i).unwrap();
+        }
+        let csr = coo.to_binary_csr();
+        let l = B2srLayout::from_csr(&csr, 4);
+        assert_eq!(l.n_tiles(), 2);
+        assert_eq!(l.tile_colind(), &[0, 1]);
+        assert_eq!(l.n_tile_rows(), 2);
+        assert_eq!(l.bytes_per_tile_row(), 1);
+        assert_eq!(l.bytes_per_tile(), 4);
+        // TileRowPtr (3) + TileColInd (2) ints, plus 2 tiles of 4 bytes.
+        assert_eq!(l.storage_bytes(), 4 * 5 + 8);
+    }
+
+    #[test]
+    fn layout_word_widths_follow_table1() {
+        let csr = banded(64, 1);
+        for (dim, bytes) in [(4usize, 1usize), (8, 1), (16, 2), (32, 4)] {
+            let l = B2srLayout::from_csr(&csr, dim);
+            assert_eq!(l.bytes_per_tile_row(), bytes, "dim {dim}");
+        }
     }
 
     #[test]
@@ -181,8 +314,8 @@ mod tests {
     fn b2sr_traffic_is_smaller_on_banded_matrices() {
         let p = pascal_gtx1080();
         let a = banded(2048, 3);
-        let b = B2srMatrix::from_csr(&a, TileSize::S8);
-        let cmp = compare_traffic(&a, &b, &p);
+        let l = B2srLayout::from_csr(&a, 8);
+        let cmp = compare_traffic(&a, &l, &p);
         assert!(
             cmp.transaction_reduction > 1.5,
             "expected a clear transaction reduction, got {}",
@@ -207,8 +340,8 @@ mod tests {
             }
         }
         let a = coo.to_binary_csr();
-        let b = B2srMatrix::from_csr(&a, TileSize::S32);
-        let cmp = compare_traffic(&a, &b, &p);
+        let l = B2srLayout::from_csr(&a, 32);
+        let cmp = compare_traffic(&a, &l, &p);
         assert!(
             cmp.transaction_reduction > 3.0,
             "expected a strong reduction on dense blocks, got {}",
@@ -226,8 +359,9 @@ mod tests {
         let t = csr_spmv_traffic(&a, &p);
         assert_eq!(t.vector_bytes_requested, 0);
         assert!(t.load_transactions > 0, "row pointer is still streamed");
-        let b = B2srMatrix::from_csr(&a, TileSize::S8);
-        let tb = b2sr_bmv_traffic(&b, &p);
+        let l = B2srLayout::from_csr(&a, 8);
+        assert_eq!(l.n_tiles(), 0);
+        let tb = b2sr_bmv_traffic(&l, &p);
         assert_eq!(tb.vector_bytes_requested, 0);
     }
 

@@ -137,9 +137,8 @@ impl Bsr {
     /// Iterate over `(block_row, block_col, dense_block)` triples.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, usize, &[f32])> + '_ {
         (0..self.n_block_rows).flat_map(move |br| {
-            (self.block_rowptr[br]..self.block_rowptr[br + 1]).map(move |idx| {
-                (br, self.block_colind[idx], self.block(idx))
-            })
+            (self.block_rowptr[br]..self.block_rowptr[br + 1])
+                .map(move |idx| (br, self.block_colind[idx], self.block(idx)))
         })
     }
 
@@ -234,8 +233,14 @@ mod tests {
         let b2 = Bsr::from_csr(&dense_diag, 8);
         // The denser matrix near the diagonal packs into fewer or equal blocks
         // per nonzero, but both must report consistent byte counts.
-        assert_eq!(b1.storage_bytes(), 4 * (b1.block_rowptr().len() + b1.block_colind().len()) + 4 * b1.n_blocks() * 64);
-        assert_eq!(b2.storage_bytes(), 4 * (b2.block_rowptr().len() + b2.block_colind().len()) + 4 * b2.n_blocks() * 64);
+        assert_eq!(
+            b1.storage_bytes(),
+            4 * (b1.block_rowptr().len() + b1.block_colind().len()) + 4 * b1.n_blocks() * 64
+        );
+        assert_eq!(
+            b2.storage_bytes(),
+            4 * (b2.block_rowptr().len() + b2.block_colind().len()) + 4 * b2.n_blocks() * 64
+        );
     }
 
     #[test]

@@ -24,7 +24,13 @@ pub struct Coo {
 impl Coo {
     /// Create an empty `nrows × ncols` COO matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Coo { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        Coo {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Create an empty COO matrix with reserved capacity for `nnz` entries.

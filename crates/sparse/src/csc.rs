@@ -65,11 +65,22 @@ impl Csc {
             }
             if let Some(&r) = col.last() {
                 if r >= nrows {
-                    return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: c,
+                        nrows,
+                        ncols,
+                    });
                 }
             }
         }
-        Ok(Csc { nrows, ncols, colptr, rowind, values })
+        Ok(Csc {
+            nrows,
+            ncols,
+            colptr,
+            rowind,
+            values,
+        })
     }
 
     /// Convert a CSR matrix to CSC (the `csr2csc` transpose of the index
@@ -93,7 +104,13 @@ impl Csc {
             values[slot] = v;
             next[c] += 1;
         }
-        Csc { nrows, ncols, colptr, rowind, values }
+        Csc {
+            nrows,
+            ncols,
+            colptr,
+            rowind,
+            values,
+        }
     }
 
     /// Convert back to CSR.
@@ -159,7 +176,9 @@ impl Csc {
 
     /// In-degree of every column.
     pub fn in_degrees(&self) -> Vec<usize> {
-        (0..self.ncols).map(|c| self.colptr[c + 1] - self.colptr[c]).collect()
+        (0..self.ncols)
+            .map(|c| self.colptr[c + 1] - self.colptr[c])
+            .collect()
     }
 
     /// Value at `(r, c)` if stored.
@@ -176,7 +195,13 @@ mod tests {
 
     fn small_csr() -> Csr {
         let mut coo = Coo::new(3, 4);
-        for &(r, c, v) in &[(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0), (2, 1, 4.0), (2, 2, 5.0)] {
+        for &(r, c, v) in &[
+            (0, 1, 1.0),
+            (0, 3, 2.0),
+            (1, 0, 3.0),
+            (2, 1, 4.0),
+            (2, 2, 5.0),
+        ] {
             coo.push(r, c, v).unwrap();
         }
         Csr::from_coo(&coo)

@@ -54,7 +54,9 @@ impl Csr {
             )));
         }
         if rowptr[0] != 0 {
-            return Err(SparseError::MalformedStructure("rowptr[0] must be 0".into()));
+            return Err(SparseError::MalformedStructure(
+                "rowptr[0] must be 0".into(),
+            ));
         }
         if colind.len() != values.len() {
             return Err(SparseError::MalformedStructure(format!(
@@ -86,11 +88,22 @@ impl Csr {
             }
             if let Some(&c) = row.last() {
                 if c >= ncols {
-                    return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: c,
+                        nrows,
+                        ncols,
+                    });
                 }
             }
         }
-        Ok(Csr { nrows, ncols, rowptr, colind, values })
+        Ok(Csr {
+            nrows,
+            ncols,
+            rowptr,
+            colind,
+            values,
+        })
     }
 
     /// Build from a COO matrix, summing duplicate entries and sorting column
@@ -149,7 +162,13 @@ impl Csr {
             out_rowptr[r + 1] = out_colind.len();
         }
 
-        Csr { nrows, ncols, rowptr: out_rowptr, colind: out_colind, values: out_values }
+        Csr {
+            nrows,
+            ncols,
+            rowptr: out_rowptr,
+            colind: out_colind,
+            values: out_values,
+        }
     }
 
     /// Build a dense matrix (row-major `nrows × ncols` slice) into CSR,
@@ -169,7 +188,13 @@ impl Csr {
             }
             rowptr[r + 1] = colind.len();
         }
-        Csr { nrows, ncols, rowptr, colind, values }
+        Csr {
+            nrows,
+            ncols,
+            rowptr,
+            colind,
+            values,
+        }
     }
 
     /// Identity matrix of dimension `n`.
@@ -279,7 +304,13 @@ impl Csr {
             }
             rowptr[r + 1] = colind.len();
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colind, values }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colind,
+            values,
+        }
     }
 
     /// True if every stored value equals `1.0` (a homogeneous / binary graph).
@@ -314,7 +345,13 @@ impl Csr {
                 next[c] += 1;
             }
         }
-        Csr { nrows: self.ncols, ncols: self.nrows, rowptr, colind, values }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rowptr,
+            colind,
+            values,
+        }
     }
 
     /// Strictly lower-triangular part (`r > c`), used by Triangle Counting.
@@ -332,7 +369,13 @@ impl Csr {
             }
             rowptr[r + 1] = colind.len();
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colind, values }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colind,
+            values,
+        }
     }
 
     /// Upper-triangular part (`c > r`).
@@ -350,7 +393,13 @@ impl Csr {
             }
             rowptr[r + 1] = colind.len();
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colind, values }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colind,
+            values,
+        }
     }
 
     /// A copy without diagonal entries.
@@ -368,7 +417,13 @@ impl Csr {
             }
             rowptr[r + 1] = colind.len();
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, rowptr, colind, values }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colind,
+            values,
+        }
     }
 
     /// Symmetrize: `A ∨ A^T` with binary values — turns a directed adjacency
@@ -442,9 +497,14 @@ mod tests {
         // [ 4 5 0 0 ]
         // [ 0 0 0 6 ]
         let mut coo = Coo::new(4, 4);
-        for &(r, c, v) in
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 0, 4.0), (2, 1, 5.0), (3, 3, 6.0)]
-        {
+        for &(r, c, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 3, 3.0),
+            (2, 0, 4.0),
+            (2, 1, 5.0),
+            (3, 3, 6.0),
+        ] {
             coo.push(r, c, v).unwrap();
         }
         Csr::from_coo(&coo)

@@ -22,7 +22,9 @@ impl DenseVec {
 
     /// Vector of `n` copies of `value`.
     pub fn filled(n: usize, value: f32) -> Self {
-        DenseVec { data: vec![value; n] }
+        DenseVec {
+            data: vec![value; n],
+        }
     }
 
     /// Vector of `n` copies of `f32::INFINITY` — the identity of the min-plus
@@ -105,7 +107,11 @@ impl DenseVec {
                 vals.push(x);
             }
         }
-        SparseVec { len: self.data.len(), indices: idx, values: vals }
+        SparseVec {
+            len: self.data.len(),
+            indices: idx,
+            values: vals,
+        }
     }
 
     /// Element-wise maximum-norm distance to another vector (used for
@@ -179,16 +185,27 @@ pub struct SparseVec {
 impl SparseVec {
     /// Empty sparse vector of logical length `len`.
     pub fn empty(len: usize) -> Self {
-        SparseVec { len, indices: Vec::new(), values: Vec::new() }
+        SparseVec {
+            len,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Build from parallel index/value arrays (indices must be strictly
     /// increasing and in range).
     pub fn from_parts(len: usize, indices: Vec<usize>, values: Vec<f32>) -> Self {
         assert_eq!(indices.len(), values.len());
-        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices must be sorted");
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be sorted"
+        );
         debug_assert!(indices.iter().all(|&i| i < len), "index out of range");
-        SparseVec { len, indices, values }
+        SparseVec {
+            len,
+            indices,
+            values,
+        }
     }
 
     /// Sparse vector with a single nonzero entry.
@@ -244,7 +261,10 @@ mod tests {
     fn constructors() {
         assert_eq!(DenseVec::zeros(4).as_slice(), &[0.0; 4]);
         assert_eq!(DenseVec::filled(3, 2.5).as_slice(), &[2.5; 3]);
-        assert!(DenseVec::infinities(2).as_slice().iter().all(|x| x.is_infinite()));
+        assert!(DenseVec::infinities(2)
+            .as_slice()
+            .iter()
+            .all(|x| x.is_infinite()));
         let ind = DenseVec::indicator(5, &[1, 3]);
         assert_eq!(ind.as_slice(), &[0.0, 1.0, 0.0, 1.0, 0.0]);
         assert_eq!(ind.nnz(), 2);

@@ -37,7 +37,12 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
             ),
@@ -67,11 +72,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SparseError::IndexOutOfBounds { row: 5, col: 9, nrows: 4, ncols: 4 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 9,
+            nrows: 4,
+            ncols: 4,
+        };
         assert!(e.to_string().contains("(5, 9)"));
         assert!(e.to_string().contains("4x4"));
 
-        let e = SparseError::DimensionMismatch { op: "spmv", left: (3, 4), right: (5, 1) };
+        let e = SparseError::DimensionMismatch {
+            op: "spmv",
+            left: (3, 4),
+            right: (5, 1),
+        };
         assert!(e.to_string().contains("spmv"));
 
         let e = SparseError::MalformedStructure("rowptr not monotone".into());

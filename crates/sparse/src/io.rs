@@ -44,16 +44,24 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
     let header_lc = header.to_ascii_lowercase();
     let tokens: Vec<&str> = header_lc.split_whitespace().collect();
     if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
-        return Err(SparseError::Parse(format!("bad MatrixMarket header: {header}")));
+        return Err(SparseError::Parse(format!(
+            "bad MatrixMarket header: {header}"
+        )));
     }
     if tokens[2] != "coordinate" {
-        return Err(SparseError::Parse("only coordinate (sparse) matrices are supported".into()));
+        return Err(SparseError::Parse(
+            "only coordinate (sparse) matrices are supported".into(),
+        ));
     }
     let field = match tokens[3] {
         "real" => MmField::Real,
         "integer" => MmField::Integer,
         "pattern" => MmField::Pattern,
-        other => return Err(SparseError::Parse(format!("unsupported field type: {other}"))),
+        other => {
+            return Err(SparseError::Parse(format!(
+                "unsupported field type: {other}"
+            )))
+        }
     };
     let symmetry = match tokens[4] {
         "general" => MmSymmetry::General,
@@ -75,10 +83,15 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
     let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| SparseError::Parse(format!("bad size token: {t}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| SparseError::Parse(format!("bad size token: {t}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return Err(SparseError::Parse(format!("size line must have 3 fields: {size_line}")));
+        return Err(SparseError::Parse(format!(
+            "size line must have 3 fields: {size_line}"
+        )));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
 
@@ -110,7 +123,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
                 .map_err(|_| SparseError::Parse(format!("bad value: {trimmed}")))?,
         };
         if r == 0 || c == 0 {
-            return Err(SparseError::Parse("MatrixMarket indices are 1-based".into()));
+            return Err(SparseError::Parse(
+                "MatrixMarket indices are 1-based".into(),
+            ));
         }
         coo.push(r - 1, c - 1, v)?;
         if symmetry == MmSymmetry::Symmetric && r != c {
@@ -209,8 +224,14 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         assert!(read_matrix_market("".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2\n".as_bytes()
+        )
+        .is_err());
         // 0-based index is invalid
         let bad = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
         assert!(read_matrix_market(bad.as_bytes()).is_err());

@@ -40,13 +40,13 @@ pub fn spmv(a: &Csr, x: &DenseVec) -> Result<DenseVec, SparseError> {
     check_spmv_dims(a, x.len())?;
     let xs = x.as_slice();
     let mut y = vec![0.0f32; a.nrows()];
-    for r in 0..a.nrows() {
+    for (r, out) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(r);
         let mut acc = 0.0f32;
         for (&c, &v) in cols.iter().zip(vals) {
             acc += v * xs[c];
         }
-        y[r] = acc;
+        *out = acc;
     }
     Ok(DenseVec::from_vec(y))
 }
@@ -146,11 +146,7 @@ pub enum SemiringKind {
 
 /// CSR SpMV generalized over the semirings of Table IV, used by the baseline
 /// (GraphBLAST-like) algorithm implementations.
-pub fn spmv_semiring(
-    a: &Csr,
-    x: &DenseVec,
-    kind: SemiringKind,
-) -> Result<DenseVec, SparseError> {
+pub fn spmv_semiring(a: &Csr, x: &DenseVec, kind: SemiringKind) -> Result<DenseVec, SparseError> {
     check_spmv_dims(a, x.len())?;
     let xs = x.as_slice();
     let identity = match kind {
@@ -208,11 +204,7 @@ pub fn spgemm_parallel(a: &Csr, b: &Csr) -> Result<Csr, SparseError> {
     Ok(assemble_rows(a.nrows(), b.ncols(), rows))
 }
 
-fn gustavson_rows(
-    a: &Csr,
-    b: &Csr,
-    range: std::ops::Range<usize>,
-) -> Vec<(Vec<usize>, Vec<f32>)> {
+fn gustavson_rows(a: &Csr, b: &Csr, range: std::ops::Range<usize>) -> Vec<(Vec<usize>, Vec<f32>)> {
     range.map(|r| gustavson_row(a, b, r)).collect()
 }
 
@@ -387,7 +379,12 @@ mod tests {
         let x = DenseVec::from_vec(vec![1.0, 0.0, 0.0]);
         let y = spmv_semiring(&a, &x, SemiringKind::Boolean).unwrap();
         assert_eq!(y.as_slice(), &[1.0, 0.0, 1.0]);
-        let m = spmv_semiring(&sample_a(), &DenseVec::filled(3, 1.0), SemiringKind::MaxTimes).unwrap();
+        let m = spmv_semiring(
+            &sample_a(),
+            &DenseVec::filled(3, 1.0),
+            SemiringKind::MaxTimes,
+        )
+        .unwrap();
         assert_eq!(m.as_slice(), &[2.0, 3.0, 5.0]);
     }
 

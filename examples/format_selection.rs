@@ -9,21 +9,42 @@
 //! Run with: `cargo run --release --example format_selection`
 
 use bit_graphblas::core::b2sr::{sample_profile, stats, TileSize};
+use bit_graphblas::core::grb::{auto_decision, Context};
 use bit_graphblas::datagen::{classify, corpus, generators};
 
 fn main() {
     let matrices: Vec<(&str, bit_graphblas::sparse::Csr)> = vec![
         ("banded mesh", generators::banded(4096, 3, 0.7, 1)),
-        ("random scatter", generators::erdos_renyi(4096, 0.001, true, 2)),
-        ("block communities", generators::block_community(32, 64, 0.3, 1e-5, 3)),
-        ("stripes", generators::stripes(4096, &[1, 512, 1024], 0.8, 4)),
+        (
+            "random scatter",
+            generators::erdos_renyi(4096, 0.001, true, 2),
+        ),
+        (
+            "block communities",
+            generators::block_community(32, 64, 0.3, 1e-5, 3),
+        ),
+        (
+            "stripes",
+            generators::stripes(4096, &[1, 512, 1024], 0.8, 4),
+        ),
         ("road grid", generators::grid2d(64, 64)),
-        ("mycielskian12", corpus::named_matrix("mycielskian12").unwrap()),
+        (
+            "mycielskian12",
+            corpus::named_matrix("mycielskian12").unwrap(),
+        ),
     ];
 
+    let ctx = Context::default();
     println!(
-        "{:<20} {:>10} {:>11} {:>14} {:>14} {:>14} {:>9}",
-        "matrix", "pattern", "nnz", "sampled best", "actual best", "actual ratio", "convert?"
+        "{:<20} {:>10} {:>11} {:>14} {:>14} {:>14} {:>9} {:>16}",
+        "matrix",
+        "pattern",
+        "nnz",
+        "sampled best",
+        "actual best",
+        "actual ratio",
+        "convert?",
+        "Backend::Auto"
     );
 
     for (name, csr) in &matrices {
@@ -37,24 +58,40 @@ fn main() {
         let actual_best = stats::optimal_tile_size(csr);
         let actual_ratio = stats::stats_for(csr, actual_best).compression_ratio;
 
+        // The end-to-end decision Backend::Auto makes from the same inputs
+        // (plus the memory-traffic model).
+        let decision = auto_decision(csr, &ctx);
+
         println!(
-            "{:<20} {:>10} {:>11} {:>14} {:>14} {:>13.1}% {:>9}",
+            "{:<20} {:>10} {:>11} {:>14} {:>14} {:>13.1}% {:>9} {:>16}",
             name,
             category.to_string(),
             csr.nnz(),
             recommended.to_string(),
             actual_best.to_string(),
             actual_ratio * 100.0,
-            if profile.worth_converting() { "yes" } else { "no" }
+            if profile.worth_converting() {
+                "yes"
+            } else {
+                "no"
+            },
+            format!("{:?}", decision.chosen)
         );
     }
 
     // The §III-C mycielskian12 storage walk-through: CSR vs all four variants.
     let myc = corpus::named_matrix("mycielskian12").unwrap();
-    println!("\nmycielskian12 storage breakdown (paper §III-C reports the same non-monotone shape):");
+    println!(
+        "\nmycielskian12 storage breakdown (paper §III-C reports the same non-monotone shape):"
+    );
     println!("  CSR      {:>10} bytes", myc.storage_bytes());
     for ts in TileSize::ALL {
         let s = stats::stats_for(&myc, ts);
-        println!("  {:8} {:>10} bytes  ({:.1}% of CSR)", ts.to_string(), s.b2sr_bytes, s.compression_ratio * 100.0);
+        println!(
+            "  {:8} {:>10} bytes  ({:.1}% of CSR)",
+            ts.to_string(),
+            s.b2sr_bytes,
+            s.compression_ratio * 100.0
+        );
     }
 }

@@ -4,13 +4,18 @@
 //!
 //! Run with: `cargo run --release --example memory_model`
 
-use bit_graphblas::core::{B2srMatrix, TileSize};
 use bit_graphblas::datagen::corpus;
 use bit_graphblas::perfmodel::traffic::compare_traffic;
-use bit_graphblas::perfmodel::{estimate, pascal_gtx1080, volta_titanv};
+use bit_graphblas::perfmodel::{estimate, pascal_gtx1080, volta_titanv, B2srLayout};
 
 fn main() {
-    let matrices = ["mycielskian8", "ash292", "jagmesh6", "Erdos02", "delaunay_n14"];
+    let matrices = [
+        "mycielskian8",
+        "ash292",
+        "jagmesh6",
+        "Erdos02",
+        "delaunay_n14",
+    ];
 
     for profile in [pascal_gtx1080(), volta_titanv()] {
         println!(
@@ -23,8 +28,8 @@ fn main() {
         );
         for name in matrices {
             let csr = corpus::named_matrix(name).expect("matrix in the corpus");
-            let b2sr = B2srMatrix::from_csr(&csr, TileSize::S8);
-            let cmp = compare_traffic(&csr, &b2sr, &profile);
+            let layout = B2srLayout::from_csr(&csr, 8);
+            let cmp = compare_traffic(&csr, &layout, &profile);
             println!(
                 "{:<16} {:>10} {:>14} {:>14} {:>9.1}x {:>11.1} {:>11.1}",
                 name,
@@ -41,8 +46,8 @@ fn main() {
         println!("\n  modelled BMV speedup over CSR SpMV:");
         for name in matrices {
             let csr = corpus::named_matrix(name).unwrap();
-            let b2sr = B2srMatrix::from_csr(&csr, TileSize::S8);
-            let s = estimate::speedup_estimate(&csr, &b2sr, &profile);
+            let layout = B2srLayout::from_csr(&csr, 8);
+            let s = estimate::speedup_estimate(&csr, &layout, &profile);
             println!("    {:<16} {:>6.2}x", name, s);
         }
     }

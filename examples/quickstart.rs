@@ -19,7 +19,10 @@ fn main() {
     );
 
     // Storage: compare float CSR with the four B2SR variants (Figure 5 view).
-    println!("\nstorage (float CSR = {} bytes):", adjacency.storage_bytes());
+    println!(
+        "\nstorage (float CSR = {} bytes):",
+        adjacency.storage_bytes()
+    );
     for s in stats::stats_all_sizes(&adjacency) {
         println!(
             "  {:8}  {:9} bytes   compression ratio {:5.1}%   non-empty tiles {:5.1}%   occupancy {:4.1}%",
@@ -31,9 +34,13 @@ fn main() {
         );
     }
 
-    // Build the two backends.
+    // Build the two explicit backends, plus the framework's own choice:
+    // Backend::Auto classifies the pattern, runs the Algorithm-1 sampling
+    // profile and the memory-traffic model, and picks format + tile size.
     let bit = Matrix::from_csr(&adjacency, Backend::Bit(TileSize::S8));
     let baseline = Matrix::from_csr(&adjacency, Backend::FloatCsr);
+    let auto = Matrix::from_csr(&adjacency, Backend::Auto);
+    println!("\nBackend::Auto selected {:?}", auto.resolved_backend());
 
     // BFS.
     let bfs_bit = bfs(&bit, 0);
@@ -47,7 +54,10 @@ fn main() {
     // SSSP.
     let sssp_bit = sssp(&bit, 0);
     let reached = sssp_bit.distances.iter().filter(|d| d.is_finite()).count();
-    println!("SSSP from vertex 0: {reached} reachable vertices, {} rounds", sssp_bit.iterations);
+    println!(
+        "SSSP from vertex 0: {reached} reachable vertices, {} rounds",
+        sssp_bit.iterations
+    );
 
     // PageRank (paper configuration: alpha 0.85, 10 iterations).
     let pr = pagerank(&bit, &PageRankConfig::default());
@@ -57,7 +67,10 @@ fn main() {
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .unwrap();
-    println!("PageRank: {} iterations, top vertex {} with rank {:.5}", pr.iterations, top.0, top.1);
+    println!(
+        "PageRank: {} iterations, top vertex {} with rank {:.5}",
+        pr.iterations, top.0, top.1
+    );
 
     // Connected components.
     let cc = connected_components(&bit);
@@ -67,5 +80,22 @@ fn main() {
     let tri_bit = triangle_count(&bit);
     let tri_base = triangle_count(&baseline);
     assert_eq!(tri_bit, tri_base);
+    assert_eq!(triangle_count(&auto), tri_bit);
     println!("Triangles: {tri_bit} (backends agree)");
+
+    // Individual GraphBLAS operations compose through the builder API: a
+    // one-hop Boolean traversal of the frontier {0}, masked to unvisited
+    // vertices, exactly as BFS's inner loop does.
+    let ctx = Context::default();
+    let frontier = Vector::indicator(adjacency.nrows(), &[0]);
+    let mut visited = vec![false; adjacency.nrows()];
+    visited[0] = true;
+    let next = Op::vxm(&frontier, &bit)
+        .semiring(Semiring::Boolean)
+        .mask(&Mask::complemented(visited))
+        .run(&ctx);
+    println!(
+        "one builder-API hop from vertex 0 reaches {} vertices",
+        next.nnz()
+    );
 }

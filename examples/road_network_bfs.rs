@@ -16,7 +16,11 @@ fn main() {
     // A 300x300 grid: 90 000 intersections, ~358 800 directed road segments.
     let adjacency = generators::grid2d(300, 300);
     let n = adjacency.nrows();
-    println!("road network: {} intersections, {} road segments", n, adjacency.nnz());
+    println!(
+        "road network: {} intersections, {} road segments",
+        n,
+        adjacency.nnz()
+    );
 
     let source = n / 2 + 150; // roughly the middle of the map
 
@@ -25,6 +29,7 @@ fn main() {
         ("Bit-GraphBLAS (B2SR-8)", Backend::Bit(TileSize::S8)),
         ("Bit-GraphBLAS (B2SR-32)", Backend::Bit(TileSize::S32)),
         ("float-CSR baseline", Backend::FloatCsr),
+        ("auto-selected", Backend::Auto),
     ] {
         let build_start = Instant::now();
         let graph = Matrix::from_csr(&adjacency, backend);
@@ -38,6 +43,9 @@ fn main() {
         let dist = sssp(&graph, source);
         let sssp_time = sssp_start.elapsed();
 
+        if backend == Backend::Auto {
+            println!("auto selection resolved to {:?}", graph.resolved_backend());
+        }
         rows.push((label, build, bfs_time, sssp_time, levels, dist));
     }
 
@@ -59,8 +67,14 @@ fn main() {
     let reference_levels = &rows[0].4.levels;
     let reference_dist = &rows[0].5.distances;
     for (label, _, _, _, levels, dist) in &rows[1..] {
-        assert_eq!(&levels.levels, reference_levels, "{label} disagrees on BFS levels");
-        assert_eq!(&dist.distances, reference_dist, "{label} disagrees on SSSP distances");
+        assert_eq!(
+            &levels.levels, reference_levels,
+            "{label} disagrees on BFS levels"
+        );
+        assert_eq!(
+            &dist.distances, reference_dist,
+            "{label} disagrees on SSSP distances"
+        );
     }
 
     let eccentricity = reference_levels.iter().max().unwrap();

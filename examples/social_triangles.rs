@@ -15,14 +15,23 @@ use bit_graphblas::prelude::*;
 
 fn main() {
     println!(
-        "{:<34} {:>9} {:>11} {:>13} {:>13} {:>9}",
-        "network", "vertices", "edges", "bit TC (ms)", "float TC (ms)", "triangles"
+        "{:<34} {:>9} {:>11} {:>13} {:>13} {:>13} {:>9}",
+        "network", "vertices", "edges", "bit TC (ms)", "float TC (ms)", "auto TC (ms)", "triangles"
     );
 
     for (name, adjacency) in [
-        ("small-communities (64 x 48)", generators::block_community(64, 48, 0.35, 1e-5, 7)),
-        ("large-communities (24 x 128)", generators::block_community(24, 128, 0.25, 1e-5, 8)),
-        ("power-law social (rmat-12)", generators::rmat(12, 12, 0.57, 0.19, 0.19, 9)),
+        (
+            "small-communities (64 x 48)",
+            generators::block_community(64, 48, 0.35, 1e-5, 7),
+        ),
+        (
+            "large-communities (24 x 128)",
+            generators::block_community(24, 128, 0.25, 1e-5, 8),
+        ),
+        (
+            "power-law social (rmat-12)",
+            generators::rmat(12, 12, 0.57, 0.19, 0.19, 9),
+        ),
         ("mycielskian11 (triangle-free)", generators::mycielskian(11)),
     ] {
         let bit_graph = Matrix::from_csr(&adjacency, Backend::Bit(TileSize::S32));
@@ -36,15 +45,22 @@ fn main() {
         let tri_float = triangle_count(&float_graph);
         let float_ms = t1.elapsed().as_secs_f64() * 1e3;
 
+        let auto_graph = Matrix::from_csr(&adjacency, Backend::Auto);
+        let t2 = Instant::now();
+        let tri_auto = triangle_count(&auto_graph);
+        let auto_ms = t2.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(tri_auto, tri_float, "auto backend disagrees on {name}");
+
         assert_eq!(tri_bit, tri_float, "backends disagree on {name}");
 
         println!(
-            "{:<34} {:>9} {:>11} {:>13.2} {:>13.2} {:>9}",
+            "{:<34} {:>9} {:>11} {:>13.2} {:>13.2} {:>13.2} {:>9}",
             name,
             adjacency.nrows(),
             adjacency.nnz() / 2,
             bit_ms,
             float_ms,
+            auto_ms,
             tri_bit
         );
     }

@@ -24,8 +24,12 @@ fn main() {
     for (label, backend) in [
         ("Bit-GraphBLAS (B2SR-8)", Backend::Bit(TileSize::S8)),
         ("float-CSR baseline", Backend::FloatCsr),
+        ("auto-selected", Backend::Auto),
     ] {
         let graph = Matrix::from_csr(&adjacency, backend);
+        if backend == Backend::Auto {
+            println!("auto selection resolved to {:?}", graph.resolved_backend());
+        }
 
         let t0 = Instant::now();
         let pr = pagerank(&graph, &config);
@@ -50,15 +54,21 @@ fn main() {
                 .zip(prev)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f32, f32::max);
-            assert!(max_diff < 1e-4, "backends disagree on PageRank (max diff {max_diff})");
+            assert!(
+                max_diff < 1e-4,
+                "backends disagree on PageRank (max diff {max_diff})"
+            );
         }
         last_ranks = Some(pr.ranks.clone());
 
         // Top pages by rank.
         let mut ranked: Vec<(usize, f32)> = pr.ranks.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        let top: Vec<String> =
-            ranked.iter().take(5).map(|(v, r)| format!("{v} ({r:.4})")).collect();
+        let top: Vec<String> = ranked
+            .iter()
+            .take(5)
+            .map(|(v, r)| format!("{v} ({r:.4})"))
+            .collect();
         println!("    top pages: {}", top.join(", "));
     }
 

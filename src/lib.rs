@@ -43,6 +43,24 @@
 //!
 //! // B2SR compresses the matrix relative to float CSR.
 //! assert!(graph.storage_bytes() < baseline.storage_bytes());
+//!
+//! // Or let the framework decide the format and tile size per matrix
+//! // (pattern classifier + sampling profile + memory-traffic model):
+//! let auto = Matrix::from_csr(&adjacency, Backend::Auto);
+//! assert_ne!(auto.resolved_backend(), Backend::Auto);
+//! assert_eq!(bfs(&auto, 0).levels, result.levels);
+//!
+//! // Individual GraphBLAS operations use the builder API: a one-hop
+//! // Boolean traversal from vertex 0, masked to unvisited vertices.
+//! let ctx = Context::default();
+//! let frontier = Vector::indicator(256, &[0]);
+//! let mut visited = vec![false; 256];
+//! visited[0] = true;
+//! let next = Op::vxm(&frontier, &graph)
+//!     .semiring(Semiring::Boolean)
+//!     .mask(&Mask::complemented(visited))
+//!     .run(&ctx);
+//! assert_eq!(next.nnz(), 2, "vertex 0 of the grid has two neighbours");
 //! ```
 
 #![warn(missing_docs)]
@@ -60,7 +78,9 @@ pub mod prelude {
     pub use bitgblas_algorithms::{
         bfs, connected_components, pagerank, sssp, triangle_count, PageRankConfig,
     };
-    pub use bitgblas_core::grb::{mxv, reduce, vxm, Descriptor, Mask};
+    #[allow(deprecated)]
+    pub use bitgblas_core::grb::{mxv, reduce, vxm};
+    pub use bitgblas_core::grb::{Context, Descriptor, GrbBackend, Mask, Op};
     pub use bitgblas_core::{B2srMatrix, Backend, Matrix, Semiring, TileSize, Vector};
     pub use bitgblas_sparse::{Coo, Csr, DenseVec};
 }

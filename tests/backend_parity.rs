@@ -1,0 +1,156 @@
+//! Backend-parity property suite: every algorithm must produce identical
+//! results on `Bit(S4)`, `Bit(S8)`, `Bit(S16)`, `FloatCsr` and `Auto` for
+//! random graphs drawn from the `datagen` generators — the acceptance bar of
+//! the `GrbBackend` redesign.
+//!
+//! Unlike `property_based.rs` (which drives the kernels on uniform random
+//! edge lists), this suite samples *structured* graphs — every generator
+//! family the paper's corpus covers — so the automatic format selection is
+//! exercised across patterns that resolve to different backends.
+
+use proptest::prelude::*;
+
+use bit_graphblas::algorithms::reference;
+use bit_graphblas::datagen::generators;
+use bit_graphblas::prelude::*;
+
+/// The backends whose results must be indistinguishable.
+fn parity_backends() -> Vec<Backend> {
+    vec![
+        Backend::Bit(TileSize::S4),
+        Backend::Bit(TileSize::S8),
+        Backend::Bit(TileSize::S16),
+        Backend::FloatCsr,
+        Backend::Auto,
+    ]
+}
+
+/// Strategy: a random structured graph from one of the generator families
+/// (dot, diagonal, block, stripe, road), sized to keep the suite fast.
+fn graph_strategy() -> impl Strategy<Value = Csr> {
+    (0usize..5, 1u64..1_000).prop_map(|(family, seed)| match family {
+        0 => generators::erdos_renyi(60 + (seed % 60) as usize, 0.04, seed % 2 == 0, seed),
+        1 => generators::banded(
+            80 + (seed % 80) as usize,
+            1 + (seed % 4) as usize,
+            0.7,
+            seed,
+        ),
+        2 => generators::block_community(3 + (seed % 4) as usize, 24, 0.4, 1e-3, seed),
+        3 => generators::stripes(90 + (seed % 60) as usize, &[1, 17, 40], 0.8, seed),
+        _ => {
+            let side = 7 + (seed % 6) as usize;
+            generators::grid2d(side, side + 1)
+        }
+    })
+}
+
+fn assert_f32_slices_match(got: &[f32], want: &[f32], what: &str, backend: Backend) {
+    assert_eq!(got.len(), want.len());
+    for (v, (g, w)) in got.iter().zip(want).enumerate() {
+        let both_inf = g.is_infinite() && w.is_infinite();
+        assert!(
+            both_inf || (g - w).abs() < 1e-4,
+            "{what} / {backend:?}: vertex {v}: {g} vs {w}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// BFS levels match the queue-based reference on every backend.
+    #[test]
+    fn bfs_parity(adj in graph_strategy(), src in 0usize..1000) {
+        let src = src % adj.nrows();
+        let expected = reference::bfs_levels(&adj, src);
+        for backend in parity_backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            prop_assert_eq!(&bfs(&m, src).levels, &expected, "{:?}", backend);
+        }
+    }
+
+    /// SSSP distances match Bellman-Ford on every backend.
+    #[test]
+    fn sssp_parity(adj in graph_strategy(), src in 0usize..1000) {
+        let src = src % adj.nrows();
+        let expected = reference::sssp_distances(&adj, src);
+        for backend in parity_backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            assert_f32_slices_match(&sssp(&m, src).distances, &expected, "sssp", backend);
+        }
+    }
+
+    /// PageRank ranks agree with the float baseline on every backend.
+    #[test]
+    fn pagerank_parity(adj in graph_strategy()) {
+        let config = PageRankConfig { max_iterations: 15, ..Default::default() };
+        let baseline = pagerank(&Matrix::from_csr(&adj, Backend::FloatCsr), &config);
+        for backend in parity_backends() {
+            let got = pagerank(&Matrix::from_csr(&adj, backend), &config);
+            prop_assert_eq!(got.iterations, baseline.iterations, "{:?}", backend);
+            assert_f32_slices_match(&got.ranks, &baseline.ranks, "pagerank", backend);
+        }
+    }
+
+    /// Connected-component labels match union-find on every backend.
+    #[test]
+    fn cc_parity(adj in graph_strategy()) {
+        let expected = reference::cc_labels(&adj);
+        for backend in parity_backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            let got = connected_components(&m);
+            prop_assert_eq!(&got.labels, &expected, "{:?}", backend);
+        }
+    }
+
+    /// Triangle counts match the wedge-checking reference on every backend.
+    /// (TC takes lower triangles, so Auto re-decides on `L` and `Lᵀ` and may
+    /// even mix backends — the cross-backend fallback must stay exact.)
+    #[test]
+    fn tc_parity(adj in graph_strategy()) {
+        let sym = adj.symmetrized().without_diagonal();
+        let expected = reference::triangle_count(&sym);
+        for backend in parity_backends() {
+            let m = Matrix::from_csr(&sym, backend);
+            prop_assert_eq!(triangle_count(&m), expected, "{:?}", backend);
+        }
+    }
+}
+
+/// The paper's Figure-5 story, end to end: `Backend::Auto` picks *different*
+/// tile sizes for at least two corpus patterns, and keeps CSR for scatter
+/// with nothing to exploit.
+#[test]
+fn auto_selection_differs_across_corpus_patterns() {
+    let banded = Matrix::from_csr(&generators::banded(2048, 3, 0.8, 7), Backend::Auto);
+    let blocks = Matrix::from_csr(
+        &generators::block_community(16, 64, 0.5, 1e-5, 9),
+        Backend::Auto,
+    );
+
+    let banded_ts = match banded.resolved_backend() {
+        Backend::Bit(ts) => ts,
+        other => panic!("banded should resolve to a bit backend, got {other:?}"),
+    };
+    let blocks_ts = match blocks.resolved_backend() {
+        Backend::Bit(ts) => ts,
+        other => panic!("block pattern should resolve to a bit backend, got {other:?}"),
+    };
+    assert_ne!(
+        banded_ts, blocks_ts,
+        "auto selection must adapt the tile size to the pattern"
+    );
+    assert!(
+        banded_ts.dim() < blocks_ts.dim(),
+        "thin bands want smaller tiles than dense blocks"
+    );
+
+    // Unstructured scatter with ~1 bit per touched tile: keep the original CSR.
+    let mut coo = Coo::new(4096, 4096);
+    for r in (0..4096usize).step_by(3) {
+        coo.push_edge(r, (r * 7 + 13) % 4096).unwrap();
+    }
+    let scatter = Matrix::from_csr(&coo.to_binary_csr(), Backend::Auto);
+    assert_eq!(scatter.resolved_backend(), Backend::FloatCsr);
+}

@@ -14,6 +14,7 @@ fn all_backends() -> Vec<Backend> {
         Backend::Bit(TileSize::S16),
         Backend::Bit(TileSize::S32),
         Backend::FloatCsr,
+        Backend::Auto,
     ]
 }
 
@@ -21,11 +22,23 @@ fn all_backends() -> Vec<Backend> {
 fn test_graphs() -> Vec<(String, Csr)> {
     vec![
         ("banded".to_string(), generators::banded(300, 3, 0.7, 1)),
-        ("erdos_renyi".to_string(), generators::erdos_renyi(250, 0.02, true, 2)),
-        ("rmat".to_string(), generators::rmat(8, 8, 0.57, 0.19, 0.19, 3)),
+        (
+            "erdos_renyi".to_string(),
+            generators::erdos_renyi(250, 0.02, true, 2),
+        ),
+        (
+            "rmat".to_string(),
+            generators::rmat(8, 8, 0.57, 0.19, 0.19, 3),
+        ),
         ("grid".to_string(), generators::grid2d(18, 17)),
-        ("blocks".to_string(), generators::block_community(5, 40, 0.3, 1e-4, 4)),
-        ("stripes".to_string(), generators::stripes(260, &[1, 37, 90], 0.8, 5)),
+        (
+            "blocks".to_string(),
+            generators::block_community(5, 40, 0.3, 1e-4, 4),
+        ),
+        (
+            "stripes".to_string(),
+            generators::stripes(260, &[1, 37, 90], 0.8, 5),
+        ),
         ("mycielskian7".to_string(), generators::mycielskian(7)),
     ]
 }
@@ -64,7 +77,11 @@ fn sssp_agrees_with_reference_on_all_backends_and_graphs() {
 fn connected_components_agree_with_union_find() {
     for (name, adj) in test_graphs() {
         let expected = reference::cc_labels(&adj);
-        for backend in [Backend::Bit(TileSize::S8), Backend::Bit(TileSize::S32), Backend::FloatCsr] {
+        for backend in [
+            Backend::Bit(TileSize::S8),
+            Backend::Bit(TileSize::S32),
+            Backend::FloatCsr,
+        ] {
             let m = Matrix::from_csr(&adj, backend);
             let got = connected_components(&m);
             assert_eq!(got.labels, expected, "{name} / {backend:?}");
@@ -86,7 +103,10 @@ fn triangle_counts_agree_with_reference() {
 #[test]
 fn pagerank_is_backend_independent_and_normalised() {
     for (name, adj) in test_graphs() {
-        let config = PageRankConfig { max_iterations: 15, ..Default::default() };
+        let config = PageRankConfig {
+            max_iterations: 15,
+            ..Default::default()
+        };
         let baseline = pagerank(&Matrix::from_csr(&adj, Backend::FloatCsr), &config);
         let total: f32 = baseline.ranks.iter().sum();
         assert!((total - 1.0).abs() < 1e-2, "{name}: ranks sum to {total}");
@@ -131,37 +151,79 @@ fn sampling_profile_recommendation_actually_compresses() {
         ("blocks", generators::block_community(16, 64, 0.3, 1e-5, 12)),
     ] {
         let profile = sample_profile(&adj, 256, 13);
-        assert!(profile.worth_converting(), "{name} should be worth converting");
+        assert!(
+            profile.worth_converting(),
+            "{name} should be worth converting"
+        );
         let rec = profile.recommended_tile_size();
         let actual = stats::stats_for(&adj, rec);
-        assert!(actual.compression_ratio < 1.0, "{name}: recommended {rec} does not compress");
+        assert!(
+            actual.compression_ratio < 1.0,
+            "{name}: recommended {rec} does not compress"
+        );
     }
 }
 
 #[test]
 fn classifier_assigns_expected_categories_to_generators() {
-    assert_eq!(classify(&generators::banded(512, 3, 0.8, 1)), PatternCategory::Diagonal);
-    assert_eq!(classify(&generators::stripes(1024, &[97, 211], 0.9, 2)), PatternCategory::Stripe);
-    assert_eq!(classify(&generators::erdos_renyi(512, 0.01, true, 3)), PatternCategory::Dot);
+    assert_eq!(
+        classify(&generators::banded(512, 3, 0.8, 1)),
+        PatternCategory::Diagonal
+    );
+    assert_eq!(
+        classify(&generators::stripes(1024, &[97, 211], 0.9, 2)),
+        PatternCategory::Stripe
+    );
+    assert_eq!(
+        classify(&generators::erdos_renyi(512, 0.01, true, 3)),
+        PatternCategory::Dot
+    );
 }
 
 #[test]
 fn grb_ops_compose_into_custom_algorithms() {
-    // A user-level composition: two-hop reachability counts via two mxv calls.
+    // A user-level composition: two-hop reachability via two builder calls.
+    let ctx = Context::default();
     let adj = generators::erdos_renyi(200, 0.03, true, 21);
     let bit = Matrix::from_csr(&adj, Backend::Bit(TileSize::S8));
     let float = Matrix::from_csr(&adj, Backend::FloatCsr);
     let start = Vector::indicator(200, &[0]);
 
-    let hop1_bit = mxv(&bit, &start, Semiring::Boolean, None, &Descriptor::with_transpose());
-    let hop2_bit = mxv(&bit, &hop1_bit, Semiring::Boolean, None, &Descriptor::with_transpose());
-    let hop1_float = mxv(&float, &start, Semiring::Boolean, None, &Descriptor::with_transpose());
-    let hop2_float = mxv(&float, &hop1_float, Semiring::Boolean, None, &Descriptor::with_transpose());
+    let two_hop = |a: &Matrix| {
+        let hop1 = Op::vxm(&start, a).semiring(Semiring::Boolean).run(&ctx);
+        Op::vxm(&hop1, a).semiring(Semiring::Boolean).run(&ctx)
+    };
+    let hop2_bit = two_hop(&bit);
+    let hop2_float = two_hop(&float);
 
     for (b, f) in hop2_bit.as_slice().iter().zip(hop2_float.as_slice()) {
         assert_eq!(*b != 0.0, *f != 0.0);
     }
-    assert!(reduce(&hop2_bit, Semiring::Arithmetic) > 0.0);
+    assert!(Op::reduce(&hop2_bit).run(&ctx) > 0.0);
+
+    // The deprecated free-function shims still work and agree.
+    #[allow(deprecated)]
+    {
+        let hop1 = mxv(
+            &bit,
+            &start,
+            Semiring::Boolean,
+            None,
+            &Descriptor::with_transpose(),
+        );
+        let hop2 = mxv(
+            &bit,
+            &hop1,
+            Semiring::Boolean,
+            None,
+            &Descriptor::with_transpose(),
+        );
+        assert_eq!(hop2.as_slice(), hop2_bit.as_slice());
+        assert_eq!(
+            reduce(&hop2, Semiring::Arithmetic),
+            Op::reduce(&hop2_bit).run(&ctx)
+        );
+    }
 }
 
 #[test]
@@ -169,7 +231,10 @@ fn storage_backend_choice_changes_bytes_not_results() {
     let adj = corpus::named_matrix("ash292").unwrap();
     let bit = Matrix::from_csr(&adj, Backend::Bit(TileSize::S8));
     let float = Matrix::from_csr(&adj, Backend::FloatCsr);
-    assert!(bit.storage_bytes() < float.storage_bytes(), "B2SR-8 must compress ash292");
+    assert!(
+        bit.storage_bytes() < float.storage_bytes(),
+        "B2SR-8 must compress ash292"
+    );
     assert_eq!(
         algorithms::bfs(&bit, 0).levels,
         algorithms::bfs(&float, 0).levels
