@@ -2,12 +2,20 @@
 //!
 //! Each iteration performs a one-hop edge traversal of the current frontier
 //! with `vxm()` over the Boolean semiring, then filters out already-visited
-//! vertices with a complemented mask.  On the bit backend this maps to
-//! `bmv_bin_bin_bin_masked()`: the frontier and the visited mask are both
-//! binarized, and the mask is applied with a bitwise AND-NOT right before the
-//! output store (no early exit, to avoid warp divergence — §V).
+//! vertices with a complemented mask.  On the bit backend the pull sweep
+//! maps to `bmv_bin_bin_bin_masked()`: the frontier and the visited mask are
+//! both binarized, and the mask is applied with a bitwise AND-NOT right
+//! before the output store (no early exit, to avoid warp divergence — §V).
+//!
+//! The traversal is **direction-optimizing**: with the default
+//! [`Direction::Auto`] each iteration picks the push (sparse-frontier
+//! scatter) or pull (dense sweep) kernel from the frontier density, the
+//! classic Beamer-style switch.  The inner loop is allocation-free in steady
+//! state — the frontier vectors cycle through the matrix context's workspace
+//! pool and the visited mask is updated in place (proved by the
+//! allocation-counter test in `bitgblas-core`).
 
-use bitgblas_core::grb::{Context, Mask, Matrix, Op, Vector};
+use bitgblas_core::grb::{Direction, Mask, Matrix, Op, Vector};
 use bitgblas_core::Semiring;
 
 /// The result of a BFS run.
@@ -22,19 +30,37 @@ pub struct BfsResult {
 }
 
 /// Run BFS from `source` on the graph held by `a` (treated as directed; pass
-/// a symmetrized matrix for undirected traversal).
+/// a symmetrized matrix for undirected traversal).  Uses
+/// [`Direction::Auto`]: each iteration picks push or pull from the frontier
+/// density.
 ///
 /// # Panics
 /// Panics if `source` is out of range.
 pub fn bfs(a: &Matrix, source: usize) -> BfsResult {
+    bfs_dir(a, source, Direction::Auto)
+}
+
+/// As [`bfs`], forcing the given traversal direction for every iteration
+/// (`Push` = sparse scatter, `Pull` = dense sweep, `Auto` = per-iteration
+/// Beamer-style switch).
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn bfs_dir(a: &Matrix, source: usize, direction: Direction) -> BfsResult {
     let n = a.nrows();
     assert!(source < n, "source vertex {source} out of range (n = {n})");
-    let ctx = Context::default();
+    // The matrix's own context supplies the workspace pool, so the frontier
+    // buffers recycle across iterations instead of being reallocated.
+    let ctx = a.context();
 
     let mut levels = vec![-1i64; n];
     levels[source] = 0;
-    let mut visited = vec![false; n];
-    visited[source] = true;
+    let mut visited = {
+        let mut flags = vec![false; n];
+        flags[source] = true;
+        // ¬visited, updated in place each level — never rebuilt.
+        Mask::complemented(flags)
+    };
 
     let mut frontier = Vector::indicator(n, &[source]);
     let mut level = 0i64;
@@ -46,26 +72,27 @@ pub fn bfs(a: &Matrix, source: usize) -> BfsResult {
         level += 1;
 
         // next = frontier ⊕.⊗ A over the Boolean semiring, masked by ¬visited.
-        let mask = Mask::complemented(visited.clone());
         let next = Op::vxm(&frontier, a)
             .semiring(Semiring::Boolean)
-            .mask(&mask)
-            .run(&ctx);
+            .mask(&visited)
+            .direction(direction)
+            .run(ctx);
 
         // Record levels and update the visited set.
         let mut any = false;
         for (v, &x) in next.as_slice().iter().enumerate() {
             if x != 0.0 {
-                visited[v] = true;
+                visited.set(v, true);
                 levels[v] = level;
                 n_reached += 1;
                 any = true;
             }
         }
+        // The previous frontier's buffer goes back to the pool.
+        ctx.recycle(std::mem::replace(&mut frontier, next));
         if !any || iterations >= n {
             break;
         }
-        frontier = next;
     }
 
     BfsResult {
@@ -168,6 +195,21 @@ mod tests {
         assert_eq!(got.levels[8], 8);
         // 8 productive levels + 1 terminating empty iteration.
         assert_eq!(got.iterations, 9);
+    }
+
+    #[test]
+    fn forced_directions_agree_with_auto() {
+        for seed in [2u64, 9] {
+            let adj = generators::erdos_renyi(150, 0.03, true, seed);
+            let expected = reference::bfs_levels(&adj, 3);
+            for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+                let m = Matrix::from_csr(&adj, backend);
+                for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                    let got = bfs_dir(&m, 3, dir);
+                    assert_eq!(got.levels, expected, "{backend:?} {dir:?}");
+                }
+            }
+        }
     }
 
     #[test]

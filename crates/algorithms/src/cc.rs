@@ -12,7 +12,7 @@
 //! repeating until the parent vector stops changing.  Vertices of the same
 //! component end up pointing at the component's minimum vertex id.
 
-use bitgblas_core::grb::{Context, Matrix, Op, Vector};
+use bitgblas_core::grb::{Matrix, Op, Vector};
 use bitgblas_core::Semiring;
 
 /// The result of a connected-components run.
@@ -40,24 +40,29 @@ pub fn connected_components(a: &Matrix) -> CcResult {
     }
 
     // Propagate minima along edges; the semiring adds 0 so values are the
-    // neighbours' labels themselves.
-    let ctx = Context::default();
+    // neighbours' labels themselves.  The matrix context's workspace
+    // recycles the per-round vectors.
+    let ctx = a.context();
     let semiring = Semiring::MinPlus(0.0);
 
     let mut parent: Vec<usize> = (0..n).collect();
+    let mut parent_f = Vector::zeros(n);
     let mut iterations = 0usize;
 
     loop {
         iterations += 1;
-        let parent_f = Vector::from_vec(parent.iter().map(|&p| p as f32).collect());
+        for (pf, &p) in parent_f.as_mut_slice().iter_mut().zip(&parent) {
+            *pf = p as f32;
+        }
 
         // Minimum neighbour parent, in both edge directions so directed
-        // inputs behave as undirected graphs.
-        let forward = Op::mxv(a, &parent_f).semiring(semiring).run(&ctx);
+        // inputs behave as undirected graphs.  The parent vector is fully
+        // dense (every entry finite), so Direction::Auto resolves to pull.
+        let forward = Op::mxv(a, &parent_f).semiring(semiring).run(ctx);
         let backward = Op::mxv(a, &parent_f)
             .semiring(semiring)
             .transpose()
-            .run(&ctx);
+            .run(ctx);
 
         let mut next = parent.clone();
         let mut hook = |u: usize, candidate: f32| {
@@ -78,6 +83,8 @@ pub fn connected_components(a: &Matrix) -> CcResult {
             hook(u, forward.get(u));
             hook(u, backward.get(u));
         }
+        ctx.recycle(forward);
+        ctx.recycle(backward);
 
         // Shortcutting: point every vertex at its grandparent until stable
         // within this round (path halving).

@@ -28,9 +28,13 @@ pub mod reference;
 pub mod sssp;
 pub mod tc;
 
-pub use bfs::{bfs, BfsResult};
+pub use bfs::{bfs, bfs_dir, BfsResult};
 pub use cc::{connected_components, CcResult};
 pub use extras::{diameter_estimate, eccentricity, maximal_independent_set, MisResult};
 pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
-pub use sssp::{sssp, SsspResult};
+pub use sssp::{sssp, sssp_dir, SsspResult};
 pub use tc::triangle_count;
+
+// Re-exported so algorithm callers can name a traversal direction without
+// importing bitgblas-core directly.
+pub use bitgblas_core::grb::Direction;

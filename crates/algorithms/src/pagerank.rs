@@ -12,7 +12,7 @@
 //! α = 0.85 and tolerance 1e-9; those are the defaults of
 //! [`PageRankConfig`].
 
-use bitgblas_core::grb::{Context, Matrix, Op, Vector};
+use bitgblas_core::grb::{Matrix, Op, Vector};
 use bitgblas_core::Semiring;
 
 /// PageRank parameters (paper defaults: α = 0.85, 10 iterations, ε = 1e-9).
@@ -57,11 +57,13 @@ pub fn pagerank(a: &Matrix, config: &PageRankConfig) -> PageRankResult {
             last_delta: 0.0,
         };
     }
-    let ctx = Context::default();
+    // The matrix context's workspace recycles the per-iteration vectors.
+    let ctx = a.context();
     let out_deg = a.out_degrees();
     let teleport = (1.0 - config.alpha) / n as f32;
 
     let mut rank = Vector::from_vec(vec![1.0 / n as f32; n]);
+    let mut scaled = Vector::zeros(n);
     let mut iterations = 0usize;
     let mut last_delta = f32::INFINITY;
 
@@ -69,33 +71,33 @@ pub fn pagerank(a: &Matrix, config: &PageRankConfig) -> PageRankResult {
         iterations += 1;
 
         // v_out_degree scaling: each vertex's rank divided by its out-degree;
-        // dangling vertices (out-degree 0) redistribute uniformly.
-        let mut scaled = vec![0.0f32; n];
+        // dangling vertices (out-degree 0) redistribute uniformly.  The
+        // scaled vector is rewritten in place each iteration.
         let mut dangling = 0.0f32;
-        for v in 0..n {
+        for (v, s) in scaled.as_mut_slice().iter_mut().enumerate() {
             if out_deg[v] == 0 {
                 dangling += rank.get(v);
+                *s = 0.0;
             } else {
-                scaled[v] = rank.get(v) / out_deg[v] as f32;
+                *s = rank.get(v) / out_deg[v] as f32;
             }
         }
-        let scaled = Vector::from_vec(scaled);
 
         // contrib[v] = Σ_{u : u->v} rank[u] / deg(u)  — an arithmetic-semiring
-        // push along the adjacency matrix (mxv of the transpose).
-        let contrib = Op::vxm(&scaled, a).semiring(Semiring::Arithmetic).run(&ctx);
+        // push along the adjacency matrix (mxv of the transpose).  The rank
+        // vector is dense, so Direction::Auto resolves to the pull sweep.
+        let contrib = Op::vxm(&scaled, a).semiring(Semiring::Arithmetic).run(ctx);
 
+        // rank = teleport + α·contrib + dangling share, folding the
+        // convergence delta into the same in-place pass.
         let dangling_share = config.alpha * dangling / n as f32;
-        let next = Vector::from_vec(
-            contrib
-                .as_slice()
-                .iter()
-                .map(|&c| teleport + config.alpha * c + dangling_share)
-                .collect(),
-        );
-
-        last_delta = next.max_abs_diff(&rank);
-        rank = next;
+        last_delta = 0.0f32;
+        for (r, &c) in rank.as_mut_slice().iter_mut().zip(contrib.as_slice()) {
+            let next = teleport + config.alpha * c + dangling_share;
+            last_delta = last_delta.max((next - *r).abs());
+            *r = next;
+        }
+        ctx.recycle(contrib);
         if last_delta <= config.tolerance {
             break;
         }

@@ -8,8 +8,16 @@
 //! frontier — so the implementation here iterates min-plus `vxm` relaxations
 //! until the distance vector reaches a fixpoint, which yields exactly the
 //! same distances.
+//!
+//! Like BFS, the relaxation is direction-optimizing: while few vertices
+//! have finite distances, [`Direction::Auto`] walks only their out-edges
+//! (push); once the reached set grows dense it switches to the pull sweep.
+//! Because min is exact under reordering, push and pull produce bit-equal
+//! distances.  The accumulate step (`dist = min(dist, relaxed)`) runs in
+//! place and the relaxed vector is recycled, so the steady-state loop is
+//! allocation-free.
 
-use bitgblas_core::grb::{Context, Matrix, Op, Vector};
+use bitgblas_core::grb::{Direction, Matrix, Op, Vector};
 use bitgblas_core::Semiring;
 
 /// The result of an SSSP run.
@@ -22,15 +30,25 @@ pub struct SsspResult {
     pub iterations: usize,
 }
 
-/// Run SSSP from `source` over unit edge weights.
+/// Run SSSP from `source` over unit edge weights, with per-iteration
+/// automatic direction selection.
 ///
 /// # Panics
 /// Panics if `source` is out of range.
 pub fn sssp(a: &Matrix, source: usize) -> SsspResult {
+    sssp_dir(a, source, Direction::Auto)
+}
+
+/// As [`sssp`], forcing the given traversal direction for every relaxation
+/// round.
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn sssp_dir(a: &Matrix, source: usize, direction: Direction) -> SsspResult {
     let n = a.nrows();
     assert!(source < n, "source vertex {source} out of range (n = {n})");
 
-    let ctx = Context::default();
+    let ctx = a.context();
     let semiring = Semiring::MinPlus(1.0);
     let mut dist = Vector::identity(n, semiring);
     dist.set(source, 0.0);
@@ -39,16 +57,24 @@ pub fn sssp(a: &Matrix, source: usize) -> SsspResult {
     loop {
         iterations += 1;
         // relaxed[v] = min_u (dist[u] + 1) over edges u -> v.
-        let relaxed = Op::vxm(&dist, a).semiring(semiring).run(&ctx);
-        // dist = min(dist, relaxed): the accumulate step of the tropical
-        // semiring (keeps the source at 0 and any already-shorter paths).
-        let mut next = dist.clone();
-        next.accumulate(&relaxed, semiring);
-        if next == dist || iterations >= n {
-            dist = next;
+        let relaxed = Op::vxm(&dist, a)
+            .semiring(semiring)
+            .direction(direction)
+            .run(ctx);
+        // dist = min(dist, relaxed) in place: the accumulate step of the
+        // tropical semiring (keeps the source at 0 and any already-shorter
+        // paths); `changed` doubles as the fixpoint test.
+        let mut changed = false;
+        for (d, &r) in dist.as_mut_slice().iter_mut().zip(relaxed.as_slice()) {
+            if r < *d {
+                *d = r;
+                changed = true;
+            }
+        }
+        ctx.recycle(relaxed);
+        if !changed || iterations >= n {
             break;
         }
-        dist = next;
     }
 
     SsspResult {
@@ -133,6 +159,21 @@ mod tests {
         // 11 productive rounds + 1 fixpoint-detection round.
         assert_eq!(got.iterations, 12);
         assert_eq!(got.distances[11], 11.0);
+    }
+
+    #[test]
+    fn forced_directions_agree_exactly() {
+        // min is exact under reordering, so push ≡ pull bit-for-bit.
+        let adj = generators::erdos_renyi(130, 0.03, true, 6);
+        for backend in [Backend::Bit(TileSize::S16), Backend::FloatCsr] {
+            let m = Matrix::from_csr(&adj, backend);
+            let pull = sssp_dir(&m, 2, Direction::Pull);
+            let push = sssp_dir(&m, 2, Direction::Push);
+            let auto = sssp_dir(&m, 2, Direction::Auto);
+            assert_eq!(push.distances, pull.distances, "{backend:?}");
+            assert_eq!(auto.distances, pull.distances, "{backend:?}");
+            assert_eq!(push.iterations, pull.iterations);
+        }
     }
 
     #[test]

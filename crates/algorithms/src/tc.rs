@@ -14,7 +14,7 @@
 //! straight into the global sum — the paper fuses the reduction into the
 //! `mxm()` the same way.
 
-use bitgblas_core::grb::{Context, Matrix, Op};
+use bitgblas_core::grb::{Matrix, Op};
 
 /// Count the triangles of the undirected graph held by `a`.
 ///
@@ -22,10 +22,10 @@ use bitgblas_core::grb::{Context, Matrix, Op};
 /// self-loops are ignored because only the strictly lower triangle
 /// participates.
 pub fn triangle_count(a: &Matrix) -> u64 {
-    let ctx = Context::default();
+    let ctx = a.context();
     let l = a.lower_triangle();
     let lt = l.transpose();
-    let sum = Op::mxm_reduce(&l, &lt, &l).run(&ctx);
+    let sum = Op::mxm_reduce(&l, &lt, &l).run(ctx);
     sum.round() as u64
 }
 

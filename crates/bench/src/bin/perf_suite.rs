@@ -1,0 +1,202 @@
+//! `perf_suite` — the machine-readable performance harness.
+//!
+//! Times the BMV kernel in all three traversal directions and the five
+//! graph algorithms on a fixed synthetic corpus, and writes the results as
+//! JSON rows `{bench, backend, direction, ms, ms_min, ms_median}` so every
+//! future PR has a perf trajectory to compare against (`BENCH_PR2.json`
+//! for this PR; later PRs append `BENCH_PR<n>.json` files).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_suite [--smoke] [--out PATH]
+//! ```
+//!
+//! * `--smoke` — one tiny graph end-to-end, for CI: proves the harness runs
+//!   and emits parseable JSON in a couple of seconds.
+//! * `--out PATH` — output path (default `BENCH_PR2.json`).
+//!
+//! The headline comparison is BFS with `Direction::Auto` vs the old
+//! always-pull path on a low-eccentricity RMAT-like graph; the suite prints
+//! the speedup summary to stdout after writing the JSON.
+
+use bitgblas_bench::{time_stats_ms, TimingStats};
+use bitgblas_core::grb::{Direction, Op, Vector};
+use bitgblas_core::{Backend, Matrix, Semiring, TileSize};
+use bitgblas_datagen::generators;
+use bitgblas_sparse::Csr;
+
+use bitgblas_algorithms::{
+    bfs_dir, connected_components, pagerank, sssp_dir, triangle_count, PageRankConfig,
+};
+
+/// One emitted JSON row.
+struct Row {
+    bench: String,
+    backend: &'static str,
+    direction: String,
+    stats: TimingStats,
+}
+
+fn backend_name(b: Backend) -> &'static str {
+    match b {
+        Backend::Bit(TileSize::S4) => "Bit4",
+        Backend::Bit(TileSize::S8) => "Bit8",
+        Backend::Bit(TileSize::S16) => "Bit16",
+        Backend::Bit(TileSize::S32) => "Bit32",
+        Backend::FloatCsr => "FloatCsr",
+        Backend::Auto => "Auto",
+    }
+}
+
+/// Serialize the rows as a JSON array (no external JSON crate in this
+/// offline workspace; every field is a controlled identifier or a number).
+fn to_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"backend\": \"{}\", \"direction\": \"{}\", \
+             \"ms\": {:.6}, \"ms_min\": {:.6}, \"ms_median\": {:.6}}}{}\n",
+            r.bench,
+            r.backend,
+            r.direction,
+            r.stats.mean_ms,
+            r.stats.min_ms,
+            r.stats.median_ms,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Time one raw `vxm` (a single BFS-style hop) in the given direction, with
+/// a ~1% frontier.
+fn bench_bmv(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
+    let n = m.nrows();
+    let frontier: Vec<usize> = (0..n).step_by(100).collect();
+    let x = Vector::indicator(n, &frontier);
+    for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+        let stats = time_stats_ms(|| {
+            Op::vxm(&x, m)
+                .semiring(Semiring::Boolean)
+                .direction(dir)
+                .run(m.context())
+        });
+        rows.push(Row {
+            bench: format!("bmv/{name}"),
+            backend: backend_name(backend),
+            direction: dir.to_string(),
+            stats,
+        });
+    }
+}
+
+/// Time the traversal algorithms (BFS and SSSP per direction, PR/CC/TC on
+/// their fixed execution shape).
+fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
+    for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+        let stats = time_stats_ms(|| bfs_dir(m, 0, dir));
+        rows.push(Row {
+            bench: format!("bfs/{name}"),
+            backend: backend_name(backend),
+            direction: dir.to_string(),
+            stats,
+        });
+        let stats = time_stats_ms(|| sssp_dir(m, 0, dir));
+        rows.push(Row {
+            bench: format!("sssp/{name}"),
+            backend: backend_name(backend),
+            direction: dir.to_string(),
+            stats,
+        });
+    }
+    let stats = time_stats_ms(|| pagerank(m, &PageRankConfig::default()));
+    rows.push(Row {
+        bench: format!("pagerank/{name}"),
+        backend: backend_name(backend),
+        direction: "auto".to_string(),
+        stats,
+    });
+    let stats = time_stats_ms(|| connected_components(m));
+    rows.push(Row {
+        bench: format!("cc/{name}"),
+        backend: backend_name(backend),
+        direction: "auto".to_string(),
+        stats,
+    });
+    let stats = time_stats_ms(|| triangle_count(m));
+    rows.push(Row {
+        bench: format!("tc/{name}"),
+        backend: backend_name(backend),
+        direction: "none".to_string(),
+        stats,
+    });
+}
+
+/// The fixed corpus: a low-eccentricity RMAT-like power-law graph (the
+/// acceptance graph — dense hump, sparse fringe), a banded road-like graph
+/// and a 2-D grid.
+fn corpus(smoke: bool) -> Vec<(&'static str, Csr)> {
+    if smoke {
+        return vec![("smoke_rmat_s8", generators::rmat(8, 8, 0.57, 0.19, 0.19, 5))];
+    }
+    vec![
+        (
+            "rmat_s14",
+            generators::rmat(14, 16, 0.57, 0.19, 0.19, 5).symmetrized(),
+        ),
+        ("banded_4096", generators::banded(4096, 4, 0.7, 11)),
+        ("grid_64x64", generators::grid2d(64, 64)),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+
+    let mut rows = Vec::new();
+    let graphs = corpus(smoke);
+    for (name, adj) in &graphs {
+        println!(
+            "benchmarking {name}: {} vertices, {} edges",
+            adj.nrows(),
+            adj.nnz()
+        );
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let m = Matrix::from_csr(adj, backend);
+            bench_bmv(&mut rows, name, &m, backend);
+            bench_algorithms(&mut rows, name, &m, backend);
+        }
+    }
+
+    let json = to_json(&rows);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {} rows to {out_path}", rows.len());
+
+    // Headline summary: BFS Auto vs the old always-pull path.
+    for (name, _) in &graphs {
+        for backend in ["Bit8", "FloatCsr"] {
+            let find = |dir: &str| {
+                rows.iter()
+                    .find(|r| {
+                        r.bench == format!("bfs/{name}")
+                            && r.backend == backend
+                            && r.direction == dir
+                    })
+                    .map(|r| r.stats.mean_ms)
+            };
+            if let (Some(pull), Some(auto)) = (find("pull"), find("auto")) {
+                println!(
+                    "bfs/{name} [{backend}]: pull {pull:.3} ms, auto {auto:.3} ms  ({:.2}x)",
+                    pull / auto
+                );
+            }
+        }
+    }
+}

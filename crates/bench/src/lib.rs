@@ -18,6 +18,7 @@
 //! | `table9_tc` | Table IX — Triangle Counting runtimes vs baseline |
 //! | `memstats` | §VI-C — memory transactions and L1 hit rates |
 //! | `conversion_overhead` | §III-B — CSR→B2SR conversion cost |
+//! | `perf_suite` | machine-readable perf trajectory (`BENCH_PR2.json`): BMV push/pull/auto + all five algorithms |
 //!
 //! This library holds the small shared utilities: wall-clock timing with
 //! warm-up, geometric means, and the fixed matrix lists used by the tables.
@@ -30,15 +31,44 @@ use bitgblas_sparse::Csr;
 /// reports the average of 5 runs).
 pub const RUNS: usize = 5;
 
+/// Wall-clock statistics over the [`RUNS`] timed repetitions.
+///
+/// The paper reports 5-run averages, but on small graphs the mean hides
+/// warm-up jitter (allocator growth, page faults, lazy transpose builds on
+/// the first repetition after the warm-up call); `min` and `median` expose
+/// the steady-state cost the average smears out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingStats {
+    /// Arithmetic mean of the individual run times, in milliseconds.
+    pub mean_ms: f64,
+    /// Fastest single run, in milliseconds.
+    pub min_ms: f64,
+    /// Median run, in milliseconds.
+    pub median_ms: f64,
+}
+
+/// Time `f` over [`RUNS`] individually-measured repetitions after one
+/// warm-up call; returns mean, min and median wall-clock milliseconds.
+pub fn time_stats_ms<T, F: FnMut() -> T>(mut f: F) -> TimingStats {
+    let _warmup = f();
+    let mut samples = [0.0f64; RUNS];
+    for s in samples.iter_mut() {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        *s = start.elapsed().as_secs_f64() * 1e3;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    TimingStats {
+        mean_ms: samples.iter().sum::<f64>() / RUNS as f64,
+        min_ms: samples[0],
+        median_ms: samples[RUNS / 2],
+    }
+}
+
 /// Time `f` over [`RUNS`] repetitions after one warm-up call; returns the
 /// average wall-clock milliseconds.
-pub fn time_avg_ms<T, F: FnMut() -> T>(mut f: F) -> f64 {
-    let _warmup = f();
-    let start = Instant::now();
-    for _ in 0..RUNS {
-        std::hint::black_box(f());
-    }
-    start.elapsed().as_secs_f64() * 1e3 / RUNS as f64
+pub fn time_avg_ms<T, F: FnMut() -> T>(f: F) -> f64 {
+    time_stats_ms(f).mean_ms
 }
 
 /// Geometric mean of a slice of positive values (0 when empty).
@@ -141,6 +171,17 @@ mod tests {
     fn timing_returns_positive_average() {
         let ms = time_avg_ms(|| (0..1000u64).sum::<u64>());
         assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn timing_stats_are_internally_consistent() {
+        let stats = time_stats_ms(|| (0..10_000u64).sum::<u64>());
+        assert!(stats.min_ms >= 0.0);
+        assert!(stats.min_ms <= stats.median_ms, "{stats:?}");
+        assert!(stats.min_ms <= stats.mean_ms, "{stats:?}");
+        // The median of 5 sorted samples can never exceed the maximum, and
+        // the mean sits between min and max.
+        assert!(stats.mean_ms > 0.0 || stats.min_ms == 0.0);
     }
 
     #[test]

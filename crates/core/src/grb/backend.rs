@@ -26,14 +26,18 @@ use bitgblas_sparse::{ops as float_ops, Csr};
 
 use crate::b2sr::{B2srMatrix, TileSize};
 use crate::kernels::{
-    bmm_bin_bin_sum_masked, bmv_bin_bin_bin, bmv_bin_bin_bin_masked, bmv_bin_full_full,
-    bmv_bin_full_full_masked, pack_vector_bits, pack_vector_tilewise, unpack_vector_bits,
+    bmm_bin_bin_sum_masked, bmv_bin_bin_bin, bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked,
+    bmv_bin_bin_bin_masked_into, bmv_bin_full_full, bmv_bin_full_full_into,
+    bmv_bin_full_full_masked, bmv_bin_full_full_masked_into, bmv_push_bin_bin, bmv_push_bin_full,
+    pack_vector_bits, pack_vector_bits_into, pack_vector_tilewise, pack_vector_tilewise_into,
+    unpack_vector_bits,
 };
 use crate::semiring::Semiring;
 
 use super::descriptor::Mask;
 use super::ewise;
 use super::matrix::Backend;
+use super::workspace::Workspace;
 
 /// A storage format plus the kernel family implementing every GraphBLAS
 /// operation on it.
@@ -73,6 +77,96 @@ pub trait GrbBackend: std::fmt::Debug + Send + Sync {
     /// `y = x ⊕.⊗ A`, i.e. `mxv` along the opposite direction.
     fn vxm(&self, x: &[f32], semiring: Semiring, mask: Option<&Mask>, transpose: bool) -> Vec<f32> {
         self.mxv(x, semiring, mask, !transpose)
+    }
+
+    /// Pull-direction `mxv` writing into a caller-supplied buffer, with
+    /// scratch space drawn from (and returned to) the workspace pool.  The
+    /// backend sizes `out` itself; built-in backends allocate nothing when
+    /// the pool is warm.  The default delegates to the allocating [`mxv`]
+    /// for backends defined outside this crate.
+    ///
+    /// [`mxv`]: GrbBackend::mxv
+    fn mxv_into(
+        &self,
+        x: &[f32],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let _ = ws;
+        let y = self.mxv(x, semiring, mask, transpose);
+        out.clear();
+        out.extend_from_slice(&y);
+    }
+
+    /// Push-direction (sparse-frontier) `mxv`: `frontier` lists, in
+    /// ascending order, the indices of `x` whose value differs from the
+    /// semiring identity.  Only those entries' edges are traversed and
+    /// scattered into `out`; cost is proportional to the frontier's edge
+    /// count instead of the whole matrix.
+    ///
+    /// Only exact for [`Semiring::push_safe`] semirings (the `Op` layer
+    /// coerces unsafe requests back to pull).  The default implementation
+    /// falls back to the pull sweep, so external backends stay correct
+    /// without opting in.
+    #[allow(clippy::too_many_arguments)]
+    fn mxv_push_into(
+        &self,
+        x: &[f32],
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let _ = frontier;
+        self.mxv_into(x, semiring, mask, transpose, ws, out);
+    }
+
+    /// Pull-direction `vxm` writing into a caller-supplied buffer.  The
+    /// default dispatches through the allocating [`vxm`] so an external
+    /// backend's `vxm` override keeps taking effect; the built-in backends
+    /// override this with the pooled `mxv_into(!transpose)` equivalence.
+    ///
+    /// [`vxm`]: GrbBackend::vxm
+    fn vxm_into(
+        &self,
+        x: &[f32],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let _ = ws;
+        let y = self.vxm(x, semiring, mask, transpose);
+        out.clear();
+        out.extend_from_slice(&y);
+    }
+
+    /// Push-direction (sparse-frontier) `vxm`; see [`mxv_push_into`].  The
+    /// default falls back to the pull-direction [`vxm_into`] (preserving
+    /// any `vxm` override); built-in backends scatter the rows of `A`
+    /// directly.
+    ///
+    /// [`mxv_push_into`]: GrbBackend::mxv_push_into
+    /// [`vxm_into`]: GrbBackend::vxm_into
+    #[allow(clippy::too_many_arguments)]
+    fn vxm_push_into(
+        &self,
+        x: &[f32],
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let _ = frontier;
+        self.vxm_into(x, semiring, mask, transpose, ws, out);
     }
 
     /// `Σ_{(i,j) ∈ mask} (A · B)[i][j]` over the arithmetic semiring — the
@@ -125,6 +219,33 @@ pub trait GrbBackend: std::fmt::Debug + Send + Sync {
 fn csr_mxm_reduce_masked(a: &dyn GrbBackend, b: &dyn GrbBackend, mask: &dyn GrbBackend) -> f64 {
     float_ops::spgemm_masked_sum(a.csr(), b.csr_t(), mask.csr())
         .expect("operand dimensions checked by the caller")
+}
+
+/// Expand packed Boolean output words into a dense `f32` indicator, with an
+/// optional mask filter — the common tail of the Boolean pull and push paths
+/// (`out` must be resized to the produced length, filled with `0.0`).
+fn expand_bits_into<W: bitgblas_bitops::BitWord>(
+    yw: &[W],
+    dim: usize,
+    mask: Option<&Mask>,
+    out: &mut [f32],
+) {
+    match mask {
+        Some(mk) => {
+            for (i, o) in out.iter_mut().enumerate() {
+                if yw[i / dim].bit((i % dim) as u32) && mk.allows(i) {
+                    *o = 1.0;
+                }
+            }
+        }
+        None => {
+            for (i, o) in out.iter_mut().enumerate() {
+                if yw[i / dim].bit((i % dim) as u32) {
+                    *o = 1.0;
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -266,6 +387,148 @@ impl GrbBackend for BitB2sr {
         Self::bit_mxv(b2sr, x, semiring, mask)
     }
 
+    fn mxv_into(
+        &self,
+        x: &[f32],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let b2sr = if transpose { self.b2sr_t() } else { &self.b2sr };
+        macro_rules! run {
+            ($m:expr, $w:ty) => {{
+                let m = $m;
+                let dim = m.tile_dim();
+                match semiring {
+                    Semiring::Boolean => {
+                        let mut xp: Vec<$w> = ws.take_empty();
+                        pack_vector_tilewise_into(x, dim, &mut xp);
+                        let mut yw: Vec<$w> = ws.take(m.n_tile_rows(), <$w as BitWord>::ZERO);
+                        match mask {
+                            Some(mk) => {
+                                let mut sup: Vec<bool> = ws.take_empty();
+                                mk.suppressed_into(&mut sup);
+                                let mut mp: Vec<$w> = ws.take_empty();
+                                pack_vector_bits_into(&sup, dim, &mut mp);
+                                bmv_bin_bin_bin_masked_into(m, &xp, &mp, &mut yw);
+                                ws.give(sup);
+                                ws.give(mp);
+                            }
+                            None => bmv_bin_bin_bin_into(m, &xp, &mut yw),
+                        }
+                        out.clear();
+                        out.resize(m.nrows(), 0.0);
+                        // The mask was already applied word-wise by the kernel.
+                        expand_bits_into(&yw, dim, None, out);
+                        ws.give(xp);
+                        ws.give(yw);
+                    }
+                    _ => {
+                        out.clear();
+                        out.resize(m.n_tile_rows() * dim, semiring.identity());
+                        match mask {
+                            Some(mk) => {
+                                let mut sup: Vec<bool> = ws.take_empty();
+                                mk.suppressed_into(&mut sup);
+                                bmv_bin_full_full_masked_into(m, x, &sup, semiring, out);
+                                ws.give(sup);
+                            }
+                            None => bmv_bin_full_full_into(m, x, semiring, out),
+                        }
+                        out.truncate(m.nrows());
+                    }
+                }
+            }};
+        }
+        use bitgblas_bitops::BitWord;
+        match b2sr {
+            B2srMatrix::B4(m) => run!(m, u8),
+            B2srMatrix::B8(m) => run!(m, u8),
+            B2srMatrix::B16(m) => run!(m, u16),
+            B2srMatrix::B32(m) => run!(m, u32),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mxv_push_into(
+        &self,
+        x: &[f32],
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        // The scatter walks *rows* of the representation whose rows are the
+        // frontier's domain — the opposite representation from the pull
+        // sweep.  A pure-push traversal of `vxm` therefore never has to
+        // build the transpose at all.
+        let b2sr = if transpose { &self.b2sr } else { self.b2sr_t() };
+        macro_rules! run {
+            ($m:expr, $w:ty) => {{
+                let m = $m;
+                let dim = m.tile_dim();
+                let produced = m.ncols();
+                match semiring {
+                    Semiring::Boolean => {
+                        let mut yw: Vec<$w> = ws.take(m.n_tile_cols(), <$w as BitWord>::ZERO);
+                        bmv_push_bin_bin(m, frontier, &mut yw);
+                        out.clear();
+                        out.resize(produced, 0.0);
+                        expand_bits_into(&yw, dim, mask, out);
+                        ws.give(yw);
+                    }
+                    _ => {
+                        out.clear();
+                        out.resize(produced, semiring.identity());
+                        match mask {
+                            Some(mk) => {
+                                bmv_push_bin_full(m, x, frontier, semiring, |j| mk.allows(j), out)
+                            }
+                            None => bmv_push_bin_full(m, x, frontier, semiring, |_| true, out),
+                        }
+                    }
+                }
+            }};
+        }
+        use bitgblas_bitops::BitWord;
+        match b2sr {
+            B2srMatrix::B4(m) => run!(m, u8),
+            B2srMatrix::B8(m) => run!(m, u8),
+            B2srMatrix::B16(m) => run!(m, u16),
+            B2srMatrix::B32(m) => run!(m, u32),
+        }
+    }
+
+    fn vxm_into(
+        &self,
+        x: &[f32],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        self.mxv_into(x, semiring, mask, !transpose, ws, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn vxm_push_into(
+        &self,
+        x: &[f32],
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        self.mxv_push_into(x, frontier, semiring, mask, !transpose, ws, out);
+    }
+
     fn mxm_reduce_masked(&self, b: &dyn GrbBackend, mask: &dyn GrbBackend) -> f64 {
         // The one-call bit path needs all three operands in B2SR with the
         // same tile size; anything else goes through the CSR fallback.
@@ -340,9 +603,22 @@ impl FloatCsr {
     /// `⊗(x[j])` and absent entries contribute nothing; masked rows are
     /// skipped entirely (GraphBLAST's early exit).
     fn float_mxv(csr: &Csr, x: &[f32], semiring: Semiring, mask: Option<&Mask>) -> Vec<f32> {
+        let mut y = vec![semiring.identity(); csr.nrows()];
+        Self::float_mxv_into(csr, x, semiring, mask, &mut y);
+        y
+    }
+
+    /// As [`FloatCsr::float_mxv`], writing into a caller-supplied slice of
+    /// `nrows` entries pre-filled with the semiring identity.
+    fn float_mxv_into(
+        csr: &Csr,
+        x: &[f32],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        y: &mut [f32],
+    ) {
         use rayon::prelude::*;
         let identity = semiring.identity();
-        let mut y = vec![identity; csr.nrows()];
         y.par_iter_mut().enumerate().for_each(|(r, out)| {
             if let Some(m) = mask {
                 if !m.allows(r) {
@@ -356,7 +632,39 @@ impl FloatCsr {
             }
             *out = acc;
         });
-        y
+    }
+
+    /// Push-direction scatter over the rows of `csr` (which must be the
+    /// representation whose rows are the frontier's domain).  Serial and
+    /// allocation-free, like the B2SR push kernels.
+    fn float_push_into(
+        csr: &Csr,
+        x: &[f32],
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        y: &mut [f32],
+    ) {
+        match mask {
+            Some(m) => {
+                for &u in frontier {
+                    let contrib = semiring.combine(x[u]);
+                    for &j in csr.row(u).0 {
+                        if m.allows(j) {
+                            y[j] = semiring.reduce(y[j], contrib);
+                        }
+                    }
+                }
+            }
+            None => {
+                for &u in frontier {
+                    let contrib = semiring.combine(x[u]);
+                    for &j in csr.row(u).0 {
+                        y[j] = semiring.reduce(y[j], contrib);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -388,6 +696,66 @@ impl GrbBackend for FloatCsr {
     fn mxv(&self, x: &[f32], semiring: Semiring, mask: Option<&Mask>, transpose: bool) -> Vec<f32> {
         let csr = if transpose { self.csr_t() } else { &self.csr };
         Self::float_mxv(csr, x, semiring, mask)
+    }
+
+    fn mxv_into(
+        &self,
+        x: &[f32],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        _ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let csr = if transpose { self.csr_t() } else { &self.csr };
+        out.clear();
+        out.resize(csr.nrows(), semiring.identity());
+        Self::float_mxv_into(csr, x, semiring, mask, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mxv_push_into(
+        &self,
+        x: &[f32],
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        _ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        // Scatter walks rows of the opposite representation from the pull
+        // sweep (see the BitB2sr implementation).
+        let csr = if transpose { &self.csr } else { self.csr_t() };
+        out.clear();
+        out.resize(csr.ncols(), semiring.identity());
+        Self::float_push_into(csr, x, frontier, semiring, mask, out);
+    }
+
+    fn vxm_into(
+        &self,
+        x: &[f32],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        self.mxv_into(x, semiring, mask, !transpose, ws, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn vxm_push_into(
+        &self,
+        x: &[f32],
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        self.mxv_push_into(x, frontier, semiring, mask, !transpose, ws, out);
     }
 
     fn mxm_reduce_masked(&self, b: &dyn GrbBackend, mask: &dyn GrbBackend) -> f64 {
@@ -524,5 +892,94 @@ mod tests {
         assert_eq!(b.apply(&[1.0, -2.0], &f32::abs), vec![1.0, 2.0]);
         assert_eq!(b.select(&[1.0, -2.0], &|x| x > 0.0), vec![1.0, 0.0]);
         assert_eq!(b.reduce(&[3.0, 1.0, 7.0], Semiring::MaxTimes(1.0)), 7.0);
+    }
+
+    /// An external backend that overrides only the allocating `vxm` must
+    /// still see its override used by the `Op` layer (via the `vxm_into`
+    /// default) — the PR-1 pluggable-backend contract.
+    #[derive(Debug)]
+    struct VxmSpy {
+        inner: FloatCsr,
+        vxm_calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl GrbBackend for VxmSpy {
+        fn kind(&self) -> Backend {
+            self.inner.kind()
+        }
+        fn nrows(&self) -> usize {
+            self.inner.nrows()
+        }
+        fn ncols(&self) -> usize {
+            self.inner.ncols()
+        }
+        fn nnz(&self) -> usize {
+            self.inner.nnz()
+        }
+        fn csr(&self) -> &Csr {
+            self.inner.csr()
+        }
+        fn csr_t(&self) -> &Csr {
+            self.inner.csr_t()
+        }
+        fn mxv(
+            &self,
+            x: &[f32],
+            semiring: Semiring,
+            mask: Option<&Mask>,
+            transpose: bool,
+        ) -> Vec<f32> {
+            self.inner.mxv(x, semiring, mask, transpose)
+        }
+        fn vxm(
+            &self,
+            x: &[f32],
+            semiring: Semiring,
+            mask: Option<&Mask>,
+            transpose: bool,
+        ) -> Vec<f32> {
+            self.vxm_calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.vxm(x, semiring, mask, transpose)
+        }
+        fn mxm_reduce_masked(&self, b: &dyn GrbBackend, mask: &dyn GrbBackend) -> f64 {
+            self.inner.mxm_reduce_masked(b, mask)
+        }
+        fn storage_bytes(&self) -> usize {
+            self.inner.storage_bytes()
+        }
+        fn transpose_view(&self) -> Box<dyn GrbBackend> {
+            self.inner.transpose_view()
+        }
+        fn clone_box(&self) -> Box<dyn GrbBackend> {
+            Box::new(VxmSpy {
+                inner: FloatCsr::new(self.inner.csr()),
+                vxm_calls: std::sync::atomic::AtomicUsize::new(0),
+            })
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn op_layer_dispatches_through_external_vxm_overrides() {
+        use crate::grb::{Context, Direction, Matrix, Op, Vector};
+        let csr = sample(30, 13);
+        let m = Matrix::from_backend(Box::new(VxmSpy {
+            inner: FloatCsr::new(&csr),
+            vxm_calls: std::sync::atomic::AtomicUsize::new(0),
+        }));
+        let ctx = Context::default();
+        let x = Vector::indicator(30, &[0, 5]);
+        // Pull and (fallback) push both route through the overridden vxm.
+        let _ = Op::vxm(&x, &m).direction(Direction::Pull).run(&ctx);
+        let _ = Op::vxm(&x, &m).direction(Direction::Push).run(&ctx);
+        let spy = m.state().as_any().downcast_ref::<VxmSpy>().unwrap();
+        assert_eq!(
+            spy.vxm_calls.load(std::sync::atomic::Ordering::Relaxed),
+            2,
+            "external vxm override must be dispatched by Op::vxm"
+        );
     }
 }

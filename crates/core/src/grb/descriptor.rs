@@ -1,5 +1,7 @@
 //! Masks and descriptors for the GrB-style operations.
 
+use super::direction::Direction;
+
 /// A vector mask: controls which output positions an operation may write.
 ///
 /// With `complement == false` (the GraphBLAS default) position `i` is written
@@ -50,6 +52,16 @@ impl Mask {
         &self.structure
     }
 
+    /// Set structure flag `i` in place — e.g. marking a vertex visited in a
+    /// complemented BFS mask without rebuilding (and reallocating) the mask
+    /// every iteration.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        self.structure[i] = value;
+    }
+
     /// Does the mask allow writing output position `i`?
     #[inline]
     pub fn allows(&self, i: usize) -> bool {
@@ -60,7 +72,16 @@ impl Mask {
     /// The "filter out" view used by the bit kernels: a boolean per position
     /// that is `true` where the output must be suppressed.
     pub fn suppressed(&self) -> Vec<bool> {
-        (0..self.structure.len()).map(|i| !self.allows(i)).collect()
+        let mut out = Vec::new();
+        self.suppressed_into(&mut out);
+        out
+    }
+
+    /// As [`Mask::suppressed`], writing into a caller-supplied (typically
+    /// workspace-pooled) buffer instead of allocating.
+    pub fn suppressed_into(&self, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend((0..self.structure.len()).map(|i| !self.allows(i)));
     }
 
     /// Number of positions the mask allows.
@@ -83,6 +104,10 @@ pub struct Descriptor {
     /// Use the transpose of the matrix operand (`GrB_TRAN`).  The [`Matrix`]
     /// object caches its transpose on first use.
     pub transpose: bool,
+    /// Traversal direction for `mxv`/`vxm`: push (sparse scatter), pull
+    /// (dense sweep), or per-operation automatic selection (the default —
+    /// see [`Direction`]).
+    pub direction: Direction,
 }
 
 #[allow(unused_imports)]
@@ -98,6 +123,14 @@ impl Descriptor {
     pub fn with_transpose() -> Self {
         Descriptor {
             transpose: true,
+            ..Default::default()
+        }
+    }
+
+    /// Descriptor forcing the given traversal direction.
+    pub fn with_direction(direction: Direction) -> Self {
+        Descriptor {
+            direction,
             ..Default::default()
         }
     }
@@ -140,6 +173,22 @@ mod tests {
         let d = Descriptor::new();
         assert!(!d.transpose);
         assert!(!d.replace);
+        assert_eq!(d.direction, Direction::Auto);
         assert!(Descriptor::with_transpose().transpose);
+        assert_eq!(
+            Descriptor::with_direction(Direction::Push).direction,
+            Direction::Push
+        );
+    }
+
+    #[test]
+    fn mask_set_updates_in_place() {
+        let mut m = Mask::complemented(vec![false, false]);
+        assert!(m.allows(1));
+        m.set(1, true);
+        assert!(!m.allows(1));
+        let mut buf = vec![true; 8];
+        m.suppressed_into(&mut buf);
+        assert_eq!(buf, vec![false, true]);
     }
 }

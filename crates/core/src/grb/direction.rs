@@ -1,0 +1,152 @@
+//! Traversal direction: push (sparse-frontier scatter) vs pull (dense sweep).
+//!
+//! A BFS/SSSP iteration with a handful of active vertices does not need to
+//! sweep every tile-row of the matrix — the classic SpMV-vs-SpMSpV
+//! (pull-vs-push) split of direction-optimizing traversal (Beamer et al.).
+//! The GrB layer exposes the choice as a [`Direction`] descriptor switch:
+//!
+//! * [`Direction::Pull`] — the dense sweep: every output row reduces over
+//!   its incoming edges.  One pass over the whole matrix, perfectly
+//!   streaming, parallel; cost is independent of the frontier size.
+//! * [`Direction::Push`] — the sparse scatter: only the frontier's rows are
+//!   walked and their out-edges scattered into the output.  Cost is
+//!   proportional to the frontier's edge count, but the writes are random.
+//! * [`Direction::Auto`] — decide per operation from the frontier density,
+//!   using the same first-order memory-traffic reasoning as the
+//!   [`Backend::Auto`](super::Backend) format selection.
+//!
+//! # The threshold
+//!
+//! Pull streams the whole matrix plus the operand vector once:
+//! `pull_bytes ∝ nnz + n`.  Push touches `f · d̄` edges (`f` = frontier
+//! size, `d̄` = average degree), but every scattered write lands on a random
+//! cache line, so each push edge costs a whole memory transaction where a
+//! pull edge costs its coalesced share — a penalty of
+//! `transaction_bytes / edge_bytes` taken from the device profile the
+//! [`Context`](super::Context) already carries for format selection.  Push
+//! wins while
+//!
+//! ```text
+//! f · d̄ · penalty  <  nnz + n        (penalty = transaction_bytes / 8,
+//!                                      clamped to [4, 32]; 16 on both
+//!                                      Table-VI devices)
+//! ```
+//!
+//! which for `nnz ≫ n` reduces to the familiar Beamer-style `f < n / α`
+//! with `α ≈ penalty` — the textbook α ≈ 14 rediscovered from the traffic
+//! model.
+
+use bitgblas_perfmodel::DeviceProfile;
+
+use crate::semiring::Semiring;
+
+/// Which traversal direction an `mxv`/`vxm` executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// Sparse-frontier scatter (SpMSpV): walk only the active rows.
+    Push,
+    /// Dense sweep (SpMV): reduce every output row over its edges.
+    Pull,
+    /// Pick per operation from the frontier density (the default).
+    #[default]
+    Auto,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Direction::Push => "push",
+            Direction::Pull => "pull",
+            Direction::Auto => "auto",
+        })
+    }
+}
+
+/// The modelled cost multiplier of one scattered (push) edge relative to one
+/// streamed (pull) edge: a random write wastes a whole global-memory
+/// transaction where the pull sweep pays ~8 coalesced bytes per edge.
+pub fn scatter_penalty(device: &DeviceProfile) -> f64 {
+    (device.transaction_bytes as f64 / 8.0).clamp(4.0, 32.0)
+}
+
+/// Resolve [`Direction::Auto`] for one operation: `frontier_nnz` active
+/// entries of an `n`-long operand against a matrix with `nnz` edges.
+///
+/// Returns [`Direction::Pull`] for semirings where identity-valued entries
+/// still contribute (see [`Semiring::push_safe`]); otherwise compares the
+/// modelled push traffic (frontier edges × scatter penalty) against the pull
+/// sweep (`nnz + n`).
+pub fn choose_direction(
+    frontier_nnz: usize,
+    n: usize,
+    nnz: usize,
+    semiring: Semiring,
+    device: &DeviceProfile,
+) -> Direction {
+    if !semiring.push_safe() {
+        return Direction::Pull;
+    }
+    let avg_deg = (nnz as f64 / n.max(1) as f64).max(1.0);
+    let push_cost = frontier_nnz as f64 * avg_deg * scatter_penalty(device);
+    let pull_cost = nnz as f64 + n as f64;
+    if push_cost < pull_cost {
+        Direction::Push
+    } else {
+        Direction::Pull
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgblas_perfmodel::{pascal_gtx1080, volta_titanv};
+
+    #[test]
+    fn default_is_auto_and_display_is_lowercase() {
+        assert_eq!(Direction::default(), Direction::Auto);
+        assert_eq!(Direction::Push.to_string(), "push");
+        assert_eq!(Direction::Pull.to_string(), "pull");
+        assert_eq!(Direction::Auto.to_string(), "auto");
+    }
+
+    #[test]
+    fn penalty_comes_from_the_transaction_width() {
+        // 128-byte transactions on both Table-VI devices → penalty 16.
+        assert_eq!(scatter_penalty(&pascal_gtx1080()), 16.0);
+        assert_eq!(scatter_penalty(&volta_titanv()), 16.0);
+    }
+
+    #[test]
+    fn sparse_frontiers_push_and_dense_frontiers_pull() {
+        let dev = pascal_gtx1080();
+        let (n, nnz) = (8192, 8192 * 16);
+        let sr = Semiring::Boolean;
+        assert_eq!(choose_direction(1, n, nnz, sr, &dev), Direction::Push);
+        assert_eq!(choose_direction(0, n, nnz, sr, &dev), Direction::Push);
+        assert_eq!(choose_direction(n, n, nnz, sr, &dev), Direction::Pull);
+        // The crossover sits near n / penalty for nnz >> n.
+        let threshold = (nnz + n) / (16 * 16);
+        assert_eq!(
+            choose_direction(threshold / 2, n, nnz, sr, &dev),
+            Direction::Push
+        );
+        assert_eq!(
+            choose_direction(threshold * 2, n, nnz, sr, &dev),
+            Direction::Pull
+        );
+    }
+
+    #[test]
+    fn push_unsafe_semirings_always_pull() {
+        let dev = pascal_gtx1080();
+        // MaxTimes with a non-positive factor cannot skip identity entries.
+        assert_eq!(
+            choose_direction(1, 1000, 16_000, Semiring::MaxTimes(-2.0), &dev),
+            Direction::Pull
+        );
+        assert_eq!(
+            choose_direction(1, 1000, 16_000, Semiring::MaxTimes(2.0), &dev),
+            Direction::Push
+        );
+    }
+}

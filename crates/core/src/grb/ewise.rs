@@ -16,31 +16,42 @@ use super::vector::Vector;
 
 /// `out[i] = a[i] ⊕ b[i]` over raw slices (the shared implementation).
 pub(crate) fn ewise_add_slices(a: &[f32], b: &[f32], semiring: Semiring) -> Vec<f32> {
+    let mut out = Vec::new();
+    ewise_add_into(a, b, semiring, &mut out);
+    out
+}
+
+/// As [`ewise_add_slices`], appending into a caller-supplied (typically
+/// workspace-pooled) buffer.
+pub(crate) fn ewise_add_into(a: &[f32], b: &[f32], semiring: Semiring, out: &mut Vec<f32>) {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| semiring.reduce(x, y))
-        .collect()
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(&x, &y)| semiring.reduce(x, y)));
 }
 
 /// `out[i] = a[i] ⊗ b[i]` over raw slices (the shared implementation).
 pub(crate) fn ewise_mult_slices(a: &[f32], b: &[f32], semiring: Semiring) -> Vec<f32> {
+    let mut out = Vec::new();
+    ewise_mult_into(a, b, semiring, &mut out);
+    out
+}
+
+/// As [`ewise_mult_slices`], appending into a caller-supplied buffer.
+pub(crate) fn ewise_mult_into(a: &[f32], b: &[f32], semiring: Semiring, out: &mut Vec<f32>) {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| match semiring {
-            Semiring::Boolean => {
-                if x != 0.0 && y != 0.0 {
-                    1.0
-                } else {
-                    0.0
-                }
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(&x, &y)| match semiring {
+        Semiring::Boolean => {
+            if x != 0.0 && y != 0.0 {
+                1.0
+            } else {
+                0.0
             }
-            Semiring::Arithmetic => x * y,
-            Semiring::MinPlus(_) => x + y,
-            Semiring::MaxTimes(_) => x * y,
-        })
-        .collect()
+        }
+        Semiring::Arithmetic => x * y,
+        Semiring::MinPlus(_) => x + y,
+        Semiring::MaxTimes(_) => x * y,
+    }));
 }
 
 /// Element-wise "addition": `out[i] = a[i] ⊕ b[i]` with the additive monoid

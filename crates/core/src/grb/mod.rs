@@ -36,15 +36,18 @@
 pub mod auto;
 pub mod backend;
 pub mod descriptor;
+pub mod direction;
 pub mod ewise;
 pub mod matrix;
 pub mod op;
 pub mod ops;
 pub mod vector;
+pub mod workspace;
 
 pub use auto::{auto_decision, AutoDecision, TileCandidate};
 pub use backend::{BitB2sr, FloatCsr, GrbBackend};
 pub use descriptor::{Descriptor, Mask};
+pub use direction::{choose_direction, scatter_penalty, Direction};
 pub use ewise::assign_masked;
 #[allow(deprecated)]
 pub use ewise::{apply, ewise_add, ewise_mult, select};
@@ -53,3 +56,4 @@ pub use op::{Context, Op};
 #[allow(deprecated)]
 pub use ops::{mxm_reduce_masked, mxv, reduce, vxm};
 pub use vector::Vector;
+pub use workspace::{ExecCounts, ExecStats, Workspace};

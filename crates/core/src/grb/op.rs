@@ -37,19 +37,31 @@ use bitgblas_perfmodel::{pascal_gtx1080, DeviceProfile};
 use crate::semiring::Semiring;
 
 use super::descriptor::{Descriptor, Mask};
+use super::direction::{choose_direction, Direction};
 use super::matrix::Matrix;
 use super::vector::Vector;
+use super::workspace::{ExecCounts, Workspace};
 
-/// Cross-operation execution configuration.
-#[derive(Debug, Clone)]
+/// Cross-operation execution configuration *and* execution resource.
+///
+/// Besides the device profile and sampling parameters that
+/// [`Backend::Auto`](super::Backend::Auto) and [`Direction::Auto`] score
+/// against, a context owns a [`Workspace`]: the pool of reusable buffers
+/// every `Op::...run(&ctx)` draws its output, packing and mask scratch from,
+/// plus the push/pull execution counters.  Reusing one context across a
+/// traversal loop (e.g. via [`Matrix::context`](super::Matrix::context))
+/// makes the loop's steady state allocation-free.
+#[derive(Debug)]
 pub struct Context {
     /// Device profile used by the performance model when resolving
-    /// [`Backend::Auto`](super::Backend::Auto).
+    /// [`Backend::Auto`](super::Backend::Auto) and [`Direction::Auto`].
     pub device: DeviceProfile,
     /// Rows sampled by the Algorithm-1 profile during auto selection.
     pub sample_rows: usize,
     /// Seed of the deterministic row sample.
     pub seed: u64,
+    /// The buffer pool and op counters (fresh in every clone).
+    workspace: Workspace,
 }
 
 impl Default for Context {
@@ -58,6 +70,21 @@ impl Default for Context {
             device: pascal_gtx1080(),
             sample_rows: 256,
             seed: 0xB17,
+            workspace: Workspace::new(),
+        }
+    }
+}
+
+impl Clone for Context {
+    /// Clones carry the configuration only: the workspace is per-context
+    /// scratch state, so each clone starts with an empty pool and zeroed
+    /// counters.
+    fn clone(&self) -> Self {
+        Context {
+            device: self.device.clone(),
+            sample_rows: self.sample_rows,
+            seed: self.seed,
+            workspace: Workspace::new(),
         }
     }
 }
@@ -75,6 +102,24 @@ impl Context {
             ..Self::default()
         }
     }
+
+    /// The buffer pool operations executed against this context draw from.
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
+    /// A snapshot of this context's execution counters (how many `mxv`s
+    /// resolved to push vs pull, etc.).
+    pub fn stats(&self) -> ExecCounts {
+        self.workspace.stats().snapshot()
+    }
+
+    /// Return a finished vector's buffer to the pool so the next operation
+    /// can reuse it — the algorithm-side half of the zero-allocation
+    /// steady state.
+    pub fn recycle(&self, v: Vector) {
+        self.workspace.give(v.into_vec());
+    }
 }
 
 /// Entry points of the builder API; each returns a builder whose `run(&ctx)`
@@ -83,6 +128,7 @@ pub struct Op;
 
 impl Op {
     /// `y = A ⊕.⊗ x`: matrix × vector.
+    #[must_use = "builders do nothing until run(&ctx)"]
     pub fn mxv<'a>(a: &'a Matrix, x: &'a Vector) -> MxvBuilder<'a> {
         MxvBuilder {
             a,
@@ -95,6 +141,7 @@ impl Op {
     }
 
     /// `y = x ⊕.⊗ A`: vector × matrix (the push-direction traversal).
+    #[must_use = "builders do nothing until run(&ctx)"]
     pub fn vxm<'a>(x: &'a Vector, a: &'a Matrix) -> MxvBuilder<'a> {
         MxvBuilder {
             a,
@@ -108,11 +155,13 @@ impl Op {
 
     /// `Σ (mask .* (A · B))`: masked matrix product reduced to a scalar (the
     /// Triangle Counting primitive).
+    #[must_use = "builders do nothing until run(&ctx)"]
     pub fn mxm_reduce<'a>(a: &'a Matrix, b: &'a Matrix, mask: &'a Matrix) -> MxmReduceBuilder<'a> {
         MxmReduceBuilder { a, b, mask }
     }
 
     /// Reduce a vector with a semiring's additive monoid.
+    #[must_use = "builders do nothing until run(&ctx)"]
     pub fn reduce(x: &Vector) -> ReduceBuilder<'_> {
         ReduceBuilder {
             x,
@@ -121,6 +170,7 @@ impl Op {
     }
 
     /// Element-wise `out[i] = a[i] ⊕ b[i]`.
+    #[must_use = "builders do nothing until run(&ctx)"]
     pub fn ewise_add<'a>(a: &'a Vector, b: &'a Vector) -> EwiseBuilder<'a> {
         EwiseBuilder {
             a,
@@ -131,6 +181,7 @@ impl Op {
     }
 
     /// Element-wise `out[i] = a[i] ⊗ b[i]`.
+    #[must_use = "builders do nothing until run(&ctx)"]
     pub fn ewise_mult<'a>(a: &'a Vector, b: &'a Vector) -> EwiseBuilder<'a> {
         EwiseBuilder {
             a,
@@ -141,11 +192,13 @@ impl Op {
     }
 
     /// `out[i] = f(x[i])` (GraphBLAS `apply`).
+    #[must_use = "builders do nothing until run(&ctx)"]
     pub fn apply<F: Fn(f32) -> f32>(x: &Vector, f: F) -> ApplyBuilder<'_, F> {
         ApplyBuilder { x, f }
     }
 
     /// Indicator of entries satisfying `pred` (GraphBLAS `select`).
+    #[must_use = "builders do nothing until run(&ctx)"]
     pub fn select<F: Fn(f32) -> bool>(x: &Vector, pred: F) -> SelectBuilder<'_, F> {
         SelectBuilder { x, pred }
     }
@@ -188,8 +241,17 @@ impl<'a> MxvBuilder<'a> {
         self
     }
 
-    /// Execute on the matrix's backend.
-    pub fn run(self, _ctx: &Context) -> Vector {
+    /// Use the given traversal direction (default: [`Direction::Auto`],
+    /// which picks push or pull per operation from the frontier density).
+    pub fn direction(mut self, direction: Direction) -> Self {
+        self.desc.direction = direction;
+        self
+    }
+
+    /// Execute on the matrix's backend, drawing buffers from the context's
+    /// workspace pool and resolving [`Direction::Auto`] against its device
+    /// profile.
+    pub fn run(self, ctx: &Context) -> Vector {
         let transpose = self.desc.transpose;
         // Output length is the non-contracted dimension.
         let (contracted, produced) = if transpose != self.flip {
@@ -206,16 +268,59 @@ impl<'a> MxvBuilder<'a> {
         if let Some(m) = self.mask {
             assert_eq!(m.len(), produced, "mask length must equal output length");
         }
-        let values = if self.flip {
-            self.a
-                .state()
-                .vxm(self.x.as_slice(), self.semiring, self.mask, transpose)
-        } else {
-            self.a
-                .state()
-                .mxv(self.x.as_slice(), self.semiring, self.mask, transpose)
+        let semiring = self.semiring;
+        let x = self.x.as_slice();
+        let state = self.a.state();
+        let ws = ctx.workspace();
+
+        // Resolve the direction.  Auto counts the active entries (a read-only
+        // scan); the frontier index list is materialised only when the push
+        // path actually runs, so the dense pull iterations — the expensive
+        // ones — pay no list-building cost.
+        let direction = match self.desc.direction {
+            // An explicitly requested push is coerced back to pull when the
+            // semiring cannot skip identity entries without changing the
+            // result.
+            Direction::Push if !semiring.push_safe() => Direction::Pull,
+            Direction::Auto => choose_direction(
+                self.x.n_active(semiring),
+                contracted,
+                self.a.nnz(),
+                semiring,
+                &ctx.device,
+            ),
+            d => d,
         };
-        Vector::from_vec(values)
+
+        let mut out = ws.take_empty::<f32>();
+        match direction {
+            Direction::Push => {
+                let mut frontier = ws.take_empty::<usize>();
+                frontier.extend(
+                    x.iter()
+                        .enumerate()
+                        .filter(|(_, &v)| !semiring.is_identity(v))
+                        .map(|(i, _)| i),
+                );
+                if self.flip {
+                    state.vxm_push_into(x, &frontier, semiring, self.mask, transpose, ws, &mut out);
+                } else {
+                    state.mxv_push_into(x, &frontier, semiring, self.mask, transpose, ws, &mut out);
+                }
+                ws.give(frontier);
+                ws.stats().record_push_mxv();
+            }
+            _ => {
+                if self.flip {
+                    state.vxm_into(x, semiring, self.mask, transpose, ws, &mut out);
+                } else {
+                    state.mxv_into(x, semiring, self.mask, transpose, ws, &mut out);
+                }
+                ws.stats().record_pull_mxv();
+            }
+        }
+        debug_assert_eq!(out.len(), produced);
+        Vector::from_vec(out)
     }
 }
 
@@ -231,7 +336,7 @@ pub struct MxmReduceBuilder<'a> {
 impl MxmReduceBuilder<'_> {
     /// Execute on the operands' backends (mixed backends fall back to the
     /// CSR reference kernel).
-    pub fn run(self, _ctx: &Context) -> f64 {
+    pub fn run(self, ctx: &Context) -> f64 {
         assert_eq!(
             self.a.ncols(),
             self.b.nrows(),
@@ -242,6 +347,7 @@ impl MxmReduceBuilder<'_> {
             (self.a.nrows(), self.b.ncols()),
             "mxm mask dimension mismatch"
         );
+        ctx.workspace().stats().record_mxm_reduce();
         self.a
             .state()
             .mxm_reduce_masked(self.b.state(), self.mask.state())
@@ -263,7 +369,8 @@ impl ReduceBuilder<'_> {
     }
 
     /// Execute.
-    pub fn run(self, _ctx: &Context) -> f32 {
+    pub fn run(self, ctx: &Context) -> f32 {
+        ctx.workspace().stats().record_reduce();
         self.semiring.reduce_slice(self.x.as_slice())
     }
 }
@@ -285,18 +392,31 @@ impl EwiseBuilder<'_> {
         self
     }
 
-    /// Execute.
-    pub fn run(self, _ctx: &Context) -> Vector {
+    /// Execute, writing into a workspace-pooled buffer.
+    pub fn run(self, ctx: &Context) -> Vector {
         assert_eq!(
             self.a.len(),
             self.b.len(),
             "ewise operands require equal lengths"
         );
-        let out = if self.mult {
-            super::ewise::ewise_mult_slices(self.a.as_slice(), self.b.as_slice(), self.semiring)
+        let ws = ctx.workspace();
+        ws.stats().record_ewise();
+        let mut out = ws.take_empty::<f32>();
+        if self.mult {
+            super::ewise::ewise_mult_into(
+                self.a.as_slice(),
+                self.b.as_slice(),
+                self.semiring,
+                &mut out,
+            );
         } else {
-            super::ewise::ewise_add_slices(self.a.as_slice(), self.b.as_slice(), self.semiring)
-        };
+            super::ewise::ewise_add_into(
+                self.a.as_slice(),
+                self.b.as_slice(),
+                self.semiring,
+                &mut out,
+            );
+        }
         Vector::from_vec(out)
     }
 }
@@ -309,9 +429,13 @@ pub struct ApplyBuilder<'a, F> {
 }
 
 impl<F: Fn(f32) -> f32> ApplyBuilder<'_, F> {
-    /// Execute.
-    pub fn run(self, _ctx: &Context) -> Vector {
-        Vector::from_vec(self.x.as_slice().iter().map(|&v| (self.f)(v)).collect())
+    /// Execute, writing into a workspace-pooled buffer.
+    pub fn run(self, ctx: &Context) -> Vector {
+        let ws = ctx.workspace();
+        ws.stats().record_apply();
+        let mut out = ws.take_empty::<f32>();
+        out.extend(self.x.as_slice().iter().map(|&v| (self.f)(v)));
+        Vector::from_vec(out)
     }
 }
 
@@ -323,15 +447,18 @@ pub struct SelectBuilder<'a, F> {
 }
 
 impl<F: Fn(f32) -> bool> SelectBuilder<'_, F> {
-    /// Execute.
-    pub fn run(self, _ctx: &Context) -> Vector {
-        Vector::from_vec(
+    /// Execute, writing into a workspace-pooled buffer.
+    pub fn run(self, ctx: &Context) -> Vector {
+        let ws = ctx.workspace();
+        ws.stats().record_select();
+        let mut out = ws.take_empty::<f32>();
+        out.extend(
             self.x
                 .as_slice()
                 .iter()
-                .map(|&v| if (self.pred)(v) { 1.0 } else { 0.0 })
-                .collect(),
-        )
+                .map(|&v| if (self.pred)(v) { 1.0 } else { 0.0 }),
+        );
+        Vector::from_vec(out)
     }
 }
 
@@ -490,5 +617,132 @@ mod tests {
         let a = Matrix::from_csr(&sample(10, 1), Backend::FloatCsr);
         let x = Vector::zeros(7);
         let _ = Op::mxv(&a, &x).run(&Context::default());
+    }
+
+    #[test]
+    fn push_pull_and_auto_agree_for_every_backend_and_semiring() {
+        let csr = sample(70, 19);
+        let ctx = Context::default();
+        let sparse_x = Vector::indicator(70, &[3, 31, 64]);
+        let mut minplus_x = Vector::identity(70, Semiring::MinPlus(1.0));
+        minplus_x.set(5, 0.0);
+        minplus_x.set(44, 2.0);
+        for backend in [
+            Backend::Bit(TileSize::S4),
+            Backend::Bit(TileSize::S8),
+            Backend::Bit(TileSize::S16),
+            Backend::Bit(TileSize::S32),
+            Backend::FloatCsr,
+        ] {
+            let a = Matrix::from_csr(&csr, backend);
+            for (x, semiring) in [
+                (&sparse_x, Semiring::Boolean),
+                (&sparse_x, Semiring::Arithmetic),
+                (&minplus_x, Semiring::MinPlus(1.0)),
+            ] {
+                for flip in [false, true] {
+                    let build = |dir: Direction| {
+                        let op = if flip { Op::vxm(x, &a) } else { Op::mxv(&a, x) };
+                        op.semiring(semiring).direction(dir).run(&ctx)
+                    };
+                    let pull = build(Direction::Pull);
+                    let push = build(Direction::Push);
+                    let auto = build(Direction::Auto);
+                    close(push.as_slice(), pull.as_slice());
+                    close(auto.as_slice(), pull.as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_push_equals_masked_pull() {
+        let csr = sample(48, 23);
+        let ctx = Context::default();
+        let x = Vector::indicator(48, &[0, 7, 20]);
+        let visited: Vec<bool> = (0..48).map(|i| i % 3 == 0).collect();
+        let mask = Mask::complemented(visited);
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            let pull = Op::vxm(&x, &a)
+                .semiring(Semiring::Boolean)
+                .mask(&mask)
+                .direction(Direction::Pull)
+                .run(&ctx);
+            let push = Op::vxm(&x, &a)
+                .semiring(Semiring::Boolean)
+                .mask(&mask)
+                .direction(Direction::Push)
+                .run(&ctx);
+            assert_eq!(push, pull, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn auto_direction_switches_on_frontier_density_and_is_counted() {
+        let csr = sample(512, 29);
+        let a = Matrix::from_csr(&csr, Backend::Bit(TileSize::S8));
+        let ctx = Context::default();
+        let before = ctx.stats();
+        assert_eq!(before.total_mxv(), 0);
+
+        // One active vertex → push.
+        let sparse = Vector::indicator(512, &[0]);
+        let _ = Op::vxm(&sparse, &a).semiring(Semiring::Boolean).run(&ctx);
+        let after_sparse = ctx.stats();
+        assert_eq!(after_sparse.push_mxv, 1, "sparse frontier must push");
+
+        // Everything active → pull.
+        let dense = Vector::from_vec(vec![1.0; 512]);
+        let _ = Op::vxm(&dense, &a).semiring(Semiring::Boolean).run(&ctx);
+        let after_dense = ctx.stats();
+        assert_eq!(after_dense.pull_mxv, 1, "dense frontier must pull");
+        assert_eq!(after_dense.total_mxv(), 2);
+    }
+
+    #[test]
+    fn push_request_on_unsafe_semiring_is_coerced_to_pull() {
+        let csr = sample(40, 31);
+        let a = Matrix::from_csr(&csr, Backend::FloatCsr);
+        let ctx = Context::default();
+        let x = Vector::from_vec(vec![f32::NEG_INFINITY; 40]);
+        let _ = Op::mxv(&a, &x)
+            .semiring(Semiring::MaxTimes(-1.0))
+            .direction(Direction::Push)
+            .run(&ctx);
+        assert_eq!(ctx.stats().pull_mxv, 1);
+        assert_eq!(ctx.stats().push_mxv, 0);
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused_by_the_next_operation() {
+        let csr = sample(64, 37);
+        let a = Matrix::from_csr(&csr, Backend::Bit(TileSize::S8));
+        let ctx = Context::default();
+        let x = Vector::indicator(64, &[1]);
+        let y1 = Op::vxm(&x, &a)
+            .semiring(Semiring::Boolean)
+            .direction(Direction::Push)
+            .run(&ctx);
+        let ptr = y1.as_slice().as_ptr();
+        ctx.recycle(y1);
+        let y2 = Op::vxm(&x, &a)
+            .semiring(Semiring::Boolean)
+            .direction(Direction::Push)
+            .run(&ctx);
+        assert_eq!(
+            y2.as_slice().as_ptr(),
+            ptr,
+            "the recycled output buffer must be reused"
+        );
+    }
+
+    #[test]
+    fn cloned_contexts_have_fresh_workspaces() {
+        let ctx = Context::default();
+        ctx.workspace().stats().record_push_mxv();
+        let clone = ctx.clone();
+        assert_eq!(clone.stats(), crate::grb::ExecCounts::default());
+        assert_eq!(clone.device, ctx.device);
     }
 }

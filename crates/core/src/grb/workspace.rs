@@ -1,0 +1,263 @@
+//! The reusable-buffer pool and execution counters behind [`Context`].
+//!
+//! Every `Op::...run(&ctx)` used to allocate its output, packing and mask
+//! buffers afresh, which put a heap allocation (or several) on every
+//! iteration of every algorithm inner loop.  A [`Workspace`] turns the
+//! [`Context`](super::Context) into a real execution resource: operations
+//! check buffers out of the pool, size them, and return them when done, so a
+//! steady-state traversal loop (same vector lengths every iteration) performs
+//! **zero** heap allocations after its first couple of iterations — see
+//! `crates/core/tests/zero_alloc.rs` for the allocation-counter proof.
+//!
+//! # Ownership rules
+//!
+//! * `take_empty`/`take` transfer ownership of a pooled `Vec` to the caller;
+//!   the pool keeps no reference.  The buffer's *capacity* is recycled, its
+//!   contents are always reset (`take_empty` clears, `take` clears and
+//!   refills), so no data leaks between operations.
+//! * `give` transfers ownership back.  Giving a buffer is optional — a
+//!   buffer that escapes (e.g. inside the [`Vector`](super::Vector) an op
+//!   returns) is simply dropped by its new owner, and the pool refills from
+//!   later `give`s.  Algorithms that want allocation-free steady state
+//!   return their previous iteration's vector with
+//!   [`Context::recycle`](super::Context::recycle).
+//! * Each shelf is capped ([`SHELF_CAP`]) so a pathological caller cannot
+//!   hoard unbounded memory inside a long-lived context.
+//!
+//! The pool is behind a `Mutex` (not a `RefCell`) so that a `Context` — and
+//! the [`Matrix`](super::Matrix) that carries one — stays `Send + Sync`.
+//! Operations hold the lock only while popping/pushing a buffer, never
+//! across a kernel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum number of recycled buffers kept per element type.
+const SHELF_CAP: usize = 32;
+
+/// Element types the workspace pool can hold buffers of.
+///
+/// Implemented for the kernel-facing scalar types: `f32` (dense vectors),
+/// `bool` (mask views), `usize` (frontier index lists) and the three B2SR
+/// packing words (`u8`, `u16`, `u32`).
+pub trait Poolable: Copy + Send + 'static {
+    /// The shelf of recycled buffers for this element type.
+    fn shelf(pool: &mut BufferPool) -> &mut Vec<Vec<Self>>;
+}
+
+/// The typed shelves of recycled buffers (interior of a [`Workspace`]).
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    f32s: Vec<Vec<f32>>,
+    bools: Vec<Vec<bool>>,
+    usizes: Vec<Vec<usize>>,
+    u8s: Vec<Vec<u8>>,
+    u16s: Vec<Vec<u16>>,
+    u32s: Vec<Vec<u32>>,
+}
+
+macro_rules! poolable {
+    ($ty:ty, $field:ident) => {
+        impl Poolable for $ty {
+            #[inline]
+            fn shelf(pool: &mut BufferPool) -> &mut Vec<Vec<Self>> {
+                &mut pool.$field
+            }
+        }
+    };
+}
+
+poolable!(f32, f32s);
+poolable!(bool, bools);
+poolable!(usize, usizes);
+poolable!(u8, u8s);
+poolable!(u16, u16s);
+poolable!(u32, u32s);
+
+/// The per-context execution workspace: a buffer pool plus op counters.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Mutex<BufferPool>,
+    stats: ExecStats,
+}
+
+impl Workspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out a cleared buffer (length 0); capacity comes from the pool
+    /// when a buffer of this type was previously given back.
+    pub fn take_empty<T: Poolable>(&self) -> Vec<T> {
+        let mut pool = self.pool.lock().expect("workspace pool poisoned");
+        let mut buf = T::shelf(&mut pool).pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Check out a buffer of exactly `len` elements, every one set to
+    /// `fill`.
+    pub fn take<T: Poolable>(&self, len: usize, fill: T) -> Vec<T> {
+        let mut buf = self.take_empty();
+        buf.resize(len, fill);
+        buf
+    }
+
+    /// Return a buffer to the pool for later reuse.  Buffers beyond the
+    /// per-type shelf cap are dropped.
+    pub fn give<T: Poolable>(&self, buf: Vec<T>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.pool.lock().expect("workspace pool poisoned");
+        let shelf = T::shelf(&mut pool);
+        if shelf.len() < SHELF_CAP {
+            shelf.push(buf);
+        }
+    }
+
+    /// The execution counters of this workspace.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+}
+
+/// Monotonic counters of executed operations, split by kind and — for the
+/// matrix-vector family — by resolved traversal direction.
+///
+/// The counters make [`Direction::Auto`](super::Direction) observable:
+/// tests (and the perf harness) read a [`snapshot`](ExecStats::snapshot)
+/// before and after a run and assert how many iterations resolved to push
+/// vs pull.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    pull_mxv: AtomicU64,
+    push_mxv: AtomicU64,
+    mxm_reduce: AtomicU64,
+    reduce: AtomicU64,
+    ewise: AtomicU64,
+    apply: AtomicU64,
+    select: AtomicU64,
+}
+
+impl ExecStats {
+    pub(crate) fn record_pull_mxv(&self) {
+        self.pull_mxv.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_push_mxv(&self) {
+        self.push_mxv.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_mxm_reduce(&self) {
+        self.mxm_reduce.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_reduce(&self) {
+        self.reduce.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_ewise(&self) {
+        self.ewise.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_apply(&self) {
+        self.apply.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_select(&self) {
+        self.select.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the current counter values.
+    pub fn snapshot(&self) -> ExecCounts {
+        ExecCounts {
+            pull_mxv: self.pull_mxv.load(Ordering::Relaxed),
+            push_mxv: self.push_mxv.load(Ordering::Relaxed),
+            mxm_reduce: self.mxm_reduce.load(Ordering::Relaxed),
+            reduce: self.reduce.load(Ordering::Relaxed),
+            ewise: self.ewise.load(Ordering::Relaxed),
+            apply: self.apply.load(Ordering::Relaxed),
+            select: self.select.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of [`ExecStats`] counter values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecCounts {
+    /// `mxv`/`vxm` executions that resolved to the pull (dense sweep) path.
+    pub pull_mxv: u64,
+    /// `mxv`/`vxm` executions that resolved to the push (sparse scatter) path.
+    pub push_mxv: u64,
+    /// Masked matrix-product reductions.
+    pub mxm_reduce: u64,
+    /// Vector reductions.
+    pub reduce: u64,
+    /// Element-wise add/mult operations.
+    pub ewise: u64,
+    /// `apply` operations.
+    pub apply: u64,
+    /// `select` operations.
+    pub select: u64,
+}
+
+impl ExecCounts {
+    /// Total `mxv`/`vxm` executions across both directions.
+    pub fn total_mxv(&self) -> u64 {
+        self.pull_mxv + self.push_mxv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_recycles_capacity() {
+        let ws = Workspace::new();
+        let mut buf = ws.take::<f32>(100, 1.5);
+        assert_eq!(buf.len(), 100);
+        assert!(buf.iter().all(|&v| v == 1.5));
+        buf.reserve(1000);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        ws.give(buf);
+        let again = ws.take::<f32>(50, 0.0);
+        assert_eq!(again.len(), 50);
+        assert_eq!(again.capacity(), cap, "capacity must be recycled");
+        assert_eq!(again.as_ptr(), ptr, "the same buffer must come back");
+    }
+
+    #[test]
+    fn shelves_are_typed_and_capped() {
+        let ws = Workspace::new();
+        ws.give(vec![1u8; 4]);
+        ws.give(vec![1u16; 4]);
+        // The u8 shelf must not serve the u16 request's storage.
+        let b16 = ws.take::<u16>(2, 7);
+        assert_eq!(b16, vec![7, 7]);
+        for _ in 0..2 * SHELF_CAP {
+            ws.give(vec![0usize; 8]);
+        }
+        let pool = ws.pool.lock().unwrap();
+        assert!(pool.usizes.len() <= SHELF_CAP);
+    }
+
+    #[test]
+    fn take_resets_contents() {
+        let ws = Workspace::new();
+        ws.give(vec![9.0f32; 64]);
+        let buf = ws.take::<f32>(32, 0.0);
+        assert!(buf.iter().all(|&v| v == 0.0), "stale data must be cleared");
+        let empty = ws.take_empty::<f32>();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn stats_counters_accumulate() {
+        let ws = Workspace::new();
+        ws.stats().record_push_mxv();
+        ws.stats().record_push_mxv();
+        ws.stats().record_pull_mxv();
+        let s = ws.stats().snapshot();
+        assert_eq!(s.push_mxv, 2);
+        assert_eq!(s.pull_mxv, 1);
+        assert_eq!(s.total_mxv(), 3);
+    }
+}

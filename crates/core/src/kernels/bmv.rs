@@ -11,6 +11,18 @@
 //! tile row inside the tile (Listing 1 of the paper): lane `r` loads bit-row
 //! `r` of each tile, ANDs it against the vector word of that tile-column, and
 //! accumulates with `popc`.  Rayon parallelises over tile-rows.
+//!
+//! Two kernel families live here:
+//!
+//! * **pull** (`bmv_bin_*`, `bmv_..._into`) — the dense sweep described
+//!   above: cost independent of how many vector entries are active.  The
+//!   `_into` variants write into caller-supplied buffers so the GrB layer's
+//!   workspace pool can recycle them across iterations.
+//! * **push** (`bmv_push_*`) — sparse-frontier scatter: only the tiles of
+//!   the frontier's tile-rows are visited and their row words scattered into
+//!   the output, so the cost is proportional to the frontier's edge count.
+//!   Push kernels run serially by design — they are selected precisely when
+//!   the frontier is tiny — and therefore allocate nothing.
 
 use rayon::prelude::*;
 
@@ -22,30 +34,44 @@ use crate::semiring::Semiring;
 /// Pack a boolean vector into tile-granular words: word `t` holds entries
 /// `t*tile_dim .. (t+1)*tile_dim`, bit `i` = entry `t*tile_dim + i`.
 pub fn pack_vector_bits<W: BitWord>(v: &[bool], tile_dim: usize) -> Vec<W> {
+    let mut words = Vec::new();
+    pack_vector_bits_into(v, tile_dim, &mut words);
+    words
+}
+
+/// As [`pack_vector_bits`], writing into a caller-supplied buffer (resized
+/// to the word count) instead of allocating.
+pub fn pack_vector_bits_into<W: BitWord>(v: &[bool], tile_dim: usize, words: &mut Vec<W>) {
     assert!(tile_dim as u32 <= W::BITS);
-    let n_words = v.len().div_ceil(tile_dim);
-    let mut words = vec![W::ZERO; n_words];
+    words.clear();
+    words.resize(v.len().div_ceil(tile_dim), W::ZERO);
     for (i, &b) in v.iter().enumerate() {
         if b {
             words[i / tile_dim] = words[i / tile_dim].with_bit((i % tile_dim) as u32);
         }
     }
-    words
 }
 
 /// Pack a dense `f32` vector into tile-granular words (bit set where the
 /// entry is nonzero) — the "binarize the multiplier vector" step of the
 /// paper's BMV schemes.
 pub fn pack_vector_tilewise<W: BitWord>(v: &[f32], tile_dim: usize) -> Vec<W> {
+    let mut words = Vec::new();
+    pack_vector_tilewise_into(v, tile_dim, &mut words);
+    words
+}
+
+/// As [`pack_vector_tilewise`], writing into a caller-supplied buffer
+/// (resized to the word count) instead of allocating.
+pub fn pack_vector_tilewise_into<W: BitWord>(v: &[f32], tile_dim: usize, words: &mut Vec<W>) {
     assert!(tile_dim as u32 <= W::BITS);
-    let n_words = v.len().div_ceil(tile_dim);
-    let mut words = vec![W::ZERO; n_words];
+    words.clear();
+    words.resize(v.len().div_ceil(tile_dim), W::ZERO);
     for (i, &x) in v.iter().enumerate() {
         if x != 0.0 {
             words[i / tile_dim] = words[i / tile_dim].with_bit((i % tile_dim) as u32);
         }
     }
-    words
 }
 
 /// Unpack tile-granular words back into `len` booleans.
@@ -65,10 +91,22 @@ pub fn unpack_vector_bits<W: BitWord>(words: &[W], tile_dim: usize, len: usize) 
 /// holds one word per tile-row, bit `r` set iff output row `tr*dim + r` is
 /// reachable.  This is the minimal-footprint scheme used by BFS.
 pub fn bmv_bin_bin_bin<W: BitWord>(a: &B2sr<W>, x: &[W]) -> Vec<W> {
-    assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
-    let dim = a.tile_dim();
     let mut y = vec![W::ZERO; a.n_tile_rows()];
+    bmv_bin_bin_bin_into(a, x, &mut y);
+    y
+}
+
+/// As [`bmv_bin_bin_bin`], writing into a caller-supplied slice of
+/// `n_tile_rows` words (every word is overwritten).
+pub fn bmv_bin_bin_bin_into<W: BitWord>(a: &B2sr<W>, x: &[W], y: &mut [W]) {
+    assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
+    assert!(y.len() >= a.n_tile_rows(), "output has too few tile words");
+    let dim = a.tile_dim();
     y.par_iter_mut().enumerate().for_each(|(tr, out)| {
+        if tr >= a.n_tile_rows() {
+            *out = W::ZERO;
+            return;
+        }
         let mut acc = W::ZERO;
         for idx in a.tile_row_range(tr) {
             let tc = a.tile_colind()[idx];
@@ -83,7 +121,6 @@ pub fn bmv_bin_bin_bin<W: BitWord>(a: &B2sr<W>, x: &[W]) -> Vec<W> {
         }
         *out = acc;
     });
-    y
 }
 
 /// `bmv_bin_bin_bin_masked()`: as [`bmv_bin_bin_bin`] but with the output
@@ -91,11 +128,23 @@ pub fn bmv_bin_bin_bin<W: BitWord>(a: &B2sr<W>, x: &[W]) -> Vec<W> {
 /// visited-vertex filter of BFS (§V).  `mask` is packed per tile-row like the
 /// output.
 pub fn bmv_bin_bin_bin_masked<W: BitWord>(a: &B2sr<W>, x: &[W], mask: &[W]) -> Vec<W> {
+    let mut y = vec![W::ZERO; a.n_tile_rows()];
+    bmv_bin_bin_bin_masked_into(a, x, mask, &mut y);
+    y
+}
+
+/// As [`bmv_bin_bin_bin_masked`], writing into a caller-supplied slice of
+/// `n_tile_rows` words (every word is overwritten).
+pub fn bmv_bin_bin_bin_masked_into<W: BitWord>(a: &B2sr<W>, x: &[W], mask: &[W], y: &mut [W]) {
     assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
     assert!(mask.len() >= a.n_tile_rows(), "mask has too few tile words");
+    assert!(y.len() >= a.n_tile_rows(), "output has too few tile words");
     let dim = a.tile_dim();
-    let mut y = vec![W::ZERO; a.n_tile_rows()];
     y.par_iter_mut().enumerate().for_each(|(tr, out)| {
+        if tr >= a.n_tile_rows() {
+            *out = W::ZERO;
+            return;
+        }
         let mut acc = W::ZERO;
         for idx in a.tile_row_range(tr) {
             let tc = a.tile_colind()[idx];
@@ -111,7 +160,6 @@ pub fn bmv_bin_bin_bin_masked<W: BitWord>(a: &B2sr<W>, x: &[W], mask: &[W]) -> V
         // avoid the warp divergence the paper describes).
         *out = acc & !mask[tr];
     });
-    y
 }
 
 /// `bmv_bin_bin_full()`: binarized matrix × binarized vector → full-precision
@@ -165,11 +213,35 @@ pub fn bmv_bin_bin_full_masked<W: BitWord>(a: &B2sr<W>, x: &[W], mask: &[W]) -> 
 ///   adjacency matrix;
 /// * `Boolean` / `MaxTimes` analogous.
 pub fn bmv_bin_full_full<W: BitWord>(a: &B2sr<W>, x: &[f32], semiring: Semiring) -> Vec<f32> {
+    let mut y = vec![semiring.identity(); a.n_tile_rows() * a.tile_dim()];
+    bmv_bin_full_full_into(a, x, semiring, &mut y);
+    y.truncate(a.nrows());
+    y
+}
+
+/// As [`bmv_bin_full_full`], writing into a caller-supplied slice of padded
+/// length `n_tile_rows * tile_dim` (every entry is overwritten; the caller
+/// truncates to `nrows`).
+pub fn bmv_bin_full_full_into<W: BitWord>(
+    a: &B2sr<W>,
+    x: &[f32],
+    semiring: Semiring,
+    y: &mut [f32],
+) {
     assert!(x.len() >= a.ncols(), "vector shorter than matrix columns");
     let dim = a.tile_dim();
     let padded = a.n_tile_rows() * dim;
-    let mut y = vec![semiring.identity(); padded];
+    assert!(
+        y.len() >= padded,
+        "output shorter than the padded row count"
+    );
     y.par_chunks_mut(dim).enumerate().for_each(|(tr, out)| {
+        for v in out.iter_mut() {
+            *v = semiring.identity();
+        }
+        if tr >= a.n_tile_rows() {
+            return;
+        }
         for idx in a.tile_row_range(tr) {
             let tc = a.tile_colind()[idx];
             let base = tc * dim;
@@ -189,8 +261,6 @@ pub fn bmv_bin_full_full<W: BitWord>(a: &B2sr<W>, x: &[f32], semiring: Semiring)
             }
         }
     });
-    y.truncate(a.nrows());
-    y
 }
 
 /// `bmv_bin_full_full_masked()`: as [`bmv_bin_full_full`] but rows whose mask
@@ -201,14 +271,106 @@ pub fn bmv_bin_full_full_masked<W: BitWord>(
     mask: &[bool],
     semiring: Semiring,
 ) -> Vec<f32> {
+    let mut y = vec![semiring.identity(); a.n_tile_rows() * a.tile_dim()];
+    bmv_bin_full_full_masked_into(a, x, mask, semiring, &mut y);
+    y.truncate(a.nrows());
+    y
+}
+
+/// As [`bmv_bin_full_full_masked`], writing into a caller-supplied padded
+/// slice (see [`bmv_bin_full_full_into`]).
+pub fn bmv_bin_full_full_masked_into<W: BitWord>(
+    a: &B2sr<W>,
+    x: &[f32],
+    mask: &[bool],
+    semiring: Semiring,
+    y: &mut [f32],
+) {
     assert!(mask.len() >= a.nrows(), "mask shorter than matrix rows");
-    let mut y = bmv_bin_full_full(a, x, semiring);
-    y.par_iter_mut().enumerate().for_each(|(i, v)| {
+    bmv_bin_full_full_into(a, x, semiring, y);
+    let n = a.nrows();
+    y[..n].par_iter_mut().enumerate().for_each(|(i, v)| {
         if mask[i] {
             *v = semiring.identity();
         }
     });
-    y
+}
+
+// ---------------------------------------------------------------------------
+// Push (sparse-frontier) kernels
+// ---------------------------------------------------------------------------
+
+/// `bmv_push_bin_bin()`: push-direction Boolean BMV.  `frontier` lists the
+/// active *row* indices of `a` in ascending order; the out-edges of those
+/// rows are scattered into `y`, which holds one word per tile-column of `a`
+/// (bit `c` of word `tc` = output position `tc * dim + c`) and must be
+/// zeroed by the caller.
+///
+/// Because the bits of a B2SR tile row *are* that row's column indicator,
+/// the scatter is a plain word-OR of the frontier rows' tile words — no
+/// per-edge index arithmetic at all.  The kernel is serial and
+/// allocation-free by design: the push direction is chosen precisely when
+/// the frontier is a small fraction of the graph, where a parallel sweep
+/// would spend more time fanning out than computing.
+pub fn bmv_push_bin_bin<W: BitWord>(a: &B2sr<W>, frontier: &[usize], y: &mut [W]) {
+    assert!(y.len() >= a.n_tile_cols(), "output has too few tile words");
+    let dim = a.tile_dim();
+    let mut i = 0;
+    while i < frontier.len() {
+        let tr = frontier[i] / dim;
+        debug_assert!(frontier[i] < a.nrows(), "frontier row out of range");
+        // Gather all frontier rows of this tile-row into one selector word.
+        let mut fw = W::ZERO;
+        while i < frontier.len() && frontier[i] / dim == tr {
+            fw = fw.with_bit((frontier[i] % dim) as u32);
+            i += 1;
+        }
+        for idx in a.tile_row_range(tr) {
+            let tc = a.tile_colind()[idx];
+            let words = a.tile_words(idx);
+            let mut acc = y[tc];
+            for r in fw.iter_ones() {
+                acc |= words[r as usize];
+            }
+            y[tc] = acc;
+        }
+    }
+}
+
+/// `bmv_push_bin_full()`: push-direction BMV with full-precision output,
+/// generic over the semiring.  For every frontier row `u`, the contribution
+/// `⊗(x[u])` is folded into each out-neighbour `j` of `u` with the additive
+/// monoid: `y[j] = ⊕(y[j], ⊗(x[u]))`.  `allow` filters output positions
+/// (the mask); `y` must be pre-filled with the semiring identity.
+///
+/// Only valid for [`Semiring::push_safe`] semirings, where skipping the
+/// non-frontier (identity-valued) entries cannot change the result.  Serial
+/// and allocation-free like [`bmv_push_bin_bin`].
+pub fn bmv_push_bin_full<W: BitWord, M: Fn(usize) -> bool>(
+    a: &B2sr<W>,
+    x: &[f32],
+    frontier: &[usize],
+    semiring: Semiring,
+    allow: M,
+    y: &mut [f32],
+) {
+    assert!(x.len() >= a.nrows(), "vector shorter than frontier rows");
+    let dim = a.tile_dim();
+    for &u in frontier {
+        let contrib = semiring.combine(x[u]);
+        let (tr, r) = (u / dim, u % dim);
+        for idx in a.tile_row_range(tr) {
+            let base = a.tile_colind()[idx] * dim;
+            let w = a.tile_words(idx)[r];
+            for dc in w.iter_ones() {
+                let j = base + dc as usize;
+                // Guard the ragged last tile-column (ncols % dim != 0).
+                if j < y.len() && allow(j) {
+                    y[j] = semiring.reduce(y[j], contrib);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -410,6 +572,164 @@ mod tests {
                 assert_eq!(v, f32::INFINITY);
             }
         }
+    }
+
+    /// Reference push: scatter the out-edges of the frontier rows.
+    fn reference_push_bool(a: &Csr, frontier: &[usize]) -> Vec<bool> {
+        let mut y = vec![false; a.ncols()];
+        for &u in frontier {
+            for &c in a.row(u).0 {
+                y[c] = true;
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn push_bin_bin_matches_scatter_reference_all_variants() {
+        let a = sample(97, 29);
+        let frontier: Vec<usize> = (0..97).filter(|i| i % 9 == 0).collect();
+        let expected = reference_push_bool(&a, &frontier);
+        macro_rules! check {
+            ($w:ty, $dim:expr) => {{
+                let b = from_csr::<$w>(&a, $dim);
+                let mut y = vec![<$w>::default(); b.n_tile_cols()];
+                bmv_push_bin_bin(&b, &frontier, &mut y);
+                let yb = unpack_vector_bits(&y, $dim, a.ncols());
+                assert_eq!(yb, expected, "dim {}", $dim);
+            }};
+        }
+        check!(u8, 4);
+        check!(u8, 8);
+        check!(u16, 16);
+        check!(u32, 32);
+    }
+
+    #[test]
+    fn push_equals_pull_for_boolean_frontiers() {
+        let a = sample(80, 31);
+        let x = sample_x(80);
+        let frontier: Vec<usize> = x
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        // Pull runs on Aᵀ, push scatters the rows of A — same product x·A.
+        let at = from_csr::<u8>(&a.transpose(), 8);
+        let xp = pack_vector_tilewise::<u8>(&x, 8);
+        let pull = unpack_vector_bits(&bmv_bin_bin_bin(&at, &xp), 8, a.ncols());
+        let af = from_csr::<u8>(&a, 8);
+        let mut y = vec![0u8; af.n_tile_cols()];
+        bmv_push_bin_bin(&af, &frontier, &mut y);
+        let push = unpack_vector_bits(&y, 8, a.ncols());
+        assert_eq!(push, pull);
+    }
+
+    #[test]
+    fn push_bin_full_matches_pull_for_minplus_and_arithmetic() {
+        let a = sample(64, 37);
+        let mut x = vec![f32::INFINITY; 64];
+        x[0] = 0.0;
+        x[13] = 3.0;
+        x[40] = 1.0;
+        let semiring = Semiring::MinPlus(1.0);
+        let frontier: Vec<usize> = (0..64).filter(|&i| x[i].is_finite()).collect();
+        let at = from_csr::<u16>(&a.transpose(), 16);
+        let pull = bmv_bin_full_full(&at, &x, semiring);
+        let af = from_csr::<u16>(&a, 16);
+        let mut y = vec![semiring.identity(); a.ncols()];
+        bmv_push_bin_full(&af, &x, &frontier, semiring, |_| true, &mut y);
+        assert_eq!(y, pull, "min-plus push must equal the pull sweep exactly");
+
+        let xa = sample_x(64);
+        let fa: Vec<usize> = (0..64).filter(|&i| xa[i] != 0.0).collect();
+        let pull_sum = bmv_bin_full_full(&at, &xa, Semiring::Arithmetic);
+        let mut ys = vec![0.0f32; a.ncols()];
+        bmv_push_bin_full(&af, &xa, &fa, Semiring::Arithmetic, |_| true, &mut ys);
+        for (i, (g, w)) in ys.iter().zip(&pull_sum).enumerate() {
+            assert!((g - w).abs() < 1e-4, "position {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn push_respects_the_allow_filter() {
+        let a = sample(40, 41);
+        let x = sample_x(40);
+        let frontier: Vec<usize> = (0..40).filter(|&i| x[i] != 0.0).collect();
+        let b = from_csr::<u8>(&a, 8);
+        let mut y = vec![0.0f32; a.ncols()];
+        bmv_push_bin_full(
+            &b,
+            &x,
+            &frontier,
+            Semiring::Arithmetic,
+            |j| j % 2 == 0,
+            &mut y,
+        );
+        for (j, &v) in y.iter().enumerate() {
+            if j % 2 != 0 {
+                assert_eq!(v, 0.0, "filtered position {j} must stay identity");
+            }
+        }
+    }
+
+    #[test]
+    fn push_with_empty_frontier_is_a_no_op() {
+        let a = sample(32, 43);
+        let b = from_csr::<u8>(&a, 4);
+        let mut yw = vec![0u8; b.n_tile_cols()];
+        bmv_push_bin_bin(&b, &[], &mut yw);
+        assert!(yw.iter().all(|&w| w == 0));
+        let mut y = vec![f32::INFINITY; a.ncols()];
+        bmv_push_bin_full(
+            &b,
+            &[0.0; 32],
+            &[],
+            Semiring::MinPlus(1.0),
+            |_| true,
+            &mut y,
+        );
+        assert!(y.iter().all(|v| v.is_infinite()));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let a = sample(50, 47);
+        let x = sample_x(50);
+        let b = from_csr::<u8>(&a, 8);
+        let xp = pack_vector_tilewise::<u8>(&x, 8);
+        let mut yw = vec![0xFFu8; b.n_tile_rows()];
+        bmv_bin_bin_bin_into(&b, &xp, &mut yw);
+        assert_eq!(yw, bmv_bin_bin_bin(&b, &xp));
+
+        let visited: Vec<bool> = (0..50).map(|i| i % 2 == 0).collect();
+        let mp = pack_vector_bits::<u8>(&visited, 8);
+        let mut ym = vec![0xFFu8; b.n_tile_rows()];
+        bmv_bin_bin_bin_masked_into(&b, &xp, &mp, &mut ym);
+        assert_eq!(ym, bmv_bin_bin_bin_masked(&b, &xp, &mp));
+
+        let padded = b.n_tile_rows() * 8;
+        let mut yf = vec![42.0f32; padded];
+        bmv_bin_full_full_into(&b, &x, Semiring::Arithmetic, &mut yf);
+        assert_eq!(
+            &yf[..50],
+            &bmv_bin_full_full(&b, &x, Semiring::Arithmetic)[..]
+        );
+
+        let mut yfm = vec![42.0f32; padded];
+        bmv_bin_full_full_masked_into(&b, &x, &visited, Semiring::Arithmetic, &mut yfm);
+        assert_eq!(
+            &yfm[..50],
+            &bmv_bin_full_full_masked(&b, &x, &visited, Semiring::Arithmetic)[..]
+        );
+
+        let mut packed = vec![0u8; 1];
+        pack_vector_tilewise_into(&x, 8, &mut packed);
+        assert_eq!(packed, xp);
+        let mut packed_b = vec![0u8; 99];
+        pack_vector_bits_into(&visited, 8, &mut packed_b);
+        assert_eq!(packed_b, mp);
     }
 
     #[test]

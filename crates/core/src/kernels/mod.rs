@@ -3,7 +3,9 @@
 //! * [`bmv`] — Binarized Matrix × Vector: the six schemes of Table II
 //!   (`bmv_bin_bin_bin`, `bmv_bin_bin_full`, `bmv_bin_full_full` and their
 //!   masked variants), covering the Boolean, arithmetic and tropical
-//!   semirings of Table IV.
+//!   semirings of Table IV; plus the push-direction (sparse-frontier)
+//!   kernels `bmv_push_bin_bin` / `bmv_push_bin_full` and the `_into`
+//!   variants that write into workspace-pooled buffers.
 //! * [`bmm`] — Binarized Matrix × Matrix: the two schemes of Table III
 //!   (`bmm_bin_bin_sum` and `bmm_bin_bin_sum_masked`), which reduce the
 //!   product to a full-precision scalar as required by Triangle Counting.
@@ -20,7 +22,9 @@ pub mod bmv;
 
 pub use bmm::{bmm_bin_bin_sum, bmm_bin_bin_sum_masked};
 pub use bmv::{
-    bmv_bin_bin_bin, bmv_bin_bin_bin_masked, bmv_bin_bin_full, bmv_bin_bin_full_masked,
-    bmv_bin_full_full, bmv_bin_full_full_masked, pack_vector_bits, pack_vector_tilewise,
+    bmv_bin_bin_bin, bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked, bmv_bin_bin_bin_masked_into,
+    bmv_bin_bin_full, bmv_bin_bin_full_masked, bmv_bin_full_full, bmv_bin_full_full_into,
+    bmv_bin_full_full_masked, bmv_bin_full_full_masked_into, bmv_push_bin_bin, bmv_push_bin_full,
+    pack_vector_bits, pack_vector_bits_into, pack_vector_tilewise, pack_vector_tilewise_into,
     unpack_vector_bits,
 };

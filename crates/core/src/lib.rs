@@ -41,5 +41,5 @@ pub mod kernels;
 pub mod semiring;
 
 pub use b2sr::{B2sr, B2srMatrix, TileSize};
-pub use grb::{Backend, Context, Descriptor, GrbBackend, Matrix, Op, Vector};
+pub use grb::{Backend, Context, Descriptor, Direction, GrbBackend, Matrix, Op, Vector};
 pub use semiring::Semiring;

@@ -86,6 +86,23 @@ impl Semiring {
             .fold(self.identity(), |acc, &v| self.reduce(acc, v))
     }
 
+    /// True when entries holding the additive identity can be *skipped* by a
+    /// sparse (push-direction) kernel without changing the result, i.e.
+    /// `⊕(acc, ⊗(identity)) == acc` for every `acc`.
+    ///
+    /// Holds for Boolean (`0` contributes nothing to OR), arithmetic
+    /// (`x + 0 = x`), and min-plus (`∞ + w = ∞` loses every `min`).  For
+    /// max-times it requires a positive edge factor: with `w ≤ 0`,
+    /// `-∞ · w` is `+∞` or NaN rather than the identity, so identity
+    /// entries still contribute and only the dense pull sweep is exact.
+    #[inline]
+    pub fn push_safe(&self) -> bool {
+        match self {
+            Semiring::Boolean | Semiring::Arithmetic | Semiring::MinPlus(_) => true,
+            Semiring::MaxTimes(w) => *w > 0.0,
+        }
+    }
+
     /// True when an output value equals the semiring's "no contribution"
     /// value — used to decide whether a vertex was reached.
     #[inline]
@@ -148,6 +165,17 @@ mod tests {
         assert_eq!(s.reduce(1.0, 6.0), 6.0);
         assert_eq!(s.reduce_slice(&[1.0, 9.0, 4.0]), 9.0);
         assert!(s.is_identity(f32::NEG_INFINITY));
+    }
+
+    #[test]
+    fn push_safety_matches_identity_absorption() {
+        assert!(Semiring::Boolean.push_safe());
+        assert!(Semiring::Arithmetic.push_safe());
+        assert!(Semiring::MinPlus(0.0).push_safe());
+        assert!(Semiring::MinPlus(5.0).push_safe());
+        assert!(Semiring::MaxTimes(1.0).push_safe());
+        assert!(!Semiring::MaxTimes(0.0).push_safe());
+        assert!(!Semiring::MaxTimes(-1.0).push_safe());
     }
 
     #[test]

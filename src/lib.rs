@@ -76,11 +76,12 @@ pub use bitgblas_sparse as sparse;
 /// The most commonly used items, for `use bit_graphblas::prelude::*`.
 pub mod prelude {
     pub use bitgblas_algorithms::{
-        bfs, connected_components, pagerank, sssp, triangle_count, PageRankConfig,
+        bfs, bfs_dir, connected_components, pagerank, sssp, sssp_dir, triangle_count,
+        PageRankConfig,
     };
     #[allow(deprecated)]
     pub use bitgblas_core::grb::{mxv, reduce, vxm};
-    pub use bitgblas_core::grb::{Context, Descriptor, GrbBackend, Mask, Op};
+    pub use bitgblas_core::grb::{Context, Descriptor, Direction, GrbBackend, Mask, Op};
     pub use bitgblas_core::{B2srMatrix, Backend, Matrix, Semiring, TileSize, Vector};
     pub use bitgblas_sparse::{Coo, Csr, DenseVec};
 }

@@ -11,6 +11,7 @@
 use proptest::prelude::*;
 
 use bit_graphblas::algorithms::reference;
+use bit_graphblas::core::grb::scatter_penalty;
 use bit_graphblas::datagen::generators;
 use bit_graphblas::prelude::*;
 
@@ -22,6 +23,17 @@ fn parity_backends() -> Vec<Backend> {
         Backend::Bit(TileSize::S16),
         Backend::FloatCsr,
         Backend::Auto,
+    ]
+}
+
+/// The backends the ISSUE-2 direction engine must keep exact: every bit
+/// tile size named by the acceptance bar plus the float baseline.
+fn direction_backends() -> Vec<Backend> {
+    vec![
+        Backend::Bit(TileSize::S4),
+        Backend::Bit(TileSize::S8),
+        Backend::Bit(TileSize::S16),
+        Backend::FloatCsr,
     ]
 }
 
@@ -116,6 +128,135 @@ proptest! {
             prop_assert_eq!(triangle_count(&m), expected, "{:?}", backend);
         }
     }
+
+    /// BFS levels are identical whichever traversal direction is forced —
+    /// push, pull and the per-iteration Auto switch — on every backend the
+    /// direction engine supports.
+    #[test]
+    fn bfs_direction_parity(adj in graph_strategy(), src in 0usize..1000) {
+        let src = src % adj.nrows();
+        let expected = reference::bfs_levels(&adj, src);
+        for backend in direction_backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                let got = bfs_dir(&m, src, dir);
+                prop_assert_eq!(&got.levels, &expected, "{:?} {:?}", backend, dir);
+            }
+        }
+    }
+
+    /// SSSP distances are bit-identical across directions (min is exact
+    /// under reordering) and match Bellman-Ford.
+    #[test]
+    fn sssp_direction_parity(adj in graph_strategy(), src in 0usize..1000) {
+        let src = src % adj.nrows();
+        let expected = reference::sssp_distances(&adj, src);
+        for backend in direction_backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            let pull = sssp_dir(&m, src, Direction::Pull);
+            for dir in [Direction::Push, Direction::Auto] {
+                let got = sssp_dir(&m, src, dir);
+                prop_assert_eq!(&got.distances, &pull.distances, "{:?} {:?}", backend, dir);
+            }
+            assert_f32_slices_match(&pull.distances, &expected, "sssp", backend);
+        }
+    }
+}
+
+/// Edge case: an all-identity operand (empty frontier) produces the
+/// identity output in every direction, including a source vertex with no
+/// out-edges terminating BFS after one iteration.
+#[test]
+fn empty_frontier_is_identity_in_every_direction() {
+    let adj = generators::erdos_renyi(96, 0.04, true, 42);
+    let ctx = Context::default();
+    let zero = Vector::zeros(96);
+    let inf = Vector::identity(96, Semiring::MinPlus(1.0));
+    for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+        let m = Matrix::from_csr(&adj, backend);
+        for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+            let bool_out = Op::vxm(&zero, &m)
+                .semiring(Semiring::Boolean)
+                .direction(dir)
+                .run(&ctx);
+            assert_eq!(bool_out.nnz(), 0, "{backend:?} {dir:?}");
+            let minplus_out = Op::vxm(&inf, &m)
+                .semiring(Semiring::MinPlus(1.0))
+                .direction(dir)
+                .run(&ctx);
+            assert!(
+                minplus_out.as_slice().iter().all(|v| v.is_infinite()),
+                "{backend:?} {dir:?}"
+            );
+        }
+    }
+
+    // BFS from an out-degree-0 vertex: one empty iteration, any direction.
+    let mut coo = Coo::new(8, 8);
+    coo.push_edge(1, 2).unwrap();
+    let m = Matrix::from_csr(&coo.to_binary_csr(), Backend::Bit(TileSize::S4));
+    for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+        let r = bfs_dir(&m, 0, dir);
+        assert_eq!(r.n_reached, 1, "{dir:?}");
+        assert_eq!(r.iterations, 1, "{dir:?}");
+    }
+}
+
+/// Edge case: frontiers straddling the Beamer-style switch threshold —
+/// fully dense (forces pull under Auto), exactly at, just below and just
+/// above the modelled crossover — all agree with both forced directions.
+#[test]
+fn full_density_and_threshold_frontiers_agree() {
+    let adj = generators::erdos_renyi(256, 0.03, true, 7);
+    let ctx = Context::default();
+    let nnz = adj.nnz();
+    // The crossover frontier size of the traffic model (see
+    // grb::choose_direction): f * d̄ * penalty = nnz + n.
+    let threshold = ((nnz + 256) as f64
+        / ((nnz as f64 / 256.0).max(1.0) * scatter_penalty(&ctx.device)))
+        as usize;
+    let sizes = [threshold.saturating_sub(1), threshold, threshold + 1, 256];
+    for backend in [Backend::Bit(TileSize::S16), Backend::FloatCsr] {
+        let m = Matrix::from_csr(&adj, backend);
+        for &k in &sizes {
+            let positions: Vec<usize> = (0..k.min(256)).collect();
+            let x = Vector::indicator(256, &positions);
+            let pull = Op::vxm(&x, &m)
+                .semiring(Semiring::Boolean)
+                .direction(Direction::Pull)
+                .run(&ctx);
+            let push = Op::vxm(&x, &m)
+                .semiring(Semiring::Boolean)
+                .direction(Direction::Push)
+                .run(&ctx);
+            let auto = Op::vxm(&x, &m)
+                .semiring(Semiring::Boolean)
+                .direction(Direction::Auto)
+                .run(&ctx);
+            assert_eq!(push, pull, "{backend:?} frontier {k}");
+            assert_eq!(auto, pull, "{backend:?} frontier {k}");
+        }
+    }
+}
+
+/// A whole Auto BFS on a structured graph actually *switches*: the context
+/// counters must record both push iterations (sparse fringe) and pull
+/// iterations (the dense hump).
+#[test]
+fn auto_bfs_uses_both_directions_on_a_dense_hump_graph() {
+    let adj = generators::rmat(11, 16, 0.57, 0.19, 0.19, 3).symmetrized();
+    let m = Matrix::from_csr(&adj, Backend::Bit(TileSize::S8));
+    let r = bfs_dir(&m, 0, Direction::Auto);
+    assert!(r.n_reached > 1000, "RMAT core must be reachable");
+    let stats = m.context().stats();
+    assert!(
+        stats.push_mxv > 0,
+        "sparse fringe iterations must push: {stats:?}"
+    );
+    assert!(
+        stats.pull_mxv > 0,
+        "the dense hump iteration must pull: {stats:?}"
+    );
 }
 
 /// The paper's Figure-5 story, end to end: `Backend::Auto` picks *different*
