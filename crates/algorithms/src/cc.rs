@@ -13,7 +13,7 @@
 //! component end up pointing at the component's minimum vertex id.
 
 use bitgblas_core::grb::{Matrix, Op, Vector};
-use bitgblas_core::Semiring;
+use bitgblas_core::{BinaryOp, Semiring};
 
 /// The result of a connected-components run.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,16 +56,21 @@ pub fn connected_components(a: &Matrix) -> CcResult {
         }
 
         // Minimum neighbour parent, in both edge directions so directed
-        // inputs behave as undirected graphs.  The parent vector is fully
-        // dense (every entry finite), so Direction::Auto resolves to pull.
+        // inputs behave as undirected graphs.  The backward sweep min-folds
+        // straight onto the forward result through the fused accumulator,
+        // so no separate "backward" vector is materialised.  The parent
+        // vector is fully dense (every entry finite), so Direction::Auto
+        // resolves to pull.
         let forward = Op::mxv(a, &parent_f).semiring(semiring).run(ctx);
-        let backward = Op::mxv(a, &parent_f)
+        let mnp = Op::mxv(a, &parent_f)
             .semiring(semiring)
             .transpose()
+            .accum(BinaryOp::Min, &forward)
             .run(ctx);
+        ctx.recycle(forward);
 
         let mut next = parent.clone();
-        let mut hook = |u: usize, candidate: f32| {
+        for (u, &candidate) in mnp.as_slice().iter().enumerate() {
             if candidate.is_finite() {
                 let cand = candidate as usize;
                 // Stochastic hooking: hook u's parent and u itself onto the
@@ -78,13 +83,8 @@ pub fn connected_components(a: &Matrix) -> CcResult {
                     next[u] = cand;
                 }
             }
-        };
-        for u in 0..n {
-            hook(u, forward.get(u));
-            hook(u, backward.get(u));
         }
-        ctx.recycle(forward);
-        ctx.recycle(backward);
+        ctx.recycle(mnp);
 
         // Shortcutting: point every vertex at its grandparent until stable
         // within this round (path halving).

@@ -6,7 +6,7 @@
 //! semiring table rather than only the benchmarked algorithms.
 
 use bitgblas_core::grb::{Context, Mask, Matrix, Op, Vector};
-use bitgblas_core::Semiring;
+use bitgblas_core::{BinaryOp, Semiring};
 
 /// The result of a Maximal Independent Set computation.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,16 +60,16 @@ pub fn maximal_independent_set(a: &Matrix, seed: u64) -> MisResult {
         );
 
         // Maximum neighbour priority via the max-times semiring (both edge
-        // directions so directed inputs behave as undirected graphs).
+        // directions so directed inputs behave as undirected graphs); the
+        // backward sweep max-folds onto the forward result through the
+        // fused accumulator instead of a separate ewise pass.
         let fwd = Op::mxv(a, &prio)
             .semiring(Semiring::MaxTimes(1.0))
             .run(&ctx);
-        let bwd = Op::mxv(a, &prio)
+        let neighbour_max = Op::mxv(a, &prio)
             .semiring(Semiring::MaxTimes(1.0))
             .transpose()
-            .run(&ctx);
-        let neighbour_max = Op::ewise_add(&fwd, &bwd)
-            .semiring(Semiring::MaxTimes(1.0))
+            .accum(BinaryOp::Max, &fwd)
             .run(&ctx);
 
         // A vertex wins the round when its priority beats every active

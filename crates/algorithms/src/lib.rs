@@ -32,9 +32,9 @@ pub use bfs::{bfs, bfs_dir, BfsResult};
 pub use cc::{connected_components, CcResult};
 pub use extras::{diameter_estimate, eccentricity, maximal_independent_set, MisResult};
 pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
-pub use sssp::{sssp, sssp_dir, SsspResult};
+pub use sssp::{sssp, sssp_dir, sssp_with, SsspResult};
 pub use tc::triangle_count;
 
-// Re-exported so algorithm callers can name a traversal direction without
-// importing bitgblas-core directly.
-pub use bitgblas_core::grb::Direction;
+// Re-exported so algorithm callers can name a traversal direction or a
+// fusion mode without importing bitgblas-core directly.
+pub use bitgblas_core::grb::{Direction, Fusion};

@@ -3,16 +3,33 @@
 //! Each iteration multiplies the rank vector by the column-stochastic
 //! adjacency matrix.  Because the Bit-GraphBLAS matrix stays binary, the
 //! out-degree normalisation cannot be folded into the matrix values; the
-//! paper instead divides each vertex's rank by its out-degree through an
-//! auxiliary `v_out_degree` vector before the `bmv_bin_full_full()` multiply.
-//! The same structure is used here: scale, multiply over the arithmetic
-//! semiring (pull direction along `Aᵀ`), add the teleport term.
+//! paper instead divides each vertex's rank by its out-degree before the
+//! `bmv_bin_full_full()` multiply, then adds the teleport term.
+//!
+//! Since PR 3 the whole iteration is **one fused expression**: the
+//! out-degree normalisation rides along as the product's input scaling, the
+//! `α·contrib + teleport + dangling` update is an affine stage folded into
+//! the same sweep, and the dangling-mass dot product is a fused
+//! chain-reduce that never materialises:
+//!
+//! ```text
+//! dangling = Op::ewise_mult(&rank, &dangling_mask).reduce().run(ctx);
+//! rank' = Op::vxm(&rank, a)
+//!     .scale_input(&inv_out_degree)
+//!     .semiring(Semiring::Arithmetic)
+//!     .affine(alpha, teleport + alpha * dangling / n)
+//!     .run(ctx);
+//! ```
+//!
+//! Under [`Fusion::NodeAtATime`] the identical expression executes one
+//! sweep per node — the baseline the `perf_suite` fused-vs-unfused rows
+//! and the parity suite compare against.
 //!
 //! The paper's evaluation fixes the configuration to at most 10 iterations,
 //! α = 0.85 and tolerance 1e-9; those are the defaults of
 //! [`PageRankConfig`].
 
-use bitgblas_core::grb::{Matrix, Op, Vector};
+use bitgblas_core::grb::{Fusion, Matrix, Op, Vector};
 use bitgblas_core::Semiring;
 
 /// PageRank parameters (paper defaults: α = 0.85, 10 iterations, ε = 1e-9).
@@ -24,6 +41,9 @@ pub struct PageRankConfig {
     pub max_iterations: usize,
     /// Early-exit tolerance on the max-norm change of the rank vector.
     pub tolerance: f32,
+    /// Whether the per-iteration expression may fuse (default: fused).
+    /// [`Fusion::NodeAtATime`] is the benchmark/parity baseline.
+    pub fusion: Fusion,
 }
 
 impl Default for PageRankConfig {
@@ -32,6 +52,7 @@ impl Default for PageRankConfig {
             alpha: 0.85,
             max_iterations: 10,
             tolerance: 1e-9,
+            fusion: Fusion::Fused,
         }
     }
 }
@@ -60,44 +81,50 @@ pub fn pagerank(a: &Matrix, config: &PageRankConfig) -> PageRankResult {
     // The matrix context's workspace recycles the per-iteration vectors.
     let ctx = a.context();
     let out_deg = a.out_degrees();
+    // 1/deg as the product's input scaling; dangling vertices (out-degree 0)
+    // scale to zero and redistribute uniformly through the dangling term.
+    let inv_deg = Vector::from_vec(
+        out_deg
+            .iter()
+            .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 })
+            .collect(),
+    );
+    let dangling_mask = Vector::from_vec(
+        out_deg
+            .iter()
+            .map(|&d| if d == 0 { 1.0 } else { 0.0 })
+            .collect(),
+    );
     let teleport = (1.0 - config.alpha) / n as f32;
 
     let mut rank = Vector::from_vec(vec![1.0 / n as f32; n]);
-    let mut scaled = Vector::zeros(n);
     let mut iterations = 0usize;
     let mut last_delta = f32::INFINITY;
 
     while iterations < config.max_iterations {
         iterations += 1;
 
-        // v_out_degree scaling: each vertex's rank divided by its out-degree;
-        // dangling vertices (out-degree 0) redistribute uniformly.  The
-        // scaled vector is rewritten in place each iteration.
-        let mut dangling = 0.0f32;
-        for (v, s) in scaled.as_mut_slice().iter_mut().enumerate() {
-            if out_deg[v] == 0 {
-                dangling += rank.get(v);
-                *s = 0.0;
-            } else {
-                *s = rank.get(v) / out_deg[v] as f32;
-            }
-        }
-
-        // contrib[v] = Σ_{u : u->v} rank[u] / deg(u)  — an arithmetic-semiring
-        // push along the adjacency matrix (mxv of the transpose).  The rank
-        // vector is dense, so Direction::Auto resolves to the pull sweep.
-        let contrib = Op::vxm(&scaled, a).semiring(Semiring::Arithmetic).run(ctx);
-
-        // rank = teleport + α·contrib + dangling share, folding the
-        // convergence delta into the same in-place pass.
+        // Dangling mass: a fused dot product (never materialised).
+        let dangling = Op::ewise_mult(&rank, &dangling_mask)
+            .fusion(config.fusion)
+            .reduce()
+            .run(ctx);
         let dangling_share = config.alpha * dangling / n as f32;
-        last_delta = 0.0f32;
-        for (r, &c) in rank.as_mut_slice().iter_mut().zip(contrib.as_slice()) {
-            let next = teleport + config.alpha * c + dangling_share;
-            last_delta = last_delta.max((next - *r).abs());
-            *r = next;
-        }
-        ctx.recycle(contrib);
+
+        // contrib[v] = Σ_{u : u->v} rank[u] / deg(u), then
+        // rank'[v] = α·contrib[v] + teleport + dangling share — one fused
+        // sweep: input scaling, arithmetic-semiring pull along the edges
+        // and the affine update all happen at the store.  The rank vector
+        // is dense, so Direction::Auto resolves to pull.
+        let next = Op::vxm(&rank, a)
+            .scale_input(&inv_deg)
+            .semiring(Semiring::Arithmetic)
+            .affine(config.alpha, teleport + dangling_share)
+            .fusion(config.fusion)
+            .run(ctx);
+
+        last_delta = next.max_abs_diff(&rank);
+        ctx.recycle(std::mem::replace(&mut rank, next));
         if last_delta <= config.tolerance {
             break;
         }
@@ -149,6 +176,32 @@ mod tests {
             let bit = pagerank(&Matrix::from_csr(&adj, Backend::Bit(ts)), &config);
             for (i, (b, f)) in bit.ranks.iter().zip(&float.ranks).enumerate() {
                 assert!((b - f).abs() < 1e-5, "{ts}: vertex {i}: {b} vs {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_and_node_at_a_time_agree_on_every_backend() {
+        let adj = generators::rmat(7, 8, 0.57, 0.19, 0.19, 23);
+        let fused_cfg = PageRankConfig {
+            max_iterations: 15,
+            ..Default::default()
+        };
+        let unfused_cfg = PageRankConfig {
+            fusion: Fusion::NodeAtATime,
+            ..fused_cfg
+        };
+        for backend in [
+            Backend::Bit(TileSize::S8),
+            Backend::Bit(TileSize::S16),
+            Backend::FloatCsr,
+        ] {
+            let m = Matrix::from_csr(&adj, backend);
+            let fused = pagerank(&m, &fused_cfg);
+            let unfused = pagerank(&m, &unfused_cfg);
+            assert_eq!(fused.iterations, unfused.iterations, "{backend:?}");
+            for (i, (a, b)) in fused.ranks.iter().zip(&unfused.ranks).enumerate() {
+                assert!((a - b).abs() < 1e-6, "{backend:?}: vertex {i}: {a} vs {b}");
             }
         }
     }

@@ -9,16 +9,31 @@
 //! until the distance vector reaches a fixpoint, which yields exactly the
 //! same distances.
 //!
+//! Since PR 3 each relaxation round is **one fused expression** with the
+//! GraphBLAS accumulator as a first-class node:
+//!
+//! ```text
+//! dist' = Op::vxm(&dist, a)
+//!     .semiring(Semiring::MinPlus(1.0))
+//!     .accum(BinaryOp::Min, &dist)      // dist = min(dist, relaxed), fused
+//!     .run(ctx)
+//! ```
+//!
+//! `min` is the min-plus monoid, so the accumulation folds into the kernel
+//! sweep itself: the pull sweep stores `min(dist[v], relaxed[v])` directly,
+//! and the push scatter seeds the output with `dist` and ⊕-folds the
+//! frontier's contributions into it — no intermediate "relaxed" vector
+//! exists in either direction.
+//!
 //! Like BFS, the relaxation is direction-optimizing: while few vertices
 //! have finite distances, [`Direction::Auto`] walks only their out-edges
 //! (push); once the reached set grows dense it switches to the pull sweep.
 //! Because min is exact under reordering, push and pull produce bit-equal
-//! distances.  The accumulate step (`dist = min(dist, relaxed)`) runs in
-//! place and the relaxed vector is recycled, so the steady-state loop is
-//! allocation-free.
+//! distances.  The inner loop is allocation-free in steady state — the
+//! distance vectors cycle through the matrix context's workspace pool.
 
-use bitgblas_core::grb::{Direction, Matrix, Op, Vector};
-use bitgblas_core::Semiring;
+use bitgblas_core::grb::{Direction, Fusion, Matrix, Op, Vector};
+use bitgblas_core::{BinaryOp, Semiring};
 
 /// The result of an SSSP run.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +60,16 @@ pub fn sssp(a: &Matrix, source: usize) -> SsspResult {
 /// # Panics
 /// Panics if `source` is out of range.
 pub fn sssp_dir(a: &Matrix, source: usize, direction: Direction) -> SsspResult {
+    sssp_with(a, source, direction, Fusion::Fused)
+}
+
+/// As [`sssp_dir`], additionally controlling whether the per-round
+/// expression may fuse ([`Fusion::NodeAtATime`] is the benchmark/parity
+/// baseline).
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn sssp_with(a: &Matrix, source: usize, direction: Direction, fusion: Fusion) -> SsspResult {
     let n = a.nrows();
     assert!(source < n, "source vertex {source} out of range (n = {n})");
 
@@ -56,22 +81,23 @@ pub fn sssp_dir(a: &Matrix, source: usize, direction: Direction) -> SsspResult {
     let mut iterations = 0usize;
     loop {
         iterations += 1;
-        // relaxed[v] = min_u (dist[u] + 1) over edges u -> v.
-        let relaxed = Op::vxm(&dist, a)
+        // dist' = min(dist, min_u (dist[u] + 1)) over edges u -> v: the
+        // relaxation and the accumulate step of the tropical semiring in a
+        // single fused sweep (keeps the source at 0 and any
+        // already-shorter paths).
+        let next = Op::vxm(&dist, a)
             .semiring(semiring)
             .direction(direction)
+            .accum(BinaryOp::Min, &dist)
+            .fusion(fusion)
             .run(ctx);
-        // dist = min(dist, relaxed) in place: the accumulate step of the
-        // tropical semiring (keeps the source at 0 and any already-shorter
-        // paths); `changed` doubles as the fixpoint test.
-        let mut changed = false;
-        for (d, &r) in dist.as_mut_slice().iter_mut().zip(relaxed.as_slice()) {
-            if r < *d {
-                *d = r;
-                changed = true;
-            }
-        }
-        ctx.recycle(relaxed);
+        // Fixpoint test: min-accumulation only ever lowers a distance.
+        let changed = next
+            .as_slice()
+            .iter()
+            .zip(dist.as_slice())
+            .any(|(n, d)| n < d);
+        ctx.recycle(std::mem::replace(&mut dist, next));
         if !changed || iterations >= n {
             break;
         }
@@ -173,6 +199,20 @@ mod tests {
             assert_eq!(push.distances, pull.distances, "{backend:?}");
             assert_eq!(auto.distances, pull.distances, "{backend:?}");
             assert_eq!(push.iterations, pull.iterations);
+        }
+    }
+
+    #[test]
+    fn fused_accumulation_equals_node_at_a_time() {
+        let adj = generators::erdos_renyi(110, 0.035, true, 9);
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let m = Matrix::from_csr(&adj, backend);
+            for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                let fused = sssp_with(&m, 3, dir, Fusion::Fused);
+                let unfused = sssp_with(&m, 3, dir, Fusion::NodeAtATime);
+                assert_eq!(fused.distances, unfused.distances, "{backend:?} {dir:?}");
+                assert_eq!(fused.iterations, unfused.iterations, "{backend:?} {dir:?}");
+            }
         }
     }
 

@@ -1,10 +1,12 @@
 //! `perf_suite` — the machine-readable performance harness.
 //!
-//! Times the BMV kernel in all three traversal directions and the five
-//! graph algorithms on a fixed synthetic corpus, and writes the results as
-//! JSON rows `{bench, backend, direction, ms, ms_min, ms_median}` so every
-//! future PR has a perf trajectory to compare against (`BENCH_PR2.json`
-//! for this PR; later PRs append `BENCH_PR<n>.json` files).
+//! Times the BMV kernel in all three traversal directions, the five graph
+//! algorithms, and — since PR 3 — the fused vs node-at-a-time execution of
+//! the PageRank/SSSP expression pipelines, on a fixed synthetic corpus.
+//! Results are written as JSON rows `{bench, backend, direction, ms,
+//! ms_min, ms_median}` so every future PR has a perf trajectory to compare
+//! against (`BENCH_PR3.json` for this PR).  Fusion mode is encoded in the
+//! bench name (`pagerank_fused/…` vs `pagerank_unfused/…`).
 //!
 //! Usage:
 //!
@@ -13,21 +15,22 @@
 //! ```
 //!
 //! * `--smoke` — one tiny graph end-to-end, for CI: proves the harness runs
-//!   and emits parseable JSON in a couple of seconds.
-//! * `--out PATH` — output path (default `BENCH_PR2.json`).
+//!   and emits parseable JSON (including the fused rows CI asserts on) in a
+//!   couple of seconds.
+//! * `--out PATH` — output path (default `BENCH_PR3.json`).
 //!
-//! The headline comparison is BFS with `Direction::Auto` vs the old
-//! always-pull path on a low-eccentricity RMAT-like graph; the suite prints
-//! the speedup summary to stdout after writing the JSON.
+//! The headline comparisons — BFS `Direction::Auto` vs always-pull, and
+//! fused vs unfused PageRank — are printed to stdout after the JSON is
+//! written.
 
 use bitgblas_bench::{time_stats_ms, TimingStats};
-use bitgblas_core::grb::{Direction, Op, Vector};
+use bitgblas_core::grb::{Direction, Fusion, Op, Vector};
 use bitgblas_core::{Backend, Matrix, Semiring, TileSize};
 use bitgblas_datagen::generators;
 use bitgblas_sparse::Csr;
 
 use bitgblas_algorithms::{
-    bfs_dir, connected_components, pagerank, sssp_dir, triangle_count, PageRankConfig,
+    bfs_dir, connected_components, pagerank, sssp_dir, sssp_with, triangle_count, PageRankConfig,
 };
 
 /// One emitted JSON row.
@@ -134,6 +137,34 @@ fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backen
     });
 }
 
+/// Time the fused vs node-at-a-time execution of the PR-3 expression
+/// pipelines: the whole PageRank run (fixed iteration count so both modes
+/// do identical work) and the SSSP relaxation loop.
+fn bench_fusion(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
+    for (mode, fusion) in [("fused", Fusion::Fused), ("unfused", Fusion::NodeAtATime)] {
+        let config = PageRankConfig {
+            max_iterations: 10,
+            tolerance: 0.0,
+            fusion,
+            ..Default::default()
+        };
+        let stats = time_stats_ms(|| pagerank(m, &config));
+        rows.push(Row {
+            bench: format!("pagerank_{mode}/{name}"),
+            backend: backend_name(backend),
+            direction: "pull".to_string(),
+            stats,
+        });
+        let stats = time_stats_ms(|| sssp_with(m, 0, Direction::Auto, fusion));
+        rows.push(Row {
+            bench: format!("sssp_{mode}/{name}"),
+            backend: backend_name(backend),
+            direction: "auto".to_string(),
+            stats,
+        });
+    }
+}
+
 /// The fixed corpus: a low-eccentricity RMAT-like power-law graph (the
 /// acceptance graph — dense hump, sparse fringe), a banded road-like graph
 /// and a 2-D grid.
@@ -158,7 +189,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
 
     let mut rows = Vec::new();
     let graphs = corpus(smoke);
@@ -172,6 +203,7 @@ fn main() {
             let m = Matrix::from_csr(adj, backend);
             bench_bmv(&mut rows, name, &m, backend);
             bench_algorithms(&mut rows, name, &m, backend);
+            bench_fusion(&mut rows, name, &m, backend);
         }
     }
 
@@ -179,23 +211,37 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {} rows to {out_path}", rows.len());
 
-    // Headline summary: BFS Auto vs the old always-pull path.
+    // Headline summaries: BFS Auto vs the old always-pull path, and the
+    // PR-3 fused vs node-at-a-time expression pipelines.
     for (name, _) in &graphs {
         for backend in ["Bit8", "FloatCsr"] {
-            let find = |dir: &str| {
+            let find = |bench: &str, dir: &str| {
                 rows.iter()
                     .find(|r| {
-                        r.bench == format!("bfs/{name}")
+                        r.bench == format!("{bench}/{name}")
                             && r.backend == backend
                             && r.direction == dir
                     })
                     .map(|r| r.stats.mean_ms)
             };
-            if let (Some(pull), Some(auto)) = (find("pull"), find("auto")) {
+            if let (Some(pull), Some(auto)) = (find("bfs", "pull"), find("bfs", "auto")) {
                 println!(
                     "bfs/{name} [{backend}]: pull {pull:.3} ms, auto {auto:.3} ms  ({:.2}x)",
                     pull / auto
                 );
+            }
+            for alg in ["pagerank", "sssp"] {
+                let dir = if alg == "pagerank" { "pull" } else { "auto" };
+                if let (Some(unfused), Some(fused)) = (
+                    find(&format!("{alg}_unfused"), dir),
+                    find(&format!("{alg}_fused"), dir),
+                ) {
+                    println!(
+                        "{alg}/{name} [{backend}]: unfused {unfused:.3} ms, fused {fused:.3} ms  \
+                         ({:.2}x)",
+                        unfused / fused
+                    );
+                }
             }
         }
     }

@@ -79,6 +79,24 @@ pub trait BitWord:
     fn iter_ones(self) -> BitIter<Self> {
         BitIter { word: self }
     }
+
+    /// Pack up to `64 / BITS` words into one `u64`: word `k` occupies bits
+    /// `[k·BITS, (k+1)·BITS)`.  This is the tile-granular load of the fused
+    /// BMV sweep — a whole 8×8 tile (or half a 16×16 one) becomes a single
+    /// word whose set bits are enumerated in one `trailing_zeros` loop,
+    /// instead of scanning the tile row-word by row-word.
+    ///
+    /// # Panics
+    /// Debug-asserts that the chunk fits (`words.len() * BITS <= 64`).
+    #[inline]
+    fn pack_chunk_u64(words: &[Self]) -> u64 {
+        debug_assert!(words.len() as u32 * Self::BITS <= 64);
+        let mut packed = 0u64;
+        for (k, &w) in words.iter().enumerate() {
+            packed |= w.to_u64() << (k as u32 * Self::BITS);
+        }
+        packed
+    }
 }
 
 /// Iterator over set-bit positions of a [`BitWord`].
@@ -212,6 +230,27 @@ mod tests {
         assert_eq!(u64::ONES.popcount(), 64);
         assert_eq!(u32::ONE.trailing_zeros(), 0);
         assert_eq!(u32::ZERO.trailing_zeros(), 32);
+    }
+
+    #[test]
+    fn pack_chunk_u64_places_each_word_at_its_offset() {
+        let bytes: [u8; 8] = [0x01, 0x02, 0x00, 0x80, 0xFF, 0x00, 0x10, 0x7E];
+        assert_eq!(u8::pack_chunk_u64(&bytes), u64::from_le_bytes(bytes));
+        // Partial chunks (B2SR-4 stores 4 words per tile).
+        assert_eq!(u8::pack_chunk_u64(&bytes[..4]), 0x8000_0201);
+        let halves: [u16; 4] = [0xBEEF, 0x0000, 0x1234, 0x8001];
+        assert_eq!(u16::pack_chunk_u64(&halves), 0x8001_1234_0000_BEEF);
+        let words: [u32; 2] = [0xDEAD_BEEF, 0x0BAD_F00D];
+        assert_eq!(u32::pack_chunk_u64(&words), 0x0BAD_F00D_DEAD_BEEF);
+        assert_eq!(u8::pack_chunk_u64(&[]), 0);
+        // Set-bit positions survive the packing: bit b of word k lands at
+        // k*BITS + b.
+        for (k, &w) in halves.iter().enumerate() {
+            for b in w.iter_ones() {
+                let packed = u16::pack_chunk_u64(&halves);
+                assert_ne!(packed & (1u64 << (k as u32 * 16 + b)), 0);
+            }
+        }
     }
 
     #[test]

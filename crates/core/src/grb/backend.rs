@@ -27,16 +27,18 @@ use bitgblas_sparse::{ops as float_ops, Csr};
 use crate::b2sr::{B2srMatrix, TileSize};
 use crate::kernels::{
     bmm_bin_bin_sum_masked, bmv_bin_bin_bin, bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked,
-    bmv_bin_bin_bin_masked_into, bmv_bin_full_full, bmv_bin_full_full_into,
-    bmv_bin_full_full_masked, bmv_bin_full_full_masked_into, bmv_push_bin_bin, bmv_push_bin_full,
-    pack_vector_bits, pack_vector_bits_into, pack_vector_tilewise, pack_vector_tilewise_into,
-    unpack_vector_bits,
+    bmv_bin_bin_bin_masked_into, bmv_bin_full_full, bmv_bin_full_full_fused_into,
+    bmv_bin_full_full_into, bmv_bin_full_full_masked, bmv_bin_full_full_masked_into,
+    bmv_push_bin_bin, bmv_push_bin_full, pack_vector_bits, pack_vector_bits_into,
+    pack_vector_tilewise, pack_vector_tilewise_into, unpack_vector_bits,
 };
-use crate::semiring::Semiring;
+use crate::semiring::{BinaryOp, Semiring};
 
 use super::descriptor::Mask;
 use super::ewise;
+use super::expr::Stage;
 use super::matrix::Backend;
+use super::plan::{self, MxvPipeline};
 use super::workspace::Workspace;
 
 /// A storage format plus the kernel family implementing every GraphBLAS
@@ -167,6 +169,43 @@ pub trait GrbBackend: std::fmt::Debug + Send + Sync {
     ) {
         let _ = frontier;
         self.vxm_into(x, semiring, mask, transpose, ws, out);
+    }
+
+    /// Execute one fused matrix-vector pipeline (PR 3, GraphBLAS
+    /// non-blocking mode): the planner hands the backend a whole
+    /// `mxv → stages → accum` chain ([`MxvPipeline`]) and the backend runs
+    /// it in as few sweeps as its storage allows.  The store semantics are
+    /// defined by [`MxvPipeline::finish`]; the planner only emits shapes it
+    /// proved fusable (see `grb::plan`).
+    ///
+    /// The default decomposes into the node-at-a-time entry points — the
+    /// product sweep, then the collapsed epilogue as one pass — so external
+    /// backends stay correct without opting in.  Built-in backends override
+    /// with single-sweep kernels whose semiring is dispatched once per call
+    /// instead of once per edge.
+    fn mxv_fused_into(&self, p: &MxvPipeline<'_>, ws: &Workspace, out: &mut Vec<f32>) {
+        match p.frontier {
+            Some(frontier) => {
+                self.mxv_push_into(p.x, frontier, p.semiring, p.mask, p.transpose, ws, out)
+            }
+            None => self.mxv_into(p.x, p.semiring, p.mask, p.transpose, ws, out),
+        }
+        p.finish_in_place(out);
+    }
+
+    /// Run a collapsed element-wise chain (`out[i] = w[i] ⊕
+    /// stages(out[i])`) in place — the planner's entry point for ewise
+    /// chains and for the epilogue of partially-fused push pipelines.  The
+    /// default is the shared serial sweep; built-in backends parallelise
+    /// long vectors, and a future bit-packed frontier backend could operate
+    /// on words.
+    fn ewise_chain_into(
+        &self,
+        stages: &[Stage<'_>],
+        accum: Option<(BinaryOp, &[f32])>,
+        out: &mut [f32],
+    ) {
+        plan::run_chain_in_place(stages, accum, out);
     }
 
     /// `Σ_{(i,j) ∈ mask} (A · B)[i][j]` over the arithmetic semiring — the
@@ -529,6 +568,94 @@ impl GrbBackend for BitB2sr {
         self.mxv_push_into(x, frontier, semiring, mask, !transpose, ws, out);
     }
 
+    fn mxv_fused_into(&self, p: &MxvPipeline<'_>, ws: &Workspace, out: &mut Vec<f32>) {
+        match p.frontier {
+            Some(frontier) => {
+                // Push scatter.  Full-precision pipelines with a foldable
+                // accumulator seed the output with the baseline and let the
+                // scatter ⊕-fold straight into it; everything else —
+                // including every Boolean pipeline, whose `Or` would
+                // normalise the seeded baseline (`push_folds_accum` excludes
+                // it) and whose packed word scatter could not carry one
+                // anyway — scatters from the identity and runs the collapsed
+                // epilogue over the expansion.
+                if p.push_folds_accum() {
+                    let b2sr = if p.transpose {
+                        &self.b2sr
+                    } else {
+                        self.b2sr_t()
+                    };
+                    let (op, base) = p.accum.expect("push_folds_accum implies accum");
+                    debug_assert!(op.matches_monoid(p.semiring));
+                    out.clear();
+                    out.extend_from_slice(base);
+                    macro_rules! run {
+                        ($m:expr) => {{
+                            let m = $m;
+                            match p.mask {
+                                Some(mk) => bmv_push_bin_full(
+                                    m,
+                                    p.x,
+                                    frontier,
+                                    p.semiring,
+                                    |j| mk.allows(j),
+                                    out,
+                                ),
+                                None => {
+                                    bmv_push_bin_full(m, p.x, frontier, p.semiring, |_| true, out)
+                                }
+                            }
+                        }};
+                    }
+                    match b2sr {
+                        B2srMatrix::B4(m) => run!(m),
+                        B2srMatrix::B8(m) => run!(m),
+                        B2srMatrix::B16(m) => run!(m),
+                        B2srMatrix::B32(m) => run!(m),
+                    }
+                } else {
+                    self.mxv_push_into(p.x, frontier, p.semiring, p.mask, p.transpose, ws, out);
+                    p.finish_in_place(out);
+                }
+            }
+            None => {
+                if p.semiring == Semiring::Boolean {
+                    // The packed bin/bin/bin kernel is the fast Boolean pull
+                    // path; the collapsed epilogue runs over the expansion.
+                    self.mxv_into(p.x, p.semiring, p.mask, p.transpose, ws, out);
+                    p.finish_in_place(out);
+                } else {
+                    // Full-precision pull: one tile-granular sweep with the
+                    // semiring and the epilogue both dispatched once per
+                    // call (see `bmv_bin_full_full_fused_into`).
+                    let b2sr = if p.transpose {
+                        self.b2sr_t()
+                    } else {
+                        &self.b2sr
+                    };
+                    plan::dispatch_finish(
+                        p,
+                        BitPullSink {
+                            b2sr,
+                            semiring: p.semiring,
+                            x: p.x,
+                            out,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn ewise_chain_into(
+        &self,
+        stages: &[Stage<'_>],
+        accum: Option<(BinaryOp, &[f32])>,
+        out: &mut [f32],
+    ) {
+        plan::run_chain_in_place_parallel(stages, accum, out);
+    }
+
     fn mxm_reduce_masked(&self, b: &dyn GrbBackend, mask: &dyn GrbBackend) -> f64 {
         // The one-call bit path needs all three operands in B2SR with the
         // same tile size; anything else goes through the CSR fallback.
@@ -569,6 +696,99 @@ impl GrbBackend for BitB2sr {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+}
+
+/// [`FinishSink`](plan::FinishSink) for the FloatCsr fused pull sweep: one
+/// pass over the rows with the semiring dispatched **once per call** — each
+/// semiring gets a monomorphised gather loop — and the pipeline epilogue
+/// (handed in by [`plan::dispatch_finish`], itself monomorphised for the
+/// common shapes) folded into the store.
+struct CsrPullSink<'a, 'b> {
+    csr: &'a Csr,
+    semiring: Semiring,
+    x: &'a [f32],
+    mask: Option<&'a Mask>,
+    out: &'b mut [f32],
+}
+
+impl plan::FinishSink for CsrPullSink<'_, '_> {
+    fn run<Fin: Fn(usize, f32) -> f32 + Sync>(self, fin: Fin) {
+        use rayon::prelude::*;
+        let (csr, x, mask, out) = (self.csr, self.x, self.mask, self.out);
+        macro_rules! sweep {
+            ($identity:expr, $combine:expr, $reduce:expr) => {{
+                let identity: f32 = $identity;
+                let combine = $combine;
+                let reduce = $reduce;
+                out.par_iter_mut().enumerate().for_each(|(r, slot)| {
+                    let masked = match mask {
+                        Some(m) => !m.allows(r),
+                        None => false,
+                    };
+                    let raw = if masked {
+                        identity
+                    } else {
+                        let (cols, _) = csr.row(r);
+                        let mut acc = identity;
+                        for &c in cols {
+                            acc = reduce(acc, combine(x[c]));
+                        }
+                        acc
+                    };
+                    *slot = fin(r, raw);
+                });
+            }};
+        }
+        match self.semiring {
+            Semiring::Arithmetic => sweep!(0.0, |v: f32| v, |acc: f32, v: f32| acc + v),
+            Semiring::Boolean => sweep!(
+                0.0,
+                |v: f32| if v != 0.0 { 1.0 } else { 0.0 },
+                |acc: f32, v: f32| {
+                    if acc != 0.0 || v != 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            ),
+            Semiring::MinPlus(w) => sweep!(f32::INFINITY, move |v: f32| v + w, f32::min),
+            Semiring::MaxTimes(w) => sweep!(f32::NEG_INFINITY, move |v: f32| v * w, f32::max),
+        }
+    }
+}
+
+/// [`FinishSink`](plan::FinishSink) for the BitB2sr fused pull sweep:
+/// dispatches the four B2SR variants into the tile-granular
+/// [`bmv_bin_full_full_fused_into`] kernel.  The mask (when present) rides
+/// inside the finishing closure — the bit sweep computes every row's raw
+/// value regardless, exactly like the eager masked bit kernels.
+struct BitPullSink<'a, 'b> {
+    b2sr: &'a B2srMatrix,
+    semiring: Semiring,
+    x: &'a [f32],
+    out: &'b mut Vec<f32>,
+}
+
+impl plan::FinishSink for BitPullSink<'_, '_> {
+    fn run<Fin: Fn(usize, f32) -> f32 + Sync>(self, fin: Fin) {
+        let out = self.out;
+        macro_rules! run {
+            ($m:expr) => {{
+                let m = $m;
+                out.clear();
+                out.resize(m.n_tile_rows() * m.tile_dim(), 0.0);
+                bmv_bin_full_full_fused_into(m, self.x, self.semiring, fin, out);
+                out.truncate(m.nrows());
+            }};
+        }
+        match self.b2sr {
+            B2srMatrix::B4(m) => run!(m),
+            B2srMatrix::B8(m) => run!(m),
+            B2srMatrix::B16(m) => run!(m),
+            B2srMatrix::B32(m) => run!(m),
+        }
     }
 }
 
@@ -758,6 +978,52 @@ impl GrbBackend for FloatCsr {
         self.mxv_push_into(x, frontier, semiring, mask, !transpose, ws, out);
     }
 
+    fn mxv_fused_into(&self, p: &MxvPipeline<'_>, _ws: &Workspace, out: &mut Vec<f32>) {
+        match p.frontier {
+            Some(frontier) => {
+                // Scatter walks rows of the opposite representation from the
+                // pull sweep.  A monoid accumulator seeds the output with
+                // the baseline and ⊕-folds straight into it; otherwise the
+                // collapsed epilogue runs as one pass after the scatter.
+                let csr = if p.transpose { &self.csr } else { self.csr_t() };
+                out.clear();
+                if p.push_folds_accum() {
+                    let (_, base) = p.accum.expect("push_folds_accum implies accum");
+                    out.extend_from_slice(base);
+                    Self::float_push_into(csr, p.x, frontier, p.semiring, p.mask, out);
+                } else {
+                    out.resize(csr.ncols(), p.semiring.identity());
+                    Self::float_push_into(csr, p.x, frontier, p.semiring, p.mask, out);
+                    p.finish_in_place(out);
+                }
+            }
+            None => {
+                let csr = if p.transpose { self.csr_t() } else { &self.csr };
+                out.clear();
+                out.resize(csr.nrows(), 0.0);
+                plan::dispatch_finish(
+                    p,
+                    CsrPullSink {
+                        csr,
+                        semiring: p.semiring,
+                        x: p.x,
+                        mask: p.mask,
+                        out,
+                    },
+                );
+            }
+        }
+    }
+
+    fn ewise_chain_into(
+        &self,
+        stages: &[Stage<'_>],
+        accum: Option<(BinaryOp, &[f32])>,
+        out: &mut [f32],
+    ) {
+        plan::run_chain_in_place_parallel(stages, accum, out);
+    }
+
     fn mxm_reduce_masked(&self, b: &dyn GrbBackend, mask: &dyn GrbBackend) -> f64 {
         csr_mxm_reduce_masked(self, b, mask)
     }
@@ -833,6 +1099,48 @@ mod tests {
         let via_vxm = b.vxm(&x, Semiring::Arithmetic, None, false);
         let via_mxv_t = b.mxv(&x, Semiring::Arithmetic, None, true);
         assert_eq!(via_vxm, via_mxv_t);
+    }
+
+    /// Direct coverage of the `csr_mxm_reduce_masked` fallback: every
+    /// mixed-backend operand combination must produce the same triangle sum
+    /// as the pure bit path, straight through the free function (not just
+    /// incidentally via TC parity runs).
+    #[test]
+    fn csr_fallback_is_exact_for_every_mixed_operand_combination() {
+        let adj = sample(72, 21).symmetrized().without_diagonal();
+        let l = adj.lower_triangle();
+        let lt = l.transpose();
+
+        let a_bit = BitB2sr::new(&l, TileSize::S8);
+        let b_bit = BitB2sr::new(&lt, TileSize::S8);
+        let m_bit = BitB2sr::new(&l, TileSize::S8);
+        let a_f = FloatCsr::new(&l);
+        let b_f = FloatCsr::new(&lt);
+        let m_f = FloatCsr::new(&l);
+
+        // The pure bit path (popcount BMM) is the reference.
+        let expected = a_bit.mxm_reduce_masked(&b_bit, &m_bit);
+        assert!(expected > 0.0, "sample graph must contain triangles");
+
+        let combos: [(&dyn GrbBackend, &dyn GrbBackend, &dyn GrbBackend, &str); 5] = [
+            (&a_f, &b_f, &m_f, "float/float/float"),
+            (&a_bit, &b_f, &m_f, "bit/float/float"),
+            (&a_f, &b_bit, &m_f, "float/bit/float"),
+            (&a_f, &b_f, &m_bit, "float/float/bit"),
+            (&a_bit, &b_bit, &m_f, "bit/bit/float"),
+        ];
+        for (a, b, m, what) in combos {
+            assert_eq!(
+                csr_mxm_reduce_masked(a, b, m),
+                expected,
+                "fallback diverges for {what}"
+            );
+        }
+
+        // The trait entry point routes mixed operands through the fallback
+        // and must agree too.
+        assert_eq!(a_bit.mxm_reduce_masked(&b_f, &m_bit), expected);
+        assert_eq!(a_f.mxm_reduce_masked(&b_bit, &m_bit), expected);
     }
 
     #[test]

@@ -1,17 +1,18 @@
-//! Element-wise GraphBLAS operations on vectors.
+//! Element-wise slice helpers behind the GrB layer.
 //!
 //! GraphBLAS algorithms interleave the matrix products with element-wise
 //! scalar updates of the frontier/result vectors (the "several element-wise
 //! scalar operations" per iteration the paper mentions in §VI-E).  The slice
 //! helpers here are the shared implementations behind the
-//! [`GrbBackend`](super::GrbBackend) default methods and the
-//! [`Op`](super::Op) builders; the old free functions remain as deprecated
-//! shims.
+//! [`GrbBackend`](super::GrbBackend) default methods; user-facing
+//! element-wise operations go through the lazy chain builders of
+//! [`Op`](super::Op) (`Op::ewise_add(&a, &b).apply(&f).run(&ctx)`), which
+//! collapse whole chains into one sweep.  The pre-0.2 deprecated
+//! free functions were removed in PR 3.
 
 use crate::semiring::Semiring;
 
 use super::descriptor::Mask;
-use super::op::{Context, Op};
 use super::vector::Vector;
 
 /// `out[i] = a[i] ⊕ b[i]` over raw slices (the shared implementation).
@@ -54,40 +55,6 @@ pub(crate) fn ewise_mult_into(a: &[f32], b: &[f32], semiring: Semiring, out: &mu
     }));
 }
 
-/// Element-wise "addition": `out[i] = a[i] ⊕ b[i]` with the additive monoid
-/// of the semiring (sum, min, max or logical OR).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Op::ewise_add(&a, &b).semiring(s).run(&ctx)`"
-)]
-pub fn ewise_add(a: &Vector, b: &Vector, semiring: Semiring) -> Vector {
-    assert_eq!(a.len(), b.len(), "ewise_add requires equal lengths");
-    Op::ewise_add(a, b)
-        .semiring(semiring)
-        .run(&Context::default())
-}
-
-/// Element-wise "multiplication": `out[i] = a[i] ⊗ b[i]`.  For the
-/// arithmetic semiring this is the Hadamard product; for min-plus it adds
-/// the two operands; for Boolean it is a logical AND.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Op::ewise_mult(&a, &b).semiring(s).run(&ctx)`"
-)]
-pub fn ewise_mult(a: &Vector, b: &Vector, semiring: Semiring) -> Vector {
-    assert_eq!(a.len(), b.len(), "ewise_mult requires equal lengths");
-    Op::ewise_mult(a, b)
-        .semiring(semiring)
-        .run(&Context::default())
-}
-
-/// Apply a unary function to every entry: `out[i] = f(a[i])` (GraphBLAS
-/// `apply`).
-#[deprecated(since = "0.2.0", note = "use `Op::apply(&a, f).run(&ctx)`")]
-pub fn apply<F: Fn(f32) -> f32>(a: &Vector, f: F) -> Vector {
-    Op::apply(a, f).run(&Context::default())
-}
-
 /// Masked assignment: copy `src[i]` into `dst[i]` wherever the mask allows
 /// it, leaving the other positions untouched (GraphBLAS `assign` with a
 /// mask and no replace).
@@ -100,66 +67,48 @@ pub fn assign_masked(dst: &mut Vector, src: &Vector, mask: &Mask) {
     }
 }
 
-/// Select the entries that satisfy a predicate, producing an indicator
-/// vector (1.0 where the predicate holds) — GraphBLAS `select` specialised
-/// to the uses in the algorithms (frontier extraction).
-#[deprecated(since = "0.2.0", note = "use `Op::select(&a, pred).run(&ctx)`")]
-pub fn select<F: Fn(f32) -> bool>(a: &Vector, pred: F) -> Vector {
-    Op::select(a, pred).run(&Context::default())
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
-    fn ewise_add_uses_the_additive_monoid() {
-        let a = Vector::from_vec(vec![1.0, 5.0, f32::INFINITY]);
-        let b = Vector::from_vec(vec![2.0, 3.0, 4.0]);
+    fn ewise_add_slices_use_the_additive_monoid() {
+        let a = [1.0, 5.0, f32::INFINITY];
+        let b = [2.0, 3.0, 4.0];
         assert_eq!(
-            ewise_add(&a, &b, Semiring::Arithmetic).as_slice(),
-            &[3.0, 8.0, f32::INFINITY]
+            ewise_add_slices(&a, &b, Semiring::Arithmetic),
+            vec![3.0, 8.0, f32::INFINITY]
         );
         assert_eq!(
-            ewise_add(&a, &b, Semiring::MinPlus(1.0)).as_slice(),
-            &[1.0, 3.0, 4.0]
+            ewise_add_slices(&a, &b, Semiring::MinPlus(1.0)),
+            vec![1.0, 3.0, 4.0]
         );
         assert_eq!(
-            ewise_add(&a, &b, Semiring::MaxTimes(1.0)).as_slice(),
-            &[2.0, 5.0, f32::INFINITY]
-        );
-        let bools = ewise_add(
-            &Vector::from_vec(vec![0.0, 1.0, 0.0]),
-            &Vector::from_vec(vec![0.0, 0.0, 2.0]),
-            Semiring::Boolean,
-        );
-        assert_eq!(bools.as_slice(), &[0.0, 1.0, 1.0]);
-    }
-
-    #[test]
-    fn ewise_mult_follows_the_multiplicative_op() {
-        let a = Vector::from_vec(vec![2.0, 0.0, 3.0]);
-        let b = Vector::from_vec(vec![4.0, 5.0, 0.5]);
-        assert_eq!(
-            ewise_mult(&a, &b, Semiring::Arithmetic).as_slice(),
-            &[8.0, 0.0, 1.5]
+            ewise_add_slices(&a, &b, Semiring::MaxTimes(1.0)),
+            vec![2.0, 5.0, f32::INFINITY]
         );
         assert_eq!(
-            ewise_mult(&a, &b, Semiring::MinPlus(0.0)).as_slice(),
-            &[6.0, 5.0, 3.5]
-        );
-        assert_eq!(
-            ewise_mult(&a, &b, Semiring::Boolean).as_slice(),
-            &[1.0, 0.0, 1.0]
+            ewise_add_slices(&[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0], Semiring::Boolean),
+            vec![0.0, 1.0, 1.0]
         );
     }
 
     #[test]
-    fn apply_and_select() {
-        let a = Vector::from_vec(vec![1.0, -2.0, 3.0]);
-        assert_eq!(apply(&a, f32::abs).as_slice(), &[1.0, 2.0, 3.0]);
-        assert_eq!(select(&a, |x| x > 0.0).as_slice(), &[1.0, 0.0, 1.0]);
+    fn ewise_mult_slices_follow_the_multiplicative_op() {
+        let a = [2.0, 0.0, 3.0];
+        let b = [4.0, 5.0, 0.5];
+        assert_eq!(
+            ewise_mult_slices(&a, &b, Semiring::Arithmetic),
+            vec![8.0, 0.0, 1.5]
+        );
+        assert_eq!(
+            ewise_mult_slices(&a, &b, Semiring::MinPlus(0.0)),
+            vec![6.0, 5.0, 3.5]
+        );
+        assert_eq!(
+            ewise_mult_slices(&a, &b, Semiring::Boolean),
+            vec![1.0, 0.0, 1.0]
+        );
     }
 
     #[test]
@@ -173,11 +122,5 @@ mod tests {
         let complemented = Mask::complemented(vec![true, false, true, false]);
         assign_masked(&mut dst, &src, &complemented);
         assert_eq!(dst.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
-    }
-
-    #[test]
-    #[should_panic(expected = "equal lengths")]
-    fn length_mismatch_panics() {
-        let _ = ewise_add(&Vector::zeros(2), &Vector::zeros(3), Semiring::Arithmetic);
     }
 }

@@ -1,0 +1,295 @@
+//! The lazy expression IR behind the `Op` builders (GraphBLAS non-blocking
+//! mode).
+//!
+//! Since PR 3 the builder methods of [`Op`](super::Op) no longer execute
+//! anything: they assemble an [`Expr`] — a small chain-shaped expression
+//! graph — and nothing runs until `.run(&ctx)` /
+//! [`Context::evaluate`](super::Context::evaluate) hands the graph to the
+//! planner in [`super::plan`], which pattern-matches fusable chains and emits
+//! fused kernel calls.
+//!
+//! # Shape of the IR
+//!
+//! An expression is a *chain*: one [`Producer`] (a leaf vector or a
+//! matrix-vector product with its mask/descriptor/input-scaling), followed by
+//! up to [`MAX_STAGES`] element-wise [`Stage`]s (apply / select / affine /
+//! ewise-with-a-leaf), optionally terminated by a GraphBLAS accumulator
+//! (`w ⊕= t`, [`Expr::accum`]).  Chains cover every fusable pattern the
+//! algorithms produce — mxv+mask+accum, apply/select folded into a consuming
+//! ewise pass, collapsed ewise chains — while staying **allocation-free**:
+//! the stage list is an inline array of references, never a boxed tree, so
+//! building and evaluating an expression in an algorithm's inner loop puts
+//! nothing on the heap.  Operations whose operands are themselves unevaluated
+//! expressions (e.g. an ewise of two matrix products) are expressed as two
+//! chains evaluated in sequence; the planner's node-at-a-time fallback keeps
+//! the semantics of any chain identical whether or not it fuses.
+//!
+//! # Semantics
+//!
+//! Evaluating a chain is *defined* by its unfused (node-at-a-time)
+//! execution:
+//!
+//! 1. `t = producer` — the masked matrix product (masked-out positions hold
+//!    the semiring identity) or a copy of the leaf;
+//! 2. each stage transforms `t` element-wise, in order;
+//! 3. with an accumulator `(⊕, w)`: `out[i] = w[i] ⊕ t[i]`, else `out = t`.
+//!
+//! The planner may only fuse a chain into fewer sweeps when the fused kernel
+//! provably produces the same result (see [`super::plan`] for the rules);
+//! [`Fusion::NodeAtATime`] forces the fallback, which the parity suite and
+//! the perf harness use to compare both paths.
+
+use crate::semiring::{BinaryOp, Semiring};
+
+use super::descriptor::{Descriptor, Mask};
+use super::matrix::Matrix;
+use super::vector::Vector;
+
+/// Maximum number of element-wise stages one expression chain can carry.
+///
+/// The capacity is fixed (stages are stored inline) so that building an
+/// expression never allocates; algorithm inner loops need 1–3 stages.
+pub const MAX_STAGES: usize = 8;
+
+/// Whether the planner may fuse an expression into combined kernel sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fusion {
+    /// Fuse whenever a matching fused kernel exists (the default).
+    #[default]
+    Fused,
+    /// Execute one node per sweep — the reference semantics.  Used by the
+    /// parity tests and the fused-vs-unfused benchmark rows.
+    NodeAtATime,
+}
+
+/// One element-wise stage of an expression chain.
+///
+/// Stages transform the chain's running value `acc` at position `i`.  The
+/// closure-carrying variants hold `Sync` references so fused kernels can run
+/// them from parallel sweeps; pass closures by reference (`.apply(&f)`) so
+/// the expression stays allocation-free.
+#[derive(Clone, Copy)]
+pub enum Stage<'a> {
+    /// `acc = mul · acc + add` — the fusion-friendly form of the affine
+    /// `apply`s the algorithms use (PageRank's `α·contrib + teleport`).
+    Affine {
+        /// Multiplier.
+        mul: f32,
+        /// Addend.
+        add: f32,
+    },
+    /// `acc = f(acc)` (GraphBLAS `apply`).
+    Apply(&'a (dyn Fn(f32) -> f32 + Sync)),
+    /// `acc = 1.0 if pred(acc) else 0.0` (GraphBLAS `select`).
+    Select(&'a (dyn Fn(f32) -> bool + Sync)),
+    /// `acc = op(acc, operand[i])` — one collapsed ewise link.
+    Ewise {
+        /// The element-wise operator.
+        op: BinaryOp,
+        /// The second operand.
+        operand: &'a [f32],
+    },
+}
+
+impl Stage<'_> {
+    /// Evaluate this stage at position `i` with running value `acc`.
+    #[inline]
+    pub fn eval(&self, i: usize, acc: f32) -> f32 {
+        match self {
+            Stage::Affine { mul, add } => mul * acc + add,
+            Stage::Apply(f) => f(acc),
+            Stage::Select(pred) => {
+                if pred(acc) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Stage::Ewise { op, operand } => op.apply(acc, operand[i]),
+        }
+    }
+}
+
+impl std::fmt::Debug for Stage<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Affine { mul, add } => write!(f, "Affine({mul}·x + {add})"),
+            Stage::Apply(_) => f.write_str("Apply(fn)"),
+            Stage::Select(_) => f.write_str("Select(pred)"),
+            Stage::Ewise { op, operand } => write!(f, "Ewise({op:?}, [..{}])", operand.len()),
+        }
+    }
+}
+
+/// The root of an expression chain: what produces the initial value vector.
+#[derive(Debug, Clone, Copy)]
+pub enum Producer<'a> {
+    /// An already-materialized vector (copied into the chain's output).
+    Leaf(&'a Vector),
+    /// A matrix-vector product over a semiring, with the full descriptor
+    /// surface of the eager API.
+    Mxv {
+        /// The matrix operand.
+        a: &'a Matrix,
+        /// The vector operand.
+        x: &'a Vector,
+        /// The semiring of the product.
+        semiring: Semiring,
+        /// Optional output mask (masked-out positions produce the semiring
+        /// identity, exactly like the eager masked kernels).
+        mask: Option<&'a Mask>,
+        /// Descriptor switches (transpose, direction, fusion).
+        desc: Descriptor,
+        /// `true` for the `vxm` orientation (`y = x ⊕.⊗ A`).
+        flip: bool,
+        /// Optional input scaling: the operand is read as `x[i] · scale[i]`
+        /// (PageRank's out-degree normalisation, folded into the product
+        /// instead of materialising a scaled copy through the API).
+        scale: Option<&'a Vector>,
+    },
+}
+
+/// A lazy expression chain: producer → element-wise stages → accumulator.
+///
+/// Built by the [`Op`](super::Op) builders; evaluated by
+/// [`Context::evaluate`](super::Context::evaluate) (or the builders'
+/// `.run(&ctx)` shorthand) through the planner.  `Expr` is `Copy` and holds
+/// only references — constructing one allocates nothing.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "expressions do nothing until run(&ctx) / ctx.evaluate(..)"]
+pub struct Expr<'a> {
+    pub(crate) producer: Producer<'a>,
+    /// Inline stage storage; only the first `n_stages` slots are live (the
+    /// rest hold identity-affine fillers so the array stays `Copy`).
+    stages: [Stage<'a>; MAX_STAGES],
+    n_stages: usize,
+    pub(crate) accum: Option<(BinaryOp, &'a Vector)>,
+    fusion: Fusion,
+}
+
+/// The inert filler stage unused slots hold.
+const IDENTITY_STAGE: Stage<'static> = Stage::Affine { mul: 1.0, add: 0.0 };
+
+impl<'a> Expr<'a> {
+    /// A chain whose producer is an existing vector.
+    pub fn leaf(v: &'a Vector) -> Self {
+        Self::from_producer(Producer::Leaf(v))
+    }
+
+    /// A chain rooted at the given producer (used by the builders).
+    pub(crate) fn from_producer(producer: Producer<'a>) -> Self {
+        Expr {
+            producer,
+            stages: [IDENTITY_STAGE; MAX_STAGES],
+            n_stages: 0,
+            accum: None,
+            fusion: Fusion::Fused,
+        }
+    }
+
+    /// Set whether the planner may fuse this chain.
+    pub fn set_fusion(&mut self, fusion: Fusion) {
+        self.fusion = fusion;
+    }
+
+    /// Whether the planner may fuse this chain.
+    pub fn fusion(&self) -> Fusion {
+        self.fusion
+    }
+
+    /// Append an element-wise stage to the chain.
+    ///
+    /// # Panics
+    /// Panics when the chain already holds [`MAX_STAGES`] stages.
+    pub fn push_stage(&mut self, stage: Stage<'a>) {
+        assert!(
+            self.n_stages < MAX_STAGES,
+            "expression chain exceeds {MAX_STAGES} stages; evaluate intermediate results"
+        );
+        self.stages[self.n_stages] = stage;
+        self.n_stages += 1;
+    }
+
+    /// Terminate the chain with a GraphBLAS accumulator: the evaluated
+    /// result becomes `out[i] = w[i] ⊕ t[i]`.
+    pub fn set_accum(&mut self, op: BinaryOp, w: &'a Vector) {
+        self.accum = Some((op, w));
+    }
+
+    /// The chain's element-wise stages, in evaluation order.
+    pub fn stages(&self) -> &[Stage<'a>] {
+        &self.stages[..self.n_stages]
+    }
+
+    /// Number of element-wise stages in the chain.
+    pub fn n_stages(&self) -> usize {
+        self.n_stages
+    }
+}
+
+/// Run every stage in order at position `i`, starting from `acc`.
+#[inline]
+pub fn eval_stages(stages: &[Stage<'_>], i: usize, mut acc: f32) -> f32 {
+    for s in stages {
+        acc = s.eval(i, acc);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_evaluate_in_order() {
+        let operand = [10.0f32, 20.0, 30.0];
+        let double = |v: f32| v * 2.0;
+        let v = Vector::zeros(3);
+        let mut e = Expr::leaf(&v);
+        e.push_stage(Stage::Apply(&double));
+        e.push_stage(Stage::Affine { mul: 1.0, add: 3.0 });
+        e.push_stage(Stage::Ewise {
+            op: BinaryOp::Plus,
+            operand: &operand,
+        });
+        // (1.0·2 + 3) + operand[1] = 25.0
+        assert_eq!(eval_stages(e.stages(), 1, 1.0), 25.0);
+        assert_eq!(e.n_stages(), 3);
+    }
+
+    #[test]
+    fn select_and_affine_stage_eval() {
+        let pos = |v: f32| v > 0.5;
+        assert_eq!(Stage::Select(&pos).eval(0, 0.7), 1.0);
+        assert_eq!(Stage::Select(&pos).eval(0, 0.2), 0.0);
+        assert_eq!(Stage::Affine { mul: 2.0, add: 1.0 }.eval(9, 3.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn chain_capacity_is_enforced() {
+        let v = Vector::zeros(1);
+        let mut e = Expr::leaf(&v);
+        for _ in 0..=MAX_STAGES {
+            e.push_stage(Stage::Affine { mul: 1.0, add: 0.0 });
+        }
+    }
+
+    #[test]
+    fn debug_formatting_is_total() {
+        let v = Vector::zeros(2);
+        let f = |v: f32| v;
+        let p = |_: f32| true;
+        let operand = [0.0f32; 2];
+        let mut e = Expr::leaf(&v);
+        e.push_stage(Stage::Apply(&f));
+        e.push_stage(Stage::Select(&p));
+        e.push_stage(Stage::Ewise {
+            op: BinaryOp::Min,
+            operand: &operand,
+        });
+        let s = format!("{e:?}");
+        assert!(s.contains("Apply"), "{s}");
+        assert!(s.contains("Select"), "{s}");
+    }
+}

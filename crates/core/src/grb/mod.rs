@@ -20,27 +20,45 @@
 //!   Table-V pattern classifier, the Algorithm-1 sampling profile and the
 //!   memory-traffic model (see [`auto`]).
 //!
-//! Operations are assembled with the builder API of [`op`] and executed
-//! against a [`Context`]:
+//! # Lazy expressions and fusion (GraphBLAS non-blocking mode)
+//!
+//! Operations are assembled with the builder API of [`op`], but the
+//! builders are **lazy**: each call grows an expression chain
+//! ([`expr::Expr`]) and nothing executes until `.run(&ctx)` /
+//! [`Context::evaluate`] hands the chain to the planner ([`plan`]):
 //!
 //! ```text
-//! Op::mxv(&a, &x).semiring(s).mask(&m).desc(d).run(&ctx)
+//! Op::vxm(&rank, &a)                 // lazy: builds an Expr…
+//!     .scale_input(&inv_deg)
+//!     .semiring(Semiring::Arithmetic)
+//!     .affine(alpha, teleport)
+//!     .accum(BinaryOp::Plus, &w)     // GraphBLAS accumulator, first-class
+//!     .run(&ctx)                     // …planned + fused here
 //! ```
+//!
+//! The planner pattern-matches fusable shapes — mxv+mask+accum into one
+//! masked kernel sweep, apply/select folded into the consuming ewise pass,
+//! ewise chains collapsed into a single loop — and emits fused calls
+//! through [`GrbBackend::mxv_fused_into`] / [`GrbBackend::ewise_chain_into`].
+//! Unfusable shapes (and [`expr::Fusion::NodeAtATime`]) fall back to
+//! node-at-a-time execution, so semantics never depend on what fused.
+//! Fused pipelines draw all scratch from the context's [`Workspace`] pool
+//! and allocate nothing in steady state.
 //!
 //! `bitgblas-algorithms` writes each graph algorithm once against this API
 //! and the benchmarks toggle the backend, exactly as the paper compares
-//! Bit-GraphBLAS to GraphBLAST.  The pre-0.2 free functions (`mxv`, `vxm`,
-//! `mxm_reduce_masked`, `reduce`, the `ewise` family) remain available as
-//! deprecated shims.
+//! Bit-GraphBLAS to GraphBLAST.  (The pre-0.2 free-function shims were
+//! removed in PR 3; the builders are the only entry point.)
 
 pub mod auto;
 pub mod backend;
 pub mod descriptor;
 pub mod direction;
 pub mod ewise;
+pub mod expr;
 pub mod matrix;
 pub mod op;
-pub mod ops;
+pub mod plan;
 pub mod vector;
 pub mod workspace;
 
@@ -49,11 +67,9 @@ pub use backend::{BitB2sr, FloatCsr, GrbBackend};
 pub use descriptor::{Descriptor, Mask};
 pub use direction::{choose_direction, scatter_penalty, Direction};
 pub use ewise::assign_masked;
-#[allow(deprecated)]
-pub use ewise::{apply, ewise_add, ewise_mult, select};
+pub use expr::{Expr, Fusion, Stage, MAX_STAGES};
 pub use matrix::{Backend, Matrix};
 pub use op::{Context, Op};
-#[allow(deprecated)]
-pub use ops::{mxm_reduce_masked, mxv, reduce, vxm};
+pub use plan::MxvPipeline;
 pub use vector::Vector;
 pub use workspace::{ExecCounts, ExecStats, Workspace};

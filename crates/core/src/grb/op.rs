@@ -1,9 +1,8 @@
 //! The builder-style operation API: [`Context`] and [`Op`].
 //!
 //! GraphBLAS operations carry several optional modifiers (mask, descriptor,
-//! semiring); rather than threading them all positionally through free
-//! functions, operations are assembled with a builder and executed against a
-//! [`Context`]:
+//! semiring, accumulator); operations are assembled with a builder and
+//! executed against a [`Context`]:
 //!
 //! ```
 //! use bitgblas_core::grb::{Context, Op, Mask};
@@ -26,19 +25,39 @@
 //! assert_eq!(next.get(1), 1.0);
 //! ```
 //!
-//! The [`Context`] carries the cross-operation configuration: the device
-//! profile the performance model scores backends against and the sampling
-//! parameters of the Algorithm-1 profile — i.e. everything
-//! [`Backend::Auto`](super::Backend::Auto) needs.  Execution itself is
-//! dispatched through the matrix's [`GrbBackend`](super::GrbBackend) state.
+//! Since PR 3 the builders are **lazy**: each method call only grows an
+//! expression chain ([`Expr`]), and nothing executes until `.run(&ctx)` —
+//! shorthand for [`Context::evaluate`] — hands the chain to the planner
+//! ([`super::plan`]), which fuses mask, element-wise stages and the
+//! accumulator into as few kernel sweeps as the shape allows.  A whole
+//! PageRank iteration is one expression:
+//!
+//! ```text
+//! Op::vxm(&rank, &a)                  // contributions along the edges…
+//!     .scale_input(&inv_out_degree)   //   …of rank[u] / deg(u)
+//!     .semiring(Semiring::Arithmetic)
+//!     .affine(alpha, teleport)        // α·contrib + teleport, fused into the sweep
+//!     .run(&ctx)
+//! ```
+//!
+//! and an SSSP relaxation round is `Op::vxm(&dist, &a).semiring(minplus)
+//! .accum(BinaryOp::Min, &dist).run(&ctx)` — the GraphBLAS accumulator
+//! (`w ⊕= A·x`) is a first-class node and folds into the same sweep.
+//!
+//! The [`Context`] carries the cross-operation configuration (device
+//! profile, sampling parameters — everything
+//! [`Backend::Auto`](super::Backend::Auto) needs) and owns the
+//! [`Workspace`] buffer pool every evaluation draws from.
 
 use bitgblas_perfmodel::{pascal_gtx1080, DeviceProfile};
 
-use crate::semiring::Semiring;
+use crate::semiring::{BinaryOp, Semiring};
 
 use super::descriptor::{Descriptor, Mask};
-use super::direction::{choose_direction, Direction};
+use super::direction::Direction;
+use super::expr::{Expr, Fusion, Producer, Stage, MAX_STAGES};
 use super::matrix::Matrix;
+use super::plan;
 use super::vector::Vector;
 use super::workspace::{ExecCounts, Workspace};
 
@@ -47,10 +66,10 @@ use super::workspace::{ExecCounts, Workspace};
 /// Besides the device profile and sampling parameters that
 /// [`Backend::Auto`](super::Backend::Auto) and [`Direction::Auto`] score
 /// against, a context owns a [`Workspace`]: the pool of reusable buffers
-/// every `Op::...run(&ctx)` draws its output, packing and mask scratch from,
-/// plus the push/pull execution counters.  Reusing one context across a
-/// traversal loop (e.g. via [`Matrix::context`](super::Matrix::context))
-/// makes the loop's steady state allocation-free.
+/// every evaluation draws its output, packing and mask scratch from, plus
+/// the execution counters.  Reusing one context across a traversal loop
+/// (e.g. via [`Matrix::context`](super::Matrix::context)) makes the loop's
+/// steady state allocation-free.
 #[derive(Debug)]
 pub struct Context {
     /// Device profile used by the performance model when resolving
@@ -109,9 +128,16 @@ impl Context {
     }
 
     /// A snapshot of this context's execution counters (how many `mxv`s
-    /// resolved to push vs pull, etc.).
+    /// resolved to push vs pull, how many pipelines fused, etc.).
     pub fn stats(&self) -> ExecCounts {
         self.workspace.stats().snapshot()
+    }
+
+    /// Evaluate a lazy expression chain: plan it ([`super::plan`]), execute
+    /// the fused (or node-at-a-time) sweeps, return the result vector.
+    /// The builders' `.run(&ctx)` is shorthand for this.
+    pub fn evaluate(&self, expr: Expr<'_>) -> Vector {
+        plan::execute(&expr, self)
     }
 
     /// Return a finished vector's buffer to the pool so the next operation
@@ -122,39 +148,26 @@ impl Context {
     }
 }
 
-/// Entry points of the builder API; each returns a builder whose `run(&ctx)`
-/// executes on the matrix's backend.
+/// Entry points of the builder API; each returns a lazy builder whose
+/// `run(&ctx)` evaluates the assembled expression chain.
 pub struct Op;
 
 impl Op {
     /// `y = A ⊕.⊗ x`: matrix × vector.
     #[must_use = "builders do nothing until run(&ctx)"]
     pub fn mxv<'a>(a: &'a Matrix, x: &'a Vector) -> MxvBuilder<'a> {
-        MxvBuilder {
-            a,
-            x,
-            semiring: Semiring::Arithmetic,
-            mask: None,
-            desc: Descriptor::new(),
-            flip: false,
-        }
+        MxvBuilder::new(a, x, false)
     }
 
     /// `y = x ⊕.⊗ A`: vector × matrix (the push-direction traversal).
     #[must_use = "builders do nothing until run(&ctx)"]
     pub fn vxm<'a>(x: &'a Vector, a: &'a Matrix) -> MxvBuilder<'a> {
-        MxvBuilder {
-            a,
-            x,
-            semiring: Semiring::Arithmetic,
-            mask: None,
-            desc: Descriptor::new(),
-            flip: true,
-        }
+        MxvBuilder::new(a, x, true)
     }
 
     /// `Σ (mask .* (A · B))`: masked matrix product reduced to a scalar (the
-    /// Triangle Counting primitive).
+    /// Triangle Counting primitive).  Already a fully fused kernel, so it
+    /// takes no further chain stages.
     #[must_use = "builders do nothing until run(&ctx)"]
     pub fn mxm_reduce<'a>(a: &'a Matrix, b: &'a Matrix, mask: &'a Matrix) -> MxmReduceBuilder<'a> {
         MxmReduceBuilder { a, b, mask }
@@ -164,47 +177,44 @@ impl Op {
     #[must_use = "builders do nothing until run(&ctx)"]
     pub fn reduce(x: &Vector) -> ReduceBuilder<'_> {
         ReduceBuilder {
-            x,
+            expr: Expr::leaf(x),
             semiring: Semiring::Arithmetic,
         }
     }
 
-    /// Element-wise `out[i] = a[i] ⊕ b[i]`.
+    /// Element-wise `out[i] = a[i] ⊕ b[i]` (extendable into a chain).
     #[must_use = "builders do nothing until run(&ctx)"]
     pub fn ewise_add<'a>(a: &'a Vector, b: &'a Vector) -> EwiseBuilder<'a> {
-        EwiseBuilder {
-            a,
-            b,
-            semiring: Semiring::Arithmetic,
-            mult: false,
-        }
+        EwiseBuilder::new(a).ewise_add(b)
     }
 
-    /// Element-wise `out[i] = a[i] ⊗ b[i]`.
+    /// Element-wise `out[i] = a[i] ⊗ b[i]` (extendable into a chain).
     #[must_use = "builders do nothing until run(&ctx)"]
     pub fn ewise_mult<'a>(a: &'a Vector, b: &'a Vector) -> EwiseBuilder<'a> {
-        EwiseBuilder {
-            a,
-            b,
-            semiring: Semiring::Arithmetic,
-            mult: true,
-        }
+        EwiseBuilder::new(a).ewise_mult(b)
     }
 
     /// `out[i] = f(x[i])` (GraphBLAS `apply`).
     #[must_use = "builders do nothing until run(&ctx)"]
-    pub fn apply<F: Fn(f32) -> f32>(x: &Vector, f: F) -> ApplyBuilder<'_, F> {
+    pub fn apply<F: Fn(f32) -> f32 + Sync>(x: &Vector, f: F) -> ApplyBuilder<'_, F> {
         ApplyBuilder { x, f }
     }
 
     /// Indicator of entries satisfying `pred` (GraphBLAS `select`).
     #[must_use = "builders do nothing until run(&ctx)"]
-    pub fn select<F: Fn(f32) -> bool>(x: &Vector, pred: F) -> SelectBuilder<'_, F> {
+    pub fn select<F: Fn(f32) -> bool + Sync>(x: &Vector, pred: F) -> SelectBuilder<'_, F> {
         SelectBuilder { x, pred }
     }
 }
 
-/// Builder for `mxv` / `vxm` (created by [`Op::mxv`] / [`Op::vxm`]).
+/// Builder for `mxv` / `vxm` chains (created by [`Op::mxv`] / [`Op::vxm`]).
+///
+/// The matrix-product root takes the usual modifiers (semiring, mask,
+/// descriptor, direction); element-wise stages appended after it
+/// ([`affine`](MxvBuilder::affine), [`apply`](MxvBuilder::apply),
+/// [`select`](MxvBuilder::select), [`then_ewise`](MxvBuilder::then_ewise))
+/// and a terminal accumulator ([`accum`](MxvBuilder::accum)) fuse into the
+/// product sweep wherever the planner's rules allow.
 #[must_use = "builders do nothing until run(&ctx)"]
 pub struct MxvBuilder<'a> {
     a: &'a Matrix,
@@ -212,11 +222,29 @@ pub struct MxvBuilder<'a> {
     semiring: Semiring,
     mask: Option<&'a Mask>,
     desc: Descriptor,
-    /// `true` for the vxm direction.
     flip: bool,
+    scale: Option<&'a Vector>,
+    /// The expression under construction.  It carries the stage list,
+    /// accumulator and fusion mode; its (leaf) producer is a placeholder
+    /// that [`build`](MxvBuilder::build) replaces with the finished
+    /// matrix-product root once all modifiers are known.
+    chain: Expr<'a>,
 }
 
 impl<'a> MxvBuilder<'a> {
+    fn new(a: &'a Matrix, x: &'a Vector, flip: bool) -> Self {
+        MxvBuilder {
+            a,
+            x,
+            semiring: Semiring::Arithmetic,
+            mask: None,
+            desc: Descriptor::new(),
+            flip,
+            scale: None,
+            chain: Expr::leaf(x),
+        }
+    }
+
     /// Use the given semiring (default: arithmetic).
     pub fn semiring(mut self, semiring: Semiring) -> Self {
         self.semiring = semiring;
@@ -248,79 +276,79 @@ impl<'a> MxvBuilder<'a> {
         self
     }
 
-    /// Execute on the matrix's backend, drawing buffers from the context's
-    /// workspace pool and resolving [`Direction::Auto`] against its device
-    /// profile.
+    /// Control whether the planner may fuse this chain (default:
+    /// [`Fusion::Fused`]).  [`Fusion::NodeAtATime`] forces the defining
+    /// one-sweep-per-node execution — the parity and benchmark baseline.
+    pub fn fusion(mut self, fusion: Fusion) -> Self {
+        self.chain.set_fusion(fusion);
+        self
+    }
+
+    /// Read the operand as `x[i] · scale[i]` without materialising a scaled
+    /// copy through the API (PageRank's out-degree normalisation).
+    pub fn scale_input(mut self, scale: &'a Vector) -> Self {
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Append `t = mul·t + add` to the chain — the fusion-friendly affine
+    /// `apply` (PageRank's `α·contrib + teleport`).
+    pub fn affine(mut self, mul: f32, add: f32) -> Self {
+        self.chain.push_stage(Stage::Affine { mul, add });
+        self
+    }
+
+    /// Append `t = f(t)` to the chain (GraphBLAS `apply`).  The closure is
+    /// taken by reference so the chain stays allocation-free; bind it to a
+    /// local before building the expression.
+    pub fn apply<F: Fn(f32) -> f32 + Sync>(mut self, f: &'a F) -> Self {
+        self.chain.push_stage(Stage::Apply(f));
+        self
+    }
+
+    /// Append `t = if pred(t) { 1.0 } else { 0.0 }` to the chain
+    /// (GraphBLAS `select`).
+    pub fn select<F: Fn(f32) -> bool + Sync>(mut self, pred: &'a F) -> Self {
+        self.chain.push_stage(Stage::Select(pred));
+        self
+    }
+
+    /// Append `t = op(t, operand[i])` to the chain — one collapsed ewise
+    /// link with an explicit operator.
+    pub fn then_ewise(mut self, op: BinaryOp, operand: &'a Vector) -> Self {
+        self.chain.push_stage(Stage::Ewise {
+            op,
+            operand: operand.as_slice(),
+        });
+        self
+    }
+
+    /// Terminate the chain with the GraphBLAS accumulator `out = w ⊕ t`.
+    /// When `op` is the semiring's additive monoid the accumulation folds
+    /// into the product sweep itself (SSSP's `dist = min(dist, relaxed)`).
+    pub fn accum(mut self, op: BinaryOp, w: &'a Vector) -> Self {
+        self.chain.set_accum(op, w);
+        self
+    }
+
+    /// Assemble the lazy expression chain without running it.
+    pub fn build(self) -> Expr<'a> {
+        let mut e = self.chain;
+        e.producer = Producer::Mxv {
+            a: self.a,
+            x: self.x,
+            semiring: self.semiring,
+            mask: self.mask,
+            desc: self.desc,
+            flip: self.flip,
+            scale: self.scale,
+        };
+        e
+    }
+
+    /// Evaluate the chain against the context ([`Context::evaluate`]).
     pub fn run(self, ctx: &Context) -> Vector {
-        let transpose = self.desc.transpose;
-        // Output length is the non-contracted dimension.
-        let (contracted, produced) = if transpose != self.flip {
-            (self.a.nrows(), self.a.ncols())
-        } else {
-            (self.a.ncols(), self.a.nrows())
-        };
-        assert_eq!(
-            contracted,
-            self.x.len(),
-            "{} dimension mismatch",
-            if self.flip { "vxm" } else { "mxv" }
-        );
-        if let Some(m) = self.mask {
-            assert_eq!(m.len(), produced, "mask length must equal output length");
-        }
-        let semiring = self.semiring;
-        let x = self.x.as_slice();
-        let state = self.a.state();
-        let ws = ctx.workspace();
-
-        // Resolve the direction.  Auto counts the active entries (a read-only
-        // scan); the frontier index list is materialised only when the push
-        // path actually runs, so the dense pull iterations — the expensive
-        // ones — pay no list-building cost.
-        let direction = match self.desc.direction {
-            // An explicitly requested push is coerced back to pull when the
-            // semiring cannot skip identity entries without changing the
-            // result.
-            Direction::Push if !semiring.push_safe() => Direction::Pull,
-            Direction::Auto => choose_direction(
-                self.x.n_active(semiring),
-                contracted,
-                self.a.nnz(),
-                semiring,
-                &ctx.device,
-            ),
-            d => d,
-        };
-
-        let mut out = ws.take_empty::<f32>();
-        match direction {
-            Direction::Push => {
-                let mut frontier = ws.take_empty::<usize>();
-                frontier.extend(
-                    x.iter()
-                        .enumerate()
-                        .filter(|(_, &v)| !semiring.is_identity(v))
-                        .map(|(i, _)| i),
-                );
-                if self.flip {
-                    state.vxm_push_into(x, &frontier, semiring, self.mask, transpose, ws, &mut out);
-                } else {
-                    state.mxv_push_into(x, &frontier, semiring, self.mask, transpose, ws, &mut out);
-                }
-                ws.give(frontier);
-                ws.stats().record_push_mxv();
-            }
-            _ => {
-                if self.flip {
-                    state.vxm_into(x, semiring, self.mask, transpose, ws, &mut out);
-                } else {
-                    state.mxv_into(x, semiring, self.mask, transpose, ws, &mut out);
-                }
-                ws.stats().record_pull_mxv();
-            }
-        }
-        debug_assert_eq!(out.len(), produced);
-        Vector::from_vec(out)
+        ctx.evaluate(self.build())
     }
 }
 
@@ -354,70 +382,163 @@ impl MxmReduceBuilder<'_> {
     }
 }
 
-/// Builder for vector reduction (created by [`Op::reduce`]).
+/// Builder for scalar reduction of an expression chain (created by
+/// [`Op::reduce`] or [`EwiseBuilder::reduce`]).
 #[must_use = "builders do nothing until run(&ctx)"]
 pub struct ReduceBuilder<'a> {
-    x: &'a Vector,
+    expr: Expr<'a>,
     semiring: Semiring,
 }
 
 impl ReduceBuilder<'_> {
-    /// Use the given semiring (default: arithmetic).
+    /// Fold with the given semiring's additive monoid (default: arithmetic
+    /// sum).
     pub fn semiring(mut self, semiring: Semiring) -> Self {
         self.semiring = semiring;
         self
     }
 
-    /// Execute.
+    /// Execute.  Leaf chains fold in a single fused pass without
+    /// materialising the chain's result (`Op::ewise_mult(&a, &b).reduce()`
+    /// is a dot product in one sweep).
     pub fn run(self, ctx: &Context) -> f32 {
-        ctx.workspace().stats().record_reduce();
-        self.semiring.reduce_slice(self.x.as_slice())
+        plan::execute_reduce(&self.expr, self.semiring, ctx)
     }
 }
 
-/// Builder for the element-wise monoid operations (created by
+/// How one deferred ewise link resolves once the chain's semiring is known.
+#[derive(Clone, Copy)]
+enum EwiseSpec<'a> {
+    /// `⊕` of the chain's semiring.
+    Add(&'a Vector),
+    /// `⊗` of the chain's semiring.
+    Mult(&'a Vector),
+    /// A fully-resolved stage (apply/select/affine/explicit-op ewise).
+    Fixed(Stage<'a>),
+}
+
+/// Builder for element-wise chains over vectors (created by
 /// [`Op::ewise_add`] / [`Op::ewise_mult`]).
+///
+/// Every appended link — further `ewise_*`, [`apply`](EwiseBuilder::apply),
+/// [`select`](EwiseBuilder::select), [`affine`](EwiseBuilder::affine) —
+/// collapses into a **single** sweep when the chain runs (or folds into a
+/// scalar without materialising at all via [`reduce`](EwiseBuilder::reduce)).
 #[must_use = "builders do nothing until run(&ctx)"]
 pub struct EwiseBuilder<'a> {
-    a: &'a Vector,
-    b: &'a Vector,
+    first: &'a Vector,
     semiring: Semiring,
-    mult: bool,
+    fusion: Fusion,
+    specs: [Option<EwiseSpec<'a>>; MAX_STAGES],
+    n_specs: usize,
 }
 
-impl EwiseBuilder<'_> {
-    /// Use the given semiring (default: arithmetic).
+impl<'a> EwiseBuilder<'a> {
+    fn new(first: &'a Vector) -> Self {
+        EwiseBuilder {
+            first,
+            semiring: Semiring::Arithmetic,
+            fusion: Fusion::Fused,
+            specs: [None; MAX_STAGES],
+            n_specs: 0,
+        }
+    }
+
+    fn push_spec(&mut self, spec: EwiseSpec<'a>) {
+        assert!(
+            self.n_specs < MAX_STAGES,
+            "expression chain exceeds {MAX_STAGES} stages; evaluate intermediate results"
+        );
+        self.specs[self.n_specs] = Some(spec);
+        self.n_specs += 1;
+    }
+
+    /// Use the given semiring for every `ewise_add`/`ewise_mult` link
+    /// (default: arithmetic).
     pub fn semiring(mut self, semiring: Semiring) -> Self {
         self.semiring = semiring;
         self
     }
 
-    /// Execute, writing into a workspace-pooled buffer.
-    pub fn run(self, ctx: &Context) -> Vector {
-        assert_eq!(
-            self.a.len(),
-            self.b.len(),
-            "ewise operands require equal lengths"
-        );
-        let ws = ctx.workspace();
-        ws.stats().record_ewise();
-        let mut out = ws.take_empty::<f32>();
-        if self.mult {
-            super::ewise::ewise_mult_into(
-                self.a.as_slice(),
-                self.b.as_slice(),
-                self.semiring,
-                &mut out,
-            );
-        } else {
-            super::ewise::ewise_add_into(
-                self.a.as_slice(),
-                self.b.as_slice(),
-                self.semiring,
-                &mut out,
-            );
+    /// Control whether the planner may fuse this chain (default: fused).
+    pub fn fusion(mut self, fusion: Fusion) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Append `t = t ⊕ operand[i]` (the semiring's additive monoid).
+    pub fn ewise_add(mut self, operand: &'a Vector) -> Self {
+        self.push_spec(EwiseSpec::Add(operand));
+        self
+    }
+
+    /// Append `t = t ⊗ operand[i]` (the semiring's element-wise
+    /// multiplication).
+    pub fn ewise_mult(mut self, operand: &'a Vector) -> Self {
+        self.push_spec(EwiseSpec::Mult(operand));
+        self
+    }
+
+    /// Append `t = op(t, operand[i])` with an explicit operator.
+    pub fn then_ewise(mut self, op: BinaryOp, operand: &'a Vector) -> Self {
+        self.push_spec(EwiseSpec::Fixed(Stage::Ewise {
+            op,
+            operand: operand.as_slice(),
+        }));
+        self
+    }
+
+    /// Append `t = f(t)` (GraphBLAS `apply`; closure by reference).
+    pub fn apply<F: Fn(f32) -> f32 + Sync>(mut self, f: &'a F) -> Self {
+        self.push_spec(EwiseSpec::Fixed(Stage::Apply(f)));
+        self
+    }
+
+    /// Append `t = if pred(t) { 1.0 } else { 0.0 }` (GraphBLAS `select`).
+    pub fn select<F: Fn(f32) -> bool + Sync>(mut self, pred: &'a F) -> Self {
+        self.push_spec(EwiseSpec::Fixed(Stage::Select(pred)));
+        self
+    }
+
+    /// Append `t = mul·t + add`.
+    pub fn affine(mut self, mul: f32, add: f32) -> Self {
+        self.push_spec(EwiseSpec::Fixed(Stage::Affine { mul, add }));
+        self
+    }
+
+    /// Assemble the lazy expression chain without running it.
+    pub fn build(self) -> Expr<'a> {
+        let mut e = Expr::leaf(self.first);
+        for spec in self.specs[..self.n_specs].iter() {
+            let stage = match spec.expect("spec slot") {
+                EwiseSpec::Add(v) => Stage::Ewise {
+                    op: BinaryOp::monoid_of(self.semiring),
+                    operand: v.as_slice(),
+                },
+                EwiseSpec::Mult(v) => Stage::Ewise {
+                    op: BinaryOp::mult_of(self.semiring),
+                    operand: v.as_slice(),
+                },
+                EwiseSpec::Fixed(stage) => stage,
+            };
+            e.push_stage(stage);
         }
-        Vector::from_vec(out)
+        e.set_fusion(self.fusion);
+        e
+    }
+
+    /// Turn the chain into a scalar reduction (default fold: arithmetic
+    /// sum; override with [`ReduceBuilder::semiring`]).
+    pub fn reduce(self) -> ReduceBuilder<'a> {
+        ReduceBuilder {
+            expr: self.build(),
+            semiring: Semiring::Arithmetic,
+        }
+    }
+
+    /// Evaluate the chain against the context ([`Context::evaluate`]).
+    pub fn run(self, ctx: &Context) -> Vector {
+        ctx.evaluate(self.build())
     }
 }
 
@@ -428,14 +549,12 @@ pub struct ApplyBuilder<'a, F> {
     f: F,
 }
 
-impl<F: Fn(f32) -> f32> ApplyBuilder<'_, F> {
-    /// Execute, writing into a workspace-pooled buffer.
+impl<F: Fn(f32) -> f32 + Sync> ApplyBuilder<'_, F> {
+    /// Execute as a one-stage chain over the leaf vector.
     pub fn run(self, ctx: &Context) -> Vector {
-        let ws = ctx.workspace();
-        ws.stats().record_apply();
-        let mut out = ws.take_empty::<f32>();
-        out.extend(self.x.as_slice().iter().map(|&v| (self.f)(v)));
-        Vector::from_vec(out)
+        let mut e = Expr::leaf(self.x);
+        e.push_stage(Stage::Apply(&self.f));
+        ctx.evaluate(e)
     }
 }
 
@@ -446,19 +565,12 @@ pub struct SelectBuilder<'a, F> {
     pred: F,
 }
 
-impl<F: Fn(f32) -> bool> SelectBuilder<'_, F> {
-    /// Execute, writing into a workspace-pooled buffer.
+impl<F: Fn(f32) -> bool + Sync> SelectBuilder<'_, F> {
+    /// Execute as a one-stage chain over the leaf vector.
     pub fn run(self, ctx: &Context) -> Vector {
-        let ws = ctx.workspace();
-        ws.stats().record_select();
-        let mut out = ws.take_empty::<f32>();
-        out.extend(
-            self.x
-                .as_slice()
-                .iter()
-                .map(|&v| if (self.pred)(v) { 1.0 } else { 0.0 }),
-        );
-        Vector::from_vec(out)
+        let mut e = Expr::leaf(self.x);
+        e.push_stage(Stage::Select(&self.pred));
+        ctx.evaluate(e)
     }
 }
 
@@ -744,5 +856,238 @@ mod tests {
         let clone = ctx.clone();
         assert_eq!(clone.stats(), crate::grb::ExecCounts::default());
         assert_eq!(clone.device, ctx.device);
+    }
+
+    // -- lazy-chain tests (PR 3) --------------------------------------------
+
+    /// Every fused chain shape must equal its node-at-a-time execution.
+    #[test]
+    fn fused_chain_matches_node_at_a_time_in_every_direction() {
+        let csr = sample(80, 41);
+        let ctx = Context::default();
+        let operand = Vector::from_vec((0..80).map(|i| (i % 7) as f32).collect());
+        let base = Vector::from_vec((0..80).map(|i| (i % 11) as f32 * 0.5).collect());
+        let x = Vector::indicator(80, &[2, 17, 33, 56]);
+        let dense_x = Vector::from_vec((0..80).map(|i| (i % 4) as f32).collect());
+        for backend in [
+            Backend::Bit(TileSize::S4),
+            Backend::Bit(TileSize::S8),
+            Backend::Bit(TileSize::S16),
+            Backend::FloatCsr,
+        ] {
+            let a = Matrix::from_csr(&csr, backend);
+            for (xv, semiring) in [(&x, Semiring::Boolean), (&dense_x, Semiring::Arithmetic)] {
+                for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                    for flip in [false, true] {
+                        let build = |fusion: Fusion| {
+                            let op = if flip {
+                                Op::vxm(xv, &a)
+                            } else {
+                                Op::mxv(&a, xv)
+                            };
+                            op.semiring(semiring)
+                                .direction(dir)
+                                .affine(2.0, 1.0)
+                                .then_ewise(BinaryOp::Plus, &operand)
+                                .accum(BinaryOp::Max, &base)
+                                .fusion(fusion)
+                                .run(&ctx)
+                        };
+                        let fused = build(Fusion::Fused);
+                        let unfused = build(Fusion::NodeAtATime);
+                        close(fused.as_slice(), unfused.as_slice());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The monoid accumulator folds into the sweep and equals the two-op
+    /// formulation (product, then element-wise accumulate).
+    #[test]
+    fn accum_matches_explicit_two_op_accumulate() {
+        let csr = sample(64, 43);
+        let ctx = Context::default();
+        let semiring = Semiring::MinPlus(1.0);
+        let mut dist = Vector::identity(64, semiring);
+        dist.set(0, 0.0);
+        dist.set(9, 2.0);
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            for dir in [Direction::Push, Direction::Pull] {
+                let fused = Op::vxm(&dist, &a)
+                    .semiring(semiring)
+                    .direction(dir)
+                    .accum(BinaryOp::Min, &dist)
+                    .run(&ctx);
+                let relaxed = Op::vxm(&dist, &a)
+                    .semiring(semiring)
+                    .direction(dir)
+                    .run(&ctx);
+                let two_op = Op::ewise_add(&relaxed, &dist).semiring(semiring).run(&ctx);
+                assert_eq!(fused, two_op, "{backend:?} {dir:?}");
+            }
+        }
+    }
+
+    /// An `Or` accumulator never folds into the push scatter: `Or`
+    /// normalises any nonzero baseline to `1.0`, so untouched positions
+    /// must still pass through the accumulator (regression test — the
+    /// fused FloatCsr push used to keep the raw baseline).
+    #[test]
+    fn boolean_or_accum_with_non_indicator_baseline_matches_unfused() {
+        let csr = sample(48, 67);
+        let ctx = Context::default();
+        let x = Vector::indicator(48, &[0, 3]);
+        let base = Vector::from_vec((0..48).map(|i| (i % 3) as f32 * 2.0).collect());
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                let build = |fusion: Fusion| {
+                    Op::vxm(&x, &a)
+                        .semiring(Semiring::Boolean)
+                        .direction(dir)
+                        .accum(BinaryOp::Or, &base)
+                        .fusion(fusion)
+                        .run(&ctx)
+                };
+                let fused = build(Fusion::Fused);
+                assert_eq!(fused, build(Fusion::NodeAtATime), "{backend:?} {dir:?}");
+                // Every output is a normalised Boolean value.
+                assert!(
+                    fused.as_slice().iter().all(|&v| v == 0.0 || v == 1.0),
+                    "{backend:?} {dir:?}: {fused:?}"
+                );
+            }
+        }
+    }
+
+    /// Masked accumulation keeps the baseline at masked positions (the
+    /// GraphBLAS `w<m> ⊕=` semantics for monoid accumulators).
+    #[test]
+    fn masked_accum_keeps_baseline_where_masked() {
+        let csr = sample(40, 47);
+        let ctx = Context::default();
+        let semiring = Semiring::MinPlus(1.0);
+        let mut dist = Vector::identity(40, semiring);
+        dist.set(0, 0.0);
+        dist.set(7, 5.0);
+        let allow: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let mask = Mask::new(allow.clone());
+        for backend in [Backend::Bit(TileSize::S16), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            for dir in [Direction::Push, Direction::Pull] {
+                let out = Op::vxm(&dist, &a)
+                    .semiring(semiring)
+                    .mask(&mask)
+                    .direction(dir)
+                    .accum(BinaryOp::Min, &dist)
+                    .run(&ctx);
+                for (i, &allowed) in allow.iter().enumerate() {
+                    if !allowed {
+                        assert_eq!(
+                            out.get(i),
+                            dist.get(i),
+                            "masked position {i} must keep the baseline ({backend:?} {dir:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `scale_input` equals materialising the scaled operand by hand.
+    #[test]
+    fn scale_input_matches_pre_scaled_operand() {
+        let csr = sample(50, 53);
+        let ctx = Context::default();
+        let x = Vector::from_vec((0..50).map(|i| 1.0 + (i % 5) as f32).collect());
+        let s = Vector::from_vec((0..50).map(|i| 0.25 * ((i % 3) as f32 + 1.0)).collect());
+        let scaled = Vector::from_vec(
+            x.as_slice()
+                .iter()
+                .zip(s.as_slice())
+                .map(|(&a, &b)| a * b)
+                .collect(),
+        );
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            let fused = Op::vxm(&x, &a).scale_input(&s).run(&ctx);
+            let manual = Op::vxm(&scaled, &a).run(&ctx);
+            close(fused.as_slice(), manual.as_slice());
+        }
+    }
+
+    /// An ewise chain with apply/select links collapses into one sweep and
+    /// equals the step-by-step evaluation.
+    #[test]
+    fn ewise_chain_collapses_and_matches_steps() {
+        let ctx = Context::default();
+        let a = Vector::from_vec(vec![1.0, 5.0, 0.0, 2.0]);
+        let b = Vector::from_vec(vec![2.0, 3.0, 4.0, 0.5]);
+        let c = Vector::from_vec(vec![0.0, 1.0, 1.0, 3.0]);
+        let half = |v: f32| v * 0.5;
+        let chained = Op::ewise_add(&a, &b)
+            .apply(&half)
+            .then_ewise(BinaryOp::Max, &c)
+            .run(&ctx);
+        assert_eq!(
+            ctx.stats().ewise_chain,
+            1,
+            "the chain must collapse into one sweep"
+        );
+        let s1 = Op::ewise_add(&a, &b).run(&ctx);
+        let s2 = Op::apply(&s1, half).run(&ctx);
+        let s3 = Op::ewise_add(&s2, &c)
+            .semiring(Semiring::MaxTimes(1.0))
+            .run(&ctx);
+        assert_eq!(chained, s3);
+    }
+
+    /// A dot product folds in one pass without materialising the product.
+    #[test]
+    fn chain_reduce_computes_dot_product() {
+        let ctx = Context::default();
+        let a = Vector::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Vector::from_vec(vec![0.5, 0.0, 2.0, 1.0]);
+        let dot = Op::ewise_mult(&a, &b).reduce().run(&ctx);
+        assert_eq!(dot, 0.5 + 6.0 + 4.0);
+        let max = Op::ewise_mult(&a, &b)
+            .reduce()
+            .semiring(Semiring::MaxTimes(1.0))
+            .run(&ctx);
+        assert_eq!(max, 6.0);
+    }
+
+    /// Fused pipelines are observable through the context counters.
+    #[test]
+    fn fused_pipelines_are_counted() {
+        let csr = sample(60, 59);
+        let a = Matrix::from_csr(&csr, Backend::Bit(TileSize::S8));
+        let ctx = Context::default();
+        let x = Vector::from_vec(vec![1.0; 60]);
+        let _ = Op::mxv(&a, &x).affine(0.5, 0.1).run(&ctx);
+        assert_eq!(ctx.stats().fused_mxv, 1);
+        let _ = Op::mxv(&a, &x)
+            .affine(0.5, 0.1)
+            .fusion(Fusion::NodeAtATime)
+            .run(&ctx);
+        assert_eq!(ctx.stats().fused_mxv, 1, "node-at-a-time must not count");
+        assert_eq!(ctx.stats().apply, 1, "unfused stages count per node");
+    }
+
+    /// `build()` produces an inert expression that `ctx.evaluate` runs.
+    #[test]
+    fn build_then_evaluate_equals_run() {
+        let csr = sample(30, 61);
+        let a = Matrix::from_csr(&csr, Backend::FloatCsr);
+        let ctx = Context::default();
+        let x = Vector::from_vec((0..30).map(|i| i as f32).collect());
+        let before = ctx.stats().total_mxv();
+        let expr = Op::mxv(&a, &x).affine(2.0, 0.0).build();
+        assert_eq!(ctx.stats().total_mxv(), before, "build must not execute");
+        let via_evaluate = ctx.evaluate(expr);
+        let via_run = Op::mxv(&a, &x).affine(2.0, 0.0).run(&ctx);
+        assert_eq!(via_evaluate, via_run);
     }
 }

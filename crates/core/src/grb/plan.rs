@@ -1,0 +1,478 @@
+//! The execution planner: walks a lazy [`Expr`] chain, pattern-matches the
+//! fusable shapes and emits fused backend calls.
+//!
+//! This is the "non-blocking mode" half of the GrB layer redesign: the
+//! builders assemble expression chains ([`super::expr`]) and this module
+//! decides how many kernel sweeps each chain costs.
+//!
+//! # Fusion rules
+//!
+//! For a chain rooted at a matrix-vector product the planner emits a single
+//! [`GrbBackend::mxv_fused_into`] sweep when the shape allows it:
+//!
+//! * **Pull** (dense sweep) — always fusable: the sweep produces each output
+//!   row's final semiring value `t[i]` in one go, so the mask, every
+//!   element-wise stage and the accumulator fold into the store
+//!   (`out[i] = w[i] ⊕ stages(t[i])`).
+//! * **Push** (sparse scatter) — the scatter produces `t` by *partial*
+//!   updates, so element-wise stages cannot run until the scatter finishes:
+//!   * no accumulator → fusable; stages run as one collapsed epilogue pass
+//!     over the output ([`GrbBackend::ewise_chain_into`]);
+//!   * accumulator whose operator **is** the semiring's additive monoid and
+//!     no stages → fusable by seeding the output with the accumulation
+//!     baseline and letting the scatter ⊕-fold into it (associativity +
+//!     commutativity of the monoid make the partial order irrelevant);
+//!   * anything else (non-monoid accumulator, accumulator + stages) →
+//!     node-at-a-time for the product, with the epilogue still collapsed
+//!     into one chain sweep.
+//!
+//! Chains rooted at a leaf vector collapse into a single element-wise sweep
+//! (apply/select folded into the consuming ewise pass).
+//!
+//! [`Fusion::NodeAtATime`] disables all of the above and executes the
+//! *defining* semantics — producer sweep, then one full pass per stage, then
+//! an accumulator pass — which is what the fused≡unfused parity suite and
+//! the fused-vs-unfused benchmark rows compare against.  Unfusable shapes
+//! always take this path, so semantics never depend on what fused.
+//!
+//! # Direction and workspace
+//!
+//! Direction resolution ([`Direction::Auto`]) happens *before* planning and
+//! is identical for both paths; fused pipelines draw every scratch buffer
+//! (scaled operand, frontier list, output) from the context's
+//! [`Workspace`](super::Workspace) pool, so a steady-state fused loop
+//! allocates nothing (`crates/core/tests/zero_alloc.rs`).
+
+use crate::semiring::{BinaryOp, Semiring};
+
+use super::descriptor::Mask;
+use super::direction::{choose_direction, Direction};
+use super::expr::{eval_stages, Expr, Fusion, Producer, Stage};
+use super::op::Context;
+use super::vector::Vector;
+use super::workspace::Workspace;
+
+/// Everything a backend needs to execute one fused matrix-vector pipeline
+/// in a single sweep: the (pre-scaled) operand, the resolved direction
+/// (`frontier` is `Some` for push), the semiring, the mask, the collapsed
+/// element-wise epilogue and the accumulator.
+///
+/// `transpose` is in `mxv` convention with the `vxm` flip already folded in:
+/// the pull sweep runs on `Aᵀ` iff `transpose`, the push scatter walks the
+/// opposite representation (exactly like
+/// [`GrbBackend::mxv_into`](super::GrbBackend::mxv_into) /
+/// [`mxv_push_into`](super::GrbBackend::mxv_push_into)).
+#[derive(Debug, Clone, Copy)]
+pub struct MxvPipeline<'a> {
+    /// The dense operand (already input-scaled if the chain requested it).
+    pub x: &'a [f32],
+    /// `Some(active indices)` when the resolved direction is push.
+    pub frontier: Option<&'a [usize]>,
+    /// The semiring of the product.
+    pub semiring: Semiring,
+    /// Optional output mask.
+    pub mask: Option<&'a Mask>,
+    /// Pull representation selector in `mxv` convention (flip folded in).
+    pub transpose: bool,
+    /// Collapsed element-wise epilogue, in evaluation order.
+    pub stages: &'a [Stage<'a>],
+    /// Optional accumulator `(⊕, baseline)`.
+    pub accum: Option<(BinaryOp, &'a [f32])>,
+}
+
+impl MxvPipeline<'_> {
+    /// Finish one output position: mask, stages and accumulator applied to
+    /// the raw semiring value `raw` of position `i`.  This is the single
+    /// definition of the pipeline's store semantics — every fused kernel
+    /// funnels through it (or through a shape the planner proved
+    /// equivalent).
+    #[inline]
+    pub fn finish(&self, i: usize, raw: f32) -> f32 {
+        let t = match self.mask {
+            Some(m) if !m.allows(i) => self.semiring.identity(),
+            _ => raw,
+        };
+        let t = eval_stages(self.stages, i, t);
+        match self.accum {
+            Some((op, base)) => op.apply(base[i], t),
+            None => t,
+        }
+    }
+
+    /// Apply [`MxvPipeline::finish`] to every produced position in place —
+    /// the epilogue pass of fused push pipelines.
+    pub fn finish_in_place(&self, out: &mut [f32]) {
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = self.finish(i, *v);
+        }
+    }
+
+    /// True when the scatter may ⊕-fold straight into the accumulation
+    /// baseline (monoid accumulator, no intervening stages).
+    ///
+    /// Besides matching the monoid, the fold requires `⊕(base, identity) ==
+    /// base` for *every* base so untouched positions keep their seeded
+    /// value: true for `+`/`min`/`max`, but **not** for `Or`, which
+    /// normalises any nonzero baseline to `1.0` — Boolean accumulations
+    /// therefore always take the scatter + epilogue path.
+    pub fn push_folds_accum(&self) -> bool {
+        self.stages.is_empty()
+            && self
+                .accum
+                .is_some_and(|(op, _)| op.matches_monoid(self.semiring) && op != BinaryOp::Or)
+    }
+}
+
+/// Receiver for a monomorphised finishing closure (see [`dispatch_finish`]).
+///
+/// Backends implement this on a small struct holding their sweep state;
+/// `run` is called exactly once with the closure that finishes each output
+/// position.
+pub trait FinishSink {
+    /// Run the backend's sweep with the given finishing closure.
+    fn run<Fin: Fn(usize, f32) -> f32 + Sync>(self, fin: Fin);
+}
+
+/// Hand `sink` a finishing closure specialised for the pipeline's epilogue
+/// shape.  The common fused shapes — a single affine stage (PageRank's
+/// update), a monoid accumulator (SSSP's `min`), a bare scaled product —
+/// get dedicated monomorphic closures, so the hot sweep loop carries no
+/// per-row stage interpretation; everything else falls back to the general
+/// [`MxvPipeline::finish`] interpreter, which is always correct.
+pub fn dispatch_finish<S: FinishSink>(p: &MxvPipeline<'_>, sink: S) {
+    match (p.stages, p.accum, p.mask) {
+        ([Stage::Affine { mul, add }], None, None) => {
+            let (mul, add) = (*mul, *add);
+            sink.run(move |_, t| mul * t + add)
+        }
+        ([], Some((BinaryOp::Min, base)), None) => sink.run(move |i, t: f32| t.min(base[i])),
+        ([], Some((BinaryOp::Max, base)), None) => sink.run(move |i, t: f32| t.max(base[i])),
+        ([], Some((BinaryOp::Plus, base)), None) => sink.run(move |i, t| base[i] + t),
+        ([], None, None) => sink.run(|_, t| t),
+        _ => sink.run(|i, t| p.finish(i, t)),
+    }
+}
+
+/// Run a collapsed element-wise chain serially: `out[i] = w[i] ⊕
+/// stages(first[i])` (the shared implementation behind
+/// [`GrbBackend::ewise_chain_into`](super::GrbBackend::ewise_chain_into)
+/// defaults and leaf-chain evaluation).
+pub fn run_chain_in_place(
+    stages: &[Stage<'_>],
+    accum: Option<(BinaryOp, &[f32])>,
+    out: &mut [f32],
+) {
+    match accum {
+        Some((op, base)) => {
+            for (i, v) in out.iter_mut().enumerate() {
+                *v = op.apply(base[i], eval_stages(stages, i, *v));
+            }
+        }
+        None => {
+            for (i, v) in out.iter_mut().enumerate() {
+                *v = eval_stages(stages, i, *v);
+            }
+        }
+    }
+}
+
+/// As [`run_chain_in_place`], split across cores for long vectors (the
+/// built-in backends' override).
+pub fn run_chain_in_place_parallel(
+    stages: &[Stage<'_>],
+    accum: Option<(BinaryOp, &[f32])>,
+    out: &mut [f32],
+) {
+    use rayon::prelude::*;
+    match accum {
+        Some((op, base)) => out.par_iter_mut().enumerate().for_each(|(i, v)| {
+            *v = op.apply(base[i], eval_stages(stages, i, *v));
+        }),
+        None => out.par_iter_mut().enumerate().for_each(|(i, v)| {
+            *v = eval_stages(stages, i, *v);
+        }),
+    }
+}
+
+/// Evaluate an expression chain against a context (the implementation of
+/// [`Context::evaluate`]).
+pub(crate) fn execute(expr: &Expr<'_>, ctx: &Context) -> Vector {
+    match expr.producer {
+        Producer::Leaf(v) => execute_leaf(expr, v, ctx),
+        Producer::Mxv { .. } => execute_mxv(expr, ctx),
+    }
+}
+
+/// Evaluate `fold` over the chain's result without materialising it when
+/// the chain is a leaf chain (the fused reduce path); matrix-rooted chains
+/// evaluate normally and recycle the intermediate.
+pub(crate) fn execute_reduce(expr: &Expr<'_>, fold: Semiring, ctx: &Context) -> f32 {
+    ctx.workspace().stats().record_reduce();
+    match expr.producer {
+        Producer::Leaf(v) if expr.fusion() == Fusion::Fused => {
+            let stages = expr.stages();
+            let accum = expr.accum.map(|(op, w)| (op, w.as_slice()));
+            check_chain_lengths(expr, v.len());
+            // Monomorphic fast path for the dot-product shape
+            // (`Op::ewise_mult(&a, &b).reduce()`).
+            if accum.is_none() && fold == Semiring::Arithmetic {
+                if let [Stage::Ewise {
+                    op: BinaryOp::Times,
+                    operand,
+                }] = stages
+                {
+                    return v
+                        .as_slice()
+                        .iter()
+                        .zip(*operand)
+                        .map(|(&a, &b)| a * b)
+                        .sum();
+                }
+            }
+            let mut acc = fold.identity();
+            for (i, &raw) in v.as_slice().iter().enumerate() {
+                let t = eval_stages(stages, i, raw);
+                let t = match accum {
+                    Some((op, base)) => op.apply(base[i], t),
+                    None => t,
+                };
+                acc = fold.reduce(acc, t);
+            }
+            acc
+        }
+        _ => {
+            let out = execute(expr, ctx);
+            let r = fold.reduce_slice(out.as_slice());
+            ctx.recycle(out);
+            r
+        }
+    }
+}
+
+/// Assert every stage operand and the accumulator match the produced length.
+fn check_chain_lengths(expr: &Expr<'_>, produced: usize) {
+    for stage in expr.stages() {
+        if let Stage::Ewise { operand, .. } = stage {
+            assert_eq!(
+                operand.len(),
+                produced,
+                "ewise stage operand length must equal output length"
+            );
+        }
+    }
+    if let Some((_, w)) = expr.accum {
+        assert_eq!(
+            w.len(),
+            produced,
+            "accumulator length must equal output length"
+        );
+    }
+}
+
+/// The defining node-at-a-time epilogue: one full pass per stage, then an
+/// accumulator pass.
+fn finish_node_at_a_time(expr: &Expr<'_>, ws: &Workspace, out: &mut [f32]) {
+    for stage in expr.stages() {
+        match stage {
+            Stage::Ewise { .. } => ws.stats().record_ewise(),
+            Stage::Select(_) => ws.stats().record_select(),
+            Stage::Apply(_) | Stage::Affine { .. } => ws.stats().record_apply(),
+        }
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = stage.eval(i, *v);
+        }
+    }
+    if let Some((op, w)) = expr.accum {
+        let base = w.as_slice();
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = op.apply(base[i], *v);
+        }
+    }
+}
+
+fn execute_leaf(expr: &Expr<'_>, v: &Vector, ctx: &Context) -> Vector {
+    check_chain_lengths(expr, v.len());
+    let ws = ctx.workspace();
+    let mut out = ws.take_empty::<f32>();
+    out.extend_from_slice(v.as_slice());
+    if expr.fusion() == Fusion::Fused {
+        ws.stats().record_ewise_chain();
+        run_chain_in_place_parallel(
+            expr.stages(),
+            expr.accum.map(|(op, w)| (op, w.as_slice())),
+            &mut out,
+        );
+    } else {
+        finish_node_at_a_time(expr, ws, &mut out);
+    }
+    Vector::from_vec(out)
+}
+
+fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Vector {
+    let Producer::Mxv {
+        a,
+        x,
+        semiring,
+        mask,
+        desc,
+        flip,
+        scale,
+    } = expr.producer
+    else {
+        unreachable!("execute_mxv is only called for Mxv producers")
+    };
+    let transpose = desc.transpose;
+    // Output length is the non-contracted dimension.
+    let (contracted, produced) = if transpose != flip {
+        (a.nrows(), a.ncols())
+    } else {
+        (a.ncols(), a.nrows())
+    };
+    assert_eq!(
+        contracted,
+        x.len(),
+        "{} dimension mismatch",
+        if flip { "vxm" } else { "mxv" }
+    );
+    if let Some(m) = mask {
+        assert_eq!(m.len(), produced, "mask length must equal output length");
+    }
+    if let Some(s) = scale {
+        assert_eq!(
+            s.len(),
+            contracted,
+            "input scale length must equal operand length"
+        );
+    }
+    check_chain_lengths(expr, produced);
+
+    let state = a.state();
+    let ws = ctx.workspace();
+    let mut out = ws.take_empty::<f32>();
+
+    // Materialize the scaled operand (if any) into pooled scratch; the
+    // pull sweep gathers each entry many times, so scaling once up front is
+    // strictly cheaper than scaling per gathered edge.
+    let mut scaled: Option<Vec<f32>> = scale.map(|s| {
+        let mut buf = ws.take_empty::<f32>();
+        buf.extend(
+            x.as_slice()
+                .iter()
+                .zip(s.as_slice())
+                .map(|(&xv, &sv)| xv * sv),
+        );
+        buf
+    });
+    let x_slice: &[f32] = scaled.as_deref().unwrap_or_else(|| x.as_slice());
+
+    // Resolve the direction exactly like the eager API did: Auto counts the
+    // active entries with a read-only scan, an explicit push on an unsafe
+    // semiring is coerced back to pull.
+    let direction = match desc.direction {
+        Direction::Push if !semiring.push_safe() => Direction::Pull,
+        Direction::Auto => {
+            let n_active = x_slice
+                .iter()
+                .filter(|&&v| !semiring.is_identity(v))
+                .count();
+            choose_direction(n_active, contracted, a.nnz(), semiring, &ctx.device)
+        }
+        d => d,
+    };
+
+    let trivial = expr.n_stages() == 0 && expr.accum.is_none();
+    let fuse = expr.fusion() == Fusion::Fused;
+    let eff_transpose = transpose != flip;
+    let accum = expr.accum.map(|(op, w)| (op, w.as_slice()));
+
+    match direction {
+        Direction::Push => {
+            let mut frontier = ws.take_empty::<usize>();
+            frontier.extend(
+                x_slice
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| !semiring.is_identity(v))
+                    .map(|(i, _)| i),
+            );
+            if trivial && scale.is_none() {
+                // The bare eager shape: dispatch through the flip-preserving
+                // entry points so external backends' overrides keep firing.
+                if flip {
+                    state
+                        .vxm_push_into(x_slice, &frontier, semiring, mask, transpose, ws, &mut out);
+                } else {
+                    state
+                        .mxv_push_into(x_slice, &frontier, semiring, mask, transpose, ws, &mut out);
+                }
+            } else {
+                let p = MxvPipeline {
+                    x: x_slice,
+                    frontier: Some(&frontier),
+                    semiring,
+                    mask,
+                    transpose: eff_transpose,
+                    stages: expr.stages(),
+                    accum,
+                };
+                if fuse && (p.accum.is_none() || p.push_folds_accum()) {
+                    state.mxv_fused_into(&p, ws, &mut out);
+                    ws.stats().record_fused_mxv();
+                } else {
+                    // Partial fusion: scatter node-at-a-time, but collapse
+                    // the epilogue into one chain sweep when allowed.
+                    state.mxv_push_into(
+                        x_slice,
+                        &frontier,
+                        semiring,
+                        mask,
+                        eff_transpose,
+                        ws,
+                        &mut out,
+                    );
+                    if fuse {
+                        state.ewise_chain_into(expr.stages(), accum, &mut out);
+                        ws.stats().record_ewise_chain();
+                    } else {
+                        finish_node_at_a_time(expr, ws, &mut out);
+                    }
+                }
+            }
+            ws.give(frontier);
+            ws.stats().record_push_mxv();
+        }
+        _ => {
+            if trivial && scale.is_none() {
+                if flip {
+                    state.vxm_into(x_slice, semiring, mask, transpose, ws, &mut out);
+                } else {
+                    state.mxv_into(x_slice, semiring, mask, transpose, ws, &mut out);
+                }
+            } else {
+                let p = MxvPipeline {
+                    x: x_slice,
+                    frontier: None,
+                    semiring,
+                    mask,
+                    transpose: eff_transpose,
+                    stages: expr.stages(),
+                    accum,
+                };
+                if fuse {
+                    state.mxv_fused_into(&p, ws, &mut out);
+                    ws.stats().record_fused_mxv();
+                } else {
+                    state.mxv_into(x_slice, semiring, mask, eff_transpose, ws, &mut out);
+                    finish_node_at_a_time(expr, ws, &mut out);
+                }
+            }
+            ws.stats().record_pull_mxv();
+        }
+    }
+
+    if let Some(buf) = scaled.take() {
+        ws.give(buf);
+    }
+    debug_assert_eq!(out.len(), produced);
+    Vector::from_vec(out)
+}

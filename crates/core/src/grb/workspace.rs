@@ -21,8 +21,12 @@
 //!   later `give`s.  Algorithms that want allocation-free steady state
 //!   return their previous iteration's vector with
 //!   [`Context::recycle`](super::Context::recycle).
-//! * Each shelf is capped ([`SHELF_CAP`]) so a pathological caller cannot
-//!   hoard unbounded memory inside a long-lived context.
+//! * Each shelf is capped in buffer count ([`SHELF_CAP`]) **and** in bytes
+//!   ([`SHELF_BYTE_CAP`]): recycling many differently-sized vectors evicts
+//!   the oldest shelved buffers beyond the byte high-water mark, so a
+//!   pathological caller cannot hoard unbounded memory inside a long-lived
+//!   context.  The most recently given buffer always survives — it is the
+//!   one sized for the current steady state.
 //!
 //! The pool is behind a `Mutex` (not a `RefCell`) so that a `Context` — and
 //! the [`Matrix`](super::Matrix) that carries one — stays `Send + Sync`.
@@ -34,6 +38,13 @@ use std::sync::Mutex;
 
 /// Maximum number of recycled buffers kept per element type.
 const SHELF_CAP: usize = 32;
+
+/// Byte high-water mark per shelf: when the recycled buffers of one element
+/// type exceed this, the oldest are evicted (the newest always survives).
+/// Generous enough that steady-state algorithm loops — a handful of
+/// graph-sized vectors — never hit it; only callers recycling many
+/// differently-sized buffers do.
+const SHELF_BYTE_CAP: usize = 8 << 20;
 
 /// Element types the workspace pool can hold buffers of.
 ///
@@ -104,16 +115,28 @@ impl Workspace {
         buf
     }
 
-    /// Return a buffer to the pool for later reuse.  Buffers beyond the
-    /// per-type shelf cap are dropped.
+    /// Return a buffer to the pool for later reuse.  Once the shelf exceeds
+    /// the per-type count cap ([`SHELF_CAP`]) or the byte high-water mark
+    /// ([`SHELF_BYTE_CAP`]), the *oldest* shelved buffers are evicted first
+    /// — the just-given buffer is the one sized for the current steady
+    /// state, so it always survives.
     pub fn give<T: Poolable>(&self, buf: Vec<T>) {
         if buf.capacity() == 0 {
             return;
         }
         let mut pool = self.pool.lock().expect("workspace pool poisoned");
         let shelf = T::shelf(&mut pool);
-        if shelf.len() < SHELF_CAP {
-            shelf.push(buf);
+        shelf.push(buf);
+        let bytes = |b: &Vec<T>| b.capacity() * std::mem::size_of::<T>();
+        let mut total: usize = shelf.iter().map(bytes).sum();
+        let mut evict = 0;
+        while (shelf.len() - evict > SHELF_CAP || total > SHELF_BYTE_CAP) && evict + 1 < shelf.len()
+        {
+            total -= bytes(&shelf[evict]);
+            evict += 1;
+        }
+        if evict > 0 {
+            shelf.drain(..evict);
         }
     }
 
@@ -134,6 +157,8 @@ impl Workspace {
 pub struct ExecStats {
     pull_mxv: AtomicU64,
     push_mxv: AtomicU64,
+    fused_mxv: AtomicU64,
+    ewise_chain: AtomicU64,
     mxm_reduce: AtomicU64,
     reduce: AtomicU64,
     ewise: AtomicU64,
@@ -147,6 +172,12 @@ impl ExecStats {
     }
     pub(crate) fn record_push_mxv(&self) {
         self.push_mxv.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_fused_mxv(&self) {
+        self.fused_mxv.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_ewise_chain(&self) {
+        self.ewise_chain.fetch_add(1, Ordering::Relaxed);
     }
     pub(crate) fn record_mxm_reduce(&self) {
         self.mxm_reduce.fetch_add(1, Ordering::Relaxed);
@@ -169,6 +200,8 @@ impl ExecStats {
         ExecCounts {
             pull_mxv: self.pull_mxv.load(Ordering::Relaxed),
             push_mxv: self.push_mxv.load(Ordering::Relaxed),
+            fused_mxv: self.fused_mxv.load(Ordering::Relaxed),
+            ewise_chain: self.ewise_chain.load(Ordering::Relaxed),
             mxm_reduce: self.mxm_reduce.load(Ordering::Relaxed),
             reduce: self.reduce.load(Ordering::Relaxed),
             ewise: self.ewise.load(Ordering::Relaxed),
@@ -185,6 +218,12 @@ pub struct ExecCounts {
     pub pull_mxv: u64,
     /// `mxv`/`vxm` executions that resolved to the push (sparse scatter) path.
     pub push_mxv: u64,
+    /// Matrix-vector pipelines executed as a single fused sweep (also
+    /// counted in `pull_mxv`/`push_mxv` by resolved direction).
+    pub fused_mxv: u64,
+    /// Collapsed element-wise chain sweeps (leaf chains and the fused
+    /// epilogue of partially-fused push pipelines).
+    pub ewise_chain: u64,
     /// Masked matrix-product reductions.
     pub mxm_reduce: u64,
     /// Vector reductions.
@@ -232,11 +271,66 @@ mod tests {
         // The u8 shelf must not serve the u16 request's storage.
         let b16 = ws.take::<u16>(2, 7);
         assert_eq!(b16, vec![7, 7]);
-        for _ in 0..2 * SHELF_CAP {
-            ws.give(vec![0usize; 8]);
+        let bufs: Vec<Vec<usize>> = (0..2 * SHELF_CAP).map(|_| vec![0usize; 8]).collect();
+        let newest_ptr = bufs.last().unwrap().as_ptr();
+        for b in bufs {
+            ws.give(b);
         }
         let pool = ws.pool.lock().unwrap();
         assert!(pool.usizes.len() <= SHELF_CAP);
+        // Count-cap eviction drops the oldest, never the just-given buffer
+        // (it is the one sized for the current steady state).
+        assert_eq!(pool.usizes.last().unwrap().as_ptr(), newest_ptr);
+    }
+
+    #[test]
+    fn shelf_byte_cap_evicts_oldest_first() {
+        let ws = Workspace::new();
+        // 1 MiB buffers: a dozen exceed the 8 MiB shelf high-water mark.
+        let elems = (1 << 20) / std::mem::size_of::<f32>();
+        // Allocate everything up front so freed-and-reallocated addresses
+        // cannot masquerade as surviving buffers.
+        let bufs: Vec<Vec<f32>> = (0..12).map(|i| vec![i as f32; elems]).collect();
+        let ptrs: Vec<*const f32> = bufs.iter().map(|b| b.as_ptr()).collect();
+        for b in bufs {
+            ws.give(b);
+        }
+        let pool = ws.pool.lock().unwrap();
+        let total: usize = pool
+            .f32s
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<f32>())
+            .sum();
+        assert!(
+            total <= SHELF_BYTE_CAP,
+            "shelf holds {total} bytes, cap is {SHELF_BYTE_CAP}"
+        );
+        let held: Vec<_> = pool.f32s.iter().map(|b| b.as_ptr()).collect();
+        assert_eq!(
+            held.last().copied(),
+            ptrs.last().copied(),
+            "the newest buffer must survive eviction"
+        );
+        assert!(
+            !held.contains(&ptrs[0]),
+            "the oldest buffer must be evicted first"
+        );
+        // Eviction kept the most recent window, in order.
+        assert_eq!(&held[..], &ptrs[12 - held.len()..]);
+    }
+
+    #[test]
+    fn oversized_single_buffer_is_kept_but_alone() {
+        let ws = Workspace::new();
+        ws.give(vec![0u8; 16]);
+        // A single buffer above the high-water mark evicts everything older
+        // but is itself retained (it is the current steady-state size).
+        let big = vec![0u8; SHELF_BYTE_CAP + 1];
+        let big_ptr = big.as_ptr();
+        ws.give(big);
+        let pool = ws.pool.lock().unwrap();
+        assert_eq!(pool.u8s.len(), 1);
+        assert_eq!(pool.u8s[0].as_ptr(), big_ptr);
     }
 
     #[test]

@@ -296,6 +296,132 @@ pub fn bmv_bin_full_full_masked_into<W: BitWord>(
     });
 }
 
+/// `bmv_bin_full_full_fused_into()`: the pull sweep of a fused expression
+/// pipeline (PR 3).  Computes each output row's raw semiring value exactly
+/// like [`bmv_bin_full_full_into`], then stores `y[r] = finish(r, t_r)` —
+/// the planner packs the mask test, every element-wise epilogue stage and
+/// the accumulator into `finish`, so a whole `mxv → apply → accum` chain is
+/// one sweep over the matrix.
+///
+/// Unlike the generic kernel, the semiring is dispatched **once per call**
+/// (not once per set bit): each semiring gets a monomorphised inner loop.
+/// The sweep is also tile-granular: each tile's row words are packed into
+/// 64-bit chunks ([`BitWord::pack_chunk_u64`]) and the set bits of a whole
+/// 8×8 tile (half of a 16×16 one, …) are enumerated by one
+/// `trailing_zeros` loop — on scatter-pattern matrices, where most tiles
+/// hold only a couple of bits, this replaces the per-row word scan (mostly
+/// hitting empty words) with a single load-test-extract.  Row accumulators
+/// live in a stack-local tile buffer instead of read-modify-writing `y`
+/// once per tile.
+///
+/// `y` must have the padded length `n_tile_rows * tile_dim`; rows past
+/// `nrows` receive the semiring identity and are truncated by the caller.
+pub fn bmv_bin_full_full_fused_into<W: BitWord, F: Fn(usize, f32) -> f32 + Sync>(
+    a: &B2sr<W>,
+    x: &[f32],
+    semiring: Semiring,
+    finish: F,
+    y: &mut [f32],
+) {
+    assert!(x.len() >= a.ncols(), "vector shorter than matrix columns");
+    match semiring {
+        Semiring::Arithmetic => bit_fused_sweep(a, x, 0.0, |v| v, |acc, v| acc + v, finish, y),
+        Semiring::Boolean => bit_fused_sweep(
+            a,
+            x,
+            0.0,
+            |v| if v != 0.0 { 1.0 } else { 0.0 },
+            |acc: f32, v: f32| {
+                if acc != 0.0 || v != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+            finish,
+            y,
+        ),
+        Semiring::MinPlus(w) => {
+            bit_fused_sweep(a, x, f32::INFINITY, move |v| v + w, f32::min, finish, y)
+        }
+        Semiring::MaxTimes(w) => {
+            bit_fused_sweep(a, x, f32::NEG_INFINITY, move |v| v * w, f32::max, finish, y)
+        }
+    }
+}
+
+/// The monomorphised tile-row sweep behind [`bmv_bin_full_full_fused_into`].
+fn bit_fused_sweep<W, C, R, F>(
+    a: &B2sr<W>,
+    x: &[f32],
+    identity: f32,
+    combine: C,
+    reduce: R,
+    finish: F,
+    y: &mut [f32],
+) where
+    W: BitWord,
+    C: Fn(f32) -> f32 + Sync,
+    R: Fn(f32, f32) -> f32 + Sync,
+    F: Fn(usize, f32) -> f32 + Sync,
+{
+    let dim = a.tile_dim();
+    let nrows = a.nrows();
+    let padded = a.n_tile_rows() * dim;
+    assert!(
+        y.len() >= padded,
+        "output shorter than the padded row count"
+    );
+    debug_assert!(dim <= 32, "B2SR tiles are at most 32x32");
+    y.par_chunks_mut(dim).enumerate().for_each(|(tr, out)| {
+        if tr >= a.n_tile_rows() {
+            for v in out.iter_mut() {
+                *v = identity;
+            }
+            return;
+        }
+        // Row accumulators for this tile-row, in registers/L1 instead of a
+        // per-tile read-modify-write of `y`.
+        let mut acc = [0.0f32; 32];
+        for slot in acc[..dim].iter_mut() {
+            *slot = identity;
+        }
+        // Words per 64-bit chunk: a whole 8×8 tile, half a 16×16 one, …
+        let per = (64 / W::BITS) as usize;
+        for idx in a.tile_row_range(tr) {
+            let tc = a.tile_colind()[idx];
+            let base = tc * dim;
+            let words = a.tile_words(idx);
+            for (ci, chunk) in words[..dim.min(words.len())].chunks(per).enumerate() {
+                // Tile-granular scan: every set bit of the chunk in one
+                // trailing_zeros loop; bit `b` is row `b / BITS` (within
+                // the chunk), column `b % BITS` of the tile.
+                let mut w64 = W::pack_chunk_u64(chunk);
+                let r0 = ci * per;
+                while w64 != 0 {
+                    let b = w64.trailing_zeros();
+                    w64 &= w64 - 1;
+                    let r = r0 + (b / W::BITS) as usize;
+                    let j = base + (b % W::BITS) as usize;
+                    // Guard the ragged last tile-column (ncols % dim != 0).
+                    if j < x.len() {
+                        acc[r] = reduce(acc[r], combine(x[j]));
+                    }
+                }
+            }
+        }
+        let row0 = tr * dim;
+        for (r, v) in out.iter_mut().enumerate() {
+            let gr = row0 + r;
+            *v = if gr < nrows {
+                finish(gr, acc[r])
+            } else {
+                identity
+            };
+        }
+    });
+}
+
 // ---------------------------------------------------------------------------
 // Push (sparse-frontier) kernels
 // ---------------------------------------------------------------------------
@@ -730,6 +856,47 @@ mod tests {
         let mut packed_b = vec![0u8; 99];
         pack_vector_bits_into(&visited, 8, &mut packed_b);
         assert_eq!(packed_b, mp);
+    }
+
+    #[test]
+    fn fused_sweep_matches_generic_kernel_plus_finish() {
+        let a = sample(77, 51);
+        let x = sample_x(77);
+        let epilogue = |r: usize, t: f32| 2.0 * t + r as f32;
+        for semiring in [
+            Semiring::Arithmetic,
+            Semiring::Boolean,
+            Semiring::MinPlus(1.0),
+            Semiring::MaxTimes(1.0),
+        ] {
+            macro_rules! check {
+                ($w:ty, $dim:expr) => {{
+                    let b = from_csr::<$w>(&a, $dim);
+                    let padded = b.n_tile_rows() * $dim;
+                    let mut fused = vec![42.0f32; padded];
+                    bmv_bin_full_full_fused_into(&b, &x, semiring, epilogue, &mut fused);
+                    let generic = bmv_bin_full_full(&b, &x, semiring);
+                    for (r, &want_raw) in generic.iter().enumerate() {
+                        let want = epilogue(r, want_raw);
+                        let got = fused[r];
+                        let both_inf = got.is_infinite() && want.is_infinite();
+                        assert!(
+                            both_inf || (got - want).abs() < 1e-4,
+                            "{semiring:?} dim {}: row {r}: {got} vs {want}",
+                            $dim
+                        );
+                    }
+                    // Padded tail rows hold the identity.
+                    for &v in &fused[a.nrows()..] {
+                        assert_eq!(v, semiring.identity(), "{semiring:?}");
+                    }
+                }};
+            }
+            check!(u8, 4);
+            check!(u8, 8);
+            check!(u16, 16);
+            check!(u32, 32);
+        }
     }
 
     #[test]

@@ -23,8 +23,8 @@ pub mod bmv;
 pub use bmm::{bmm_bin_bin_sum, bmm_bin_bin_sum_masked};
 pub use bmv::{
     bmv_bin_bin_bin, bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked, bmv_bin_bin_bin_masked_into,
-    bmv_bin_bin_full, bmv_bin_bin_full_masked, bmv_bin_full_full, bmv_bin_full_full_into,
-    bmv_bin_full_full_masked, bmv_bin_full_full_masked_into, bmv_push_bin_bin, bmv_push_bin_full,
-    pack_vector_bits, pack_vector_bits_into, pack_vector_tilewise, pack_vector_tilewise_into,
-    unpack_vector_bits,
+    bmv_bin_bin_full, bmv_bin_bin_full_masked, bmv_bin_full_full, bmv_bin_full_full_fused_into,
+    bmv_bin_full_full_into, bmv_bin_full_full_masked, bmv_bin_full_full_masked_into,
+    bmv_push_bin_bin, bmv_push_bin_full, pack_vector_bits, pack_vector_bits_into,
+    pack_vector_tilewise, pack_vector_tilewise_into, unpack_vector_bits,
 };

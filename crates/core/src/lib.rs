@@ -41,5 +41,7 @@ pub mod kernels;
 pub mod semiring;
 
 pub use b2sr::{B2sr, B2srMatrix, TileSize};
-pub use grb::{Backend, Context, Descriptor, Direction, GrbBackend, Matrix, Op, Vector};
-pub use semiring::Semiring;
+pub use grb::{
+    Backend, Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Matrix, Op, Vector,
+};
+pub use semiring::{BinaryOp, Semiring};

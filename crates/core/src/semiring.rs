@@ -115,6 +115,91 @@ impl Semiring {
     }
 }
 
+/// A binary scalar operator, as used by the GraphBLAS accumulator
+/// (`w ⊕= t`) and the element-wise stages of the lazy expression IR.
+///
+/// Each semiring's additive monoid and multiplicative op map onto one of
+/// these ([`BinaryOp::monoid_of`] / [`BinaryOp::mult_of`]), which is what
+/// lets the planner collapse `ewise_add` / `ewise_mult` chains and fold
+/// accumulators into the matrix-product sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `a + b`.
+    Plus,
+    /// `a · b`.
+    Times,
+    /// `min(a, b)`.
+    Min,
+    /// `max(a, b)`.
+    Max,
+    /// Logical OR over the {0, 1} encoding (`1.0` iff either is nonzero).
+    Or,
+    /// Logical AND over the {0, 1} encoding (`1.0` iff both are nonzero).
+    And,
+}
+
+impl BinaryOp {
+    /// Apply the operator.
+    #[inline]
+    pub fn apply(&self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryOp::Plus => a + b,
+            BinaryOp::Times => a * b,
+            BinaryOp::Min => a.min(b),
+            BinaryOp::Max => a.max(b),
+            BinaryOp::Or => {
+                if a != 0.0 || b != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            BinaryOp::And => {
+                if a != 0.0 && b != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The operator implementing the given semiring's additive monoid `⊕`
+    /// (what `ewise_add` means under that semiring).
+    #[inline]
+    pub fn monoid_of(semiring: Semiring) -> BinaryOp {
+        match semiring {
+            Semiring::Boolean => BinaryOp::Or,
+            Semiring::Arithmetic => BinaryOp::Plus,
+            Semiring::MinPlus(_) => BinaryOp::Min,
+            Semiring::MaxTimes(_) => BinaryOp::Max,
+        }
+    }
+
+    /// The operator implementing the given semiring's element-wise
+    /// multiplication `⊗` (what `ewise_mult` means under that semiring:
+    /// Hadamard product for arithmetic/max-times, addition for min-plus,
+    /// AND for Boolean).
+    #[inline]
+    pub fn mult_of(semiring: Semiring) -> BinaryOp {
+        match semiring {
+            Semiring::Boolean => BinaryOp::And,
+            Semiring::Arithmetic | Semiring::MaxTimes(_) => BinaryOp::Times,
+            Semiring::MinPlus(_) => BinaryOp::Plus,
+        }
+    }
+
+    /// True when this operator *is* the semiring's additive monoid — the
+    /// condition under which an accumulator can be folded into the
+    /// matrix-product sweep itself (`⊕`-folding contributions straight into
+    /// the accumulation baseline is associative + commutative, so partial
+    /// push scatters stay exact).
+    #[inline]
+    pub fn matches_monoid(&self, semiring: Semiring) -> bool {
+        *self == Self::monoid_of(semiring)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +261,43 @@ mod tests {
         assert!(Semiring::MaxTimes(1.0).push_safe());
         assert!(!Semiring::MaxTimes(0.0).push_safe());
         assert!(!Semiring::MaxTimes(-1.0).push_safe());
+    }
+
+    #[test]
+    fn binary_ops_apply_their_operator() {
+        assert_eq!(BinaryOp::Plus.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinaryOp::Times.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinaryOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(BinaryOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(BinaryOp::Or.apply(0.0, 3.0), 1.0);
+        assert_eq!(BinaryOp::Or.apply(0.0, 0.0), 0.0);
+        assert_eq!(BinaryOp::And.apply(0.0, 3.0), 0.0);
+        assert_eq!(BinaryOp::And.apply(2.0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn binary_ops_map_to_semiring_monoids_and_mults() {
+        assert_eq!(BinaryOp::monoid_of(Semiring::Boolean), BinaryOp::Or);
+        assert_eq!(BinaryOp::monoid_of(Semiring::Arithmetic), BinaryOp::Plus);
+        assert_eq!(BinaryOp::monoid_of(Semiring::MinPlus(1.0)), BinaryOp::Min);
+        assert_eq!(BinaryOp::monoid_of(Semiring::MaxTimes(1.0)), BinaryOp::Max);
+        assert_eq!(BinaryOp::mult_of(Semiring::Boolean), BinaryOp::And);
+        assert_eq!(BinaryOp::mult_of(Semiring::Arithmetic), BinaryOp::Times);
+        assert_eq!(BinaryOp::mult_of(Semiring::MinPlus(0.0)), BinaryOp::Plus);
+        assert!(BinaryOp::Min.matches_monoid(Semiring::MinPlus(1.0)));
+        assert!(!BinaryOp::Min.matches_monoid(Semiring::Arithmetic));
+        // The monoid op folded with the semiring's reduce must agree.
+        for s in [
+            Semiring::Boolean,
+            Semiring::Arithmetic,
+            Semiring::MinPlus(1.0),
+            Semiring::MaxTimes(1.0),
+        ] {
+            let op = BinaryOp::monoid_of(s);
+            for (a, b) in [(0.0f32, 0.0f32), (1.0, 0.0), (2.0, 3.0), (5.0, 1.0)] {
+                assert_eq!(op.apply(a, b), s.reduce(a, b), "{s:?} {a} {b}");
+            }
+        }
     }
 
     #[test]

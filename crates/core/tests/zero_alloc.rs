@@ -14,7 +14,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bitgblas_core::grb::{Context, Direction, Mask, Op, Vector};
-use bitgblas_core::{Backend, Matrix, Semiring, TileSize};
+use bitgblas_core::{Backend, BinaryOp, Matrix, Semiring, TileSize};
 use bitgblas_sparse::Coo;
 
 /// Counts every allocation and reallocation passing through the global
@@ -124,6 +124,108 @@ fn bfs_inner_loop_is_allocation_free_after_warmup() {
     // The traversal still did real work while being measured.
     assert_eq!(levels[40], 40);
     assert_eq!(levels[41], -1);
+}
+
+/// A small scatter-pattern graph for the PageRank pipeline (every vertex
+/// has out-edges, sizes stay identical across iterations).
+fn ring_with_chords(n: usize) -> Matrix {
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push_edge(i, (i + 1) % n).unwrap();
+        coo.push_edge(i, (i * 7 + 3) % n).unwrap();
+    }
+    Matrix::from_csr(&coo.to_binary_csr(), Backend::Bit(TileSize::S8))
+}
+
+/// The fused PageRank pipeline — dangling dot (fused chain-reduce), the
+/// scale+mxv+affine expression (one fused sweep) and the rank recycle —
+/// must allocate zero bytes per iteration once the pool is warm.
+#[test]
+fn fused_pagerank_pipeline_is_allocation_free_after_warmup() {
+    let n = 512;
+    let a = ring_with_chords(n);
+    let ctx = a.context();
+    let inv_deg = Vector::from_vec(
+        a.out_degrees()
+            .iter()
+            .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 })
+            .collect(),
+    );
+    let dangling_mask = Vector::zeros(n);
+    let alpha = 0.85f32;
+    let teleport = (1.0 - alpha) / n as f32;
+    let mut rank = Vector::from_vec(vec![1.0 / n as f32; n]);
+
+    let iteration = |rank: &mut Vector| {
+        let dangling = Op::ewise_mult(rank, &dangling_mask).reduce().run(ctx);
+        let next = Op::vxm(rank, &a)
+            .scale_input(&inv_deg)
+            .semiring(Semiring::Arithmetic)
+            .affine(alpha, teleport + alpha * dangling / n as f32)
+            .run(ctx);
+        let _delta = next.max_abs_diff(rank);
+        ctx.recycle(std::mem::replace(rank, next));
+    };
+
+    for _ in 0..12 {
+        iteration(&mut rank);
+    }
+    let before = allocations();
+    for _ in 0..24 {
+        iteration(&mut rank);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "fused PageRank pipeline allocated in steady state"
+    );
+    let total: f32 = rank.as_slice().iter().sum();
+    assert!((total - 1.0).abs() < 1e-3, "ranks still sum to 1: {total}");
+}
+
+/// The fused SSSP pipeline — min-plus relaxation with the `min`
+/// accumulator folded into the sweep — must allocate zero bytes per round
+/// once the pool is warm.
+#[test]
+fn fused_sssp_accum_pipeline_is_allocation_free_after_warmup() {
+    let n = 256;
+    let a = chain(n);
+    let ctx = a.context();
+    let semiring = Semiring::MinPlus(1.0);
+    let mut dist = Vector::identity(n, semiring);
+    dist.set(0, 0.0);
+    // Seed the frontier-list buffer for the whole run (the SSSP frontier
+    // grows by one chain vertex per round), as in the relaxation test
+    // above.
+    ctx.workspace().give::<usize>(Vec::with_capacity(n));
+
+    let round = |dist: &mut Vector| {
+        let next = Op::vxm(&*dist, &a)
+            .semiring(semiring)
+            .direction(Direction::Push)
+            .accum(BinaryOp::Min, &*dist)
+            .run(ctx);
+        let _changed = next
+            .as_slice()
+            .iter()
+            .zip(dist.as_slice())
+            .any(|(n, d)| n < d);
+        ctx.recycle(std::mem::replace(dist, next));
+    };
+
+    for _ in 0..8 {
+        round(&mut dist);
+    }
+    let before = allocations();
+    for _ in 0..24 {
+        round(&mut dist);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "fused SSSP accumulation pipeline allocated in steady state"
+    );
+    assert_eq!(dist.get(20), 20.0);
 }
 
 #[test]

@@ -98,4 +98,20 @@ fn main() {
         "one builder-API hop from vertex 0 reaches {} vertices",
         next.nnz()
     );
+
+    // The builders are lazy (GraphBLAS non-blocking mode): nothing ran yet
+    // when an expression is built, and a whole chain — product, apply,
+    // accumulator — fuses into one kernel sweep at run(&ctx).  Here: one
+    // min-plus relaxation round with the accumulator folded into the sweep.
+    let mut dist = Vector::identity(adjacency.nrows(), Semiring::MinPlus(1.0));
+    dist.set(0, 0.0);
+    let relaxed = Op::vxm(&dist, &bit)
+        .semiring(Semiring::MinPlus(1.0))
+        .accum(BinaryOp::Min, &dist)
+        .run(&ctx);
+    println!(
+        "one fused relaxation round reaches {} vertices (fused pipelines run: {})",
+        relaxed.as_slice().iter().filter(|d| d.is_finite()).count(),
+        ctx.stats().fused_mxv
+    );
 }

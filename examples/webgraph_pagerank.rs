@@ -73,4 +73,36 @@ fn main() {
     }
 
     println!("\nboth backends produce the same ranking (within 1e-4)");
+
+    // The PR-3 lazy expression graph: the same PageRank iterations executed
+    // as fused sweeps (the default, GraphBLAS non-blocking mode) vs one
+    // kernel per expression node.
+    let graph = Matrix::from_csr(&adjacency, Backend::Bit(TileSize::S8));
+    let fixed = PageRankConfig {
+        tolerance: 0.0,
+        ..config
+    };
+    let t0 = Instant::now();
+    let fused = pagerank(&graph, &fixed);
+    let fused_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let unfused = pagerank(
+        &graph,
+        &PageRankConfig {
+            fusion: Fusion::NodeAtATime,
+            ..fixed
+        },
+    );
+    let unfused_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let max_diff = fused
+        .ranks
+        .iter()
+        .zip(&unfused.ranks)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!(
+        "operator fusion: fused {fused_ms:.2} ms vs node-at-a-time {unfused_ms:.2} ms \
+         ({:.2}x, max rank diff {max_diff:.1e})",
+        unfused_ms / fused_ms
+    );
 }

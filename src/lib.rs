@@ -76,13 +76,13 @@ pub use bitgblas_sparse as sparse;
 /// The most commonly used items, for `use bit_graphblas::prelude::*`.
 pub mod prelude {
     pub use bitgblas_algorithms::{
-        bfs, bfs_dir, connected_components, pagerank, sssp, sssp_dir, triangle_count,
+        bfs, bfs_dir, connected_components, pagerank, sssp, sssp_dir, sssp_with, triangle_count,
         PageRankConfig,
     };
-    #[allow(deprecated)]
-    pub use bitgblas_core::grb::{mxv, reduce, vxm};
-    pub use bitgblas_core::grb::{Context, Descriptor, Direction, GrbBackend, Mask, Op};
-    pub use bitgblas_core::{B2srMatrix, Backend, Matrix, Semiring, TileSize, Vector};
+    pub use bitgblas_core::grb::{
+        Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Mask, Op,
+    };
+    pub use bitgblas_core::{B2srMatrix, Backend, BinaryOp, Matrix, Semiring, TileSize, Vector};
     pub use bitgblas_sparse::{Coo, Csr, DenseVec};
 }
 

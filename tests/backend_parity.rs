@@ -161,6 +161,102 @@ proptest! {
             assert_f32_slices_match(&pull.distances, &expected, "sssp", backend);
         }
     }
+
+    /// PR-3 fusion parity: a representative expression chain — product,
+    /// affine stage, ewise link, accumulator, with and without a mask —
+    /// produces identical results whether the planner fuses it or executes
+    /// node-at-a-time, on every direction and every acceptance backend.
+    #[test]
+    fn fused_pipeline_equals_node_at_a_time(adj in graph_strategy(), src in 0usize..1000) {
+        let n = adj.nrows();
+        let src = src % n;
+        let ctx = Context::default();
+        let sparse = Vector::indicator(n, &[src]);
+        let dense = Vector::from_vec((0..n).map(|i| (i % 5) as f32 * 0.5).collect());
+        let operand = Vector::from_vec((0..n).map(|i| (i % 7) as f32).collect());
+        let base = Vector::from_vec((0..n).map(|i| (i % 3) as f32).collect());
+        let mask = Mask::new((0..n).map(|i| i % 4 != 1).collect());
+        for backend in direction_backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            for (x, semiring) in [(&sparse, Semiring::Boolean), (&dense, Semiring::Arithmetic)] {
+                for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                    for masked in [false, true] {
+                        let build = |fusion: Fusion| {
+                            let mut op = Op::vxm(x, &m)
+                                .semiring(semiring)
+                                .direction(dir)
+                                .affine(2.0, 1.0)
+                                .then_ewise(BinaryOp::Plus, &operand)
+                                .accum(BinaryOp::Max, &base)
+                                .fusion(fusion);
+                            if masked {
+                                op = op.mask(&mask);
+                            }
+                            op.run(&ctx)
+                        };
+                        let fused = build(Fusion::Fused);
+                        let unfused = build(Fusion::NodeAtATime);
+                        assert_f32_slices_match(
+                            fused.as_slice(),
+                            unfused.as_slice(),
+                            "fused pipeline",
+                            backend,
+                        );
+                    }
+                }
+            }
+            // The monoid-accumulator shape that folds into the sweep.
+            let mut dist = Vector::identity(n, Semiring::MinPlus(1.0));
+            dist.set(src, 0.0);
+            for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                let relax = |fusion: Fusion| {
+                    Op::vxm(&dist, &m)
+                        .semiring(Semiring::MinPlus(1.0))
+                        .direction(dir)
+                        .accum(BinaryOp::Min, &dist)
+                        .fusion(fusion)
+                        .run(&ctx)
+                };
+                prop_assert_eq!(
+                    relax(Fusion::Fused),
+                    relax(Fusion::NodeAtATime),
+                    "min-accum {:?} {:?}",
+                    backend,
+                    dir
+                );
+            }
+        }
+    }
+
+    /// Whole-algorithm fusion parity: fused PageRank and SSSP equal their
+    /// node-at-a-time executions on every acceptance backend.
+    #[test]
+    fn algorithm_fusion_parity(adj in graph_strategy(), src in 0usize..1000) {
+        let src = src % adj.nrows();
+        let fused_cfg = PageRankConfig { max_iterations: 12, ..Default::default() };
+        let unfused_cfg = PageRankConfig { fusion: Fusion::NodeAtATime, ..fused_cfg };
+        for backend in direction_backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            let pr_fused = pagerank(&m, &fused_cfg);
+            let pr_unfused = pagerank(&m, &unfused_cfg);
+            prop_assert_eq!(pr_fused.iterations, pr_unfused.iterations, "{:?}", backend);
+            for (v, (a, b)) in pr_fused.ranks.iter().zip(&pr_unfused.ranks).enumerate() {
+                prop_assert!(
+                    (a - b).abs() < 1e-6,
+                    "pagerank {:?}: vertex {}: {} vs {}",
+                    backend, v, a, b
+                );
+            }
+            let ss_fused = sssp_with(&m, src, Direction::Auto, Fusion::Fused);
+            let ss_unfused = sssp_with(&m, src, Direction::Auto, Fusion::NodeAtATime);
+            prop_assert_eq!(
+                &ss_fused.distances,
+                &ss_unfused.distances,
+                "sssp {:?}",
+                backend
+            );
+        }
+    }
 }
 
 /// Edge case: an all-identity operand (empty frontier) produces the

@@ -201,29 +201,26 @@ fn grb_ops_compose_into_custom_algorithms() {
     }
     assert!(Op::reduce(&hop2_bit).run(&ctx) > 0.0);
 
-    // The deprecated free-function shims still work and agree.
-    #[allow(deprecated)]
-    {
-        let hop1 = mxv(
-            &bit,
-            &start,
-            Semiring::Boolean,
-            None,
-            &Descriptor::with_transpose(),
-        );
-        let hop2 = mxv(
-            &bit,
-            &hop1,
-            Semiring::Boolean,
-            None,
-            &Descriptor::with_transpose(),
-        );
-        assert_eq!(hop2.as_slice(), hop2_bit.as_slice());
-        assert_eq!(
-            reduce(&hop2, Semiring::Arithmetic),
-            Op::reduce(&hop2_bit).run(&ctx)
-        );
-    }
+    // The transpose-descriptor formulation of the same traversal agrees.
+    let hop1 = Op::mxv(&bit, &start)
+        .semiring(Semiring::Boolean)
+        .desc(Descriptor::with_transpose())
+        .run(&ctx);
+    let hop2 = Op::mxv(&bit, &hop1)
+        .semiring(Semiring::Boolean)
+        .desc(Descriptor::with_transpose())
+        .run(&ctx);
+    assert_eq!(hop2.as_slice(), hop2_bit.as_slice());
+
+    // Deferred expressions are inert until evaluated, and chains collapse:
+    // select(two-hop reachability) equals the Boolean product itself.
+    let reachable = |v: f32| v != 0.0;
+    let chained = Op::mxv(&bit, &hop1)
+        .semiring(Semiring::Boolean)
+        .desc(Descriptor::with_transpose())
+        .select(&reachable)
+        .run(&ctx);
+    assert_eq!(chained.as_slice(), hop2_bit.as_slice());
 }
 
 #[test]
