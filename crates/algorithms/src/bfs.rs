@@ -15,7 +15,7 @@
 //! pool and the visited mask is updated in place (proved by the
 //! allocation-counter test in `bitgblas-core`).
 
-use bitgblas_core::grb::{Direction, Mask, Matrix, Op, Vector};
+use bitgblas_core::grb::{Direction, Mask, Matrix, MultiVec, Op, Vector};
 use bitgblas_core::Semiring;
 
 /// The result of a BFS run.
@@ -97,6 +97,112 @@ pub fn bfs_dir(a: &Matrix, source: usize, direction: Direction) -> BfsResult {
 
     BfsResult {
         levels,
+        iterations,
+        n_reached,
+    }
+}
+
+/// The result of a batched multi-source BFS run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiBfsResult {
+    /// Flat node-major `n × k` level matrix: `levels[v*k + l]` = number of
+    /// hops from source `l` to vertex `v`, `-1` if unreachable.  Column `l`
+    /// equals [`bfs`] from `sources[l]` (the parity suite proves it).
+    pub levels: Vec<i64>,
+    /// Number of traversals in the batch (`k`).
+    pub n_sources: usize,
+    /// Number of batched `mxm` iterations executed (= the maximum source
+    /// eccentricity + 1).
+    pub iterations: usize,
+    /// Total vertices reached summed over all lanes (sources included).
+    pub n_reached: usize,
+}
+
+impl MultiBfsResult {
+    /// The level of vertex `v` in traversal lane `l`.
+    pub fn level(&self, v: usize, l: usize) -> i64 {
+        self.levels[v * self.n_sources + l]
+    }
+}
+
+/// Run `sources.len()` simultaneous BFS traversals as **one** batched
+/// traversal over an `n × k` frontier matrix: every iteration advances all
+/// still-active traversals with a single masked matrix × multivector sweep
+/// that loads each adjacency tile once (on the bit backend, one `OR` per
+/// edge serves up to 64 lanes).  This is how a traversal service amortizes
+/// the matrix traffic across concurrent queries — the batched analogue of
+/// the paper's bit-packing argument.
+///
+/// Uses [`Direction::Auto`]: each iteration picks push or pull from the
+/// node-granular frontier density.
+///
+/// # Panics
+/// Panics if `sources` is empty or any source is out of range.
+pub fn bfs_multi(a: &Matrix, sources: &[usize]) -> MultiBfsResult {
+    bfs_multi_dir(a, sources, Direction::Auto)
+}
+
+/// As [`bfs_multi`], forcing the given traversal direction for every
+/// iteration.
+///
+/// # Panics
+/// Panics if `sources` is empty or any source is out of range.
+pub fn bfs_multi_dir(a: &Matrix, sources: &[usize], direction: Direction) -> MultiBfsResult {
+    let n = a.nrows();
+    let k = sources.len();
+    assert!(k > 0, "bfs_multi needs at least one source");
+    let ctx = a.context();
+
+    let mut levels = vec![-1i64; n * k];
+    let mut visited = {
+        let mut flags = vec![false; n * k];
+        for (l, &s) in sources.iter().enumerate() {
+            assert!(s < n, "source vertex {s} out of range (n = {n})");
+            levels[s * k + l] = 0;
+            flags[s * k + l] = true;
+        }
+        // The flat per-lane ¬visited mask: each lane keeps its own visited
+        // set, all k of them filtered by the same masked sweep.
+        Mask::complemented(flags)
+    };
+
+    let mut frontier = MultiVec::from_sources(n, sources);
+    let mut level = 0i64;
+    let mut iterations = 0usize;
+    let mut n_reached = k;
+
+    loop {
+        iterations += 1;
+        level += 1;
+
+        // next = Aᵀ ⊕.⊗ F over the Boolean semiring (one hop of every lane
+        // at once), masked by each lane's ¬visited.
+        let next = Op::mxm(a, &frontier)
+            .transpose()
+            .semiring(Semiring::Boolean)
+            .mask(&visited)
+            .direction(direction)
+            .run(ctx);
+
+        let mut any = false;
+        for (f, &x) in next.as_slice().iter().enumerate() {
+            if x != 0.0 {
+                visited.set(f, true);
+                levels[f] = level;
+                n_reached += 1;
+                any = true;
+            }
+        }
+        ctx.recycle_multi(std::mem::replace(&mut frontier, next));
+        if !any || iterations >= n {
+            break;
+        }
+    }
+    ctx.recycle_multi(frontier);
+
+    MultiBfsResult {
+        levels,
+        n_sources: k,
         iterations,
         n_reached,
     }
@@ -218,5 +324,78 @@ mod tests {
         let adj = generators::path(4);
         let m = Matrix::from_csr(&adj, Backend::FloatCsr);
         let _ = bfs(&m, 10);
+    }
+
+    // -- batched multi-source BFS -------------------------------------------
+
+    /// Every lane of a batched run equals the single-source run from that
+    /// lane's source, on every backend and direction.
+    #[test]
+    fn bfs_multi_lanes_equal_single_source_runs() {
+        for seed in [1u64, 7] {
+            let adj = generators::erdos_renyi(110, 0.03, true, seed);
+            let sources = [5usize, 0, 77, 5];
+            for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr, Backend::Auto] {
+                let m = Matrix::from_csr(&adj, backend);
+                for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                    let batched = bfs_multi_dir(&m, &sources, dir);
+                    assert_eq!(batched.n_sources, 4);
+                    let mut total_reached = 0usize;
+                    for (l, &s) in sources.iter().enumerate() {
+                        let single = bfs_dir(&m, s, dir);
+                        for v in 0..adj.nrows() {
+                            assert_eq!(
+                                batched.level(v, l),
+                                single.levels[v],
+                                "seed {seed} {backend:?} {dir:?} lane {l} vertex {v}"
+                            );
+                        }
+                        total_reached += single.n_reached;
+                    }
+                    assert_eq!(batched.n_reached, total_reached);
+                }
+            }
+        }
+    }
+
+    /// A batch over a disconnected graph keeps the lanes' reachable sets
+    /// separate (no cross-lane leakage through the shared sweep).
+    #[test]
+    fn bfs_multi_lanes_do_not_leak_across_components() {
+        let mut coo = Coo::new(10, 10);
+        coo.push_undirected_edge(0, 1).unwrap();
+        coo.push_undirected_edge(1, 2).unwrap();
+        coo.push_undirected_edge(5, 6).unwrap();
+        let m = Matrix::from_csr(&coo.to_binary_csr(), Backend::Bit(TileSize::S4));
+        let r = bfs_multi(&m, &[0, 5]);
+        // Lane 0 sees only {0,1,2}; lane 1 only {5,6}.
+        assert_eq!(r.level(2, 0), 2);
+        assert_eq!(r.level(5, 0), -1);
+        assert_eq!(r.level(6, 1), 1);
+        assert_eq!(r.level(0, 1), -1);
+        assert_eq!(r.n_reached, 5);
+    }
+
+    /// Batching more sources than one lane word (k > 64) still matches the
+    /// single-source runs — the lane words spill into multiple u64s.
+    #[test]
+    fn bfs_multi_handles_more_than_64_lanes() {
+        let adj = generators::grid2d(9, 9);
+        let m = Matrix::from_csr(&adj, Backend::Bit(TileSize::S8));
+        let sources: Vec<usize> = (0..70).map(|l| (l * 13) % 81).collect();
+        let batched = bfs_multi(&m, &sources);
+        for (l, &s) in sources.iter().enumerate().step_by(9) {
+            let single = bfs(&m, s);
+            for v in 0..81 {
+                assert_eq!(batched.level(v, l), single.levels[v], "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn bfs_multi_rejects_empty_batch() {
+        let m = Matrix::from_csr(&generators::path(4), Backend::FloatCsr);
+        let _ = bfs_multi(&m, &[]);
     }
 }

@@ -11,15 +11,23 @@
 //! * `Backend::FloatCsr` — the float-CSR baseline standing in for GraphBLAST;
 //! * `Backend::Auto` — the framework picks format and tile size per matrix.
 //!
+//! On top of the single-query algorithms, the **batched multi-source
+//! family** serves many concurrent queries with one traversal each
+//! iteration: [`bfs_multi`] (k-source BFS over an `n × k` frontier matrix),
+//! [`sssp_multi`] (k-source shortest paths — landmark distance sketches),
+//! and Brandes-style [`betweenness_centrality`] whose forward and backward
+//! phases are both batched `mxm` sweeps.
+//!
 //! Each module also documents which BMV/BMM scheme and semiring the paper
-//! assigns to the algorithm (Table IV and §V).  The [`reference`] module
-//! holds simple graph-traversal implementations (queue BFS, Bellman-Ford,
-//! union-find, wedge-checking TC, dense power iteration) used by the test
-//! suite to validate both backends.
+//! assigns to the algorithm (Table IV and §V).  The [`mod@reference`]
+//! module holds simple graph-traversal implementations (queue BFS,
+//! Bellman-Ford, union-find, wedge-checking TC, dense power iteration,
+//! two-phase Brandes) used by the test suite to validate both backends.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod bc;
 pub mod bfs;
 pub mod cc;
 pub mod extras;
@@ -28,11 +36,14 @@ pub mod reference;
 pub mod sssp;
 pub mod tc;
 
-pub use bfs::{bfs, bfs_dir, BfsResult};
+pub use bc::{betweenness_centrality, betweenness_centrality_dir, BcResult};
+pub use bfs::{bfs, bfs_dir, bfs_multi, bfs_multi_dir, BfsResult, MultiBfsResult};
 pub use cc::{connected_components, CcResult};
 pub use extras::{diameter_estimate, eccentricity, maximal_independent_set, MisResult};
 pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
-pub use sssp::{sssp, sssp_dir, sssp_with, SsspResult};
+pub use sssp::{
+    sssp, sssp_dir, sssp_multi, sssp_multi_dir, sssp_with, MultiSsspResult, SsspResult,
+};
 pub use tc::triangle_count;
 
 // Re-exported so algorithm callers can name a traversal direction or a

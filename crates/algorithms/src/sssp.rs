@@ -32,7 +32,7 @@
 //! distances.  The inner loop is allocation-free in steady state — the
 //! distance vectors cycle through the matrix context's workspace pool.
 
-use bitgblas_core::grb::{Direction, Fusion, Matrix, Op, Vector};
+use bitgblas_core::grb::{Direction, Fusion, Matrix, MultiVec, Op, Vector};
 use bitgblas_core::{BinaryOp, Semiring};
 
 /// The result of an SSSP run.
@@ -105,6 +105,85 @@ pub fn sssp_with(a: &Matrix, source: usize, direction: Direction, fusion: Fusion
 
     SsspResult {
         distances: dist.into_vec(),
+        iterations,
+    }
+}
+
+/// The result of a batched multi-source SSSP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSsspResult {
+    /// Flat node-major `n × k` distance matrix: `distances[v*k + l]` =
+    /// shortest-path length from source `l` to vertex `v`
+    /// (`f32::INFINITY` when unreachable).
+    pub distances: Vec<f32>,
+    /// Number of traversals in the batch (`k`).
+    pub n_sources: usize,
+    /// Number of batched relaxation rounds executed.
+    pub iterations: usize,
+}
+
+impl MultiSsspResult {
+    /// The distance from source `l` to vertex `v`.
+    pub fn distance(&self, v: usize, l: usize) -> f32 {
+        self.distances[v * self.n_sources + l]
+    }
+}
+
+/// Run `sources.len()` simultaneous SSSP traversals (unit edge weights) as
+/// one batched relaxation loop: each round is a single min-plus matrix ×
+/// multivector sweep with the `min` accumulator folded over the whole
+/// `n × k` distance matrix — the landmark-distance-sketch workload (see
+/// `examples/landmark_sketch.rs`).  Uses [`Direction::Auto`] per round.
+///
+/// # Panics
+/// Panics if `sources` is empty or any source is out of range.
+pub fn sssp_multi(a: &Matrix, sources: &[usize]) -> MultiSsspResult {
+    sssp_multi_dir(a, sources, Direction::Auto)
+}
+
+/// As [`sssp_multi`], forcing the given traversal direction for every
+/// relaxation round.
+///
+/// # Panics
+/// Panics if `sources` is empty or any source is out of range.
+pub fn sssp_multi_dir(a: &Matrix, sources: &[usize], direction: Direction) -> MultiSsspResult {
+    let n = a.nrows();
+    let k = sources.len();
+    assert!(k > 0, "sssp_multi needs at least one source");
+    let ctx = a.context();
+    let semiring = Semiring::MinPlus(1.0);
+
+    let mut dist = MultiVec::identity(n, k, semiring);
+    for (l, &s) in sources.iter().enumerate() {
+        assert!(s < n, "source vertex {s} out of range (n = {n})");
+        dist.set(s, l, 0.0);
+    }
+
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        // One relaxation round for all k sources: dist' = min(dist, Aᵀ ⊕.⊗
+        // dist) over min-plus, the accumulator folded across every lane.
+        let next = Op::mxm(a, &dist)
+            .transpose()
+            .semiring(semiring)
+            .direction(direction)
+            .accum(BinaryOp::Min, &dist)
+            .run(ctx);
+        let changed = next
+            .as_slice()
+            .iter()
+            .zip(dist.as_slice())
+            .any(|(n, d)| n < d);
+        ctx.recycle_multi(std::mem::replace(&mut dist, next));
+        if !changed || iterations >= n {
+            break;
+        }
+    }
+
+    MultiSsspResult {
+        distances: dist.into_vec(),
+        n_sources: k,
         iterations,
     }
 }
@@ -222,5 +301,44 @@ mod tests {
         let adj = generators::path(4);
         let m = Matrix::from_csr(&adj, Backend::FloatCsr);
         let _ = sssp(&m, 4);
+    }
+
+    // -- batched multi-source SSSP ------------------------------------------
+
+    /// Every lane of a batched run equals the single-source run from that
+    /// lane's source, bit-for-bit (min is exact under reordering).
+    #[test]
+    fn sssp_multi_lanes_equal_single_source_runs() {
+        let adj = generators::erdos_renyi(100, 0.035, true, 17);
+        let sources = [0usize, 42, 99];
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr, Backend::Auto] {
+            let m = Matrix::from_csr(&adj, backend);
+            for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                let batched = sssp_multi_dir(&m, &sources, dir);
+                for (l, &s) in sources.iter().enumerate() {
+                    let single = sssp_dir(&m, s, dir);
+                    for v in 0..100 {
+                        assert_eq!(
+                            batched.distance(v, l),
+                            single.distances[v],
+                            "{backend:?} {dir:?} lane {l} vertex {v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The batched round count is the maximum of the per-source counts (the
+    /// batch runs until the slowest lane reaches its fixpoint).
+    #[test]
+    fn sssp_multi_runs_to_the_slowest_lane() {
+        let adj = generators::path(12);
+        let m = Matrix::from_csr(&adj, Backend::FloatCsr);
+        let batched = sssp_multi(&m, &[0, 10]);
+        // Source 0 needs 11 productive rounds; source 10 only 1.
+        assert_eq!(batched.iterations, 12);
+        assert_eq!(batched.distance(11, 0), 11.0);
+        assert_eq!(batched.distance(11, 1), 1.0);
     }
 }

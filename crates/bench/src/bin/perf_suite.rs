@@ -1,12 +1,15 @@
 //! `perf_suite` — the machine-readable performance harness.
 //!
 //! Times the BMV kernel in all three traversal directions, the five graph
-//! algorithms, and — since PR 3 — the fused vs node-at-a-time execution of
-//! the PageRank/SSSP expression pipelines, on a fixed synthetic corpus.
-//! Results are written as JSON rows `{bench, backend, direction, ms,
-//! ms_min, ms_median}` so every future PR has a perf trajectory to compare
-//! against (`BENCH_PR3.json` for this PR).  Fusion mode is encoded in the
-//! bench name (`pagerank_fused/…` vs `pagerank_unfused/…`).
+//! algorithms, the fused vs node-at-a-time execution of the PageRank/SSSP
+//! expression pipelines (PR 3), and — since PR 4 — the **batched
+//! multi-source traversal engine** against k sequential single-source runs,
+//! on a fixed synthetic corpus.  Results are written as JSON rows `{bench,
+//! backend, direction, ms, ms_min, ms_median}` so every future PR has a
+//! perf trajectory to compare against (`BENCH_PR4.json` for this PR).
+//! Execution mode is encoded in the bench name (`pagerank_fused/…` vs
+//! `pagerank_unfused/…`; `bfs_multi_batched/…` vs `bfs_multi_seq/…`, both
+//! k = 8 sources).
 //!
 //! Usage:
 //!
@@ -15,13 +18,13 @@
 //! ```
 //!
 //! * `--smoke` — one tiny graph end-to-end, for CI: proves the harness runs
-//!   and emits parseable JSON (including the fused rows CI asserts on) in a
-//!   couple of seconds.
-//! * `--out PATH` — output path (default `BENCH_PR3.json`).
+//!   and emits parseable JSON (including the fused and batched rows CI
+//!   asserts on) in a couple of seconds.
+//! * `--out PATH` — output path (default `BENCH_PR4.json`).
 //!
-//! The headline comparisons — BFS `Direction::Auto` vs always-pull, and
-//! fused vs unfused PageRank — are printed to stdout after the JSON is
-//! written.
+//! The headline comparisons — BFS `Direction::Auto` vs always-pull, fused
+//! vs unfused PageRank, and batched vs sequential multi-source BFS/SSSP —
+//! are printed to stdout after the JSON is written.
 
 use bitgblas_bench::{time_stats_ms, TimingStats};
 use bitgblas_core::grb::{Direction, Fusion, Op, Vector};
@@ -30,7 +33,8 @@ use bitgblas_datagen::generators;
 use bitgblas_sparse::Csr;
 
 use bitgblas_algorithms::{
-    bfs_dir, connected_components, pagerank, sssp_dir, sssp_with, triangle_count, PageRankConfig,
+    betweenness_centrality, bfs_dir, bfs_multi, connected_components, pagerank, sssp_dir,
+    sssp_multi, sssp_with, triangle_count, PageRankConfig,
 };
 
 /// One emitted JSON row.
@@ -165,6 +169,64 @@ fn bench_fusion(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
     }
 }
 
+/// Number of simultaneous sources in the batched multi-source rows.
+const BATCH_K: usize = 8;
+
+/// Time the batched multi-source engine against k sequential single-source
+/// runs (PR 4): `bfs_multi`/`sssp_multi` with `BATCH_K` spread-out sources
+/// vs the same sources one `bfs_dir`/`sssp_dir` at a time, plus one batched
+/// betweenness-centrality row.
+fn bench_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
+    let n = m.nrows();
+    let sources: Vec<usize> = (0..BATCH_K).map(|i| i * n / BATCH_K).collect();
+
+    let stats = time_stats_ms(|| bfs_multi(m, &sources));
+    rows.push(Row {
+        bench: format!("bfs_multi_batched/{name}"),
+        backend: backend_name(backend),
+        direction: "auto".to_string(),
+        stats,
+    });
+    let stats = time_stats_ms(|| {
+        for &s in &sources {
+            std::hint::black_box(bfs_dir(m, s, Direction::Auto));
+        }
+    });
+    rows.push(Row {
+        bench: format!("bfs_multi_seq/{name}"),
+        backend: backend_name(backend),
+        direction: "auto".to_string(),
+        stats,
+    });
+
+    let stats = time_stats_ms(|| sssp_multi(m, &sources));
+    rows.push(Row {
+        bench: format!("sssp_multi_batched/{name}"),
+        backend: backend_name(backend),
+        direction: "auto".to_string(),
+        stats,
+    });
+    let stats = time_stats_ms(|| {
+        for &s in &sources {
+            std::hint::black_box(sssp_dir(m, s, Direction::Auto));
+        }
+    });
+    rows.push(Row {
+        bench: format!("sssp_multi_seq/{name}"),
+        backend: backend_name(backend),
+        direction: "auto".to_string(),
+        stats,
+    });
+
+    let stats = time_stats_ms(|| betweenness_centrality(m, &sources));
+    rows.push(Row {
+        bench: format!("bc_batched/{name}"),
+        backend: backend_name(backend),
+        direction: "auto".to_string(),
+        stats,
+    });
+}
+
 /// The fixed corpus: a low-eccentricity RMAT-like power-law graph (the
 /// acceptance graph — dense hump, sparse fringe), a banded road-like graph
 /// and a 2-D grid.
@@ -189,7 +251,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
 
     let mut rows = Vec::new();
     let graphs = corpus(smoke);
@@ -204,6 +266,7 @@ fn main() {
             bench_bmv(&mut rows, name, &m, backend);
             bench_algorithms(&mut rows, name, &m, backend);
             bench_fusion(&mut rows, name, &m, backend);
+            bench_multi(&mut rows, name, &m, backend);
         }
     }
 
@@ -240,6 +303,18 @@ fn main() {
                         "{alg}/{name} [{backend}]: unfused {unfused:.3} ms, fused {fused:.3} ms  \
                          ({:.2}x)",
                         unfused / fused
+                    );
+                }
+            }
+            for alg in ["bfs_multi", "sssp_multi"] {
+                if let (Some(seq), Some(batched)) = (
+                    find(&format!("{alg}_seq"), "auto"),
+                    find(&format!("{alg}_batched"), "auto"),
+                ) {
+                    println!(
+                        "{alg}/{name} [{backend}]: {BATCH_K} sequential {seq:.3} ms, \
+                         batched {batched:.3} ms  ({:.2}x)",
+                        seq / batched
                     );
                 }
             }

@@ -18,10 +18,12 @@
 //! | `table9_tc` | Table IX — Triangle Counting runtimes vs baseline |
 //! | `memstats` | §VI-C — memory transactions and L1 hit rates |
 //! | `conversion_overhead` | §III-B — CSR→B2SR conversion cost |
-//! | `perf_suite` | machine-readable perf trajectory (`BENCH_PR2.json`): BMV push/pull/auto + all five algorithms |
+//! | `perf_suite` | machine-readable perf trajectory (`BENCH_PR4.json`): BMV push/pull/auto, all five algorithms, fused vs unfused pipelines, batched vs sequential multi-source traversal |
 //!
 //! This library holds the small shared utilities: wall-clock timing with
 //! warm-up, geometric means, and the fixed matrix lists used by the tables.
+
+#![warn(missing_docs)]
 
 use std::time::Instant;
 

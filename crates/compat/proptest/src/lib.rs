@@ -172,7 +172,7 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// An inclusive-exclusive length specification for [`vec`].
+    /// An inclusive-exclusive length specification for [`fn@vec`].
     pub struct SizeRange {
         lo: usize,
         hi: usize,
@@ -200,7 +200,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

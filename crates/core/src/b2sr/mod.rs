@@ -13,7 +13,7 @@
 //! yielding 16×–32× storage savings per tile over 32-bit-float storage.
 //!
 //! Submodules:
-//! * [`format`] — the [`B2sr`] container, the [`TileSize`] selector and the
+//! * [`mod@format`] — the [`B2sr`] container, the [`TileSize`] selector and the
 //!   type-erased [`B2srMatrix`] wrapper;
 //! * [`convert`] — parallel CSR→B2SR conversion, B2SR→CSR reconstruction and
 //!   transposition;

@@ -26,11 +26,12 @@ use bitgblas_sparse::{ops as float_ops, Csr};
 
 use crate::b2sr::{B2srMatrix, TileSize};
 use crate::kernels::{
-    bmm_bin_bin_sum_masked, bmv_bin_bin_bin, bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked,
-    bmv_bin_bin_bin_masked_into, bmv_bin_full_full, bmv_bin_full_full_fused_into,
-    bmv_bin_full_full_into, bmv_bin_full_full_masked, bmv_bin_full_full_masked_into,
-    bmv_push_bin_bin, bmv_push_bin_full, pack_vector_bits, pack_vector_bits_into,
-    pack_vector_tilewise, pack_vector_tilewise_into, unpack_vector_bits,
+    bmm_bin_bin_sum_masked, bmm_bin_bits_into, bmm_bin_full_into, bmm_push_bin_full, bmm_push_bits,
+    bmv_bin_bin_bin, bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked, bmv_bin_bin_bin_masked_into,
+    bmv_bin_full_full, bmv_bin_full_full_fused_into, bmv_bin_full_full_into,
+    bmv_bin_full_full_masked, bmv_bin_full_full_masked_into, bmv_push_bin_bin, bmv_push_bin_full,
+    pack_vector_bits, pack_vector_bits_into, pack_vector_tilewise, pack_vector_tilewise_into,
+    unpack_vector_bits,
 };
 use crate::semiring::{BinaryOp, Semiring};
 
@@ -38,6 +39,7 @@ use super::descriptor::Mask;
 use super::ewise;
 use super::expr::Stage;
 use super::matrix::Backend;
+use super::multivec::{lane_words_per_node, pack_lane_words_from};
 use super::plan::{self, MxvPipeline};
 use super::workspace::Workspace;
 
@@ -171,6 +173,89 @@ pub trait GrbBackend: std::fmt::Debug + Send + Sync {
         self.vxm_into(x, semiring, mask, transpose, ws, out);
     }
 
+    /// Batched pull-direction matrix × multivector (PR 4): `out = A ⊕.⊗ X`
+    /// (or `Aᵀ` with `transpose`) where `x` is a flat node-major `n × k`
+    /// frontier matrix (`x[i*k + l]` = node `i`, lane `l`) — `k`
+    /// simultaneous traversals advanced by **one** matrix sweep that loads
+    /// each tile once and applies it to every lane.
+    ///
+    /// `mask` is the flat per-lane output mask (length `produced · k`,
+    /// position `i*k + l` gates node `i` of lane `l`); masked-out positions
+    /// produce the semiring identity.  The backend sizes `out` itself
+    /// (`produced · k` entries).  The default decomposes into `k`
+    /// single-vector [`mxv_into`] calls — the node-at-a-time fallback that
+    /// keeps mixed/external backends exact without opting in.
+    ///
+    /// [`mxv_into`]: GrbBackend::mxv_into
+    #[allow(clippy::too_many_arguments)]
+    fn mxm_into(
+        &self,
+        x: &[f32],
+        k: usize,
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let produced = if transpose {
+            self.ncols()
+        } else {
+            self.nrows()
+        };
+        let contracted = x.len() / k;
+        let mut lane: Vec<f32> = ws.take_empty();
+        let mut lane_out: Vec<f32> = ws.take_empty();
+        out.clear();
+        out.resize(produced * k, semiring.identity());
+        for l in 0..k {
+            lane.clear();
+            lane.extend((0..contracted).map(|i| x[i * k + l]));
+            // Restrict the flat per-lane mask to this lane.
+            let lane_mask =
+                mask.map(|m| Mask::new((0..produced).map(|i| m.allows(i * k + l)).collect()));
+            self.mxv_into(
+                &lane,
+                semiring,
+                lane_mask.as_ref(),
+                transpose,
+                ws,
+                &mut lane_out,
+            );
+            for (i, &v) in lane_out.iter().enumerate() {
+                out[i * k + l] = v;
+            }
+        }
+        ws.give(lane);
+        ws.give(lane_out);
+    }
+
+    /// Batched push-direction (sparse-frontier) matrix × multivector:
+    /// `frontier` lists, in ascending order, the *node* indices with at
+    /// least one lane differing from the semiring identity; only those
+    /// nodes' edges are traversed, and each edge scatters all `k` lane
+    /// contributions at once.  Only exact for [`Semiring::push_safe`]
+    /// semirings (the planner coerces unsafe requests back to pull).  The
+    /// default falls back to the pull-direction [`mxm_into`], so external
+    /// backends stay correct without opting in.
+    ///
+    /// [`mxm_into`]: GrbBackend::mxm_into
+    #[allow(clippy::too_many_arguments)]
+    fn mxm_push_into(
+        &self,
+        x: &[f32],
+        k: usize,
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let _ = frontier;
+        self.mxm_into(x, k, semiring, mask, transpose, ws, out);
+    }
+
     /// Execute one fused matrix-vector pipeline (PR 3, GraphBLAS
     /// non-blocking mode): the planner hands the backend a whole
     /// `mxv → stages → accum` chain ([`MxvPipeline`]) and the backend runs
@@ -285,6 +370,26 @@ fn expand_bits_into<W: bitgblas_bitops::BitWord>(
             }
         }
     }
+}
+
+/// Expand per-node `u64` lane words into a flat node-major `f32` indicator,
+/// with an optional flat per-lane mask filter — the common tail of the
+/// batched Boolean pull and push paths (`out` must be resized to
+/// `n_nodes · k` and filled with `0.0`).
+fn expand_lane_words_into(yw: &[u64], k: usize, mask: Option<&Mask>, out: &mut [f32]) {
+    use rayon::prelude::*;
+    let wpn = lane_words_per_node(k);
+    out.par_chunks_mut(k).enumerate().for_each(|(i, lanes)| {
+        let words = &yw[i * wpn..(i + 1) * wpn];
+        if words.iter().all(|&w| w == 0) {
+            return;
+        }
+        for (l, slot) in lanes.iter_mut().enumerate() {
+            if words[l / 64] >> (l % 64) & 1 != 0 && mask.is_none_or(|m| m.allows(i * k + l)) {
+                *slot = 1.0;
+            }
+        }
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -568,6 +673,159 @@ impl GrbBackend for BitB2sr {
         self.mxv_push_into(x, frontier, semiring, mask, !transpose, ws, out);
     }
 
+    #[allow(clippy::too_many_arguments)]
+    fn mxm_into(
+        &self,
+        x: &[f32],
+        k: usize,
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let b2sr = if transpose { self.b2sr_t() } else { &self.b2sr };
+        macro_rules! run {
+            ($m:expr, $w:ty) => {{
+                let m = $m;
+                let dim = m.tile_dim();
+                let nrows = m.nrows();
+                // The tilewise any-lane-active indicator lets the sweep
+                // skip inactive columns at word granularity (exact for
+                // push-safe semirings, where identity entries contribute
+                // nothing).
+                let mut active: Vec<bool> = ws.take_empty();
+                let mut xa: Vec<$w> = ws.take_empty();
+                if semiring.push_safe() {
+                    active.extend(
+                        x.chunks_exact(k)
+                            .map(|lanes| lanes.iter().any(|&v| !semiring.is_identity(v))),
+                    );
+                    pack_vector_bits_into(&active, dim, &mut xa);
+                }
+                match semiring {
+                    Semiring::Boolean => {
+                        // Pack the lanes into per-node u64 words: one OR per
+                        // edge advances up to 64 traversals.
+                        let wpn = lane_words_per_node(k);
+                        let mut xw: Vec<u64> = ws.take_empty();
+                        pack_lane_words_from(x, k, |v| v != 0.0, &mut xw);
+                        // The flat mask rides into the kernel as suppressed
+                        // lane words, so fully-masked rows (every lane
+                        // visited, the common late-traversal state) are
+                        // skipped at word granularity.
+                        let sup: Option<Vec<u64>> = mask.map(|mk| {
+                            use rayon::prelude::*;
+                            let mut mw: Vec<u64> = ws.take(nrows * wpn, 0);
+                            mw.par_chunks_mut(wpn).enumerate().for_each(|(i, words)| {
+                                for l in 0..k {
+                                    if !mk.allows(i * k + l) {
+                                        words[l / 64] |= 1u64 << (l % 64);
+                                    }
+                                }
+                            });
+                            mw
+                        });
+                        let mut yw: Vec<u64> = ws.take(m.n_tile_rows() * dim * wpn, 0);
+                        bmm_bin_bits_into(m, &xw, k, &xa, sup.as_deref(), &mut yw);
+                        out.clear();
+                        out.resize(nrows * k, 0.0);
+                        // The mask was already applied word-wise by the kernel.
+                        expand_lane_words_into(&yw, k, None, out);
+                        ws.give(xw);
+                        ws.give(yw);
+                        if let Some(mw) = sup {
+                            ws.give(mw);
+                        }
+                    }
+                    _ => {
+                        out.clear();
+                        out.resize(m.n_tile_rows() * dim * k, semiring.identity());
+                        let xa_opt = semiring.push_safe().then_some(xa.as_slice());
+                        bmm_bin_full_into(m, x, k, semiring, xa_opt, out);
+                        out.truncate(nrows * k);
+                        if let Some(mk) = mask {
+                            let identity = semiring.identity();
+                            for (flat, v) in out.iter_mut().enumerate() {
+                                if !mk.allows(flat) {
+                                    *v = identity;
+                                }
+                            }
+                        }
+                    }
+                }
+                ws.give(active);
+                ws.give(xa);
+            }};
+        }
+        match b2sr {
+            B2srMatrix::B4(m) => run!(m, u8),
+            B2srMatrix::B8(m) => run!(m, u8),
+            B2srMatrix::B16(m) => run!(m, u16),
+            B2srMatrix::B32(m) => run!(m, u32),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mxm_push_into(
+        &self,
+        x: &[f32],
+        k: usize,
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        // Like the single-vector push, the scatter walks rows of the
+        // representation whose rows are the frontier's domain — the
+        // opposite representation from the pull sweep.
+        let b2sr = if transpose { &self.b2sr } else { self.b2sr_t() };
+        macro_rules! run {
+            ($m:expr) => {{
+                let m = $m;
+                let produced = m.ncols();
+                match semiring {
+                    Semiring::Boolean => {
+                        let wpn = lane_words_per_node(k);
+                        let mut xw: Vec<u64> = ws.take_empty();
+                        pack_lane_words_from(x, k, |v| v != 0.0, &mut xw);
+                        let mut yw: Vec<u64> = ws.take(produced * wpn, 0);
+                        bmm_push_bits(m, frontier, &xw, wpn, &mut yw);
+                        out.clear();
+                        out.resize(produced * k, 0.0);
+                        expand_lane_words_into(&yw, k, mask, out);
+                        ws.give(xw);
+                        ws.give(yw);
+                    }
+                    _ => {
+                        out.clear();
+                        out.resize(produced * k, semiring.identity());
+                        match mask {
+                            Some(mk) => bmm_push_bin_full(
+                                m,
+                                x,
+                                k,
+                                frontier,
+                                semiring,
+                                |flat| mk.allows(flat),
+                                out,
+                            ),
+                            None => bmm_push_bin_full(m, x, k, frontier, semiring, |_| true, out),
+                        }
+                    }
+                }
+            }};
+        }
+        match b2sr {
+            B2srMatrix::B4(m) => run!(m),
+            B2srMatrix::B8(m) => run!(m),
+            B2srMatrix::B16(m) => run!(m),
+            B2srMatrix::B32(m) => run!(m),
+        }
+    }
+
     fn mxv_fused_into(&self, p: &MxvPipeline<'_>, ws: &Workspace, out: &mut Vec<f32>) {
         match p.frontier {
             Some(frontier) => {
@@ -763,7 +1021,7 @@ impl plan::FinishSink for CsrPullSink<'_, '_> {
 /// dispatches the four B2SR variants into the tile-granular
 /// [`bmv_bin_full_full_fused_into`] kernel.  The mask (when present) rides
 /// inside the finishing closure — the bit sweep computes every row's raw
-/// value regardless, exactly like the eager masked bit kernels.
+/// value regardless, exactly like the masked bit kernels.
 struct BitPullSink<'a, 'b> {
     b2sr: &'a B2srMatrix,
     semiring: Semiring,
@@ -852,6 +1110,77 @@ impl FloatCsr {
             }
             *out = acc;
         });
+    }
+
+    /// Batched pull sweep: row-parallel CSR matrix × multivector over an
+    /// arbitrary semiring.  `y` has `nrows · k` entries; each row's `k` lane
+    /// accumulators advance together so the row's column list is walked
+    /// exactly once for the whole batch.
+    fn float_mxm_into(
+        csr: &Csr,
+        x: &[f32],
+        k: usize,
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        y: &mut [f32],
+    ) {
+        use rayon::prelude::*;
+        let identity = semiring.identity();
+        y.par_chunks_mut(k).enumerate().for_each(|(r, out)| {
+            for v in out.iter_mut() {
+                *v = identity;
+            }
+            // A row whose every lane is masked out produces only identities
+            // — skip its edge walk entirely (GraphBLAST's early exit, per
+            // batch: the common state of late traversal iterations).
+            if let Some(m) = mask {
+                if (0..k).all(|l| !m.allows(r * k + l)) {
+                    return;
+                }
+            }
+            let (cols, _) = csr.row(r);
+            for &c in cols {
+                let src = &x[c * k..(c + 1) * k];
+                for (d, &s) in out.iter_mut().zip(src) {
+                    *d = semiring.reduce(*d, semiring.combine(s));
+                }
+            }
+            if let Some(m) = mask {
+                for (l, v) in out.iter_mut().enumerate() {
+                    if !m.allows(r * k + l) {
+                        *v = identity;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Batched push scatter over the rows of `csr` (the representation whose
+    /// rows are the frontier's domain): every frontier node's edge list is
+    /// walked once and all `k` lane contributions fold into each
+    /// out-neighbour.  Serial and allocation-free like the single-vector
+    /// scatter.
+    #[allow(clippy::too_many_arguments)]
+    fn float_mxm_push_into(
+        csr: &Csr,
+        x: &[f32],
+        k: usize,
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        y: &mut [f32],
+    ) {
+        for &u in frontier {
+            let src = &x[u * k..(u + 1) * k];
+            for &j in csr.row(u).0 {
+                for (l, &s) in src.iter().enumerate() {
+                    let flat = j * k + l;
+                    if mask.is_none_or(|m| m.allows(flat)) {
+                        y[flat] = semiring.reduce(y[flat], semiring.combine(s));
+                    }
+                }
+            }
+        }
     }
 
     /// Push-direction scatter over the rows of `csr` (which must be the
@@ -976,6 +1305,43 @@ impl GrbBackend for FloatCsr {
         out: &mut Vec<f32>,
     ) {
         self.mxv_push_into(x, frontier, semiring, mask, !transpose, ws, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mxm_into(
+        &self,
+        x: &[f32],
+        k: usize,
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        _ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        let csr = if transpose { self.csr_t() } else { &self.csr };
+        out.clear();
+        out.resize(csr.nrows() * k, semiring.identity());
+        Self::float_mxm_into(csr, x, k, semiring, mask, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mxm_push_into(
+        &self,
+        x: &[f32],
+        k: usize,
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        _ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        // Scatter walks rows of the opposite representation from the pull
+        // sweep (see the BitB2sr implementation).
+        let csr = if transpose { &self.csr } else { self.csr_t() };
+        out.clear();
+        out.resize(csr.ncols() * k, semiring.identity());
+        Self::float_mxm_push_into(csr, x, k, frontier, semiring, mask, out);
     }
 
     fn mxv_fused_into(&self, p: &MxvPipeline<'_>, _ws: &Workspace, out: &mut Vec<f32>) {
@@ -1267,6 +1633,43 @@ mod tests {
         }
         fn as_any(&self) -> &dyn Any {
             self
+        }
+    }
+
+    /// An external backend that overrides none of the batched entry points
+    /// still gets exact `mxm` results through the per-lane `mxm_into` /
+    /// `mxm_push_into` defaults (including the flat per-lane mask).
+    #[test]
+    fn mxm_default_fallback_is_exact_for_external_backends() {
+        use crate::grb::{Context, Direction, Matrix, MultiVec, Op};
+        let csr = sample(36, 101);
+        let ctx = Context::default();
+        let external = Matrix::from_backend(Box::new(VxmSpy {
+            inner: FloatCsr::new(&csr),
+            vxm_calls: std::sync::atomic::AtomicUsize::new(0),
+        }));
+        let reference = Matrix::from_csr_ctx(&csr, Backend::FloatCsr, &ctx);
+        let mv = MultiVec::from_sources(36, &[0, 5, 11]);
+        let allow: Vec<bool> = (0..36 * 3).map(|f| f % 4 != 1).collect();
+        let mask = Mask::new(allow);
+        for dir in [Direction::Push, Direction::Pull] {
+            for transpose in [false, true] {
+                let build = |m: &Matrix| {
+                    let mut op = Op::mxm(m, &mv)
+                        .semiring(Semiring::Boolean)
+                        .mask(&mask)
+                        .direction(dir);
+                    if transpose {
+                        op = op.transpose();
+                    }
+                    op.run(&ctx)
+                };
+                assert_eq!(
+                    build(&external),
+                    build(&reference),
+                    "{dir:?} transpose={transpose}"
+                );
+            }
         }
     }
 

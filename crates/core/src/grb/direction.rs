@@ -96,6 +96,31 @@ pub fn choose_direction(
     }
 }
 
+/// Resolve [`Direction::Auto`] for one **batched** (matrix × multivector)
+/// operation: `active_nodes` nodes have at least one of the `k` lanes
+/// differing from the semiring identity.
+///
+/// The Beamer threshold generalizes across lanes: a batched push scatter
+/// visits each active node's edge list **once** and scatters all `k` lane
+/// contributions per edge, while the batched pull sweep streams the whole
+/// matrix once and reduces `k` lanes per edge — both sides of the
+/// single-vector inequality scale by the same per-edge lane factor, so the
+/// crossover is the single-vector threshold evaluated on the *node-granular*
+/// frontier (the lane-summed frontier nnz collapsed per node):
+///
+/// ```text
+/// active_nodes · d̄ · penalty  <  nnz + n
+/// ```
+pub fn choose_direction_multi(
+    active_nodes: usize,
+    n: usize,
+    nnz: usize,
+    semiring: Semiring,
+    device: &DeviceProfile,
+) -> Direction {
+    choose_direction(active_nodes, n, nnz, semiring, device)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,7 +14,7 @@
 //! matrix-vector product with its mask/descriptor/input-scaling), followed by
 //! up to [`MAX_STAGES`] element-wise [`Stage`]s (apply / select / affine /
 //! ewise-with-a-leaf), optionally terminated by a GraphBLAS accumulator
-//! (`w ⊕= t`, [`Expr::accum`]).  Chains cover every fusable pattern the
+//! (`w ⊕= t`, [`Expr::set_accum`]).  Chains cover every fusable pattern the
 //! algorithms produce — mxv+mask+accum, apply/select folded into a consuming
 //! ewise pass, collapsed ewise chains — while staying **allocation-free**:
 //! the stage list is an inline array of references, never a boxed tree, so
@@ -38,11 +38,43 @@
 //! provably produces the same result (see [`super::plan`] for the rules);
 //! [`Fusion::NodeAtATime`] forces the fallback, which the parity suite and
 //! the perf harness use to compare both paths.
+//!
+//! Building a chain is inert — nothing executes until the context evaluates
+//! it:
+//!
+//! ```
+//! use bitgblas_core::grb::{Context, Op};
+//! use bitgblas_core::{Backend, BinaryOp, Matrix, Vector};
+//! # use bitgblas_sparse::Coo;
+//! # let mut coo = Coo::new(3, 3);
+//! # coo.push_edge(0, 1).unwrap();
+//! # let csr = coo.to_binary_csr();
+//! let ctx = Context::default();
+//! let a = Matrix::from_csr_ctx(&csr, Backend::FloatCsr, &ctx);
+//! let x = Vector::indicator(3, &[0]);
+//! let base = Vector::from_vec(vec![0.5, 0.5, 0.5]);
+//!
+//! // mxv → affine stage → max-accumulator, assembled but not yet run:
+//! let expr = Op::mxv(&a, &x)
+//!     .affine(2.0, 1.0)
+//!     .accum(BinaryOp::Max, &base)
+//!     .build();
+//!
+//! // One fused sweep happens here.
+//! let y = ctx.evaluate(expr);
+//! assert_eq!(y.get(0), 1.0); // max(base = 0.5, 2·(A·x)[0] + 1 = 1)
+//! ```
+//!
+//! The batched counterpart ([`MultiExpr`], built by
+//! [`Op::mxm`](super::Op::mxm)) carries an `n × k` multi-vector through the
+//! same stage machinery, with every element-wise step applied to the flat
+//! node-major storage — `k` concurrent traversals per sweep.
 
 use crate::semiring::{BinaryOp, Semiring};
 
 use super::descriptor::{Descriptor, Mask};
 use super::matrix::Matrix;
+use super::multivec::MultiVec;
 use super::vector::Vector;
 
 /// Maximum number of element-wise stages one expression chain can carry.
@@ -127,7 +159,7 @@ pub enum Producer<'a> {
     /// An already-materialized vector (copied into the chain's output).
     Leaf(&'a Vector),
     /// A matrix-vector product over a semiring, with the full descriptor
-    /// surface of the eager API.
+    /// surface of the builder API.
     Mxv {
         /// The matrix operand.
         a: &'a Matrix,
@@ -136,7 +168,7 @@ pub enum Producer<'a> {
         /// The semiring of the product.
         semiring: Semiring,
         /// Optional output mask (masked-out positions produce the semiring
-        /// identity, exactly like the eager masked kernels).
+        /// identity, exactly like the masked kernel sweeps).
         mask: Option<&'a Mask>,
         /// Descriptor switches (transpose, direction, fusion).
         desc: Descriptor,
@@ -234,6 +266,114 @@ pub fn eval_stages(stages: &[Stage<'_>], i: usize, mut acc: f32) -> f32 {
         acc = s.eval(i, acc);
     }
     acc
+}
+
+// ---------------------------------------------------------------------------
+// Batched (multi-vector) expression chains
+// ---------------------------------------------------------------------------
+
+/// The root of a batched expression chain: what produces the initial
+/// `n × k` frontier matrix.
+#[derive(Debug, Clone, Copy)]
+pub enum MultiProducer<'a> {
+    /// An already-materialized multi-vector (copied into the output).
+    Leaf(&'a MultiVec),
+    /// A matrix × multivector product over a semiring — `k` simultaneous
+    /// traversals advanced by one sweep.
+    Mxm {
+        /// The matrix operand.
+        a: &'a Matrix,
+        /// The `n × k` multivector operand (one lane per concurrent query).
+        x: &'a MultiVec,
+        /// The semiring of the product.
+        semiring: Semiring,
+        /// Optional flat per-lane output mask (length `produced · k`,
+        /// position `i*k + l` gates node `i` of lane `l`); masked-out
+        /// positions produce the semiring identity.
+        mask: Option<&'a Mask>,
+        /// Descriptor switches (transpose, direction).
+        desc: Descriptor,
+        /// Optional per-node input scaling: lane `l` of node `i` is read as
+        /// `x[i*k+l] · scale[i]` (the batched analogue of PageRank's
+        /// out-degree normalisation).
+        scale: Option<&'a Vector>,
+    },
+}
+
+/// A lazy batched expression chain: multi-vector producer → element-wise
+/// stages → accumulator, mirroring [`Expr`] lane-for-lane.
+///
+/// Stages run over the **flat** node-major `n × k` storage, so the same
+/// [`Stage`] machinery (and the same fusion rules) applies: an ewise stage's
+/// operand and the accumulator baseline are multi-vectors of the same shape,
+/// indexed by flat position `i*k + l`.  Built by
+/// [`Op::mxm`](super::Op::mxm); evaluated by
+/// [`Context::evaluate_multi`](super::Context::evaluate_multi).
+#[derive(Debug, Clone, Copy)]
+#[must_use = "expressions do nothing until run(&ctx) / ctx.evaluate_multi(..)"]
+pub struct MultiExpr<'a> {
+    pub(crate) producer: MultiProducer<'a>,
+    stages: [Stage<'a>; MAX_STAGES],
+    n_stages: usize,
+    pub(crate) accum: Option<(BinaryOp, &'a MultiVec)>,
+    fusion: Fusion,
+}
+
+impl<'a> MultiExpr<'a> {
+    /// A chain whose producer is an existing multi-vector.
+    pub fn leaf(v: &'a MultiVec) -> Self {
+        Self::from_producer(MultiProducer::Leaf(v))
+    }
+
+    /// A chain rooted at the given producer (used by the builders).
+    pub(crate) fn from_producer(producer: MultiProducer<'a>) -> Self {
+        MultiExpr {
+            producer,
+            stages: [IDENTITY_STAGE; MAX_STAGES],
+            n_stages: 0,
+            accum: None,
+            fusion: Fusion::Fused,
+        }
+    }
+
+    /// Set whether the planner may fuse this chain's epilogue.
+    pub fn set_fusion(&mut self, fusion: Fusion) {
+        self.fusion = fusion;
+    }
+
+    /// Whether the planner may fuse this chain's epilogue.
+    pub fn fusion(&self) -> Fusion {
+        self.fusion
+    }
+
+    /// Append an element-wise stage (applied to every lane of every node).
+    ///
+    /// # Panics
+    /// Panics when the chain already holds [`MAX_STAGES`] stages.
+    pub fn push_stage(&mut self, stage: Stage<'a>) {
+        assert!(
+            self.n_stages < MAX_STAGES,
+            "expression chain exceeds {MAX_STAGES} stages; evaluate intermediate results"
+        );
+        self.stages[self.n_stages] = stage;
+        self.n_stages += 1;
+    }
+
+    /// Terminate the chain with a GraphBLAS accumulator: the evaluated
+    /// result becomes `out[i,l] = w[i,l] ⊕ t[i,l]`.
+    pub fn set_accum(&mut self, op: BinaryOp, w: &'a MultiVec) {
+        self.accum = Some((op, w));
+    }
+
+    /// The chain's element-wise stages, in evaluation order.
+    pub fn stages(&self) -> &[Stage<'a>] {
+        &self.stages[..self.n_stages]
+    }
+
+    /// Number of element-wise stages in the chain.
+    pub fn n_stages(&self) -> usize {
+        self.n_stages
+    }
 }
 
 #[cfg(test)]

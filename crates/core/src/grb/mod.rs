@@ -45,6 +45,19 @@
 //! Fused pipelines draw all scratch from the context's [`Workspace`] pool
 //! and allocate nothing in steady state.
 //!
+//! # Batched multi-source traversal (frontier matrices)
+//!
+//! Since PR 4 the op layer also works on **multi-vectors**
+//! ([`MultiVec`]: dense `n × k` frontier matrices, one lane per concurrent
+//! query): [`Op::mxm`] advances `k` traversals with a single sweep that
+//! loads each adjacency tile once and applies it to every lane (on the bit
+//! backend, Boolean lanes pack into `u64` words and one `OR` per edge
+//! serves up to 64 queries).  Batched chains compose with flat per-lane
+//! masks, stages, accumulators and [`Direction::Auto`] (resolved on the
+//! node-granular frontier) exactly like `mxv` chains; `bfs_multi`,
+//! `sssp_multi` and batched betweenness centrality in
+//! `bitgblas-algorithms` ride on it.
+//!
 //! `bitgblas-algorithms` writes each graph algorithm once against this API
 //! and the benchmarks toggle the backend, exactly as the paper compares
 //! Bit-GraphBLAS to GraphBLAST.  (The pre-0.2 free-function shims were
@@ -57,6 +70,7 @@ pub mod direction;
 pub mod ewise;
 pub mod expr;
 pub mod matrix;
+pub mod multivec;
 pub mod op;
 pub mod plan;
 pub mod vector;
@@ -65,10 +79,11 @@ pub mod workspace;
 pub use auto::{auto_decision, AutoDecision, TileCandidate};
 pub use backend::{BitB2sr, FloatCsr, GrbBackend};
 pub use descriptor::{Descriptor, Mask};
-pub use direction::{choose_direction, scatter_penalty, Direction};
+pub use direction::{choose_direction, choose_direction_multi, scatter_penalty, Direction};
 pub use ewise::assign_masked;
-pub use expr::{Expr, Fusion, Stage, MAX_STAGES};
+pub use expr::{Expr, Fusion, MultiExpr, MultiProducer, Stage, MAX_STAGES};
 pub use matrix::{Backend, Matrix};
+pub use multivec::{lane_words_per_node, MultiVec};
 pub use op::{Context, Op};
 pub use plan::MxvPipeline;
 pub use vector::Vector;

@@ -55,8 +55,9 @@ use crate::semiring::{BinaryOp, Semiring};
 
 use super::descriptor::{Descriptor, Mask};
 use super::direction::Direction;
-use super::expr::{Expr, Fusion, Producer, Stage, MAX_STAGES};
+use super::expr::{Expr, Fusion, MultiExpr, MultiProducer, Producer, Stage, MAX_STAGES};
 use super::matrix::Matrix;
+use super::multivec::MultiVec;
 use super::plan;
 use super::vector::Vector;
 use super::workspace::{ExecCounts, Workspace};
@@ -146,6 +147,19 @@ impl Context {
     pub fn recycle(&self, v: Vector) {
         self.workspace.give(v.into_vec());
     }
+
+    /// Evaluate a lazy **batched** expression chain (matrix × multivector):
+    /// plan it, execute the batched sweeps, return the `n × k` result.
+    /// The [`MxmBuilder`]'s `.run(&ctx)` is shorthand for this.
+    pub fn evaluate_multi(&self, expr: MultiExpr<'_>) -> MultiVec {
+        plan::execute_multi(&expr, self)
+    }
+
+    /// Return a finished multi-vector's buffer to the pool (the batched
+    /// counterpart of [`Context::recycle`]).
+    pub fn recycle_multi(&self, v: MultiVec) {
+        self.workspace.give(v.into_vec());
+    }
 }
 
 /// Entry points of the builder API; each returns a lazy builder whose
@@ -163,6 +177,39 @@ impl Op {
     #[must_use = "builders do nothing until run(&ctx)"]
     pub fn vxm<'a>(x: &'a Vector, a: &'a Matrix) -> MxvBuilder<'a> {
         MxvBuilder::new(a, x, true)
+    }
+
+    /// `Y = A ⊕.⊗ X`: matrix × multivector — `k` simultaneous traversals
+    /// (one per lane of the `n × k` frontier matrix) advanced by a single
+    /// sweep that loads each adjacency tile once and applies it to every
+    /// lane.  Composes with masks, stages, accumulators and
+    /// [`Direction::Auto`] exactly like [`Op::mxv`]; use
+    /// [`transpose`](MxmBuilder::transpose) for the `vxm`-per-column
+    /// orientation a forward traversal wants.
+    ///
+    /// ```
+    /// use bitgblas_core::grb::{Context, MultiVec, Op};
+    /// use bitgblas_core::{Backend, Matrix, Semiring};
+    /// # use bitgblas_sparse::Coo;
+    /// # let mut coo = Coo::new(4, 4);
+    /// # coo.push_edge(0, 1).unwrap();
+    /// # coo.push_edge(2, 3).unwrap();
+    /// # let csr = coo.to_binary_csr();
+    ///
+    /// let ctx = Context::default();
+    /// let a = Matrix::from_csr_ctx(&csr, Backend::Auto, &ctx);
+    /// // Two concurrent BFS frontiers: lane 0 from vertex 0, lane 1 from 2.
+    /// let frontier = MultiVec::from_sources(4, &[0, 2]);
+    /// let next = Op::mxm(&a, &frontier)
+    ///     .transpose() // advance along the edges: Aᵀ·F, one hop per lane
+    ///     .semiring(Semiring::Boolean)
+    ///     .run(&ctx);
+    /// assert_eq!(next.get(1, 0), 1.0, "lane 0 reached vertex 1");
+    /// assert_eq!(next.get(3, 1), 1.0, "lane 1 reached vertex 3");
+    /// ```
+    #[must_use = "builders do nothing until run(&ctx)"]
+    pub fn mxm<'a>(a: &'a Matrix, x: &'a MultiVec) -> MxmBuilder<'a> {
+        MxmBuilder::new(a, x)
     }
 
     /// `Σ (mask .* (A · B))`: masked matrix product reduced to a scalar (the
@@ -349,6 +396,154 @@ impl<'a> MxvBuilder<'a> {
     /// Evaluate the chain against the context ([`Context::evaluate`]).
     pub fn run(self, ctx: &Context) -> Vector {
         ctx.evaluate(self.build())
+    }
+}
+
+/// Builder for batched `mxm` (matrix × multivector) chains (created by
+/// [`Op::mxm`]).
+///
+/// Mirrors [`MxvBuilder`] lane-for-lane: the product root takes the usual
+/// modifiers (semiring, mask, descriptor, direction), element-wise stages
+/// and a terminal accumulator run over the flat `n × k` storage, and
+/// [`Direction::Auto`] resolves per operation from the **node-granular**
+/// frontier (a node is active when any lane is — the lane-generalized
+/// Beamer threshold, see [`super::choose_direction_multi`]).
+///
+/// The mask is **flat per-lane** (length `n · k`, position `i*k + l` gates
+/// node `i` of lane `l`), so `k` traversals with `k` different visited sets
+/// share one masked sweep — exactly what `bfs_multi` does.
+#[must_use = "builders do nothing until run(&ctx)"]
+pub struct MxmBuilder<'a> {
+    a: &'a Matrix,
+    x: &'a MultiVec,
+    semiring: Semiring,
+    mask: Option<&'a Mask>,
+    desc: Descriptor,
+    scale: Option<&'a Vector>,
+    /// The chain under construction; its placeholder leaf producer is
+    /// replaced by [`build`](MxmBuilder::build).
+    chain: MultiExpr<'a>,
+}
+
+impl<'a> MxmBuilder<'a> {
+    fn new(a: &'a Matrix, x: &'a MultiVec) -> Self {
+        MxmBuilder {
+            a,
+            x,
+            semiring: Semiring::Arithmetic,
+            mask: None,
+            desc: Descriptor::new(),
+            scale: None,
+            chain: MultiExpr::leaf(x),
+        }
+    }
+
+    /// Use the given semiring (default: arithmetic).
+    pub fn semiring(mut self, semiring: Semiring) -> Self {
+        self.semiring = semiring;
+        self
+    }
+
+    /// Write only where the flat per-lane mask (length `n · k`, position
+    /// `i*k + l` = node `i`, lane `l`) allows.
+    pub fn mask(mut self, mask: &'a Mask) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Use the given descriptor.
+    pub fn desc(mut self, desc: Descriptor) -> Self {
+        self.desc = desc;
+        self
+    }
+
+    /// Shorthand for setting the descriptor's transpose flag: `Y = Aᵀ ⊕.⊗ X`
+    /// — the per-column `vxm` orientation a forward traversal uses (the
+    /// push scatter then walks `A` itself, like single-vector `vxm`).
+    pub fn transpose(mut self) -> Self {
+        self.desc.transpose = true;
+        self
+    }
+
+    /// Use the given traversal direction (default: [`Direction::Auto`],
+    /// resolved per operation from the node-granular frontier size).
+    pub fn direction(mut self, direction: Direction) -> Self {
+        self.desc.direction = direction;
+        self
+    }
+
+    /// Control whether the epilogue may collapse into one sweep (default:
+    /// [`Fusion::Fused`]).  [`Fusion::NodeAtATime`] forces one full pass
+    /// per stage — the parity baseline.
+    pub fn fusion(mut self, fusion: Fusion) -> Self {
+        self.chain.set_fusion(fusion);
+        self
+    }
+
+    /// Read node `i`'s lanes as `x[i,l] · scale[i]` without materialising a
+    /// scaled copy (the batched analogue of PageRank's out-degree
+    /// normalisation; `scale` has one entry per node).
+    pub fn scale_input(mut self, scale: &'a Vector) -> Self {
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Append `t = mul·t + add` to the chain (applied to every lane).
+    pub fn affine(mut self, mul: f32, add: f32) -> Self {
+        self.chain.push_stage(Stage::Affine { mul, add });
+        self
+    }
+
+    /// Append `t = f(t)` to the chain (GraphBLAS `apply`; closure by
+    /// reference so the chain stays allocation-free).
+    pub fn apply<F: Fn(f32) -> f32 + Sync>(mut self, f: &'a F) -> Self {
+        self.chain.push_stage(Stage::Apply(f));
+        self
+    }
+
+    /// Append `t = if pred(t) { 1.0 } else { 0.0 }` to the chain
+    /// (GraphBLAS `select`).
+    pub fn select<F: Fn(f32) -> bool + Sync>(mut self, pred: &'a F) -> Self {
+        self.chain.push_stage(Stage::Select(pred));
+        self
+    }
+
+    /// Append `t = op(t, operand[i,l])` to the chain — one collapsed ewise
+    /// link against another multi-vector of the same shape.
+    pub fn then_ewise(mut self, op: BinaryOp, operand: &'a MultiVec) -> Self {
+        self.chain.push_stage(Stage::Ewise {
+            op,
+            operand: operand.as_slice(),
+        });
+        self
+    }
+
+    /// Terminate the chain with the GraphBLAS accumulator `out = w ⊕ t`
+    /// over the flat `n × k` storage (`sssp_multi`'s
+    /// `dist = min(dist, relaxed)` across all lanes at once).
+    pub fn accum(mut self, op: BinaryOp, w: &'a MultiVec) -> Self {
+        self.chain.set_accum(op, w);
+        self
+    }
+
+    /// Assemble the lazy batched expression chain without running it.
+    pub fn build(self) -> MultiExpr<'a> {
+        let mut e = self.chain;
+        e.producer = MultiProducer::Mxm {
+            a: self.a,
+            x: self.x,
+            semiring: self.semiring,
+            mask: self.mask,
+            desc: self.desc,
+            scale: self.scale,
+        };
+        e
+    }
+
+    /// Evaluate the chain against the context
+    /// ([`Context::evaluate_multi`]).
+    pub fn run(self, ctx: &Context) -> MultiVec {
+        ctx.evaluate_multi(self.build())
     }
 }
 
@@ -1074,6 +1269,205 @@ mod tests {
             .run(&ctx);
         assert_eq!(ctx.stats().fused_mxv, 1, "node-at-a-time must not count");
         assert_eq!(ctx.stats().apply, 1, "unfused stages count per node");
+    }
+
+    // -- batched (multi-vector) chain tests (PR 4) --------------------------
+
+    /// Every column of a batched `mxm` equals the single-vector `mxv` of
+    /// that column, across backends, semirings, directions and transpose.
+    #[test]
+    fn mxm_columns_equal_per_column_mxv() {
+        let csr = sample(70, 71);
+        let ctx = Context::default();
+        let cols = [
+            Vector::indicator(70, &[3, 31]),
+            Vector::from_vec((0..70).map(|i| (i % 5) as f32).collect()),
+            Vector::indicator(70, &[64]),
+        ];
+        let mv = MultiVec::from_columns(&cols);
+        for backend in [
+            Backend::Bit(TileSize::S4),
+            Backend::Bit(TileSize::S8),
+            Backend::Bit(TileSize::S16),
+            Backend::FloatCsr,
+        ] {
+            let a = Matrix::from_csr(&csr, backend);
+            for semiring in [Semiring::Boolean, Semiring::Arithmetic] {
+                for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                    for transpose in [false, true] {
+                        let mut op = Op::mxm(&a, &mv).semiring(semiring).direction(dir);
+                        if transpose {
+                            op = op.transpose();
+                        }
+                        let batched = op.run(&ctx);
+                        for (l, col) in cols.iter().enumerate() {
+                            let mut single = Op::mxv(&a, col).semiring(semiring).direction(dir);
+                            if transpose {
+                                single = single.transpose();
+                            }
+                            let want = single.run(&ctx);
+                            close(batched.column(l).as_slice(), want.as_slice());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The flat per-lane mask gates each lane independently — two lanes
+    /// with different visited sets share one masked sweep.
+    #[test]
+    fn mxm_flat_mask_gates_lanes_independently() {
+        let csr = sample(48, 73);
+        let ctx = Context::default();
+        let mv = MultiVec::from_sources(48, &[0, 1]);
+        // Lane 0 suppresses even nodes, lane 1 suppresses odd nodes.
+        let allow: Vec<bool> = (0..48 * 2).map(|f| (f / 2) % 2 != f % 2).collect();
+        let mask = Mask::new(allow.clone());
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            for dir in [Direction::Push, Direction::Pull] {
+                let y = Op::mxm(&a, &mv)
+                    .semiring(Semiring::Boolean)
+                    .mask(&mask)
+                    .direction(dir)
+                    .run(&ctx);
+                for i in 0..48 {
+                    for l in 0..2 {
+                        if !allow[i * 2 + l] {
+                            assert_eq!(
+                                y.get(i, l),
+                                0.0,
+                                "masked node {i} lane {l} must stay filtered ({backend:?} {dir:?})"
+                            );
+                        }
+                    }
+                }
+                // The unmasked positions agree with the per-column masked mxv.
+                for l in 0..2 {
+                    let col_mask = Mask::new((0..48).map(|i| allow[i * 2 + l]).collect());
+                    let want = Op::mxv(&a, &mv.column(l))
+                        .semiring(Semiring::Boolean)
+                        .mask(&col_mask)
+                        .direction(dir)
+                        .run(&ctx);
+                    close(y.column(l).as_slice(), want.as_slice());
+                }
+            }
+        }
+    }
+
+    /// Batched chains with stages and accumulators equal their
+    /// node-at-a-time execution in every direction.
+    #[test]
+    fn mxm_fused_chain_matches_node_at_a_time() {
+        let csr = sample(60, 79);
+        let ctx = Context::default();
+        let k = 3;
+        let mv = MultiVec::from_sources(60, &[2, 17, 33]);
+        let operand = MultiVec::from_vec((0..60 * k).map(|f| (f % 7) as f32).collect(), 60, k);
+        let base = MultiVec::from_vec((0..60 * k).map(|f| (f % 11) as f32 * 0.5).collect(), 60, k);
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                let build = |fusion: Fusion| {
+                    Op::mxm(&a, &mv)
+                        .semiring(Semiring::Boolean)
+                        .direction(dir)
+                        .affine(2.0, 1.0)
+                        .then_ewise(BinaryOp::Plus, &operand)
+                        .accum(BinaryOp::Max, &base)
+                        .fusion(fusion)
+                        .run(&ctx)
+                };
+                let fused = build(Fusion::Fused);
+                let unfused = build(Fusion::NodeAtATime);
+                close(fused.as_slice(), unfused.as_slice());
+            }
+        }
+    }
+
+    /// The batched min-plus accumulator relaxes all lanes at once and
+    /// equals the per-column SSSP-style relaxation.
+    #[test]
+    fn mxm_min_accum_equals_per_column_relaxation() {
+        let csr = sample(56, 83);
+        let ctx = Context::default();
+        let semiring = Semiring::MinPlus(1.0);
+        let mut dist = MultiVec::identity(56, 2, semiring);
+        dist.set(0, 0, 0.0);
+        dist.set(9, 1, 0.0);
+        for backend in [Backend::Bit(TileSize::S16), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            for dir in [Direction::Push, Direction::Pull] {
+                let relaxed = Op::mxm(&a, &dist)
+                    .transpose()
+                    .semiring(semiring)
+                    .direction(dir)
+                    .accum(BinaryOp::Min, &dist)
+                    .run(&ctx);
+                for l in 0..2 {
+                    let col = dist.column(l);
+                    let want = Op::vxm(&col, &a)
+                        .semiring(semiring)
+                        .direction(dir)
+                        .accum(BinaryOp::Min, &col)
+                        .run(&ctx);
+                    close(relaxed.column(l).as_slice(), want.as_slice());
+                }
+            }
+        }
+    }
+
+    /// `scale_input` broadcasts the per-node scale across lanes.
+    #[test]
+    fn mxm_scale_input_matches_pre_scaled_operand() {
+        let csr = sample(40, 89);
+        let ctx = Context::default();
+        let k = 2;
+        let mv = MultiVec::from_vec((0..40 * k).map(|f| 1.0 + (f % 5) as f32).collect(), 40, k);
+        let s = Vector::from_vec((0..40).map(|i| 0.25 * ((i % 3) as f32 + 1.0)).collect());
+        let scaled = MultiVec::from_vec(
+            mv.as_slice()
+                .chunks_exact(k)
+                .zip(s.as_slice())
+                .flat_map(|(lanes, &sv)| lanes.iter().map(move |&v| v * sv))
+                .collect(),
+            40,
+            k,
+        );
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&csr, backend);
+            let fused = Op::mxm(&a, &mv).scale_input(&s).run(&ctx);
+            let manual = Op::mxm(&a, &scaled).run(&ctx);
+            close(fused.as_slice(), manual.as_slice());
+        }
+    }
+
+    /// Batched executions are observable through the context counters, and
+    /// Auto resolves on the node-granular frontier.
+    #[test]
+    fn mxm_auto_direction_switches_and_is_counted() {
+        let csr = sample(512, 97);
+        let a = Matrix::from_csr(&csr, Backend::Bit(TileSize::S8));
+        let ctx = Context::default();
+        // One active node (both lanes on the same node) → push.
+        let sparse = MultiVec::from_sources(512, &[7, 7]);
+        let _ = Op::mxm(&a, &sparse).semiring(Semiring::Boolean).run(&ctx);
+        assert_eq!(ctx.stats().push_mxm, 1, "sparse node frontier must push");
+        // Every node active in one lane → pull.
+        let dense = MultiVec::filled(512, 2, 1.0);
+        let _ = Op::mxm(&a, &dense).semiring(Semiring::Boolean).run(&ctx);
+        assert_eq!(ctx.stats().pull_mxm, 1, "dense frontier must pull");
+        assert_eq!(ctx.stats().total_mxm(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mxm_rejects_bad_dimensions() {
+        let a = Matrix::from_csr(&sample(10, 1), Backend::FloatCsr);
+        let x = MultiVec::zeros(7, 2);
+        let _ = Op::mxm(&a, &x).run(&Context::default());
     }
 
     /// `build()` produces an inert expression that `ctx.evaluate` runs.

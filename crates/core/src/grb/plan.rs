@@ -8,7 +8,8 @@
 //! # Fusion rules
 //!
 //! For a chain rooted at a matrix-vector product the planner emits a single
-//! [`GrbBackend::mxv_fused_into`] sweep when the shape allows it:
+//! [`GrbBackend::mxv_fused_into`](super::GrbBackend::mxv_fused_into) sweep
+//! when the shape allows it:
 //!
 //! * **Pull** (dense sweep) — always fusable: the sweep produces each output
 //!   row's final semiring value `t[i]` in one go, so the mask, every
@@ -17,7 +18,8 @@
 //! * **Push** (sparse scatter) — the scatter produces `t` by *partial*
 //!   updates, so element-wise stages cannot run until the scatter finishes:
 //!   * no accumulator → fusable; stages run as one collapsed epilogue pass
-//!     over the output ([`GrbBackend::ewise_chain_into`]);
+//!     over the output
+//!     ([`GrbBackend::ewise_chain_into`](super::GrbBackend::ewise_chain_into));
 //!   * accumulator whose operator **is** the semiring's additive monoid and
 //!     no stages → fusable by seeding the output with the accumulation
 //!     baseline and letting the scatter ⊕-fold into it (associativity +
@@ -40,14 +42,15 @@
 //! Direction resolution ([`Direction::Auto`]) happens *before* planning and
 //! is identical for both paths; fused pipelines draw every scratch buffer
 //! (scaled operand, frontier list, output) from the context's
-//! [`Workspace`](super::Workspace) pool, so a steady-state fused loop
+//! [`Workspace`] pool, so a steady-state fused loop
 //! allocates nothing (`crates/core/tests/zero_alloc.rs`).
 
 use crate::semiring::{BinaryOp, Semiring};
 
 use super::descriptor::Mask;
-use super::direction::{choose_direction, Direction};
-use super::expr::{eval_stages, Expr, Fusion, Producer, Stage};
+use super::direction::{choose_direction, choose_direction_multi, Direction};
+use super::expr::{eval_stages, Expr, Fusion, MultiExpr, MultiProducer, Producer, Stage};
+use super::multivec::MultiVec;
 use super::op::Context;
 use super::vector::Vector;
 use super::workspace::Workspace;
@@ -270,9 +273,15 @@ fn check_chain_lengths(expr: &Expr<'_>, produced: usize) {
 }
 
 /// The defining node-at-a-time epilogue: one full pass per stage, then an
-/// accumulator pass.
-fn finish_node_at_a_time(expr: &Expr<'_>, ws: &Workspace, out: &mut [f32]) {
-    for stage in expr.stages() {
+/// accumulator pass (shared by the single-vector and batched chains — both
+/// run their stages over flat storage).
+fn finish_node_at_a_time(
+    stages: &[Stage<'_>],
+    accum: Option<(BinaryOp, &[f32])>,
+    ws: &Workspace,
+    out: &mut [f32],
+) {
+    for stage in stages {
         match stage {
             Stage::Ewise { .. } => ws.stats().record_ewise(),
             Stage::Select(_) => ws.stats().record_select(),
@@ -282,8 +291,7 @@ fn finish_node_at_a_time(expr: &Expr<'_>, ws: &Workspace, out: &mut [f32]) {
             *v = stage.eval(i, *v);
         }
     }
-    if let Some((op, w)) = expr.accum {
-        let base = w.as_slice();
+    if let Some((op, base)) = accum {
         for (i, v) in out.iter_mut().enumerate() {
             *v = op.apply(base[i], *v);
         }
@@ -303,7 +311,12 @@ fn execute_leaf(expr: &Expr<'_>, v: &Vector, ctx: &Context) -> Vector {
             &mut out,
         );
     } else {
-        finish_node_at_a_time(expr, ws, &mut out);
+        finish_node_at_a_time(
+            expr.stages(),
+            expr.accum.map(|(op, w)| (op, w.as_slice())),
+            ws,
+            &mut out,
+        );
     }
     Vector::from_vec(out)
 }
@@ -365,9 +378,9 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Vector {
     });
     let x_slice: &[f32] = scaled.as_deref().unwrap_or_else(|| x.as_slice());
 
-    // Resolve the direction exactly like the eager API did: Auto counts the
-    // active entries with a read-only scan, an explicit push on an unsafe
-    // semiring is coerced back to pull.
+    // Resolve the direction before planning: Auto counts the active entries
+    // with a read-only scan, an explicit push on an unsafe semiring is
+    // coerced back to pull.
     let direction = match desc.direction {
         Direction::Push if !semiring.push_safe() => Direction::Pull,
         Direction::Auto => {
@@ -396,8 +409,9 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Vector {
                     .map(|(i, _)| i),
             );
             if trivial && scale.is_none() {
-                // The bare eager shape: dispatch through the flip-preserving
-                // entry points so external backends' overrides keep firing.
+                // The bare stageless shape: dispatch through the
+                // flip-preserving entry points so external backends'
+                // overrides keep firing.
                 if flip {
                     state
                         .vxm_push_into(x_slice, &frontier, semiring, mask, transpose, ws, &mut out);
@@ -434,7 +448,7 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Vector {
                         state.ewise_chain_into(expr.stages(), accum, &mut out);
                         ws.stats().record_ewise_chain();
                     } else {
-                        finish_node_at_a_time(expr, ws, &mut out);
+                        finish_node_at_a_time(expr.stages(), accum, ws, &mut out);
                     }
                 }
             }
@@ -463,7 +477,7 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Vector {
                     ws.stats().record_fused_mxv();
                 } else {
                     state.mxv_into(x_slice, semiring, mask, eff_transpose, ws, &mut out);
-                    finish_node_at_a_time(expr, ws, &mut out);
+                    finish_node_at_a_time(expr.stages(), accum, ws, &mut out);
                 }
             }
             ws.stats().record_pull_mxv();
@@ -475,4 +489,177 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Vector {
     }
     debug_assert_eq!(out.len(), produced);
     Vector::from_vec(out)
+}
+
+// ---------------------------------------------------------------------------
+// Batched (multi-vector) chains
+// ---------------------------------------------------------------------------
+
+/// Assert every stage operand and the accumulator match the flat produced
+/// length of a batched chain.
+fn check_multi_chain_lengths(expr: &MultiExpr<'_>, produced_flat: usize) {
+    for stage in expr.stages() {
+        if let Stage::Ewise { operand, .. } = stage {
+            assert_eq!(
+                operand.len(),
+                produced_flat,
+                "ewise stage operand length must equal the flat output length"
+            );
+        }
+    }
+    if let Some((_, w)) = expr.accum {
+        assert_eq!(
+            w.as_slice().len(),
+            produced_flat,
+            "accumulator shape must equal the output shape"
+        );
+    }
+}
+
+/// Evaluate a batched expression chain against a context (the
+/// implementation of [`Context::evaluate_multi`]).
+pub(crate) fn execute_multi(expr: &MultiExpr<'_>, ctx: &Context) -> MultiVec {
+    match expr.producer {
+        MultiProducer::Leaf(v) => execute_multi_leaf(expr, v, ctx),
+        MultiProducer::Mxm { .. } => execute_mxm(expr, ctx),
+    }
+}
+
+fn execute_multi_leaf(expr: &MultiExpr<'_>, v: &MultiVec, ctx: &Context) -> MultiVec {
+    let (n, k) = (v.n_nodes(), v.n_lanes());
+    check_multi_chain_lengths(expr, n * k);
+    let ws = ctx.workspace();
+    let mut out = ws.take_empty::<f32>();
+    out.extend_from_slice(v.as_slice());
+    let accum = expr.accum.map(|(op, w)| (op, w.as_slice()));
+    if expr.fusion() == Fusion::Fused {
+        ws.stats().record_ewise_chain();
+        run_chain_in_place_parallel(expr.stages(), accum, &mut out);
+    } else {
+        finish_node_at_a_time(expr.stages(), accum, ws, &mut out);
+    }
+    MultiVec::from_vec(out, n, k)
+}
+
+/// Execute the batched matrix × multivector producer and its epilogue.
+///
+/// The fusion rule for `mxm` chains is simpler than for `mxv`: the product
+/// is always one batched sweep ([`GrbBackend::mxm_into`] /
+/// [`GrbBackend::mxm_push_into`], mask applied by the kernel), and under
+/// [`Fusion::Fused`] the whole element-wise epilogue — stages and
+/// accumulator over the flat `n × k` storage — collapses into **one**
+/// [`GrbBackend::ewise_chain_into`] pass.  [`Fusion::NodeAtATime`] runs the
+/// defining one-pass-per-stage semantics instead, which is what the batched
+/// parity proptests compare against.
+///
+/// [`GrbBackend::mxm_into`]: super::GrbBackend::mxm_into
+/// [`GrbBackend::mxm_push_into`]: super::GrbBackend::mxm_push_into
+/// [`GrbBackend::ewise_chain_into`]: super::GrbBackend::ewise_chain_into
+fn execute_mxm(expr: &MultiExpr<'_>, ctx: &Context) -> MultiVec {
+    let MultiProducer::Mxm {
+        a,
+        x,
+        semiring,
+        mask,
+        desc,
+        scale,
+    } = expr.producer
+    else {
+        unreachable!("execute_mxm is only called for Mxm producers")
+    };
+    let transpose = desc.transpose;
+    let k = x.n_lanes();
+    let (contracted, produced) = if transpose {
+        (a.nrows(), a.ncols())
+    } else {
+        (a.ncols(), a.nrows())
+    };
+    assert_eq!(contracted, x.n_nodes(), "mxm dimension mismatch");
+    if let Some(m) = mask {
+        assert_eq!(
+            m.len(),
+            produced * k,
+            "mxm mask length must equal the flat output length (n · k)"
+        );
+    }
+    if let Some(s) = scale {
+        assert_eq!(
+            s.len(),
+            contracted,
+            "input scale length must equal the operand's node count"
+        );
+    }
+    check_multi_chain_lengths(expr, produced * k);
+
+    let state = a.state();
+    let ws = ctx.workspace();
+    let mut out = ws.take_empty::<f32>();
+
+    // Materialize the per-node input scaling (if any) into pooled scratch,
+    // broadcast across the lanes of each node.
+    let mut scaled: Option<Vec<f32>> = scale.map(|s| {
+        let mut buf = ws.take_empty::<f32>();
+        buf.extend(
+            x.as_slice()
+                .chunks_exact(k)
+                .zip(s.as_slice())
+                .flat_map(|(lanes, &sv)| lanes.iter().map(move |&xv| xv * sv)),
+        );
+        buf
+    });
+    let x_flat: &[f32] = scaled.as_deref().unwrap_or_else(|| x.as_slice());
+
+    // Resolve the direction on the node-granular frontier: a node is active
+    // when any of its lanes differs from the semiring identity.
+    let count_active = || {
+        x_flat
+            .chunks_exact(k)
+            .filter(|lanes| lanes.iter().any(|&v| !semiring.is_identity(v)))
+            .count()
+    };
+    let direction = match desc.direction {
+        Direction::Push if !semiring.push_safe() => Direction::Pull,
+        Direction::Auto => {
+            choose_direction_multi(count_active(), contracted, a.nnz(), semiring, &ctx.device)
+        }
+        d => d,
+    };
+
+    match direction {
+        Direction::Push => {
+            let mut frontier = ws.take_empty::<usize>();
+            frontier.extend(
+                x_flat
+                    .chunks_exact(k)
+                    .enumerate()
+                    .filter(|(_, lanes)| lanes.iter().any(|&v| !semiring.is_identity(v)))
+                    .map(|(i, _)| i),
+            );
+            state.mxm_push_into(
+                x_flat, k, &frontier, semiring, mask, transpose, ws, &mut out,
+            );
+            ws.give(frontier);
+            ws.stats().record_push_mxm();
+        }
+        _ => {
+            state.mxm_into(x_flat, k, semiring, mask, transpose, ws, &mut out);
+            ws.stats().record_pull_mxm();
+        }
+    }
+
+    let accum = expr.accum.map(|(op, w)| (op, w.as_slice()));
+    if expr.n_stages() > 0 || accum.is_some() {
+        if expr.fusion() == Fusion::Fused {
+            state.ewise_chain_into(expr.stages(), accum, &mut out);
+            ws.stats().record_ewise_chain();
+        } else {
+            finish_node_at_a_time(expr.stages(), accum, ws, &mut out);
+        }
+    }
+
+    if let Some(buf) = scaled.take() {
+        ws.give(buf);
+    }
+    debug_assert_eq!(out.len(), produced * k);
+    MultiVec::from_vec(out, produced, k)
 }

@@ -1,4 +1,5 @@
-//! The reusable-buffer pool and execution counters behind [`Context`].
+//! The reusable-buffer pool and execution counters behind
+//! [`Context`](super::Context).
 //!
 //! Every `Op::...run(&ctx)` used to allocate its output, packing and mask
 //! buffers afresh, which put a heap allocation (or several) on every
@@ -37,20 +38,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Maximum number of recycled buffers kept per element type.
-const SHELF_CAP: usize = 32;
+pub const SHELF_CAP: usize = 32;
 
 /// Byte high-water mark per shelf: when the recycled buffers of one element
 /// type exceed this, the oldest are evicted (the newest always survives).
 /// Generous enough that steady-state algorithm loops — a handful of
 /// graph-sized vectors — never hit it; only callers recycling many
 /// differently-sized buffers do.
-const SHELF_BYTE_CAP: usize = 8 << 20;
+pub const SHELF_BYTE_CAP: usize = 8 << 20;
 
 /// Element types the workspace pool can hold buffers of.
 ///
 /// Implemented for the kernel-facing scalar types: `f32` (dense vectors),
-/// `bool` (mask views), `usize` (frontier index lists) and the three B2SR
-/// packing words (`u8`, `u16`, `u32`).
+/// `bool` (mask views), `usize` (frontier index lists), the three B2SR
+/// packing words (`u8`, `u16`, `u32`) and the multi-vector lane words
+/// (`u64`).
 pub trait Poolable: Copy + Send + 'static {
     /// The shelf of recycled buffers for this element type.
     fn shelf(pool: &mut BufferPool) -> &mut Vec<Vec<Self>>;
@@ -65,6 +67,7 @@ pub struct BufferPool {
     u8s: Vec<Vec<u8>>,
     u16s: Vec<Vec<u16>>,
     u32s: Vec<Vec<u32>>,
+    u64s: Vec<Vec<u64>>,
 }
 
 macro_rules! poolable {
@@ -84,6 +87,7 @@ poolable!(usize, usizes);
 poolable!(u8, u8s);
 poolable!(u16, u16s);
 poolable!(u32, u32s);
+poolable!(u64, u64s);
 
 /// The per-context execution workspace: a buffer pool plus op counters.
 #[derive(Debug, Default)]
@@ -157,6 +161,8 @@ impl Workspace {
 pub struct ExecStats {
     pull_mxv: AtomicU64,
     push_mxv: AtomicU64,
+    pull_mxm: AtomicU64,
+    push_mxm: AtomicU64,
     fused_mxv: AtomicU64,
     ewise_chain: AtomicU64,
     mxm_reduce: AtomicU64,
@@ -172,6 +178,12 @@ impl ExecStats {
     }
     pub(crate) fn record_push_mxv(&self) {
         self.push_mxv.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_pull_mxm(&self) {
+        self.pull_mxm.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_push_mxm(&self) {
+        self.push_mxm.fetch_add(1, Ordering::Relaxed);
     }
     pub(crate) fn record_fused_mxv(&self) {
         self.fused_mxv.fetch_add(1, Ordering::Relaxed);
@@ -200,6 +212,8 @@ impl ExecStats {
         ExecCounts {
             pull_mxv: self.pull_mxv.load(Ordering::Relaxed),
             push_mxv: self.push_mxv.load(Ordering::Relaxed),
+            pull_mxm: self.pull_mxm.load(Ordering::Relaxed),
+            push_mxm: self.push_mxm.load(Ordering::Relaxed),
             fused_mxv: self.fused_mxv.load(Ordering::Relaxed),
             ewise_chain: self.ewise_chain.load(Ordering::Relaxed),
             mxm_reduce: self.mxm_reduce.load(Ordering::Relaxed),
@@ -218,6 +232,10 @@ pub struct ExecCounts {
     pub pull_mxv: u64,
     /// `mxv`/`vxm` executions that resolved to the push (sparse scatter) path.
     pub push_mxv: u64,
+    /// Batched `mxm` (matrix × multivector) executions that resolved to pull.
+    pub pull_mxm: u64,
+    /// Batched `mxm` (matrix × multivector) executions that resolved to push.
+    pub push_mxm: u64,
     /// Matrix-vector pipelines executed as a single fused sweep (also
     /// counted in `pull_mxv`/`push_mxv` by resolved direction).
     pub fused_mxv: u64,
@@ -240,6 +258,11 @@ impl ExecCounts {
     /// Total `mxv`/`vxm` executions across both directions.
     pub fn total_mxv(&self) -> u64 {
         self.pull_mxv + self.push_mxv
+    }
+
+    /// Total batched `mxm` executions across both directions.
+    pub fn total_mxm(&self) -> u64 {
+        self.pull_mxm + self.push_mxm
     }
 }
 

@@ -1,19 +1,34 @@
-//! BMM — Binarized sparse Matrix × Matrix kernels (Table III).
+//! BMM — Binarized sparse Matrix × Matrix kernels (Table III) and the
+//! batched matrix-times-multivector kernels behind the multi-source
+//! traversal engine.
 //!
-//! Triangle Counting is the paper's SpGEMM consumer: both operands and the
-//! mask are binary, and the only output needed is the *sum* of the product's
-//! entries.  `bmm_bin_bin_sum` computes `Σ_{i,j} (A·B)[i][j]` and
-//! `bmm_bin_bin_sum_masked` computes `Σ_{(i,j) ∈ mask} (A·B)[i][j]`, both
-//! over the arithmetic semiring with binary inputs.
+//! Two kernel families live here:
 //!
-//! Kernel structure (Listing 2 of the paper): one warp per tile-row of `A`;
-//! the outer loop walks `A`'s non-empty tiles `(tr, k)`, the middle loop
-//! walks `B`'s tile-row `k`, and the inner 32-step loop broadcasts each
-//! bit-row of the `B` tile to all lanes (`__shfl_sync`) so every lane
-//! accumulates `__popc(a_row & b_row)` into its private register.  Here the
-//! broadcast becomes an inner loop over the pre-transposed `B` tile (the
-//! paper stores `B`'s tiles column-major for the same reason) and the warp
-//! scheduling becomes Rayon parallelism over `A`'s tile-rows.
+//! * **Scalar-reducing SpGEMM** — Triangle Counting is the paper's SpGEMM
+//!   consumer: both operands and the mask are binary, and the only output
+//!   needed is the *sum* of the product's entries.  `bmm_bin_bin_sum`
+//!   computes `Σ_{i,j} (A·B)[i][j]` and `bmm_bin_bin_sum_masked` computes
+//!   `Σ_{(i,j) ∈ mask} (A·B)[i][j]`, both over the arithmetic semiring with
+//!   binary inputs.  Kernel structure (Listing 2 of the paper): one warp per
+//!   tile-row of `A`; the outer loop walks `A`'s non-empty tiles `(tr, k)`,
+//!   the middle loop walks `B`'s tile-row `k`, and the inner 32-step loop
+//!   broadcasts each bit-row of the `B` tile to all lanes (`__shfl_sync`) so
+//!   every lane accumulates `__popc(a_row & b_row)` into its private
+//!   register.  Here the broadcast becomes an inner loop over the
+//!   pre-transposed `B` tile (the paper stores `B`'s tiles column-major for
+//!   the same reason) and the warp scheduling becomes Rayon parallelism over
+//!   `A`'s tile-rows.
+//!
+//! * **Matrix × multivector (frontier matrices)** — `k` concurrent
+//!   traversals stacked into an `n × k` multi-vector advance with a single
+//!   sweep that loads each adjacency tile **once** and applies it to all
+//!   `k` lanes, amortizing the matrix traffic across queries the same way
+//!   the bit kernels amortize it across packed elements.  Pull
+//!   (`bmm_bin_bits_into`, `bmm_bin_full_into`) and push
+//!   (`bmm_push_bits`, `bmm_push_bin_full`) variants mirror the
+//!   single-vector BMV family; for the Boolean semiring the lanes pack into
+//!   `u64` *lane words* (`k.div_ceil(64)` words per node), so one `OR` per
+//!   edge advances up to 64 traversals at once.
 
 use rayon::prelude::*;
 
@@ -21,6 +36,7 @@ use bitgblas_bitops::pack::transpose_tile;
 use bitgblas_bitops::BitWord;
 
 use crate::b2sr::B2sr;
+use crate::semiring::Semiring;
 
 /// Pre-transpose every tile of `b` so that word `j` of a transposed tile is
 /// bit-*column* `j` of the original tile — the "column-major packing" the
@@ -150,6 +166,316 @@ pub fn bmm_bin_bin_sum_masked<W: BitWord>(a: &B2sr<W>, b: &B2sr<W>, mask: &B2sr<
             local
         })
         .sum()
+}
+
+// ---------------------------------------------------------------------------
+// Matrix × multivector (frontier-matrix) kernels
+// ---------------------------------------------------------------------------
+
+/// `bmm_bin_bits_into()`: pull-direction Boolean matrix × multivector.
+///
+/// `xw` holds the operand's per-node lane words (`k.div_ceil(64)` `u64`s
+/// per node, bit `l` = lane `l` active); `xa` is the tilewise-packed
+/// **any-lane-active** indicator of the operand ([`pack_vector_bits`]-style:
+/// bit `c` of word `tc` set iff node `tc*dim + c` has at least one active
+/// lane); `sup` optionally carries the flat mask as per-node *suppressed*
+/// lane words (bit `l` set = output lane `l` of that node is masked out).
+/// `yw` must hold `n_tile_rows * tile_dim * wpn` words and is fully
+/// overwritten.
+///
+/// Output node `i`'s lane word `t` ORs the lane words of every *active*
+/// in-neighbour: `xa` keeps the single-vector kernel's word-level streaming
+/// advantage — a whole tile whose column range holds no active node is
+/// skipped with one AND, and within a tile only the edges that land on
+/// active nodes pay the per-edge lane OR (one OR advances up to 64
+/// traversals).  With `sup` present, rows whose every lane is masked out
+/// are skipped entirely (a whole tile-row of them costs one word test) —
+/// in a late BFS iteration, where almost every vertex is visited in every
+/// lane, the sweep collapses to streaming the tile index.  Rayon
+/// parallelises over tile-rows like the single-vector pull kernels.
+///
+/// [`pack_vector_bits`]: crate::kernels::pack_vector_bits
+pub fn bmm_bin_bits_into<W: BitWord>(
+    a: &B2sr<W>,
+    xw: &[u64],
+    k: usize,
+    xa: &[W],
+    sup: Option<&[u64]>,
+    yw: &mut [u64],
+) {
+    let dim = a.tile_dim();
+    let wpn = k.div_ceil(64);
+    assert!(
+        xw.len() >= a.ncols() * wpn,
+        "operand has too few lane words"
+    );
+    assert!(xa.len() >= a.n_tile_cols(), "active mask has too few words");
+    if let Some(s) = sup {
+        assert!(s.len() >= a.nrows() * wpn, "mask has too few lane words");
+    }
+    assert!(
+        yw.len() >= a.n_tile_rows() * dim * wpn,
+        "output has too few lane words"
+    );
+    let nrows = a.nrows();
+    // Bits past lane k-1 in the last word of each node are never set.
+    let tail = if k.is_multiple_of(64) {
+        !0u64
+    } else {
+        (1u64 << (k % 64)) - 1
+    };
+    let lane_mask = |t: usize| if t + 1 == wpn { tail } else { !0u64 };
+    yw.par_chunks_mut(dim * wpn)
+        .enumerate()
+        .for_each(|(tr, out)| {
+            for w in out.iter_mut() {
+                *w = 0;
+            }
+            if tr >= a.n_tile_rows() {
+                return;
+            }
+            // Which rows of this tile-row still have an unmasked lane; a fully
+            // suppressed tile-row skips its tiles altogether.
+            let mut row_allow = !W::ZERO;
+            if let Some(s) = sup {
+                row_allow = W::ZERO;
+                for r in 0..dim {
+                    let gr = tr * dim + r;
+                    if gr < nrows && (0..wpn).any(|t| !s[gr * wpn + t] & lane_mask(t) != 0) {
+                        row_allow = row_allow.with_bit(r as u32);
+                    }
+                }
+                if row_allow == W::ZERO {
+                    return;
+                }
+            }
+            for idx in a.tile_row_range(tr) {
+                let tc = a.tile_colind()[idx];
+                let xaw = xa[tc];
+                if xaw == W::ZERO {
+                    // No active node in this tile-column: the whole tile
+                    // contributes nothing to any lane.
+                    continue;
+                }
+                let base = tc * dim;
+                let words = a.tile_words(idx);
+                for (r, &aw) in words.iter().enumerate().take(dim) {
+                    if !row_allow.bit(r as u32) {
+                        continue;
+                    }
+                    // Only the edges landing on active nodes carry lanes; `xa`
+                    // also masks the ragged last tile-column (bits past ncols
+                    // are never active).
+                    let hits = aw & xaw;
+                    if hits == W::ZERO {
+                        continue;
+                    }
+                    if wpn == 1 {
+                        // The common shape (k ≤ 64): one accumulator register.
+                        let mut acc = out[r];
+                        for dc in hits.iter_ones() {
+                            acc |= xw[base + dc as usize];
+                        }
+                        out[r] = acc;
+                    } else {
+                        for dc in hits.iter_ones() {
+                            let src = &xw[(base + dc as usize) * wpn..][..wpn];
+                            for (t, &s) in src.iter().enumerate() {
+                                out[r * wpn + t] |= s;
+                            }
+                        }
+                    }
+                }
+            }
+            // Store-side mask: clear the suppressed lanes of every produced row.
+            if let Some(s) = sup {
+                for r in 0..dim {
+                    let gr = tr * dim + r;
+                    if gr >= nrows {
+                        break;
+                    }
+                    for t in 0..wpn {
+                        out[r * wpn + t] &= !s[gr * wpn + t];
+                    }
+                }
+            }
+        });
+}
+
+/// `bmm_push_bits()`: push-direction Boolean matrix × multivector.
+/// `frontier` lists, in ascending order, the *node* indices (rows of `a`)
+/// with at least one active lane; each frontier node's whole lane word is
+/// OR-scattered into every out-neighbour, so one scatter advances all of
+/// that node's active traversals at once.  `yw` holds `ncols * wpn` lane
+/// words and must be zeroed by the caller.  Serial and allocation-free like
+/// the single-vector push kernels — push is selected precisely when the
+/// frontier is tiny.
+pub fn bmm_push_bits<W: BitWord>(
+    a: &B2sr<W>,
+    frontier: &[usize],
+    xw: &[u64],
+    wpn: usize,
+    yw: &mut [u64],
+) {
+    let dim = a.tile_dim();
+    assert!(
+        xw.len() >= a.nrows() * wpn,
+        "operand has too few lane words"
+    );
+    assert!(yw.len() >= a.ncols() * wpn, "output has too few lane words");
+    let ncols = a.ncols();
+    for &u in frontier {
+        debug_assert!(u < a.nrows(), "frontier node out of range");
+        let (tr, r) = (u / dim, u % dim);
+        if wpn == 1 {
+            // The common shape (k ≤ 64): the node's whole batch is one word.
+            let srcw = xw[u];
+            for idx in a.tile_row_range(tr) {
+                let base = a.tile_colind()[idx] * dim;
+                let w = a.tile_words(idx)[r];
+                for dc in w.iter_ones() {
+                    let j = base + dc as usize;
+                    if j < ncols {
+                        yw[j] |= srcw;
+                    }
+                }
+            }
+            continue;
+        }
+        let src = &xw[u * wpn..(u + 1) * wpn];
+        for idx in a.tile_row_range(tr) {
+            let base = a.tile_colind()[idx] * dim;
+            let w = a.tile_words(idx)[r];
+            for dc in w.iter_ones() {
+                let j = base + dc as usize;
+                if j < ncols {
+                    let dst = &mut yw[j * wpn..(j + 1) * wpn];
+                    for (t, &s) in src.iter().enumerate() {
+                        dst[t] |= s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `bmm_bin_full_into()`: pull-direction full-precision matrix ×
+/// multivector, generic over the semiring.  `x` is the flat node-major
+/// `ncols × k` operand; `y` must hold `n_tile_rows * tile_dim * k` entries
+/// and is fully overwritten (padded rows receive the semiring identity; the
+/// caller truncates to `nrows * k`).  Each loaded tile bit triggers `k`
+/// lane reductions over two contiguous `k`-slices — the whole batch
+/// advances in one matrix sweep.
+///
+/// `xa` optionally carries the tilewise-packed any-lane-active indicator
+/// (see [`bmm_bin_bits_into`]); when present, tiles and edges landing only
+/// on all-identity nodes are skipped at word granularity.  Only exact for
+/// [`Semiring::push_safe`] semirings — the caller passes `None` otherwise.
+pub fn bmm_bin_full_into<W: BitWord>(
+    a: &B2sr<W>,
+    x: &[f32],
+    k: usize,
+    semiring: Semiring,
+    xa: Option<&[W]>,
+    y: &mut [f32],
+) {
+    let dim = a.tile_dim();
+    assert!(x.len() >= a.ncols() * k, "operand shorter than ncols * k");
+    assert!(
+        y.len() >= a.n_tile_rows() * dim * k,
+        "output shorter than the padded row count * k"
+    );
+    if let Some(xa) = xa {
+        assert!(xa.len() >= a.n_tile_cols(), "active mask has too few words");
+        debug_assert!(
+            semiring.push_safe(),
+            "active-skip needs a push-safe semiring"
+        );
+    }
+    let ncols = a.ncols();
+    y.par_chunks_mut(dim * k).enumerate().for_each(|(tr, out)| {
+        for v in out.iter_mut() {
+            *v = semiring.identity();
+        }
+        if tr >= a.n_tile_rows() {
+            return;
+        }
+        for idx in a.tile_row_range(tr) {
+            let tc = a.tile_colind()[idx];
+            let xaw = match xa {
+                Some(xa) => {
+                    let w = xa[tc];
+                    if w == W::ZERO {
+                        continue;
+                    }
+                    w
+                }
+                None => !W::ZERO,
+            };
+            let base = tc * dim;
+            let words = a.tile_words(idx);
+            for (r, &aw) in words.iter().enumerate().take(dim) {
+                let hits = aw & xaw;
+                if hits == W::ZERO {
+                    continue;
+                }
+                for dc in hits.iter_ones() {
+                    let j = base + dc as usize;
+                    // Guard the ragged last tile-column (an all-ones `xaw`
+                    // does not mask it).
+                    if j < ncols {
+                        let src = &x[j * k..(j + 1) * k];
+                        let dst = &mut out[r * k..(r + 1) * k];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = semiring.reduce(*d, semiring.combine(s));
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `bmm_push_bin_full()`: push-direction full-precision matrix ×
+/// multivector.  For every frontier node `u` (any lane active) and every
+/// out-neighbour `j`, all `k` lane contributions `⊗(x[u*k+l])` fold into
+/// `y[j*k+l]` with the additive monoid; `allow` filters flat output
+/// positions (`j*k + l`, the flat per-lane mask) and `y` must be pre-filled
+/// with the semiring identity.  Only valid for
+/// [`Semiring::push_safe`] semirings; serial and allocation-free.
+pub fn bmm_push_bin_full<W: BitWord, M: Fn(usize) -> bool>(
+    a: &B2sr<W>,
+    x: &[f32],
+    k: usize,
+    frontier: &[usize],
+    semiring: Semiring,
+    allow: M,
+    y: &mut [f32],
+) {
+    let dim = a.tile_dim();
+    assert!(x.len() >= a.nrows() * k, "operand shorter than nrows * k");
+    let ncols = a.ncols();
+    for &u in frontier {
+        debug_assert!(u < a.nrows(), "frontier node out of range");
+        let src = &x[u * k..(u + 1) * k];
+        let (tr, r) = (u / dim, u % dim);
+        for idx in a.tile_row_range(tr) {
+            let base = a.tile_colind()[idx] * dim;
+            let w = a.tile_words(idx)[r];
+            for dc in w.iter_ones() {
+                let j = base + dc as usize;
+                if j >= ncols {
+                    continue;
+                }
+                for (l, &s) in src.iter().enumerate() {
+                    let flat = j * k + l;
+                    if allow(flat) {
+                        y[flat] = semiring.reduce(y[flat], semiring.combine(s));
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -318,5 +644,217 @@ mod tests {
             &from_csr::<u16>(&mask, 16),
         );
         assert!(masked <= full);
+    }
+
+    // -- matrix × multivector kernels ---------------------------------------
+
+    use crate::kernels::bmv::{bmv_bin_full_full, bmv_push_bin_full, pack_vector_bits};
+
+    /// A deterministic n × k operand with a mix of active and identity lanes.
+    fn sample_multi(n: usize, k: usize, semiring: Semiring) -> Vec<f32> {
+        (0..n * k)
+            .map(|f| {
+                if (f * 13 + 7) % 5 == 0 {
+                    ((f % 4) + 1) as f32
+                } else {
+                    semiring.identity()
+                }
+            })
+            .collect()
+    }
+
+    fn lane_of(flat: &[f32], k: usize, l: usize) -> Vec<f32> {
+        flat.chunks_exact(k).map(|lanes| lanes[l]).collect()
+    }
+
+    /// Tilewise-packed any-lane-active indicator of a flat n × k operand.
+    fn active_words<W: BitWord>(flat: &[f32], k: usize, semiring: Semiring, dim: usize) -> Vec<W> {
+        let flags: Vec<bool> = flat
+            .chunks_exact(k)
+            .map(|lanes| lanes.iter().any(|&v| !semiring.is_identity(v)))
+            .collect();
+        pack_vector_bits(&flags, dim)
+    }
+
+    /// The batched pull kernel equals k independent single-vector pulls.
+    #[test]
+    fn bin_full_multi_pull_equals_per_lane_bmv() {
+        let a = sample(61, 5, 4);
+        for k in [1usize, 3, 8] {
+            for semiring in [
+                Semiring::Arithmetic,
+                Semiring::Boolean,
+                Semiring::MinPlus(1.0),
+            ] {
+                let x = sample_multi(61, k, semiring);
+                macro_rules! check {
+                    ($w:ty, $dim:expr) => {{
+                        let b = from_csr::<$w>(&a, $dim);
+                        // With and without the active-skip words: both must
+                        // equal the per-lane single-vector sweeps.
+                        let xa = active_words::<$w>(&x, k, semiring, $dim);
+                        for xa_opt in [None, Some(xa.as_slice())] {
+                            let mut y = vec![42.0f32; b.n_tile_rows() * $dim * k];
+                            bmm_bin_full_into(&b, &x, k, semiring, xa_opt, &mut y);
+                            for l in 0..k {
+                                let want = bmv_bin_full_full(&b, &lane_of(&x, k, l), semiring);
+                                for (i, &w) in want.iter().enumerate() {
+                                    let got = y[i * k + l];
+                                    let both_inf = got.is_infinite() && w.is_infinite();
+                                    assert!(
+                                        both_inf || (got - w).abs() < 1e-4,
+                                        "{semiring:?} k={k} dim={} lane {l} node {i}: {got} vs {w} \
+                                         (skip={})",
+                                        $dim,
+                                        xa_opt.is_some()
+                                    );
+                                }
+                            }
+                        }
+                    }};
+                }
+                check!(u8, 4);
+                check!(u8, 8);
+                check!(u16, 16);
+                check!(u32, 32);
+            }
+        }
+    }
+
+    /// The batched push scatter equals k independent single-vector pushes.
+    #[test]
+    fn push_multi_full_equals_per_lane_push() {
+        let a = sample(53, 11, 3);
+        let k = 4;
+        let semiring = Semiring::MinPlus(1.0);
+        let x = sample_multi(53, k, semiring);
+        let frontier: Vec<usize> = x
+            .chunks_exact(k)
+            .enumerate()
+            .filter(|(_, lanes)| lanes.iter().any(|&v| !semiring.is_identity(v)))
+            .map(|(i, _)| i)
+            .collect();
+        let b = from_csr::<u8>(&a, 8);
+        let mut y = vec![semiring.identity(); a.ncols() * k];
+        bmm_push_bin_full(&b, &x, k, &frontier, semiring, |_| true, &mut y);
+        for l in 0..k {
+            let lane = lane_of(&x, k, l);
+            let lane_frontier: Vec<usize> = (0..53)
+                .filter(|&i| !semiring.is_identity(lane[i]))
+                .collect();
+            let mut want = vec![semiring.identity(); a.ncols()];
+            bmv_push_bin_full(&b, &lane, &lane_frontier, semiring, |_| true, &mut want);
+            for (j, &w) in want.iter().enumerate() {
+                let got = y[j * k + l];
+                let both_inf = got.is_infinite() && w.is_infinite();
+                assert!(both_inf || (got - w).abs() < 1e-4, "lane {l} node {j}");
+            }
+        }
+    }
+
+    /// The lane-word Boolean kernels (pull and push) equal the flat
+    /// full-precision Boolean sweep.
+    #[test]
+    fn boolean_lane_word_kernels_match_full_precision() {
+        let a = sample(47, 17, 4);
+        for k in [1usize, 7, 64, 70] {
+            let wpn = k.div_ceil(64);
+            let x = sample_multi(47, k, Semiring::Boolean);
+            // Pack the operand into lane words.
+            let mut xw = vec![0u64; 47 * wpn];
+            for (i, lanes) in x.chunks_exact(k).enumerate() {
+                for (l, &v) in lanes.iter().enumerate() {
+                    if v != 0.0 {
+                        xw[i * wpn + l / 64] |= 1 << (l % 64);
+                    }
+                }
+            }
+            let b = from_csr::<u8>(&a, 8);
+            let mut want = vec![0.0f32; b.n_tile_rows() * 8 * k];
+            bmm_bin_full_into(&b, &x, k, Semiring::Boolean, None, &mut want);
+
+            let xa = active_words::<u8>(&x, k, Semiring::Boolean, 8);
+            let mut yw = vec![u64::MAX; b.n_tile_rows() * 8 * wpn];
+            bmm_bin_bits_into(&b, &xw, k, &xa, None, &mut yw);
+            for i in 0..a.nrows() {
+                for l in 0..k {
+                    let bit = yw[i * wpn + l / 64] >> (l % 64) & 1 != 0;
+                    assert_eq!(bit, want[i * k + l] != 0.0, "pull k={k} node {i} lane {l}");
+                }
+            }
+
+            let frontier: Vec<usize> = (0..47)
+                .filter(|&i| xw[i * wpn..(i + 1) * wpn].iter().any(|&w| w != 0))
+                .collect();
+            let bt = from_csr::<u8>(&a.transpose(), 8);
+            let mut pw = vec![0u64; a.nrows() * wpn];
+            bmm_push_bits(&bt, &frontier, &xw, wpn, &mut pw);
+            // Push scatters rows of Aᵀ = pull over A: same product.
+            for i in 0..a.nrows() {
+                for l in 0..k {
+                    let bit = pw[i * wpn + l / 64] >> (l % 64) & 1 != 0;
+                    assert_eq!(bit, want[i * k + l] != 0.0, "push k={k} node {i} lane {l}");
+                }
+            }
+        }
+    }
+
+    /// The in-kernel suppressed-lane-word mask equals masking after the
+    /// fact, including fully-suppressed rows and tile-rows (the word-skip
+    /// paths).
+    #[test]
+    fn boolean_pull_kernel_mask_equals_post_masking() {
+        let a = sample(59, 61, 4);
+        for k in [5usize, 64, 70] {
+            let wpn = k.div_ceil(64);
+            let x = sample_multi(59, k, Semiring::Boolean);
+            let mut xw = vec![0u64; 59 * wpn];
+            for (i, lanes) in x.chunks_exact(k).enumerate() {
+                for (l, &v) in lanes.iter().enumerate() {
+                    if v != 0.0 {
+                        xw[i * wpn + l / 64] |= 1 << (l % 64);
+                    }
+                }
+            }
+            let b = from_csr::<u8>(&a, 8);
+            let xa = active_words::<u8>(&x, k, Semiring::Boolean, 8);
+            // Suppress a mix: every lane of nodes 0..16 (whole tile-rows
+            // skip), odd lanes elsewhere.
+            let mut sup = vec![0u64; 59 * wpn];
+            for i in 0..59usize {
+                for l in 0..k {
+                    if i < 16 || l % 2 == 1 {
+                        sup[i * wpn + l / 64] |= 1 << (l % 64);
+                    }
+                }
+            }
+            let mut masked = vec![u64::MAX; b.n_tile_rows() * 8 * wpn];
+            bmm_bin_bits_into(&b, &xw, k, &xa, Some(&sup), &mut masked);
+            let mut unmasked = vec![u64::MAX; b.n_tile_rows() * 8 * wpn];
+            bmm_bin_bits_into(&b, &xw, k, &xa, None, &mut unmasked);
+            for i in 0..59usize {
+                for t in 0..wpn {
+                    assert_eq!(
+                        masked[i * wpn + t],
+                        unmasked[i * wpn + t] & !sup[i * wpn + t],
+                        "k={k} node {i} word {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Single-lane batched kernels degenerate to the single-vector kernels.
+    #[test]
+    fn k_equals_one_matches_single_vector_kernels() {
+        let a = sample(39, 23, 3);
+        let x: Vec<f32> = (0..39)
+            .map(|i| if i % 3 == 0 { 2.0 } else { 0.0 })
+            .collect();
+        let b = from_csr::<u16>(&a, 16);
+        let mut y = vec![0.0f32; b.n_tile_rows() * 16];
+        bmm_bin_full_into(&b, &x, 1, Semiring::Arithmetic, None, &mut y);
+        let want = bmv_bin_full_full(&b, &x, Semiring::Arithmetic);
+        assert_eq!(&y[..39], &want[..]);
     }
 }

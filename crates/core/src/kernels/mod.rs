@@ -8,7 +8,12 @@
 //!   variants that write into workspace-pooled buffers.
 //! * [`bmm`] — Binarized Matrix × Matrix: the two schemes of Table III
 //!   (`bmm_bin_bin_sum` and `bmm_bin_bin_sum_masked`), which reduce the
-//!   product to a full-precision scalar as required by Triangle Counting.
+//!   product to a full-precision scalar as required by Triangle Counting;
+//!   plus the batched matrix-times-multivector kernels of the multi-source
+//!   traversal engine (`bmm_bin_bits_into` / `bmm_push_bits` for Boolean
+//!   lane words, `bmm_bin_full_into` / `bmm_push_bin_full` for the other
+//!   semirings) — each adjacency tile is loaded once and applied to all
+//!   `k` frontier lanes.
 //!
 //! Each kernel is structured exactly like the paper's CUDA listings: the
 //! tile-rows of the B2SR matrix are the unit of work (one warp per tile-row),
@@ -20,7 +25,10 @@
 pub mod bmm;
 pub mod bmv;
 
-pub use bmm::{bmm_bin_bin_sum, bmm_bin_bin_sum_masked};
+pub use bmm::{
+    bmm_bin_bin_sum, bmm_bin_bin_sum_masked, bmm_bin_bits_into, bmm_bin_full_into,
+    bmm_push_bin_full, bmm_push_bits,
+};
 pub use bmv::{
     bmv_bin_bin_bin, bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked, bmv_bin_bin_bin_masked_into,
     bmv_bin_bin_full, bmv_bin_bin_full_masked, bmv_bin_full_full, bmv_bin_full_full_fused_into,

@@ -42,6 +42,6 @@ pub mod semiring;
 
 pub use b2sr::{B2sr, B2srMatrix, TileSize};
 pub use grb::{
-    Backend, Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Matrix, Op, Vector,
+    Backend, Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Matrix, MultiVec, Op, Vector,
 };
 pub use semiring::{BinaryOp, Semiring};

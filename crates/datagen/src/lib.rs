@@ -12,7 +12,7 @@
 //! * [`generators`] — seeded graph/matrix generators for every category
 //!   (Erdős–Rényi, R-MAT/Kronecker power-law, banded/diagonal, block
 //!   community, stripes, 2-D/3-D grids, Mycielskian, and small classics);
-//! * [`classify`] — a structural classifier reproducing the Table V
+//! * [`mod@classify`] — a structural classifier reproducing the Table V
 //!   categorisation;
 //! * [`corpus`] — a named catalogue of stand-ins for the matrices that appear
 //!   in the paper's per-matrix tables (delaunay_n14, ash292, mycielskian9,

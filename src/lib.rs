@@ -76,11 +76,11 @@ pub use bitgblas_sparse as sparse;
 /// The most commonly used items, for `use bit_graphblas::prelude::*`.
 pub mod prelude {
     pub use bitgblas_algorithms::{
-        bfs, bfs_dir, connected_components, pagerank, sssp, sssp_dir, sssp_with, triangle_count,
-        PageRankConfig,
+        betweenness_centrality, bfs, bfs_dir, bfs_multi, connected_components, pagerank, sssp,
+        sssp_dir, sssp_multi, sssp_with, triangle_count, PageRankConfig,
     };
     pub use bitgblas_core::grb::{
-        Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Mask, Op,
+        Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Mask, MultiVec, Op,
     };
     pub use bitgblas_core::{B2srMatrix, Backend, BinaryOp, Matrix, Semiring, TileSize, Vector};
     pub use bitgblas_sparse::{Coo, Csr, DenseVec};

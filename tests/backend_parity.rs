@@ -10,7 +10,9 @@
 
 use proptest::prelude::*;
 
-use bit_graphblas::algorithms::reference;
+use bit_graphblas::algorithms::{
+    betweenness_centrality_dir, bfs_multi_dir, reference, sssp_multi_dir,
+};
 use bit_graphblas::core::grb::scatter_penalty;
 use bit_graphblas::datagen::generators;
 use bit_graphblas::prelude::*;
@@ -224,6 +226,86 @@ proptest! {
                     backend,
                     dir
                 );
+            }
+        }
+    }
+
+    /// Batched multi-source BFS parity (PR 4): column `j` of `bfs_multi`
+    /// equals `bfs_dir` from source `j`, on every acceptance backend
+    /// (including `Auto`) in push, pull and auto — the contract of the
+    /// frontier-matrix engine.
+    #[test]
+    fn bfs_multi_column_equals_single_source(adj in graph_strategy(), seed in 0usize..1000) {
+        let n = adj.nrows();
+        // Three sources spread from the seed, duplicates allowed.
+        let sources = [seed % n, (seed * 7 + 13) % n, (seed * 31 + 5) % n];
+        let mut backends = direction_backends();
+        backends.push(Backend::Auto);
+        for backend in backends {
+            let m = Matrix::from_csr(&adj, backend);
+            for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                let batched = bfs_multi_dir(&m, &sources, dir);
+                for (l, &s) in sources.iter().enumerate() {
+                    let single = bfs_dir(&m, s, dir);
+                    for v in 0..n {
+                        prop_assert_eq!(
+                            batched.level(v, l),
+                            single.levels[v],
+                            "{:?} {:?} lane {} vertex {}",
+                            backend, dir, l, v
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched multi-source SSSP parity: every lane equals the
+    /// single-source distances bit-for-bit across backends and directions.
+    #[test]
+    fn sssp_multi_column_equals_single_source(adj in graph_strategy(), seed in 0usize..1000) {
+        let n = adj.nrows();
+        let sources = [seed % n, (seed * 11 + 3) % n];
+        for backend in direction_backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                let batched = sssp_multi_dir(&m, &sources, dir);
+                for (l, &s) in sources.iter().enumerate() {
+                    let single = sssp_dir(&m, s, dir);
+                    for v in 0..n {
+                        prop_assert_eq!(
+                            batched.distance(v, l),
+                            single.distances[v],
+                            "{:?} {:?} lane {} vertex {}",
+                            backend, dir, l, v
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched betweenness centrality matches the two-phase Brandes
+    /// reference on every acceptance backend in push, pull and auto.
+    #[test]
+    fn bc_matches_reference_across_backends_and_directions(adj in graph_strategy(), seed in 0usize..1000) {
+        let n = adj.nrows();
+        let sources: Vec<usize> = (0..4).map(|i| (seed * 17 + i * 29) % n).collect();
+        let expected = reference::betweenness(&adj, &sources);
+        let mut backends = direction_backends();
+        backends.push(Backend::Auto);
+        for backend in backends {
+            let m = Matrix::from_csr(&adj, backend);
+            for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                let got = betweenness_centrality_dir(&m, &sources, dir);
+                for (v, (g, w)) in got.centrality.iter().zip(&expected).enumerate() {
+                    let tol = 1e-3 + 1e-3 * w.abs();
+                    prop_assert!(
+                        (g - w).abs() < tol,
+                        "{:?} {:?} vertex {}: {} vs {}",
+                        backend, dir, v, g, w
+                    );
+                }
             }
         }
     }
