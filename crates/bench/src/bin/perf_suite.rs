@@ -2,14 +2,18 @@
 //!
 //! Times the BMV kernel in all three traversal directions, the five graph
 //! algorithms, the fused vs node-at-a-time execution of the PageRank/SSSP
-//! expression pipelines (PR 3), and — since PR 4 — the **batched
-//! multi-source traversal engine** against k sequential single-source runs,
-//! on a fixed synthetic corpus.  Results are written as JSON rows `{bench,
-//! backend, direction, ms, ms_min, ms_median}` so every future PR has a
-//! perf trajectory to compare against (`BENCH_PR4.json` for this PR).
-//! Execution mode is encoded in the bench name (`pagerank_fused/…` vs
-//! `pagerank_unfused/…`; `bfs_multi_batched/…` vs `bfs_multi_seq/…`, both
-//! k = 8 sources).
+//! expression pipelines (PR 3), the **batched multi-source traversal
+//! engine** against k sequential single-source runs (PR 4), and — since
+//! PR 5 — the **sharded parallel push engine** under explicit thread
+//! budgets, on a fixed synthetic corpus.  Results are written as JSON rows
+//! `{bench, backend, direction, threads, ms, ms_min, ms_median}` so every
+//! future PR has a perf trajectory to compare against (`BENCH_PR5.json`
+//! for this PR).  Execution mode is encoded in the bench name
+//! (`pagerank_fused/…` vs `pagerank_unfused/…`; `bfs_multi_batched/…` vs
+//! `bfs_multi_seq/…`, both k = 8 sources); the `bfs_push_sharded/…` /
+//! `sssp_push_sharded/…` families carry the push thread budget in the
+//! `threads` field (1 = the serial-push baseline, all other rows report 0
+//! = host default).
 //!
 //! Usage:
 //!
@@ -18,16 +22,17 @@
 //! ```
 //!
 //! * `--smoke` — one tiny graph end-to-end, for CI: proves the harness runs
-//!   and emits parseable JSON (including the fused and batched rows CI
-//!   asserts on) in a couple of seconds.
-//! * `--out PATH` — output path (default `BENCH_PR4.json`).
+//!   and emits parseable JSON (including the fused, batched and
+//!   sharded-push rows CI asserts on) in a couple of seconds.
+//! * `--out PATH` — output path (default `BENCH_PR5.json`).
 //!
 //! The headline comparisons — BFS `Direction::Auto` vs always-pull, fused
-//! vs unfused PageRank, and batched vs sequential multi-source BFS/SSSP —
-//! are printed to stdout after the JSON is written.
+//! vs unfused PageRank, batched vs sequential multi-source BFS/SSSP, and
+//! the sharded-push thread-scaling curve — are printed to stdout after the
+//! JSON is written.
 
 use bitgblas_bench::{time_stats_ms, TimingStats};
-use bitgblas_core::grb::{Direction, Fusion, Op, Vector};
+use bitgblas_core::grb::{Context, Direction, Fusion, Op, Vector};
 use bitgblas_core::{Backend, Matrix, Semiring, TileSize};
 use bitgblas_datagen::generators;
 use bitgblas_sparse::Csr;
@@ -43,6 +48,9 @@ struct Row {
     backend: &'static str,
     direction: String,
     stats: TimingStats,
+    /// Push-engine thread budget of the run (PR 5 thread-scaling rows);
+    /// `0` = the host-default budget of an unconfigured context.
+    threads: usize,
 }
 
 fn backend_name(b: Backend) -> &'static str {
@@ -63,10 +71,11 @@ fn to_json(rows: &[Row]) -> String {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"bench\": \"{}\", \"backend\": \"{}\", \"direction\": \"{}\", \
-             \"ms\": {:.6}, \"ms_min\": {:.6}, \"ms_median\": {:.6}}}{}\n",
+             \"threads\": {}, \"ms\": {:.6}, \"ms_min\": {:.6}, \"ms_median\": {:.6}}}{}\n",
             r.bench,
             r.backend,
             r.direction,
+            r.threads,
             r.stats.mean_ms,
             r.stats.min_ms,
             r.stats.median_ms,
@@ -95,6 +104,7 @@ fn bench_bmv(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
             backend: backend_name(backend),
             direction: dir.to_string(),
             stats,
+            threads: 0,
         });
     }
 }
@@ -109,6 +119,7 @@ fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backen
             backend: backend_name(backend),
             direction: dir.to_string(),
             stats,
+            threads: 0,
         });
         let stats = time_stats_ms(|| sssp_dir(m, 0, dir));
         rows.push(Row {
@@ -116,6 +127,7 @@ fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backen
             backend: backend_name(backend),
             direction: dir.to_string(),
             stats,
+            threads: 0,
         });
     }
     let stats = time_stats_ms(|| pagerank(m, &PageRankConfig::default()));
@@ -124,6 +136,7 @@ fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backen
         backend: backend_name(backend),
         direction: "auto".to_string(),
         stats,
+        threads: 0,
     });
     let stats = time_stats_ms(|| connected_components(m));
     rows.push(Row {
@@ -131,6 +144,7 @@ fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backen
         backend: backend_name(backend),
         direction: "auto".to_string(),
         stats,
+        threads: 0,
     });
     let stats = time_stats_ms(|| triangle_count(m));
     rows.push(Row {
@@ -138,6 +152,7 @@ fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backen
         backend: backend_name(backend),
         direction: "none".to_string(),
         stats,
+        threads: 0,
     });
 }
 
@@ -158,6 +173,7 @@ fn bench_fusion(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
             backend: backend_name(backend),
             direction: "pull".to_string(),
             stats,
+            threads: 0,
         });
         let stats = time_stats_ms(|| sssp_with(m, 0, Direction::Auto, fusion));
         rows.push(Row {
@@ -165,6 +181,7 @@ fn bench_fusion(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
             backend: backend_name(backend),
             direction: "auto".to_string(),
             stats,
+            threads: 0,
         });
     }
 }
@@ -186,6 +203,7 @@ fn bench_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
         backend: backend_name(backend),
         direction: "auto".to_string(),
         stats,
+        threads: 0,
     });
     let stats = time_stats_ms(|| {
         for &s in &sources {
@@ -197,6 +215,7 @@ fn bench_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
         backend: backend_name(backend),
         direction: "auto".to_string(),
         stats,
+        threads: 0,
     });
 
     let stats = time_stats_ms(|| sssp_multi(m, &sources));
@@ -205,6 +224,7 @@ fn bench_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
         backend: backend_name(backend),
         direction: "auto".to_string(),
         stats,
+        threads: 0,
     });
     let stats = time_stats_ms(|| {
         for &s in &sources {
@@ -216,6 +236,7 @@ fn bench_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
         backend: backend_name(backend),
         direction: "auto".to_string(),
         stats,
+        threads: 0,
     });
 
     let stats = time_stats_ms(|| betweenness_centrality(m, &sources));
@@ -224,7 +245,40 @@ fn bench_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
         backend: backend_name(backend),
         direction: "auto".to_string(),
         stats,
+        threads: 0,
     });
+}
+
+/// Thread budgets of the PR-5 sharded-push scaling rows.
+const SHARD_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Time forced-push BFS and SSSP under explicit push-engine thread budgets
+/// (PR 5): `threads == 1` builds a single-shard plan — the serial-push
+/// baseline — while larger budgets build sharded plans and fan the scatter
+/// out, so the row family is the thread-scaling curve of the sharded
+/// engine.  Outputs are bit-identical across the whole family (the
+/// determinism guarantee); only the wall-clock may differ.
+fn bench_sharded_push(rows: &mut Vec<Row>, name: &str, adj: &Csr, backend: Backend) {
+    for &threads in &SHARD_THREADS {
+        let ctx = Context::with_threads(threads);
+        let m = Matrix::from_csr_ctx(adj, backend, &ctx);
+        let stats = time_stats_ms(|| bfs_dir(&m, 0, Direction::Push));
+        rows.push(Row {
+            bench: format!("bfs_push_sharded/{name}"),
+            backend: backend_name(backend),
+            direction: "push".to_string(),
+            stats,
+            threads,
+        });
+        let stats = time_stats_ms(|| sssp_dir(&m, 0, Direction::Push));
+        rows.push(Row {
+            bench: format!("sssp_push_sharded/{name}"),
+            backend: backend_name(backend),
+            direction: "push".to_string(),
+            stats,
+            threads,
+        });
+    }
 }
 
 /// The fixed corpus: a low-eccentricity RMAT-like power-law graph (the
@@ -251,7 +305,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
 
     let mut rows = Vec::new();
     let graphs = corpus(smoke);
@@ -267,6 +321,7 @@ fn main() {
             bench_algorithms(&mut rows, name, &m, backend);
             bench_fusion(&mut rows, name, &m, backend);
             bench_multi(&mut rows, name, &m, backend);
+            bench_sharded_push(&mut rows, name, adj, backend);
         }
     }
 
@@ -315,6 +370,29 @@ fn main() {
                         "{alg}/{name} [{backend}]: {BATCH_K} sequential {seq:.3} ms, \
                          batched {batched:.3} ms  ({:.2}x)",
                         seq / batched
+                    );
+                }
+            }
+            // PR-5 thread-scaling curve: serial-push baseline vs sharded.
+            for alg in ["bfs_push_sharded", "sssp_push_sharded"] {
+                let at = |t: usize| {
+                    rows.iter()
+                        .find(|r| {
+                            r.bench == format!("{alg}/{name}")
+                                && r.backend == backend
+                                && r.threads == t
+                        })
+                        .map(|r| r.stats.mean_ms)
+                };
+                if let (Some(t1), Some(t4)) = (at(1), at(4)) {
+                    let curve: Vec<String> = SHARD_THREADS
+                        .iter()
+                        .filter_map(|&t| at(t).map(|ms| format!("{t}t {ms:.3} ms")))
+                        .collect();
+                    println!(
+                        "{alg}/{name} [{backend}]: {}  (serial/4t: {:.2}x)",
+                        curve.join(", "),
+                        t1 / t4
                     );
                 }
             }

@@ -24,16 +24,18 @@ use std::sync::OnceLock;
 
 use bitgblas_sparse::{ops as float_ops, Csr};
 
-use crate::b2sr::{B2srMatrix, TileSize};
+use crate::b2sr::{B2sr, B2srMatrix, TileSize};
 use crate::kernels::{
-    bmm_bin_bin_sum_masked, bmm_bin_bits_into, bmm_bin_full_into, bmm_push_bin_full, bmm_push_bits,
-    bmv_bin_bin_bin, bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked, bmv_bin_bin_bin_masked_into,
-    bmv_bin_full_full, bmv_bin_full_full_fused_into, bmv_bin_full_full_into,
-    bmv_bin_full_full_masked, bmv_bin_full_full_masked_into, bmv_push_bin_bin, bmv_push_bin_full,
-    pack_vector_bits, pack_vector_bits_into, pack_vector_tilewise, pack_vector_tilewise_into,
-    unpack_vector_bits,
+    bmm_bin_bin_sum_masked, bmm_bin_bits_into, bmm_bin_full_into, bmm_push_bin_full,
+    bmm_push_bin_full_sharded, bmm_push_bits, bmm_push_bits_sharded, bmv_bin_bin_bin,
+    bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked, bmv_bin_bin_bin_masked_into, bmv_bin_full_full,
+    bmv_bin_full_full_fused_into, bmv_bin_full_full_into, bmv_bin_full_full_masked,
+    bmv_bin_full_full_masked_into, bmv_push_bin_bin, bmv_push_bin_bin_sharded, bmv_push_bin_full,
+    bmv_push_bin_full_sharded, pack_vector_bits, pack_vector_bits_into, pack_vector_tilewise,
+    pack_vector_tilewise_into, unpack_vector_bits,
 };
 use crate::semiring::{BinaryOp, Semiring};
+use crate::shard::{worth_sharding, ShardConfig, ShardPlan};
 
 use super::descriptor::Mask;
 use super::ewise;
@@ -41,7 +43,9 @@ use super::expr::Stage;
 use super::matrix::Backend;
 use super::multivec::{lane_words_per_node, pack_lane_words_from};
 use super::plan::{self, MxvPipeline};
-use super::workspace::Workspace;
+use super::workspace::{Poolable, Workspace};
+
+use bitgblas_bitops::BitWord;
 
 /// A storage format plus the kernel family implementing every GraphBLAS
 /// operation on it.
@@ -324,6 +328,27 @@ pub trait GrbBackend: std::fmt::Debug + Send + Sync {
         x.iter().map(|&v| if pred(v) { 1.0 } else { 0.0 }).collect()
     }
 
+    /// Precompute the row-shard partition of the scatter representations
+    /// (PR 5): called once at [`Matrix`](super::Matrix) construction with
+    /// the context's [`ShardConfig`], so the sharded parallel push engine
+    /// has its plan before the first traversal.  The default is a no-op —
+    /// external backends without a sharded scatter stay on their serial
+    /// push paths.
+    fn prepare_shards(&self, cfg: ShardConfig) {
+        let _ = cfg;
+    }
+
+    /// The row-shard plan of a scatter representation, if one has been
+    /// built: `of_transpose` selects the plan over `Aᵀ`'s rows (the `mxv`
+    /// push representation) instead of `A`'s (the `vxm` push
+    /// representation).  Introspection only — `None` means the sharded
+    /// engine is inactive for that representation (serial config, tiny
+    /// matrix, external backend, or simply not built yet).
+    fn shard_plan(&self, of_transpose: bool) -> Option<&ShardPlan> {
+        let _ = of_transpose;
+        None
+    }
+
     /// Storage bytes of the active representation.
     fn storage_bytes(&self) -> usize;
 
@@ -393,6 +418,376 @@ fn expand_lane_words_into(yw: &[u64], k: usize, mask: Option<&Mask>, out: &mut [
 }
 
 // ---------------------------------------------------------------------------
+// Sharded push execution (PR 5)
+// ---------------------------------------------------------------------------
+//
+// Every helper below follows the same deterministic recipe: cut the
+// ascending frontier at the plan's row-shard boundaries, decide — from the
+// frontier and the plan alone, never from the thread count — whether the
+// modelled scatter work dominates the fixed-order merge
+// (`shard::worth_sharding`), and either run the sharded kernel (privatized
+// per-segment buffers from the workspace pool, checked out *before* the
+// fan-out so workers never touch the pool) or fall back to the serial
+// scatter.  Scratch and cut buffers cycle through the pool, so the sharded
+// steady state stays allocation-free at `threads == 1` (the parallel path
+// additionally pays the scoped thread spawns of the rayon stand-in).
+
+/// Average out-degree of a scatter representation, the frontier-edge
+/// estimate `worth_sharding` weighs against the merge cost.
+fn avg_degree(nnz: usize, nrows: usize) -> usize {
+    (nnz / nrows.max(1)).max(1)
+}
+
+/// The engagement protocol every sharded-or-serial push helper shares:
+/// cut the ascending frontier at the plan's shard boundaries, apply the
+/// thread-independent [`worth_sharding`] test (merged output = `produced`
+/// units of `elem_bytes`), and — when engaged — check out the privatized
+/// scratch (`n_segments × width` elements of `fill`, one chunk per
+/// segment).  Returns `None` for the serial path, or `Some((cuts,
+/// scratch))`; after running its sharded kernel the caller hands both
+/// buffers to [`finish_sharded`].  Centralising this keeps the
+/// engagement-and-scratch rules single-sourced across the six kernel
+/// shapes below.
+#[allow(clippy::too_many_arguments)]
+fn engage_sharded<T: Poolable>(
+    ws: &Workspace,
+    plan: &ShardPlan,
+    frontier: &[usize],
+    avg_deg: usize,
+    produced: usize,
+    elem_bytes: usize,
+    width: usize,
+    fill: T,
+) -> Option<(Vec<usize>, Vec<T>)> {
+    let mut cuts: Vec<usize> = ws.take_empty();
+    plan.segment_frontier(frontier, &mut cuts);
+    let n_seg = cuts.len().saturating_sub(1);
+    if worth_sharding(frontier.len(), avg_deg, n_seg, produced, elem_bytes) {
+        let scratch = ws.take(n_seg * width, fill);
+        Some((cuts, scratch))
+    } else {
+        ws.give(cuts);
+        None
+    }
+}
+
+/// Recycle a sharded execution's buffers and record the engagement.
+fn finish_sharded<T: Poolable>(ws: &Workspace, cuts: Vec<usize>, scratch: Vec<T>) {
+    ws.stats().record_sharded_push(cuts.len().saturating_sub(1));
+    ws.give(scratch);
+    ws.give(cuts);
+}
+
+/// Boolean word scatter over a B2SR representation: sharded when the plan
+/// and frontier warrant it, serial otherwise.  `yw` must be zeroed.
+fn bit_push_bin_words<W: BitWord + Poolable>(
+    m: &B2sr<W>,
+    frontier: &[usize],
+    plan: &ShardPlan,
+    ws: &Workspace,
+    yw: &mut [W],
+) {
+    let avg = avg_degree(m.nnz() as usize, m.nrows());
+    // The Boolean merge is word-granular: one OR covers `tile_dim` outputs,
+    // so the merge side of the engagement test is counted in words.
+    let width = m.n_tile_cols();
+    let elem = std::mem::size_of::<W>();
+    match engage_sharded(ws, plan, frontier, avg, width, elem, width, W::ZERO) {
+        Some((cuts, mut scratch)) => {
+            bmv_push_bin_bin_sharded(m, frontier, &cuts, ws.push_threads(), &mut scratch, yw);
+            finish_sharded(ws, cuts, scratch);
+        }
+        None => bmv_push_bin_bin(m, frontier, yw),
+    }
+}
+
+/// Full-precision scatter over a B2SR representation: sharded or serial.
+/// `y` arrives pre-seeded (identity, or the accumulation baseline on the
+/// seeded fused path) exactly as for the serial kernel.
+#[allow(clippy::too_many_arguments)]
+fn bit_push_full<W: BitWord>(
+    m: &B2sr<W>,
+    x: &[f32],
+    frontier: &[usize],
+    semiring: Semiring,
+    mask: Option<&Mask>,
+    plan: &ShardPlan,
+    ws: &Workspace,
+    y: &mut [f32],
+) {
+    let avg = avg_degree(m.nnz() as usize, m.nrows());
+    let width = y.len();
+    match engage_sharded(
+        ws,
+        plan,
+        frontier,
+        avg,
+        width,
+        4,
+        width,
+        semiring.identity(),
+    ) {
+        Some((cuts, mut scratch)) => {
+            let threads = ws.push_threads();
+            match mask {
+                Some(mk) => bmv_push_bin_full_sharded(
+                    m,
+                    x,
+                    frontier,
+                    &cuts,
+                    semiring,
+                    |j| mk.allows(j),
+                    threads,
+                    &mut scratch,
+                    y,
+                ),
+                None => bmv_push_bin_full_sharded(
+                    m,
+                    x,
+                    frontier,
+                    &cuts,
+                    semiring,
+                    |_| true,
+                    threads,
+                    &mut scratch,
+                    y,
+                ),
+            }
+            finish_sharded(ws, cuts, scratch);
+        }
+        None => match mask {
+            Some(mk) => bmv_push_bin_full(m, x, frontier, semiring, |j| mk.allows(j), y),
+            None => bmv_push_bin_full(m, x, frontier, semiring, |_| true, y),
+        },
+    }
+}
+
+/// Batched Boolean lane-word scatter over a B2SR representation: sharded
+/// or serial.  `yw` must be zeroed (`ncols * wpn` lane words).
+#[allow(clippy::too_many_arguments)]
+fn bit_push_lane_words<W: BitWord>(
+    m: &B2sr<W>,
+    frontier: &[usize],
+    xw: &[u64],
+    wpn: usize,
+    plan: &ShardPlan,
+    ws: &Workspace,
+    yw: &mut [u64],
+) {
+    let avg = avg_degree(m.nnz() as usize, m.nrows());
+    // Per-edge work and per-position merge both scale by `wpn`, so the
+    // engagement test is the single-vector one on node counts (the lane
+    // words enter only the scratch-footprint bound).
+    let width = m.ncols() * wpn;
+    match engage_sharded(ws, plan, frontier, avg, m.ncols(), wpn * 8, width, 0u64) {
+        Some((cuts, mut scratch)) => {
+            bmm_push_bits_sharded(
+                m,
+                frontier,
+                &cuts,
+                xw,
+                wpn,
+                ws.push_threads(),
+                &mut scratch,
+                yw,
+            );
+            finish_sharded(ws, cuts, scratch);
+        }
+        None => bmm_push_bits(m, frontier, xw, wpn, yw),
+    }
+}
+
+/// Batched full-precision scatter over a B2SR representation: sharded or
+/// serial.  `y` must be identity-filled (`ncols * k` entries).
+#[allow(clippy::too_many_arguments)]
+fn bit_push_multi_full<W: BitWord>(
+    m: &B2sr<W>,
+    x: &[f32],
+    k: usize,
+    frontier: &[usize],
+    semiring: Semiring,
+    mask: Option<&Mask>,
+    plan: &ShardPlan,
+    ws: &Workspace,
+    y: &mut [f32],
+) {
+    let avg = avg_degree(m.nnz() as usize, m.nrows());
+    // The per-edge lane factor cancels between scatter and merge.
+    let width = m.ncols() * k;
+    match engage_sharded(
+        ws,
+        plan,
+        frontier,
+        avg,
+        m.ncols(),
+        k * 4,
+        width,
+        semiring.identity(),
+    ) {
+        Some((cuts, mut scratch)) => {
+            let threads = ws.push_threads();
+            match mask {
+                Some(mk) => bmm_push_bin_full_sharded(
+                    m,
+                    x,
+                    k,
+                    frontier,
+                    &cuts,
+                    semiring,
+                    |flat| mk.allows(flat),
+                    threads,
+                    &mut scratch,
+                    y,
+                ),
+                None => bmm_push_bin_full_sharded(
+                    m,
+                    x,
+                    k,
+                    frontier,
+                    &cuts,
+                    semiring,
+                    |_| true,
+                    threads,
+                    &mut scratch,
+                    y,
+                ),
+            }
+            finish_sharded(ws, cuts, scratch);
+        }
+        None => match mask {
+            Some(mk) => bmm_push_bin_full(m, x, k, frontier, semiring, |flat| mk.allows(flat), y),
+            None => bmm_push_bin_full(m, x, k, frontier, semiring, |_| true, y),
+        },
+    }
+}
+
+/// Full-precision scatter over a CSR representation (the FloatCsr
+/// baseline): sharded or serial.  `y` arrives pre-seeded like the B2SR
+/// counterpart.
+#[allow(clippy::too_many_arguments)]
+fn csr_push_full(
+    csr: &Csr,
+    x: &[f32],
+    frontier: &[usize],
+    semiring: Semiring,
+    mask: Option<&Mask>,
+    plan: &ShardPlan,
+    ws: &Workspace,
+    y: &mut [f32],
+) {
+    let avg = avg_degree(csr.nnz(), csr.nrows());
+    let width = y.len();
+    match engage_sharded(
+        ws,
+        plan,
+        frontier,
+        avg,
+        width,
+        4,
+        width,
+        semiring.identity(),
+    ) {
+        Some((cuts, mut scratch)) => {
+            let threads = ws.push_threads();
+            let n_seg = cuts.len() - 1;
+            crate::shard::scatter_segments(threads, n_seg, &mut scratch, width, |s, chunk| {
+                FloatCsr::float_push_into(
+                    csr,
+                    x,
+                    &frontier[cuts[s]..cuts[s + 1]],
+                    semiring,
+                    mask,
+                    chunk,
+                );
+            });
+            crate::shard::merge_segments(threads, n_seg, &scratch, width, y, |acc, v| {
+                semiring.reduce(acc, v)
+            });
+            finish_sharded(ws, cuts, scratch);
+        }
+        None => FloatCsr::float_push_into(csr, x, frontier, semiring, mask, y),
+    }
+}
+
+/// Batched full-precision scatter over a CSR representation: sharded or
+/// serial.  `y` must be identity-filled (`ncols * k` entries).
+#[allow(clippy::too_many_arguments)]
+fn csr_push_multi_full(
+    csr: &Csr,
+    x: &[f32],
+    k: usize,
+    frontier: &[usize],
+    semiring: Semiring,
+    mask: Option<&Mask>,
+    plan: &ShardPlan,
+    ws: &Workspace,
+    y: &mut [f32],
+) {
+    let avg = avg_degree(csr.nnz(), csr.nrows());
+    let width = csr.ncols() * k;
+    match engage_sharded(
+        ws,
+        plan,
+        frontier,
+        avg,
+        csr.ncols(),
+        k * 4,
+        width,
+        semiring.identity(),
+    ) {
+        Some((cuts, mut scratch)) => {
+            let threads = ws.push_threads();
+            let n_seg = cuts.len() - 1;
+            crate::shard::scatter_segments(threads, n_seg, &mut scratch, width, |s, chunk| {
+                FloatCsr::float_mxm_push_into(
+                    csr,
+                    x,
+                    k,
+                    &frontier[cuts[s]..cuts[s + 1]],
+                    semiring,
+                    mask,
+                    chunk,
+                );
+            });
+            crate::shard::merge_segments(
+                threads,
+                n_seg,
+                &scratch,
+                width,
+                &mut y[..width],
+                |acc, v| semiring.reduce(acc, v),
+            );
+            finish_sharded(ws, cuts, scratch);
+        }
+        None => FloatCsr::float_mxm_push_into(csr, x, k, frontier, semiring, mask, y),
+    }
+}
+
+/// Build the shard plan of one B2SR representation from its tile-row
+/// pointer (tile counts are the per-tile-row weight proxy; boundaries fall
+/// on tile rows by construction).
+fn plan_of_b2sr(m: &B2srMatrix, cfg: ShardConfig) -> ShardPlan {
+    macro_rules! run {
+        ($m:expr) => {{
+            let m = $m;
+            ShardPlan::from_weights(m.tile_rowptr(), m.tile_dim(), m.nrows(), cfg)
+        }};
+    }
+    match m {
+        B2srMatrix::B4(m) => run!(m),
+        B2srMatrix::B8(m) => run!(m),
+        B2srMatrix::B16(m) => run!(m),
+        B2srMatrix::B32(m) => run!(m),
+    }
+}
+
+/// Clone the built state of a `OnceLock` (plans survive `clone_box` /
+/// `transpose_view`; unbuilt locks stay unbuilt).
+fn clone_lock<T: Clone>(src: &OnceLock<T>) -> OnceLock<T> {
+    src.get().cloned().map(OnceLock::from).unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
 // BitB2sr
 // ---------------------------------------------------------------------------
 
@@ -403,6 +798,13 @@ pub struct BitB2sr {
     b2sr: B2srMatrix,
     csr_t: OnceLock<Csr>,
     b2sr_t: OnceLock<B2srMatrix>,
+    /// Shard config the scatter plans are built with (set by
+    /// `prepare_shards`, defaulting to the host config on first use).
+    shard_cfg: OnceLock<ShardConfig>,
+    /// Row-shard plan over `A`'s rows (the `vxm` push representation).
+    shards: OnceLock<ShardPlan>,
+    /// Row-shard plan over `Aᵀ`'s rows (the `mxv` push representation).
+    shards_t: OnceLock<ShardPlan>,
 }
 
 impl BitB2sr {
@@ -421,6 +823,9 @@ impl BitB2sr {
             b2sr,
             csr_t: OnceLock::new(),
             b2sr_t: OnceLock::new(),
+            shard_cfg: OnceLock::new(),
+            shards: OnceLock::new(),
+            shards_t: OnceLock::new(),
         }
     }
 
@@ -432,6 +837,24 @@ impl BitB2sr {
     /// The B2SR representation of `Aᵀ`, built and cached on first use.
     pub fn b2sr_t(&self) -> &B2srMatrix {
         self.b2sr_t.get_or_init(|| self.b2sr.transpose())
+    }
+
+    /// The shard config (from `prepare_shards`, or the host default).
+    fn shard_cfg(&self) -> ShardConfig {
+        *self.shard_cfg.get_or_init(ShardConfig::default)
+    }
+
+    /// The shard plan of the scatter representation: `of_transpose` selects
+    /// `Aᵀ`'s rows.  Built lazily — by the time a push executes, the
+    /// representation itself already exists.
+    fn scatter_plan(&self, of_transpose: bool) -> &ShardPlan {
+        if of_transpose {
+            self.shards_t
+                .get_or_init(|| plan_of_b2sr(self.b2sr_t(), self.shard_cfg()))
+        } else {
+            self.shards
+                .get_or_init(|| plan_of_b2sr(&self.b2sr, self.shard_cfg()))
+        }
     }
 
     /// The tile size of the underlying B2SR matrix.
@@ -586,7 +1009,6 @@ impl GrbBackend for BitB2sr {
                 }
             }};
         }
-        use bitgblas_bitops::BitWord;
         match b2sr {
             B2srMatrix::B4(m) => run!(m, u8),
             B2srMatrix::B8(m) => run!(m, u8),
@@ -611,6 +1033,7 @@ impl GrbBackend for BitB2sr {
         // sweep.  A pure-push traversal of `vxm` therefore never has to
         // build the transpose at all.
         let b2sr = if transpose { &self.b2sr } else { self.b2sr_t() };
+        let plan = self.scatter_plan(!transpose);
         macro_rules! run {
             ($m:expr, $w:ty) => {{
                 let m = $m;
@@ -619,7 +1042,7 @@ impl GrbBackend for BitB2sr {
                 match semiring {
                     Semiring::Boolean => {
                         let mut yw: Vec<$w> = ws.take(m.n_tile_cols(), <$w as BitWord>::ZERO);
-                        bmv_push_bin_bin(m, frontier, &mut yw);
+                        bit_push_bin_words(m, frontier, plan, ws, &mut yw);
                         out.clear();
                         out.resize(produced, 0.0);
                         expand_bits_into(&yw, dim, mask, out);
@@ -628,17 +1051,11 @@ impl GrbBackend for BitB2sr {
                     _ => {
                         out.clear();
                         out.resize(produced, semiring.identity());
-                        match mask {
-                            Some(mk) => {
-                                bmv_push_bin_full(m, x, frontier, semiring, |j| mk.allows(j), out)
-                            }
-                            None => bmv_push_bin_full(m, x, frontier, semiring, |_| true, out),
-                        }
+                        bit_push_full(m, x, frontier, semiring, mask, plan, ws, out);
                     }
                 }
             }};
         }
-        use bitgblas_bitops::BitWord;
         match b2sr {
             B2srMatrix::B4(m) => run!(m, u8),
             B2srMatrix::B8(m) => run!(m, u8),
@@ -782,6 +1199,7 @@ impl GrbBackend for BitB2sr {
         // representation whose rows are the frontier's domain — the
         // opposite representation from the pull sweep.
         let b2sr = if transpose { &self.b2sr } else { self.b2sr_t() };
+        let plan = self.scatter_plan(!transpose);
         macro_rules! run {
             ($m:expr) => {{
                 let m = $m;
@@ -792,7 +1210,7 @@ impl GrbBackend for BitB2sr {
                         let mut xw: Vec<u64> = ws.take_empty();
                         pack_lane_words_from(x, k, |v| v != 0.0, &mut xw);
                         let mut yw: Vec<u64> = ws.take(produced * wpn, 0);
-                        bmm_push_bits(m, frontier, &xw, wpn, &mut yw);
+                        bit_push_lane_words(m, frontier, &xw, wpn, plan, ws, &mut yw);
                         out.clear();
                         out.resize(produced * k, 0.0);
                         expand_lane_words_into(&yw, k, mask, out);
@@ -802,18 +1220,7 @@ impl GrbBackend for BitB2sr {
                     _ => {
                         out.clear();
                         out.resize(produced * k, semiring.identity());
-                        match mask {
-                            Some(mk) => bmm_push_bin_full(
-                                m,
-                                x,
-                                k,
-                                frontier,
-                                semiring,
-                                |flat| mk.allows(flat),
-                                out,
-                            ),
-                            None => bmm_push_bin_full(m, x, k, frontier, semiring, |_| true, out),
-                        }
+                        bit_push_multi_full(m, x, k, frontier, semiring, mask, plan, ws, out);
                     }
                 }
             }};
@@ -843,26 +1250,17 @@ impl GrbBackend for BitB2sr {
                     } else {
                         self.b2sr_t()
                     };
+                    let plan = self.scatter_plan(!p.transpose);
                     let (op, base) = p.accum.expect("push_folds_accum implies accum");
                     debug_assert!(op.matches_monoid(p.semiring));
                     out.clear();
                     out.extend_from_slice(base);
+                    // The sharded scatter handles the baseline-seeded output
+                    // exactly like the serial kernel: segments fold from the
+                    // identity and merge into the seed with the monoid.
                     macro_rules! run {
                         ($m:expr) => {{
-                            let m = $m;
-                            match p.mask {
-                                Some(mk) => bmv_push_bin_full(
-                                    m,
-                                    p.x,
-                                    frontier,
-                                    p.semiring,
-                                    |j| mk.allows(j),
-                                    out,
-                                ),
-                                None => {
-                                    bmv_push_bin_full(m, p.x, frontier, p.semiring, |_| true, out)
-                                }
-                            }
+                            bit_push_full($m, p.x, frontier, p.semiring, p.mask, plan, ws, out)
                         }};
                     }
                     match b2sr {
@@ -930,6 +1328,23 @@ impl GrbBackend for BitB2sr {
         Self::bit_mxm_sum(&self.b2sr, &bb.b2sr, &mb.b2sr) as f64
     }
 
+    fn prepare_shards(&self, cfg: ShardConfig) {
+        let _ = self.shard_cfg.set(cfg);
+        // The `vxm` push representation (`A`'s rows) is the traversal hot
+        // path — plan it eagerly; the transpose plan builds on first use.
+        let _ = self
+            .shards
+            .get_or_init(|| plan_of_b2sr(&self.b2sr, self.shard_cfg()));
+    }
+
+    fn shard_plan(&self, of_transpose: bool) -> Option<&ShardPlan> {
+        if of_transpose {
+            self.shards_t.get()
+        } else {
+            self.shards.get()
+        }
+    }
+
     fn storage_bytes(&self) -> usize {
         self.b2sr.storage_bytes()
     }
@@ -940,6 +1355,10 @@ impl GrbBackend for BitB2sr {
             b2sr: self.b2sr_t().clone(),
             csr_t: OnceLock::from(self.csr.clone()),
             b2sr_t: OnceLock::from(self.b2sr.clone()),
+            shard_cfg: clone_lock(&self.shard_cfg),
+            // The view's `A` is this matrix's `Aᵀ`: the plans swap roles.
+            shards: clone_lock(&self.shards_t),
+            shards_t: clone_lock(&self.shards),
         })
     }
 
@@ -949,6 +1368,9 @@ impl GrbBackend for BitB2sr {
             b2sr: self.b2sr.clone(),
             csr_t: OnceLock::new(),
             b2sr_t: OnceLock::new(),
+            shard_cfg: clone_lock(&self.shard_cfg),
+            shards: clone_lock(&self.shards),
+            shards_t: clone_lock(&self.shards_t),
         })
     }
 
@@ -1060,6 +1482,13 @@ impl plan::FinishSink for BitPullSink<'_, '_> {
 pub struct FloatCsr {
     csr: Csr,
     csr_t: OnceLock<Csr>,
+    /// Shard config the scatter plans are built with (set by
+    /// `prepare_shards`, defaulting to the host config on first use).
+    shard_cfg: OnceLock<ShardConfig>,
+    /// Row-shard plan over `A`'s rows (the `vxm` push representation).
+    shards: OnceLock<ShardPlan>,
+    /// Row-shard plan over `Aᵀ`'s rows (the `mxv` push representation).
+    shards_t: OnceLock<ShardPlan>,
 }
 
 impl FloatCsr {
@@ -1073,6 +1502,31 @@ impl FloatCsr {
         FloatCsr {
             csr: bin,
             csr_t: OnceLock::new(),
+            shard_cfg: OnceLock::new(),
+            shards: OnceLock::new(),
+            shards_t: OnceLock::new(),
+        }
+    }
+
+    /// The shard config (from `prepare_shards`, or the host default).
+    fn shard_cfg(&self) -> ShardConfig {
+        *self.shard_cfg.get_or_init(ShardConfig::default)
+    }
+
+    /// The shard plan of the scatter representation: `of_transpose`
+    /// selects `Aᵀ`'s rows.  Built lazily from the representation's
+    /// rowptr (edge counts per row, [`crate::shard::SHARD_ALIGN`]-aligned
+    /// boundaries).
+    fn scatter_plan(&self, of_transpose: bool) -> &ShardPlan {
+        if of_transpose {
+            self.shards_t.get_or_init(|| {
+                let t = self.csr_t();
+                ShardPlan::from_weights(t.rowptr(), 1, t.nrows(), self.shard_cfg())
+            })
+        } else {
+            self.shards.get_or_init(|| {
+                ShardPlan::from_weights(self.csr.rowptr(), 1, self.csr.nrows(), self.shard_cfg())
+            })
         }
     }
 
@@ -1270,15 +1724,16 @@ impl GrbBackend for FloatCsr {
         semiring: Semiring,
         mask: Option<&Mask>,
         transpose: bool,
-        _ws: &Workspace,
+        ws: &Workspace,
         out: &mut Vec<f32>,
     ) {
         // Scatter walks rows of the opposite representation from the pull
         // sweep (see the BitB2sr implementation).
         let csr = if transpose { &self.csr } else { self.csr_t() };
+        let plan = self.scatter_plan(!transpose);
         out.clear();
         out.resize(csr.ncols(), semiring.identity());
-        Self::float_push_into(csr, x, frontier, semiring, mask, out);
+        csr_push_full(csr, x, frontier, semiring, mask, plan, ws, out);
     }
 
     fn vxm_into(
@@ -1333,18 +1788,19 @@ impl GrbBackend for FloatCsr {
         semiring: Semiring,
         mask: Option<&Mask>,
         transpose: bool,
-        _ws: &Workspace,
+        ws: &Workspace,
         out: &mut Vec<f32>,
     ) {
         // Scatter walks rows of the opposite representation from the pull
         // sweep (see the BitB2sr implementation).
         let csr = if transpose { &self.csr } else { self.csr_t() };
+        let plan = self.scatter_plan(!transpose);
         out.clear();
         out.resize(csr.ncols() * k, semiring.identity());
-        Self::float_mxm_push_into(csr, x, k, frontier, semiring, mask, out);
+        csr_push_multi_full(csr, x, k, frontier, semiring, mask, plan, ws, out);
     }
 
-    fn mxv_fused_into(&self, p: &MxvPipeline<'_>, _ws: &Workspace, out: &mut Vec<f32>) {
+    fn mxv_fused_into(&self, p: &MxvPipeline<'_>, ws: &Workspace, out: &mut Vec<f32>) {
         match p.frontier {
             Some(frontier) => {
                 // Scatter walks rows of the opposite representation from the
@@ -1352,14 +1808,15 @@ impl GrbBackend for FloatCsr {
                 // the baseline and ⊕-folds straight into it; otherwise the
                 // collapsed epilogue runs as one pass after the scatter.
                 let csr = if p.transpose { &self.csr } else { self.csr_t() };
+                let plan = self.scatter_plan(!p.transpose);
                 out.clear();
                 if p.push_folds_accum() {
                     let (_, base) = p.accum.expect("push_folds_accum implies accum");
                     out.extend_from_slice(base);
-                    Self::float_push_into(csr, p.x, frontier, p.semiring, p.mask, out);
+                    csr_push_full(csr, p.x, frontier, p.semiring, p.mask, plan, ws, out);
                 } else {
                     out.resize(csr.ncols(), p.semiring.identity());
-                    Self::float_push_into(csr, p.x, frontier, p.semiring, p.mask, out);
+                    csr_push_full(csr, p.x, frontier, p.semiring, p.mask, plan, ws, out);
                     p.finish_in_place(out);
                 }
             }
@@ -1394,6 +1851,21 @@ impl GrbBackend for FloatCsr {
         csr_mxm_reduce_masked(self, b, mask)
     }
 
+    fn prepare_shards(&self, cfg: ShardConfig) {
+        let _ = self.shard_cfg.set(cfg);
+        let _ = self.shards.get_or_init(|| {
+            ShardPlan::from_weights(self.csr.rowptr(), 1, self.csr.nrows(), self.shard_cfg())
+        });
+    }
+
+    fn shard_plan(&self, of_transpose: bool) -> Option<&ShardPlan> {
+        if of_transpose {
+            self.shards_t.get()
+        } else {
+            self.shards.get()
+        }
+    }
+
     fn storage_bytes(&self) -> usize {
         self.csr.storage_bytes()
     }
@@ -1402,6 +1874,10 @@ impl GrbBackend for FloatCsr {
         Box::new(FloatCsr {
             csr: self.csr_t().clone(),
             csr_t: OnceLock::from(self.csr.clone()),
+            shard_cfg: clone_lock(&self.shard_cfg),
+            // The view's `A` is this matrix's `Aᵀ`: the plans swap roles.
+            shards: clone_lock(&self.shards_t),
+            shards_t: clone_lock(&self.shards),
         })
     }
 
@@ -1409,6 +1885,9 @@ impl GrbBackend for FloatCsr {
         Box::new(FloatCsr {
             csr: self.csr.clone(),
             csr_t: OnceLock::new(),
+            shard_cfg: clone_lock(&self.shard_cfg),
+            shards: clone_lock(&self.shards),
+            shards_t: clone_lock(&self.shards_t),
         })
     }
 

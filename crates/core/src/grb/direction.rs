@@ -69,6 +69,27 @@ pub fn scatter_penalty(device: &DeviceProfile) -> f64 {
     (device.transaction_bytes as f64 / 8.0).clamp(4.0, 32.0)
 }
 
+/// The parallelism-aware scatter penalty (PR 5).
+///
+/// The base penalty prices one scattered edge against one streamed pull
+/// edge *at equal parallelism*.  When the push engine runs on fewer worker
+/// threads than the pull sweep fans out to (`push_threads <
+/// pull_threads`), every push edge is additionally slower by the thread
+/// ratio — this is exactly the miscalibration the pre-PR-5 model had
+/// baked in permanently: it compared a parallel pull against a serial push
+/// with the equal-parallelism α, overpricing pull and flipping to push too
+/// late to matter and too often to be cheap.  With the sharded engine both
+/// sides scale, the ratio is 1 and α returns to the device-derived
+/// transaction penalty.
+pub fn scatter_penalty_parallel(
+    device: &DeviceProfile,
+    push_threads: usize,
+    pull_threads: usize,
+) -> f64 {
+    let ratio = (pull_threads.max(1) as f64 / push_threads.max(1) as f64).max(1.0);
+    (scatter_penalty(device) * ratio).clamp(4.0, 256.0)
+}
+
 /// Resolve [`Direction::Auto`] for one operation: `frontier_nnz` active
 /// entries of an `n`-long operand against a matrix with `nnz` edges.
 ///
@@ -83,11 +104,43 @@ pub fn choose_direction(
     semiring: Semiring,
     device: &DeviceProfile,
 ) -> Direction {
+    choose_direction_cfg(frontier_nnz, n, nnz, semiring, device, 1, 1)
+}
+
+/// Resolve [`Direction::Auto`] with an explicit parallelism configuration
+/// (PR 5): `push_threads` is the sharded scatter's worker budget
+/// ([`Context::threads`](super::Context::threads)), `pull_threads` the
+/// parallelism of the dense sweep (the host's, since the pull kernels fan
+/// out through the global rayon pool).
+///
+/// Two terms change against the classic formula.  The scatter penalty α
+/// becomes [`scatter_penalty_parallel`] — the device transaction penalty
+/// scaled by the pull/push thread ratio, so a serial push (`push_threads ==
+/// 1` on a parallel host) is priced α·P, flipping to pull earlier, while
+/// the sharded parallel push keeps the pure transaction α.  And when the
+/// sharded engine can engage (`push_threads > 1`), the push side carries
+/// one extra streamed output pass (`+ n`) for the deterministic
+/// fixed-order merge of the privatized shard buffers:
+///
+/// ```text
+/// f · d̄ · α(push_threads, pull_threads)  [+ n]   <   nnz + n
+/// ```
+pub fn choose_direction_cfg(
+    frontier_nnz: usize,
+    n: usize,
+    nnz: usize,
+    semiring: Semiring,
+    device: &DeviceProfile,
+    push_threads: usize,
+    pull_threads: usize,
+) -> Direction {
     if !semiring.push_safe() {
         return Direction::Pull;
     }
     let avg_deg = (nnz as f64 / n.max(1) as f64).max(1.0);
-    let push_cost = frontier_nnz as f64 * avg_deg * scatter_penalty(device);
+    let alpha = scatter_penalty_parallel(device, push_threads, pull_threads);
+    let merge = if push_threads > 1 { n as f64 } else { 0.0 };
+    let push_cost = frontier_nnz as f64 * avg_deg * alpha + merge;
     let pull_cost = nnz as f64 + n as f64;
     if push_cost < pull_cost {
         Direction::Push
@@ -119,6 +172,32 @@ pub fn choose_direction_multi(
     device: &DeviceProfile,
 ) -> Direction {
     choose_direction(active_nodes, n, nnz, semiring, device)
+}
+
+/// [`choose_direction_multi`] with an explicit parallelism configuration —
+/// the batched counterpart of [`choose_direction_cfg`].  The lane factor
+/// cancels on both sides of the inequality exactly as in the
+/// equal-parallelism case, so this is the single-vector configured
+/// threshold evaluated on the node-granular frontier.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_direction_multi_cfg(
+    active_nodes: usize,
+    n: usize,
+    nnz: usize,
+    semiring: Semiring,
+    device: &DeviceProfile,
+    push_threads: usize,
+    pull_threads: usize,
+) -> Direction {
+    choose_direction_cfg(
+        active_nodes,
+        n,
+        nnz,
+        semiring,
+        device,
+        push_threads,
+        pull_threads,
+    )
 }
 
 #[cfg(test)]
@@ -158,6 +237,55 @@ mod tests {
         assert_eq!(
             choose_direction(threshold * 2, n, nnz, sr, &dev),
             Direction::Pull
+        );
+    }
+
+    #[test]
+    fn serial_push_on_a_parallel_host_is_penalized() {
+        let dev = pascal_gtx1080();
+        // Equal parallelism: the pure transaction penalty.
+        assert_eq!(scatter_penalty_parallel(&dev, 8, 8), 16.0);
+        assert_eq!(scatter_penalty_parallel(&dev, 1, 1), 16.0);
+        // Serial push vs an 8-wide pull: α scales by the thread ratio.
+        assert_eq!(scatter_penalty_parallel(&dev, 1, 8), 128.0);
+        // More push than pull workers never *discounts* below the device α.
+        assert_eq!(scatter_penalty_parallel(&dev, 16, 8), 16.0);
+        // The ratio is clamped so a pathological configuration cannot
+        // drive the penalty to infinity.
+        assert_eq!(scatter_penalty_parallel(&dev, 1, 1_000_000), 256.0);
+    }
+
+    #[test]
+    fn configured_threshold_flips_earlier_for_serial_push() {
+        let dev = pascal_gtx1080();
+        let (n, nnz) = (8192, 8192 * 16);
+        let sr = Semiring::Boolean;
+        // A frontier that pushes under equal parallelism…
+        let f = (nnz + n) / (16 * 16) / 2;
+        assert_eq!(
+            choose_direction_cfg(f, n, nnz, sr, &dev, 8, 8),
+            Direction::Push
+        );
+        // …pulls when the push side would run serially against an 8-wide
+        // pull sweep (α × 8 prices it out).
+        assert_eq!(
+            choose_direction_cfg(f, n, nnz, sr, &dev, 1, 8),
+            Direction::Pull
+        );
+        // Tiny frontiers still push even with the merge surcharge.
+        assert_eq!(
+            choose_direction_cfg(1, n, nnz, sr, &dev, 8, 8),
+            Direction::Push
+        );
+        // The batched variant agrees with the single-vector one.
+        assert_eq!(
+            choose_direction_multi_cfg(f, n, nnz, sr, &dev, 1, 8),
+            Direction::Pull
+        );
+        // The legacy entry point is the equal-parallelism configuration.
+        assert_eq!(
+            choose_direction(f, n, nnz, sr, &dev),
+            choose_direction_cfg(f, n, nnz, sr, &dev, 1, 1)
         );
     }
 

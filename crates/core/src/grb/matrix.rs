@@ -69,7 +69,9 @@ impl Matrix {
     }
 
     /// Build a matrix from any CSR; the context supplies the device profile
-    /// and sampling parameters [`Backend::Auto`] selects with.
+    /// and sampling parameters [`Backend::Auto`] selects with, plus the
+    /// shard-planning parameters (thread budget, cache budget) the parallel
+    /// push engine partitions the scatter representations with.
     pub fn from_csr_ctx(csr: &Csr, backend: Backend, ctx: &Context) -> Self {
         let resolved = match backend {
             Backend::Auto => auto::auto_decision(csr, ctx).chosen,
@@ -80,6 +82,9 @@ impl Matrix {
             Backend::FloatCsr => Box::new(FloatCsr::new(csr)),
             Backend::Auto => unreachable!("auto_decision returns a resolved backend"),
         };
+        // Row-shard plans are part of format selection: sized here, at
+        // build time, from the context's device profile and thread budget.
+        state.prepare_shards(ctx.shard_config());
         Matrix {
             requested: backend,
             state,
@@ -90,10 +95,12 @@ impl Matrix {
     /// Wrap an existing backend implementation (the extension point for
     /// backends defined outside this crate).
     pub fn from_backend(state: Box<dyn GrbBackend>) -> Self {
+        let ctx = Context::default();
+        state.prepare_shards(ctx.shard_config());
         Matrix {
             requested: state.kind(),
             state,
-            ctx: Context::default(),
+            ctx,
         }
     }
 

@@ -58,6 +58,18 @@
 //! `sssp_multi` and batched betweenness centrality in
 //! `bitgblas-algorithms` ride on it.
 //!
+//! # Sharded parallel push execution (PR 5)
+//!
+//! Push (sparse-frontier scatter) operations used to run serially; they now
+//! execute over the row-shard partition of [`crate::shard`]: matrices carry
+//! a per-representation [`crate::shard::ShardPlan`] (built at construction
+//! from the context's device profile and thread budget), the frontier is
+//! cut at shard boundaries, segments scatter into privatized
+//! workspace-pooled buffers on up to [`Context::threads`] workers, and a
+//! fixed-segment-order monoid merge makes the results **bit-identical
+//! across thread counts**.  [`Direction::Auto`]'s scatter penalty is
+//! parallelism-aware accordingly ([`choose_direction_cfg`]).
+//!
 //! `bitgblas-algorithms` writes each graph algorithm once against this API
 //! and the benchmarks toggle the backend, exactly as the paper compares
 //! Bit-GraphBLAS to GraphBLAST.  (The pre-0.2 free-function shims were
@@ -79,7 +91,10 @@ pub mod workspace;
 pub use auto::{auto_decision, AutoDecision, TileCandidate};
 pub use backend::{BitB2sr, FloatCsr, GrbBackend};
 pub use descriptor::{Descriptor, Mask};
-pub use direction::{choose_direction, choose_direction_multi, scatter_penalty, Direction};
+pub use direction::{
+    choose_direction, choose_direction_cfg, choose_direction_multi, choose_direction_multi_cfg,
+    scatter_penalty, scatter_penalty_parallel, Direction,
+};
 pub use ewise::assign_masked;
 pub use expr::{Expr, Fusion, MultiExpr, MultiProducer, Stage, MAX_STAGES};
 pub use matrix::{Backend, Matrix};

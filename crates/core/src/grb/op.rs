@@ -52,6 +52,7 @@
 use bitgblas_perfmodel::{pascal_gtx1080, DeviceProfile};
 
 use crate::semiring::{BinaryOp, Semiring};
+use crate::shard::ShardConfig;
 
 use super::descriptor::{Descriptor, Mask};
 use super::direction::Direction;
@@ -96,15 +97,17 @@ impl Default for Context {
 }
 
 impl Clone for Context {
-    /// Clones carry the configuration only: the workspace is per-context
-    /// scratch state, so each clone starts with an empty pool and zeroed
-    /// counters.
+    /// Clones carry the configuration only — including the push-engine
+    /// thread budget: the workspace is per-context scratch state, so each
+    /// clone starts with an empty pool and zeroed counters.
     fn clone(&self) -> Self {
+        let workspace = Workspace::new();
+        workspace.set_push_threads(self.threads());
         Context {
             device: self.device.clone(),
             sample_rows: self.sample_rows,
             seed: self.seed,
-            workspace: Workspace::new(),
+            workspace,
         }
     }
 }
@@ -121,6 +124,72 @@ impl Context {
             device,
             ..Self::default()
         }
+    }
+
+    /// A context whose sharded push engine fans out over `threads` worker
+    /// threads (PR 5).  `1` keeps every push scatter on the serial kernels;
+    /// the default context uses the host parallelism.  Matrices built with
+    /// this context size their row-shard plans for the budget; the budget
+    /// itself can be retuned mid-run with [`Context::set_threads`], and any
+    /// *resolved* scatter produces bit-identical results whichever budget
+    /// executes it (see `set_threads` for the one budget-sensitive
+    /// decision: `Direction::Auto`'s push/pull pricing).
+    ///
+    /// ```
+    /// use bitgblas_core::grb::{Context, Direction, Op};
+    /// use bitgblas_core::{Backend, Matrix, Semiring, TileSize, Vector};
+    /// # use bitgblas_sparse::Coo;
+    /// # let mut coo = Coo::new(512, 512);
+    /// # for i in 0..512 { coo.push_edge(i, (i + 1) % 512).unwrap(); }
+    /// # let csr = coo.to_binary_csr();
+    ///
+    /// let ctx = Context::with_threads(4);
+    /// assert_eq!(ctx.threads(), 4);
+    /// let a = Matrix::from_csr_ctx(&csr, Backend::Bit(TileSize::S8), &ctx);
+    ///
+    /// let frontier = Vector::indicator(512, &[0, 130, 260, 390]);
+    /// let next = Op::vxm(&frontier, &a)
+    ///     .semiring(Semiring::Boolean)
+    ///     .direction(Direction::Push)
+    ///     .run(&ctx);
+    /// assert_eq!(next.get(1), 1.0);
+    ///
+    /// // Drop to the serial scatter for the next operations — the numbers
+    /// // a traversal produces do not change, only who computes them.
+    /// ctx.set_threads(1);
+    /// assert_eq!(ctx.threads(), 1);
+    /// ```
+    pub fn with_threads(threads: usize) -> Self {
+        let ctx = Self::default();
+        ctx.set_threads(threads);
+        ctx
+    }
+
+    /// Worker threads the sharded push scatter may fan out to (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.workspace.push_threads()
+    }
+
+    /// Set the push-engine thread budget (interior mutability — callable on
+    /// a shared context between runs; clamped to ≥ 1).  Shard *plans* are
+    /// sized when a matrix is built, so for a **resolved** direction this
+    /// changes only how wide already planned scatters execute — never what
+    /// they compute: forced-push (and forced-pull) results are bit-identical
+    /// at every budget.  The one thing the budget *does* influence is
+    /// [`Direction::Auto`]'s pricing
+    /// ([`choose_direction_cfg`](super::choose_direction_cfg)): retuning can
+    /// flip a near-threshold operation between push and pull, and for
+    /// non-exact monoids (float `+`) the two directions fold in different
+    /// orders.  Pin the direction when bit-stability across retunes matters.
+    pub fn set_threads(&self, threads: usize) {
+        self.workspace.set_push_threads(threads);
+    }
+
+    /// The shard-planning parameters matrices built with this context hand
+    /// to their backends ([`GrbBackend::prepare_shards`](super::GrbBackend::prepare_shards)):
+    /// the thread budget plus the device profile's cache size.
+    pub fn shard_config(&self) -> ShardConfig {
+        ShardConfig::from_device(&self.device, self.threads())
     }
 
     /// The buffer pool operations executed against this context draw from.

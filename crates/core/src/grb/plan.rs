@@ -47,8 +47,9 @@
 
 use crate::semiring::{BinaryOp, Semiring};
 
+use super::backend::GrbBackend;
 use super::descriptor::Mask;
-use super::direction::{choose_direction, choose_direction_multi, Direction};
+use super::direction::{choose_direction_cfg, choose_direction_multi_cfg, Direction};
 use super::expr::{eval_stages, Expr, Fusion, MultiExpr, MultiProducer, Producer, Stage};
 use super::multivec::MultiVec;
 use super::op::Context;
@@ -194,6 +195,27 @@ pub fn run_chain_in_place_parallel(
         None => out.par_iter_mut().enumerate().for_each(|(i, v)| {
             *v = eval_stages(stages, i, *v);
         }),
+    }
+}
+
+/// The thread budget [`Direction::Auto`]'s pricing should assume for the
+/// push side: the context's budget when the scatter representation's
+/// build-time shard plan is actually partitioned, and serial otherwise —
+/// single-shard plans (serial build budget, tiny matrices) and external
+/// backends run the serial scatter no matter what the run-time budget
+/// says, so pricing them at the budget would repeat the very serial-push /
+/// parallel-pull miscalibration this model exists to fix.
+/// `of_transpose` selects the representation the push path would scatter
+/// (`Aᵀ`'s rows for effective-`mxv`); its plan is built lazily, so the
+/// eagerly-built forward plan of the same matrix and config stands in as a
+/// scale proxy until then.
+fn effective_push_threads(state: &dyn GrbBackend, of_transpose: bool, ctx: &Context) -> usize {
+    let plan = state
+        .shard_plan(of_transpose)
+        .or_else(|| state.shard_plan(!of_transpose));
+    match plan {
+        Some(p) if p.n_shards() > 1 => ctx.threads(),
+        _ => 1,
     }
 }
 
@@ -380,7 +402,9 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Vector {
 
     // Resolve the direction before planning: Auto counts the active entries
     // with a read-only scan, an explicit push on an unsafe semiring is
-    // coerced back to pull.
+    // coerced back to pull.  The threshold is parallelism-aware (PR 5): the
+    // push side is priced at the context's scatter thread budget, the pull
+    // side at the host parallelism its rayon sweeps fan out to.
     let direction = match desc.direction {
         Direction::Push if !semiring.push_safe() => Direction::Pull,
         Direction::Auto => {
@@ -388,7 +412,15 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Vector {
                 .iter()
                 .filter(|&&v| !semiring.is_identity(v))
                 .count();
-            choose_direction(n_active, contracted, a.nnz(), semiring, &ctx.device)
+            choose_direction_cfg(
+                n_active,
+                contracted,
+                a.nnz(),
+                semiring,
+                &ctx.device,
+                effective_push_threads(state, transpose == flip, ctx),
+                crate::shard::machine_parallelism(),
+            )
         }
         d => d,
     };
@@ -619,9 +651,15 @@ fn execute_mxm(expr: &MultiExpr<'_>, ctx: &Context) -> MultiVec {
     };
     let direction = match desc.direction {
         Direction::Push if !semiring.push_safe() => Direction::Pull,
-        Direction::Auto => {
-            choose_direction_multi(count_active(), contracted, a.nnz(), semiring, &ctx.device)
-        }
+        Direction::Auto => choose_direction_multi_cfg(
+            count_active(),
+            contracted,
+            a.nnz(),
+            semiring,
+            &ctx.device,
+            effective_push_threads(state, !transpose, ctx),
+            crate::shard::machine_parallelism(),
+        ),
         d => d,
     };
 

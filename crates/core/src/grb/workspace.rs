@@ -10,6 +10,24 @@
 //! **zero** heap allocations after its first couple of iterations — see
 //! `crates/core/tests/zero_alloc.rs` for the allocation-counter proof.
 //!
+//! # Sharded shelves (PR 5)
+//!
+//! The pool used to be one global `Mutex<BufferPool>`; with the sharded
+//! parallel push engine, concurrent evaluations against one context (the
+//! heavy-traffic serving shape) would all serialize on that lock.  The pool
+//! is now **striped**: several independently locked [`BufferPool`] shelves,
+//! and each thread is hashed to a *home stripe* it takes from and gives to,
+//! so concurrent callers on different threads touch different locks.  The
+//! sharded scatter kernels additionally check their per-segment buffers out
+//! *before* fanning out (one flat scratch buffer, split into per-segment
+//! chunks), so worker threads never touch the pool at all mid-kernel.
+//!
+//! The workspace also carries the push-engine thread budget
+//! ([`Workspace::push_threads`], configured through
+//! [`Context::set_threads`](super::Context::set_threads)) so the backends —
+//! which only see the workspace — know how wide the sharded scatter may fan
+//! out.
+//!
 //! # Ownership rules
 //!
 //! * `take_empty`/`take` transfer ownership of a pooled `Vec` to the caller;
@@ -22,28 +40,34 @@
 //!   later `give`s.  Algorithms that want allocation-free steady state
 //!   return their previous iteration's vector with
 //!   [`Context::recycle`](super::Context::recycle).
-//! * Each shelf is capped in buffer count ([`SHELF_CAP`]) **and** in bytes
-//!   ([`SHELF_BYTE_CAP`]): recycling many differently-sized vectors evicts
-//!   the oldest shelved buffers beyond the byte high-water mark, so a
+//! * Each stripe's shelf is capped in buffer count ([`SHELF_CAP`]) **and**
+//!   in bytes ([`SHELF_BYTE_CAP`]): recycling many differently-sized vectors
+//!   evicts the oldest shelved buffers beyond the byte high-water mark, so a
 //!   pathological caller cannot hoard unbounded memory inside a long-lived
 //!   context.  The most recently given buffer always survives — it is the
-//!   one sized for the current steady state.
+//!   one sized for the current steady state.  (The caps are per stripe; the
+//!   worst-case total is `stripes × cap`, with the stripe count a small
+//!   constant derived from host parallelism.)
 //!
-//! The pool is behind a `Mutex` (not a `RefCell`) so that a `Context` — and
+//! Stripes are behind `Mutex`es (not `RefCell`s) so that a `Context` — and
 //! the [`Matrix`](super::Matrix) that carries one — stays `Send + Sync`.
-//! Operations hold the lock only while popping/pushing a buffer, never
-//! across a kernel.
+//! Operations hold a lock only while popping/pushing a buffer, never across
+//! a kernel.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Maximum number of recycled buffers kept per element type.
+use crate::shard::machine_parallelism;
+
+/// Maximum number of recycled buffers kept per element type (per stripe).
 pub const SHELF_CAP: usize = 32;
 
-/// Byte high-water mark per shelf: when the recycled buffers of one element
-/// type exceed this, the oldest are evicted (the newest always survives).
-/// Generous enough that steady-state algorithm loops — a handful of
-/// graph-sized vectors — never hit it; only callers recycling many
+/// Byte high-water mark per shelf (per stripe): when the recycled buffers of
+/// one element type exceed this, the oldest are evicted (the newest always
+/// survives).  Generous enough that steady-state algorithm loops — a handful
+/// of graph-sized vectors — never hit it; only callers recycling many
 /// differently-sized buffers do.
 pub const SHELF_BYTE_CAP: usize = 8 << 20;
 
@@ -58,7 +82,7 @@ pub trait Poolable: Copy + Send + 'static {
     fn shelf(pool: &mut BufferPool) -> &mut Vec<Vec<Self>>;
 }
 
-/// The typed shelves of recycled buffers (interior of a [`Workspace`]).
+/// The typed shelves of recycled buffers (one stripe of a [`Workspace`]).
 #[derive(Debug, Default)]
 pub struct BufferPool {
     f32s: Vec<Vec<f32>>,
@@ -89,26 +113,85 @@ poolable!(u16, u16s);
 poolable!(u32, u32s);
 poolable!(u64, u64s);
 
-/// The per-context execution workspace: a buffer pool plus op counters.
-#[derive(Debug, Default)]
+/// The per-context execution workspace: striped buffer pools, the
+/// push-engine thread budget, and op counters.
+#[derive(Debug)]
 pub struct Workspace {
-    pool: Mutex<BufferPool>,
+    stripes: Box<[Mutex<BufferPool>]>,
+    push_threads: AtomicUsize,
     stats: ExecStats,
 }
 
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Workspace {
-    /// A fresh, empty workspace.
+    /// A fresh, empty workspace: one pool stripe per unit of (bounded) host
+    /// parallelism, push threads defaulting to the host parallelism.
     pub fn new() -> Self {
-        Self::default()
+        let stripes = machine_parallelism().max(4).next_power_of_two().min(32);
+        Workspace {
+            stripes: (0..stripes)
+                .map(|_| Mutex::new(BufferPool::default()))
+                .collect(),
+            push_threads: AtomicUsize::new(machine_parallelism()),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The calling thread's home stripe index.  The thread-id hash is a
+    /// per-thread constant, so it is computed once per thread and cached in
+    /// TLS — a take/give pays one TLS read plus the mask, not a SipHash.
+    fn home_stripe(&self) -> usize {
+        thread_local! {
+            static HOME_HASH: u64 = {
+                let mut h = DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                h.finish()
+            };
+        }
+        (HOME_HASH.with(|h| *h) as usize) & (self.stripes.len() - 1)
+    }
+
+    /// Worker threads the sharded push scatter may fan out to (≥ 1).
+    pub fn push_threads(&self) -> usize {
+        self.push_threads.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Set the push-engine thread budget (interior mutability: callable on a
+    /// shared context mid-run).
+    pub fn set_push_threads(&self, threads: usize) {
+        self.push_threads.store(threads.max(1), Ordering::Relaxed);
     }
 
     /// Check out a cleared buffer (length 0); capacity comes from the pool
-    /// when a buffer of this type was previously given back.
+    /// when a buffer of this type was previously given back.  The home
+    /// stripe is tried first (blocking — uncontended in steady state);
+    /// other stripes are only probed opportunistically (`try_lock`) when
+    /// the home shelf is empty.
     pub fn take_empty<T: Poolable>(&self) -> Vec<T> {
-        let mut pool = self.pool.lock().expect("workspace pool poisoned");
-        let mut buf = T::shelf(&mut pool).pop().unwrap_or_default();
-        buf.clear();
-        buf
+        let n = self.stripes.len();
+        let home = self.home_stripe();
+        for off in 0..n {
+            let idx = (home + off) & (n - 1);
+            let popped = if off == 0 {
+                let mut pool = self.stripes[idx].lock().expect("workspace pool poisoned");
+                T::shelf(&mut pool).pop()
+            } else {
+                match self.stripes[idx].try_lock() {
+                    Ok(mut pool) => T::shelf(&mut pool).pop(),
+                    Err(_) => None,
+                }
+            };
+            if let Some(mut buf) = popped {
+                buf.clear();
+                return buf;
+            }
+        }
+        Vec::new()
     }
 
     /// Check out a buffer of exactly `len` elements, every one set to
@@ -119,16 +202,18 @@ impl Workspace {
         buf
     }
 
-    /// Return a buffer to the pool for later reuse.  Once the shelf exceeds
-    /// the per-type count cap ([`SHELF_CAP`]) or the byte high-water mark
-    /// ([`SHELF_BYTE_CAP`]), the *oldest* shelved buffers are evicted first
-    /// — the just-given buffer is the one sized for the current steady
-    /// state, so it always survives.
+    /// Return a buffer to the calling thread's home stripe for later reuse.
+    /// Once that stripe's shelf exceeds the per-type count cap
+    /// ([`SHELF_CAP`]) or the byte high-water mark ([`SHELF_BYTE_CAP`]), the
+    /// *oldest* shelved buffers are evicted first — the just-given buffer is
+    /// the one sized for the current steady state, so it always survives.
     pub fn give<T: Poolable>(&self, buf: Vec<T>) {
         if buf.capacity() == 0 {
             return;
         }
-        let mut pool = self.pool.lock().expect("workspace pool poisoned");
+        let mut pool = self.stripes[self.home_stripe()]
+            .lock()
+            .expect("workspace pool poisoned");
         let shelf = T::shelf(&mut pool);
         shelf.push(buf);
         let bytes = |b: &Vec<T>| b.capacity() * std::mem::size_of::<T>();
@@ -148,6 +233,12 @@ impl Workspace {
     pub fn stats(&self) -> &ExecStats {
         &self.stats
     }
+
+    /// The calling thread's home stripe, locked — test-only introspection.
+    #[cfg(test)]
+    fn home_pool(&self) -> std::sync::MutexGuard<'_, BufferPool> {
+        self.stripes[self.home_stripe()].lock().unwrap()
+    }
 }
 
 /// Monotonic counters of executed operations, split by kind and — for the
@@ -156,13 +247,20 @@ impl Workspace {
 /// The counters make [`Direction::Auto`](super::Direction) observable:
 /// tests (and the perf harness) read a [`snapshot`](ExecStats::snapshot)
 /// before and after a run and assert how many iterations resolved to push
-/// vs pull.
+/// vs pull — and, since PR 5, how many push executions took the sharded
+/// parallel path and how many frontier segments they fanned out over.
+///
+/// Every counter is a plain relaxed atomic, so parallel kernels bump them
+/// without taking any lock (and without riding the pool stripes'
+/// synchronization).
 #[derive(Debug, Default)]
 pub struct ExecStats {
     pull_mxv: AtomicU64,
     push_mxv: AtomicU64,
     pull_mxm: AtomicU64,
     push_mxm: AtomicU64,
+    sharded_push: AtomicU64,
+    shard_segments: AtomicU64,
     fused_mxv: AtomicU64,
     ewise_chain: AtomicU64,
     mxm_reduce: AtomicU64,
@@ -184,6 +282,13 @@ impl ExecStats {
     }
     pub(crate) fn record_push_mxm(&self) {
         self.push_mxm.fetch_add(1, Ordering::Relaxed);
+    }
+    /// One push execution took the sharded parallel path, fanning out over
+    /// `segments` frontier segments.
+    pub(crate) fn record_sharded_push(&self, segments: usize) {
+        self.sharded_push.fetch_add(1, Ordering::Relaxed);
+        self.shard_segments
+            .fetch_add(segments as u64, Ordering::Relaxed);
     }
     pub(crate) fn record_fused_mxv(&self) {
         self.fused_mxv.fetch_add(1, Ordering::Relaxed);
@@ -214,6 +319,8 @@ impl ExecStats {
             push_mxv: self.push_mxv.load(Ordering::Relaxed),
             pull_mxm: self.pull_mxm.load(Ordering::Relaxed),
             push_mxm: self.push_mxm.load(Ordering::Relaxed),
+            sharded_push: self.sharded_push.load(Ordering::Relaxed),
+            shard_segments: self.shard_segments.load(Ordering::Relaxed),
             fused_mxv: self.fused_mxv.load(Ordering::Relaxed),
             ewise_chain: self.ewise_chain.load(Ordering::Relaxed),
             mxm_reduce: self.mxm_reduce.load(Ordering::Relaxed),
@@ -236,6 +343,11 @@ pub struct ExecCounts {
     pub pull_mxm: u64,
     /// Batched `mxm` (matrix × multivector) executions that resolved to push.
     pub push_mxm: u64,
+    /// Push executions (single-vector or batched) that took the sharded
+    /// parallel scatter path instead of the serial kernel.
+    pub sharded_push: u64,
+    /// Total frontier segments fanned out by sharded push executions.
+    pub shard_segments: u64,
     /// Matrix-vector pipelines executed as a single fused sweep (also
     /// counted in `pull_mxv`/`push_mxv` by resolved direction).
     pub fused_mxv: u64,
@@ -299,7 +411,8 @@ mod tests {
         for b in bufs {
             ws.give(b);
         }
-        let pool = ws.pool.lock().unwrap();
+        // Single-threaded gives all land in the caller's home stripe.
+        let pool = ws.home_pool();
         assert!(pool.usizes.len() <= SHELF_CAP);
         // Count-cap eviction drops the oldest, never the just-given buffer
         // (it is the one sized for the current steady state).
@@ -318,7 +431,7 @@ mod tests {
         for b in bufs {
             ws.give(b);
         }
-        let pool = ws.pool.lock().unwrap();
+        let pool = ws.home_pool();
         let total: usize = pool
             .f32s
             .iter()
@@ -351,7 +464,7 @@ mod tests {
         let big = vec![0u8; SHELF_BYTE_CAP + 1];
         let big_ptr = big.as_ptr();
         ws.give(big);
-        let pool = ws.pool.lock().unwrap();
+        let pool = ws.home_pool();
         assert_eq!(pool.u8s.len(), 1);
         assert_eq!(pool.u8s[0].as_ptr(), big_ptr);
     }
@@ -367,14 +480,67 @@ mod tests {
     }
 
     #[test]
+    fn buffers_given_on_other_threads_are_still_reachable() {
+        // A buffer given back on a worker thread lands in that thread's home
+        // stripe; a later take on the main thread must still find it (stripe
+        // probing) instead of allocating a fresh one.
+        let ws = Workspace::new();
+        let cap = 4096;
+        std::thread::scope(|scope| {
+            scope.spawn(|| ws.give::<f32>(Vec::with_capacity(cap)));
+        });
+        let buf = ws.take_empty::<f32>();
+        assert_eq!(
+            buf.capacity(),
+            cap,
+            "cross-stripe probing must find the buffer"
+        );
+    }
+
+    #[test]
+    fn push_threads_round_trip_and_floor_at_one() {
+        let ws = Workspace::new();
+        assert!(ws.push_threads() >= 1);
+        ws.set_push_threads(8);
+        assert_eq!(ws.push_threads(), 8);
+        ws.set_push_threads(0);
+        assert_eq!(ws.push_threads(), 1, "zero must clamp to serial");
+    }
+
+    #[test]
     fn stats_counters_accumulate() {
         let ws = Workspace::new();
         ws.stats().record_push_mxv();
         ws.stats().record_push_mxv();
         ws.stats().record_pull_mxv();
+        ws.stats().record_sharded_push(5);
+        ws.stats().record_sharded_push(3);
         let s = ws.stats().snapshot();
         assert_eq!(s.push_mxv, 2);
         assert_eq!(s.pull_mxv, 1);
         assert_eq!(s.total_mxv(), 3);
+        assert_eq!(s.sharded_push, 2);
+        assert_eq!(s.shard_segments, 8);
+    }
+
+    #[test]
+    fn counters_are_lock_free_under_contention() {
+        // Parallel bumps from scoped threads must all land (atomics, no
+        // lock, no tearing).
+        let ws = Workspace::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        ws.stats().record_push_mxv();
+                        ws.stats().record_sharded_push(2);
+                    }
+                });
+            }
+        });
+        let s = ws.stats().snapshot();
+        assert_eq!(s.push_mxv, 4000);
+        assert_eq!(s.sharded_push, 4000);
+        assert_eq!(s.shard_segments, 8000);
     }
 }

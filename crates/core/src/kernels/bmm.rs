@@ -25,10 +25,12 @@
 //!   `k` lanes, amortizing the matrix traffic across queries the same way
 //!   the bit kernels amortize it across packed elements.  Pull
 //!   (`bmm_bin_bits_into`, `bmm_bin_full_into`) and push
-//!   (`bmm_push_bits`, `bmm_push_bin_full`) variants mirror the
-//!   single-vector BMV family; for the Boolean semiring the lanes pack into
-//!   `u64` *lane words* (`k.div_ceil(64)` words per node), so one `OR` per
-//!   edge advances up to 64 traversals at once.
+//!   (`bmm_push_bits`, `bmm_push_bin_full`, plus the PR-5 `_sharded`
+//!   parallel variants over a [`crate::shard::ShardPlan`]'s row shards)
+//!   variants mirror the single-vector BMV family; for the Boolean
+//!   semiring the lanes pack into `u64` *lane words* (`k.div_ceil(64)`
+//!   words per node), so one `OR` per edge advances up to 64 traversals at
+//!   once.
 
 use rayon::prelude::*;
 
@@ -308,8 +310,8 @@ pub fn bmm_bin_bits_into<W: BitWord>(
 /// OR-scattered into every out-neighbour, so one scatter advances all of
 /// that node's active traversals at once.  `yw` holds `ncols * wpn` lane
 /// words and must be zeroed by the caller.  Serial and allocation-free like
-/// the single-vector push kernels — push is selected precisely when the
-/// frontier is tiny.
+/// the single-vector push kernels — the right shape for tiny frontiers, and
+/// the per-segment worker of [`bmm_push_bits_sharded`] for everything else.
 pub fn bmm_push_bits<W: BitWord>(
     a: &B2sr<W>,
     frontier: &[usize],
@@ -442,7 +444,8 @@ pub fn bmm_bin_full_into<W: BitWord>(
 /// `y[j*k+l]` with the additive monoid; `allow` filters flat output
 /// positions (`j*k + l`, the flat per-lane mask) and `y` must be pre-filled
 /// with the semiring identity.  Only valid for
-/// [`Semiring::push_safe`] semirings; serial and allocation-free.
+/// [`Semiring::push_safe`] semirings; serial and allocation-free, and the
+/// per-segment worker of [`bmm_push_bin_full_sharded`].
 pub fn bmm_push_bin_full<W: BitWord, M: Fn(usize) -> bool>(
     a: &B2sr<W>,
     x: &[f32],
@@ -476,6 +479,89 @@ pub fn bmm_push_bin_full<W: BitWord, M: Fn(usize) -> bool>(
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded (parallel) batched push kernels — PR 5
+// ---------------------------------------------------------------------------
+
+/// Sharded parallel variant of [`bmm_push_bits`].  `cuts` splits the
+/// ascending node frontier into shard-local segments (see
+/// [`crate::shard::ShardPlan::segment_frontier`]); each segment OR-scatters
+/// its nodes' lane words into a privatized chunk of `scratch`
+/// (`n_segments × ncols × wpn` words, zeroed by the caller), segments run
+/// on up to `threads` workers, and the chunks merge into `yw` by word-OR in
+/// ascending segment order — exact, so bit-identical to the serial scatter.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_push_bits_sharded<W: BitWord>(
+    a: &B2sr<W>,
+    frontier: &[usize],
+    cuts: &[usize],
+    xw: &[u64],
+    wpn: usize,
+    threads: usize,
+    scratch: &mut [u64],
+    yw: &mut [u64],
+) {
+    let width = a.ncols() * wpn;
+    let n_seg = cuts.len().saturating_sub(1);
+    assert!(yw.len() >= width, "output has too few lane words");
+    assert!(
+        scratch.len() >= n_seg * width,
+        "scratch must hold one output-width chunk per segment"
+    );
+    crate::shard::scatter_segments(threads, n_seg, scratch, width, |s, chunk| {
+        bmm_push_bits(a, &frontier[cuts[s]..cuts[s + 1]], xw, wpn, chunk);
+    });
+    crate::shard::merge_segments(
+        threads,
+        n_seg,
+        scratch,
+        width,
+        &mut yw[..width],
+        |acc, v| acc | v,
+    );
+}
+
+/// Sharded parallel variant of [`bmm_push_bin_full`].  Segments scatter
+/// into privatized identity-filled chunks of `scratch` (`n_segments ×
+/// ncols × k` entries) and fold into `y` with the semiring monoid in
+/// ascending segment order — the fold grouping depends only on `cuts`, so
+/// the flat `n × k` result is bit-identical across thread counts.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_push_bin_full_sharded<W: BitWord, M: Fn(usize) -> bool + Sync>(
+    a: &B2sr<W>,
+    x: &[f32],
+    k: usize,
+    frontier: &[usize],
+    cuts: &[usize],
+    semiring: Semiring,
+    allow: M,
+    threads: usize,
+    scratch: &mut [f32],
+    y: &mut [f32],
+) {
+    let width = a.ncols() * k;
+    let n_seg = cuts.len().saturating_sub(1);
+    assert!(y.len() >= width, "output shorter than ncols * k");
+    assert!(
+        scratch.len() >= n_seg * width,
+        "scratch must hold one output-width chunk per segment"
+    );
+    crate::shard::scatter_segments(threads, n_seg, scratch, width, |s, chunk| {
+        bmm_push_bin_full(
+            a,
+            x,
+            k,
+            &frontier[cuts[s]..cuts[s + 1]],
+            semiring,
+            &allow,
+            chunk,
+        );
+    });
+    crate::shard::merge_segments(threads, n_seg, scratch, width, &mut y[..width], |acc, v| {
+        semiring.reduce(acc, v)
+    });
 }
 
 #[cfg(test)]

@@ -21,8 +21,13 @@
 //! * **push** (`bmv_push_*`) — sparse-frontier scatter: only the tiles of
 //!   the frontier's tile-rows are visited and their row words scattered into
 //!   the output, so the cost is proportional to the frontier's edge count.
-//!   Push kernels run serially by design — they are selected precisely when
-//!   the frontier is tiny — and therefore allocate nothing.
+//!   The base kernels are serial and allocation-free (the right shape for
+//!   tiny frontiers); the `_sharded` variants (PR 5) run the same scatter as
+//!   a parallel per-segment pass over a [`crate::shard::ShardPlan`]'s row
+//!   shards, each segment writing a privatized caller-supplied buffer, with
+//!   a fixed-order monoid merge that makes the result bit-identical across
+//!   thread counts (and, for the word-OR Boolean merge, identical to the
+//!   serial scatter outright).
 
 use rayon::prelude::*;
 
@@ -434,10 +439,9 @@ fn bit_fused_sweep<W, C, R, F>(
 ///
 /// Because the bits of a B2SR tile row *are* that row's column indicator,
 /// the scatter is a plain word-OR of the frontier rows' tile words — no
-/// per-edge index arithmetic at all.  The kernel is serial and
-/// allocation-free by design: the push direction is chosen precisely when
-/// the frontier is a small fraction of the graph, where a parallel sweep
-/// would spend more time fanning out than computing.
+/// per-edge index arithmetic at all.  This base kernel is serial and
+/// allocation-free — the right shape for tiny frontiers, and the per-segment
+/// worker of [`bmv_push_bin_bin_sharded`] for everything else.
 pub fn bmv_push_bin_bin<W: BitWord>(a: &B2sr<W>, frontier: &[usize], y: &mut [W]) {
     assert!(y.len() >= a.n_tile_cols(), "output has too few tile words");
     let dim = a.tile_dim();
@@ -467,11 +471,13 @@ pub fn bmv_push_bin_bin<W: BitWord>(a: &B2sr<W>, frontier: &[usize], y: &mut [W]
 /// generic over the semiring.  For every frontier row `u`, the contribution
 /// `⊗(x[u])` is folded into each out-neighbour `j` of `u` with the additive
 /// monoid: `y[j] = ⊕(y[j], ⊗(x[u]))`.  `allow` filters output positions
-/// (the mask); `y` must be pre-filled with the semiring identity.
+/// (the mask); `y` must be pre-filled with the semiring identity (or, on the
+/// seeded fused-accumulator path, with the accumulation baseline).
 ///
 /// Only valid for [`Semiring::push_safe`] semirings, where skipping the
 /// non-frontier (identity-valued) entries cannot change the result.  Serial
-/// and allocation-free like [`bmv_push_bin_bin`].
+/// and allocation-free like [`bmv_push_bin_bin`], and likewise the
+/// per-segment worker of [`bmv_push_bin_full_sharded`].
 pub fn bmv_push_bin_full<W: BitWord, M: Fn(usize) -> bool>(
     a: &B2sr<W>,
     x: &[f32],
@@ -497,6 +503,92 @@ pub fn bmv_push_bin_full<W: BitWord, M: Fn(usize) -> bool>(
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded (parallel) push kernels — PR 5
+// ---------------------------------------------------------------------------
+
+/// Sharded parallel variant of [`bmv_push_bin_bin`].  `cuts` (from
+/// [`crate::shard::ShardPlan::segment_frontier`]) splits the ascending
+/// frontier into `cuts.len() - 1` shard-local segments; each segment
+/// scatters serially into its privatized chunk of `scratch`
+/// (`n_segments × n_tile_cols` words, zeroed by the caller), segments run
+/// on up to `threads` scoped workers, and the chunks are word-OR-merged
+/// into `y` in ascending segment order.
+///
+/// The OR monoid is exact, so the result is bit-identical to the serial
+/// scatter — and therefore to itself across any thread count.
+pub fn bmv_push_bin_bin_sharded<W: BitWord>(
+    a: &B2sr<W>,
+    frontier: &[usize],
+    cuts: &[usize],
+    threads: usize,
+    scratch: &mut [W],
+    y: &mut [W],
+) {
+    let width = a.n_tile_cols();
+    let n_seg = cuts.len().saturating_sub(1);
+    assert!(y.len() >= width, "output has too few tile words");
+    assert!(
+        scratch.len() >= n_seg * width,
+        "scratch must hold one output-width chunk per segment"
+    );
+    crate::shard::scatter_segments(threads, n_seg, scratch, width, |s, chunk| {
+        bmv_push_bin_bin(a, &frontier[cuts[s]..cuts[s + 1]], chunk);
+    });
+    crate::shard::merge_segments(threads, n_seg, scratch, width, &mut y[..width], |acc, v| {
+        acc | v
+    });
+}
+
+/// Sharded parallel variant of [`bmv_push_bin_full`].  Segments (see
+/// [`bmv_push_bin_bin_sharded`]) scatter into privatized identity-filled
+/// chunks of `scratch` (`n_segments × y.len()` entries), and the chunks
+/// fold into `y` with the semiring monoid **in ascending segment order** —
+/// per output position the fold grouping depends only on `cuts`, never on
+/// `threads`, so results are bit-identical across thread counts even for
+/// the non-associative float `+`.  `y` arrives pre-seeded exactly as for
+/// the serial kernel (identity, or the accumulation baseline on the seeded
+/// fused path).
+#[allow(clippy::too_many_arguments)]
+pub fn bmv_push_bin_full_sharded<W: BitWord, M: Fn(usize) -> bool + Sync>(
+    a: &B2sr<W>,
+    x: &[f32],
+    frontier: &[usize],
+    cuts: &[usize],
+    semiring: Semiring,
+    allow: M,
+    threads: usize,
+    scratch: &mut [f32],
+    y: &mut [f32],
+) {
+    let width = y.len();
+    let n_seg = cuts.len().saturating_sub(1);
+    assert!(
+        scratch.len() >= n_seg * width,
+        "scratch must hold one output-width chunk per segment"
+    );
+    debug_assert!(
+        scratch
+            .iter()
+            .take(n_seg * width)
+            .all(|&v| v == semiring.identity()),
+        "scratch must be identity-filled"
+    );
+    crate::shard::scatter_segments(threads, n_seg, scratch, width, |s, chunk| {
+        bmv_push_bin_full(
+            a,
+            x,
+            &frontier[cuts[s]..cuts[s + 1]],
+            semiring,
+            &allow,
+            chunk,
+        );
+    });
+    crate::shard::merge_segments(threads, n_seg, scratch, width, y, |acc, v| {
+        semiring.reduce(acc, v)
+    });
 }
 
 #[cfg(test)]
@@ -796,6 +888,82 @@ mod tests {
         for (j, &v) in y.iter().enumerate() {
             if j % 2 != 0 {
                 assert_eq!(v, 0.0, "filtered position {j} must stay identity");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_push_bin_bin_matches_serial_for_every_thread_count() {
+        let a = sample(300, 53);
+        let frontier: Vec<usize> = (0..300).filter(|i| i % 3 == 0).collect();
+        let b = from_csr::<u8>(&a, 8);
+        let mut serial = vec![0u8; b.n_tile_cols()];
+        bmv_push_bin_bin(&b, &frontier, &mut serial);
+        // Hand-built 4-shard boundaries (aligned to the tile dim).
+        let bounds = [0usize, 80, 160, 240, 300];
+        let mut cuts = vec![0usize];
+        for w in bounds.windows(2) {
+            let end = frontier.partition_point(|&r| r < w[1]);
+            if end > *cuts.last().unwrap() {
+                cuts.push(end);
+            }
+        }
+        for threads in [1usize, 2, 4, 8] {
+            let width = b.n_tile_cols();
+            let mut scratch = vec![0u8; (cuts.len() - 1) * width];
+            let mut y = vec![0u8; width];
+            bmv_push_bin_bin_sharded(&b, &frontier, &cuts, threads, &mut scratch, &mut y);
+            assert_eq!(y, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_push_bin_full_is_bit_identical_across_thread_counts() {
+        let a = sample(280, 59);
+        let x: Vec<f32> = (0..280).map(|i| (i % 11) as f32 * 0.37 + 0.01).collect();
+        let frontier: Vec<usize> = (0..280).filter(|i| i % 2 == 0).collect();
+        let bounds = [0usize, 96, 192, 280];
+        let mut cuts = vec![0usize];
+        for w in bounds.windows(2) {
+            let end = frontier.partition_point(|&r| r < w[1]);
+            if end > *cuts.last().unwrap() {
+                cuts.push(end);
+            }
+        }
+        let b = from_csr::<u16>(&a, 16);
+        for semiring in [
+            Semiring::Arithmetic,
+            Semiring::MinPlus(1.0),
+            Semiring::Boolean,
+        ] {
+            let mut reference: Option<Vec<u32>> = None;
+            for threads in [1usize, 2, 4, 8] {
+                let width = a.ncols();
+                let mut scratch = vec![semiring.identity(); (cuts.len() - 1) * width];
+                let mut y = vec![semiring.identity(); width];
+                bmv_push_bin_full_sharded(
+                    &b,
+                    &x,
+                    &frontier,
+                    &cuts,
+                    semiring,
+                    |_| true,
+                    threads,
+                    &mut scratch,
+                    &mut y,
+                );
+                let bits: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+                match &reference {
+                    None => reference = Some(bits),
+                    Some(r) => assert_eq!(&bits, r, "{semiring:?} threads={threads} diverged"),
+                }
+            }
+            // Exact monoids additionally equal the serial scatter bitwise.
+            if semiring != Semiring::Arithmetic {
+                let mut serial = vec![semiring.identity(); a.ncols()];
+                bmv_push_bin_full(&b, &x, &frontier, semiring, |_| true, &mut serial);
+                let serial_bits: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(reference.unwrap(), serial_bits, "{semiring:?} vs serial");
             }
         }
     }

@@ -21,18 +21,28 @@
 //! per-element work is a bitwise AND followed by a population count.  The
 //! warp scheduling of the GPU is replaced by Rayon parallelism over
 //! tile-rows; everything inside a tile-row is deterministic.
+//!
+//! The pull kernels parallelise over tile-rows; since PR 5 the push
+//! kernels parallelise too, through the `_sharded` variants
+//! (`bmv_push_bin_bin_sharded`, `bmv_push_bin_full_sharded`,
+//! `bmm_push_bits_sharded`, `bmm_push_bin_full_sharded`): the frontier is
+//! cut at a [`crate::shard::ShardPlan`]'s row-shard boundaries, segments
+//! scatter into privatized caller-supplied buffers concurrently, and a
+//! fixed-segment-order monoid merge keeps the result bit-identical across
+//! thread counts.
 
 pub mod bmm;
 pub mod bmv;
 
 pub use bmm::{
     bmm_bin_bin_sum, bmm_bin_bin_sum_masked, bmm_bin_bits_into, bmm_bin_full_into,
-    bmm_push_bin_full, bmm_push_bits,
+    bmm_push_bin_full, bmm_push_bin_full_sharded, bmm_push_bits, bmm_push_bits_sharded,
 };
 pub use bmv::{
     bmv_bin_bin_bin, bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked, bmv_bin_bin_bin_masked_into,
     bmv_bin_bin_full, bmv_bin_bin_full_masked, bmv_bin_full_full, bmv_bin_full_full_fused_into,
     bmv_bin_full_full_into, bmv_bin_full_full_masked, bmv_bin_full_full_masked_into,
-    bmv_push_bin_bin, bmv_push_bin_full, pack_vector_bits, pack_vector_bits_into,
-    pack_vector_tilewise, pack_vector_tilewise_into, unpack_vector_bits,
+    bmv_push_bin_bin, bmv_push_bin_bin_sharded, bmv_push_bin_full, bmv_push_bin_full_sharded,
+    pack_vector_bits, pack_vector_bits_into, pack_vector_tilewise, pack_vector_tilewise_into,
+    unpack_vector_bits,
 };

@@ -19,7 +19,10 @@
 //!   `bmv_bin_full_full` (plus masked variants) and `bmm_bin_bin_sum` (plus the
 //!   masked variant used by Triangle Counting), each structured as
 //!   one-warp-per-tile-row over the software warp model and parallelised
-//!   across tile-rows with Rayon.
+//!   across tile-rows with Rayon.  The push (sparse-frontier scatter)
+//!   kernels parallelise through [`shard`]: row-shard partition plans,
+//!   privatized per-segment scatter and a fixed-order monoid merge that
+//!   keeps results bit-identical across thread counts.
 //!
 //! * **Graph-algorithm support** — [`semiring`] provides the semiring domains
 //!   of Table IV (Boolean, arithmetic, tropical min-plus, tropical max-times)
@@ -39,9 +42,11 @@ pub mod b2sr;
 pub mod grb;
 pub mod kernels;
 pub mod semiring;
+pub mod shard;
 
 pub use b2sr::{B2sr, B2srMatrix, TileSize};
 pub use grb::{
     Backend, Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Matrix, MultiVec, Op, Vector,
 };
 pub use semiring::{BinaryOp, Semiring};
+pub use shard::{ShardConfig, ShardPlan};

@@ -5,10 +5,12 @@
 //! sequence (masked Boolean `vxm` in the push direction, level recording,
 //! frontier recycling) must perform **zero** heap allocations per iteration.
 //!
-//! The push path is the one certified here: it is serial by construction
-//! (chosen precisely when the frontier is tiny), so no thread-spawn
-//! machinery is involved and every buffer — the frontier index list, the
-//! scatter words, the output vector — cycles through the workspace pool.
+//! The push paths are the ones certified here — the serial scatter of tiny
+//! frontiers and, since PR 5, the sharded path at a serial execution budget
+//! (same segments, same merge, no scoped-thread spawns): every buffer — the
+//! frontier index list, the shard cut list, the privatized per-segment
+//! scratch, the scatter words, the output vector — cycles through the
+//! workspace pool.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,13 +55,19 @@ fn allocations() -> u64 {
 
 /// A directed chain 0 → 1 → … → n-1: the frontier stays a single vertex, so
 /// every iteration exercises the identical push-path code with stable buffer
-/// sizes.
+/// sizes.  Built with a serial thread budget (single-shard plan): these
+/// tests certify the *serial* push path regardless of how many cores the
+/// test host has; the sharded path has its own proof below.
 fn chain(n: usize) -> Matrix {
     let mut coo = Coo::new(n, n);
     for i in 0..n - 1 {
         coo.push_edge(i, i + 1).unwrap();
     }
-    Matrix::from_csr(&coo.to_binary_csr(), Backend::Bit(TileSize::S8))
+    Matrix::from_csr_ctx(
+        &coo.to_binary_csr(),
+        Backend::Bit(TileSize::S8),
+        &Context::with_threads(1),
+    )
 }
 
 /// One BFS level: exactly the inner-loop body of
@@ -127,14 +135,19 @@ fn bfs_inner_loop_is_allocation_free_after_warmup() {
 }
 
 /// A small scatter-pattern graph for the PageRank pipeline (every vertex
-/// has out-edges, sizes stay identical across iterations).
+/// has out-edges, sizes stay identical across iterations).  Serial thread
+/// budget, like [`chain`].
 fn ring_with_chords(n: usize) -> Matrix {
     let mut coo = Coo::new(n, n);
     for i in 0..n {
         coo.push_edge(i, (i + 1) % n).unwrap();
         coo.push_edge(i, (i * 7 + 3) % n).unwrap();
     }
-    Matrix::from_csr(&coo.to_binary_csr(), Backend::Bit(TileSize::S8))
+    Matrix::from_csr_ctx(
+        &coo.to_binary_csr(),
+        Backend::Bit(TileSize::S8),
+        &Context::with_threads(1),
+    )
 }
 
 /// The fused PageRank pipeline — dangling dot (fused chain-reduce), the
@@ -226,6 +239,66 @@ fn fused_sssp_accum_pipeline_is_allocation_free_after_warmup() {
         "fused SSSP accumulation pipeline allocated in steady state"
     );
     assert_eq!(dist.get(20), 20.0);
+}
+
+/// The sharded parallel push path (PR 5) must also be allocation-free in
+/// steady state: the frontier cut list, the per-segment privatized scratch
+/// and the output all cycle through the workspace pool, checked out before
+/// the fan-out.  The loop runs with a 1-thread execution budget so the
+/// segments execute inline — the scoped thread spawns of the offline rayon
+/// stand-in are the only allocating part of the parallel path, and real
+/// rayon's persistent pool would not pay them either.  The shard *grouping*
+/// is identical at every budget (that is the determinism guarantee), so
+/// this exercises exactly the code the parallel path runs.
+#[test]
+fn sharded_push_path_is_allocation_free_after_warmup() {
+    let n = 4096;
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push_edge(i, (i + 1) % n).unwrap();
+        coo.push_edge(i, (i * 7 + 3) % n).unwrap();
+    }
+    // Build with a 4-thread budget so the plan is actually sharded…
+    let ctx = Context::with_threads(4);
+    let a = Matrix::from_csr_ctx(&coo.to_binary_csr(), Backend::Bit(TileSize::S8), &ctx);
+    assert!(
+        a.state().shard_plan(false).map(|p| p.n_shards()) > Some(1),
+        "the plan must be sharded for this test to mean anything"
+    );
+    // …and execute with a serial budget: same segments, same merge, no spawns.
+    ctx.set_threads(1);
+
+    // A fat fixed frontier spanning every shard keeps the sharded scatter
+    // engaged with stable buffer sizes on each iteration.
+    let positions: Vec<usize> = (0..n).step_by(4).collect();
+    let x = Vector::indicator(n, &positions);
+
+    let iteration = || {
+        let y = Op::vxm(&x, &a)
+            .semiring(Semiring::Boolean)
+            .direction(Direction::Push)
+            .run(&ctx);
+        ctx.recycle(y);
+    };
+
+    for _ in 0..8 {
+        iteration();
+    }
+    let sharded_before = ctx.stats().sharded_push;
+    let before = allocations();
+    for _ in 0..32 {
+        iteration();
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "sharded push path allocated in steady state"
+    );
+    assert_eq!(
+        ctx.stats().sharded_push - sharded_before,
+        32,
+        "every measured iteration must have taken the sharded path"
+    );
 }
 
 #[test]

@@ -341,6 +341,151 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sharded parallel push determinism (PR 5)
+// ---------------------------------------------------------------------------
+
+/// Strategy: graphs large enough that the shard planner actually partitions
+/// them (≥ `threads × SHARD_ALIGN` rows) — the small `graph_strategy`
+/// corpus stays on single-shard plans by design.
+fn shardable_graph_strategy() -> impl Strategy<Value = Csr> {
+    (0usize..3, 1u64..1_000).prop_map(|(family, seed)| match family {
+        0 => generators::rmat(11, 12, 0.57, 0.19, 0.19, seed).symmetrized(),
+        1 => generators::erdos_renyi(1536 + (seed % 512) as usize, 0.008, seed % 2 == 0, seed),
+        _ => generators::banded(2048, 6, 0.7, seed),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// PR-5 acceptance: on every bit tile size and the float baseline,
+    /// forced-push BFS and SSSP produce **bit-identical** outputs whether
+    /// the sharded scatter executes on 1, 2, 4 or 8 threads — including
+    /// SSSP's min-plus float semiring, where the fixed-segment-order merge
+    /// is what pins the fold grouping — and push ≡ pull ≡ auto parity
+    /// holds throughout.
+    #[test]
+    fn sharded_push_is_bit_identical_across_thread_counts(
+        adj in shardable_graph_strategy(),
+        src in 0usize..1_000,
+    ) {
+        let src = src % adj.nrows();
+        for backend in direction_backends() {
+            // Build with an 8-thread budget so the plan is actually sharded.
+            let ctx = Context::with_threads(8);
+            let m = Matrix::from_csr_ctx(&adj, backend, &ctx);
+
+            let mut ref_levels: Option<Vec<i64>> = None;
+            let mut ref_dist_bits: Option<Vec<u32>> = None;
+            for threads in [1usize, 2, 4, 8] {
+                m.context().set_threads(threads);
+                let levels = bfs_dir(&m, src, Direction::Push).levels;
+                let dist = sssp_dir(&m, src, Direction::Push).distances;
+                let dist_bits: Vec<u32> = dist.iter().map(|v| v.to_bits()).collect();
+                match (&ref_levels, &ref_dist_bits) {
+                    (None, _) => {
+                        ref_levels = Some(levels);
+                        ref_dist_bits = Some(dist_bits);
+                    }
+                    (Some(rl), Some(rd)) => {
+                        prop_assert_eq!(&levels, rl, "{:?} BFS diverged at {} threads", backend, threads);
+                        prop_assert_eq!(&dist_bits, rd, "{:?} SSSP diverged at {} threads", backend, threads);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+
+            // Push ≡ pull ≡ auto on the same (sharded) matrix.
+            m.context().set_threads(8);
+            let pull = bfs_dir(&m, src, Direction::Pull).levels;
+            let auto = bfs_dir(&m, src, Direction::Auto).levels;
+            prop_assert_eq!(&pull, ref_levels.as_ref().unwrap(), "{:?} push≠pull", backend);
+            prop_assert_eq!(&auto, ref_levels.as_ref().unwrap(), "{:?} auto≠push", backend);
+        }
+    }
+
+    /// The arithmetic semiring's float `+` is where merge grouping matters
+    /// most: a fat forced-push product must still be bit-identical across
+    /// thread counts (the grouping is pinned by the plan, not the threads).
+    #[test]
+    fn sharded_arithmetic_push_is_bit_identical(adj in shardable_graph_strategy(), seed in 1u64..1_000) {
+        let n = adj.nrows();
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let ctx = Context::with_threads(8);
+            let m = Matrix::from_csr_ctx(&adj, backend, &ctx);
+            // A fat, irregular frontier with varied float values.
+            let x = Vector::from_vec(
+                (0..n)
+                    .map(|i| {
+                        let h = (i as u64).wrapping_mul(seed) % 7;
+                        if h < 3 { h as f32 * 0.321 + 0.1 } else { 0.0 }
+                    })
+                    .collect(),
+            );
+            let mut reference: Option<Vec<u32>> = None;
+            for threads in [1usize, 2, 4, 8] {
+                ctx.set_threads(threads);
+                let y = Op::vxm(&x, &m)
+                    .semiring(Semiring::Arithmetic)
+                    .direction(Direction::Push)
+                    .run(&ctx);
+                let bits: Vec<u32> = y.as_slice().iter().map(|v| v.to_bits()).collect();
+                match &reference {
+                    None => reference = Some(bits),
+                    Some(r) => prop_assert_eq!(&bits, r, "{:?} threads={}", backend, threads),
+                }
+            }
+        }
+    }
+}
+
+/// The sharded path must actually *run* on a shard-worthy push (engagement
+/// is observable through the context counters), and a serial-budget context
+/// must keep every scatter on the serial kernels.
+#[test]
+fn sharded_push_engages_and_serial_contexts_stay_serial() {
+    let adj = generators::rmat(11, 12, 0.57, 0.19, 0.19, 17).symmetrized();
+    let n = adj.nrows();
+    // A fat frontier spread across the whole row range spans many shards.
+    let positions: Vec<usize> = (0..n).step_by(3).collect();
+    let x = Vector::indicator(n, &positions);
+
+    let parallel_ctx = Context::with_threads(8);
+    let m = Matrix::from_csr_ctx(&adj, Backend::Bit(TileSize::S8), &parallel_ctx);
+    let plan = m
+        .state()
+        .shard_plan(false)
+        .expect("an 8-thread context must shard a 2048-row matrix");
+    assert!(plan.n_shards() > 1, "plan must be partitioned: {plan:?}");
+    Op::vxm(&x, &m)
+        .semiring(Semiring::Boolean)
+        .direction(Direction::Push)
+        .run(&parallel_ctx);
+    let stats = parallel_ctx.stats();
+    assert!(
+        stats.sharded_push > 0 && stats.shard_segments > 1,
+        "shard-worthy push must take the sharded path: {stats:?}"
+    );
+
+    let serial_ctx = Context::with_threads(1);
+    let ms = Matrix::from_csr_ctx(&adj, Backend::Bit(TileSize::S8), &serial_ctx);
+    assert_eq!(
+        ms.state().shard_plan(false).map(|p| p.n_shards()),
+        Some(1),
+        "a serial-budget context must build single-shard plans"
+    );
+    Op::vxm(&x, &ms)
+        .semiring(Semiring::Boolean)
+        .direction(Direction::Push)
+        .run(&serial_ctx);
+    assert_eq!(
+        serial_ctx.stats().sharded_push,
+        0,
+        "serial plans must never fan out"
+    );
+}
+
 /// Edge case: an all-identity operand (empty frontier) produces the
 /// identity output in every direction, including a source vertex with no
 /// out-edges terminating BFS after one iteration.
