@@ -15,8 +15,11 @@
 //! family** serves many concurrent queries with one traversal each
 //! iteration: [`bfs_multi`] (k-source BFS over an `n × k` frontier matrix),
 //! [`sssp_multi`] (k-source shortest paths — landmark distance sketches),
-//! and Brandes-style [`betweenness_centrality`] whose forward and backward
-//! phases are both batched `mxm` sweeps.
+//! [`ppr_multi`] (k-seed personalized PageRank, the serving layer's
+//! flagship query — fixed-iteration execution so coalesced lanes stay
+//! bit-identical to standalone runs), and Brandes-style
+//! [`betweenness_centrality`] whose forward and backward phases are both
+//! batched `mxm` sweeps.
 //!
 //! Each module also documents which BMV/BMM scheme and semiring the paper
 //! assigns to the algorithm (Table IV and §V).  The [`mod@reference`]
@@ -32,6 +35,7 @@ pub mod bfs;
 pub mod cc;
 pub mod extras;
 pub mod pagerank;
+pub mod ppr;
 pub mod reference;
 pub mod sssp;
 pub mod tc;
@@ -41,6 +45,7 @@ pub use bfs::{bfs, bfs_dir, bfs_multi, bfs_multi_dir, BfsResult, MultiBfsResult}
 pub use cc::{connected_components, CcResult};
 pub use extras::{diameter_estimate, eccentricity, maximal_independent_set, MisResult};
 pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
+pub use ppr::{ppr, ppr_multi, ppr_multi_dir, MultiPprResult, PprConfig, PprResult};
 pub use sssp::{
     sssp, sssp_dir, sssp_multi, sssp_multi_dir, sssp_with, MultiSsspResult, SsspResult,
 };

@@ -161,6 +161,40 @@ pub fn pagerank_dense(adj: &Csr, alpha: f32, iterations: usize) -> Vec<f32> {
     rank
 }
 
+/// Dense personalized PageRank power iteration: teleport (and dangling
+/// mass) flow back to the single `seed` vertex, so the result measures
+/// random-walk proximity to the seed.  Fixed iteration count, matching
+/// [`crate::ppr::PprConfig`]'s batch-invariant execution model.
+pub fn ppr(adj: &Csr, seed: usize, alpha: f32, iterations: usize) -> Vec<f32> {
+    let n = adj.nrows();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(seed < n, "seed vertex {seed} out of range (n = {n})");
+    let out_deg = adj.out_degrees();
+    let mut rank = vec![0.0f32; n];
+    rank[seed] = 1.0;
+    for _ in 0..iterations {
+        let mut next = vec![0.0f32; n];
+        let mut dangling = 0.0f32;
+        for u in 0..n {
+            if out_deg[u] == 0 {
+                dangling += rank[u];
+                continue;
+            }
+            let share = alpha * rank[u] / out_deg[u] as f32;
+            for &v in adj.row(u).0 {
+                next[v] += share;
+            }
+        }
+        // The whole teleport mass — including stranded dangling mass — goes
+        // to the seed, not uniformly.
+        next[seed] += (1.0 - alpha) + alpha * dangling;
+        rank = next;
+    }
+    rank
+}
+
 /// Brandes betweenness centrality from the given sources over unit edge
 /// weights (directed; BFS shortest paths, the textbook two-phase
 /// dependency accumulation).  With `sources = 0..n` this is exact

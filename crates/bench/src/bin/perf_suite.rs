@@ -3,17 +3,27 @@
 //! Times the BMV kernel in all three traversal directions, the five graph
 //! algorithms, the fused vs node-at-a-time execution of the PageRank/SSSP
 //! expression pipelines (PR 3), the **batched multi-source traversal
-//! engine** against k sequential single-source runs (PR 4), and — since
-//! PR 5 — the **sharded parallel push engine** under explicit thread
-//! budgets, on a fixed synthetic corpus.  Results are written as JSON rows
-//! `{bench, backend, direction, threads, ms, ms_min, ms_median}` so every
-//! future PR has a perf trajectory to compare against (`BENCH_PR5.json`
-//! for this PR).  Execution mode is encoded in the bench name
-//! (`pagerank_fused/…` vs `pagerank_unfused/…`; `bfs_multi_batched/…` vs
-//! `bfs_multi_seq/…`, both k = 8 sources); the `bfs_push_sharded/…` /
-//! `sssp_push_sharded/…` families carry the push thread budget in the
-//! `threads` field (1 = the serial-push baseline, all other rows report 0
-//! = host default).
+//! engine** against k sequential single-source runs (PR 4), the **sharded
+//! parallel push engine** under explicit thread budgets (PR 5), and —
+//! since PR 6 — batched **personalized PageRank** (`ppr_multi`) and the
+//! **serving layer** (`bitgblas-serve`) under an open-loop Poisson arrival
+//! process, on a fixed synthetic corpus.  Results are written as JSON rows
+//! `{bench, backend, direction, threads, host_cores, ms, ms_min,
+//! ms_median}` so every future PR has a perf trajectory to compare against
+//! (`BENCH_PR6.json` for this PR).  Execution mode is encoded in the bench
+//! name (`pagerank_fused/…` vs `pagerank_unfused/…`; `bfs_multi_batched/…`
+//! vs `bfs_multi_seq/…` and `ppr_multi_batched/…` vs `ppr_multi_seq/…`,
+//! all k = 8 sources); the `bfs_push_sharded/…` / `sssp_push_sharded/…`
+//! families carry the push thread budget in the `threads` field (1 = the
+//! serial-push baseline, all other rows report 0 = host default).
+//!
+//! The `serve_openloop/…` family drives a [`GraphService`] with a
+//! **seeded** Poisson arrival stream (exponential inter-arrival times from
+//! the workspace `rand`, no wall clock anywhere in the arrival model) at
+//! three offered loads on a virtual microsecond clock; each row's timing
+//! stats are the per-batch execution times and its extra fields report
+//! offered vs achieved throughput, batch occupancy (the lanes the
+//! coalescing window actually filled) and queue-wait p50/p99.
 //!
 //! Usage:
 //!
@@ -24,7 +34,7 @@
 //! * `--smoke` — one tiny graph end-to-end, for CI: proves the harness runs
 //!   and emits parseable JSON (including the fused, batched and
 //!   sharded-push rows CI asserts on) in a couple of seconds.
-//! * `--out PATH` — output path (default `BENCH_PR5.json`).
+//! * `--out PATH` — output path (default `BENCH_PR6.json`).
 //!
 //! The headline comparisons — BFS `Direction::Auto` vs always-pull, fused
 //! vs unfused PageRank, batched vs sequential multi-source BFS/SSSP, and
@@ -33,13 +43,17 @@
 
 use bitgblas_bench::{time_stats_ms, TimingStats};
 use bitgblas_core::grb::{Context, Direction, Fusion, Op, Vector};
+use bitgblas_core::shard::machine_parallelism;
 use bitgblas_core::{Backend, Matrix, Semiring, TileSize};
 use bitgblas_datagen::generators;
+use bitgblas_serve::{GraphService, Query, Tick};
 use bitgblas_sparse::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use bitgblas_algorithms::{
-    betweenness_centrality, bfs_dir, bfs_multi, connected_components, pagerank, sssp_dir,
-    sssp_multi, sssp_with, triangle_count, PageRankConfig,
+    betweenness_centrality, bfs_dir, bfs_multi, connected_components, pagerank, ppr, ppr_multi,
+    sssp_dir, sssp_multi, sssp_with, triangle_count, PageRankConfig, PprConfig,
 };
 
 /// One emitted JSON row.
@@ -51,6 +65,9 @@ struct Row {
     /// Push-engine thread budget of the run (PR 5 thread-scaling rows);
     /// `0` = the host-default budget of an unconfigured context.
     threads: usize,
+    /// Extra numeric fields appended to the JSON row (the PR-6 serving
+    /// rows report throughput/occupancy/latency metrics this way).
+    extras: Vec<(&'static str, f64)>,
 }
 
 fn backend_name(b: Backend) -> &'static str {
@@ -66,20 +83,31 @@ fn backend_name(b: Backend) -> &'static str {
 
 /// Serialize the rows as a JSON array (no external JSON crate in this
 /// offline workspace; every field is a controlled identifier or a number).
+/// Every row carries the host's cached [`machine_parallelism`] so runs on
+/// different machines stay comparable in one trajectory file.
 fn to_json(rows: &[Row]) -> String {
+    let host_cores = machine_parallelism();
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"bench\": \"{}\", \"backend\": \"{}\", \"direction\": \"{}\", \
-             \"threads\": {}, \"ms\": {:.6}, \"ms_min\": {:.6}, \"ms_median\": {:.6}}}{}\n",
+             \"threads\": {}, \"host_cores\": {}, \"ms\": {:.6}, \"ms_min\": {:.6}, \
+             \"ms_median\": {:.6}",
             r.bench,
             r.backend,
             r.direction,
             r.threads,
+            host_cores,
             r.stats.mean_ms,
             r.stats.min_ms,
             r.stats.median_ms,
-            if i + 1 < rows.len() { "," } else { "" },
+        ));
+        for (key, value) in &r.extras {
+            out.push_str(&format!(", \"{key}\": {value:.6}"));
+        }
+        out.push_str(&format!(
+            "}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     out.push_str("]\n");
@@ -105,6 +133,7 @@ fn bench_bmv(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
             direction: dir.to_string(),
             stats,
             threads: 0,
+            extras: Vec::new(),
         });
     }
 }
@@ -120,6 +149,7 @@ fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backen
             direction: dir.to_string(),
             stats,
             threads: 0,
+            extras: Vec::new(),
         });
         let stats = time_stats_ms(|| sssp_dir(m, 0, dir));
         rows.push(Row {
@@ -128,6 +158,7 @@ fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backen
             direction: dir.to_string(),
             stats,
             threads: 0,
+            extras: Vec::new(),
         });
     }
     let stats = time_stats_ms(|| pagerank(m, &PageRankConfig::default()));
@@ -137,6 +168,7 @@ fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backen
         direction: "auto".to_string(),
         stats,
         threads: 0,
+        extras: Vec::new(),
     });
     let stats = time_stats_ms(|| connected_components(m));
     rows.push(Row {
@@ -145,6 +177,7 @@ fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backen
         direction: "auto".to_string(),
         stats,
         threads: 0,
+        extras: Vec::new(),
     });
     let stats = time_stats_ms(|| triangle_count(m));
     rows.push(Row {
@@ -153,6 +186,7 @@ fn bench_algorithms(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backen
         direction: "none".to_string(),
         stats,
         threads: 0,
+        extras: Vec::new(),
     });
 }
 
@@ -174,6 +208,7 @@ fn bench_fusion(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
             direction: "pull".to_string(),
             stats,
             threads: 0,
+            extras: Vec::new(),
         });
         let stats = time_stats_ms(|| sssp_with(m, 0, Direction::Auto, fusion));
         rows.push(Row {
@@ -182,6 +217,7 @@ fn bench_fusion(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
             direction: "auto".to_string(),
             stats,
             threads: 0,
+            extras: Vec::new(),
         });
     }
 }
@@ -204,6 +240,7 @@ fn bench_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
         direction: "auto".to_string(),
         stats,
         threads: 0,
+        extras: Vec::new(),
     });
     let stats = time_stats_ms(|| {
         for &s in &sources {
@@ -216,6 +253,7 @@ fn bench_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
         direction: "auto".to_string(),
         stats,
         threads: 0,
+        extras: Vec::new(),
     });
 
     let stats = time_stats_ms(|| sssp_multi(m, &sources));
@@ -225,6 +263,7 @@ fn bench_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
         direction: "auto".to_string(),
         stats,
         threads: 0,
+        extras: Vec::new(),
     });
     let stats = time_stats_ms(|| {
         for &s in &sources {
@@ -237,6 +276,7 @@ fn bench_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
         direction: "auto".to_string(),
         stats,
         threads: 0,
+        extras: Vec::new(),
     });
 
     let stats = time_stats_ms(|| betweenness_centrality(m, &sources));
@@ -246,7 +286,184 @@ fn bench_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
         direction: "auto".to_string(),
         stats,
         threads: 0,
+        extras: Vec::new(),
     });
+}
+
+/// Time batched personalized PageRank against k sequential single-seed
+/// runs (PR 6): `ppr_multi` with `BATCH_K` spread-out seeds vs the same
+/// seeds one `ppr` at a time.  Fixed iteration count, so both modes do
+/// identical numeric work and the gap is pure batching.
+fn bench_ppr_multi(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
+    let n = m.nrows();
+    let seeds: Vec<usize> = (0..BATCH_K).map(|i| i * n / BATCH_K).collect();
+    let config = PprConfig::default();
+
+    let stats = time_stats_ms(|| ppr_multi(m, &seeds, &config));
+    rows.push(Row {
+        bench: format!("ppr_multi_batched/{name}"),
+        backend: backend_name(backend),
+        direction: "auto".to_string(),
+        stats,
+        threads: 0,
+        extras: Vec::new(),
+    });
+    let stats = time_stats_ms(|| {
+        for &s in &seeds {
+            std::hint::black_box(ppr(m, s, &config));
+        }
+    });
+    rows.push(Row {
+        bench: format!("ppr_multi_seq/{name}"),
+        backend: backend_name(backend),
+        direction: "auto".to_string(),
+        stats,
+        threads: 0,
+        extras: Vec::new(),
+    });
+}
+
+/// Offered loads (queries/second on the virtual clock) of the open-loop
+/// serving rows — spanning easy, busy and saturating for the corpus sizes.
+const SERVE_LOADS_QPS: [f64; 3] = [500.0, 2_000.0, 8_000.0];
+
+/// Queries per open-loop serving run (smaller in smoke mode).
+fn serve_arrivals(smoke: bool) -> usize {
+    if smoke {
+        60
+    } else {
+        400
+    }
+}
+
+/// Drive a [`GraphService`] with an open-loop Poisson arrival stream at
+/// each offered load (PR 6).
+///
+/// The arrival process lives entirely on a **virtual microsecond clock**:
+/// inter-arrival gaps are exponential draws from a seeded [`StdRng`]
+/// (`-ln(1-u)/λ`), so the stream is reproducible and independent of the
+/// wall clock.  The only measured quantity is each batch's execution time
+/// ([`BatchReport::exec_us`](bitgblas_serve::BatchReport)), which is fed
+/// back as the service-time model: a dispatch cannot start before the
+/// previous batch finished, so at high offered load the queue builds and
+/// the coalescing window fills more lanes per batch — the row's occupancy
+/// and wait extras capture exactly that trade-off.
+///
+/// The query mix is 60% BFS / 30% SSSP / 10% PPR over uniform sources.
+fn bench_serve_openloop(
+    rows: &mut Vec<Row>,
+    name: &str,
+    m: &Matrix,
+    backend: Backend,
+    smoke: bool,
+) {
+    let n = m.nrows();
+    let n_arrivals = serve_arrivals(smoke);
+    for offered_qps in SERVE_LOADS_QPS {
+        let mut rng = StdRng::seed_from_u64(0xC0A1E5CE);
+        let mut svc = GraphService::builder(m)
+            .coalescing_window(500) // µs a lone query waits for batch-mates
+            .queue_capacity(4096)
+            .build();
+
+        // Virtual time of the arrival process and of the (single) server.
+        let mut arrival_us = 0u64;
+        let mut busy_until_us = 0u64;
+        let mut exec_samples_ms: Vec<f64> = Vec::new();
+        let mut shed = 0u64;
+
+        for _ in 0..n_arrivals {
+            let u: f64 = rng.gen();
+            let gap_us = (-(1.0 - u).ln() / offered_qps * 1e6).round() as u64;
+            arrival_us = arrival_us.saturating_add(gap_us.max(1));
+            drain_events(
+                &mut svc,
+                Some(arrival_us),
+                &mut busy_until_us,
+                &mut exec_samples_ms,
+            );
+            let roll: f64 = rng.gen();
+            let source = rng.gen_range(0usize..n);
+            let query = if roll < 0.6 {
+                Query::bfs(source)
+            } else if roll < 0.9 {
+                Query::sssp(source)
+            } else {
+                Query::ppr(source)
+            };
+            if svc.submit(query, Tick(arrival_us), None).is_err() {
+                shed += 1;
+            }
+        }
+        drain_events(&mut svc, None, &mut busy_until_us, &mut exec_samples_ms);
+
+        let s = svc.stats().snapshot();
+        let end_us = busy_until_us.max(arrival_us).max(1);
+        let stats = timing_from_samples(&exec_samples_ms);
+        rows.push(Row {
+            bench: format!("serve_openloop/{name}"),
+            backend: backend_name(backend),
+            direction: "auto".to_string(),
+            stats,
+            threads: 0,
+            extras: vec![
+                ("offered_qps", offered_qps),
+                ("throughput_qps", s.completed as f64 / (end_us as f64 / 1e6)),
+                ("occupancy_mean", s.mean_batch_occupancy()),
+                ("occupancy_max", s.max_batch_lanes as f64),
+                ("wait_p50_us", s.wait_p50() as f64),
+                ("wait_p99_us", s.wait_p99() as f64),
+                ("completed", s.completed as f64),
+                ("shed", shed as f64),
+            ],
+        });
+    }
+}
+
+/// Dispatch every service event due before `horizon` (virtual µs) on the
+/// single-server model: a dispatch cannot start before the previous batch
+/// finished (`busy_until_us`), and each batch's measured execution time
+/// extends the busy period and is collected as a timing sample.
+fn drain_events(
+    svc: &mut GraphService,
+    horizon: Option<u64>,
+    busy_until_us: &mut u64,
+    exec_samples_ms: &mut Vec<f64>,
+) {
+    while let Some(te) = svc.next_event_time() {
+        let dispatch_at = te.0.max(*busy_until_us);
+        if horizon.is_some_and(|h| dispatch_at >= h) {
+            break;
+        }
+        let reports = svc.pump(Tick(dispatch_at));
+        if reports.is_empty() {
+            // Pumping at a ready time always dispatches; defensive only.
+            break;
+        }
+        for r in &reports {
+            *busy_until_us = (*busy_until_us).max(dispatch_at) + r.exec_us;
+            exec_samples_ms.push(r.exec_us as f64 / 1000.0);
+        }
+    }
+}
+
+/// Mean/min/median over already-collected per-batch samples (the serving
+/// rows time each dispatched batch once instead of re-running a closure).
+fn timing_from_samples(samples_ms: &[f64]) -> TimingStats {
+    if samples_ms.is_empty() {
+        return TimingStats {
+            mean_ms: 0.0,
+            min_ms: 0.0,
+            median_ms: 0.0,
+        };
+    }
+    let mut sorted = samples_ms.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    TimingStats {
+        mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        min_ms: sorted[0],
+        median_ms: sorted[sorted.len() / 2],
+    }
 }
 
 /// Thread budgets of the PR-5 sharded-push scaling rows.
@@ -269,6 +486,7 @@ fn bench_sharded_push(rows: &mut Vec<Row>, name: &str, adj: &Csr, backend: Backe
             direction: "push".to_string(),
             stats,
             threads,
+            extras: Vec::new(),
         });
         let stats = time_stats_ms(|| sssp_dir(&m, 0, Direction::Push));
         rows.push(Row {
@@ -277,6 +495,7 @@ fn bench_sharded_push(rows: &mut Vec<Row>, name: &str, adj: &Csr, backend: Backe
             direction: "push".to_string(),
             stats,
             threads,
+            extras: Vec::new(),
         });
     }
 }
@@ -305,7 +524,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
 
     let mut rows = Vec::new();
     let graphs = corpus(smoke);
@@ -321,7 +540,9 @@ fn main() {
             bench_algorithms(&mut rows, name, &m, backend);
             bench_fusion(&mut rows, name, &m, backend);
             bench_multi(&mut rows, name, &m, backend);
+            bench_ppr_multi(&mut rows, name, &m, backend);
             bench_sharded_push(&mut rows, name, adj, backend);
+            bench_serve_openloop(&mut rows, name, &m, backend, smoke);
         }
     }
 
@@ -361,7 +582,7 @@ fn main() {
                     );
                 }
             }
-            for alg in ["bfs_multi", "sssp_multi"] {
+            for alg in ["bfs_multi", "sssp_multi", "ppr_multi"] {
                 if let (Some(seq), Some(batched)) = (
                     find(&format!("{alg}_seq"), "auto"),
                     find(&format!("{alg}_batched"), "auto"),
@@ -372,6 +593,29 @@ fn main() {
                         seq / batched
                     );
                 }
+            }
+            // PR-6 serving rows: the occupancy/latency curve over offered
+            // load — what the coalescing window buys as traffic grows.
+            for r in rows
+                .iter()
+                .filter(|r| r.bench == format!("serve_openloop/{name}") && r.backend == backend)
+            {
+                let get = |key: &str| {
+                    r.extras
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map_or(0.0, |(_, v)| *v)
+                };
+                println!(
+                    "serve/{name} [{backend}]: offered {:.0} q/s → {:.0} q/s, occupancy \
+                     {:.2} (max {:.0}), wait p50 {:.0} µs p99 {:.0} µs",
+                    get("offered_qps"),
+                    get("throughput_qps"),
+                    get("occupancy_mean"),
+                    get("occupancy_max"),
+                    get("wait_p50_us"),
+                    get("wait_p99_us"),
+                );
             }
             // PR-5 thread-scaling curve: serial-push baseline vs sharded.
             for alg in ["bfs_push_sharded", "sssp_push_sharded"] {

@@ -18,7 +18,7 @@
 //! | `table9_tc` | Table IX — Triangle Counting runtimes vs baseline |
 //! | `memstats` | §VI-C — memory transactions and L1 hit rates |
 //! | `conversion_overhead` | §III-B — CSR→B2SR conversion cost |
-//! | `perf_suite` | machine-readable perf trajectory (`BENCH_PR4.json`): BMV push/pull/auto, all five algorithms, fused vs unfused pipelines, batched vs sequential multi-source traversal |
+//! | `perf_suite` | machine-readable perf trajectory (`BENCH_PR6.json`): BMV push/pull/auto, all five algorithms, fused vs unfused pipelines, batched vs sequential multi-source traversal and PPR, sharded-push thread scaling, open-loop serving rows |
 //!
 //! This library holds the small shared utilities: wall-clock timing with
 //! warm-up, geometric means, and the fixed matrix lists used by the tables.

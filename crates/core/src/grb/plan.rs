@@ -8,7 +8,7 @@
 //! # Fusion rules
 //!
 //! For a chain rooted at a matrix-vector product the planner emits a single
-//! [`GrbBackend::mxv_fused_into`](super::GrbBackend::mxv_fused_into) sweep
+//! [`GrbBackend::mxv_fused_into`] sweep
 //! when the shape allows it:
 //!
 //! * **Pull** (dense sweep) — always fusable: the sweep produces each output
@@ -19,7 +19,7 @@
 //!   updates, so element-wise stages cannot run until the scatter finishes:
 //!   * no accumulator → fusable; stages run as one collapsed epilogue pass
 //!     over the output
-//!     ([`GrbBackend::ewise_chain_into`](super::GrbBackend::ewise_chain_into));
+//!     ([`GrbBackend::ewise_chain_into`]);
 //!   * accumulator whose operator **is** the semiring's additive monoid and
 //!     no stages → fusable by seeding the output with the accumulation
 //!     baseline and letting the scatter ⊕-fold into it (associativity +
@@ -64,7 +64,7 @@ use super::workspace::Workspace;
 /// `transpose` is in `mxv` convention with the `vxm` flip already folded in:
 /// the pull sweep runs on `Aᵀ` iff `transpose`, the push scatter walks the
 /// opposite representation (exactly like
-/// [`GrbBackend::mxv_into`](super::GrbBackend::mxv_into) /
+/// [`GrbBackend::mxv_into`] /
 /// [`mxv_push_into`](super::GrbBackend::mxv_push_into)).
 #[derive(Debug, Clone, Copy)]
 pub struct MxvPipeline<'a> {
@@ -159,7 +159,7 @@ pub fn dispatch_finish<S: FinishSink>(p: &MxvPipeline<'_>, sink: S) {
 
 /// Run a collapsed element-wise chain serially: `out[i] = w[i] ⊕
 /// stages(first[i])` (the shared implementation behind
-/// [`GrbBackend::ewise_chain_into`](super::GrbBackend::ewise_chain_into)
+/// [`GrbBackend::ewise_chain_into`]
 /// defaults and leaf-chain evaluation).
 pub fn run_chain_in_place(
     stages: &[Stage<'_>],

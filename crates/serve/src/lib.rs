@@ -1,0 +1,80 @@
+//! # bitgblas-serve — a query-serving layer over the batched engine
+//!
+//! The rest of the workspace answers *one* traversal at a time (or a batch
+//! the caller assembled by hand).  This crate turns that engine into a
+//! **service**: independent queries arrive one by one — BFS here, SSSP
+//! there, a personalized-PageRank request in between — and the
+//! [`GraphService`] coalesces compatible arrivals into `k ≤ 64`-lane
+//! [`MultiVec`](bitgblas_core::MultiVec) batches, executes them on the
+//! multi-source engine (`bfs_multi` / `sssp_multi` / `ppr_multi`), and
+//! demuxes the per-lane results back to per-query tickets.  Sharing a
+//! batch amortizes every edge sweep across up to 64 queries (one lane
+//! word of Boolean state per node), which is exactly the economics the
+//! bit-level batching was built for.
+//!
+//! Three pieces:
+//!
+//! * [`Query`] / [`QueryResult`] / [`Ticket`] — the request surface.
+//!   Queries carry an optional dispatch **deadline**; expiry is a typed
+//!   [`QueryError::DeadlineExpired`] completion, never a silent drop.
+//! * [`GraphService`] — admission (bounded queue, backpressure via
+//!   [`SubmitError::QueueFull`]), lane coalescing keyed by
+//!   [`CoalescingKey`], and deadline-aware dispatch on an explicit
+//!   caller-driven [`Tick`] clock (no wall-clock reads in scheduling —
+//!   fully deterministic and testable).
+//! * [`ServiceStats`] — lock-free counters plus a fixed-bucket wait
+//!   histogram ([`ServiceCounts::wait_p50`] / [`wait_p99`](ServiceCounts::wait_p99)),
+//!   in the style of the core's `ExecStats`.
+//!
+//! # Example
+//!
+//! ```
+//! use bitgblas_core::{Backend, Matrix, TileSize};
+//! use bitgblas_serve::{GraphService, Query, QueryResult, Tick};
+//! use bitgblas_sparse::Coo;
+//!
+//! // An undirected 6-cycle.
+//! let mut coo = Coo::new(6, 6);
+//! for v in 0..6 {
+//!     coo.push_undirected_edge(v, (v + 1) % 6).unwrap();
+//! }
+//! let graph = Matrix::from_csr(&coo.to_binary_csr(), Backend::Bit(TileSize::S8));
+//!
+//! // A service that waits at most 100 ticks for batch-mates.
+//! let mut svc = GraphService::builder(&graph)
+//!     .coalescing_window(100)
+//!     .build();
+//!
+//! // Two BFS queries and a PPR query arrive close together.
+//! let t0 = svc.submit(Query::bfs(0), Tick(0), None).unwrap();
+//! let t1 = svc.submit(Query::bfs(3), Tick(40), None).unwrap();
+//! let t2 = svc.submit(Query::ppr(0), Tick(60), None).unwrap();
+//!
+//! // When the first query's window closes (tick 100), the BFS pair
+//! // dispatches as one 2-lane batch; the PPR group's window is still
+//! // open, so it waits for potential batch-mates until tick 160.
+//! let reports = svc.pump(Tick(100));
+//! assert_eq!(reports.len(), 1);
+//! assert_eq!(reports[0].lanes, 2);
+//! assert_eq!(svc.next_event_time(), Some(Tick(160)));
+//! assert_eq!(svc.pump(Tick(160)).len(), 1);
+//!
+//! // Results demux per ticket and match standalone runs exactly.
+//! match svc.take_result(t0).unwrap().unwrap() {
+//!     QueryResult::Bfs { levels } => {
+//!         assert_eq!(levels, bitgblas_algorithms::bfs(&graph, 0).levels);
+//!     }
+//!     other => panic!("unexpected result {other:?}"),
+//! }
+//! assert!(svc.take_result(t1).unwrap().is_ok());
+//! assert!(svc.take_result(t2).unwrap().is_ok());
+//! assert!((svc.stats().snapshot().mean_batch_occupancy() - 1.5).abs() < 1e-12);
+//! ```
+
+pub mod query;
+pub mod service;
+pub mod stats;
+
+pub use query::{CoalescingKey, Query, QueryError, QueryResult, SubmitError, Tick, Ticket};
+pub use service::{BatchReport, GraphService, GraphServiceBuilder, MAX_BATCH_LANES};
+pub use stats::{ServiceCounts, ServiceStats, WAIT_BUCKETS};

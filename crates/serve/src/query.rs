@@ -1,0 +1,266 @@
+//! Query, result and error types of the graph service.
+
+use bitgblas_algorithms::PprConfig;
+
+/// A point on the service's virtual clock, in **ticks** (the service
+/// attaches no unit; callers conventionally use microseconds).
+///
+/// The service never reads a wall clock: every scheduling decision is a
+/// function of the `Tick`s callers pass to
+/// [`submit`](crate::GraphService::submit) and
+/// [`pump`](crate::GraphService::pump).  That makes admission, coalescing
+/// and deadline handling deterministic and testable (drive the clock by
+/// hand), and lets an open-loop benchmark replay a seeded arrival process
+/// reproducibly.  A production driver maps `Instant::elapsed()` to ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// This tick plus `delta` ticks (saturating).
+    pub fn after(self, delta: u64) -> Tick {
+        Tick(self.0.saturating_add(delta))
+    }
+}
+
+/// One independent graph query, submitted from an arbitrary source.
+///
+/// Queries of the same *kind* (and, for PPR, the same configuration) are
+/// compatible: the service coalesces them into one batched `MultiVec`
+/// execution.  See [`Query::coalescing_key`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Breadth-first search from `source` (Boolean semiring).
+    Bfs {
+        /// The traversal's source vertex.
+        source: usize,
+    },
+    /// Single-source shortest path from `source` over unit weights
+    /// (min-plus semiring).
+    Sssp {
+        /// The traversal's source vertex.
+        source: usize,
+    },
+    /// Personalized PageRank seeded at `seed` (arithmetic semiring,
+    /// fixed-iteration execution — see `bitgblas_algorithms::ppr`).
+    Ppr {
+        /// The personalization seed vertex.
+        seed: usize,
+        /// Damping/iteration configuration.  Part of the coalescing key:
+        /// only queries with identical configuration share a batch.
+        config: PprConfig,
+    },
+}
+
+impl Query {
+    /// A BFS query.
+    pub fn bfs(source: usize) -> Self {
+        Query::Bfs { source }
+    }
+
+    /// An SSSP query.
+    pub fn sssp(source: usize) -> Self {
+        Query::Sssp { source }
+    }
+
+    /// A PPR query with the default configuration.
+    pub fn ppr(seed: usize) -> Self {
+        Query::Ppr {
+            seed,
+            config: PprConfig::default(),
+        }
+    }
+
+    /// The source/seed vertex — the lane this query occupies in a batch.
+    pub fn source(&self) -> usize {
+        match *self {
+            Query::Bfs { source } | Query::Sssp { source } => source,
+            Query::Ppr { seed, .. } => seed,
+        }
+    }
+
+    /// The key under which arrivals coalesce: algorithm kind plus every
+    /// configuration bit that changes the batched execution (the graph and
+    /// traversal direction are fixed per service instance and therefore
+    /// implicit).  Two queries with equal keys can share one `MultiVec`
+    /// batch; the per-lane results are independent by construction.
+    pub fn coalescing_key(&self) -> CoalescingKey {
+        match *self {
+            Query::Bfs { .. } => CoalescingKey::Bfs,
+            Query::Sssp { .. } => CoalescingKey::Sssp,
+            Query::Ppr { config, .. } => CoalescingKey::Ppr {
+                alpha_bits: config.alpha.to_bits(),
+                iterations: config.iterations,
+                fused: config.fusion == bitgblas_core::Fusion::Fused,
+            },
+        }
+    }
+}
+
+/// The batch-compatibility key of a [`Query`] — see
+/// [`Query::coalescing_key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoalescingKey {
+    /// BFS batches (Boolean semiring).
+    Bfs,
+    /// SSSP batches (min-plus semiring).
+    Sssp,
+    /// PPR batches; only identically-configured queries coalesce.
+    Ppr {
+        /// `f32::to_bits` of the damping factor (bit-exact comparison).
+        alpha_bits: u32,
+        /// Number of power iterations.
+        iterations: usize,
+        /// Whether the fused execution plan is used.  Part of the key
+        /// because fused and node-at-a-time sweeps order float reductions
+        /// differently — mixing them in one batch would break the
+        /// bit-parity guarantee against standalone runs.
+        fused: bool,
+    },
+}
+
+/// The per-query answer the service demuxes out of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// BFS levels: hops from the source, `-1` when unreachable.
+    Bfs {
+        /// `levels[v]` = hop count of vertex `v`.
+        levels: Vec<i64>,
+    },
+    /// SSSP distances (`f32::INFINITY` when unreachable).
+    Sssp {
+        /// `distances[v]` = shortest-path length to vertex `v`.
+        distances: Vec<f32>,
+    },
+    /// Personalized PageRank scores (sum to ≈ 1).
+    Ppr {
+        /// `scores[v]` = PPR score of vertex `v` for this query's seed.
+        scores: Vec<f32>,
+    },
+}
+
+/// Why [`submit`](crate::GraphService::submit) refused a query at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — backpressure; retry later or shed.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The deadline is not after the submission time, so the query could
+    /// never be dispatched.
+    DeadlineBeforeSubmission {
+        /// The rejected deadline.
+        deadline: Tick,
+        /// The submission instant.
+        now: Tick,
+    },
+    /// The source/seed vertex does not exist in the served graph.
+    SourceOutOfRange {
+        /// The offending vertex id.
+        source: usize,
+        /// Number of vertices in the served graph.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "service queue is full (capacity {capacity})")
+            }
+            SubmitError::DeadlineBeforeSubmission { deadline, now } => write!(
+                f,
+                "deadline tick {} is not after submission tick {}",
+                deadline.0, now.0
+            ),
+            SubmitError::SourceOutOfRange { source, n } => {
+                write!(f, "source vertex {source} out of range (n = {n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an *admitted* query completed without a result.  Expiry is a typed
+/// completion, never a silent drop: the ticket resolves to this error and
+/// the miss is counted in [`ServiceCounts`](crate::ServiceCounts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query's deadline passed while it waited in the queue; it was
+    /// never dispatched.
+    DeadlineExpired {
+        /// The deadline that passed.
+        deadline: Tick,
+        /// The pump instant at which the expiry was detected.
+        now: Tick,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            QueryError::DeadlineExpired { deadline, now } => write!(
+                f,
+                "deadline tick {} expired in queue (detected at tick {})",
+                deadline.0, now.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Handle to a submitted query; redeem it with
+/// [`take_result`](crate::GraphService::take_result) after the batch it
+/// rode in completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(pub(crate) u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_keys_split_by_kind_and_config() {
+        assert_eq!(
+            Query::bfs(0).coalescing_key(),
+            Query::bfs(9).coalescing_key()
+        );
+        assert_ne!(
+            Query::bfs(0).coalescing_key(),
+            Query::sssp(0).coalescing_key()
+        );
+        assert_eq!(
+            Query::ppr(1).coalescing_key(),
+            Query::ppr(2).coalescing_key()
+        );
+        let custom = Query::Ppr {
+            seed: 1,
+            config: PprConfig {
+                iterations: 5,
+                ..Default::default()
+            },
+        };
+        assert_ne!(custom.coalescing_key(), Query::ppr(1).coalescing_key());
+    }
+
+    #[test]
+    fn tick_after_saturates() {
+        assert_eq!(Tick(5).after(3), Tick(8));
+        assert_eq!(Tick(u64::MAX).after(1), Tick(u64::MAX));
+    }
+
+    #[test]
+    fn errors_render() {
+        let s = SubmitError::QueueFull { capacity: 4 }.to_string();
+        assert!(s.contains("capacity 4"));
+        let q = QueryError::DeadlineExpired {
+            deadline: Tick(10),
+            now: Tick(12),
+        }
+        .to_string();
+        assert!(q.contains("10") && q.contains("12"));
+    }
+}

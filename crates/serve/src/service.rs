@@ -1,0 +1,627 @@
+//! The [`GraphService`]: admission, lane-coalescing, deadline-aware
+//! dispatch and result demultiplexing.
+//!
+//! # Scheduling model
+//!
+//! The service is an explicitly-clocked event machine.  Producers
+//! [`submit`](GraphService::submit) queries (admission: bounded queue with
+//! backpressure, deadline sanity, source validation); a driver loop calls
+//! [`pump`](GraphService::pump) with the current [`Tick`], and the service
+//! dispatches every *ready* batch synchronously, demuxing per-lane results
+//! into per-ticket slots redeemed with
+//! [`take_result`](GraphService::take_result).  A group of compatible
+//! pending queries (equal [`CoalescingKey`]) is ready when any of:
+//!
+//! * **full** — the group holds [`max_lanes`](GraphServiceBuilder::max_lanes)
+//!   queries (a full lane word: dispatch cannot get cheaper per query);
+//! * **window closed** — the group's *oldest* query has waited
+//!   [`coalescing_window`](GraphServiceBuilder::coalescing_window) ticks (a
+//!   lone query never waits longer than the window);
+//! * **deadline reached** — some member's deadline is `now` (dispatching at
+//!   the deadline is the last legal moment, so a query is never coalesced
+//!   *past* its deadline; queries whose deadline already passed are
+//!   completed with the typed [`QueryError::DeadlineExpired`] instead, never
+//!   silently dropped).
+//!
+//! [`next_event_time`](GraphService::next_event_time) tells the driver the
+//! earliest tick at which any of those conditions can fire, so drivers
+//! (and the open-loop benchmark) can step the virtual clock event-to-event
+//! without polling.
+//!
+//! The service itself never reads a wall clock — every scheduling decision
+//! is a function of caller-supplied ticks, which is what makes the deadline
+//! tests deterministic and the benchmark's arrival replay reproducible.
+//! The only `Instant` use is *reporting*: each [`BatchReport`] carries the
+//! measured execution time of its batch, which drivers may feed back into
+//! their virtual clock (the open-loop harness does) but the scheduler never
+//! consults.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use bitgblas_algorithms::{bfs_multi_dir, ppr_multi_dir, sssp_multi_dir, PprConfig};
+use bitgblas_core::grb::Direction;
+use bitgblas_core::{Fusion, Matrix};
+
+use crate::query::{CoalescingKey, Query, QueryError, QueryResult, SubmitError, Tick, Ticket};
+use crate::stats::ServiceStats;
+
+/// The hard lane cap: one `u64` lane word — a batch never exceeds 64
+/// lanes, so every batched Boolean sweep advances the whole batch with one
+/// OR per edge.
+pub const MAX_BATCH_LANES: usize = 64;
+
+/// One query waiting in a coalescing group.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    ticket: Ticket,
+    query: Query,
+    arrival: Tick,
+    deadline: Option<Tick>,
+}
+
+/// What one [`pump`](GraphService::pump) dispatch executed.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// The coalescing group the batch came from.
+    pub key: CoalescingKey,
+    /// Number of lanes (coalesced queries) in the batch.
+    pub lanes: usize,
+    /// Measured execution time of the batched engine call, in microseconds.
+    /// Reporting only — the scheduler never reads it; drivers with a
+    /// virtual clock may add it to their `now`.
+    pub exec_us: u64,
+    /// The tickets completed by this batch, in lane order.
+    pub tickets: Vec<Ticket>,
+}
+
+/// Configures and builds a [`GraphService`] — see the [module
+/// docs](self) for the scheduling model.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphServiceBuilder<'g> {
+    graph: &'g Matrix,
+    max_lanes: usize,
+    window: u64,
+    capacity: usize,
+    direction: Direction,
+}
+
+impl<'g> GraphServiceBuilder<'g> {
+    /// Maximum lanes coalesced into one batch, clamped to
+    /// `1..=`[`MAX_BATCH_LANES`] (default: 64 — one full lane word).
+    pub fn max_lanes(mut self, k: usize) -> Self {
+        self.max_lanes = k.clamp(1, MAX_BATCH_LANES);
+        self
+    }
+
+    /// The coalescing window in ticks: the longest a query may sit waiting
+    /// for batch-mates before the service dispatches anyway (default: 1000).
+    /// `0` disables coalescing-by-waiting — every pump dispatches whatever
+    /// is queued.
+    pub fn coalescing_window(mut self, ticks: u64) -> Self {
+        self.window = ticks;
+        self
+    }
+
+    /// Bounded queue capacity across all coalescing groups (default: 1024).
+    /// Submissions beyond it are refused with [`SubmitError::QueueFull`] —
+    /// the service sheds load at the door instead of growing an unbounded
+    /// backlog.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Traversal direction for the batched executions (default:
+    /// [`Direction::Auto`] — per-iteration Beamer switching on the
+    /// node-granular batch frontier).
+    pub fn direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Build the service.
+    pub fn build(self) -> GraphService<'g> {
+        GraphService {
+            graph: self.graph,
+            max_lanes: self.max_lanes,
+            window: self.window,
+            capacity: self.capacity,
+            direction: self.direction,
+            groups: Vec::new(),
+            pending_count: 0,
+            completed: HashMap::new(),
+            next_ticket: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+}
+
+/// A serving layer over one graph: coalesces independent arriving queries
+/// into `k ≤ 64`-lane batched executions on the multi-source engine and
+/// demuxes per-lane results back to per-query tickets.
+///
+/// See the [crate docs](crate) for a worked example and the [module
+/// docs](self) for the scheduling policy.
+#[derive(Debug)]
+pub struct GraphService<'g> {
+    graph: &'g Matrix,
+    max_lanes: usize,
+    window: u64,
+    capacity: usize,
+    direction: Direction,
+    /// Coalescing groups in first-appearance order (a `Vec`, not a
+    /// `HashMap`, so dispatch order is deterministic for a deterministic
+    /// drive).  Entries keep FIFO arrival order.
+    groups: Vec<(CoalescingKey, VecDeque<Pending>)>,
+    pending_count: usize,
+    completed: HashMap<Ticket, Result<QueryResult, QueryError>>,
+    next_ticket: u64,
+    stats: ServiceStats,
+}
+
+impl<'g> GraphService<'g> {
+    /// Start building a service over `graph` with default policy (64 lanes,
+    /// window 1000 ticks, capacity 1024, [`Direction::Auto`]).
+    pub fn builder(graph: &'g Matrix) -> GraphServiceBuilder<'g> {
+        GraphServiceBuilder {
+            graph,
+            max_lanes: MAX_BATCH_LANES,
+            window: 1000,
+            capacity: 1024,
+            direction: Direction::Auto,
+        }
+    }
+
+    /// Admit a query at tick `now` with an optional dispatch deadline.
+    ///
+    /// Admission is where backpressure lives: a full queue refuses the
+    /// query ([`SubmitError::QueueFull`]) instead of buffering without
+    /// bound, a deadline at or before `now` is refused outright
+    /// ([`SubmitError::DeadlineBeforeSubmission`]), and an out-of-range
+    /// source never reaches the engine
+    /// ([`SubmitError::SourceOutOfRange`]).
+    pub fn submit(
+        &mut self,
+        query: Query,
+        now: Tick,
+        deadline: Option<Tick>,
+    ) -> Result<Ticket, SubmitError> {
+        let n = self.graph.nrows();
+        if query.source() >= n {
+            return Err(SubmitError::SourceOutOfRange {
+                source: query.source(),
+                n,
+            });
+        }
+        if let Some(d) = deadline {
+            if d <= now {
+                self.stats.record_rejected_bad_deadline();
+                return Err(SubmitError::DeadlineBeforeSubmission { deadline: d, now });
+            }
+        }
+        if self.pending_count >= self.capacity {
+            self.stats.record_rejected_queue_full();
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        let key = query.coalescing_key();
+        let pending = Pending {
+            ticket,
+            query,
+            arrival: now,
+            deadline,
+        };
+        match self.groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, q)) => q.push_back(pending),
+            None => {
+                let mut q = VecDeque::new();
+                q.push_back(pending);
+                self.groups.push((key, q));
+            }
+        }
+        self.pending_count += 1;
+        self.stats.record_enqueued(self.pending_count);
+        Ok(ticket)
+    }
+
+    /// Advance the service to tick `now`: expire overdue queries (typed
+    /// error completion), then dispatch every ready batch.  Returns one
+    /// [`BatchReport`] per dispatched batch, in dispatch order.
+    pub fn pump(&mut self, now: Tick) -> Vec<BatchReport> {
+        self.expire(now);
+        let mut reports = Vec::new();
+        while let Some(gi) = self
+            .groups
+            .iter()
+            .position(|(_, q)| self.group_ready(q, now))
+        {
+            reports.push(self.dispatch(gi, now));
+        }
+        self.groups.retain(|(_, q)| !q.is_empty());
+        reports
+    }
+
+    /// Dispatch everything still pending regardless of window/occupancy
+    /// (end-of-stream drain).  Expired queries still complete with the
+    /// typed error, exactly as in [`pump`](GraphService::pump).
+    pub fn flush(&mut self, now: Tick) -> Vec<BatchReport> {
+        self.expire(now);
+        let mut reports = Vec::new();
+        while let Some(gi) = self.groups.iter().position(|(_, q)| !q.is_empty()) {
+            reports.push(self.dispatch(gi, now));
+        }
+        self.groups.retain(|(_, q)| !q.is_empty());
+        reports
+    }
+
+    /// The earliest tick at which some pending group becomes ready (full
+    /// groups report the arrival tick that filled them; otherwise the
+    /// sooner of the window close and the earliest member deadline).
+    /// `None` when nothing is pending — drivers step their clock
+    /// event-to-event with this instead of polling.
+    pub fn next_event_time(&self) -> Option<Tick> {
+        self.groups
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(_, q)| {
+                if q.len() >= self.max_lanes {
+                    q[self.max_lanes - 1].arrival
+                } else {
+                    let close = q[0].arrival.after(self.window);
+                    q.iter()
+                        .filter_map(|p| p.deadline)
+                        .min()
+                        .map_or(close, |d| close.min(d))
+                }
+            })
+            .min()
+    }
+
+    /// Redeem a ticket: `Some(Ok(result))` once the query's batch ran,
+    /// `Some(Err(QueryError))` if it expired in queue, `None` while it is
+    /// still pending (or was already taken).  The slot is consumed.
+    pub fn take_result(&mut self, ticket: Ticket) -> Option<Result<QueryResult, QueryError>> {
+        self.completed.remove(&ticket)
+    }
+
+    /// Number of queries waiting in coalescing groups.
+    pub fn pending_len(&self) -> usize {
+        self.pending_count
+    }
+
+    /// `true` when no query is waiting (completed-but-unclaimed results may
+    /// still be held).
+    pub fn is_idle(&self) -> bool {
+        self.pending_count == 0
+    }
+
+    /// The service metrics (lock-free counters — readable from any thread).
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The graph this service answers queries about.
+    pub fn graph(&self) -> &'g Matrix {
+        self.graph
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    /// Complete every pending query whose deadline has passed (`now` is
+    /// strictly beyond it) with the typed expiry error.
+    fn expire(&mut self, now: Tick) {
+        let mut expired: Vec<(Ticket, Tick)> = Vec::new();
+        for (_, q) in &mut self.groups {
+            q.retain(|p| match p.deadline {
+                Some(d) if now > d => {
+                    expired.push((p.ticket, d));
+                    false
+                }
+                _ => true,
+            });
+        }
+        for (ticket, deadline) in expired {
+            self.pending_count -= 1;
+            self.completed
+                .insert(ticket, Err(QueryError::DeadlineExpired { deadline, now }));
+            self.stats.record_deadline_miss(self.pending_count);
+        }
+    }
+
+    /// Is this group dispatchable at `now`?  (Full, window closed, or a
+    /// member's deadline is due.)
+    fn group_ready(&self, q: &VecDeque<Pending>, now: Tick) -> bool {
+        if q.is_empty() {
+            return false;
+        }
+        q.len() >= self.max_lanes
+            || now >= q[0].arrival.after(self.window)
+            || q.iter().any(|p| p.deadline.is_some_and(|d| now >= d))
+    }
+
+    /// Pop up to `max_lanes` queries off group `gi` (FIFO), execute them as
+    /// one batched engine call, demux the lanes into completed slots.
+    fn dispatch(&mut self, gi: usize, now: Tick) -> BatchReport {
+        let (key, queue) = &mut self.groups[gi];
+        let key = *key;
+        let k = queue.len().min(self.max_lanes);
+        let batch: Vec<Pending> = queue.drain(..k).collect();
+        self.pending_count -= k;
+
+        let sources: Vec<usize> = batch.iter().map(|p| p.query.source()).collect();
+        let started = std::time::Instant::now();
+        let lanes = execute_batch(self.graph, self.direction, key, &sources);
+        let exec_us = started.elapsed().as_micros() as u64;
+
+        let mut tickets = Vec::with_capacity(k);
+        for (p, lane) in batch.iter().zip(lanes) {
+            self.completed.insert(p.ticket, Ok(lane));
+            tickets.push(p.ticket);
+        }
+        self.stats.record_batch(
+            k,
+            batch.iter().map(|p| now.0.saturating_sub(p.arrival.0)),
+            self.pending_count,
+        );
+        BatchReport {
+            key,
+            lanes: k,
+            exec_us,
+            tickets,
+        }
+    }
+}
+
+/// Run one coalesced batch on the batched engine and split the `n × k`
+/// result into per-lane [`QueryResult`]s (lane order = `sources` order).
+fn execute_batch(
+    graph: &Matrix,
+    direction: Direction,
+    key: CoalescingKey,
+    sources: &[usize],
+) -> Vec<QueryResult> {
+    let k = sources.len();
+    match key {
+        CoalescingKey::Bfs => {
+            let r = bfs_multi_dir(graph, sources, direction);
+            (0..k)
+                .map(|l| QueryResult::Bfs {
+                    levels: unflatten(&r.levels, k, l),
+                })
+                .collect()
+        }
+        CoalescingKey::Sssp => {
+            let r = sssp_multi_dir(graph, sources, direction);
+            (0..k)
+                .map(|l| QueryResult::Sssp {
+                    distances: unflatten(&r.distances, k, l),
+                })
+                .collect()
+        }
+        CoalescingKey::Ppr {
+            alpha_bits,
+            iterations,
+            fused,
+        } => {
+            let config = PprConfig {
+                alpha: f32::from_bits(alpha_bits),
+                iterations,
+                fusion: if fused {
+                    Fusion::Fused
+                } else {
+                    Fusion::NodeAtATime
+                },
+            };
+            let r = ppr_multi_dir(graph, sources, &config, direction);
+            (0..k)
+                .map(|l| QueryResult::Ppr {
+                    scores: unflatten(&r.scores, k, l),
+                })
+                .collect()
+        }
+    }
+}
+
+/// Copy lane `l` out of a flat node-major `n × k` result matrix.
+fn unflatten<T: Copy>(flat: &[T], k: usize, l: usize) -> Vec<T> {
+    flat.iter().skip(l).step_by(k).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgblas_algorithms::{bfs, ppr, sssp};
+    use bitgblas_core::{Backend, TileSize};
+    use bitgblas_datagen::generators;
+
+    fn graph() -> Matrix {
+        Matrix::from_csr(
+            &generators::erdos_renyi(80, 0.05, true, 3),
+            Backend::Bit(TileSize::S8),
+        )
+    }
+
+    #[test]
+    fn window_close_dispatches_a_lone_query() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g).coalescing_window(100).build();
+        let t = svc.submit(Query::bfs(0), Tick(0), None).unwrap();
+        // Before the window closes nothing is ready.
+        assert!(svc.pump(Tick(99)).is_empty());
+        assert_eq!(svc.take_result(t), None);
+        assert_eq!(svc.next_event_time(), Some(Tick(100)));
+        // At the close it dispatches as a 1-lane batch.
+        let reports = svc.pump(Tick(100));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].lanes, 1);
+        let got = svc.take_result(t).unwrap().unwrap();
+        assert_eq!(
+            got,
+            QueryResult::Bfs {
+                levels: bfs(&g, 0).levels
+            }
+        );
+    }
+
+    #[test]
+    fn full_batch_dispatches_before_the_window() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g)
+            .max_lanes(4)
+            .coalescing_window(1_000_000)
+            .build();
+        let tickets: Vec<Ticket> = (0..9)
+            .map(|i| svc.submit(Query::sssp(i), Tick(i as u64), None).unwrap())
+            .collect();
+        // 9 pending, cap 4: two full batches are ready, one remainder waits.
+        let reports = svc.pump(Tick(10));
+        assert_eq!(reports.iter().map(|r| r.lanes).collect::<Vec<_>>(), [4, 4]);
+        assert_eq!(svc.pending_len(), 1);
+        // FIFO: the first 8 tickets completed, the 9th still pending.
+        for &t in &tickets[..8] {
+            assert!(svc.take_result(t).is_some());
+        }
+        assert!(svc.take_result(tickets[8]).is_none());
+        // The remainder leaves on flush.
+        let drained = svc.flush(Tick(11));
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].lanes, 1);
+        assert!(svc.is_idle());
+    }
+
+    #[test]
+    fn incompatible_queries_do_not_share_a_batch() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g).coalescing_window(10).build();
+        svc.submit(Query::bfs(1), Tick(0), None).unwrap();
+        svc.submit(Query::sssp(1), Tick(0), None).unwrap();
+        svc.submit(Query::ppr(1), Tick(0), None).unwrap();
+        svc.submit(Query::bfs(2), Tick(0), None).unwrap();
+        let reports = svc.pump(Tick(10));
+        assert_eq!(reports.len(), 3, "three coalescing groups");
+        let bfs_batch = reports
+            .iter()
+            .find(|r| r.key == CoalescingKey::Bfs)
+            .unwrap();
+        assert_eq!(bfs_batch.lanes, 2, "the two BFS queries coalesced");
+    }
+
+    #[test]
+    fn results_match_standalone_runs() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g).coalescing_window(5).build();
+        let tb = svc.submit(Query::bfs(7), Tick(0), None).unwrap();
+        let ts = svc.submit(Query::sssp(7), Tick(0), None).unwrap();
+        let tp = svc.submit(Query::ppr(7), Tick(0), None).unwrap();
+        svc.pump(Tick(5));
+        match svc.take_result(tb).unwrap().unwrap() {
+            QueryResult::Bfs { levels } => assert_eq!(levels, bfs(&g, 7).levels),
+            other => panic!("wrong result kind {other:?}"),
+        }
+        match svc.take_result(ts).unwrap().unwrap() {
+            QueryResult::Sssp { distances } => {
+                assert_eq!(distances, sssp(&g, 7).distances)
+            }
+            other => panic!("wrong result kind {other:?}"),
+        }
+        match svc.take_result(tp).unwrap().unwrap() {
+            QueryResult::Ppr { scores } => {
+                assert_eq!(scores, ppr(&g, 7, &PprConfig::default()).scores)
+            }
+            other => panic!("wrong result kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_full_applies_backpressure() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g)
+            .queue_capacity(2)
+            .coalescing_window(100)
+            .build();
+        svc.submit(Query::bfs(0), Tick(0), None).unwrap();
+        svc.submit(Query::bfs(1), Tick(0), None).unwrap();
+        let err = svc.submit(Query::bfs(2), Tick(0), None).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
+        // Dispatch frees the slots.
+        svc.pump(Tick(100));
+        assert!(svc.submit(Query::bfs(2), Tick(101), None).is_ok());
+        let s = svc.stats().snapshot();
+        assert_eq!(s.rejected_queue_full, 1);
+        assert_eq!(s.enqueued, 3);
+    }
+
+    #[test]
+    fn bad_submissions_are_refused() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g).build();
+        assert_eq!(
+            svc.submit(Query::bfs(999), Tick(0), None).unwrap_err(),
+            SubmitError::SourceOutOfRange { source: 999, n: 80 }
+        );
+        assert_eq!(
+            svc.submit(Query::bfs(0), Tick(5), Some(Tick(5)))
+                .unwrap_err(),
+            SubmitError::DeadlineBeforeSubmission {
+                deadline: Tick(5),
+                now: Tick(5)
+            }
+        );
+        assert_eq!(svc.stats().snapshot().rejected_bad_deadline, 1);
+    }
+
+    #[test]
+    fn deadline_due_dispatches_early_and_takes_batchmates_along() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g).coalescing_window(1000).build();
+        let urgent = svc.submit(Query::bfs(0), Tick(0), Some(Tick(50))).unwrap();
+        let casual = svc.submit(Query::bfs(1), Tick(10), None).unwrap();
+        // Well before the 1000-tick window, the deadline forces dispatch —
+        // and the compatible casual query rides along (occupancy 2).
+        assert_eq!(svc.next_event_time(), Some(Tick(50)));
+        assert!(svc.pump(Tick(49)).is_empty());
+        let reports = svc.pump(Tick(50));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].lanes, 2);
+        assert!(svc.take_result(urgent).unwrap().is_ok());
+        assert!(svc.take_result(casual).unwrap().is_ok());
+        assert_eq!(svc.stats().snapshot().deadline_misses, 0);
+    }
+
+    #[test]
+    fn stats_track_occupancy_and_waits() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g).coalescing_window(64).build();
+        svc.submit(Query::bfs(0), Tick(0), None).unwrap();
+        svc.submit(Query::bfs(1), Tick(32), None).unwrap();
+        svc.pump(Tick(64));
+        svc.submit(Query::sssp(2), Tick(100), None).unwrap();
+        svc.pump(Tick(164));
+        let s = svc.stats().snapshot();
+        assert_eq!(s.batches_dispatched, 2);
+        assert_eq!(s.lanes_dispatched, 3);
+        assert_eq!(s.max_batch_lanes, 2);
+        assert!((s.mean_batch_occupancy() - 1.5).abs() < 1e-12);
+        // Waits 64, 32, 64 → p50/p99 in the [64, 128) bucket.
+        assert_eq!(s.wait_p50(), 128);
+        assert_eq!(s.wait_p99(), 128);
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.peak_queue_depth, 2);
+    }
+
+    #[test]
+    fn repeated_sources_each_get_their_own_lane() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g).coalescing_window(1).build();
+        let a = svc.submit(Query::bfs(5), Tick(0), None).unwrap();
+        let b = svc.submit(Query::bfs(5), Tick(0), None).unwrap();
+        svc.pump(Tick(1));
+        let ra = svc.take_result(a).unwrap().unwrap();
+        let rb = svc.take_result(b).unwrap().unwrap();
+        assert_eq!(ra, rb);
+    }
+}

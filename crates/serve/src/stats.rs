@@ -1,0 +1,271 @@
+//! Lock-free service metrics, riding the `ExecStats` pattern of
+//! `bitgblas-core`: every counter is a relaxed atomic the scheduler bumps
+//! without taking any lock, and [`ServiceStats::snapshot`] returns a
+//! plain-data [`ServiceCounts`] any observer thread can read concurrently
+//! with the scheduler (the contention test below proves no bumps are lost).
+//!
+//! Queue-wait latency is recorded into a **fixed-bucket power-of-two
+//! histogram** ([`WAIT_BUCKETS`] buckets, bucket `i` covering
+//! `[2^(i-1), 2^i)` ticks, bucket 0 = zero wait) — no allocation, no
+//! external histogram dependency, p50/p99 read off the cumulative counts
+//! with one-bucket resolution.  Because the wait of a query is
+//! `dispatch tick − arrival tick` on the caller-driven virtual clock, the
+//! histogram is deterministic for a deterministic drive — the open-loop
+//! benchmark's latency rows replay exactly.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of power-of-two wait buckets (covers waits up to `2^38` ticks —
+/// at a microsecond tick, more than three days).
+pub const WAIT_BUCKETS: usize = 40;
+
+/// Bucket index of a wait of `ticks`: 0 holds zero-tick waits, bucket `i`
+/// holds `[2^(i-1), 2^i)`.
+fn bucket_of(ticks: u64) -> usize {
+    ((64 - ticks.leading_zeros()) as usize).min(WAIT_BUCKETS - 1)
+}
+
+/// Monotonic counters of the service's lifecycle events, plus the
+/// queue-depth gauge and the wait histogram.  All updates are relaxed
+/// atomics — safe to read from any thread while the scheduler runs.
+#[derive(Debug)]
+pub struct ServiceStats {
+    enqueued: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_bad_deadline: AtomicU64,
+    deadline_misses: AtomicU64,
+    batches_dispatched: AtomicU64,
+    lanes_dispatched: AtomicU64,
+    max_batch_lanes: AtomicU64,
+    completed: AtomicU64,
+    queue_depth: AtomicUsize,
+    peak_queue_depth: AtomicUsize,
+    wait_hist: [AtomicU64; WAIT_BUCKETS],
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        ServiceStats {
+            enqueued: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_bad_deadline: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            batches_dispatched: AtomicU64::new(0),
+            lanes_dispatched: AtomicU64::new(0),
+            max_batch_lanes: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            peak_queue_depth: AtomicUsize::new(0),
+            wait_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServiceStats {
+    pub(crate) fn record_enqueued(&self, depth_now: usize) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.store(depth_now, Ordering::Relaxed);
+        self.peak_queue_depth
+            .fetch_max(depth_now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_queue_full(&self) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_bad_deadline(&self) {
+        self.rejected_bad_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deadline_miss(&self, depth_now: usize) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.store(depth_now, Ordering::Relaxed);
+    }
+
+    /// One batch of `lanes` queries left the queue for execution; each lane
+    /// waited `wait` ticks.
+    pub(crate) fn record_batch(
+        &self,
+        lanes: usize,
+        waits: impl Iterator<Item = u64>,
+        depth_now: usize,
+    ) {
+        self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        self.lanes_dispatched
+            .fetch_add(lanes as u64, Ordering::Relaxed);
+        self.max_batch_lanes
+            .fetch_max(lanes as u64, Ordering::Relaxed);
+        self.completed.fetch_add(lanes as u64, Ordering::Relaxed);
+        self.queue_depth.store(depth_now, Ordering::Relaxed);
+        for w in waits {
+            self.wait_hist[bucket_of(w)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A plain-data copy of the current counter values.
+    pub fn snapshot(&self) -> ServiceCounts {
+        ServiceCounts {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_bad_deadline: self.rejected_bad_deadline.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+            lanes_dispatched: self.lanes_dispatched.load(Ordering::Relaxed),
+            max_batch_lanes: self.max_batch_lanes.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            wait_hist: std::array::from_fn(|i| self.wait_hist[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A snapshot of [`ServiceStats`] counter values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceCounts {
+    /// Queries admitted into the queue.
+    pub enqueued: u64,
+    /// Queries refused at the door because the bounded queue was full.
+    pub rejected_queue_full: u64,
+    /// Queries refused at the door because their deadline was not after the
+    /// submission tick.
+    pub rejected_bad_deadline: u64,
+    /// Admitted queries whose deadline expired in the queue (completed with
+    /// the typed [`QueryError::DeadlineExpired`](crate::QueryError) — never
+    /// silently dropped).
+    pub deadline_misses: u64,
+    /// Batches handed to the batched engine.
+    pub batches_dispatched: u64,
+    /// Total lanes across all dispatched batches.
+    pub lanes_dispatched: u64,
+    /// Largest single batch (lanes).
+    pub max_batch_lanes: u64,
+    /// Queries completed with a result.
+    pub completed: u64,
+    /// Queue depth after the most recent event.
+    pub queue_depth: usize,
+    /// Highest queue depth observed.
+    pub peak_queue_depth: usize,
+    /// The queue-wait histogram (power-of-two tick buckets; see
+    /// [`WAIT_BUCKETS`]).
+    pub wait_hist: [u64; WAIT_BUCKETS],
+}
+
+impl ServiceCounts {
+    /// Mean lanes per dispatched batch — the occupancy the coalescing
+    /// window bought (0 when nothing dispatched).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches_dispatched == 0 {
+            0.0
+        } else {
+            self.lanes_dispatched as f64 / self.batches_dispatched as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) of the queue-wait distribution, as
+    /// the **upper bound** of the bucket containing it, in ticks (0 when no
+    /// waits were recorded).  `quantile(0.5)` = p50, `quantile(0.99)` = p99,
+    /// both with one-power-of-two resolution.
+    pub fn wait_quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.wait_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.wait_hist.iter().enumerate() {
+            seen += c;
+            if seen >= threshold {
+                // Upper bound of bucket i: bucket 0 is the zero wait,
+                // bucket i covers [2^(i-1), 2^i).
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << (WAIT_BUCKETS - 1)
+    }
+
+    /// Median queue wait (bucket upper bound, ticks).
+    pub fn wait_p50(&self) -> u64 {
+        self.wait_quantile(0.5)
+    }
+
+    /// 99th-percentile queue wait (bucket upper bound, ticks).
+    pub fn wait_p99(&self) -> u64 {
+        self.wait_quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), WAIT_BUCKETS - 1);
+    }
+
+    #[test]
+    fn occupancy_and_quantiles() {
+        let stats = ServiceStats::default();
+        stats.record_batch(3, [0u64, 5, 1000].into_iter(), 0);
+        stats.record_batch(1, [2u64].into_iter(), 0);
+        let s = stats.snapshot();
+        assert_eq!(s.batches_dispatched, 2);
+        assert_eq!(s.lanes_dispatched, 4);
+        assert_eq!(s.max_batch_lanes, 3);
+        assert_eq!(s.completed, 4);
+        assert!((s.mean_batch_occupancy() - 2.0).abs() < 1e-12);
+        // Sorted waits: 0, 2, 5, 1000 → p50 in the wait-2 bucket (upper
+        // bound 4), p99 in the wait-1000 bucket (upper bound 1024).
+        assert_eq!(s.wait_p50(), 4);
+        assert_eq!(s.wait_p99(), 1024);
+        // Empty histogram → zero quantiles.
+        assert_eq!(ServiceStats::default().snapshot().wait_p50(), 0);
+    }
+
+    #[test]
+    fn queue_depth_gauge_tracks_peak() {
+        let stats = ServiceStats::default();
+        stats.record_enqueued(1);
+        stats.record_enqueued(2);
+        stats.record_batch(2, [0u64, 0].into_iter(), 0);
+        stats.record_enqueued(1);
+        let s = stats.snapshot();
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.peak_queue_depth, 2);
+    }
+
+    /// The PR-5-style contention proof: concurrent producers bump the
+    /// counters without a lock and no increment is lost or torn.
+    #[test]
+    fn counters_are_lock_free_under_contention() {
+        let stats = ServiceStats::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1000u64 {
+                        stats.record_enqueued(1);
+                        stats.record_batch(2, [i % 7, i % 11].into_iter(), 0);
+                        if i % 10 == 0 {
+                            stats.record_deadline_miss(0);
+                        }
+                    }
+                });
+            }
+        });
+        let s = stats.snapshot();
+        assert_eq!(s.enqueued, 4000);
+        assert_eq!(s.batches_dispatched, 4000);
+        assert_eq!(s.lanes_dispatched, 8000);
+        assert_eq!(s.completed, 8000);
+        assert_eq!(s.deadline_misses, 400);
+        assert_eq!(s.wait_hist.iter().sum::<u64>(), 8000);
+    }
+}

@@ -1,0 +1,239 @@
+//! Service-level acceptance suite.
+//!
+//! **Parity**: a coalesced service must be invisible in the results — every
+//! query answered through [`GraphService`] must be *bit-identical* to the
+//! same query run standalone on the algorithms layer, whatever mix of
+//! BFS/SSSP/PPR arrived around it, however the lanes were packed, and on
+//! both a bit backend and the float baseline.  This holds because the
+//! batched kernels are lane-count-invariant (proven per-algorithm in the
+//! algorithms crate) and the service adds only routing around them.
+//!
+//! **Deadlines**: the scheduler runs on the caller-supplied [`Tick`] clock
+//! — no `Instant::now()` anywhere in a scheduling decision — so deadline
+//! behaviour is tested by driving the clock by hand: dispatch *at* the
+//! deadline is the last legal moment, one tick later is a typed
+//! [`QueryError::DeadlineExpired`], and a miss is never a silent drop.
+
+use proptest::prelude::*;
+
+use bitgblas_algorithms::{bfs, ppr, sssp, PprConfig};
+use bitgblas_core::{Backend, Matrix, TileSize};
+use bitgblas_datagen::generators;
+use bitgblas_serve::{GraphService, Query, QueryError, QueryResult, SubmitError, Tick, Ticket};
+
+fn bits32(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The service answer for `query` must equal the standalone run, bit for
+/// bit.
+fn assert_matches_standalone(graph: &Matrix, query: Query, got: &QueryResult) {
+    match (query, got) {
+        (Query::Bfs { source }, QueryResult::Bfs { levels }) => {
+            assert_eq!(levels, &bfs(graph, source).levels, "bfs from {source}");
+        }
+        (Query::Sssp { source }, QueryResult::Sssp { distances }) => {
+            let want = sssp(graph, source).distances;
+            assert_eq!(
+                bits32(distances),
+                bits32(&want),
+                "sssp from {source} not bit-identical"
+            );
+        }
+        (Query::Ppr { seed, config }, QueryResult::Ppr { scores }) => {
+            let want = ppr(graph, seed, &config).scores;
+            assert_eq!(
+                bits32(scores),
+                bits32(&want),
+                "ppr from {seed} not bit-identical"
+            );
+        }
+        (q, r) => panic!("result kind mismatch: {q:?} answered by {r:?}"),
+    }
+}
+
+/// Drive `queries` through a service (arrivals one tick apart, periodic
+/// pumps, final flush) and check every ticket against the standalone run.
+fn run_interleaving(graph: &Matrix, queries: &[Query], max_lanes: usize, window: u64) {
+    let mut svc = GraphService::builder(graph)
+        .max_lanes(max_lanes)
+        .coalescing_window(window)
+        .queue_capacity(queries.len().max(1))
+        .build();
+    let mut tickets: Vec<(Ticket, Query)> = Vec::new();
+    for (i, &q) in queries.iter().enumerate() {
+        let now = Tick(i as u64);
+        let t = svc.submit(q, now, None).unwrap();
+        tickets.push((t, q));
+        // Pump mid-stream sometimes so batches form at ragged boundaries,
+        // not only at the final flush.
+        if i % 17 == 16 {
+            svc.pump(now);
+        }
+    }
+    svc.flush(Tick(queries.len() as u64 + window));
+    assert!(svc.is_idle());
+    for (ticket, query) in tickets {
+        let got = svc
+            .take_result(ticket)
+            .expect("every admitted query completes")
+            .expect("no deadline was set, so no expiry");
+        assert_matches_standalone(graph, query, &got);
+    }
+    let s = svc.stats().snapshot();
+    assert_eq!(s.completed, queries.len() as u64);
+    assert_eq!(s.deadline_misses, 0);
+}
+
+/// Strategy: a mixed query stream.  `0..3` maps to BFS/SSSP/PPR; PPR gets
+/// two configs so config-keyed coalescing is exercised too.
+fn query_stream(n: usize) -> impl Strategy<Value = Vec<Query>> {
+    proptest::collection::vec((0usize..4, 0usize..1000), 1..80).prop_map(move |raw| {
+        raw.into_iter()
+            .map(|(kind, src)| match kind {
+                0 => Query::bfs(src % n),
+                1 => Query::sssp(src % n),
+                2 => Query::ppr(src % n),
+                _ => Query::Ppr {
+                    seed: src % n,
+                    config: PprConfig {
+                        iterations: 6,
+                        ..Default::default()
+                    },
+                },
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Mixed interleavings on the bit backend: coalescing is invisible.
+    #[test]
+    fn coalesced_results_match_standalone_bit8(
+        seed in 1u64..500,
+        queries in query_stream(60),
+        max_lanes in 1usize..70,
+        window in 0u64..40,
+    ) {
+        let csr = generators::erdos_renyi(60, 0.05, seed % 2 == 0, seed);
+        let graph = Matrix::from_csr(&csr, Backend::Bit(TileSize::S8));
+        run_interleaving(&graph, &queries, max_lanes, window);
+    }
+
+    /// Same property on the float baseline backend.
+    #[test]
+    fn coalesced_results_match_standalone_float(
+        seed in 1u64..500,
+        queries in query_stream(60),
+        window in 0u64..40,
+    ) {
+        let csr = generators::erdos_renyi(60, 0.05, seed % 2 == 0, seed);
+        let graph = Matrix::from_csr(&csr, Backend::FloatCsr);
+        run_interleaving(&graph, &queries, 64, window);
+    }
+}
+
+/// 70 same-kind arrivals against a 64-lane cap: the stream must split into
+/// a full lane word plus a remainder batch, with every result still exact.
+#[test]
+fn batch_straddles_the_64_lane_boundary() {
+    let csr = generators::erdos_renyi(90, 0.05, true, 11);
+    let graph = Matrix::from_csr(&csr, Backend::Bit(TileSize::S8));
+    let queries: Vec<Query> = (0..70).map(|i| Query::bfs(i % 90)).collect();
+    let mut svc = GraphService::builder(&graph)
+        .coalescing_window(1_000)
+        .queue_capacity(128)
+        .build();
+    let tickets: Vec<Ticket> = queries
+        .iter()
+        .map(|&q| svc.submit(q, Tick(0), None).unwrap())
+        .collect();
+    let reports = svc.flush(Tick(1));
+    assert_eq!(
+        reports.iter().map(|r| r.lanes).collect::<Vec<_>>(),
+        [64, 6],
+        "full lane word first, remainder second"
+    );
+    for (t, q) in tickets.iter().zip(&queries) {
+        let got = svc.take_result(*t).unwrap().unwrap();
+        assert_matches_standalone(&graph, *q, &got);
+    }
+    assert_eq!(svc.stats().snapshot().max_batch_lanes, 64);
+}
+
+/// The injectable-clock deadline contract, end to end.
+#[test]
+fn deadline_semantics_on_a_hand_driven_clock() {
+    let csr = generators::erdos_renyi(40, 0.08, true, 7);
+    let graph = Matrix::from_csr(&csr, Backend::Bit(TileSize::S8));
+    let mut svc = GraphService::builder(&graph)
+        .coalescing_window(1_000)
+        .build();
+
+    // A deadline at tick 50: pumping *at* 50 is the last legal dispatch.
+    let on_time = svc.submit(Query::bfs(0), Tick(0), Some(Tick(50))).unwrap();
+    assert!(svc.pump(Tick(49)).is_empty(), "not due yet");
+    let reports = svc.pump(Tick(50));
+    assert_eq!(reports.len(), 1, "deadline forces dispatch before expiry");
+    assert_matches_standalone(
+        &graph,
+        Query::bfs(0),
+        &svc.take_result(on_time).unwrap().unwrap(),
+    );
+
+    // A deadline the driver sleeps through: typed error, never silence.
+    let late = svc
+        .submit(Query::sssp(1), Tick(60), Some(Tick(70)))
+        .unwrap();
+    assert!(svc.pump(Tick(71)).is_empty(), "nothing left to dispatch");
+    assert_eq!(
+        svc.take_result(late).unwrap(),
+        Err(QueryError::DeadlineExpired {
+            deadline: Tick(70),
+            now: Tick(71)
+        })
+    );
+    let s = svc.stats().snapshot();
+    assert_eq!(s.deadline_misses, 1);
+    assert_eq!(s.completed, 1);
+
+    // A deadline not after submission never enters the queue.
+    assert_eq!(
+        svc.submit(Query::bfs(2), Tick(80), Some(Tick(80)))
+            .unwrap_err(),
+        SubmitError::DeadlineBeforeSubmission {
+            deadline: Tick(80),
+            now: Tick(80)
+        }
+    );
+    assert!(svc.is_idle());
+}
+
+/// An urgent query's deadline pulls compatible later arrivals into its
+/// batch (occupancy win), while the expired one of an *incompatible* kind
+/// still errors independently.
+#[test]
+fn deadlines_interact_with_coalescing_per_group() {
+    let csr = generators::erdos_renyi(40, 0.08, true, 9);
+    let graph = Matrix::from_csr(&csr, Backend::FloatCsr);
+    let mut svc = GraphService::builder(&graph)
+        .coalescing_window(10_000)
+        .build();
+    let doomed = svc.submit(Query::ppr(3), Tick(0), Some(Tick(20))).unwrap();
+    let urgent = svc.submit(Query::bfs(0), Tick(5), Some(Tick(100))).unwrap();
+    let rider = svc.submit(Query::bfs(7), Tick(10), None).unwrap();
+
+    // The driver misses the PPR deadline but hits the BFS one.
+    let reports = svc.pump(Tick(100));
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].lanes, 2, "rider coalesced into the urgent batch");
+    assert!(matches!(
+        svc.take_result(doomed),
+        Some(Err(QueryError::DeadlineExpired { .. }))
+    ));
+    for (t, q) in [(urgent, Query::bfs(0)), (rider, Query::bfs(7))] {
+        assert_matches_standalone(&graph, q, &svc.take_result(t).unwrap().unwrap());
+    }
+}

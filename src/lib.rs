@@ -21,7 +21,8 @@
 //! | [`datagen`] | `bitgblas-datagen` | synthetic corpus generators and pattern classifier |
 //! | [`perfmodel`] | `bitgblas-perfmodel` | Pascal/Volta device profiles and the memory-traffic model |
 //! | [`core`] | `bitgblas-core` | B2SR, BMV/BMM kernels, semirings, GrB-style API |
-//! | [`algorithms`] | `bitgblas-algorithms` | BFS, SSSP, PageRank, CC, TC on both backends |
+//! | [`algorithms`] | `bitgblas-algorithms` | BFS, SSSP, PageRank, PPR, CC, TC on both backends |
+//! | [`serve`] | `bitgblas-serve` | query service: lane-coalescing scheduler over the batched engine |
 //!
 //! # Quickstart
 //!
@@ -71,13 +72,15 @@ pub use bitgblas_bitops as bitops;
 pub use bitgblas_core as core;
 pub use bitgblas_datagen as datagen;
 pub use bitgblas_perfmodel as perfmodel;
+pub use bitgblas_serve as serve;
 pub use bitgblas_sparse as sparse;
 
 /// The most commonly used items, for `use bit_graphblas::prelude::*`.
 pub mod prelude {
     pub use bitgblas_algorithms::{
-        betweenness_centrality, bfs, bfs_dir, bfs_multi, connected_components, pagerank, sssp,
-        sssp_dir, sssp_multi, sssp_with, triangle_count, PageRankConfig,
+        betweenness_centrality, bfs, bfs_dir, bfs_multi, connected_components, pagerank, ppr,
+        ppr_multi, sssp, sssp_dir, sssp_multi, sssp_with, triangle_count, PageRankConfig,
+        PprConfig,
     };
     pub use bitgblas_core::grb::{
         Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Mask, MultiVec, Op,
@@ -99,5 +102,16 @@ mod tests {
         assert_eq!(cc.n_components, 1);
         let pr = pagerank(&m, &PageRankConfig::default());
         assert!((pr.ranks.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn facade_serves_queries() {
+        use crate::serve::{GraphService, Query, Tick};
+        let adj = crate::datagen::generators::cycle(32);
+        let m = Matrix::from_csr(&adj, Backend::Bit(TileSize::S4));
+        let mut svc = GraphService::builder(&m).coalescing_window(1).build();
+        let ticket = svc.submit(Query::bfs(0), Tick(0), None).unwrap();
+        svc.pump(Tick(1));
+        assert!(svc.take_result(ticket).unwrap().is_ok());
     }
 }
