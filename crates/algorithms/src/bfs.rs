@@ -15,8 +15,10 @@
 //! pool and the visited mask is updated in place (proved by the
 //! allocation-counter test in `bitgblas-core`).
 
-use bitgblas_core::grb::{Direction, Mask, Matrix, MultiVec, Op, Vector};
+use bitgblas_core::grb::{Direction, GrbError, Mask, Matrix, MultiVec, Op, Vector};
 use bitgblas_core::Semiring;
+
+use crate::validate::{check_batch_nonempty, check_sources};
 
 /// The result of a BFS run.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,10 +47,18 @@ pub fn bfs(a: &Matrix, source: usize) -> BfsResult {
 /// Beamer-style switch).
 ///
 /// # Panics
-/// Panics if `source` is out of range.
+/// Panics if `source` is out of range ([`try_bfs_dir`] is the fallible
+/// form).
 pub fn bfs_dir(a: &Matrix, source: usize, direction: Direction) -> BfsResult {
+    try_bfs_dir(a, source, direction).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`bfs_dir`], reporting an out-of-range source as a typed
+/// [`GrbError`] instead of panicking — the entry point a serving stack
+/// validates through.
+pub fn try_bfs_dir(a: &Matrix, source: usize, direction: Direction) -> Result<BfsResult, GrbError> {
     let n = a.nrows();
-    assert!(source < n, "source vertex {source} out of range (n = {n})");
+    check_sources(n, std::slice::from_ref(&source), "source vertex")?;
     // The matrix's own context supplies the workspace pool, so the frontier
     // buffers recycle across iterations instead of being reallocated.
     let ctx = a.context();
@@ -76,7 +86,7 @@ pub fn bfs_dir(a: &Matrix, source: usize, direction: Direction) -> BfsResult {
             .semiring(Semiring::Boolean)
             .mask(&visited)
             .direction(direction)
-            .run(ctx);
+            .try_run(ctx)?;
 
         // Record levels and update the visited set.
         let mut any = false;
@@ -95,11 +105,11 @@ pub fn bfs_dir(a: &Matrix, source: usize, direction: Direction) -> BfsResult {
         }
     }
 
-    BfsResult {
+    Ok(BfsResult {
         levels,
         iterations,
         n_reached,
-    }
+    })
 }
 
 /// The result of a batched multi-source BFS run.
@@ -146,18 +156,29 @@ pub fn bfs_multi(a: &Matrix, sources: &[usize]) -> MultiBfsResult {
 /// iteration.
 ///
 /// # Panics
-/// Panics if `sources` is empty or any source is out of range.
+/// Panics if `sources` is empty or any source is out of range
+/// ([`try_bfs_multi_dir`] is the fallible form).
 pub fn bfs_multi_dir(a: &Matrix, sources: &[usize], direction: Direction) -> MultiBfsResult {
+    try_bfs_multi_dir(a, sources, direction).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`bfs_multi_dir`], reporting an empty batch or an out-of-range source
+/// as a typed [`GrbError`] instead of panicking.
+pub fn try_bfs_multi_dir(
+    a: &Matrix,
+    sources: &[usize],
+    direction: Direction,
+) -> Result<MultiBfsResult, GrbError> {
     let n = a.nrows();
     let k = sources.len();
-    assert!(k > 0, "bfs_multi needs at least one source");
+    check_batch_nonempty(k, "bfs_multi needs at least one source")?;
+    check_sources(n, sources, "source vertex")?;
     let ctx = a.context();
 
     let mut levels = vec![-1i64; n * k];
     let mut visited = {
         let mut flags = vec![false; n * k];
         for (l, &s) in sources.iter().enumerate() {
-            assert!(s < n, "source vertex {s} out of range (n = {n})");
             levels[s * k + l] = 0;
             flags[s * k + l] = true;
         }
@@ -182,7 +203,7 @@ pub fn bfs_multi_dir(a: &Matrix, sources: &[usize], direction: Direction) -> Mul
             .semiring(Semiring::Boolean)
             .mask(&visited)
             .direction(direction)
-            .run(ctx);
+            .try_run(ctx)?;
 
         let mut any = false;
         for (f, &x) in next.as_slice().iter().enumerate() {
@@ -200,12 +221,12 @@ pub fn bfs_multi_dir(a: &Matrix, sources: &[usize], direction: Direction) -> Mul
     }
     ctx.recycle_multi(frontier);
 
-    MultiBfsResult {
+    Ok(MultiBfsResult {
         levels,
         n_sources: k,
         iterations,
         n_reached,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -39,18 +39,25 @@ pub mod ppr;
 pub mod reference;
 pub mod sssp;
 pub mod tc;
+mod validate;
 
 pub use bc::{betweenness_centrality, betweenness_centrality_dir, BcResult};
-pub use bfs::{bfs, bfs_dir, bfs_multi, bfs_multi_dir, BfsResult, MultiBfsResult};
+pub use bfs::{
+    bfs, bfs_dir, bfs_multi, bfs_multi_dir, try_bfs_dir, try_bfs_multi_dir, BfsResult,
+    MultiBfsResult,
+};
 pub use cc::{connected_components, CcResult};
 pub use extras::{diameter_estimate, eccentricity, maximal_independent_set, MisResult};
 pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
-pub use ppr::{ppr, ppr_multi, ppr_multi_dir, MultiPprResult, PprConfig, PprResult};
+pub use ppr::{
+    ppr, ppr_multi, ppr_multi_dir, try_ppr_multi_dir, MultiPprResult, PprConfig, PprResult,
+};
 pub use sssp::{
-    sssp, sssp_dir, sssp_multi, sssp_multi_dir, sssp_with, MultiSsspResult, SsspResult,
+    sssp, sssp_dir, sssp_multi, sssp_multi_dir, sssp_with, try_sssp_multi_dir, try_sssp_with,
+    MultiSsspResult, SsspResult,
 };
 pub use tc::triangle_count;
 
-// Re-exported so algorithm callers can name a traversal direction or a
-// fusion mode without importing bitgblas-core directly.
-pub use bitgblas_core::grb::{Direction, Fusion};
+// Re-exported so algorithm callers can name a traversal direction, a fusion
+// mode, or handle a typed error without importing bitgblas-core directly.
+pub use bitgblas_core::grb::{Direction, Fusion, GrbError};

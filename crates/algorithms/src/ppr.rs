@@ -42,8 +42,10 @@
 //! lane's own seed, keeping every lane's mass at exactly 1 and the teleport
 //! personalized rather than uniform.
 
-use bitgblas_core::grb::{Direction, Fusion, Matrix, MultiVec, Op};
+use bitgblas_core::grb::{Direction, Fusion, GrbError, Matrix, MultiVec, Op};
 use bitgblas_core::{BinaryOp, Semiring};
+
+use crate::validate::{check_batch_nonempty, check_sources};
 
 /// Personalized PageRank parameters (α = 0.85, 10 power iterations).
 ///
@@ -146,25 +148,35 @@ pub fn ppr_multi(a: &Matrix, seeds: &[usize], config: &PprConfig) -> MultiPprRes
 /// pull; the knob exists for ablations).
 ///
 /// # Panics
-/// Panics if `seeds` is empty or any seed is out of range.
+/// Panics if `seeds` is empty or any seed is out of range
+/// ([`try_ppr_multi_dir`] is the fallible form).
 pub fn ppr_multi_dir(
     a: &Matrix,
     seeds: &[usize],
     config: &PprConfig,
     direction: Direction,
 ) -> MultiPprResult {
+    try_ppr_multi_dir(a, seeds, config, direction).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`ppr_multi_dir`], reporting an empty batch or an out-of-range seed
+/// as a typed [`GrbError`] instead of panicking.
+pub fn try_ppr_multi_dir(
+    a: &Matrix,
+    seeds: &[usize],
+    config: &PprConfig,
+    direction: Direction,
+) -> Result<MultiPprResult, GrbError> {
     let n = a.nrows();
     let k = seeds.len();
-    assert!(k > 0, "ppr_multi needs at least one seed");
-    for &s in seeds {
-        assert!(s < n, "seed vertex {s} out of range (n = {n})");
-    }
+    check_batch_nonempty(k, "ppr_multi needs at least one seed")?;
+    check_sources(n, seeds, "seed vertex")?;
     if n == 0 {
-        return MultiPprResult {
+        return Ok(MultiPprResult {
             scores: Vec::new(),
             n_seeds: k,
             iterations: 0,
-        };
+        });
     }
     let ctx = a.context();
     let out_deg = a.out_degrees();
@@ -207,15 +219,15 @@ pub fn ppr_multi_dir(
             .affine(config.alpha, 0.0)
             .then_ewise(BinaryOp::Plus, &teleport)
             .fusion(config.fusion)
-            .run(ctx);
+            .try_run(ctx)?;
         ctx.recycle_multi(std::mem::replace(&mut rank, next));
     }
 
-    MultiPprResult {
+    Ok(MultiPprResult {
         scores: rank.into_vec(),
         n_seeds: k,
         iterations: config.iterations,
-    }
+    })
 }
 
 #[cfg(test)]

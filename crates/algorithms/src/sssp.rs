@@ -32,8 +32,10 @@
 //! distances.  The inner loop is allocation-free in steady state — the
 //! distance vectors cycle through the matrix context's workspace pool.
 
-use bitgblas_core::grb::{Direction, Fusion, Matrix, MultiVec, Op, Vector};
+use bitgblas_core::grb::{Direction, Fusion, GrbError, Matrix, MultiVec, Op, Vector};
 use bitgblas_core::{BinaryOp, Semiring};
+
+use crate::validate::{check_batch_nonempty, check_sources};
 
 /// The result of an SSSP run.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,10 +70,22 @@ pub fn sssp_dir(a: &Matrix, source: usize, direction: Direction) -> SsspResult {
 /// baseline).
 ///
 /// # Panics
-/// Panics if `source` is out of range.
+/// Panics if `source` is out of range ([`try_sssp_with`] is the fallible
+/// form).
 pub fn sssp_with(a: &Matrix, source: usize, direction: Direction, fusion: Fusion) -> SsspResult {
+    try_sssp_with(a, source, direction, fusion).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`sssp_with`], reporting an out-of-range source as a typed
+/// [`GrbError`] instead of panicking.
+pub fn try_sssp_with(
+    a: &Matrix,
+    source: usize,
+    direction: Direction,
+    fusion: Fusion,
+) -> Result<SsspResult, GrbError> {
     let n = a.nrows();
-    assert!(source < n, "source vertex {source} out of range (n = {n})");
+    check_sources(n, std::slice::from_ref(&source), "source vertex")?;
 
     let ctx = a.context();
     let semiring = Semiring::MinPlus(1.0);
@@ -90,7 +104,7 @@ pub fn sssp_with(a: &Matrix, source: usize, direction: Direction, fusion: Fusion
             .direction(direction)
             .accum(BinaryOp::Min, &dist)
             .fusion(fusion)
-            .run(ctx);
+            .try_run(ctx)?;
         // Fixpoint test: min-accumulation only ever lowers a distance.
         let changed = next
             .as_slice()
@@ -103,10 +117,10 @@ pub fn sssp_with(a: &Matrix, source: usize, direction: Direction, fusion: Fusion
         }
     }
 
-    SsspResult {
+    Ok(SsspResult {
         distances: dist.into_vec(),
         iterations,
-    }
+    })
 }
 
 /// The result of a batched multi-source SSSP run.
@@ -145,17 +159,28 @@ pub fn sssp_multi(a: &Matrix, sources: &[usize]) -> MultiSsspResult {
 /// relaxation round.
 ///
 /// # Panics
-/// Panics if `sources` is empty or any source is out of range.
+/// Panics if `sources` is empty or any source is out of range
+/// ([`try_sssp_multi_dir`] is the fallible form).
 pub fn sssp_multi_dir(a: &Matrix, sources: &[usize], direction: Direction) -> MultiSsspResult {
+    try_sssp_multi_dir(a, sources, direction).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`sssp_multi_dir`], reporting an empty batch or an out-of-range
+/// source as a typed [`GrbError`] instead of panicking.
+pub fn try_sssp_multi_dir(
+    a: &Matrix,
+    sources: &[usize],
+    direction: Direction,
+) -> Result<MultiSsspResult, GrbError> {
     let n = a.nrows();
     let k = sources.len();
-    assert!(k > 0, "sssp_multi needs at least one source");
+    check_batch_nonempty(k, "sssp_multi needs at least one source")?;
+    check_sources(n, sources, "source vertex")?;
     let ctx = a.context();
     let semiring = Semiring::MinPlus(1.0);
 
     let mut dist = MultiVec::identity(n, k, semiring);
     for (l, &s) in sources.iter().enumerate() {
-        assert!(s < n, "source vertex {s} out of range (n = {n})");
         dist.set(s, l, 0.0);
     }
 
@@ -169,7 +194,7 @@ pub fn sssp_multi_dir(a: &Matrix, sources: &[usize], direction: Direction) -> Mu
             .semiring(semiring)
             .direction(direction)
             .accum(BinaryOp::Min, &dist)
-            .run(ctx);
+            .try_run(ctx)?;
         let changed = next
             .as_slice()
             .iter()
@@ -181,11 +206,11 @@ pub fn sssp_multi_dir(a: &Matrix, sources: &[usize], direction: Direction) -> Mu
         }
     }
 
-    MultiSsspResult {
+    Ok(MultiSsspResult {
         distances: dist.into_vec(),
         n_sources: k,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]

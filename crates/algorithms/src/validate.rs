@@ -1,0 +1,32 @@
+//! Shared input validation for the algorithm entry points (PR 7).
+//!
+//! Every algorithm validates its sources/seeds **before** touching the
+//! engine, reporting violations as typed [`GrbError`]s through the `try_*`
+//! entry points; the panicking entry points wrap them and panic with the
+//! error's `Display` text (which preserves the historical assert wording).
+
+use bitgblas_core::grb::GrbError;
+
+/// Every source/seed must name a vertex of the `n`-vertex graph.  `what` is
+/// the historical wording (`"source vertex"` / `"seed vertex"`).
+pub(crate) fn check_sources(
+    n: usize,
+    sources: &[usize],
+    what: &'static str,
+) -> Result<(), GrbError> {
+    for &s in sources {
+        if s >= n {
+            return Err(GrbError::SourceOutOfRange { what, source: s, n });
+        }
+    }
+    Ok(())
+}
+
+/// A batched entry point needs at least one lane; `what` is the historical
+/// assert message (e.g. `"bfs_multi needs at least one source"`).
+pub(crate) fn check_batch_nonempty(k: usize, what: &'static str) -> Result<(), GrbError> {
+    if k == 0 {
+        return Err(GrbError::EmptyBatch { what });
+    }
+    Ok(())
+}

@@ -7,10 +7,15 @@
 //! parallel push engine** under explicit thread budgets (PR 5), and —
 //! since PR 6 — batched **personalized PageRank** (`ppr_multi`) and the
 //! **serving layer** (`bitgblas-serve`) under an open-loop Poisson arrival
-//! process, on a fixed synthetic corpus.  Results are written as JSON rows
+//! process, and — since PR 7 — the serving layer's **fault containment**
+//! (`serve_faults/…`: seeded lane panics, transient batch failures and
+//! injected latency against the bisection/retry/breaker machinery) and
+//! **overload backpressure** (`serve_overload/…`: saturating loads against
+//! a deliberately small bounded queue), on a fixed synthetic corpus.
+//! Results are written as JSON rows
 //! `{bench, backend, direction, threads, host_cores, ms, ms_min,
 //! ms_median}` so every future PR has a perf trajectory to compare against
-//! (`BENCH_PR6.json` for this PR).  Execution mode is encoded in the bench
+//! (`BENCH_PR7.json` for this PR).  Execution mode is encoded in the bench
 //! name (`pagerank_fused/…` vs `pagerank_unfused/…`; `bfs_multi_batched/…`
 //! vs `bfs_multi_seq/…` and `ppr_multi_batched/…` vs `ppr_multi_seq/…`,
 //! all k = 8 sources); the `bfs_push_sharded/…` / `sssp_push_sharded/…`
@@ -34,17 +39,22 @@
 //! * `--smoke` — one tiny graph end-to-end, for CI: proves the harness runs
 //!   and emits parseable JSON (including the fused, batched and
 //!   sharded-push rows CI asserts on) in a couple of seconds.
-//! * `--out PATH` — output path (default `BENCH_PR6.json`).
+//! * `--out PATH` — output path (default `BENCH_PR7.json`).
 //!
 //! The headline comparisons — BFS `Direction::Auto` vs always-pull, fused
 //! vs unfused PageRank, batched vs sequential multi-source BFS/SSSP, and
 //! the sharded-push thread-scaling curve — are printed to stdout after the
 //! JSON is written.
 
+use std::sync::Arc;
+
 use bitgblas_bench::{time_stats_ms, TimingStats};
 use bitgblas_core::grb::{Context, Direction, Fusion, Op, Vector};
 use bitgblas_core::shard::machine_parallelism;
-use bitgblas_core::{Backend, Matrix, Semiring, TileSize};
+use bitgblas_core::{
+    Backend, FailSpec, FaultAction, FaultInjector, FaultPlan, InjectedPanic, Matrix, Semiring,
+    TileSize,
+};
 use bitgblas_datagen::generators;
 use bitgblas_serve::{GraphService, Query, Tick};
 use bitgblas_sparse::Csr;
@@ -466,6 +476,187 @@ fn timing_from_samples(samples_ms: &[f64]) -> TimingStats {
     }
 }
 
+/// Drive the service through the same open-loop arrival model as
+/// [`bench_serve_openloop`] but with a **seeded fault plan** armed (PR 7):
+/// a low-rate lane poison (`serve.lane` panics, contained by bisection), a
+/// low-rate transient batch failure (`serve.batch`, retried with backoff)
+/// and occasional injected latency.  The retry budget and circuit breaker
+/// run on the same virtual clock as the arrivals, so every row is a fully
+/// deterministic replay.  Extras report the fault economics: retries,
+/// contained panics, bisection overhead, breaker trips, typed failures and
+/// sheds — and `conserved` asserts the ticket-conservation identity
+/// (`enqueued == completed + failed + deadline_misses + shed`) held at
+/// quiescence (1.0 = held).
+fn bench_serve_faults(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend, smoke: bool) {
+    let n = m.nrows();
+    let n_arrivals = serve_arrivals(smoke);
+    for offered_qps in SERVE_LOADS_QPS {
+        let plan = FaultPlan::new()
+            .with(FailSpec::always("serve.lane", FaultAction::Panic).with_probability(0.02))
+            .with(FailSpec::always("serve.batch", FaultAction::Transient).with_probability(0.05))
+            .with(
+                FailSpec::always("serve.batch", FaultAction::Latency(200)).with_probability(0.10),
+            );
+        let injector = Arc::new(FaultInjector::new(0xFA17_5EED, plan));
+        let mut rng = StdRng::seed_from_u64(0xC0A1E5CE);
+        let mut svc = GraphService::builder(m)
+            .coalescing_window(500)
+            .queue_capacity(4096)
+            .fault_injector(injector)
+            .breaker(4, 2_000)
+            .retry(2, 250)
+            .build();
+
+        let mut arrival_us = 0u64;
+        let mut busy_until_us = 0u64;
+        let mut exec_samples_ms: Vec<f64> = Vec::new();
+        let mut rejected = 0u64;
+
+        for _ in 0..n_arrivals {
+            let u: f64 = rng.gen();
+            let gap_us = (-(1.0 - u).ln() / offered_qps * 1e6).round() as u64;
+            arrival_us = arrival_us.saturating_add(gap_us.max(1));
+            drain_events(
+                &mut svc,
+                Some(arrival_us),
+                &mut busy_until_us,
+                &mut exec_samples_ms,
+            );
+            let roll: f64 = rng.gen();
+            let source = rng.gen_range(0usize..n);
+            let query = if roll < 0.6 {
+                Query::bfs(source)
+            } else if roll < 0.9 {
+                Query::sssp(source)
+            } else {
+                Query::ppr(source)
+            };
+            if svc.submit(query, Tick(arrival_us), None).is_err() {
+                rejected += 1;
+            }
+        }
+        drain_events(&mut svc, None, &mut busy_until_us, &mut exec_samples_ms);
+        // Anything a breaker window left behind resolves typed, not dropped.
+        for r in svc.flush(Tick(busy_until_us.max(arrival_us))) {
+            exec_samples_ms.push(r.exec_us as f64 / 1000.0);
+        }
+
+        let s = svc.stats().snapshot();
+        let stats = timing_from_samples(&exec_samples_ms);
+        rows.push(Row {
+            bench: format!("serve_faults/{name}"),
+            backend: backend_name(backend),
+            direction: "auto".to_string(),
+            stats,
+            threads: 0,
+            extras: vec![
+                ("offered_qps", offered_qps),
+                ("completed", s.completed as f64),
+                ("failed", s.failed as f64),
+                ("retries", s.retries as f64),
+                ("panics_contained", s.panics_contained as f64),
+                ("bisection_dispatches", s.bisection_dispatches as f64),
+                ("breaker_trips", s.breaker_trips as f64),
+                ("shed", s.shed as f64),
+                ("rejected", rejected as f64),
+                ("conserved", if s.is_conserved() { 1.0 } else { 0.0 }),
+            ],
+        });
+    }
+}
+
+/// Offered loads of the `serve_overload` rows — deliberately pushed past
+/// saturation so the bounded queue has to shed.
+const OVERLOAD_LOADS_QPS: [f64; 3] = [2_000.0, 8_000.0, 32_000.0];
+
+/// Queue capacity of the overload rows: small enough that the saturating
+/// loads actually overflow it on the virtual clock.
+const OVERLOAD_QUEUE_CAP: usize = 32;
+
+/// Batch width of the overload rows: without a cap the 64-lane coalescer
+/// absorbs any offered load by widening batches, and the queue never
+/// overflows — capping the width gives the family a real saturation point.
+const OVERLOAD_MAX_LANES: usize = 4;
+
+/// Drive the service past saturation against a deliberately small bounded
+/// queue (PR 7): every arrival carries a deadline, the queue holds
+/// [`OVERLOAD_QUEUE_CAP`] queries, and the extras report how overload
+/// surfaces — `QueueFull` rejections at the door (`shed_rate`), typed
+/// deadline expiries for queries that waited too long, and the completed
+/// remainder.  No fault injection: this family isolates pure backpressure.
+fn bench_serve_overload(
+    rows: &mut Vec<Row>,
+    name: &str,
+    m: &Matrix,
+    backend: Backend,
+    smoke: bool,
+) {
+    let n = m.nrows();
+    let n_arrivals = serve_arrivals(smoke);
+    for offered_qps in OVERLOAD_LOADS_QPS {
+        let mut rng = StdRng::seed_from_u64(0xC0A1E5CE);
+        let mut svc = GraphService::builder(m)
+            .coalescing_window(500)
+            .queue_capacity(OVERLOAD_QUEUE_CAP)
+            .max_lanes(OVERLOAD_MAX_LANES)
+            .build();
+
+        let mut arrival_us = 0u64;
+        let mut busy_until_us = 0u64;
+        let mut exec_samples_ms: Vec<f64> = Vec::new();
+
+        for _ in 0..n_arrivals {
+            let u: f64 = rng.gen();
+            let gap_us = (-(1.0 - u).ln() / offered_qps * 1e6).round() as u64;
+            arrival_us = arrival_us.saturating_add(gap_us.max(1));
+            drain_events(
+                &mut svc,
+                Some(arrival_us),
+                &mut busy_until_us,
+                &mut exec_samples_ms,
+            );
+            let roll: f64 = rng.gen();
+            let source = rng.gen_range(0usize..n);
+            let query = if roll < 0.6 {
+                Query::bfs(source)
+            } else if roll < 0.9 {
+                Query::sssp(source)
+            } else {
+                Query::ppr(source)
+            };
+            // A 20 ms virtual deadline: queries stuck behind the saturated
+            // server expire typed instead of aging in the queue forever.
+            let deadline = Tick(arrival_us + 20_000);
+            let _ = svc.submit(query, Tick(arrival_us), Some(deadline));
+        }
+        drain_events(&mut svc, None, &mut busy_until_us, &mut exec_samples_ms);
+
+        let s = svc.stats().snapshot();
+        let end_us = busy_until_us.max(arrival_us).max(1);
+        let stats = timing_from_samples(&exec_samples_ms);
+        rows.push(Row {
+            bench: format!("serve_overload/{name}"),
+            backend: backend_name(backend),
+            direction: "auto".to_string(),
+            stats,
+            threads: 0,
+            extras: vec![
+                ("offered_qps", offered_qps),
+                ("throughput_qps", s.completed as f64 / (end_us as f64 / 1e6)),
+                ("rejected_queue_full", s.rejected_queue_full as f64),
+                (
+                    "shed_rate",
+                    s.rejected_queue_full as f64 / n_arrivals as f64,
+                ),
+                ("deadline_misses", s.deadline_misses as f64),
+                ("completed", s.completed as f64),
+                ("wait_p99_us", s.wait_p99() as f64),
+                ("conserved", if s.is_conserved() { 1.0 } else { 0.0 }),
+            ],
+        });
+    }
+}
+
 /// Thread budgets of the PR-5 sharded-push scaling rows.
 const SHARD_THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -517,6 +708,19 @@ fn corpus(smoke: bool) -> Vec<(&'static str, Csr)> {
     ]
 }
 
+/// Silence the default panic report for *injected* panics only — the
+/// `serve_faults` rows deliberately fire hundreds of contained
+/// [`InjectedPanic`]s and the containment layer resolves every one; a
+/// genuine panic still prints normally.
+fn quiet_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+            default_hook(info);
+        }
+    }));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -524,7 +728,8 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    quiet_injected_panics();
 
     let mut rows = Vec::new();
     let graphs = corpus(smoke);
@@ -543,6 +748,8 @@ fn main() {
             bench_ppr_multi(&mut rows, name, &m, backend);
             bench_sharded_push(&mut rows, name, adj, backend);
             bench_serve_openloop(&mut rows, name, &m, backend, smoke);
+            bench_serve_faults(&mut rows, name, &m, backend, smoke);
+            bench_serve_overload(&mut rows, name, &m, backend, smoke);
         }
     }
 
@@ -615,6 +822,52 @@ fn main() {
                     get("occupancy_max"),
                     get("wait_p50_us"),
                     get("wait_p99_us"),
+                );
+            }
+            // PR-7 fault/overload rows: what containment costs and how
+            // backpressure sheds as offered load passes saturation.
+            for r in rows
+                .iter()
+                .filter(|r| r.bench == format!("serve_faults/{name}") && r.backend == backend)
+            {
+                let get = |key: &str| {
+                    r.extras
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map_or(0.0, |(_, v)| *v)
+                };
+                println!(
+                    "serve_faults/{name} [{backend}]: offered {:.0} q/s → completed {:.0}, \
+                     failed {:.0}, retries {:.0}, panics contained {:.0} \
+                     (+{:.0} bisection dispatches), breaker trips {:.0}, conserved {}",
+                    get("offered_qps"),
+                    get("completed"),
+                    get("failed"),
+                    get("retries"),
+                    get("panics_contained"),
+                    get("bisection_dispatches"),
+                    get("breaker_trips"),
+                    if get("conserved") == 1.0 { "yes" } else { "NO" },
+                );
+            }
+            for r in rows
+                .iter()
+                .filter(|r| r.bench == format!("serve_overload/{name}") && r.backend == backend)
+            {
+                let get = |key: &str| {
+                    r.extras
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map_or(0.0, |(_, v)| *v)
+                };
+                println!(
+                    "serve_overload/{name} [{backend}]: offered {:.0} q/s → {:.0} q/s, \
+                     shed rate {:.2}, deadline misses {:.0}, conserved {}",
+                    get("offered_qps"),
+                    get("throughput_qps"),
+                    get("shed_rate"),
+                    get("deadline_misses"),
+                    if get("conserved") == 1.0 { "yes" } else { "NO" },
                 );
             }
             // PR-5 thread-scaling curve: serial-push baseline vs sharded.

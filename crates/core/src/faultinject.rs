@@ -1,0 +1,302 @@
+//! Seeded, deterministic fault injection for the serving stack (PR 7).
+//!
+//! A [`FaultInjector`] holds a [`FaultPlan`]: a registry of named **fail
+//! points** with an action (panic / transient error / added latency), a
+//! firing probability, an optional argument filter and an optional firing
+//! budget.  Production code threads the injector through dispatch sites
+//! that call [`FaultInjector::fire`] with the point's name; with no
+//! injector installed the sites cost one `Option` check.
+//!
+//! Determinism is the whole point: the injector draws from its own
+//! splitmix64 stream seeded at construction, and the call sites fire in the
+//! (deterministic) dispatch order of the explicitly-clocked service, so a
+//! chaos test that replays the same seed and the same query stream observes
+//! the *same* faults at the same dispatches — no wall clock, no global
+//! state.  The chaos proptests in `bitgblas-serve` drive random fault plans
+//! against random query interleavings and assert the service's
+//! exactly-once/conservation invariants hold under all of them.
+//!
+//! ## Fail points in the tree
+//!
+//! | point              | argument        | fired from                       |
+//! |--------------------|-----------------|----------------------------------|
+//! | `grb.mxv_dispatch` | none            | planner, before an `mxv` product |
+//! | `grb.mxm_dispatch` | none            | planner, before an `mxm` product |
+//! | `serve.batch`      | none            | service, per batched engine call |
+//! | `serve.lane`       | lane source     | service, per dispatched lane     |
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What a fail point does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic at the fail point with an [`InjectedPanic`] payload (the
+    /// containment layer recognises and silences it).
+    Panic,
+    /// Fail transiently: fallible paths return
+    /// [`GrbError::FaultInjected`](crate::grb::GrbError); the service
+    /// schedules a budgeted, backed-off retry.
+    Transient,
+    /// Add this many virtual-clock ticks of execution latency (reported,
+    /// never slept — the injector performs no wall-clock operation).
+    Latency(u64),
+}
+
+/// One named fail point in a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FailSpec {
+    /// The dispatch site this spec arms (e.g. `"serve.lane"`).
+    pub point: &'static str,
+    /// What happens when the point fires.
+    pub action: FaultAction,
+    /// Probability in `[0, 1]` that an armed call site fires (1.0 = always).
+    pub probability: f64,
+    /// When `Some(v)`, only call sites whose argument equals `v` are armed
+    /// (e.g. poison exactly the lane whose source is `v`).
+    pub match_arg: Option<usize>,
+    /// When `Some(n)`, the spec disarms after firing `n` times.
+    pub max_fires: Option<u64>,
+}
+
+impl FailSpec {
+    /// A spec that always fires at `point` with `action`.
+    pub fn always(point: &'static str, action: FaultAction) -> Self {
+        FailSpec {
+            point,
+            action,
+            probability: 1.0,
+            match_arg: None,
+            max_fires: None,
+        }
+    }
+
+    /// Restrict the spec to call sites whose argument equals `arg`.
+    pub fn with_arg(mut self, arg: usize) -> Self {
+        self.match_arg = Some(arg);
+        self
+    }
+
+    /// Fire with the given probability instead of always.
+    pub fn with_probability(mut self, p: f64) -> Self {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Disarm after `n` firings.
+    pub fn with_max_fires(mut self, n: u64) -> Self {
+        self.max_fires = Some(n);
+        self
+    }
+}
+
+/// An ordered registry of [`FailSpec`]s (first matching armed spec wins).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    specs: Vec<FailSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no point ever fires).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a spec (builder style).
+    pub fn with(mut self, spec: FailSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The registered specs, in priority order.
+    pub fn specs(&self) -> &[FailSpec] {
+        &self.specs
+    }
+}
+
+/// The panic payload of [`FaultAction::Panic`].  Containment layers match
+/// on this type to distinguish an injected crash from a genuine bug (the
+/// chaos tests' panic hook silences only these).
+#[derive(Debug, Clone)]
+pub struct InjectedPanic {
+    /// The fail point that fired.
+    pub point: &'static str,
+}
+
+/// Per-action firing counters, for observability and test assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounts {
+    /// Panics injected.
+    pub panics: u64,
+    /// Transient errors injected.
+    pub transients: u64,
+    /// Latency injections (count of firings, not total ticks).
+    pub latencies: u64,
+}
+
+/// A seeded fault injector: [`FaultPlan`] + private splitmix64 stream +
+/// firing counters.  Cheap to share (`Arc`) between a service and the
+/// matrix context it serves; thread-safe (the PRNG draw is a mutex'd u64
+/// step, the counters are relaxed atomics).
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Mutex<u64>,
+    fired: [AtomicU64; 3],
+    per_spec: Vec<AtomicU64>,
+}
+
+/// One splitmix64 step — the same generator the compat `rand` crate uses,
+/// inlined here so the core crate stays dependency-free.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`, drawing from a stream seeded with
+    /// `seed`.
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        let per_spec = plan.specs().iter().map(|_| AtomicU64::new(0)).collect();
+        FaultInjector {
+            plan,
+            rng: Mutex::new(seed),
+            fired: std::array::from_fn(|_| AtomicU64::new(0)),
+            per_spec,
+        }
+    }
+
+    /// An injector that never fires (the zero-overhead "disabled" value for
+    /// code that wants to avoid an `Option`).
+    pub fn disabled() -> Self {
+        Self::new(0, FaultPlan::new())
+    }
+
+    /// Should the fail point `point`, called with `arg`, fire — and with
+    /// what action?  Walks the plan in order; the first armed spec whose
+    /// point and argument filter match gets a probability draw from the
+    /// seeded stream.  Returns `None` when nothing fires.
+    pub fn fire(&self, point: &str, arg: Option<usize>) -> Option<FaultAction> {
+        for (i, spec) in self.plan.specs().iter().enumerate() {
+            if spec.point != point {
+                continue;
+            }
+            if let Some(want) = spec.match_arg {
+                if arg != Some(want) {
+                    continue;
+                }
+            }
+            if let Some(cap) = spec.max_fires {
+                if self.per_spec[i].load(Ordering::Relaxed) >= cap {
+                    continue;
+                }
+            }
+            let hit = if spec.probability >= 1.0 {
+                true
+            } else if spec.probability <= 0.0 {
+                false
+            } else {
+                let draw = {
+                    let mut state = self.rng.lock().expect("fault injector rng poisoned");
+                    splitmix64(&mut state)
+                };
+                // 53 high bits → uniform f64 in [0, 1).
+                let u = (draw >> 11) as f64 / (1u64 << 53) as f64;
+                u < spec.probability
+            };
+            if hit {
+                self.per_spec[i].fetch_add(1, Ordering::Relaxed);
+                let slot = match spec.action {
+                    FaultAction::Panic => 0,
+                    FaultAction::Transient => 1,
+                    FaultAction::Latency(_) => 2,
+                };
+                self.fired[slot].fetch_add(1, Ordering::Relaxed);
+                return Some(spec.action);
+            }
+        }
+        None
+    }
+
+    /// How often each action class has fired so far.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            panics: self.fired[0].load(Ordering::Relaxed),
+            transients: self.fired[1].load(Ordering::Relaxed),
+            latencies: self.fired[2].load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let inj = FaultInjector::disabled();
+        for _ in 0..100 {
+            assert_eq!(inj.fire("serve.lane", Some(3)), None);
+        }
+        assert_eq!(inj.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn arg_filter_targets_one_lane() {
+        let plan =
+            FaultPlan::new().with(FailSpec::always("serve.lane", FaultAction::Panic).with_arg(7));
+        let inj = FaultInjector::new(1, plan);
+        assert_eq!(inj.fire("serve.lane", Some(3)), None);
+        assert_eq!(inj.fire("serve.lane", Some(7)), Some(FaultAction::Panic));
+        assert_eq!(inj.fire("serve.batch", Some(7)), None, "point name gates");
+        assert_eq!(inj.counts().panics, 1);
+    }
+
+    #[test]
+    fn max_fires_disarms() {
+        let plan = FaultPlan::new()
+            .with(FailSpec::always("serve.batch", FaultAction::Transient).with_max_fires(2));
+        let inj = FaultInjector::new(9, plan);
+        assert!(inj.fire("serve.batch", None).is_some());
+        assert!(inj.fire("serve.batch", None).is_some());
+        assert_eq!(inj.fire("serve.batch", None), None, "budget exhausted");
+        assert_eq!(inj.counts().transients, 2);
+    }
+
+    #[test]
+    fn probability_draws_are_seed_deterministic() {
+        let mk = |seed| {
+            let plan = FaultPlan::new().with(
+                FailSpec::always("grb.mxv_dispatch", FaultAction::Latency(5)).with_probability(0.5),
+            );
+            FaultInjector::new(seed, plan)
+        };
+        let trace = |inj: &FaultInjector| -> Vec<bool> {
+            (0..64)
+                .map(|_| inj.fire("grb.mxv_dispatch", None).is_some())
+                .collect()
+        };
+        let (a, b) = (mk(42), mk(42));
+        assert_eq!(trace(&a), trace(&b), "same seed, same firing sequence");
+        let c = mk(43);
+        assert_ne!(trace(&a), trace(&c), "different seed, different sequence");
+        let hits = trace(&a).iter().filter(|&&h| h).count();
+        assert!((16..=48).contains(&hits), "p=0.5 over 64 draws: got {hits}");
+    }
+
+    #[test]
+    fn first_matching_spec_wins() {
+        let plan = FaultPlan::new()
+            .with(FailSpec::always("serve.lane", FaultAction::Transient).with_arg(1))
+            .with(FailSpec::always("serve.lane", FaultAction::Panic));
+        let inj = FaultInjector::new(3, plan);
+        assert_eq!(
+            inj.fire("serve.lane", Some(1)),
+            Some(FaultAction::Transient)
+        );
+        assert_eq!(inj.fire("serve.lane", Some(2)), Some(FaultAction::Panic));
+    }
+}

@@ -79,6 +79,7 @@ pub mod auto;
 pub mod backend;
 pub mod descriptor;
 pub mod direction;
+pub mod error;
 pub mod ewise;
 pub mod expr;
 pub mod matrix;
@@ -95,6 +96,7 @@ pub use direction::{
     choose_direction, choose_direction_cfg, choose_direction_multi, choose_direction_multi_cfg,
     scatter_penalty, scatter_penalty_parallel, Direction,
 };
+pub use error::GrbError;
 pub use ewise::assign_masked;
 pub use expr::{Expr, Fusion, MultiExpr, MultiProducer, Stage, MAX_STAGES};
 pub use matrix::{Backend, Matrix};

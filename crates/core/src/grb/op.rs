@@ -51,11 +51,13 @@
 
 use bitgblas_perfmodel::{pascal_gtx1080, DeviceProfile};
 
+use crate::faultinject::FaultInjector;
 use crate::semiring::{BinaryOp, Semiring};
 use crate::shard::ShardConfig;
 
 use super::descriptor::{Descriptor, Mask};
 use super::direction::Direction;
+use super::error::GrbError;
 use super::expr::{Expr, Fusion, MultiExpr, MultiProducer, Producer, Stage, MAX_STAGES};
 use super::matrix::Matrix;
 use super::multivec::MultiVec;
@@ -83,6 +85,10 @@ pub struct Context {
     pub seed: u64,
     /// The buffer pool and op counters (fresh in every clone).
     workspace: Workspace,
+    /// Optional seeded fault injector (PR 7): when installed, the planner
+    /// polls the `grb.mxv_dispatch` / `grb.mxm_dispatch` fail points before
+    /// each product.  Interior-mutable so tests can arm a shared context.
+    fault: std::sync::Mutex<Option<std::sync::Arc<crate::faultinject::FaultInjector>>>,
 }
 
 impl Default for Context {
@@ -92,14 +98,16 @@ impl Default for Context {
             sample_rows: 256,
             seed: 0xB17,
             workspace: Workspace::new(),
+            fault: std::sync::Mutex::new(None),
         }
     }
 }
 
 impl Clone for Context {
     /// Clones carry the configuration only — including the push-engine
-    /// thread budget: the workspace is per-context scratch state, so each
-    /// clone starts with an empty pool and zeroed counters.
+    /// thread budget and any installed fault injector: the workspace is
+    /// per-context scratch state, so each clone starts with an empty pool
+    /// and zeroed counters.
     fn clone(&self) -> Self {
         let workspace = Workspace::new();
         workspace.set_push_threads(self.threads());
@@ -108,6 +116,7 @@ impl Clone for Context {
             sample_rows: self.sample_rows,
             seed: self.seed,
             workspace,
+            fault: std::sync::Mutex::new(self.fault_injector()),
         }
     }
 }
@@ -206,8 +215,21 @@ impl Context {
     /// Evaluate a lazy expression chain: plan it ([`super::plan`]), execute
     /// the fused (or node-at-a-time) sweeps, return the result vector.
     /// The builders' `.run(&ctx)` is shorthand for this.
+    ///
+    /// # Panics
+    /// Panics on any precondition [`Context::try_evaluate`] would report as
+    /// a [`GrbError`], with the error's `Display` text as the message.
     pub fn evaluate(&self, expr: Expr<'_>) -> Vector {
-        plan::execute(&expr, self)
+        self.try_evaluate(expr).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Context::evaluate`]: shape/dimension violations (and
+    /// injected transient faults) come back as a typed [`GrbError`] instead
+    /// of a panic — the entry point a serving stack uses so one malformed
+    /// chain cannot detonate a batch.
+    #[must_use = "the typed error must be handled, not dropped"]
+    pub fn try_evaluate(&self, expr: Expr<'_>) -> Result<Vector, GrbError> {
+        plan::try_execute(&expr, self)
     }
 
     /// Return a finished vector's buffer to the pool so the next operation
@@ -220,8 +242,36 @@ impl Context {
     /// Evaluate a lazy **batched** expression chain (matrix × multivector):
     /// plan it, execute the batched sweeps, return the `n × k` result.
     /// The [`MxmBuilder`]'s `.run(&ctx)` is shorthand for this.
+    ///
+    /// # Panics
+    /// Panics on any precondition [`Context::try_evaluate_multi`] would
+    /// report as a [`GrbError`], with the error's `Display` text.
     pub fn evaluate_multi(&self, expr: MultiExpr<'_>) -> MultiVec {
-        plan::execute_multi(&expr, self)
+        self.try_evaluate_multi(expr)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Context::evaluate_multi`] — the batched counterpart of
+    /// [`Context::try_evaluate`].
+    #[must_use = "the typed error must be handled, not dropped"]
+    pub fn try_evaluate_multi(&self, expr: MultiExpr<'_>) -> Result<MultiVec, GrbError> {
+        plan::try_execute_multi(&expr, self)
+    }
+
+    /// Install (or with `None`, remove) a seeded [`FaultInjector`] — the
+    /// planner will poll its `grb.mxv_dispatch` / `grb.mxm_dispatch` fail
+    /// points before every product dispatched through this context.
+    /// Interior-mutable, like [`Context::set_threads`].
+    pub fn set_fault_injector(&self, injector: Option<std::sync::Arc<FaultInjector>>) {
+        *self.fault.lock().expect("fault injector slot poisoned") = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<std::sync::Arc<FaultInjector>> {
+        self.fault
+            .lock()
+            .expect("fault injector slot poisoned")
+            .clone()
     }
 
     /// Return a finished multi-vector's buffer to the pool (the batched
@@ -463,8 +513,19 @@ impl<'a> MxvBuilder<'a> {
     }
 
     /// Evaluate the chain against the context ([`Context::evaluate`]).
+    ///
+    /// # Panics
+    /// Panics on shape/dimension violations; [`MxvBuilder::try_run`] is the
+    /// fallible form.
     pub fn run(self, ctx: &Context) -> Vector {
         ctx.evaluate(self.build())
+    }
+
+    /// Evaluate the chain, reporting precondition violations as a typed
+    /// [`GrbError`] instead of panicking ([`Context::try_evaluate`]).
+    #[must_use = "the typed error must be handled, not dropped"]
+    pub fn try_run(self, ctx: &Context) -> Result<Vector, GrbError> {
+        ctx.try_evaluate(self.build())
     }
 }
 
@@ -611,8 +672,20 @@ impl<'a> MxmBuilder<'a> {
 
     /// Evaluate the chain against the context
     /// ([`Context::evaluate_multi`]).
+    ///
+    /// # Panics
+    /// Panics on shape/dimension violations; [`MxmBuilder::try_run`] is the
+    /// fallible form.
     pub fn run(self, ctx: &Context) -> MultiVec {
         ctx.evaluate_multi(self.build())
+    }
+
+    /// Evaluate the batched chain, reporting precondition violations as a
+    /// typed [`GrbError`] instead of panicking
+    /// ([`Context::try_evaluate_multi`]).
+    #[must_use = "the typed error must be handled, not dropped"]
+    pub fn try_run(self, ctx: &Context) -> Result<MultiVec, GrbError> {
+        ctx.try_evaluate_multi(self.build())
     }
 }
 

@@ -45,16 +45,34 @@
 //! [`Workspace`] pool, so a steady-state fused loop
 //! allocates nothing (`crates/core/tests/zero_alloc.rs`).
 
+use crate::faultinject::{FaultAction, InjectedPanic};
 use crate::semiring::{BinaryOp, Semiring};
 
 use super::backend::GrbBackend;
 use super::descriptor::Mask;
 use super::direction::{choose_direction_cfg, choose_direction_multi_cfg, Direction};
+use super::error::GrbError;
 use super::expr::{eval_stages, Expr, Fusion, MultiExpr, MultiProducer, Producer, Stage};
 use super::multivec::MultiVec;
 use super::op::Context;
 use super::vector::Vector;
 use super::workspace::Workspace;
+
+/// Poll the named fail point on the context's injector (if any): a
+/// `Transient` action becomes a typed [`GrbError::FaultInjected`], a
+/// `Panic` action panics with the recognisable [`InjectedPanic`] payload,
+/// and `Latency` is counted by the injector but is a no-op here (the
+/// virtual-clock layers upstream account the added time).
+fn poll_fail_point(ctx: &Context, point: &'static str) -> Result<(), GrbError> {
+    if let Some(inj) = ctx.fault_injector() {
+        match inj.fire(point, None) {
+            Some(FaultAction::Panic) => std::panic::panic_any(InjectedPanic { point }),
+            Some(FaultAction::Transient) => return Err(GrbError::FaultInjected { point }),
+            Some(FaultAction::Latency(_)) | None => {}
+        }
+    }
+    Ok(())
+}
 
 /// Everything a backend needs to execute one fused matrix-vector pipeline
 /// in a single sweep: the (pre-scaled) operand, the resolved direction
@@ -220,8 +238,8 @@ fn effective_push_threads(state: &dyn GrbBackend, of_transpose: bool, ctx: &Cont
 }
 
 /// Evaluate an expression chain against a context (the implementation of
-/// [`Context::evaluate`]).
-pub(crate) fn execute(expr: &Expr<'_>, ctx: &Context) -> Vector {
+/// [`Context::try_evaluate`]; [`Context::evaluate`] panics on the `Err`).
+pub(crate) fn try_execute(expr: &Expr<'_>, ctx: &Context) -> Result<Vector, GrbError> {
     match expr.producer {
         Producer::Leaf(v) => execute_leaf(expr, v, ctx),
         Producer::Mxv { .. } => execute_mxv(expr, ctx),
@@ -237,7 +255,7 @@ pub(crate) fn execute_reduce(expr: &Expr<'_>, fold: Semiring, ctx: &Context) -> 
         Producer::Leaf(v) if expr.fusion() == Fusion::Fused => {
             let stages = expr.stages();
             let accum = expr.accum.map(|(op, w)| (op, w.as_slice()));
-            check_chain_lengths(expr, v.len());
+            check_chain_lengths(expr, v.len()).unwrap_or_else(|e| panic!("{e}"));
             // Monomorphic fast path for the dot-product shape
             // (`Op::ewise_mult(&a, &b).reduce()`).
             if accum.is_none() && fold == Semiring::Arithmetic {
@@ -266,7 +284,7 @@ pub(crate) fn execute_reduce(expr: &Expr<'_>, fold: Semiring, ctx: &Context) -> 
             acc
         }
         _ => {
-            let out = execute(expr, ctx);
+            let out = try_execute(expr, ctx).unwrap_or_else(|e| panic!("{e}"));
             let r = fold.reduce_slice(out.as_slice());
             ctx.recycle(out);
             r
@@ -274,24 +292,29 @@ pub(crate) fn execute_reduce(expr: &Expr<'_>, fold: Semiring, ctx: &Context) -> 
     }
 }
 
-/// Assert every stage operand and the accumulator match the produced length.
-fn check_chain_lengths(expr: &Expr<'_>, produced: usize) {
+/// Check every stage operand and the accumulator match the produced length.
+fn check_chain_lengths(expr: &Expr<'_>, produced: usize) -> Result<(), GrbError> {
     for stage in expr.stages() {
         if let Stage::Ewise { operand, .. } = stage {
-            assert_eq!(
-                operand.len(),
-                produced,
-                "ewise stage operand length must equal output length"
-            );
+            if operand.len() != produced {
+                return Err(GrbError::LengthMismatch {
+                    what: "ewise stage operand length must equal output length",
+                    expected: produced,
+                    got: operand.len(),
+                });
+            }
         }
     }
     if let Some((_, w)) = expr.accum {
-        assert_eq!(
-            w.len(),
-            produced,
-            "accumulator length must equal output length"
-        );
+        if w.len() != produced {
+            return Err(GrbError::LengthMismatch {
+                what: "accumulator length must equal output length",
+                expected: produced,
+                got: w.len(),
+            });
+        }
     }
+    Ok(())
 }
 
 /// The defining node-at-a-time epilogue: one full pass per stage, then an
@@ -320,8 +343,8 @@ fn finish_node_at_a_time(
     }
 }
 
-fn execute_leaf(expr: &Expr<'_>, v: &Vector, ctx: &Context) -> Vector {
-    check_chain_lengths(expr, v.len());
+fn execute_leaf(expr: &Expr<'_>, v: &Vector, ctx: &Context) -> Result<Vector, GrbError> {
+    check_chain_lengths(expr, v.len())?;
     let ws = ctx.workspace();
     let mut out = ws.take_empty::<f32>();
     out.extend_from_slice(v.as_slice());
@@ -340,10 +363,10 @@ fn execute_leaf(expr: &Expr<'_>, v: &Vector, ctx: &Context) -> Vector {
             &mut out,
         );
     }
-    Vector::from_vec(out)
+    Ok(Vector::from_vec(out))
 }
 
-fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Vector {
+fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Result<Vector, GrbError> {
     let Producer::Mxv {
         a,
         x,
@@ -363,23 +386,33 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Vector {
     } else {
         (a.ncols(), a.nrows())
     };
-    assert_eq!(
-        contracted,
-        x.len(),
-        "{} dimension mismatch",
-        if flip { "vxm" } else { "mxv" }
-    );
+    if contracted != x.len() {
+        return Err(GrbError::DimensionMismatch {
+            op: if flip { "vxm" } else { "mxv" },
+            expected: contracted,
+            got: x.len(),
+        });
+    }
     if let Some(m) = mask {
-        assert_eq!(m.len(), produced, "mask length must equal output length");
+        if m.len() != produced {
+            return Err(GrbError::LengthMismatch {
+                what: "mask length must equal output length",
+                expected: produced,
+                got: m.len(),
+            });
+        }
     }
     if let Some(s) = scale {
-        assert_eq!(
-            s.len(),
-            contracted,
-            "input scale length must equal operand length"
-        );
+        if s.len() != contracted {
+            return Err(GrbError::LengthMismatch {
+                what: "input scale length must equal operand length",
+                expected: contracted,
+                got: s.len(),
+            });
+        }
     }
-    check_chain_lengths(expr, produced);
+    check_chain_lengths(expr, produced)?;
+    poll_fail_point(ctx, "grb.mxv_dispatch")?;
 
     let state = a.state();
     let ws = ctx.workspace();
@@ -520,46 +553,56 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Vector {
         ws.give(buf);
     }
     debug_assert_eq!(out.len(), produced);
-    Vector::from_vec(out)
+    Ok(Vector::from_vec(out))
 }
 
 // ---------------------------------------------------------------------------
 // Batched (multi-vector) chains
 // ---------------------------------------------------------------------------
 
-/// Assert every stage operand and the accumulator match the flat produced
+/// Check every stage operand and the accumulator match the flat produced
 /// length of a batched chain.
-fn check_multi_chain_lengths(expr: &MultiExpr<'_>, produced_flat: usize) {
+fn check_multi_chain_lengths(expr: &MultiExpr<'_>, produced_flat: usize) -> Result<(), GrbError> {
     for stage in expr.stages() {
         if let Stage::Ewise { operand, .. } = stage {
-            assert_eq!(
-                operand.len(),
-                produced_flat,
-                "ewise stage operand length must equal the flat output length"
-            );
+            if operand.len() != produced_flat {
+                return Err(GrbError::LengthMismatch {
+                    what: "ewise stage operand length must equal the flat output length",
+                    expected: produced_flat,
+                    got: operand.len(),
+                });
+            }
         }
     }
     if let Some((_, w)) = expr.accum {
-        assert_eq!(
-            w.as_slice().len(),
-            produced_flat,
-            "accumulator shape must equal the output shape"
-        );
+        if w.as_slice().len() != produced_flat {
+            return Err(GrbError::LengthMismatch {
+                what: "accumulator shape must equal the output shape",
+                expected: produced_flat,
+                got: w.as_slice().len(),
+            });
+        }
     }
+    Ok(())
 }
 
 /// Evaluate a batched expression chain against a context (the
-/// implementation of [`Context::evaluate_multi`]).
-pub(crate) fn execute_multi(expr: &MultiExpr<'_>, ctx: &Context) -> MultiVec {
+/// implementation of [`Context::try_evaluate_multi`];
+/// [`Context::evaluate_multi`] panics on the `Err`).
+pub(crate) fn try_execute_multi(expr: &MultiExpr<'_>, ctx: &Context) -> Result<MultiVec, GrbError> {
     match expr.producer {
         MultiProducer::Leaf(v) => execute_multi_leaf(expr, v, ctx),
         MultiProducer::Mxm { .. } => execute_mxm(expr, ctx),
     }
 }
 
-fn execute_multi_leaf(expr: &MultiExpr<'_>, v: &MultiVec, ctx: &Context) -> MultiVec {
+fn execute_multi_leaf(
+    expr: &MultiExpr<'_>,
+    v: &MultiVec,
+    ctx: &Context,
+) -> Result<MultiVec, GrbError> {
     let (n, k) = (v.n_nodes(), v.n_lanes());
-    check_multi_chain_lengths(expr, n * k);
+    check_multi_chain_lengths(expr, n * k)?;
     let ws = ctx.workspace();
     let mut out = ws.take_empty::<f32>();
     out.extend_from_slice(v.as_slice());
@@ -570,7 +613,7 @@ fn execute_multi_leaf(expr: &MultiExpr<'_>, v: &MultiVec, ctx: &Context) -> Mult
     } else {
         finish_node_at_a_time(expr.stages(), accum, ws, &mut out);
     }
-    MultiVec::from_vec(out, n, k)
+    Ok(MultiVec::from_vec(out, n, k))
 }
 
 /// Execute the batched matrix × multivector producer and its epilogue.
@@ -587,7 +630,7 @@ fn execute_multi_leaf(expr: &MultiExpr<'_>, v: &MultiVec, ctx: &Context) -> Mult
 /// [`GrbBackend::mxm_into`]: super::GrbBackend::mxm_into
 /// [`GrbBackend::mxm_push_into`]: super::GrbBackend::mxm_push_into
 /// [`GrbBackend::ewise_chain_into`]: super::GrbBackend::ewise_chain_into
-fn execute_mxm(expr: &MultiExpr<'_>, ctx: &Context) -> MultiVec {
+fn execute_mxm(expr: &MultiExpr<'_>, ctx: &Context) -> Result<MultiVec, GrbError> {
     let MultiProducer::Mxm {
         a,
         x,
@@ -606,22 +649,33 @@ fn execute_mxm(expr: &MultiExpr<'_>, ctx: &Context) -> MultiVec {
     } else {
         (a.ncols(), a.nrows())
     };
-    assert_eq!(contracted, x.n_nodes(), "mxm dimension mismatch");
+    if contracted != x.n_nodes() {
+        return Err(GrbError::DimensionMismatch {
+            op: "mxm",
+            expected: contracted,
+            got: x.n_nodes(),
+        });
+    }
     if let Some(m) = mask {
-        assert_eq!(
-            m.len(),
-            produced * k,
-            "mxm mask length must equal the flat output length (n · k)"
-        );
+        if m.len() != produced * k {
+            return Err(GrbError::LengthMismatch {
+                what: "mxm mask length must equal the flat output length (n \u{b7} k)",
+                expected: produced * k,
+                got: m.len(),
+            });
+        }
     }
     if let Some(s) = scale {
-        assert_eq!(
-            s.len(),
-            contracted,
-            "input scale length must equal the operand's node count"
-        );
+        if s.len() != contracted {
+            return Err(GrbError::LengthMismatch {
+                what: "input scale length must equal the operand's node count",
+                expected: contracted,
+                got: s.len(),
+            });
+        }
     }
-    check_multi_chain_lengths(expr, produced * k);
+    check_multi_chain_lengths(expr, produced * k)?;
+    poll_fail_point(ctx, "grb.mxm_dispatch")?;
 
     let state = a.state();
     let ws = ctx.workspace();
@@ -699,5 +753,5 @@ fn execute_mxm(expr: &MultiExpr<'_>, ctx: &Context) -> MultiVec {
         ws.give(buf);
     }
     debug_assert_eq!(out.len(), produced * k);
-    MultiVec::from_vec(out, produced, k)
+    Ok(MultiVec::from_vec(out, produced, k))
 }

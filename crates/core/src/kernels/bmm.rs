@@ -61,7 +61,7 @@ fn transpose_tiles<W: BitWord>(b: &B2sr<W>) -> Vec<W> {
 /// # Panics
 /// Panics if the operands' dimensions or tile sizes are incompatible.
 pub fn bmm_bin_bin_sum<W: BitWord>(a: &B2sr<W>, b: &B2sr<W>) -> u64 {
-    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    debug_assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
     assert_eq!(
         a.tile_dim(),
         b.tile_dim(),
@@ -106,8 +106,8 @@ pub fn bmm_bin_bin_sum<W: BitWord>(a: &B2sr<W>, b: &B2sr<W>) -> u64 {
 /// # Panics
 /// Panics if dimensions or tile sizes are incompatible.
 pub fn bmm_bin_bin_sum_masked<W: BitWord>(a: &B2sr<W>, b: &B2sr<W>, mask: &B2sr<W>) -> u64 {
-    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
-    assert_eq!(a.nrows(), mask.nrows(), "mask must match the output rows");
+    debug_assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    debug_assert_eq!(a.nrows(), mask.nrows(), "mask must match the output rows");
     assert_eq!(
         b.ncols(),
         mask.ncols(),
@@ -211,11 +211,11 @@ pub fn bmm_bin_bits_into<W: BitWord>(
         xw.len() >= a.ncols() * wpn,
         "operand has too few lane words"
     );
-    assert!(xa.len() >= a.n_tile_cols(), "active mask has too few words");
+    debug_assert!(xa.len() >= a.n_tile_cols(), "active mask has too few words");
     if let Some(s) = sup {
-        assert!(s.len() >= a.nrows() * wpn, "mask has too few lane words");
+        debug_assert!(s.len() >= a.nrows() * wpn, "mask has too few lane words");
     }
-    assert!(
+    debug_assert!(
         yw.len() >= a.n_tile_rows() * dim * wpn,
         "output has too few lane words"
     );
@@ -324,7 +324,7 @@ pub fn bmm_push_bits<W: BitWord>(
         xw.len() >= a.nrows() * wpn,
         "operand has too few lane words"
     );
-    assert!(yw.len() >= a.ncols() * wpn, "output has too few lane words");
+    debug_assert!(yw.len() >= a.ncols() * wpn, "output has too few lane words");
     let ncols = a.ncols();
     for &u in frontier {
         debug_assert!(u < a.nrows(), "frontier node out of range");
@@ -382,13 +382,13 @@ pub fn bmm_bin_full_into<W: BitWord>(
     y: &mut [f32],
 ) {
     let dim = a.tile_dim();
-    assert!(x.len() >= a.ncols() * k, "operand shorter than ncols * k");
-    assert!(
+    debug_assert!(x.len() >= a.ncols() * k, "operand shorter than ncols * k");
+    debug_assert!(
         y.len() >= a.n_tile_rows() * dim * k,
         "output shorter than the padded row count * k"
     );
     if let Some(xa) = xa {
-        assert!(xa.len() >= a.n_tile_cols(), "active mask has too few words");
+        debug_assert!(xa.len() >= a.n_tile_cols(), "active mask has too few words");
         debug_assert!(
             semiring.push_safe(),
             "active-skip needs a push-safe semiring"
@@ -456,7 +456,7 @@ pub fn bmm_push_bin_full<W: BitWord, M: Fn(usize) -> bool>(
     y: &mut [f32],
 ) {
     let dim = a.tile_dim();
-    assert!(x.len() >= a.nrows() * k, "operand shorter than nrows * k");
+    debug_assert!(x.len() >= a.nrows() * k, "operand shorter than nrows * k");
     let ncols = a.ncols();
     for &u in frontier {
         debug_assert!(u < a.nrows(), "frontier node out of range");
@@ -505,7 +505,7 @@ pub fn bmm_push_bits_sharded<W: BitWord>(
 ) {
     let width = a.ncols() * wpn;
     let n_seg = cuts.len().saturating_sub(1);
-    assert!(yw.len() >= width, "output has too few lane words");
+    debug_assert!(yw.len() >= width, "output has too few lane words");
     assert!(
         scratch.len() >= n_seg * width,
         "scratch must hold one output-width chunk per segment"
@@ -543,7 +543,7 @@ pub fn bmm_push_bin_full_sharded<W: BitWord, M: Fn(usize) -> bool + Sync>(
 ) {
     let width = a.ncols() * k;
     let n_seg = cuts.len().saturating_sub(1);
-    assert!(y.len() >= width, "output shorter than ncols * k");
+    debug_assert!(y.len() >= width, "output shorter than ncols * k");
     assert!(
         scratch.len() >= n_seg * width,
         "scratch must hold one output-width chunk per segment"

@@ -104,8 +104,8 @@ pub fn bmv_bin_bin_bin<W: BitWord>(a: &B2sr<W>, x: &[W]) -> Vec<W> {
 /// As [`bmv_bin_bin_bin`], writing into a caller-supplied slice of
 /// `n_tile_rows` words (every word is overwritten).
 pub fn bmv_bin_bin_bin_into<W: BitWord>(a: &B2sr<W>, x: &[W], y: &mut [W]) {
-    assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
-    assert!(y.len() >= a.n_tile_rows(), "output has too few tile words");
+    debug_assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
+    debug_assert!(y.len() >= a.n_tile_rows(), "output has too few tile words");
     let dim = a.tile_dim();
     y.par_iter_mut().enumerate().for_each(|(tr, out)| {
         if tr >= a.n_tile_rows() {
@@ -141,9 +141,9 @@ pub fn bmv_bin_bin_bin_masked<W: BitWord>(a: &B2sr<W>, x: &[W], mask: &[W]) -> V
 /// As [`bmv_bin_bin_bin_masked`], writing into a caller-supplied slice of
 /// `n_tile_rows` words (every word is overwritten).
 pub fn bmv_bin_bin_bin_masked_into<W: BitWord>(a: &B2sr<W>, x: &[W], mask: &[W], y: &mut [W]) {
-    assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
-    assert!(mask.len() >= a.n_tile_rows(), "mask has too few tile words");
-    assert!(y.len() >= a.n_tile_rows(), "output has too few tile words");
+    debug_assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
+    debug_assert!(mask.len() >= a.n_tile_rows(), "mask has too few tile words");
+    debug_assert!(y.len() >= a.n_tile_rows(), "output has too few tile words");
     let dim = a.tile_dim();
     y.par_iter_mut().enumerate().for_each(|(tr, out)| {
         if tr >= a.n_tile_rows() {
@@ -172,7 +172,7 @@ pub fn bmv_bin_bin_bin_masked_into<W: BitWord>(a: &B2sr<W>, x: &[W], mask: &[W],
 /// (`__popc(A & b)` accumulated per tile), i.e. the arithmetic semiring over
 /// binary operands.
 pub fn bmv_bin_bin_full<W: BitWord>(a: &B2sr<W>, x: &[W]) -> Vec<f32> {
-    assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
+    debug_assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
     let dim = a.tile_dim();
     let padded = a.n_tile_rows() * dim;
     let mut y = vec![0.0f32; padded];
@@ -193,7 +193,7 @@ pub fn bmv_bin_bin_full<W: BitWord>(a: &B2sr<W>, x: &[W]) -> Vec<f32> {
 /// `bmv_bin_bin_full_masked()`: as [`bmv_bin_bin_full`] but output rows whose
 /// mask bit is set are forced to `0.0`.
 pub fn bmv_bin_bin_full_masked<W: BitWord>(a: &B2sr<W>, x: &[W], mask: &[W]) -> Vec<f32> {
-    assert!(mask.len() >= a.n_tile_rows(), "mask has too few tile words");
+    debug_assert!(mask.len() >= a.n_tile_rows(), "mask has too few tile words");
     let dim = a.tile_dim();
     let mut y = bmv_bin_bin_full(a, x);
     // Apply the mask tile-row by tile-row (bit r of mask[tr] covers row tr*dim+r).
@@ -233,10 +233,10 @@ pub fn bmv_bin_full_full_into<W: BitWord>(
     semiring: Semiring,
     y: &mut [f32],
 ) {
-    assert!(x.len() >= a.ncols(), "vector shorter than matrix columns");
+    debug_assert!(x.len() >= a.ncols(), "vector shorter than matrix columns");
     let dim = a.tile_dim();
     let padded = a.n_tile_rows() * dim;
-    assert!(
+    debug_assert!(
         y.len() >= padded,
         "output shorter than the padded row count"
     );
@@ -291,7 +291,7 @@ pub fn bmv_bin_full_full_masked_into<W: BitWord>(
     semiring: Semiring,
     y: &mut [f32],
 ) {
-    assert!(mask.len() >= a.nrows(), "mask shorter than matrix rows");
+    debug_assert!(mask.len() >= a.nrows(), "mask shorter than matrix rows");
     bmv_bin_full_full_into(a, x, semiring, y);
     let n = a.nrows();
     y[..n].par_iter_mut().enumerate().for_each(|(i, v)| {
@@ -328,7 +328,7 @@ pub fn bmv_bin_full_full_fused_into<W: BitWord, F: Fn(usize, f32) -> f32 + Sync>
     finish: F,
     y: &mut [f32],
 ) {
-    assert!(x.len() >= a.ncols(), "vector shorter than matrix columns");
+    debug_assert!(x.len() >= a.ncols(), "vector shorter than matrix columns");
     match semiring {
         Semiring::Arithmetic => bit_fused_sweep(a, x, 0.0, |v| v, |acc, v| acc + v, finish, y),
         Semiring::Boolean => bit_fused_sweep(
@@ -373,7 +373,7 @@ fn bit_fused_sweep<W, C, R, F>(
     let dim = a.tile_dim();
     let nrows = a.nrows();
     let padded = a.n_tile_rows() * dim;
-    assert!(
+    debug_assert!(
         y.len() >= padded,
         "output shorter than the padded row count"
     );
@@ -443,7 +443,7 @@ fn bit_fused_sweep<W, C, R, F>(
 /// allocation-free — the right shape for tiny frontiers, and the per-segment
 /// worker of [`bmv_push_bin_bin_sharded`] for everything else.
 pub fn bmv_push_bin_bin<W: BitWord>(a: &B2sr<W>, frontier: &[usize], y: &mut [W]) {
-    assert!(y.len() >= a.n_tile_cols(), "output has too few tile words");
+    debug_assert!(y.len() >= a.n_tile_cols(), "output has too few tile words");
     let dim = a.tile_dim();
     let mut i = 0;
     while i < frontier.len() {
@@ -486,7 +486,7 @@ pub fn bmv_push_bin_full<W: BitWord, M: Fn(usize) -> bool>(
     allow: M,
     y: &mut [f32],
 ) {
-    assert!(x.len() >= a.nrows(), "vector shorter than frontier rows");
+    debug_assert!(x.len() >= a.nrows(), "vector shorter than frontier rows");
     let dim = a.tile_dim();
     for &u in frontier {
         let contrib = semiring.combine(x[u]);
@@ -529,7 +529,7 @@ pub fn bmv_push_bin_bin_sharded<W: BitWord>(
 ) {
     let width = a.n_tile_cols();
     let n_seg = cuts.len().saturating_sub(1);
-    assert!(y.len() >= width, "output has too few tile words");
+    debug_assert!(y.len() >= width, "output has too few tile words");
     assert!(
         scratch.len() >= n_seg * width,
         "scratch must hold one output-width chunk per segment"

@@ -39,14 +39,17 @@
 #![deny(unsafe_code)]
 
 pub mod b2sr;
+pub mod faultinject;
 pub mod grb;
 pub mod kernels;
 pub mod semiring;
 pub mod shard;
 
 pub use b2sr::{B2sr, B2srMatrix, TileSize};
+pub use faultinject::{FailSpec, FaultAction, FaultInjector, FaultPlan, InjectedPanic};
 pub use grb::{
-    Backend, Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Matrix, MultiVec, Op, Vector,
+    Backend, Context, Descriptor, Direction, Expr, Fusion, GrbBackend, GrbError, Matrix, MultiVec,
+    Op, Vector,
 };
 pub use semiring::{BinaryOp, Semiring};
 pub use shard::{ShardConfig, ShardPlan};

@@ -1,0 +1,175 @@
+//! Per-coalescing-group circuit breaker.
+//!
+//! Repeated execution failures on one coalescing key (e.g. a poisoned PPR
+//! configuration that panics every dispatch) must not keep burning engine
+//! time and dragging innocent batch-mates down with them.  Each group gets
+//! a three-state breaker:
+//!
+//! ```text
+//!            threshold consecutive failures
+//!   Closed ──────────────────────────────────▶ Open { until }
+//!      ▲                                            │
+//!      │ probe succeeds              cooldown elapses (now ≥ until)
+//!      │                                            ▼
+//!      └──────────────────────────────────────  HalfOpen
+//!                     probe fails: back to Open { now + cooldown }
+//! ```
+//!
+//! * **Closed** — normal service; a success resets the consecutive-failure
+//!   count, the `threshold`-th consecutive failure trips the breaker.
+//! * **Open** — the group sheds its queue (typed
+//!   [`QueryError::Shed`](crate::QueryError)) and refuses new submissions
+//!   ([`SubmitError::CircuitOpen`](crate::SubmitError)) until the cooldown
+//!   tick.
+//! * **HalfOpen** — one *probe* batch (capped at a single lane) is allowed
+//!   through; its outcome decides between re-closing and re-opening.
+//!
+//! Like everything else in the scheduler, transitions are functions of the
+//! caller-supplied [`Tick`] clock — the breaker never reads wall time, so
+//! trip/cooldown/probe sequences replay deterministically in tests.
+
+use crate::query::Tick;
+
+/// The breaker's position in the state machine above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal service (tracks consecutive failures internally).
+    Closed,
+    /// Shedding: no dispatches, submissions refused until the given tick.
+    Open {
+        /// The tick at which the breaker half-opens.
+        until: Tick,
+    },
+    /// Cooldown elapsed; exactly one single-lane probe may dispatch.
+    HalfOpen,
+}
+
+/// What the breaker allows a group to do right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Closed: dispatch freely.
+    Allow,
+    /// Half-open: dispatch one probe batch capped at a single lane.
+    Probe,
+    /// Open: refuse (submissions and dispatches) until the given tick.
+    Refuse {
+        /// The tick at which the breaker half-opens.
+        until: Tick,
+    },
+}
+
+/// One group's breaker.  `threshold` consecutive batch failures trip it;
+/// it stays open for `cooldown` ticks, then half-opens for a probe.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CircuitBreaker {
+    threshold: u32,
+    cooldown: u64,
+    state: BreakerState,
+    consecutive_failures: u32,
+}
+
+impl CircuitBreaker {
+    pub(crate) fn new(threshold: u32, cooldown: u64) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        }
+    }
+
+    /// What the group may do at `now`.  An open breaker whose cooldown has
+    /// elapsed transitions to half-open here (the lazy edge of the state
+    /// machine — no background timer exists).
+    pub(crate) fn admission(&mut self, now: Tick) -> Admission {
+        if let BreakerState::Open { until } = self.state {
+            if now >= until {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+        match self.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open { until } => Admission::Refuse { until },
+        }
+    }
+
+    /// A dispatch on this group completed without a panic.
+    pub(crate) fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// A dispatch on this group panicked.  Returns `Some(until)` when this
+    /// failure trips (or re-opens) the breaker — the caller sheds the
+    /// group's queue.
+    pub(crate) fn on_failure(&mut self, now: Tick) -> Option<Tick> {
+        match self.state {
+            BreakerState::HalfOpen => {
+                // The probe failed: straight back to open.
+                let until = now.after(self.cooldown);
+                self.state = BreakerState::Open { until };
+                Some(until)
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    let until = now.after(self.cooldown);
+                    self.state = BreakerState::Open { until };
+                    Some(until)
+                } else {
+                    None
+                }
+            }
+            // Already open: nothing dispatches, so nothing new to trip on.
+            BreakerState::Open { .. } => None,
+        }
+    }
+
+    /// The current state (after applying the lazy open → half-open edge at
+    /// `now`).
+    pub(crate) fn state(&mut self, now: Tick) -> BreakerState {
+        self.admission(now);
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_on_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 100);
+        assert_eq!(b.on_failure(Tick(1)), None);
+        assert_eq!(b.on_failure(Tick(2)), None);
+        // A success in between resets the count.
+        b.on_success();
+        assert_eq!(b.on_failure(Tick(3)), None);
+        assert_eq!(b.on_failure(Tick(4)), None);
+        assert_eq!(b.on_failure(Tick(5)), Some(Tick(105)));
+        assert_eq!(b.admission(Tick(6)), Admission::Refuse { until: Tick(105) });
+    }
+
+    #[test]
+    fn half_opens_after_cooldown_and_probe_decides() {
+        let mut b = CircuitBreaker::new(1, 50);
+        assert_eq!(b.on_failure(Tick(10)), Some(Tick(60)));
+        assert_eq!(b.admission(Tick(59)), Admission::Refuse { until: Tick(60) });
+        // Cooldown elapses: one probe allowed.
+        assert_eq!(b.admission(Tick(60)), Admission::Probe);
+        // Probe fails: re-open for another full cooldown.
+        assert_eq!(b.on_failure(Tick(60)), Some(Tick(110)));
+        assert_eq!(b.admission(Tick(110)), Admission::Probe);
+        // Probe succeeds: closed again.
+        b.on_success();
+        assert_eq!(b.admission(Tick(111)), Admission::Allow);
+        assert_eq!(b.state(Tick(111)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn threshold_is_at_least_one() {
+        let mut b = CircuitBreaker::new(0, 10);
+        assert!(b.on_failure(Tick(0)).is_some());
+    }
+}

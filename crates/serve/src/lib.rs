@@ -12,19 +12,30 @@
 //! word of Boolean state per node), which is exactly the economics the
 //! bit-level batching was built for.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`Query`] / [`QueryResult`] / [`Ticket`] — the request surface.
 //!   Queries carry an optional dispatch **deadline**; expiry is a typed
 //!   [`QueryError::DeadlineExpired`] completion, never a silent drop.
 //! * [`GraphService`] — admission (bounded queue, backpressure via
-//!   [`SubmitError::QueueFull`]), lane coalescing keyed by
+//!   [`SubmitError::QueueFull`], circuit-breaker fail-fast, optional
+//!   deadline-feasibility checks), lane coalescing keyed by
 //!   [`CoalescingKey`], and deadline-aware dispatch on an explicit
 //!   caller-driven [`Tick`] clock (no wall-clock reads in scheduling —
 //!   fully deterministic and testable).
+//! * **Fault containment** — execution runs under a panic guard; a
+//!   panicking batch is bisected to isolate the poison lane (innocents
+//!   complete, the culprit resolves [`QueryError::ExecutionFailed`]),
+//!   transient failures retry with deterministic exponential backoff, and
+//!   repeated panics trip a per-group circuit breaker ([`BreakerState`]).
+//!   A seeded [`FaultInjector`](bitgblas_core::FaultInjector) drives the
+//!   chaos suite; without one, every fail point is inert and execution is
+//!   bit-identical to a fault-free service.
 //! * [`ServiceStats`] — lock-free counters plus a fixed-bucket wait
 //!   histogram ([`ServiceCounts::wait_p50`] / [`wait_p99`](ServiceCounts::wait_p99)),
-//!   in the style of the core's `ExecStats`.
+//!   in the style of the core's `ExecStats`.  At quiescence the ticket
+//!   conservation identity holds: every admitted query resolves exactly
+//!   once ([`ServiceCounts::is_conserved`]).
 //!
 //! # Example
 //!
@@ -71,10 +82,14 @@
 //! assert!((svc.stats().snapshot().mean_batch_occupancy() - 1.5).abs() < 1e-12);
 //! ```
 
+pub mod breaker;
 pub mod query;
 pub mod service;
 pub mod stats;
 
-pub use query::{CoalescingKey, Query, QueryError, QueryResult, SubmitError, Tick, Ticket};
+pub use breaker::BreakerState;
+pub use query::{
+    CoalescingKey, FailureReason, Query, QueryError, QueryResult, SubmitError, Tick, Ticket,
+};
 pub use service::{BatchReport, GraphService, GraphServiceBuilder, MAX_BATCH_LANES};
 pub use stats::{ServiceCounts, ServiceStats, WAIT_BUCKETS};

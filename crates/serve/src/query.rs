@@ -161,6 +161,26 @@ pub enum SubmitError {
         /// Number of vertices in the served graph.
         n: usize,
     },
+    /// The circuit breaker for this query's coalescing group is open after
+    /// repeated execution failures — the service refuses new work for the
+    /// group until the cooldown elapses (fail fast instead of queueing onto
+    /// a known-bad path).
+    CircuitOpen {
+        /// The earliest tick at which the breaker half-opens and admits a
+        /// probe again.
+        until: Tick,
+    },
+    /// Deadline-feasibility admission (opt-in,
+    /// [`deadline_feasibility`](crate::GraphServiceBuilder::deadline_feasibility))
+    /// predicted from the observed wait histogram that this deadline cannot
+    /// be met, so the query is refused at the door instead of expiring in
+    /// queue.
+    InfeasibleDeadline {
+        /// The rejected deadline.
+        deadline: Tick,
+        /// The predicted completion tick (submission + p99 observed wait).
+        predicted: Tick,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -177,6 +197,17 @@ impl std::fmt::Display for SubmitError {
             SubmitError::SourceOutOfRange { source, n } => {
                 write!(f, "source vertex {source} out of range (n = {n})")
             }
+            SubmitError::CircuitOpen { until } => {
+                write!(f, "circuit breaker open until tick {}", until.0)
+            }
+            SubmitError::InfeasibleDeadline {
+                deadline,
+                predicted,
+            } => write!(
+                f,
+                "deadline tick {} is infeasible (predicted completion tick {})",
+                deadline.0, predicted.0
+            ),
         }
     }
 }
@@ -196,6 +227,33 @@ pub enum QueryError {
         /// The pump instant at which the expiry was detected.
         now: Tick,
     },
+    /// The query's execution failed.  A panicking lane is *contained*: the
+    /// dispatch bisects the batch to isolate the poison lane, completes the
+    /// innocents normally, and resolves only the culprit with this error.
+    ExecutionFailed {
+        /// What kind of failure terminated the query.
+        reason: FailureReason,
+    },
+    /// The query was shed from the queue when its group's circuit breaker
+    /// tripped — a typed completion, never a silent drop.
+    Shed {
+        /// The earliest tick at which the breaker half-opens again.
+        until: Tick,
+    },
+}
+
+/// Why an execution terminally failed (see
+/// [`QueryError::ExecutionFailed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The lane's execution panicked; the panic was caught and bisected
+    /// down to this query, which is the poison lane.
+    Panicked,
+    /// The lane failed transiently and exhausted its retry budget.
+    RetriesExhausted {
+        /// Number of attempts made (initial dispatch plus retries).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -205,6 +263,25 @@ impl std::fmt::Display for QueryError {
                 f,
                 "deadline tick {} expired in queue (detected at tick {})",
                 deadline.0, now.0
+            ),
+            QueryError::ExecutionFailed { reason } => match reason {
+                FailureReason::Panicked => {
+                    write!(
+                        f,
+                        "execution panicked (contained; this lane was the poison)"
+                    )
+                }
+                FailureReason::RetriesExhausted { attempts } => {
+                    write!(
+                        f,
+                        "execution failed transiently {attempts} times (retries exhausted)"
+                    )
+                }
+            },
+            QueryError::Shed { until } => write!(
+                f,
+                "shed from queue by a circuit-breaker trip (open until tick {})",
+                until.0
             ),
         }
     }
@@ -216,6 +293,7 @@ impl std::error::Error for QueryError {}
 /// [`take_result`](crate::GraphService::take_result) after the batch it
 /// rode in completes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[must_use = "a dropped ticket makes its result unredeemable"]
 pub struct Ticket(pub(crate) u64);
 
 #[cfg(test)]
@@ -262,5 +340,31 @@ mod tests {
         }
         .to_string();
         assert!(q.contains("10") && q.contains("12"));
+    }
+
+    #[test]
+    fn failure_errors_render() {
+        assert!(SubmitError::CircuitOpen { until: Tick(30) }
+            .to_string()
+            .contains("until tick 30"));
+        assert!(SubmitError::InfeasibleDeadline {
+            deadline: Tick(5),
+            predicted: Tick(40)
+        }
+        .to_string()
+        .contains("infeasible"));
+        assert!(QueryError::ExecutionFailed {
+            reason: FailureReason::Panicked
+        }
+        .to_string()
+        .contains("poison"));
+        assert!(QueryError::ExecutionFailed {
+            reason: FailureReason::RetriesExhausted { attempts: 3 }
+        }
+        .to_string()
+        .contains("3 times"));
+        assert!(QueryError::Shed { until: Tick(99) }
+            .to_string()
+            .contains("99"));
     }
 }

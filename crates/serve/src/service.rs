@@ -1,49 +1,74 @@
 //! The [`GraphService`]: admission, lane-coalescing, deadline-aware
-//! dispatch and result demultiplexing.
+//! dispatch, fault containment and result demultiplexing.
 //!
 //! # Scheduling model
 //!
 //! The service is an explicitly-clocked event machine.  Producers
 //! [`submit`](GraphService::submit) queries (admission: bounded queue with
-//! backpressure, deadline sanity, source validation); a driver loop calls
+//! backpressure, deadline sanity, source validation, circuit-breaker and
+//! optional deadline-feasibility checks); a driver loop calls
 //! [`pump`](GraphService::pump) with the current [`Tick`], and the service
 //! dispatches every *ready* batch synchronously, demuxing per-lane results
 //! into per-ticket slots redeemed with
 //! [`take_result`](GraphService::take_result).  A group of compatible
-//! pending queries (equal [`CoalescingKey`]) is ready when any of:
+//! pending queries (equal [`CoalescingKey`]) is ready when it holds at
+//! least one *eligible* query (its retry backoff, if any, has elapsed) and
+//! any of:
 //!
 //! * **full** — the group holds [`max_lanes`](GraphServiceBuilder::max_lanes)
-//!   queries (a full lane word: dispatch cannot get cheaper per query);
-//! * **window closed** — the group's *oldest* query has waited
+//!   eligible queries (a full lane word: dispatch cannot get cheaper per
+//!   query);
+//! * **window closed** — the group's *oldest* eligible query has waited
 //!   [`coalescing_window`](GraphServiceBuilder::coalescing_window) ticks (a
 //!   lone query never waits longer than the window);
-//! * **deadline reached** — some member's deadline is `now` (dispatching at
-//!   the deadline is the last legal moment, so a query is never coalesced
-//!   *past* its deadline; queries whose deadline already passed are
-//!   completed with the typed [`QueryError::DeadlineExpired`] instead, never
-//!   silently dropped).
+//! * **deadline reached** — some eligible member's deadline is `now`
+//!   (dispatching at the deadline is the last legal moment, so a query is
+//!   never coalesced *past* its deadline; queries whose deadline already
+//!   passed are completed with the typed [`QueryError::DeadlineExpired`]
+//!   instead, never silently dropped).
 //!
 //! [`next_event_time`](GraphService::next_event_time) tells the driver the
 //! earliest tick at which any of those conditions can fire, so drivers
 //! (and the open-loop benchmark) can step the virtual clock event-to-event
 //! without polling.
 //!
+//! # Failure model
+//!
+//! Execution runs under a panic guard.  A panicking batch is **bisected**
+//! to isolate the poison lane: halves re-execute independently, innocent
+//! lanes complete normally, and only the culprit resolves with the typed
+//! [`QueryError::ExecutionFailed`] — at a cost of at most `2·⌈log₂ k⌉`
+//! extra engine calls for a `k`-lane batch.  Transient failures (typed
+//! [`GrbError::FaultInjected`](bitgblas_core::grb::GrbError) from a fail
+//! point, or any other typed engine error) are **retried** with
+//! exponential backoff on the virtual clock, up to a budget; exhaustion is
+//! a typed terminal failure.  Repeated panics on one coalescing key trip a
+//! per-group **circuit breaker** (see [`BreakerState`]) that sheds the
+//! group's queue and refuses new submissions until a cooldown elapses.
+//!
 //! The service itself never reads a wall clock — every scheduling decision
-//! is a function of caller-supplied ticks, which is what makes the deadline
-//! tests deterministic and the benchmark's arrival replay reproducible.
-//! The only `Instant` use is *reporting*: each [`BatchReport`] carries the
+//! (including backoff and breaker cooldowns) is a function of
+//! caller-supplied ticks, which is what makes the deadline and chaos tests
+//! deterministic and the benchmark's arrival replay reproducible.  The
+//! only `Instant` use is *reporting*: each [`BatchReport`] carries the
 //! measured execution time of its batch, which drivers may feed back into
-//! their virtual clock (the open-loop harness does) but the scheduler never
-//! consults.
+//! their virtual clock (the open-loop harness does) but the scheduler
+//! never consults.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
-use bitgblas_algorithms::{bfs_multi_dir, ppr_multi_dir, sssp_multi_dir, PprConfig};
-use bitgblas_core::grb::Direction;
+use bitgblas_algorithms::{try_bfs_multi_dir, try_ppr_multi_dir, try_sssp_multi_dir, PprConfig};
+use bitgblas_core::faultinject::{FaultAction, FaultInjector, InjectedPanic};
+use bitgblas_core::grb::{Direction, GrbError};
 use bitgblas_core::{Fusion, Matrix};
 
-use crate::query::{CoalescingKey, Query, QueryError, QueryResult, SubmitError, Tick, Ticket};
+use crate::breaker::{Admission, BreakerState, CircuitBreaker};
+use crate::query::{
+    CoalescingKey, FailureReason, Query, QueryError, QueryResult, SubmitError, Tick, Ticket,
+};
 use crate::stats::ServiceStats;
 
 /// The hard lane cap: one `u64` lane word — a batch never exceeds 64
@@ -58,32 +83,46 @@ struct Pending {
     query: Query,
     arrival: Tick,
     deadline: Option<Tick>,
+    /// Dispatch attempts so far (0 until the first dispatch resolves).
+    attempts: u32,
+    /// Earliest tick this query may dispatch (arrival, or the end of its
+    /// retry backoff).
+    not_before: Tick,
 }
 
 /// What one [`pump`](GraphService::pump) dispatch executed.
 #[derive(Debug, Clone)]
+#[must_use = "the report carries the dispatch's tickets and measured cost"]
 pub struct BatchReport {
     /// The coalescing group the batch came from.
     pub key: CoalescingKey,
     /// Number of lanes (coalesced queries) in the batch.
     pub lanes: usize,
-    /// Measured execution time of the batched engine call, in microseconds.
-    /// Reporting only — the scheduler never reads it; drivers with a
-    /// virtual clock may add it to their `now`.
+    /// Measured execution time of the batched engine call plus any
+    /// injected virtual latency, in microseconds.  Reporting only — the
+    /// scheduler never reads it; drivers with a virtual clock may add it
+    /// to their `now`.
     pub exec_us: u64,
-    /// The tickets completed by this batch, in lane order.
+    /// The tickets dispatched in this batch, in lane order.  A lane may
+    /// resolve with a result, a typed failure, or a retry — redeem the
+    /// ticket to find out.
     pub tickets: Vec<Ticket>,
 }
 
 /// Configures and builds a [`GraphService`] — see the [module
-/// docs](self) for the scheduling model.
-#[derive(Debug, Clone, Copy)]
+/// docs](self) for the scheduling and failure models.
+#[derive(Debug, Clone)]
 pub struct GraphServiceBuilder<'g> {
     graph: &'g Matrix,
     max_lanes: usize,
     window: u64,
     capacity: usize,
     direction: Direction,
+    fault: Option<Arc<FaultInjector>>,
+    breaker_cfg: Option<(u32, u64)>,
+    retry_max: u32,
+    backoff_base: u64,
+    feasibility: bool,
 }
 
 impl<'g> GraphServiceBuilder<'g> {
@@ -120,15 +159,68 @@ impl<'g> GraphServiceBuilder<'g> {
         self
     }
 
-    /// Build the service.
+    /// Install a seeded [`FaultInjector`].  The service polls the
+    /// `serve.lane` (per lane, arg = source) and `serve.batch` (per engine
+    /// call) fail points, and threads the injector into the graph's
+    /// context so the core `grb.mxv_dispatch` / `grb.mxm_dispatch` points
+    /// fire too.  Without an injector every fail point is inert and
+    /// execution is bit-identical to a fault-free service.
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.fault = Some(injector);
+        self
+    }
+
+    /// Enable the per-coalescing-group circuit breaker: `threshold`
+    /// consecutive panicking dispatches trip it, shedding the group's
+    /// queue and refusing new submissions for `cooldown_ticks`, after
+    /// which one single-lane probe decides between re-closing and
+    /// re-opening (default: disabled).
+    pub fn breaker(mut self, threshold: u32, cooldown_ticks: u64) -> Self {
+        self.breaker_cfg = Some((threshold.max(1), cooldown_ticks));
+        self
+    }
+
+    /// Retry policy for transiently-failed lanes: up to `max_retries`
+    /// requeues, the `i`-th waiting `backoff_base · 2^(i-1)` ticks before
+    /// becoming eligible again (default: 2 retries, base 8 ticks).
+    /// Exhaustion resolves the query with the typed
+    /// [`QueryError::ExecutionFailed`].
+    pub fn retry(mut self, max_retries: u32, backoff_base: u64) -> Self {
+        self.retry_max = max_retries;
+        self.backoff_base = backoff_base;
+        self
+    }
+
+    /// Opt in to deadline-feasibility admission: a submission whose
+    /// deadline precedes `now + p99 observed wait` is refused with
+    /// [`SubmitError::InfeasibleDeadline`] instead of expiring in queue
+    /// (default: off — the estimator needs a warmed-up wait histogram to
+    /// be fair).
+    pub fn deadline_feasibility(mut self, enabled: bool) -> Self {
+        self.feasibility = enabled;
+        self
+    }
+
+    /// Build the service.  Installs the fault injector (if any) on the
+    /// graph's context, so core-level fail points fire for this graph's
+    /// executions.
     pub fn build(self) -> GraphService<'g> {
+        if let Some(inj) = &self.fault {
+            self.graph.context().set_fault_injector(Some(inj.clone()));
+        }
         GraphService {
             graph: self.graph,
             max_lanes: self.max_lanes,
             window: self.window,
             capacity: self.capacity,
             direction: self.direction,
+            fault: self.fault,
+            breaker_cfg: self.breaker_cfg,
+            retry_max: self.retry_max,
+            backoff_base: self.backoff_base,
+            feasibility: self.feasibility,
             groups: Vec::new(),
+            breakers: Vec::new(),
             pending_count: 0,
             completed: HashMap::new(),
             next_ticket: 0,
@@ -137,12 +229,28 @@ impl<'g> GraphServiceBuilder<'g> {
     }
 }
 
+/// How one dispatched lane resolved.
+#[derive(Debug)]
+enum LaneOutcome {
+    Done(QueryResult),
+    Transient,
+    Poisoned,
+}
+
+/// How one engine call over a contiguous lane segment ended.
+enum SegmentOutcome {
+    Done(Vec<QueryResult>),
+    Transient,
+    Panicked,
+}
+
 /// A serving layer over one graph: coalesces independent arriving queries
-/// into `k ≤ 64`-lane batched executions on the multi-source engine and
-/// demuxes per-lane results back to per-query tickets.
+/// into `k ≤ 64`-lane batched executions on the multi-source engine,
+/// contains execution faults, and demuxes per-lane results back to
+/// per-query tickets.
 ///
 /// See the [crate docs](crate) for a worked example and the [module
-/// docs](self) for the scheduling policy.
+/// docs](self) for the scheduling and failure models.
 #[derive(Debug)]
 pub struct GraphService<'g> {
     graph: &'g Matrix,
@@ -150,10 +258,17 @@ pub struct GraphService<'g> {
     window: u64,
     capacity: usize,
     direction: Direction,
+    fault: Option<Arc<FaultInjector>>,
+    breaker_cfg: Option<(u32, u64)>,
+    retry_max: u32,
+    backoff_base: u64,
+    feasibility: bool,
     /// Coalescing groups in first-appearance order (a `Vec`, not a
     /// `HashMap`, so dispatch order is deterministic for a deterministic
     /// drive).  Entries keep FIFO arrival order.
     groups: Vec<(CoalescingKey, VecDeque<Pending>)>,
+    /// Breaker state per coalescing key (persists after a group drains).
+    breakers: Vec<(CoalescingKey, CircuitBreaker)>,
     pending_count: usize,
     completed: HashMap<Ticket, Result<QueryResult, QueryError>>,
     next_ticket: u64,
@@ -162,7 +277,9 @@ pub struct GraphService<'g> {
 
 impl<'g> GraphService<'g> {
     /// Start building a service over `graph` with default policy (64 lanes,
-    /// window 1000 ticks, capacity 1024, [`Direction::Auto`]).
+    /// window 1000 ticks, capacity 1024, [`Direction::Auto`], no fault
+    /// injector, breaker disabled, 2 retries with base-8 backoff,
+    /// feasibility admission off).
     pub fn builder(graph: &'g Matrix) -> GraphServiceBuilder<'g> {
         GraphServiceBuilder {
             graph,
@@ -170,17 +287,25 @@ impl<'g> GraphService<'g> {
             window: 1000,
             capacity: 1024,
             direction: Direction::Auto,
+            fault: None,
+            breaker_cfg: None,
+            retry_max: 2,
+            backoff_base: 8,
+            feasibility: false,
         }
     }
 
     /// Admit a query at tick `now` with an optional dispatch deadline.
     ///
-    /// Admission is where backpressure lives: a full queue refuses the
-    /// query ([`SubmitError::QueueFull`]) instead of buffering without
+    /// Admission is where fault containment starts: a full queue refuses
+    /// the query ([`SubmitError::QueueFull`]) instead of buffering without
     /// bound, a deadline at or before `now` is refused outright
-    /// ([`SubmitError::DeadlineBeforeSubmission`]), and an out-of-range
-    /// source never reaches the engine
-    /// ([`SubmitError::SourceOutOfRange`]).
+    /// ([`SubmitError::DeadlineBeforeSubmission`]), an out-of-range source
+    /// never reaches the engine ([`SubmitError::SourceOutOfRange`]), an
+    /// open circuit breaker fails fast ([`SubmitError::CircuitOpen`]), and
+    /// — when [`deadline_feasibility`](GraphServiceBuilder::deadline_feasibility)
+    /// is on — a deadline the observed wait distribution says cannot be
+    /// met is refused at the door ([`SubmitError::InfeasibleDeadline`]).
     pub fn submit(
         &mut self,
         query: Query,
@@ -194,10 +319,27 @@ impl<'g> GraphService<'g> {
                 n,
             });
         }
+        let key = query.coalescing_key();
+        if self.breaker_cfg.is_some() {
+            if let Admission::Refuse { until } = self.breaker_mut(key).admission(now) {
+                self.stats.record_rejected_circuit_open();
+                return Err(SubmitError::CircuitOpen { until });
+            }
+        }
         if let Some(d) = deadline {
             if d <= now {
                 self.stats.record_rejected_bad_deadline();
                 return Err(SubmitError::DeadlineBeforeSubmission { deadline: d, now });
+            }
+            if self.feasibility {
+                let predicted = now.after(self.stats.snapshot().wait_p99());
+                if predicted > d {
+                    self.stats.record_rejected_infeasible();
+                    return Err(SubmitError::InfeasibleDeadline {
+                        deadline: d,
+                        predicted,
+                    });
+                }
             }
         }
         if self.pending_count >= self.capacity {
@@ -208,12 +350,13 @@ impl<'g> GraphService<'g> {
         }
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
-        let key = query.coalescing_key();
         let pending = Pending {
             ticket,
             query,
             arrival: now,
             deadline,
+            attempts: 0,
+            not_before: now,
         };
         match self.groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, q)) => q.push_back(pending),
@@ -239,56 +382,54 @@ impl<'g> GraphService<'g> {
             .iter()
             .position(|(_, q)| self.group_ready(q, now))
         {
-            reports.push(self.dispatch(gi, now));
+            if let Some(report) = self.dispatch(gi, now, false) {
+                reports.push(report);
+            }
         }
         self.groups.retain(|(_, q)| !q.is_empty());
         reports
     }
 
-    /// Dispatch everything still pending regardless of window/occupancy
-    /// (end-of-stream drain).  Expired queries still complete with the
-    /// typed error, exactly as in [`pump`](GraphService::pump).
+    /// Dispatch everything still pending regardless of window, occupancy
+    /// or retry backoff (end-of-stream drain).  Expired queries still
+    /// complete with the typed error, exactly as in
+    /// [`pump`](GraphService::pump); retry budgets still apply, so the
+    /// drain terminates even under a 100%-transient fault plan.
     pub fn flush(&mut self, now: Tick) -> Vec<BatchReport> {
         self.expire(now);
         let mut reports = Vec::new();
         while let Some(gi) = self.groups.iter().position(|(_, q)| !q.is_empty()) {
-            reports.push(self.dispatch(gi, now));
+            if let Some(report) = self.dispatch(gi, now, true) {
+                reports.push(report);
+            }
         }
         self.groups.retain(|(_, q)| !q.is_empty());
         reports
     }
 
-    /// The earliest tick at which some pending group becomes ready (full
-    /// groups report the arrival tick that filled them; otherwise the
-    /// sooner of the window close and the earliest member deadline).
-    /// `None` when nothing is pending — drivers step their clock
-    /// event-to-event with this instead of polling.
+    /// The earliest tick at which some pending group becomes ready —
+    /// accounting for retry backoff: a lane waiting out its backoff
+    /// contributes candidates at its eligibility tick.  `None` when
+    /// nothing is pending — drivers step their clock event-to-event with
+    /// this instead of polling.
     pub fn next_event_time(&self) -> Option<Tick> {
         self.groups
             .iter()
             .filter(|(_, q)| !q.is_empty())
-            .map(|(_, q)| {
-                if q.len() >= self.max_lanes {
-                    q[self.max_lanes - 1].arrival
-                } else {
-                    let close = q[0].arrival.after(self.window);
-                    q.iter()
-                        .filter_map(|p| p.deadline)
-                        .min()
-                        .map_or(close, |d| close.min(d))
-                }
-            })
+            .filter_map(|(_, q)| self.group_next_event(q))
             .min()
     }
 
     /// Redeem a ticket: `Some(Ok(result))` once the query's batch ran,
-    /// `Some(Err(QueryError))` if it expired in queue, `None` while it is
-    /// still pending (or was already taken).  The slot is consumed.
+    /// `Some(Err(QueryError))` if it expired, terminally failed or was
+    /// shed, `None` while it is still pending (or was already taken).  The
+    /// slot is consumed.
     pub fn take_result(&mut self, ticket: Ticket) -> Option<Result<QueryResult, QueryError>> {
         self.completed.remove(&ticket)
     }
 
-    /// Number of queries waiting in coalescing groups.
+    /// Number of queries waiting in coalescing groups (including lanes
+    /// waiting out a retry backoff).
     pub fn pending_len(&self) -> usize {
         self.pending_count
     }
@@ -304,12 +445,33 @@ impl<'g> GraphService<'g> {
         &self.stats
     }
 
+    /// The circuit-breaker state for `key` at `now`, or `None` when the
+    /// breaker is disabled or the key has never dispatched.
+    pub fn breaker_state(&mut self, key: CoalescingKey, now: Tick) -> Option<BreakerState> {
+        self.breaker_cfg?;
+        self.breakers
+            .iter_mut()
+            .find(|(k, _)| *k == key)
+            .map(|(_, b)| b.state(now))
+    }
+
     /// The graph this service answers queries about.
     pub fn graph(&self) -> &'g Matrix {
         self.graph
     }
 
     // -- internals ----------------------------------------------------------
+
+    /// The breaker for `key`, created on first touch.
+    fn breaker_mut(&mut self, key: CoalescingKey) -> &mut CircuitBreaker {
+        let (threshold, cooldown) = self.breaker_cfg.unwrap_or((u32::MAX, 0));
+        if let Some(i) = self.breakers.iter().position(|(k, _)| *k == key) {
+            return &mut self.breakers[i].1;
+        }
+        self.breakers
+            .push((key, CircuitBreaker::new(threshold, cooldown)));
+        &mut self.breakers.last_mut().unwrap().1
+    }
 
     /// Complete every pending query whose deadline has passed (`now` is
     /// strictly beyond it) with the typed expiry error.
@@ -332,62 +494,301 @@ impl<'g> GraphService<'g> {
         }
     }
 
-    /// Is this group dispatchable at `now`?  (Full, window closed, or a
-    /// member's deadline is due.)
+    /// Is this group dispatchable at `now`?  (Holds an eligible query and
+    /// is full, window-closed, or deadline-due among the eligible.)
     fn group_ready(&self, q: &VecDeque<Pending>, now: Tick) -> bool {
-        if q.is_empty() {
-            return false;
+        let mut eligible = 0usize;
+        let mut oldest: Option<Tick> = None;
+        let mut deadline_due = false;
+        for p in q {
+            if p.not_before > now {
+                continue;
+            }
+            eligible += 1;
+            oldest = Some(oldest.map_or(p.arrival, |o| o.min(p.arrival)));
+            deadline_due |= p.deadline.is_some_and(|d| now >= d);
         }
-        q.len() >= self.max_lanes
-            || now >= q[0].arrival.after(self.window)
-            || q.iter().any(|p| p.deadline.is_some_and(|d| now >= d))
+        match oldest {
+            None => false,
+            Some(oldest) => {
+                eligible >= self.max_lanes || now >= oldest.after(self.window) || deadline_due
+            }
+        }
     }
 
-    /// Pop up to `max_lanes` queries off group `gi` (FIFO), execute them as
-    /// one batched engine call, demux the lanes into completed slots.
-    fn dispatch(&mut self, gi: usize, now: Tick) -> BatchReport {
-        let (key, queue) = &mut self.groups[gi];
-        let key = *key;
-        let k = queue.len().min(self.max_lanes);
-        let batch: Vec<Pending> = queue.drain(..k).collect();
+    /// The earliest tick at which this (non-empty) group can become ready:
+    /// the min over the full-batch candidate (the `max_lanes`-th smallest
+    /// eligibility tick), each member's window close `max(eᵢ, arrivalᵢ +
+    /// window)`, and each member's deadline `max(eᵢ, dᵢ)` (which also
+    /// covers late expiry detection when the backoff outlives the
+    /// deadline).
+    fn group_next_event(&self, q: &VecDeque<Pending>) -> Option<Tick> {
+        let mut cand: Option<Tick> = None;
+        let mut fold = |t: Tick| cand = Some(cand.map_or(t, |c| c.min(t)));
+        if q.len() >= self.max_lanes {
+            let mut eligibles: Vec<Tick> = q.iter().map(|p| p.not_before).collect();
+            eligibles.sort_unstable();
+            fold(eligibles[self.max_lanes - 1]);
+        }
+        for p in q {
+            fold(p.not_before.max(p.arrival.after(self.window)));
+            if let Some(d) = p.deadline {
+                fold(p.not_before.max(d));
+            }
+        }
+        cand
+    }
+
+    /// Resolve every query still queued in group `gi` with the typed
+    /// [`QueryError::Shed`] (circuit-breaker trip).
+    fn shed_group(&mut self, gi: usize, until: Tick) {
+        let (_, queue) = &mut self.groups[gi];
+        let victims: Vec<Ticket> = queue.drain(..).map(|p| p.ticket).collect();
+        for ticket in victims {
+            self.pending_count -= 1;
+            self.completed
+                .insert(ticket, Err(QueryError::Shed { until }));
+            self.stats.record_shed(1);
+        }
+    }
+
+    /// Drain up to the lane cap of *eligible* queries off group `gi`
+    /// (FIFO), execute them under the panic guard (bisecting on panic),
+    /// resolve / retry each lane, and update the group's breaker.
+    ///
+    /// Returns `None` only when the breaker refuses the dispatch (the
+    /// queue is shed instead).
+    fn dispatch(&mut self, gi: usize, now: Tick, ignore_backoff: bool) -> Option<BatchReport> {
+        let key = self.groups[gi].0;
+        let cap = match self
+            .breaker_cfg
+            .map(|_| self.breaker_mut(key).admission(now))
+        {
+            Some(Admission::Refuse { until }) => {
+                // Unreachable in normal operation (a trip sheds the queue
+                // and an open breaker refuses submissions), kept as a
+                // defensive guarantee that an open group never executes.
+                self.shed_group(gi, until);
+                return None;
+            }
+            Some(Admission::Probe) => 1,
+            Some(Admission::Allow) | None => self.max_lanes,
+        };
+
+        let queue = &mut self.groups[gi].1;
+        let mut batch: Vec<Pending> = Vec::new();
+        let mut i = 0;
+        while i < queue.len() && batch.len() < cap {
+            if ignore_backoff || queue[i].not_before <= now {
+                batch.push(queue.remove(i).unwrap());
+            } else {
+                i += 1;
+            }
+        }
+        debug_assert!(
+            !batch.is_empty(),
+            "dispatch on a group with no eligible lane"
+        );
+        let k = batch.len();
         self.pending_count -= k;
 
-        let sources: Vec<usize> = batch.iter().map(|p| p.query.source()).collect();
-        let started = std::time::Instant::now();
-        let lanes = execute_batch(self.graph, self.direction, key, &sources);
-        let exec_us = started.elapsed().as_micros() as u64;
-
-        let mut tickets = Vec::with_capacity(k);
-        for (p, lane) in batch.iter().zip(lanes) {
-            self.completed.insert(p.ticket, Ok(lane));
-            tickets.push(p.ticket);
+        // Pre-sample the per-lane fail point ONCE per dispatch, so the
+        // bisection search re-derives the same panics from these marks
+        // instead of drawing fresh randomness on every probe — that is
+        // what makes the search deterministic and guarantees it converges
+        // on the poison lane.
+        let mut panic_marks = vec![false; k];
+        let mut extra_us = 0u64;
+        let mut outcomes: Vec<Option<LaneOutcome>> = (0..k).map(|_| None).collect();
+        if let Some(inj) = &self.fault {
+            for (i, p) in batch.iter().enumerate() {
+                match inj.fire("serve.lane", Some(p.query.source())) {
+                    Some(FaultAction::Panic) => panic_marks[i] = true,
+                    Some(FaultAction::Transient) => outcomes[i] = Some(LaneOutcome::Transient),
+                    Some(FaultAction::Latency(us)) => extra_us += us,
+                    None => {}
+                }
+            }
         }
+
+        // Execute the lanes not already marked transient, as one guarded
+        // engine call that bisects on panic.
+        let exec_idx: Vec<usize> = (0..k).filter(|&i| outcomes[i].is_none()).collect();
+        let seg: Vec<(usize, bool)> = exec_idx
+            .iter()
+            .map(|&i| (batch[i].query.source(), panic_marks[i]))
+            .collect();
+        let started = std::time::Instant::now();
+        let mut panicked = false;
+        if !seg.is_empty() {
+            let resolved = self.run_bisecting(key, &seg, &mut panicked, true);
+            for (slot, outcome) in exec_idx.into_iter().zip(resolved) {
+                outcomes[slot] = Some(outcome);
+            }
+        }
+        let exec_us = started.elapsed().as_micros() as u64 + extra_us;
+
+        // Resolve each lane: complete, terminally fail, or requeue with
+        // exponential backoff on the virtual clock.
+        let mut tickets = Vec::with_capacity(k);
+        let mut n_completed = 0usize;
+        let mut n_failed = 0usize;
+        let mut requeue: Vec<Pending> = Vec::new();
+        for (mut p, outcome) in batch.iter().copied().zip(outcomes) {
+            tickets.push(p.ticket);
+            match outcome.expect("every lane resolves") {
+                LaneOutcome::Done(result) => {
+                    self.completed.insert(p.ticket, Ok(result));
+                    n_completed += 1;
+                }
+                LaneOutcome::Poisoned => {
+                    self.completed.insert(
+                        p.ticket,
+                        Err(QueryError::ExecutionFailed {
+                            reason: FailureReason::Panicked,
+                        }),
+                    );
+                    n_failed += 1;
+                }
+                LaneOutcome::Transient => {
+                    p.attempts += 1;
+                    if p.attempts > self.retry_max {
+                        self.completed.insert(
+                            p.ticket,
+                            Err(QueryError::ExecutionFailed {
+                                reason: FailureReason::RetriesExhausted {
+                                    attempts: p.attempts,
+                                },
+                            }),
+                        );
+                        n_failed += 1;
+                    } else {
+                        p.not_before = now.after(self.backoff_base << (p.attempts - 1));
+                        requeue.push(p);
+                    }
+                }
+            }
+        }
+        let n_retried = requeue.len();
+        for p in requeue {
+            self.groups[gi].1.push_back(p);
+            self.pending_count += 1;
+        }
+
+        self.stats.record_completed(n_completed);
+        self.stats.record_failed(n_failed);
+        self.stats.record_retry(n_retried);
         self.stats.record_batch(
             k,
             batch.iter().map(|p| now.0.saturating_sub(p.arrival.0)),
             self.pending_count,
         );
-        BatchReport {
+
+        // Batch-level breaker accounting: any caught panic is a failure,
+        // a panic-free dispatch is a success.  A trip sheds what is left
+        // of the group's queue (typed completion, never a silent drop).
+        if self.breaker_cfg.is_some() {
+            if panicked {
+                if let Some(until) = self.breaker_mut(key).on_failure(now) {
+                    self.stats.record_breaker_trip();
+                    self.shed_group(gi, until);
+                }
+            } else {
+                self.breaker_mut(key).on_success();
+            }
+        }
+
+        Some(BatchReport {
             key,
             lanes: k,
             exec_us,
             tickets,
+        })
+    }
+
+    /// Execute `seg` (source, presampled-panic-mark pairs) as one guarded
+    /// engine call; on panic, bisect into halves until the poison lane is
+    /// a singleton.  Innocent lanes complete with their results; the
+    /// culprit resolves [`LaneOutcome::Poisoned`]; a typed engine error
+    /// resolves the whole segment [`LaneOutcome::Transient`].
+    fn run_bisecting(
+        &self,
+        key: CoalescingKey,
+        seg: &[(usize, bool)],
+        panicked: &mut bool,
+        top_level: bool,
+    ) -> Vec<LaneOutcome> {
+        if !top_level {
+            self.stats.record_bisection_dispatch();
+        }
+        match self.run_segment(key, seg) {
+            SegmentOutcome::Done(lanes) => lanes.into_iter().map(LaneOutcome::Done).collect(),
+            SegmentOutcome::Transient => seg.iter().map(|_| LaneOutcome::Transient).collect(),
+            SegmentOutcome::Panicked => {
+                *panicked = true;
+                self.stats.record_panic_contained();
+                if seg.len() == 1 {
+                    vec![LaneOutcome::Poisoned]
+                } else {
+                    let mid = seg.len() / 2;
+                    let mut outcomes = self.run_bisecting(key, &seg[..mid], panicked, false);
+                    outcomes.extend(self.run_bisecting(key, &seg[mid..], panicked, false));
+                    outcomes
+                }
+            }
+        }
+    }
+
+    /// One guarded engine call over a lane segment.  The panic guard is
+    /// what keeps a poisoned lane from taking the service down: pooled
+    /// workspace buffers are owned `Vec`s (no lock is held across kernel
+    /// execution), so unwinding through the engine leaves the context
+    /// usable.
+    fn run_segment(&self, key: CoalescingKey, seg: &[(usize, bool)]) -> SegmentOutcome {
+        let sources: Vec<usize> = seg.iter().map(|&(s, _)| s).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if seg.iter().any(|&(_, mark)| mark) {
+                std::panic::panic_any(InjectedPanic {
+                    point: "serve.lane",
+                });
+            }
+            if let Some(inj) = &self.fault {
+                match inj.fire("serve.batch", None) {
+                    Some(FaultAction::Panic) => std::panic::panic_any(InjectedPanic {
+                        point: "serve.batch",
+                    }),
+                    Some(FaultAction::Transient) => {
+                        return Err(GrbError::FaultInjected {
+                            point: "serve.batch",
+                        })
+                    }
+                    Some(FaultAction::Latency(_)) | None => {}
+                }
+            }
+            try_execute_batch(self.graph, self.direction, key, &sources)
+        }));
+        match result {
+            Ok(Ok(lanes)) => SegmentOutcome::Done(lanes),
+            Ok(Err(_)) => SegmentOutcome::Transient,
+            Err(_payload) => SegmentOutcome::Panicked,
         }
     }
 }
 
 /// Run one coalesced batch on the batched engine and split the `n × k`
 /// result into per-lane [`QueryResult`]s (lane order = `sources` order).
-fn execute_batch(
+/// A typed engine error (e.g. an injected transient at a core dispatch
+/// point) fails the whole call — the service retries the lanes.
+fn try_execute_batch(
     graph: &Matrix,
     direction: Direction,
     key: CoalescingKey,
     sources: &[usize],
-) -> Vec<QueryResult> {
+) -> Result<Vec<QueryResult>, GrbError> {
     let k = sources.len();
-    match key {
+    Ok(match key {
         CoalescingKey::Bfs => {
-            let r = bfs_multi_dir(graph, sources, direction);
+            let r = try_bfs_multi_dir(graph, sources, direction)?;
             (0..k)
                 .map(|l| QueryResult::Bfs {
                     levels: unflatten(&r.levels, k, l),
@@ -395,7 +796,7 @@ fn execute_batch(
                 .collect()
         }
         CoalescingKey::Sssp => {
-            let r = sssp_multi_dir(graph, sources, direction);
+            let r = try_sssp_multi_dir(graph, sources, direction)?;
             (0..k)
                 .map(|l| QueryResult::Sssp {
                     distances: unflatten(&r.distances, k, l),
@@ -416,14 +817,14 @@ fn execute_batch(
                     Fusion::NodeAtATime
                 },
             };
-            let r = ppr_multi_dir(graph, sources, &config, direction);
+            let r = try_ppr_multi_dir(graph, sources, &config, direction)?;
             (0..k)
                 .map(|l| QueryResult::Ppr {
                     scores: unflatten(&r.scores, k, l),
                 })
                 .collect()
         }
-    }
+    })
 }
 
 /// Copy lane `l` out of a flat node-major `n × k` result matrix.
@@ -497,10 +898,10 @@ mod tests {
     fn incompatible_queries_do_not_share_a_batch() {
         let g = graph();
         let mut svc = GraphService::builder(&g).coalescing_window(10).build();
-        svc.submit(Query::bfs(1), Tick(0), None).unwrap();
-        svc.submit(Query::sssp(1), Tick(0), None).unwrap();
-        svc.submit(Query::ppr(1), Tick(0), None).unwrap();
-        svc.submit(Query::bfs(2), Tick(0), None).unwrap();
+        let _ = svc.submit(Query::bfs(1), Tick(0), None).unwrap();
+        let _ = svc.submit(Query::sssp(1), Tick(0), None).unwrap();
+        let _ = svc.submit(Query::ppr(1), Tick(0), None).unwrap();
+        let _ = svc.submit(Query::bfs(2), Tick(0), None).unwrap();
         let reports = svc.pump(Tick(10));
         assert_eq!(reports.len(), 3, "three coalescing groups");
         let bfs_batch = reports
@@ -543,8 +944,8 @@ mod tests {
             .queue_capacity(2)
             .coalescing_window(100)
             .build();
-        svc.submit(Query::bfs(0), Tick(0), None).unwrap();
-        svc.submit(Query::bfs(1), Tick(0), None).unwrap();
+        let _ = svc.submit(Query::bfs(0), Tick(0), None).unwrap();
+        let _ = svc.submit(Query::bfs(1), Tick(0), None).unwrap();
         let err = svc.submit(Query::bfs(2), Tick(0), None).unwrap_err();
         assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
         // Dispatch frees the slots.
@@ -596,15 +997,17 @@ mod tests {
     fn stats_track_occupancy_and_waits() {
         let g = graph();
         let mut svc = GraphService::builder(&g).coalescing_window(64).build();
-        svc.submit(Query::bfs(0), Tick(0), None).unwrap();
-        svc.submit(Query::bfs(1), Tick(32), None).unwrap();
+        let _ = svc.submit(Query::bfs(0), Tick(0), None).unwrap();
+        let _ = svc.submit(Query::bfs(1), Tick(32), None).unwrap();
         svc.pump(Tick(64));
-        svc.submit(Query::sssp(2), Tick(100), None).unwrap();
+        let _ = svc.submit(Query::sssp(2), Tick(100), None).unwrap();
         svc.pump(Tick(164));
         let s = svc.stats().snapshot();
         assert_eq!(s.batches_dispatched, 2);
         assert_eq!(s.lanes_dispatched, 3);
         assert_eq!(s.max_batch_lanes, 2);
+        assert_eq!(s.completed, 3);
+        assert!(s.is_conserved());
         assert!((s.mean_batch_occupancy() - 1.5).abs() < 1e-12);
         // Waits 64, 32, 64 → p50/p99 in the [64, 128) bucket.
         assert_eq!(s.wait_p50(), 128);

@@ -33,11 +33,19 @@ pub struct ServiceStats {
     enqueued: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_bad_deadline: AtomicU64,
+    rejected_circuit_open: AtomicU64,
+    rejected_infeasible: AtomicU64,
     deadline_misses: AtomicU64,
     batches_dispatched: AtomicU64,
     lanes_dispatched: AtomicU64,
     max_batch_lanes: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    shed: AtomicU64,
+    panics_contained: AtomicU64,
+    bisection_dispatches: AtomicU64,
+    breaker_trips: AtomicU64,
     queue_depth: AtomicUsize,
     peak_queue_depth: AtomicUsize,
     wait_hist: [AtomicU64; WAIT_BUCKETS],
@@ -49,11 +57,19 @@ impl Default for ServiceStats {
             enqueued: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
             rejected_bad_deadline: AtomicU64::new(0),
+            rejected_circuit_open: AtomicU64::new(0),
+            rejected_infeasible: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
             batches_dispatched: AtomicU64::new(0),
             lanes_dispatched: AtomicU64::new(0),
             max_batch_lanes: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            panics_contained: AtomicU64::new(0),
+            bisection_dispatches: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             peak_queue_depth: AtomicUsize::new(0),
             wait_hist: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -77,13 +93,24 @@ impl ServiceStats {
         self.rejected_bad_deadline.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_rejected_circuit_open(&self) {
+        self.rejected_circuit_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_infeasible(&self) {
+        self.rejected_infeasible.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_deadline_miss(&self, depth_now: usize) {
         self.deadline_misses.fetch_add(1, Ordering::Relaxed);
         self.queue_depth.store(depth_now, Ordering::Relaxed);
     }
 
     /// One batch of `lanes` queries left the queue for execution; each lane
-    /// waited `wait` ticks.
+    /// waited `wait` ticks.  Dispatch is not completion — lanes resolve
+    /// individually through [`record_completed`](Self::record_completed) /
+    /// [`record_failed`](Self::record_failed) (a lane may be retried and
+    /// dispatch again).
     pub(crate) fn record_batch(
         &self,
         lanes: usize,
@@ -95,11 +122,49 @@ impl ServiceStats {
             .fetch_add(lanes as u64, Ordering::Relaxed);
         self.max_batch_lanes
             .fetch_max(lanes as u64, Ordering::Relaxed);
-        self.completed.fetch_add(lanes as u64, Ordering::Relaxed);
         self.queue_depth.store(depth_now, Ordering::Relaxed);
         for w in waits {
             self.wait_hist[bucket_of(w)].fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// `n` lanes resolved with a result.
+    pub(crate) fn record_completed(&self, n: usize) {
+        self.completed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// `n` lanes resolved with a terminal [`QueryError::ExecutionFailed`]
+    /// (poison lane or retries exhausted).
+    ///
+    /// [`QueryError::ExecutionFailed`]: crate::QueryError::ExecutionFailed
+    pub(crate) fn record_failed(&self, n: usize) {
+        self.failed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// `n` transiently-failed lanes were requeued with backoff.
+    pub(crate) fn record_retry(&self, n: usize) {
+        self.retries.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// `n` queued lanes were shed by a circuit-breaker trip.
+    pub(crate) fn record_shed(&self, n: usize) {
+        self.shed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// One panic was caught and contained by the dispatch path.
+    pub(crate) fn record_panic_contained(&self) {
+        self.panics_contained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One *extra* engine call made by the bisection search (beyond the
+    /// single call a healthy batch costs).
+    pub(crate) fn record_bisection_dispatch(&self) {
+        self.bisection_dispatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A circuit breaker tripped open.
+    pub(crate) fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A plain-data copy of the current counter values.
@@ -108,11 +173,19 @@ impl ServiceStats {
             enqueued: self.enqueued.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_bad_deadline: self.rejected_bad_deadline.load(Ordering::Relaxed),
+            rejected_circuit_open: self.rejected_circuit_open.load(Ordering::Relaxed),
+            rejected_infeasible: self.rejected_infeasible.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
             batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
             lanes_dispatched: self.lanes_dispatched.load(Ordering::Relaxed),
             max_batch_lanes: self.max_batch_lanes.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            bisection_dispatches: self.bisection_dispatches.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             wait_hist: std::array::from_fn(|i| self.wait_hist[i].load(Ordering::Relaxed)),
@@ -130,18 +203,40 @@ pub struct ServiceCounts {
     /// Queries refused at the door because their deadline was not after the
     /// submission tick.
     pub rejected_bad_deadline: u64,
+    /// Queries refused at the door because their group's circuit breaker
+    /// was open.
+    pub rejected_circuit_open: u64,
+    /// Queries refused at the door by deadline-feasibility admission.
+    pub rejected_infeasible: u64,
     /// Admitted queries whose deadline expired in the queue (completed with
     /// the typed [`QueryError::DeadlineExpired`](crate::QueryError) — never
     /// silently dropped).
     pub deadline_misses: u64,
     /// Batches handed to the batched engine.
     pub batches_dispatched: u64,
-    /// Total lanes across all dispatched batches.
+    /// Total lanes across all dispatched batches (a retried lane counts
+    /// once per dispatch).
     pub lanes_dispatched: u64,
     /// Largest single batch (lanes).
     pub max_batch_lanes: u64,
     /// Queries completed with a result.
     pub completed: u64,
+    /// Queries resolved with a terminal
+    /// [`QueryError::ExecutionFailed`](crate::QueryError) (poison lane or
+    /// retries exhausted).
+    pub failed: u64,
+    /// Transiently-failed lanes requeued with backoff.
+    pub retries: u64,
+    /// Queued queries shed by circuit-breaker trips (resolved with the
+    /// typed [`QueryError::Shed`](crate::QueryError)).
+    pub shed: u64,
+    /// Panics caught and contained by the dispatch path.
+    pub panics_contained: u64,
+    /// Extra engine calls made by the bisection search (≤ 2·⌈log₂ k⌉ per
+    /// poison lane in a k-lane batch).
+    pub bisection_dispatches: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
     /// Queue depth after the most recent event.
     pub queue_depth: usize,
     /// Highest queue depth observed.
@@ -184,6 +279,14 @@ impl ServiceCounts {
         1u64 << (WAIT_BUCKETS - 1)
     }
 
+    /// The ticket-conservation identity: at quiescence (nothing pending)
+    /// every admitted query has resolved **exactly once** — completed with
+    /// a result, terminally failed, expired, or shed.  The chaos suite
+    /// asserts this after every fault-injected run.
+    pub fn is_conserved(&self) -> bool {
+        self.enqueued == self.completed + self.failed + self.deadline_misses + self.shed
+    }
+
     /// Median queue wait (bucket upper bound, ticks).
     pub fn wait_p50(&self) -> u64 {
         self.wait_quantile(0.5)
@@ -215,7 +318,9 @@ mod tests {
     fn occupancy_and_quantiles() {
         let stats = ServiceStats::default();
         stats.record_batch(3, [0u64, 5, 1000].into_iter(), 0);
+        stats.record_completed(3);
         stats.record_batch(1, [2u64].into_iter(), 0);
+        stats.record_completed(1);
         let s = stats.snapshot();
         assert_eq!(s.batches_dispatched, 2);
         assert_eq!(s.lanes_dispatched, 4);
@@ -253,8 +358,11 @@ mod tests {
                     for i in 0..1000u64 {
                         stats.record_enqueued(1);
                         stats.record_batch(2, [i % 7, i % 11].into_iter(), 0);
+                        stats.record_completed(2);
                         if i % 10 == 0 {
                             stats.record_deadline_miss(0);
+                            stats.record_retry(1);
+                            stats.record_panic_contained();
                         }
                     }
                 });
@@ -266,6 +374,8 @@ mod tests {
         assert_eq!(s.lanes_dispatched, 8000);
         assert_eq!(s.completed, 8000);
         assert_eq!(s.deadline_misses, 400);
+        assert_eq!(s.retries, 400);
+        assert_eq!(s.panics_contained, 400);
         assert_eq!(s.wait_hist.iter().sum::<u64>(), 8000);
     }
 }
