@@ -1,0 +1,185 @@
+//! Incrementally-maintained Connected Components for streaming edge
+//! insertions (PR 8).
+//!
+//! The mutation subsystem of `bitgblas-core` lets edges land while the
+//! service keeps answering queries; re-running FastSV
+//! ([`connected_components`]) after every
+//! insertion would cost a full traversal per edge.  [`DynamicCc`] instead
+//! maintains a **union-find overlay**: it seeds its parent forest from a
+//! FastSV run over the base snapshot, then folds each inserted edge in with
+//! a min-id union (amortized near-constant time).  Because FastSV labels a
+//! component by its minimum vertex id and the union rule always keeps the
+//! smaller root, the overlay's labels stay *identical* to what a
+//! from-scratch FastSV over `base ⊕ inserts` would produce — verified by
+//! [`DynamicCc::reconcile`], which the writer path calls on compaction.
+//!
+//! Deletions are the classically hard direction (they can split a
+//! component, which union-find cannot express); `reconcile` handles them by
+//! recomputing from the compacted matrix and reporting whether the
+//! incremental state had drifted.
+
+use bitgblas_core::grb::Matrix;
+
+use crate::cc::{connected_components, CcResult};
+
+/// Union-find overlay tracking connected components under streaming edge
+/// insertions, reconciled against FastSV on compaction.
+#[derive(Debug, Clone)]
+pub struct DynamicCc {
+    /// Parent forest; roots are the minimum vertex id of their component
+    /// (FastSV's labelling convention).
+    parent: Vec<usize>,
+    n_components: usize,
+}
+
+impl DynamicCc {
+    /// Seed the overlay from a FastSV run over the matrix (typically a
+    /// pinned [`snapshot`](bitgblas_core::grb::Matrix::snapshot) of the
+    /// graph at the time the stream starts).
+    pub fn new(a: &Matrix) -> DynamicCc {
+        DynamicCc::from_result(&connected_components(a))
+    }
+
+    /// Seed the overlay from an existing FastSV result (avoids re-running
+    /// the traversal when the caller already has one).
+    pub fn from_result(cc: &CcResult) -> DynamicCc {
+        DynamicCc {
+            parent: cc.labels.clone(),
+            n_components: cc.n_components,
+        }
+    }
+
+    /// Number of vertices tracked.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the overlay tracks no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of connected components.
+    pub fn n_components(&self) -> usize {
+        self.n_components
+    }
+
+    /// The component root (minimum vertex id of the component) of `u`, with
+    /// path compression.
+    pub fn find(&mut self, u: usize) -> usize {
+        let mut root = u;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Compress the walked path so follow-up queries are O(1)-ish.
+        let mut cur = u;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Fold an inserted (undirected) edge `u — v` into the overlay.
+    /// Returns `true` when the edge merged two components.  The union keeps
+    /// the smaller root, preserving FastSV's min-id labelling.
+    pub fn insert_edge(&mut self, u: usize, v: usize) -> bool {
+        let ru = self.find(u);
+        let rv = self.find(v);
+        if ru == rv {
+            return false;
+        }
+        let (winner, loser) = if ru < rv { (ru, rv) } else { (rv, ru) };
+        self.parent[loser] = winner;
+        self.n_components -= 1;
+        true
+    }
+
+    /// Fully-compressed labels: `labels()[v]` = minimum vertex id of `v`'s
+    /// component, the same convention as
+    /// [`CcResult::labels`](crate::CcResult).
+    pub fn labels(&mut self) -> Vec<usize> {
+        (0..self.parent.len()).map(|u| self.find(u)).collect()
+    }
+
+    /// Reconcile the overlay against a from-scratch FastSV over `a`
+    /// (typically the post-compaction snapshot).  The overlay is reset to
+    /// the recomputed labelling; the return value reports whether the
+    /// incremental state already matched.  For insert-only streams over the
+    /// matrix the overlay was seeded from this must be `true`; after
+    /// deletions it may legitimately be `false` (a split component), which
+    /// is exactly why the writer path reconciles on compaction.
+    pub fn reconcile(&mut self, a: &Matrix) -> bool {
+        let fresh = connected_components(a);
+        let matched = self.n_components == fresh.n_components && self.labels() == fresh.labels;
+        self.parent = fresh.labels;
+        self.n_components = fresh.n_components;
+        matched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgblas_core::{Backend, EdgeDelta, TileSize};
+    use bitgblas_datagen::generators;
+    use bitgblas_sparse::Coo;
+
+    #[test]
+    fn insertions_track_fastsv_exactly() {
+        // Three separate pieces that the stream gradually joins.
+        let mut coo = Coo::new(10, 10);
+        for &(a, b) in &[(0, 1), (2, 3), (4, 5), (6, 7)] {
+            coo.push_undirected_edge(a, b).unwrap();
+        }
+        let base = coo.to_binary_csr();
+        let m = Matrix::from_csr(&base, Backend::Bit(TileSize::S8));
+        let mut dyn_cc = DynamicCc::new(&m);
+        assert_eq!(dyn_cc.n_components(), 6); // 4 pairs + vertices 8, 9
+
+        for &(u, v) in &[(1, 2), (5, 6), (8, 9), (3, 4), (0, 9)] {
+            m.apply_deltas(&[EdgeDelta::insert(u, v), EdgeDelta::insert(v, u)])
+                .unwrap();
+            dyn_cc.insert_edge(u, v);
+            let snap = m.snapshot();
+            let fresh = connected_components(&snap);
+            assert_eq!(dyn_cc.n_components(), fresh.n_components);
+            assert_eq!(dyn_cc.labels(), fresh.labels);
+        }
+        assert_eq!(dyn_cc.n_components(), 1);
+
+        // Compaction does not change the view, so reconciliation reports a
+        // clean match for the insert-only stream.
+        m.compact(m.context()).unwrap();
+        assert!(dyn_cc.reconcile(&m.snapshot()));
+    }
+
+    #[test]
+    fn duplicate_and_intra_component_edges_are_noops() {
+        let adj = generators::path(8);
+        let m = Matrix::from_csr(&adj, Backend::FloatCsr);
+        let mut dyn_cc = DynamicCc::new(&m);
+        assert_eq!(dyn_cc.n_components(), 1);
+        assert!(!dyn_cc.insert_edge(0, 7)); // already connected
+        assert!(!dyn_cc.insert_edge(3, 3)); // self loop
+        assert_eq!(dyn_cc.n_components(), 1);
+    }
+
+    #[test]
+    fn reconcile_detects_splits_after_deletion() {
+        // A path 0-1-2-3; deleting the middle edge splits the component,
+        // which the union-find overlay cannot see on its own.
+        let adj = generators::path(4);
+        let m = Matrix::from_csr(&adj, Backend::FloatCsr);
+        let mut dyn_cc = DynamicCc::new(&m);
+        m.apply_deltas(&[EdgeDelta::delete(1, 2), EdgeDelta::delete(2, 1)])
+            .unwrap();
+        let snap = m.snapshot();
+        assert!(!dyn_cc.reconcile(&snap), "deletion must be flagged");
+        assert_eq!(dyn_cc.n_components(), 2);
+        assert_eq!(dyn_cc.labels(), vec![0, 0, 2, 2]);
+        // A second reconcile against the same view is clean.
+        assert!(dyn_cc.reconcile(&snap));
+    }
+}

@@ -33,6 +33,7 @@
 pub mod bc;
 pub mod bfs;
 pub mod cc;
+pub mod dynamic;
 pub mod extras;
 pub mod pagerank;
 pub mod ppr;
@@ -47,6 +48,7 @@ pub use bfs::{
     MultiBfsResult,
 };
 pub use cc::{connected_components, CcResult};
+pub use dynamic::DynamicCc;
 pub use extras::{diameter_estimate, eccentricity, maximal_independent_set, MisResult};
 pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
 pub use ppr::{

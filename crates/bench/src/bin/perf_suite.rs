@@ -11,11 +11,15 @@
 //! (`serve_faults/…`: seeded lane panics, transient batch failures and
 //! injected latency against the bisection/retry/breaker machinery) and
 //! **overload backpressure** (`serve_overload/…`: saturating loads against
-//! a deliberately small bounded queue), on a fixed synthetic corpus.
-//! Results are written as JSON rows
+//! a deliberately small bounded queue), and — since PR 8 — the
+//! **streaming-mutation subsystem** (`mutate_throughput/…`: raw delta-log
+//! appends/s vs depth plus the overlay-vs-compacted read cost;
+//! `query_under_mutation/…`: a mixed read/write open-loop stream through
+//! the service's writer path with in-band compaction), on a fixed
+//! synthetic corpus.  Results are written as JSON rows
 //! `{bench, backend, direction, threads, host_cores, ms, ms_min,
 //! ms_median}` so every future PR has a perf trajectory to compare against
-//! (`BENCH_PR7.json` for this PR).  Execution mode is encoded in the bench
+//! (`BENCH_PR8.json` for this PR).  Execution mode is encoded in the bench
 //! name (`pagerank_fused/…` vs `pagerank_unfused/…`; `bfs_multi_batched/…`
 //! vs `bfs_multi_seq/…` and `ppr_multi_batched/…` vs `ppr_multi_seq/…`,
 //! all k = 8 sources); the `bfs_push_sharded/…` / `sssp_push_sharded/…`
@@ -39,7 +43,7 @@
 //! * `--smoke` — one tiny graph end-to-end, for CI: proves the harness runs
 //!   and emits parseable JSON (including the fused, batched and
 //!   sharded-push rows CI asserts on) in a couple of seconds.
-//! * `--out PATH` — output path (default `BENCH_PR7.json`).
+//! * `--out PATH` — output path (default `BENCH_PR8.json`).
 //!
 //! The headline comparisons — BFS `Direction::Auto` vs always-pull, fused
 //! vs unfused PageRank, batched vs sequential multi-source BFS/SSSP, and
@@ -47,13 +51,14 @@
 //! JSON is written.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use bitgblas_bench::{time_stats_ms, TimingStats};
 use bitgblas_core::grb::{Context, Direction, Fusion, Op, Vector};
 use bitgblas_core::shard::machine_parallelism;
 use bitgblas_core::{
-    Backend, FailSpec, FaultAction, FaultInjector, FaultPlan, InjectedPanic, Matrix, Semiring,
-    TileSize,
+    Backend, EdgeDelta, FailSpec, FaultAction, FaultInjector, FaultPlan, InjectedPanic, Matrix,
+    Semiring, TileSize,
 };
 use bitgblas_datagen::generators;
 use bitgblas_serve::{GraphService, Query, Tick};
@@ -657,6 +662,182 @@ fn bench_serve_overload(
     }
 }
 
+/// Delta-log depths of the `mutate_throughput` rows.
+const MUTATE_DEPTHS: [usize; 3] = [64, 1_024, 8_192];
+
+/// Smoke-mode delta-log depths (tiny, schema-proving only).
+const MUTATE_DEPTHS_SMOKE: [usize; 2] = [16, 128];
+
+/// Writer-batch size of the append loop — the granularity a coalesced
+/// Mutate lane group lands at through the service's writer path.
+const MUTATE_CHUNK: usize = 16;
+
+/// Time raw delta-log appends at several target depths (PR 8): a fresh
+/// matrix takes `depth` seeded random edge deltas (80% inserts, 20%
+/// deletes) in [`MUTATE_CHUNK`]-sized batches, each batch timed as one
+/// sample.  The extras then report what the staged log costs a reader —
+/// one BFS through the merge-on-read overlay vs the same BFS after an
+/// explicit `compact` — plus the compaction time itself, so the
+/// compaction trigger rule (`compact_after`) has measured numbers on both
+/// sides of the trade.
+fn bench_mutate_throughput(
+    rows: &mut Vec<Row>,
+    name: &str,
+    adj: &Csr,
+    backend: Backend,
+    smoke: bool,
+) {
+    let n = adj.nrows();
+    let depths: &[usize] = if smoke {
+        &MUTATE_DEPTHS_SMOKE
+    } else {
+        &MUTATE_DEPTHS
+    };
+    for &depth in depths {
+        let m = Matrix::from_csr(adj, backend);
+        let mut rng = StdRng::seed_from_u64(0xDE17A ^ depth as u64);
+        let deltas: Vec<EdgeDelta> = (0..depth)
+            .map(|_| {
+                let (r, c) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                if rng.gen_bool(0.8) {
+                    EdgeDelta::insert(r, c)
+                } else {
+                    EdgeDelta::delete(r, c)
+                }
+            })
+            .collect();
+
+        let mut samples_ms: Vec<f64> = Vec::new();
+        let append_start = Instant::now();
+        for chunk in deltas.chunks(MUTATE_CHUNK) {
+            let t = Instant::now();
+            m.apply_deltas(chunk).expect("in-bounds deltas");
+            samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        let append_secs = append_start.elapsed().as_secs_f64().max(1e-9);
+
+        let snap = m.snapshot();
+        let overlay_bfs = time_stats_ms(|| bfs_dir(&snap, 0, Direction::Auto));
+        let compact_start = Instant::now();
+        let report = m.compact(m.context()).expect("compaction succeeds");
+        let compact_ms = compact_start.elapsed().as_secs_f64() * 1e3;
+        let compacted = m.snapshot();
+        let compacted_bfs = time_stats_ms(|| bfs_dir(&compacted, 0, Direction::Auto));
+
+        rows.push(Row {
+            bench: format!("mutate_throughput/{name}"),
+            backend: backend_name(backend),
+            direction: "auto".to_string(),
+            stats: timing_from_samples(&samples_ms),
+            threads: 0,
+            extras: vec![
+                ("delta_depth", depth as f64),
+                ("appends_per_sec", depth as f64 / append_secs),
+                ("overlay_bfs_ms", overlay_bfs.mean_ms),
+                ("compacted_bfs_ms", compacted_bfs.mean_ms),
+                ("compact_ms", compact_ms),
+                ("folded", report.folded as f64),
+                ("dirty_rows", report.dirty_rows as f64),
+            ],
+        });
+    }
+}
+
+/// Fraction of arrivals in the `query_under_mutation` mix that are edge
+/// mutations rather than traversals.
+const MUTATION_MIX: f64 = 0.25;
+
+/// Delta-log depth at which the `query_under_mutation` service compacts.
+const MUTATION_COMPACT_AFTER: usize = 64;
+
+/// Drive the service with the PR-6 open-loop arrival model but a **mixed
+/// read/write stream** (PR 8): 50% BFS / 25% SSSP / 25% edge mutations
+/// (mostly inserts, some deletes), with `compact_after` armed so the
+/// writer path folds the log in-band once it passes
+/// [`MUTATION_COMPACT_AFTER`] staged deltas.  Each load gets its own
+/// freshly built matrix so the epoch counters in the extras start at
+/// zero.  The extras report the read/write economics: achieved
+/// throughput, mutations applied, epochs published, compactions run, and
+/// the ticket-conservation identity (mutations resolve through the same
+/// ticket machinery as traversals, so `conserved` covers both).
+fn bench_query_under_mutation(
+    rows: &mut Vec<Row>,
+    name: &str,
+    adj: &Csr,
+    backend: Backend,
+    smoke: bool,
+) {
+    let n = adj.nrows();
+    let n_arrivals = serve_arrivals(smoke);
+    for offered_qps in SERVE_LOADS_QPS {
+        let m = Matrix::from_csr(adj, backend);
+        let mut rng = StdRng::seed_from_u64(0xC0A1E5CE);
+        let mut svc = GraphService::builder(&m)
+            .coalescing_window(500)
+            .queue_capacity(4096)
+            .compact_after(MUTATION_COMPACT_AFTER)
+            .build();
+
+        let mut arrival_us = 0u64;
+        let mut busy_until_us = 0u64;
+        let mut exec_samples_ms: Vec<f64> = Vec::new();
+        let mut shed = 0u64;
+
+        for _ in 0..n_arrivals {
+            let u: f64 = rng.gen();
+            let gap_us = (-(1.0 - u).ln() / offered_qps * 1e6).round() as u64;
+            arrival_us = arrival_us.saturating_add(gap_us.max(1));
+            drain_events(
+                &mut svc,
+                Some(arrival_us),
+                &mut busy_until_us,
+                &mut exec_samples_ms,
+            );
+            let roll: f64 = rng.gen();
+            let source = rng.gen_range(0usize..n);
+            let query = if roll < MUTATION_MIX {
+                let target = rng.gen_range(0usize..n);
+                if rng.gen_bool(0.8) {
+                    Query::insert_edge(source, target)
+                } else {
+                    Query::delete_edge(source, target)
+                }
+            } else if roll < MUTATION_MIX + 0.5 {
+                Query::bfs(source)
+            } else {
+                Query::sssp(source)
+            };
+            if svc.submit(query, Tick(arrival_us), None).is_err() {
+                shed += 1;
+            }
+        }
+        drain_events(&mut svc, None, &mut busy_until_us, &mut exec_samples_ms);
+
+        let s = svc.stats().snapshot();
+        let end_us = busy_until_us.max(arrival_us).max(1);
+        let stats = timing_from_samples(&exec_samples_ms);
+        rows.push(Row {
+            bench: format!("query_under_mutation/{name}"),
+            backend: backend_name(backend),
+            direction: "auto".to_string(),
+            stats,
+            threads: 0,
+            extras: vec![
+                ("offered_qps", offered_qps),
+                ("throughput_qps", s.completed as f64 / (end_us as f64 / 1e6)),
+                ("completed", s.completed as f64),
+                ("mutations_applied", s.mutations_applied as f64),
+                ("epochs_published", s.epochs_published as f64),
+                ("compactions", s.compactions as f64),
+                ("wait_p50_us", s.wait_p50() as f64),
+                ("wait_p99_us", s.wait_p99() as f64),
+                ("shed", shed as f64),
+                ("conserved", if s.is_conserved() { 1.0 } else { 0.0 }),
+            ],
+        });
+    }
+}
+
 /// Thread budgets of the PR-5 sharded-push scaling rows.
 const SHARD_THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -728,7 +909,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
     quiet_injected_panics();
 
     let mut rows = Vec::new();
@@ -750,6 +931,8 @@ fn main() {
             bench_serve_openloop(&mut rows, name, &m, backend, smoke);
             bench_serve_faults(&mut rows, name, &m, backend, smoke);
             bench_serve_overload(&mut rows, name, &m, backend, smoke);
+            bench_mutate_throughput(&mut rows, name, adj, backend, smoke);
+            bench_query_under_mutation(&mut rows, name, adj, backend, smoke);
         }
     }
 
@@ -867,6 +1050,51 @@ fn main() {
                     get("throughput_qps"),
                     get("shed_rate"),
                     get("deadline_misses"),
+                    if get("conserved") == 1.0 { "yes" } else { "NO" },
+                );
+            }
+            // PR-8 mutation rows: append throughput vs depth, and what a
+            // mixed read/write stream does to the serving layer.
+            for r in rows
+                .iter()
+                .filter(|r| r.bench == format!("mutate_throughput/{name}") && r.backend == backend)
+            {
+                let get = |key: &str| {
+                    r.extras
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map_or(0.0, |(_, v)| *v)
+                };
+                println!(
+                    "mutate/{name} [{backend}]: depth {:.0} → {:.0} appends/s, overlay BFS \
+                     {:.3} ms vs compacted {:.3} ms, compact {:.3} ms ({:.0} dirty rows)",
+                    get("delta_depth"),
+                    get("appends_per_sec"),
+                    get("overlay_bfs_ms"),
+                    get("compacted_bfs_ms"),
+                    get("compact_ms"),
+                    get("dirty_rows"),
+                );
+            }
+            for r in rows.iter().filter(|r| {
+                r.bench == format!("query_under_mutation/{name}") && r.backend == backend
+            }) {
+                let get = |key: &str| {
+                    r.extras
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map_or(0.0, |(_, v)| *v)
+                };
+                println!(
+                    "query_under_mutation/{name} [{backend}]: offered {:.0} q/s → {:.0} q/s, \
+                     {:.0} mutations in {:.0} epochs, {:.0} compactions, wait p99 {:.0} µs, \
+                     conserved {}",
+                    get("offered_qps"),
+                    get("throughput_qps"),
+                    get("mutations_applied"),
+                    get("epochs_published"),
+                    get("compactions"),
+                    get("wait_p99_us"),
                     if get("conserved") == 1.0 { "yes" } else { "NO" },
                 );
             }

@@ -1,0 +1,962 @@
+//! Streaming graph mutations (PR 8): the edge-delta log, merge-on-read
+//! overlay, and versioned snapshot publication.
+//!
+//! Every layer below this one assumes a matrix frozen at build time — the
+//! B2SR tiles, the shard plans, the batched engine all pay their conversion
+//! and planning cost once, at construction.  This module makes the graph
+//! *mutable under live serving* without giving that amortization up:
+//!
+//! * **Delta log** — writers append [`EdgeDelta`]s (insert/delete) to an
+//!   append-only log held by the matrix's shared [`VersionCell`]; the base
+//!   representation is never touched in place.
+//! * **DCSR-style staging** — the log is normalized into a
+//!   [`DeltaSnapshot`]: per-row patch lists over only the *dirty* rows
+//!   ([`StagedRows`], a doubly-compressed layout storing nothing for the
+//!   untouched rows), plus the mirrored per-column view so both traversal
+//!   directions stay one lookup.
+//! * **Merge-on-read overlay** — [`DeltaOverlay`] implements
+//!   [`GrbBackend`] over `base ⊕ delta`: kernels run on the unchanged base
+//!   representation (B2SR bit kernels or float CSR), then only the dirty
+//!   rows are re-folded through a sorted merge of the base row and its
+//!   patch.  Traversals see the mutated graph with no rebuild and no
+//!   per-clean-row overhead.
+//! * **Versioned publication** — a [`VersionCell`] owns `(epoch, base,
+//!   log, head)` behind one mutex; appends and compactions swap a fully
+//!   constructed head in a single critical section, so
+//!   `Matrix::snapshot()` (an Arc-pinned epoch view) is always internally
+//!   consistent and bit-stable for the lifetime of the handle, no matter
+//!   how many writes land after it was taken.
+//! * **Compaction** — [`VersionCell::compact`] folds the log into a fresh
+//!   base of the same kind (B2SR tiles are re-tiled, CSR re-packed) and
+//!   re-plans the row shards *incrementally*: only shards whose row ranges
+//!   intersect the dirty rows are recut
+//!   ([`ShardPlan::replan_rows`](crate::shard::ShardPlan::replan_rows)); clean shard boundaries survive
+//!   verbatim.  The `grb.delta_merge` fail point fires before any shared
+//!   state is touched, so an injected panic or transient error leaves the
+//!   pre-compaction epoch — and every outstanding snapshot — fully
+//!   readable (no torn epoch; see the chaos suite in `bitgblas-serve`).
+//!
+//! # Exactness
+//!
+//! The overlay's patched rows are *pull* re-folds: `y[i] = ⊕_{c ∈ merged
+//! row} ⊗(x[c])` in ascending column order, the same fold the from-scratch
+//! build would run.  For the exact monoids the traversal algorithms use
+//! (Boolean `∨`, tropical `min`), the fold grouping is irrelevant, so
+//! overlay traversals are **bit-identical** to rebuilding the graph from
+//! scratch — the property the `mutation_parity` proptests pin down.  Push
+//! (sparse-frontier) sweeps patch the same way, which is exact because the
+//! planner guarantees off-frontier operand entries contribute the
+//! identity.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use bitgblas_sparse::{ops as float_ops, Csr};
+
+use crate::faultinject::{FaultAction, InjectedPanic};
+use crate::grb::backend::{BitB2sr, FloatCsr, GrbBackend};
+use crate::grb::descriptor::Mask;
+use crate::grb::error::GrbError;
+use crate::grb::matrix::Backend;
+use crate::grb::op::Context;
+use crate::grb::workspace::Workspace;
+use crate::semiring::Semiring;
+
+/// The compaction fail point: fired once per [`VersionCell::compact`] with
+/// pending deltas, after the fold is staged but **before** any shared state
+/// is mutated (see the module docs on torn-epoch safety).
+pub const DELTA_MERGE_POINT: &str = "grb.delta_merge";
+
+/// What a logged mutation does to its edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaOp {
+    /// The edge exists from this point on (idempotent if already present).
+    Insert,
+    /// The edge is absent from this point on (idempotent if already absent).
+    Delete,
+}
+
+/// One logged edge mutation.  The unit of the append-only delta log; the
+/// serving layer's `Query::Mutate` carries exactly one of these per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeDelta {
+    /// Source vertex (row of the adjacency matrix).
+    pub row: usize,
+    /// Destination vertex (column of the adjacency matrix).
+    pub col: usize,
+    /// Insert or delete.
+    pub op: DeltaOp,
+}
+
+impl EdgeDelta {
+    /// An edge insertion.
+    pub fn insert(row: usize, col: usize) -> Self {
+        EdgeDelta {
+            row,
+            col,
+            op: DeltaOp::Insert,
+        }
+    }
+
+    /// An edge deletion.
+    pub fn delete(row: usize, col: usize) -> Self {
+        EdgeDelta {
+            row,
+            col,
+            op: DeltaOp::Delete,
+        }
+    }
+}
+
+/// DCSR-style staged patch lists: only the keys (rows, or columns for the
+/// mirrored view) touched by the log are stored, each with its sorted
+/// patch entries `(other endpoint, present)` — `present` is the edge's
+/// *final* state after last-op-wins normalization and overrides the base.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StagedRows {
+    /// Ascending dirty keys.
+    index: Vec<usize>,
+    /// `offsets[i] .. offsets[i+1]` delimits `index[i]`'s entries.
+    offsets: Vec<usize>,
+    /// `(other endpoint, present)` pairs, ascending per key.
+    entries: Vec<(usize, bool)>,
+}
+
+impl StagedRows {
+    /// Build from `(key, other, present)` triples sorted by `(key, other)`
+    /// with unique `(key, other)` pairs.
+    fn from_sorted(triples: impl Iterator<Item = (usize, usize, bool)>) -> Self {
+        let mut staged = StagedRows::default();
+        for (key, other, present) in triples {
+            if staged.index.last() != Some(&key) {
+                staged.index.push(key);
+                staged.offsets.push(staged.entries.len());
+            }
+            staged.entries.push((other, present));
+        }
+        staged.offsets.push(staged.entries.len());
+        if staged.index.is_empty() {
+            staged.offsets = vec![0];
+        }
+        staged
+    }
+
+    /// The ascending dirty keys.
+    pub fn dirty(&self) -> &[usize] {
+        &self.index
+    }
+
+    /// The patch entries of `key`, if it is dirty.
+    pub fn patch(&self, key: usize) -> Option<&[(usize, bool)]> {
+        let i = self.index.binary_search(&key).ok()?;
+        Some(&self.entries[self.offsets[i]..self.offsets[i + 1]])
+    }
+
+    /// True when no key is staged.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Iterate `(key, patch entries)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[(usize, bool)])> {
+        self.index
+            .iter()
+            .enumerate()
+            .map(move |(i, &key)| (key, &self.entries[self.offsets[i]..self.offsets[i + 1]]))
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.index.len() * std::mem::size_of::<usize>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+            + self.entries.len() * std::mem::size_of::<(usize, bool)>()
+    }
+}
+
+/// Walk the sorted merge of a base row's columns with a staged patch,
+/// calling `f` once per present column in ascending order.  Patch entries
+/// override the base on ties; absent (`present == false`) entries suppress
+/// the base column.
+fn for_each_merged(base: &[usize], patch: &[(usize, bool)], f: &mut impl FnMut(usize)) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < base.len() && j < patch.len() {
+        let (b, (p, present)) = (base[i], patch[j]);
+        if b < p {
+            f(b);
+            i += 1;
+        } else {
+            if present {
+                f(p);
+            }
+            j += 1;
+            if p == b {
+                i += 1;
+            }
+        }
+    }
+    for &b in &base[i..] {
+        f(b);
+    }
+    for &(p, present) in &patch[j..] {
+        if present {
+            f(p);
+        }
+    }
+}
+
+/// A normalized, immutable view of a delta-log prefix: last-op-wins per
+/// edge, staged by row and (mirrored) by column, with the net edge-count
+/// change accounted against a base CSR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaSnapshot {
+    /// Length of the log prefix this snapshot normalizes.
+    watermark: usize,
+    /// Patches staged by row (the forward traversal direction).
+    rows: StagedRows,
+    /// The same patches staged by column (the transpose direction).
+    cols: StagedRows,
+    /// Edges present in the final state but absent in the base.
+    inserted: usize,
+    /// Edges absent in the final state but present in the base.
+    deleted: usize,
+}
+
+impl DeltaSnapshot {
+    /// Normalize a log prefix against `base`: later ops win per `(row,
+    /// col)`, no-ops (inserting a present edge, deleting an absent one)
+    /// stage harmlessly and count nothing.
+    pub fn build(base: &Csr, log: &[EdgeDelta]) -> Self {
+        let mut fwd: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+        for d in log {
+            fwd.insert((d.row, d.col), d.op == DeltaOp::Insert);
+        }
+        let mut rev: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+        let (mut inserted, mut deleted) = (0usize, 0usize);
+        for (&(r, c), &present) in &fwd {
+            rev.insert((c, r), present);
+            let in_base = base.get(r, c).is_some();
+            inserted += usize::from(present && !in_base);
+            deleted += usize::from(!present && in_base);
+        }
+        DeltaSnapshot {
+            watermark: log.len(),
+            rows: StagedRows::from_sorted(fwd.into_iter().map(|((r, c), p)| (r, c, p))),
+            cols: StagedRows::from_sorted(rev.into_iter().map(|((c, r), p)| (c, r, p))),
+            inserted,
+            deleted,
+        }
+    }
+
+    /// Length of the log prefix this snapshot covers.
+    pub fn watermark(&self) -> usize {
+        self.watermark
+    }
+
+    /// Ascending rows with at least one staged entry — the compaction
+    /// fold's dirty set, and what the incremental shard replan keys on.
+    pub fn dirty_rows(&self) -> &[usize] {
+        self.rows.dirty()
+    }
+
+    /// Net stored-edge change relative to the base.
+    pub fn nnz_delta(&self) -> isize {
+        self.inserted as isize - self.deleted as isize
+    }
+
+    /// Edges the final state adds over the base.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Base edges the final state removes.
+    pub fn deleted(&self) -> usize {
+        self.deleted
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The staged view of one direction: by column iff `of_transpose`.
+    fn staged(&self, of_transpose: bool) -> &StagedRows {
+        if of_transpose {
+            &self.cols
+        } else {
+            &self.rows
+        }
+    }
+
+    /// Materialize `base ⊕ delta` as a fresh binary CSR: clean rows are
+    /// copied verbatim, dirty rows get the sorted patch merge.  Pass the
+    /// transpose base with `of_transpose` to materialize the transpose.
+    pub fn merge_csr(&self, base: &Csr, of_transpose: bool) -> Csr {
+        let staged = self.staged(of_transpose);
+        let nrows = base.nrows();
+        let mut rowptr = Vec::with_capacity(nrows + 1);
+        rowptr.push(0usize);
+        let mut colind = Vec::with_capacity(base.nnz());
+        for r in 0..nrows {
+            let (cols, _) = base.row(r);
+            match staged.patch(r) {
+                None => colind.extend_from_slice(cols),
+                Some(patch) => for_each_merged(cols, patch, &mut |c| colind.push(c)),
+            }
+            rowptr.push(colind.len());
+        }
+        let values = vec![1.0f32; colind.len()];
+        Csr::from_raw(nrows, base.ncols(), rowptr, colind, values)
+            .expect("sorted patch merge preserves the CSR invariants")
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.rows.storage_bytes() + self.cols.storage_bytes()
+    }
+}
+
+/// A merge-on-read [`GrbBackend`] presenting `base ⊕ delta` without a
+/// rebuild: every kernel runs on the untouched base representation first,
+/// then re-folds only the dirty rows through the sorted patch merge.  The
+/// merged CSR views materialize lazily (first `csr()`/`csr_t()` call) for
+/// the fallback paths that need whole-matrix structure (`mxm_reduce_masked`,
+/// `out_degrees`).
+///
+/// Push (sparse-frontier) sweeps delegate to the base's sharded scatter and
+/// patch the dirty output rows with the pull re-fold — exact, because the
+/// planner guarantees off-frontier operand entries contribute the semiring
+/// identity.  All remaining [`GrbBackend`] entry points decompose to these
+/// overridden kernels via the trait's node-at-a-time defaults, which keeps
+/// the overlay exact on every operation without reimplementing the engine.
+#[derive(Debug, Clone)]
+pub struct DeltaOverlay {
+    base: Arc<dyn GrbBackend>,
+    delta: Arc<DeltaSnapshot>,
+    /// Whether this view is the transpose of the delta's logical
+    /// orientation (set by [`GrbBackend::transpose_view`]).
+    transposed: bool,
+    merged: OnceLock<Csr>,
+    merged_t: OnceLock<Csr>,
+}
+
+impl DeltaOverlay {
+    /// Overlay `delta` on `base` (in the delta's logical orientation).
+    pub fn new(base: Arc<dyn GrbBackend>, delta: Arc<DeltaSnapshot>) -> Self {
+        DeltaOverlay {
+            base,
+            delta,
+            transposed: false,
+            merged: OnceLock::new(),
+            merged_t: OnceLock::new(),
+        }
+    }
+
+    /// The staged snapshot this overlay reads through.
+    pub fn delta(&self) -> &DeltaSnapshot {
+        &self.delta
+    }
+
+    /// Re-fold the dirty output rows of a single-vector product: `y[i] =
+    /// ⊕_{c ∈ merged row i} ⊗(x[c])` over the sorted merge of the base row
+    /// and its patch.  Masked-out rows are left as the base kernel wrote
+    /// them (the identity).
+    fn patch_rows(
+        &self,
+        x: &[f32],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        y: &mut [f32],
+    ) {
+        let staged = self.delta.staged(transpose ^ self.transposed);
+        if staged.is_empty() {
+            return;
+        }
+        let bcsr = if transpose {
+            self.base.csr_t()
+        } else {
+            self.base.csr()
+        };
+        for (i, patch) in staged.iter() {
+            if mask.is_some_and(|m| !m.allows(i)) {
+                continue;
+            }
+            let (cols, _) = bcsr.row(i);
+            let mut acc = semiring.identity();
+            for_each_merged(cols, patch, &mut |c| {
+                acc = semiring.reduce(acc, semiring.combine(x[c]));
+            });
+            y[i] = acc;
+        }
+    }
+
+    /// The batched (`n × k` node-major) counterpart of
+    /// [`DeltaOverlay::patch_rows`], gated by the flat per-lane mask.
+    fn patch_lanes(
+        &self,
+        x: &[f32],
+        k: usize,
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        out: &mut [f32],
+    ) {
+        let staged = self.delta.staged(transpose ^ self.transposed);
+        if staged.is_empty() {
+            return;
+        }
+        let bcsr = if transpose {
+            self.base.csr_t()
+        } else {
+            self.base.csr()
+        };
+        for (i, patch) in staged.iter() {
+            let (cols, _) = bcsr.row(i);
+            for l in 0..k {
+                if mask.is_some_and(|m| !m.allows(i * k + l)) {
+                    continue;
+                }
+                let mut acc = semiring.identity();
+                for_each_merged(cols, patch, &mut |c| {
+                    acc = semiring.reduce(acc, semiring.combine(x[c * k + l]));
+                });
+                out[i * k + l] = acc;
+            }
+        }
+    }
+}
+
+impl GrbBackend for DeltaOverlay {
+    fn kind(&self) -> Backend {
+        self.base.kind()
+    }
+
+    fn nrows(&self) -> usize {
+        self.base.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.base.ncols()
+    }
+
+    fn nnz(&self) -> usize {
+        (self.base.nnz() as isize + self.delta.nnz_delta()) as usize
+    }
+
+    fn csr(&self) -> &Csr {
+        self.merged
+            .get_or_init(|| self.delta.merge_csr(self.base.csr(), self.transposed))
+    }
+
+    fn csr_t(&self) -> &Csr {
+        self.merged_t
+            .get_or_init(|| self.delta.merge_csr(self.base.csr_t(), !self.transposed))
+    }
+
+    fn mxv(&self, x: &[f32], semiring: Semiring, mask: Option<&Mask>, transpose: bool) -> Vec<f32> {
+        let mut y = self.base.mxv(x, semiring, mask, transpose);
+        self.patch_rows(x, semiring, mask, transpose, &mut y);
+        y
+    }
+
+    fn mxv_into(
+        &self,
+        x: &[f32],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        self.base.mxv_into(x, semiring, mask, transpose, ws, out);
+        self.patch_rows(x, semiring, mask, transpose, out);
+    }
+
+    fn mxv_push_into(
+        &self,
+        x: &[f32],
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        self.base
+            .mxv_push_into(x, frontier, semiring, mask, transpose, ws, out);
+        self.patch_rows(x, semiring, mask, transpose, out);
+    }
+
+    fn mxm_into(
+        &self,
+        x: &[f32],
+        k: usize,
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        self.base.mxm_into(x, k, semiring, mask, transpose, ws, out);
+        self.patch_lanes(x, k, semiring, mask, transpose, out);
+    }
+
+    fn mxm_push_into(
+        &self,
+        x: &[f32],
+        k: usize,
+        frontier: &[usize],
+        semiring: Semiring,
+        mask: Option<&Mask>,
+        transpose: bool,
+        ws: &Workspace,
+        out: &mut Vec<f32>,
+    ) {
+        self.base
+            .mxm_push_into(x, k, frontier, semiring, mask, transpose, ws, out);
+        self.patch_lanes(x, k, semiring, mask, transpose, out);
+    }
+
+    fn mxm_reduce_masked(&self, b: &dyn GrbBackend, mask: &dyn GrbBackend) -> f64 {
+        // The merged CSR view makes the overlay a plain CSR operand for the
+        // reference Triangle Counting kernel.
+        float_ops::spgemm_masked_sum(self.csr(), b.csr_t(), mask.csr())
+            .expect("operand dimensions checked by the caller")
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.base.storage_bytes() + self.delta.storage_bytes()
+    }
+
+    fn transpose_view(&self) -> Box<dyn GrbBackend> {
+        Box::new(DeltaOverlay {
+            base: Arc::from(self.base.transpose_view()),
+            delta: self.delta.clone(),
+            transposed: !self.transposed,
+            // The merged views swap roles, carrying any already-built one.
+            merged: self.merged_t.clone(),
+            merged_t: self.merged.clone(),
+        })
+    }
+
+    fn clone_box(&self) -> Box<dyn GrbBackend> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// What one [`VersionCell::compact`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// The epoch the compacted base was published as.
+    pub epoch: u64,
+    /// Log entries folded into the new base (entries that raced in during
+    /// the fold stay pending against it).
+    pub folded: usize,
+    /// Edges the fold added to the base.
+    pub inserted: usize,
+    /// Edges the fold removed from the base.
+    pub deleted: usize,
+    /// Rows the fold touched — the incremental shard replan's dirty set.
+    pub dirty_rows: usize,
+}
+
+/// The shared mutable version state behind a
+/// [`Matrix`](crate::grb::Matrix): the current epoch, the compacted base,
+/// the pending delta log, and the published head (`base` when the log is
+/// empty, a [`DeltaOverlay`] otherwise).
+///
+/// Publication protocol: every write path constructs its new head *fully*
+/// before swapping it in under the one inner mutex, so readers pinning the
+/// head ([`Matrix::snapshot`](crate::grb::Matrix::snapshot)) always observe
+/// a consistent `(epoch, state)` pair, and an already-pinned snapshot is
+/// never mutated — epochs are immutable once published.
+#[derive(Debug)]
+pub struct VersionCell {
+    inner: Mutex<VersionInner>,
+    /// Serializes whole compactions (the fold runs outside `inner`'s
+    /// critical section so writers stay live during it).
+    compact_gate: Mutex<()>,
+}
+
+#[derive(Debug)]
+struct VersionInner {
+    epoch: u64,
+    base: Arc<dyn GrbBackend>,
+    log: Vec<EdgeDelta>,
+    head: Arc<dyn GrbBackend>,
+    epochs_published: u64,
+    compactions: u64,
+}
+
+impl VersionCell {
+    /// A fresh cell at epoch 0 with an empty log: `base` is the published
+    /// head.
+    pub fn new(base: Arc<dyn GrbBackend>) -> Self {
+        VersionCell {
+            inner: Mutex::new(VersionInner {
+                epoch: 0,
+                base: base.clone(),
+                log: Vec::new(),
+                head: base,
+                epochs_published: 0,
+                compactions: 0,
+            }),
+            compact_gate: Mutex::new(()),
+        }
+    }
+
+    /// Lock the inner state.  Poisoning is deliberately ignored: every
+    /// mutation under this lock swaps fully constructed state in single
+    /// assignments, so a panic mid-critical-section (only possible on
+    /// allocation failure) still leaves a consistent head.
+    fn lock(&self) -> MutexGuard<'_, VersionInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The published head and its epoch, pinned atomically.
+    pub fn head(&self) -> (Arc<dyn GrbBackend>, u64) {
+        let inner = self.lock();
+        (inner.head.clone(), inner.epoch)
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Pending (uncompacted) log entries.
+    pub fn log_len(&self) -> usize {
+        self.lock().log.len()
+    }
+
+    /// Epochs published since construction (appends + compactions).
+    pub fn epochs_published(&self) -> u64 {
+        self.lock().epochs_published
+    }
+
+    /// Completed compactions since construction.
+    pub fn compactions(&self) -> u64 {
+        self.lock().compactions
+    }
+
+    /// Append `deltas` to the log and publish a new epoch whose head
+    /// overlays the full pending log on the base.  Returns the published
+    /// epoch (the current one when `deltas` is empty).
+    pub fn append(&self, deltas: &[EdgeDelta]) -> u64 {
+        let mut inner = self.lock();
+        if deltas.is_empty() {
+            return inner.epoch;
+        }
+        inner.log.extend_from_slice(deltas);
+        let snap = DeltaSnapshot::build(inner.base.csr(), &inner.log);
+        inner.head = Arc::new(DeltaOverlay::new(inner.base.clone(), Arc::new(snap)));
+        inner.epoch += 1;
+        inner.epochs_published += 1;
+        inner.epoch
+    }
+
+    /// Fold the pending log into a fresh base of the same backend kind and
+    /// publish it as a new epoch.
+    ///
+    /// The fold (normalization, CSR merge, re-tiling, incremental shard
+    /// replan) runs *outside* the inner critical section against a pinned
+    /// `(base, log prefix)`, so writers keep appending during it; entries
+    /// that race in stay pending against the new base.  The
+    /// [`DELTA_MERGE_POINT`] fail point fires after staging but before any
+    /// shared state changes: an injected panic or transient error leaves
+    /// the published epoch and every outstanding snapshot intact.
+    ///
+    /// Shard plans rebuild incrementally: the new base adopts the old
+    /// plan's boundaries for every shard without dirty rows and recuts only
+    /// the dirty runs ([`ShardPlan::replan_rows`](crate::shard::ShardPlan::replan_rows)).
+    pub fn compact(&self, ctx: &Context) -> Result<CompactReport, GrbError> {
+        let _gate = self
+            .compact_gate
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let (base, pending) = {
+            let inner = self.lock();
+            (inner.base.clone(), inner.log.clone())
+        };
+        if pending.is_empty() {
+            return Ok(CompactReport {
+                epoch: self.lock().epoch,
+                folded: 0,
+                inserted: 0,
+                deleted: 0,
+                dirty_rows: 0,
+            });
+        }
+        let delta = DeltaSnapshot::build(base.csr(), &pending);
+        poll_delta_merge(ctx)?;
+        let merged = delta.merge_csr(base.csr(), false);
+        let new_base: Arc<dyn GrbBackend> = match base.kind() {
+            Backend::Bit(ts) => Arc::new(BitB2sr::new(&merged, ts)),
+            Backend::FloatCsr => Arc::new(FloatCsr::new(&merged)),
+            Backend::Auto => unreachable!("backend kinds are always resolved"),
+        };
+        new_base.replan_shards(
+            base.shard_plan(false),
+            ctx.shard_config(),
+            delta.dirty_rows(),
+        );
+        let mut inner = self.lock();
+        inner.log.drain(..pending.len());
+        inner.base = new_base.clone();
+        inner.head = if inner.log.is_empty() {
+            new_base
+        } else {
+            let snap = DeltaSnapshot::build(new_base.csr(), &inner.log);
+            Arc::new(DeltaOverlay::new(new_base, Arc::new(snap)))
+        };
+        inner.epoch += 1;
+        inner.epochs_published += 1;
+        inner.compactions += 1;
+        Ok(CompactReport {
+            epoch: inner.epoch,
+            folded: pending.len(),
+            inserted: delta.inserted(),
+            deleted: delta.deleted(),
+            dirty_rows: delta.dirty_rows().len(),
+        })
+    }
+}
+
+/// Poll [`DELTA_MERGE_POINT`] on the context's injector, mirroring the
+/// planner's dispatch fail points: `Panic` unwinds with the recognisable
+/// [`InjectedPanic`] payload, `Transient` becomes a typed error, `Latency`
+/// is counted upstream.
+fn poll_delta_merge(ctx: &Context) -> Result<(), GrbError> {
+    if let Some(inj) = ctx.fault_injector() {
+        match inj.fire(DELTA_MERGE_POINT, None) {
+            Some(FaultAction::Panic) => std::panic::panic_any(InjectedPanic {
+                point: DELTA_MERGE_POINT,
+            }),
+            Some(FaultAction::Transient) => {
+                return Err(GrbError::FaultInjected {
+                    point: DELTA_MERGE_POINT,
+                })
+            }
+            Some(FaultAction::Latency(_)) | None => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grb::Matrix;
+    use bitgblas_sparse::Coo;
+
+    fn csr(n: usize, edges: &[(usize, usize)]) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for &(r, c) in edges {
+            coo.push(r, c, 1.0).unwrap();
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn snapshot_normalizes_last_op_wins() {
+        let base = csr(4, &[(0, 1), (1, 2)]);
+        let log = [
+            EdgeDelta::insert(2, 3),
+            EdgeDelta::delete(2, 3),
+            EdgeDelta::insert(2, 3), // final: present
+            EdgeDelta::delete(0, 1), // final: absent (was in base)
+            EdgeDelta::insert(1, 2), // no-op: already in base
+        ];
+        let snap = DeltaSnapshot::build(&base, &log);
+        assert_eq!(snap.watermark(), 5);
+        assert_eq!(snap.inserted(), 1);
+        assert_eq!(snap.deleted(), 1);
+        assert_eq!(snap.nnz_delta(), 0);
+        assert_eq!(snap.dirty_rows(), &[0, 1, 2]);
+        assert_eq!(snap.staged(false).patch(2), Some(&[(3, true)][..]));
+        assert_eq!(snap.staged(true).patch(1), Some(&[(0, false)][..]));
+        assert!(snap.staged(false).patch(3).is_none());
+    }
+
+    #[test]
+    fn merged_csr_equals_scratch_build() {
+        let base = csr(5, &[(0, 1), (0, 3), (1, 2), (3, 4), (4, 0)]);
+        let log = [
+            EdgeDelta::insert(0, 2),
+            EdgeDelta::delete(0, 3),
+            EdgeDelta::insert(2, 0),
+            EdgeDelta::delete(4, 0),
+        ];
+        let snap = DeltaSnapshot::build(&base, &log);
+        let expect = csr(5, &[(0, 1), (0, 2), (1, 2), (2, 0), (3, 4)]);
+        assert_eq!(snap.merge_csr(&base, false), expect);
+        assert_eq!(snap.merge_csr(&base.transpose(), true), expect.transpose());
+    }
+
+    #[test]
+    fn overlay_matches_scratch_build_on_kernels_and_views() {
+        let base = csr(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)]);
+        let log = [
+            EdgeDelta::insert(0, 4),
+            EdgeDelta::delete(2, 3),
+            EdgeDelta::insert(5, 2),
+        ];
+        let scratch = csr(6, &[(0, 1), (0, 4), (1, 2), (3, 0), (4, 5), (5, 2)]);
+        for backend in [Backend::default_bit(), Backend::FloatCsr] {
+            let a = Matrix::from_csr(&base, backend);
+            let snap = Arc::new(DeltaSnapshot::build(a.csr(), &log));
+            let overlay = DeltaOverlay::new(Arc::from(a.state().clone_box()), snap);
+            let fresh = Matrix::from_csr(&scratch, backend);
+            assert_eq!(overlay.nnz(), fresh.nnz());
+            assert_eq!(overlay.csr(), fresh.csr());
+            assert_eq!(overlay.csr_t(), fresh.csr_t());
+            let x: Vec<f32> = (0..6).map(|i| i as f32 * 0.5).collect();
+            for semiring in [Semiring::Boolean, Semiring::MinPlus(1.0)] {
+                for transpose in [false, true] {
+                    assert_eq!(
+                        overlay.mxv(&x, semiring, None, transpose),
+                        fresh.state().mxv(&x, semiring, None, transpose),
+                        "{backend:?} {semiring:?} transpose={transpose}"
+                    );
+                }
+            }
+            // Masked: dirty rows outside the mask keep the identity.
+            let mask = Mask::new((0..6).map(|i| i % 2 == 0).collect());
+            assert_eq!(
+                overlay.mxv(&x, Semiring::Boolean, Some(&mask), false),
+                fresh.state().mxv(&x, Semiring::Boolean, Some(&mask), false)
+            );
+            // The transpose view flips orientation consistently.
+            let tv = overlay.transpose_view();
+            assert_eq!(tv.csr(), &fresh.csr().transpose());
+            assert_eq!(
+                tv.mxv(&x, Semiring::Boolean, None, false),
+                fresh.state().mxv(&x, Semiring::Boolean, None, true)
+            );
+        }
+    }
+
+    #[test]
+    fn version_cell_publishes_epochs_and_pins_snapshots() {
+        let base = csr(4, &[(0, 1), (1, 2)]);
+        let a = Matrix::from_csr(&base, Backend::FloatCsr);
+        let cell = VersionCell::new(Arc::from(a.state().clone_box()));
+        let (head0, e0) = cell.head();
+        assert_eq!(e0, 0);
+        assert_eq!(cell.append(&[]), 0, "empty append publishes nothing");
+
+        let e1 = cell.append(&[EdgeDelta::insert(2, 3)]);
+        assert_eq!(e1, 1);
+        let (head1, _) = cell.head();
+        assert_eq!(head1.nnz(), 3);
+        // The pinned pre-append head is untouched.
+        assert_eq!(head0.nnz(), 2);
+        assert!(head0.csr().get(2, 3).is_none());
+        assert_eq!(cell.log_len(), 1);
+        assert_eq!(cell.epochs_published(), 1);
+    }
+
+    #[test]
+    fn compact_folds_the_log_and_keeps_old_snapshots_readable() {
+        let base = csr(4, &[(0, 1), (1, 2), (3, 0)]);
+        let a = Matrix::from_csr(&base, Backend::default_bit());
+        let cell = VersionCell::new(Arc::from(a.state().clone_box()));
+        cell.append(&[EdgeDelta::insert(2, 3), EdgeDelta::delete(3, 0)]);
+        let (overlay_head, e_overlay) = cell.head();
+
+        let ctx = Context::default();
+        let report = cell.compact(&ctx).unwrap();
+        assert_eq!(report.folded, 2);
+        assert_eq!(report.inserted, 1);
+        assert_eq!(report.deleted, 1);
+        assert_eq!(report.epoch, e_overlay + 1);
+        assert_eq!(cell.log_len(), 0);
+        assert_eq!(cell.compactions(), 1);
+
+        let (compacted, _) = cell.head();
+        // The compacted base is a real backend of the original kind again.
+        assert!(compacted.as_any().downcast_ref::<BitB2sr>().is_some());
+        assert_eq!(compacted.csr(), overlay_head.csr());
+        // The pre-compaction overlay snapshot still reads the same bits.
+        assert_eq!(overlay_head.nnz(), 3);
+        assert!(overlay_head.csr().get(2, 3).is_some());
+
+        // Compacting an empty log publishes nothing.
+        let again = cell.compact(&ctx).unwrap();
+        assert_eq!(again.folded, 0);
+        assert_eq!(again.epoch, report.epoch);
+    }
+
+    #[test]
+    fn compact_replans_only_dirty_shards() {
+        // A graph big enough for a multi-shard plan under 4 threads.
+        let n = 4096;
+        let edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|r| [(r, (r + 1) % n), (r, (r + 7) % n)])
+            .collect();
+        let base = csr(n, &edges);
+        let ctx = Context::with_threads(4);
+        let a = Matrix::from_csr_ctx(&base, Backend::FloatCsr, &ctx);
+        let before = a
+            .state()
+            .shard_plan(false)
+            .expect("plan built at construction")
+            .clone();
+        assert!(before.n_shards() >= 4, "precondition: {before:?}");
+
+        // Mutate rows confined to the first shard only.
+        let hi = before.bounds()[1];
+        let cell = VersionCell::new(Arc::from(a.state().clone_box()));
+        cell.append(&[
+            EdgeDelta::insert(0, n - 1),
+            EdgeDelta::insert(hi / 2, n - 2),
+        ]);
+        cell.compact(&ctx).unwrap();
+        let (compacted, _) = cell.head();
+        let after = compacted.shard_plan(false).expect("replanned").clone();
+        // Every boundary outside the dirty shard survives verbatim.
+        for &b in &before.bounds()[1..] {
+            assert!(
+                after.bounds().contains(&b),
+                "clean boundary {b} lost: {before:?} -> {after:?}"
+            );
+        }
+        for &b in after.bounds() {
+            if !before.bounds().contains(&b) {
+                assert!(b < hi, "new cut {b} escaped the dirty shard");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_merge_fail_point_leaves_the_epoch_intact() {
+        use crate::faultinject::{FailSpec, FaultInjector, FaultPlan};
+
+        let base = csr(4, &[(0, 1), (1, 2)]);
+        let a = Matrix::from_csr(&base, Backend::FloatCsr);
+        let cell = VersionCell::new(Arc::from(a.state().clone_box()));
+        cell.append(&[EdgeDelta::insert(2, 3)]);
+        let epoch_before = cell.epoch();
+
+        let ctx = Context::default();
+        let plan =
+            FaultPlan::new().with(FailSpec::always(DELTA_MERGE_POINT, FaultAction::Transient));
+        ctx.set_fault_injector(Some(Arc::new(FaultInjector::new(7, plan))));
+        let err = cell.compact(&ctx).unwrap_err();
+        assert!(matches!(
+            err,
+            GrbError::FaultInjected {
+                point: DELTA_MERGE_POINT
+            }
+        ));
+        assert_eq!(cell.epoch(), epoch_before, "failed compaction published");
+        assert_eq!(cell.log_len(), 1, "failed compaction drained the log");
+
+        // Disarm and retry: the same pending log folds cleanly.
+        ctx.set_fault_injector(None);
+        let report = cell.compact(&ctx).unwrap();
+        assert_eq!(report.folded, 1);
+    }
+}

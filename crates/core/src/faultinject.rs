@@ -24,6 +24,7 @@
 //! | `grb.mxm_dispatch` | none            | planner, before an `mxm` product |
 //! | `serve.batch`      | none            | service, per batched engine call |
 //! | `serve.lane`       | lane source     | service, per dispatched lane     |
+//! | `grb.delta_merge`  | none            | compaction, before the fold is published |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;

@@ -338,6 +338,18 @@ pub trait GrbBackend: std::fmt::Debug + Send + Sync {
         let _ = cfg;
     }
 
+    /// Install the scatter plan of a freshly *compacted* backend (PR 8):
+    /// derive it incrementally from the pre-compaction plan `prev` — clean
+    /// shard boundaries are kept verbatim and only the runs intersecting
+    /// `dirty_rows` are recut ([`ShardPlan::replan_rows`]) — falling back
+    /// to a full [`prepare_shards`](GrbBackend::prepare_shards) pass when
+    /// no prior plan exists.  The default does the full pass, which keeps
+    /// external backends correct without opting in.
+    fn replan_shards(&self, prev: Option<&ShardPlan>, cfg: ShardConfig, dirty_rows: &[usize]) {
+        let _ = (prev, dirty_rows);
+        self.prepare_shards(cfg);
+    }
+
     /// The row-shard plan of a scatter representation, if one has been
     /// built: `of_transpose` selects the plan over `Aᵀ`'s rows (the `mxv`
     /// push representation) instead of `A`'s (the `vxm` push
@@ -1337,6 +1349,27 @@ impl GrbBackend for BitB2sr {
             .get_or_init(|| plan_of_b2sr(&self.b2sr, self.shard_cfg()));
     }
 
+    fn replan_shards(&self, prev: Option<&ShardPlan>, cfg: ShardConfig, dirty_rows: &[usize]) {
+        let _ = self.shard_cfg.set(cfg);
+        let _ = self.shards.get_or_init(|| match prev {
+            Some(p) => {
+                macro_rules! run {
+                    ($m:expr) => {{
+                        let m = $m;
+                        p.replan_rows(m.tile_rowptr(), m.tile_dim(), m.nrows(), cfg, dirty_rows)
+                    }};
+                }
+                match &self.b2sr {
+                    B2srMatrix::B4(m) => run!(m),
+                    B2srMatrix::B8(m) => run!(m),
+                    B2srMatrix::B16(m) => run!(m),
+                    B2srMatrix::B32(m) => run!(m),
+                }
+            }
+            None => plan_of_b2sr(&self.b2sr, cfg),
+        });
+    }
+
     fn shard_plan(&self, of_transpose: bool) -> Option<&ShardPlan> {
         if of_transpose {
             self.shards_t.get()
@@ -1855,6 +1888,14 @@ impl GrbBackend for FloatCsr {
         let _ = self.shard_cfg.set(cfg);
         let _ = self.shards.get_or_init(|| {
             ShardPlan::from_weights(self.csr.rowptr(), 1, self.csr.nrows(), self.shard_cfg())
+        });
+    }
+
+    fn replan_shards(&self, prev: Option<&ShardPlan>, cfg: ShardConfig, dirty_rows: &[usize]) {
+        let _ = self.shard_cfg.set(cfg);
+        let _ = self.shards.get_or_init(|| match prev {
+            Some(p) => p.replan_rows(self.csr.rowptr(), 1, self.csr.nrows(), cfg, dirty_rows),
+            None => ShardPlan::from_weights(self.csr.rowptr(), 1, self.csr.nrows(), cfg),
         });
     }
 

@@ -1,11 +1,16 @@
-//! The GrB-style matrix object with pluggable storage backend.
+//! The GrB-style matrix object with pluggable storage backend and
+//! versioned, snapshot-isolated mutation (PR 8).
+
+use std::sync::Arc;
 
 use bitgblas_sparse::Csr;
 
 use crate::b2sr::{B2srMatrix, TileSize};
+use crate::delta::{CompactReport, EdgeDelta, VersionCell};
 
 use super::auto;
 use super::backend::{BitB2sr, FloatCsr, GrbBackend};
+use super::error::GrbError;
 use super::op::Context;
 
 /// Which storage format and kernel family a [`Matrix`] uses.
@@ -34,29 +39,112 @@ impl Backend {
 
 /// A binary adjacency matrix held by the GraphBLAS-style layer.
 ///
-/// The matrix owns a boxed [`GrbBackend`] — the storage representation plus
-/// the kernels operating on it.  Construction with [`Backend::Bit`] builds
-/// the B2SR representation eagerly (the "one-time conversion cost" the paper
-/// amortizes); [`Backend::Auto`] first runs the format-selection procedure of
-/// [`auto::auto_decision`].  Transposed representations are cached lazily
-/// inside the backend.
-#[derive(Debug)]
+/// The matrix owns an [`Arc`]'d [`GrbBackend`] — the storage representation
+/// plus the kernels operating on it.  Construction with [`Backend::Bit`]
+/// builds the B2SR representation eagerly (the "one-time conversion cost"
+/// the paper amortizes); [`Backend::Auto`] first runs the format-selection
+/// procedure of [`auto::auto_decision`].  Transposed representations are
+/// cached lazily inside the backend.
+///
+/// # Mutation and snapshot isolation (PR 8)
+///
+/// The *representation* a handle reads through is still frozen — but the
+/// graph itself no longer is.  Every `Matrix` shares a
+/// [`VersionCell`] holding the current epoch, a
+/// compacted base, and an append-only edge-delta log:
+///
+/// * **writers** — [`insert_edge`](Matrix::insert_edge) /
+///   [`delete_edge`](Matrix::delete_edge) /
+///   [`apply_deltas`](Matrix::apply_deltas) append to the log and publish a
+///   new epoch atomically; the published head overlays the staged deltas on
+///   the unchanged base (merge-on-read, no rebuild);
+/// * **readers** — [`snapshot`](Matrix::snapshot) pins the published head:
+///   an immutable epoch view whose traversal results are bit-stable no
+///   matter how many writes land afterwards.  Each `Matrix` value is itself
+///   such a pinned view (its own kernels never observe later epochs);
+/// * **compaction** — [`compact`](Matrix::compact) explicitly folds the log
+///   into fresh tiles of the same backend kind and re-plans row shards
+///   incrementally (only dirty shards are recut).
 pub struct Matrix {
     requested: Backend,
-    state: Box<dyn GrbBackend>,
+    state: Arc<dyn GrbBackend>,
     /// The context the matrix was constructed with; derived matrices
     /// ([`Matrix::lower_triangle`]) re-run auto selection against the same
-    /// device profile and sampling parameters.
-    ctx: Context,
+    /// device profile and sampling parameters.  Snapshots share the `Arc`
+    /// (same workspace pool, same fault injector).
+    ctx: Arc<Context>,
+    /// The shared version state mutations go through.
+    versions: Arc<VersionCell>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Matrix")
+            .field("requested", &self.requested)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Clone for Matrix {
+    /// A deep, independent copy: the backend state is cloned, the context
+    /// restarts with an empty workspace pool, and the clone begins a fresh
+    /// mutation history pinned at the cloned state (pending deltas of the
+    /// original's version cell are *not* carried over — clone a
+    /// [`snapshot`](Matrix::snapshot) to capture them).
     fn clone(&self) -> Self {
-        Matrix {
-            requested: self.requested,
-            state: self.state.clone_box(),
-            ctx: self.ctx.clone(),
+        Matrix::from_parts(
+            self.requested,
+            Arc::from(self.state.clone_box()),
+            Arc::new(Context::clone(&self.ctx)),
+        )
+    }
+}
+
+/// An immutable epoch view returned by [`Matrix::snapshot`]: the matrix
+/// state published at [`epoch`](Snapshot::epoch), pinned.  Dereferences to
+/// [`Matrix`], so algorithms take it wherever they take `&Matrix`; every
+/// traversal through it is bit-identical for the snapshot's lifetime
+/// regardless of concurrent appends or compactions.
+#[derive(Debug)]
+pub struct Snapshot {
+    matrix: Matrix,
+    epoch: u64,
+}
+
+impl Clone for Snapshot {
+    /// Cheap: clones the Arc pins, not the storage (unlike
+    /// [`Matrix::clone`], which deep-copies).
+    fn clone(&self) -> Self {
+        Snapshot {
+            matrix: Matrix {
+                requested: self.matrix.requested,
+                state: self.matrix.state.clone(),
+                ctx: self.matrix.ctx.clone(),
+                versions: self.matrix.versions.clone(),
+            },
+            epoch: self.epoch,
         }
+    }
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = Matrix;
+
+    fn deref(&self) -> &Matrix {
+        &self.matrix
+    }
+}
+
+impl Snapshot {
+    /// The epoch this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The pinned matrix view (also reachable by deref).
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
     }
 }
 
@@ -85,11 +173,7 @@ impl Matrix {
         // Row-shard plans are part of format selection: sized here, at
         // build time, from the context's device profile and thread budget.
         state.prepare_shards(ctx.shard_config());
-        Matrix {
-            requested: backend,
-            state,
-            ctx: ctx.clone(),
-        }
+        Matrix::from_parts(backend, Arc::from(state), Arc::new(ctx.clone()))
     }
 
     /// Wrap an existing backend implementation (the extension point for
@@ -97,10 +181,18 @@ impl Matrix {
     pub fn from_backend(state: Box<dyn GrbBackend>) -> Self {
         let ctx = Context::default();
         state.prepare_shards(ctx.shard_config());
+        Matrix::from_parts(state.kind(), Arc::from(state), Arc::new(ctx))
+    }
+
+    /// Assemble a matrix around `state` with a fresh version cell pinned at
+    /// that state (epoch 0, empty log).
+    fn from_parts(requested: Backend, state: Arc<dyn GrbBackend>, ctx: Arc<Context>) -> Matrix {
+        let versions = Arc::new(VersionCell::new(state.clone()));
         Matrix {
-            requested: state.kind(),
+            requested,
             state,
             ctx,
+            versions,
         }
     }
 
@@ -119,7 +211,7 @@ impl Matrix {
         self.state.ncols()
     }
 
-    /// Number of edges (stored entries).
+    /// Number of edges (stored entries) in this handle's pinned view.
     pub fn nnz(&self) -> usize {
         self.state.nnz()
     }
@@ -145,7 +237,11 @@ impl Matrix {
         self.state.csr()
     }
 
-    /// The B2SR view, present only when a bit backend is active.
+    /// The B2SR view, present only when a bit backend is active *and* this
+    /// handle reads the compacted base directly (a snapshot with staged
+    /// deltas reads through the merge-on-read overlay instead, which serves
+    /// [`Matrix::csr`] but no B2SR view until the next
+    /// [`compact`](Matrix::compact)).
     pub fn b2sr(&self) -> Option<&B2srMatrix> {
         self.state
             .as_any()
@@ -159,7 +255,7 @@ impl Matrix {
     }
 
     /// The B2SR view of `A^T`, built and cached on first use (bit backends
-    /// only).
+    /// only; see [`Matrix::b2sr`] for the overlay caveat).
     pub fn b2sr_t(&self) -> Option<&B2srMatrix> {
         self.state
             .as_any()
@@ -173,9 +269,102 @@ impl Matrix {
     }
 
     /// Storage bytes of the active representation (B2SR for bit backends,
-    /// float CSR for the baseline).
+    /// float CSR for the baseline, base + staged patches for overlays).
     pub fn storage_bytes(&self) -> usize {
         self.state.storage_bytes()
+    }
+
+    /// Pin the latest published epoch: an immutable view of `base ⊕ log`
+    /// that stays bit-stable under concurrent appends and compactions.
+    /// Cheap — three `Arc` clones under one short lock; the snapshot shares
+    /// this matrix's context (workspace pool, fault injector) and version
+    /// cell (so `snapshot().snapshot()` re-pins the head, and mutations
+    /// through the snapshot land in the same log).
+    pub fn snapshot(&self) -> Snapshot {
+        let (state, epoch) = self.versions.head();
+        Snapshot {
+            matrix: Matrix {
+                requested: self.requested,
+                state,
+                ctx: self.ctx.clone(),
+                versions: self.versions.clone(),
+            },
+            epoch,
+        }
+    }
+
+    /// Append one edge insertion to the delta log and publish a new epoch
+    /// (atomic; visible to subsequent [`snapshot`](Matrix::snapshot)s, never
+    /// to already-pinned ones).  Inserting a present edge is an idempotent
+    /// no-op on the view.  Returns the published epoch.
+    pub fn insert_edge(&self, row: usize, col: usize) -> Result<u64, GrbError> {
+        self.apply_deltas(&[EdgeDelta::insert(row, col)])
+    }
+
+    /// Append one edge deletion to the delta log and publish a new epoch.
+    /// Deleting an absent edge is an idempotent no-op on the view.  Returns
+    /// the published epoch.
+    pub fn delete_edge(&self, row: usize, col: usize) -> Result<u64, GrbError> {
+        self.apply_deltas(&[EdgeDelta::delete(row, col)])
+    }
+
+    /// Append a batch of deltas and publish **one** new epoch covering all
+    /// of them (the serving layer's writer path: a coalesced mutation batch
+    /// costs one publication).  Deltas are validated against the vertex set
+    /// first — dimensions never change — and on any out-of-range endpoint
+    /// nothing is appended.  Returns the published epoch.
+    pub fn apply_deltas(&self, deltas: &[EdgeDelta]) -> Result<u64, GrbError> {
+        for d in deltas {
+            if d.row >= self.nrows() {
+                return Err(GrbError::SourceOutOfRange {
+                    what: "delta edge row",
+                    source: d.row,
+                    n: self.nrows(),
+                });
+            }
+            if d.col >= self.ncols() {
+                return Err(GrbError::SourceOutOfRange {
+                    what: "delta edge column",
+                    source: d.col,
+                    n: self.ncols(),
+                });
+            }
+        }
+        Ok(self.versions.append(deltas))
+    }
+
+    /// The currently published epoch of the shared version cell (this
+    /// handle's own pinned view may be older).
+    pub fn head_epoch(&self) -> u64 {
+        self.versions.epoch()
+    }
+
+    /// Pending (uncompacted) entries in the shared delta log.
+    pub fn delta_len(&self) -> usize {
+        self.versions.log_len()
+    }
+
+    /// Epochs published by the shared version cell since construction.
+    pub fn epochs_published(&self) -> u64 {
+        self.versions.epochs_published()
+    }
+
+    /// Completed compactions of the shared version cell.
+    pub fn compactions(&self) -> u64 {
+        self.versions.compactions()
+    }
+
+    /// Fold the pending delta log into a fresh base representation of the
+    /// same backend kind and publish it as a new epoch — the explicit
+    /// re-tiling step that restores full kernel speed after a mutation
+    /// burst.  Row-shard plans rebuild *incrementally*: only shards whose
+    /// row ranges intersect the fold's dirty rows are recut.  Outstanding
+    /// snapshots are untouched, and the `grb.delta_merge` fail point (fired
+    /// through `ctx`'s injector before publication) can prove it: a
+    /// panicking or transiently-failing compaction leaves the current epoch
+    /// fully readable.
+    pub fn compact(&self, ctx: &Context) -> Result<CompactReport, GrbError> {
+        self.versions.compact(ctx)
     }
 
     /// A new matrix holding the strictly lower triangle (Triangle Counting's
@@ -186,13 +375,14 @@ impl Matrix {
     }
 
     /// A new matrix holding `A^T`, sharing the backend's cached transpose
-    /// representation instead of reconverting.
+    /// representation instead of reconverting.  Starts its own mutation
+    /// history (mutating the transpose does not mutate the original).
     pub fn transpose(&self) -> Matrix {
-        Matrix {
-            requested: self.requested,
-            state: self.state.transpose_view(),
-            ctx: self.ctx.clone(),
-        }
+        Matrix::from_parts(
+            self.requested,
+            Arc::from(self.state.transpose_view()),
+            Arc::new(Context::clone(&self.ctx)),
+        )
     }
 
     /// True if the matrix equals its transpose (undirected graph).
@@ -292,5 +482,73 @@ mod tests {
     #[test]
     fn default_bit_backend_is_b2sr8() {
         assert_eq!(Backend::default_bit(), Backend::Bit(TileSize::S8));
+    }
+
+    #[test]
+    fn mutations_publish_epochs_and_snapshots_pin_them() {
+        let a = Matrix::from_csr(&sample(), Backend::default_bit());
+        let before = a.snapshot();
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(before.nnz(), 7);
+
+        assert_eq!(a.insert_edge(5, 0).unwrap(), 1);
+        assert_eq!(a.delete_edge(0, 1).unwrap(), 2);
+        assert_eq!(a.head_epoch(), 2);
+        assert_eq!(a.delta_len(), 2);
+        // The live handle's own pinned view is epoch 0 by design...
+        assert_eq!(a.nnz(), 7);
+        // ...while a fresh snapshot reads base ⊕ log.
+        let after = a.snapshot();
+        assert_eq!(after.epoch(), 2);
+        assert_eq!(after.nnz(), 7);
+        assert!(after.csr().get(5, 0).is_some());
+        assert!(after.csr().get(0, 1).is_none());
+        // The earlier snapshot is bit-stable.
+        assert!(before.csr().get(5, 0).is_none());
+        assert!(before.csr().get(0, 1).is_some());
+        // Snapshots re-pin the shared head.
+        assert_eq!(before.snapshot().epoch(), 2);
+    }
+
+    #[test]
+    fn out_of_range_deltas_are_rejected_atomically() {
+        let a = Matrix::from_csr(&sample(), Backend::FloatCsr);
+        let err = a.insert_edge(6, 0).unwrap_err();
+        assert!(err.to_string().contains("delta edge row"));
+        let err = a
+            .apply_deltas(&[EdgeDelta::insert(0, 2), EdgeDelta::insert(0, 99)])
+            .unwrap_err();
+        assert!(err.to_string().contains("delta edge column"));
+        // The valid prefix of the rejected batch was not applied.
+        assert_eq!(a.delta_len(), 0);
+        assert_eq!(a.head_epoch(), 0);
+    }
+
+    #[test]
+    fn compaction_restores_the_bit_representation() {
+        let a = Matrix::from_csr(&sample(), Backend::Bit(TileSize::S8));
+        a.insert_edge(5, 0).unwrap();
+        let staged = a.snapshot();
+        assert!(staged.b2sr().is_none(), "overlay has no B2SR view");
+        let report = a.compact(a.context()).unwrap();
+        assert_eq!(report.folded, 1);
+        assert_eq!(a.delta_len(), 0);
+        let compacted = a.snapshot();
+        assert!(compacted.b2sr().is_some(), "compaction re-tiles");
+        assert_eq!(compacted.csr(), staged.csr());
+        assert_eq!(compacted.resolved_backend(), Backend::Bit(TileSize::S8));
+        assert_eq!(a.compactions(), 1);
+        assert_eq!(a.epochs_published(), 2);
+    }
+
+    #[test]
+    fn clone_starts_a_fresh_history() {
+        let a = Matrix::from_csr(&sample(), Backend::FloatCsr);
+        a.insert_edge(5, 0).unwrap();
+        let b = a.clone();
+        assert_eq!(b.delta_len(), 0, "pending deltas are not carried");
+        assert_eq!(b.head_epoch(), 0);
+        b.insert_edge(4, 0).unwrap();
+        assert!(a.snapshot().csr().get(4, 0).is_none());
     }
 }

@@ -99,7 +99,7 @@ pub use direction::{
 pub use error::GrbError;
 pub use ewise::assign_masked;
 pub use expr::{Expr, Fusion, MultiExpr, MultiProducer, Stage, MAX_STAGES};
-pub use matrix::{Backend, Matrix};
+pub use matrix::{Backend, Matrix, Snapshot};
 pub use multivec::{lane_words_per_node, MultiVec};
 pub use op::{Context, Op};
 pub use plan::MxvPipeline;

@@ -34,11 +34,19 @@
 //!   size per matrix from the pattern classifier, the Algorithm-1 sampling
 //!   profile and the memory-traffic model.  `bitgblas-algorithms` builds
 //!   BFS/SSSP/PR/CC/TC on this API.
+//!
+//! * **Streaming mutations** — [`delta`] keeps the graph mutable under
+//!   live serving: an append-only edge-delta log with DCSR-style staged
+//!   rows, a merge-on-read overlay backend (`base ⊕ delta`, no rebuild),
+//!   versioned epoch publication behind [`grb::Matrix::snapshot`], and
+//!   explicit compaction that re-tiles the base and re-plans row shards
+//!   incrementally.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod b2sr;
+pub mod delta;
 pub mod faultinject;
 pub mod grb;
 pub mod kernels;
@@ -46,10 +54,14 @@ pub mod semiring;
 pub mod shard;
 
 pub use b2sr::{B2sr, B2srMatrix, TileSize};
+pub use delta::{
+    CompactReport, DeltaOp, DeltaOverlay, DeltaSnapshot, EdgeDelta, StagedRows, VersionCell,
+    DELTA_MERGE_POINT,
+};
 pub use faultinject::{FailSpec, FaultAction, FaultInjector, FaultPlan, InjectedPanic};
 pub use grb::{
     Backend, Context, Descriptor, Direction, Expr, Fusion, GrbBackend, GrbError, Matrix, MultiVec,
-    Op, Vector,
+    Op, Snapshot, Vector,
 };
 pub use semiring::{BinaryOp, Semiring};
 pub use shard::{ShardConfig, ShardPlan};

@@ -1,6 +1,7 @@
 //! Query, result and error types of the graph service.
 
 use bitgblas_algorithms::PprConfig;
+use bitgblas_core::EdgeDelta;
 
 /// A point on the service's virtual clock, in **ticks** (the service
 /// attaches no unit; callers conventionally use microseconds).
@@ -49,6 +50,17 @@ pub enum Query {
         /// only queries with identical configuration share a batch.
         config: PprConfig,
     },
+    /// A graph mutation (PR 8): append one edge delta to the served graph's
+    /// delta log.  Mutations ride the same admission/coalescing/dispatch
+    /// machinery as traversals — a coalesced mutation batch is applied as
+    /// one atomic append publishing **one** new epoch, and every lane
+    /// resolves [`QueryResult::Mutated`] with that epoch.  In-flight
+    /// traversal batches are unaffected: they read the snapshot pinned at
+    /// their own dispatch.
+    Mutate {
+        /// The edge insertion or deletion to apply.
+        delta: EdgeDelta,
+    },
 }
 
 impl Query {
@@ -70,11 +82,28 @@ impl Query {
         }
     }
 
+    /// A mutation inserting the edge `row → col`.
+    pub fn insert_edge(row: usize, col: usize) -> Self {
+        Query::Mutate {
+            delta: EdgeDelta::insert(row, col),
+        }
+    }
+
+    /// A mutation deleting the edge `row → col`.
+    pub fn delete_edge(row: usize, col: usize) -> Self {
+        Query::Mutate {
+            delta: EdgeDelta::delete(row, col),
+        }
+    }
+
     /// The source/seed vertex — the lane this query occupies in a batch.
+    /// For a mutation this is the delta's row (its column is validated
+    /// separately at submission).
     pub fn source(&self) -> usize {
         match *self {
             Query::Bfs { source } | Query::Sssp { source } => source,
             Query::Ppr { seed, .. } => seed,
+            Query::Mutate { delta } => delta.row,
         }
     }
 
@@ -92,6 +121,7 @@ impl Query {
                 iterations: config.iterations,
                 fused: config.fusion == bitgblas_core::Fusion::Fused,
             },
+            Query::Mutate { .. } => CoalescingKey::Mutate,
         }
     }
 }
@@ -116,6 +146,9 @@ pub enum CoalescingKey {
         /// bit-parity guarantee against standalone runs.
         fused: bool,
     },
+    /// Mutation batches: coalesced deltas are applied as one atomic append
+    /// publishing one epoch.
+    Mutate,
 }
 
 /// The per-query answer the service demuxes out of a batch.
@@ -135,6 +168,12 @@ pub enum QueryResult {
     Ppr {
         /// `scores[v]` = PPR score of vertex `v` for this query's seed.
         scores: Vec<f32>,
+    },
+    /// A mutation was applied and published.
+    Mutated {
+        /// The epoch at which this lane's delta (batched with its
+        /// lane-mates) became visible to new snapshots.
+        epoch: u64,
     },
 }
 

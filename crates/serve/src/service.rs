@@ -62,8 +62,8 @@ use std::sync::Arc;
 
 use bitgblas_algorithms::{try_bfs_multi_dir, try_ppr_multi_dir, try_sssp_multi_dir, PprConfig};
 use bitgblas_core::faultinject::{FaultAction, FaultInjector, InjectedPanic};
-use bitgblas_core::grb::{Direction, GrbError};
-use bitgblas_core::{Fusion, Matrix};
+use bitgblas_core::grb::{Direction, GrbError, Snapshot};
+use bitgblas_core::{EdgeDelta, Fusion, Matrix};
 
 use crate::breaker::{Admission, BreakerState, CircuitBreaker};
 use crate::query::{
@@ -123,6 +123,7 @@ pub struct GraphServiceBuilder<'g> {
     retry_max: u32,
     backoff_base: u64,
     feasibility: bool,
+    compact_after: Option<usize>,
 }
 
 impl<'g> GraphServiceBuilder<'g> {
@@ -201,6 +202,19 @@ impl<'g> GraphServiceBuilder<'g> {
         self
     }
 
+    /// Compaction trigger rule (PR 8): after a mutation dispatch, if the
+    /// graph's pending delta log holds at least `depth` entries, the
+    /// service folds it into fresh tiles with
+    /// [`Matrix::compact`](bitgblas_core::Matrix::compact) (default:
+    /// disabled — the owner compacts explicitly).  The fold runs under a
+    /// panic guard and fires the `grb.delta_merge` fail point: a failing
+    /// compaction is contained and the pre-compaction epoch stays fully
+    /// readable.
+    pub fn compact_after(mut self, depth: usize) -> Self {
+        self.compact_after = Some(depth.max(1));
+        self
+    }
+
     /// Build the service.  Installs the fault injector (if any) on the
     /// graph's context, so core-level fail points fire for this graph's
     /// executions.
@@ -219,6 +233,7 @@ impl<'g> GraphServiceBuilder<'g> {
             retry_max: self.retry_max,
             backoff_base: self.backoff_base,
             feasibility: self.feasibility,
+            compact_after: self.compact_after,
             groups: Vec::new(),
             breakers: Vec::new(),
             pending_count: 0,
@@ -263,6 +278,7 @@ pub struct GraphService<'g> {
     retry_max: u32,
     backoff_base: u64,
     feasibility: bool,
+    compact_after: Option<usize>,
     /// Coalescing groups in first-appearance order (a `Vec`, not a
     /// `HashMap`, so dispatch order is deterministic for a deterministic
     /// drive).  Entries keep FIFO arrival order.
@@ -292,6 +308,7 @@ impl<'g> GraphService<'g> {
             retry_max: 2,
             backoff_base: 8,
             feasibility: false,
+            compact_after: None,
         }
     }
 
@@ -318,6 +335,17 @@ impl<'g> GraphService<'g> {
                 source: query.source(),
                 n,
             });
+        }
+        // A mutation names two vertices; its row is covered by the source
+        // check above, its column is validated here so a bad delta never
+        // reaches the writer path.
+        if let Query::Mutate { delta } = query {
+            if delta.col >= self.graph.ncols() {
+                return Err(SubmitError::SourceOutOfRange {
+                    source: delta.col,
+                    n: self.graph.ncols(),
+                });
+            }
         }
         let key = query.coalescing_key();
         if self.breaker_cfg.is_some() {
@@ -612,16 +640,20 @@ impl<'g> GraphService<'g> {
         }
 
         // Execute the lanes not already marked transient, as one guarded
-        // engine call that bisects on panic.
+        // engine call that bisects on panic.  Traversal segments read the
+        // snapshot pinned HERE, once per dispatch: every lane of the batch
+        // (including bisection re-executions) observes one epoch,
+        // bit-stable no matter what the writer path publishes meanwhile.
+        let snap = self.graph.snapshot();
         let exec_idx: Vec<usize> = (0..k).filter(|&i| outcomes[i].is_none()).collect();
-        let seg: Vec<(usize, bool)> = exec_idx
+        let seg: Vec<(Query, bool)> = exec_idx
             .iter()
-            .map(|&i| (batch[i].query.source(), panic_marks[i]))
+            .map(|&i| (batch[i].query, panic_marks[i]))
             .collect();
         let started = std::time::Instant::now();
         let mut panicked = false;
         if !seg.is_empty() {
-            let resolved = self.run_bisecting(key, &seg, &mut panicked, true);
+            let resolved = self.run_bisecting(&snap, key, &seg, &mut panicked, true);
             for (slot, outcome) in exec_idx.into_iter().zip(resolved) {
                 outcomes[slot] = Some(outcome);
             }
@@ -684,6 +716,26 @@ impl<'g> GraphService<'g> {
             self.pending_count,
         );
 
+        // Compaction trigger rule: after a mutation dispatch, fold the log
+        // once it is deep enough.  Runs OUTSIDE the lane machinery (never
+        // inside a bisectable segment, so a panicking fold can never
+        // double-apply deltas) under its own panic guard: a failing
+        // compaction is contained, the log and the published epoch are
+        // untouched, and the next mutation dispatch simply retries.
+        if key == CoalescingKey::Mutate {
+            if let Some(depth) = self.compact_after {
+                if self.graph.delta_len() >= depth {
+                    let guarded = catch_unwind(AssertUnwindSafe(|| {
+                        self.graph.compact(self.graph.context())
+                    }));
+                    if let Ok(Ok(_report)) = guarded {
+                        self.stats.record_compaction();
+                        self.stats.record_epoch_published();
+                    }
+                }
+            }
+        }
+
         // Batch-level breaker accounting: any caught panic is a failure,
         // a panic-free dispatch is a success.  A trip sheds what is left
         // of the group's queue (typed completion, never a silent drop).
@@ -713,15 +765,16 @@ impl<'g> GraphService<'g> {
     /// resolves the whole segment [`LaneOutcome::Transient`].
     fn run_bisecting(
         &self,
+        snap: &Snapshot,
         key: CoalescingKey,
-        seg: &[(usize, bool)],
+        seg: &[(Query, bool)],
         panicked: &mut bool,
         top_level: bool,
     ) -> Vec<LaneOutcome> {
         if !top_level {
             self.stats.record_bisection_dispatch();
         }
-        match self.run_segment(key, seg) {
+        match self.run_segment(snap, key, seg) {
             SegmentOutcome::Done(lanes) => lanes.into_iter().map(LaneOutcome::Done).collect(),
             SegmentOutcome::Transient => seg.iter().map(|_| LaneOutcome::Transient).collect(),
             SegmentOutcome::Panicked => {
@@ -731,8 +784,8 @@ impl<'g> GraphService<'g> {
                     vec![LaneOutcome::Poisoned]
                 } else {
                     let mid = seg.len() / 2;
-                    let mut outcomes = self.run_bisecting(key, &seg[..mid], panicked, false);
-                    outcomes.extend(self.run_bisecting(key, &seg[mid..], panicked, false));
+                    let mut outcomes = self.run_bisecting(snap, key, &seg[..mid], panicked, false);
+                    outcomes.extend(self.run_bisecting(snap, key, &seg[mid..], panicked, false));
                     outcomes
                 }
             }
@@ -744,8 +797,20 @@ impl<'g> GraphService<'g> {
     /// workspace buffers are owned `Vec`s (no lock is held across kernel
     /// execution), so unwinding through the engine leaves the context
     /// usable.
-    fn run_segment(&self, key: CoalescingKey, seg: &[(usize, bool)]) -> SegmentOutcome {
-        let sources: Vec<usize> = seg.iter().map(|&(s, _)| s).collect();
+    ///
+    /// Traversal segments read `snap` — the epoch pinned at dispatch.
+    /// Mutation segments write the *live* graph: the fail points fire
+    /// first and the whole segment then lands as one atomic
+    /// [`Matrix::apply_deltas`] append, so under bisection each innocent
+    /// lane's delta is applied exactly once (a marked or panicking segment
+    /// aborts before anything is appended) and a transiently-failed
+    /// segment retries without having applied anything.
+    fn run_segment(
+        &self,
+        snap: &Snapshot,
+        key: CoalescingKey,
+        seg: &[(Query, bool)],
+    ) -> SegmentOutcome {
         let result = catch_unwind(AssertUnwindSafe(|| {
             if seg.iter().any(|&(_, mark)| mark) {
                 std::panic::panic_any(InjectedPanic {
@@ -765,7 +830,21 @@ impl<'g> GraphService<'g> {
                     Some(FaultAction::Latency(_)) | None => {}
                 }
             }
-            try_execute_batch(self.graph, self.direction, key, &sources)
+            if key == CoalescingKey::Mutate {
+                let deltas: Vec<EdgeDelta> = seg
+                    .iter()
+                    .map(|&(q, _)| match q {
+                        Query::Mutate { delta } => delta,
+                        _ => unreachable!("non-mutation query in a Mutate group"),
+                    })
+                    .collect();
+                let epoch = self.graph.apply_deltas(&deltas)?;
+                self.stats.record_mutations_applied(deltas.len());
+                self.stats.record_epoch_published();
+                return Ok(seg.iter().map(|_| QueryResult::Mutated { epoch }).collect());
+            }
+            let sources: Vec<usize> = seg.iter().map(|&(q, _)| q.source()).collect();
+            try_execute_batch(snap, self.direction, key, &sources)
         }));
         match result {
             Ok(Ok(lanes)) => SegmentOutcome::Done(lanes),
@@ -824,6 +903,9 @@ fn try_execute_batch(
                 })
                 .collect()
         }
+        // Mutation segments never reach the batched read engine: the
+        // service applies them on the live graph in `run_segment`.
+        CoalescingKey::Mutate => unreachable!("mutations are applied by the writer path"),
     })
 }
 
@@ -1014,6 +1096,110 @@ mod tests {
         assert_eq!(s.wait_p99(), 128);
         assert_eq!(s.queue_depth, 0);
         assert_eq!(s.peak_queue_depth, 2);
+    }
+
+    #[test]
+    fn mutations_coalesce_and_publish_one_epoch_per_batch() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g).coalescing_window(10).build();
+        let ta = svc
+            .submit(Query::insert_edge(0, 79), Tick(0), None)
+            .unwrap();
+        let tb = svc
+            .submit(Query::insert_edge(79, 0), Tick(0), None)
+            .unwrap();
+        let tc = svc
+            .submit(Query::delete_edge(0, 79), Tick(0), None)
+            .unwrap();
+        let reports = svc.pump(Tick(10));
+        assert_eq!(reports.len(), 1, "mutations coalesce into one batch");
+        assert_eq!(reports[0].key, CoalescingKey::Mutate);
+        assert_eq!(reports[0].lanes, 3);
+        // One atomic append → every lane resolves the same epoch.
+        for t in [ta, tb, tc] {
+            assert_eq!(
+                svc.take_result(t).unwrap().unwrap(),
+                QueryResult::Mutated { epoch: 1 }
+            );
+        }
+        // Last-op-wins within the batch: (0,79) inserted then deleted.
+        let snap = g.snapshot();
+        assert!(snap.csr().get(79, 0).is_some());
+        assert!(snap.csr().get(0, 79).is_none());
+        let s = svc.stats().snapshot();
+        assert_eq!(s.mutations_applied, 3);
+        assert_eq!(s.epochs_published, 1);
+        assert!(s.is_conserved());
+    }
+
+    #[test]
+    fn traversals_read_the_snapshot_pinned_at_their_own_dispatch() {
+        // A directed chain 0→1→2 with vertex 3 unreachable from 0.
+        let mut coo = bitgblas_sparse::Coo::new(8, 8);
+        coo.push_edge(0, 1).unwrap();
+        coo.push_edge(1, 2).unwrap();
+        let g = Matrix::from_csr(&coo.to_binary_csr(), Backend::Bit(TileSize::S8));
+        let baseline = bfs(&g, 0).levels;
+        assert_eq!(baseline[3], -1);
+        let mut svc = GraphService::builder(&g).coalescing_window(0).build();
+        // Dispatch a BFS, then a mutation, then another BFS: the first read
+        // must match the pre-mutation graph, the second the post-mutation
+        // one — each dispatch pins its own epoch.
+        let t1 = svc.submit(Query::bfs(0), Tick(0), None).unwrap();
+        svc.pump(Tick(0));
+        let tm = svc.submit(Query::insert_edge(0, 3), Tick(1), None).unwrap();
+        let t2 = svc.submit(Query::bfs(0), Tick(1), None).unwrap();
+        svc.pump(Tick(1));
+        match svc.take_result(t1).unwrap().unwrap() {
+            QueryResult::Bfs { levels } => assert_eq!(levels, baseline),
+            other => panic!("wrong result kind {other:?}"),
+        }
+        assert!(svc.take_result(tm).unwrap().is_ok());
+        match svc.take_result(t2).unwrap().unwrap() {
+            QueryResult::Bfs { levels } => {
+                assert_eq!(levels[3], 1, "post-mutation read sees the edge")
+            }
+            other => panic!("wrong result kind {other:?}"),
+        }
+        // The live handle itself still reads its construction-time view.
+        assert_eq!(bfs(&g, 0).levels, baseline);
+    }
+
+    #[test]
+    fn compact_after_folds_the_log_on_the_writer_path() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g)
+            .coalescing_window(0)
+            .compact_after(2)
+            .build();
+        let _ = svc.submit(Query::insert_edge(1, 0), Tick(0), None).unwrap();
+        svc.pump(Tick(0));
+        // One pending delta: below the threshold, no fold.
+        assert_eq!(g.delta_len(), 1);
+        assert_eq!(svc.stats().snapshot().compactions, 0);
+        let _ = svc.submit(Query::insert_edge(2, 0), Tick(1), None).unwrap();
+        svc.pump(Tick(1));
+        assert_eq!(g.delta_len(), 0, "threshold reached, log folded");
+        let s = svc.stats().snapshot();
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.epochs_published, 3); // two mutation batches + one fold
+        assert!(g.snapshot().b2sr().is_some(), "compaction re-tiled");
+    }
+
+    #[test]
+    fn mutate_submissions_validate_both_endpoints() {
+        let g = graph();
+        let mut svc = GraphService::builder(&g).build();
+        assert_eq!(
+            svc.submit(Query::insert_edge(999, 0), Tick(0), None)
+                .unwrap_err(),
+            SubmitError::SourceOutOfRange { source: 999, n: 80 }
+        );
+        assert_eq!(
+            svc.submit(Query::insert_edge(0, 999), Tick(0), None)
+                .unwrap_err(),
+            SubmitError::SourceOutOfRange { source: 999, n: 80 }
+        );
     }
 
     #[test]

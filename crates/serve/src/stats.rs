@@ -46,6 +46,9 @@ pub struct ServiceStats {
     panics_contained: AtomicU64,
     bisection_dispatches: AtomicU64,
     breaker_trips: AtomicU64,
+    mutations_applied: AtomicU64,
+    compactions: AtomicU64,
+    epochs_published: AtomicU64,
     queue_depth: AtomicUsize,
     peak_queue_depth: AtomicUsize,
     wait_hist: [AtomicU64; WAIT_BUCKETS],
@@ -70,6 +73,9 @@ impl Default for ServiceStats {
             panics_contained: AtomicU64::new(0),
             bisection_dispatches: AtomicU64::new(0),
             breaker_trips: AtomicU64::new(0),
+            mutations_applied: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            epochs_published: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             peak_queue_depth: AtomicUsize::new(0),
             wait_hist: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -167,6 +173,22 @@ impl ServiceStats {
         self.breaker_trips.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// `n` edge deltas were applied to the served graph's delta log.
+    pub(crate) fn record_mutations_applied(&self, n: usize) {
+        self.mutations_applied
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// One compaction folded the delta log into fresh tiles.
+    pub(crate) fn record_compaction(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One new epoch was published (a mutation batch or a compaction).
+    pub(crate) fn record_epoch_published(&self) {
+        self.epochs_published.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A plain-data copy of the current counter values.
     pub fn snapshot(&self) -> ServiceCounts {
         ServiceCounts {
@@ -186,6 +208,9 @@ impl ServiceStats {
             panics_contained: self.panics_contained.load(Ordering::Relaxed),
             bisection_dispatches: self.bisection_dispatches.load(Ordering::Relaxed),
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            epochs_published: self.epochs_published.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             wait_hist: std::array::from_fn(|i| self.wait_hist[i].load(Ordering::Relaxed)),
@@ -237,6 +262,15 @@ pub struct ServiceCounts {
     pub bisection_dispatches: u64,
     /// Circuit-breaker trips.
     pub breaker_trips: u64,
+    /// Edge deltas applied to the served graph's delta log by the writer
+    /// path (a retried mutation lane counts once — on the dispatch that
+    /// actually applied it).
+    pub mutations_applied: u64,
+    /// Compactions that folded the delta log into fresh tiles.
+    pub compactions: u64,
+    /// Epochs published through the service (one per applied mutation
+    /// batch, plus one per compaction).
+    pub epochs_published: u64,
     /// Queue depth after the most recent event.
     pub queue_depth: usize,
     /// Highest queue depth observed.
@@ -364,6 +398,14 @@ mod tests {
                             stats.record_retry(1);
                             stats.record_panic_contained();
                         }
+                        if i % 5 == 0 {
+                            stats.record_mutations_applied(3);
+                            stats.record_epoch_published();
+                        }
+                        if i % 100 == 0 {
+                            stats.record_compaction();
+                            stats.record_epoch_published();
+                        }
                     }
                 });
             }
@@ -376,6 +418,9 @@ mod tests {
         assert_eq!(s.deadline_misses, 400);
         assert_eq!(s.retries, 400);
         assert_eq!(s.panics_contained, 400);
+        assert_eq!(s.mutations_applied, 2400);
+        assert_eq!(s.compactions, 40);
+        assert_eq!(s.epochs_published, 840);
         assert_eq!(s.wait_hist.iter().sum::<u64>(), 8000);
     }
 }

@@ -418,6 +418,90 @@ fn submit_validates_sources_on_both_backends() {
     }
 }
 
+// -- torn-epoch safety (PR 8) -----------------------------------------------
+
+/// The `grb.delta_merge` fail point: a compaction that panics mid-fold
+/// publishes nothing — the pre-compaction snapshot stays fully readable and
+/// bit-identical, the epoch and the delta log are untouched, and a retry
+/// after the fault clears folds normally.  (Satellite: no torn epoch.)
+#[test]
+fn panicking_compaction_leaves_the_pre_compaction_snapshot_readable() {
+    quiet_injected_panics();
+    let g = graph();
+    let plan = FaultPlan::new()
+        .with(FailSpec::always("grb.delta_merge", FaultAction::Panic).with_max_fires(1));
+    let inj = Arc::new(FaultInjector::new(21, plan));
+    g.context().set_fault_injector(Some(inj.clone()));
+
+    g.insert_edge(59, 0).unwrap();
+    g.delete_edge(0, 1).unwrap();
+    let snap = g.snapshot();
+    let levels_before = bitgblas_algorithms::bfs(&snap, 0).levels;
+    let (epoch, depth) = (g.head_epoch(), g.delta_len());
+
+    let torn = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.compact(g.context())));
+    let payload = torn.expect_err("the injected panic must surface");
+    assert_eq!(
+        payload.downcast_ref::<InjectedPanic>().map(|p| p.point),
+        Some("grb.delta_merge")
+    );
+    // Nothing was published: same epoch, same log, and the snapshot taken
+    // before the attempt still answers bit-identically.
+    assert_eq!(g.head_epoch(), epoch);
+    assert_eq!(g.delta_len(), depth);
+    assert_eq!(bitgblas_algorithms::bfs(&snap, 0).levels, levels_before);
+    assert_eq!(
+        bitgblas_algorithms::bfs(&g.snapshot(), 0).levels,
+        levels_before
+    );
+
+    // The fault budget is spent; the retry folds and the view is unchanged.
+    let report = g.compact(g.context()).unwrap();
+    assert_eq!(report.folded, depth);
+    assert_eq!(g.delta_len(), 0);
+    assert_eq!(
+        bitgblas_algorithms::bfs(&g.snapshot(), 0).levels,
+        levels_before
+    );
+    assert_eq!(bitgblas_algorithms::bfs(&snap, 0).levels, levels_before);
+    assert_eq!(inj.counts().panics, 1);
+}
+
+/// The same fault through the service's writer path: a panicking
+/// `compact_after` fold is contained by the dispatch guard — queries keep
+/// completing, nothing is lost, and the log survives for the next trigger.
+#[test]
+fn service_contains_a_panicking_compaction() {
+    quiet_injected_panics();
+    let g = graph();
+    let plan = FaultPlan::new().with(FailSpec::always("grb.delta_merge", FaultAction::Panic));
+    let inj = Arc::new(FaultInjector::new(22, plan));
+    let mut svc = GraphService::builder(&g)
+        .coalescing_window(0)
+        .compact_after(1)
+        .fault_injector(inj)
+        .build();
+
+    let tm = svc
+        .submit(Query::insert_edge(59, 0), Tick(0), None)
+        .unwrap();
+    let tq = svc.submit(Query::bfs(0), Tick(0), None).unwrap();
+    svc.pump(Tick(0));
+    // The mutation applied and the read completed; only the fold failed.
+    assert_eq!(
+        svc.take_result(tm).unwrap().unwrap(),
+        QueryResult::Mutated { epoch: 1 }
+    );
+    assert!(svc.take_result(tq).unwrap().is_ok());
+    assert_eq!(g.delta_len(), 1, "the unfolded log survives");
+    let s = svc.stats().snapshot();
+    assert_eq!(s.mutations_applied, 1);
+    assert_eq!(s.compactions, 0);
+    assert!(s.is_conserved());
+    // New snapshots still read base ⊕ log.
+    assert!(g.snapshot().csr().get(59, 0).is_some());
+}
+
 // -- determinism ------------------------------------------------------------
 
 /// With an injector installed but an empty plan, every fail point is inert
@@ -467,12 +551,15 @@ fn fault_free_replay_is_bit_identical() {
 // -- chaos proptest ---------------------------------------------------------
 
 fn query_stream(n: usize) -> impl Strategy<Value = Vec<Query>> {
-    proptest::collection::vec((0usize..3, 0usize..1000), 1..50).prop_map(move |raw| {
+    proptest::collection::vec((0usize..4, 0usize..1000), 1..50).prop_map(move |raw| {
         raw.into_iter()
             .map(|(kind, src)| match kind {
                 0 => Query::bfs(src % n),
                 1 => Query::sssp(src % n),
-                _ => Query::ppr(src % n),
+                2 => Query::ppr(src % n),
+                // Mutations ride the same machinery and the same
+                // conservation invariant as reads.
+                _ => Query::insert_edge(src % n, (src / 7) % n),
             })
             .collect()
     })

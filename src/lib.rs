@@ -20,9 +20,9 @@
 //! | [`sparse`] | `bitgblas-sparse` | COO/CSR/CSC/BSR, Matrix Market I/O, float baseline kernels |
 //! | [`datagen`] | `bitgblas-datagen` | synthetic corpus generators and pattern classifier |
 //! | [`perfmodel`] | `bitgblas-perfmodel` | Pascal/Volta device profiles and the memory-traffic model |
-//! | [`core`] | `bitgblas-core` | B2SR, BMV/BMM kernels, semirings, GrB-style API |
-//! | [`algorithms`] | `bitgblas-algorithms` | BFS, SSSP, PageRank, PPR, CC, TC on both backends |
-//! | [`serve`] | `bitgblas-serve` | query service: lane-coalescing scheduler over the batched engine |
+//! | [`core`] | `bitgblas-core` | B2SR, BMV/BMM kernels, semirings, GrB-style API, streaming edge-delta mutations |
+//! | [`algorithms`] | `bitgblas-algorithms` | BFS, SSSP, PageRank, PPR, CC, TC on both backends, incremental CC |
+//! | [`serve`] | `bitgblas-serve` | query service: lane-coalescing scheduler over the batched engine, coalesced writer path |
 //!
 //! # Quickstart
 //!
@@ -79,13 +79,15 @@ pub use bitgblas_sparse as sparse;
 pub mod prelude {
     pub use bitgblas_algorithms::{
         betweenness_centrality, bfs, bfs_dir, bfs_multi, connected_components, pagerank, ppr,
-        ppr_multi, sssp, sssp_dir, sssp_multi, sssp_with, triangle_count, PageRankConfig,
-        PprConfig,
+        ppr_multi, sssp, sssp_dir, sssp_multi, sssp_with, triangle_count, DynamicCc,
+        PageRankConfig, PprConfig,
     };
     pub use bitgblas_core::grb::{
-        Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Mask, MultiVec, Op,
+        Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Mask, MultiVec, Op, Snapshot,
     };
-    pub use bitgblas_core::{B2srMatrix, Backend, BinaryOp, Matrix, Semiring, TileSize, Vector};
+    pub use bitgblas_core::{
+        B2srMatrix, Backend, BinaryOp, EdgeDelta, Matrix, Semiring, TileSize, Vector,
+    };
     pub use bitgblas_sparse::{Coo, Csr, DenseVec};
 }
 

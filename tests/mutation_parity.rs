@@ -1,0 +1,190 @@
+//! Parity and snapshot-isolation proptests for the streaming-mutation
+//! subsystem (PR 8).
+//!
+//! Three invariants, each over random base graphs and random edge-delta
+//! streams:
+//!
+//! * **overlay parity** — traversals through a `base ⊕ delta` overlay
+//!   snapshot equal the same traversals on the graph built from scratch
+//!   with the deltas already folded in, across Bit8 / FloatCsr / Auto;
+//! * **snapshot isolation** — a reader pinned to epoch E observes
+//!   bit-identical results no matter how many writer appends and
+//!   compactions land after E was taken (including appends racing from
+//!   another thread);
+//! * **incremental CC** — the union-find overlay of
+//!   [`DynamicCc`] tracks FastSV exactly along insert-only streams and
+//!   reconciles cleanly on compaction.
+
+use proptest::prelude::*;
+
+use std::collections::BTreeSet;
+
+use bit_graphblas::prelude::*;
+
+/// A random base graph (edge list) plus a random delta stream over the
+/// same vertex set.  Deletions draw from the base edges by index so they
+/// actually hit present edges about half the time.
+fn graph_and_deltas() -> impl Strategy<Value = (Csr, Vec<EdgeDelta>)> {
+    (4usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..120);
+        let deltas = proptest::collection::vec((any::<bool>(), 0..n, 0..n), 0..40);
+        (edges, deltas).prop_map(move |(edges, deltas)| {
+            let mut coo = Coo::new(n, n);
+            for (r, c) in edges {
+                coo.push_edge(r, c).expect("in bounds");
+            }
+            let deltas = deltas
+                .into_iter()
+                .map(|(insert, r, c)| {
+                    if insert {
+                        EdgeDelta::insert(r, c)
+                    } else {
+                        EdgeDelta::delete(r, c)
+                    }
+                })
+                .collect();
+            (coo.to_binary_csr(), deltas)
+        })
+    })
+}
+
+/// The ground truth: fold `deltas` into `base` edge by edge (last op wins)
+/// and rebuild a CSR from scratch.
+fn folded_csr(base: &Csr, deltas: &[EdgeDelta]) -> Csr {
+    let mut edges: BTreeSet<(usize, usize)> = base.iter().map(|(r, c, _)| (r, c)).collect();
+    for d in deltas {
+        match d.op {
+            bit_graphblas::core::delta::DeltaOp::Insert => {
+                edges.insert((d.row, d.col));
+            }
+            bit_graphblas::core::delta::DeltaOp::Delete => {
+                edges.remove(&(d.row, d.col));
+            }
+        }
+    }
+    let mut coo = Coo::new(base.nrows(), base.ncols());
+    for (r, c) in edges {
+        coo.push_edge(r, c).expect("in bounds");
+    }
+    coo.to_binary_csr()
+}
+
+const BACKENDS: [Backend; 3] = [Backend::Bit(TileSize::S8), Backend::FloatCsr, Backend::Auto];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Overlay parity: BFS levels, SSSP distances and CC labels through the
+    /// merge-on-read overlay are identical to a from-scratch build of the
+    /// mutated graph — on the bit backend, the float baseline, and Auto.
+    #[test]
+    fn overlay_traversals_match_a_scratch_build((base, deltas) in graph_and_deltas()) {
+        let expected_csr = folded_csr(&base, &deltas);
+        for backend in BACKENDS {
+            let m = Matrix::from_csr(&base, backend);
+            m.apply_deltas(&deltas).unwrap();
+            let snap = m.snapshot();
+            let scratch = Matrix::from_csr(&expected_csr, backend);
+
+            prop_assert_eq!(snap.csr(), scratch.csr(), "{:?}: merged CSR", backend);
+            prop_assert_eq!(
+                bfs(&snap, 0).levels,
+                bfs(&scratch, 0).levels,
+                "{:?}: BFS",
+                backend
+            );
+            prop_assert_eq!(
+                sssp(&snap, 0).distances,
+                sssp(&scratch, 0).distances,
+                "{:?}: SSSP",
+                backend
+            );
+            let (a, b) = (connected_components(&snap), connected_components(&scratch));
+            prop_assert_eq!(a.labels, b.labels, "{:?}: CC labels", backend);
+            prop_assert_eq!(a.n_components, b.n_components, "{:?}: CC count", backend);
+        }
+    }
+
+    /// Snapshot isolation: a reader pinned to epoch E is bit-stable across
+    /// concurrent writer appends from another thread AND across an explicit
+    /// compaction, on both backends.
+    #[test]
+    fn pinned_snapshots_are_bit_stable_under_writes((base, deltas) in graph_and_deltas()) {
+        for backend in [Backend::Bit(TileSize::S8), Backend::FloatCsr] {
+            let m = Matrix::from_csr(&base, backend);
+            // Stage half the stream, pin E, then race the rest in.
+            let (first, rest) = deltas.split_at(deltas.len() / 2);
+            m.apply_deltas(first).unwrap();
+            let snap = m.snapshot();
+            let epoch = snap.epoch();
+            let levels = bfs(&snap, 0).levels;
+            let distances = sssp(&snap, 0).distances;
+
+            std::thread::scope(|scope| {
+                let writer = scope.spawn(|| {
+                    for d in rest {
+                        m.apply_deltas(std::slice::from_ref(d)).unwrap();
+                    }
+                });
+                // Interleave reads with the writer's appends.
+                for _ in 0..3 {
+                    assert_eq!(bfs(&snap, 0).levels, levels);
+                }
+                writer.join().expect("writer thread");
+            });
+
+            // After every append landed, and again after a compaction, the
+            // pinned reader still answers bit-identically.
+            m.compact(m.context()).unwrap();
+            prop_assert_eq!(snap.epoch(), epoch);
+            prop_assert_eq!(bfs(&snap, 0).levels, levels, "{:?}: BFS stable", backend);
+            prop_assert_eq!(
+                sssp(&snap, 0).distances,
+                distances,
+                "{:?}: SSSP stable",
+                backend
+            );
+            // And the post-compaction head equals the scratch build.
+            let folded = folded_csr(&base, &deltas);
+            prop_assert_eq!(m.snapshot().csr(), &folded, "{:?}: folded head", backend);
+        }
+    }
+
+    /// Dynamic CC: the union-find overlay tracks FastSV exactly along an
+    /// insert-only stream (edges mirrored, as CC treats graphs undirected)
+    /// and reconciliation on compaction confirms no drift.
+    #[test]
+    fn dynamic_cc_tracks_insert_streams(
+        (base, deltas) in graph_and_deltas(),
+        check_every in 1usize..8,
+    ) {
+        let sym = {
+            // Symmetrize the base so FastSV's undirected view and the
+            // union-find overlay agree edge for edge.
+            let mut coo = Coo::new(base.nrows(), base.ncols());
+            for (r, c, _) in base.iter() {
+                coo.push_undirected_edge(r, c).expect("in bounds");
+            }
+            coo.to_binary_csr()
+        };
+        let m = Matrix::from_csr(&sym, Backend::Bit(TileSize::S8));
+        let mut cc = DynamicCc::new(&m);
+        for (i, d) in deltas.iter().enumerate() {
+            // Insert-only: reuse each delta's endpoints as an undirected
+            // insertion regardless of its original op.
+            m.apply_deltas(&[
+                EdgeDelta::insert(d.row, d.col),
+                EdgeDelta::insert(d.col, d.row),
+            ])
+            .unwrap();
+            cc.insert_edge(d.row, d.col);
+            if i % check_every == 0 {
+                let fresh = connected_components(&m.snapshot());
+                prop_assert_eq!(cc.n_components(), fresh.n_components);
+                prop_assert_eq!(cc.labels(), fresh.labels);
+            }
+        }
+        m.compact(m.context()).unwrap();
+        prop_assert!(cc.reconcile(&m.snapshot()), "insert-only stream must not drift");
+    }
+}
