@@ -15,11 +15,15 @@
 //! **streaming-mutation subsystem** (`mutate_throughput/…`: raw delta-log
 //! appends/s vs depth plus the overlay-vs-compacted read cost;
 //! `query_under_mutation/…`: a mixed read/write open-loop stream through
-//! the service's writer path with in-band compaction), on a fixed
-//! synthetic corpus.  Results are written as JSON rows
+//! the service's writer path with in-band compaction), and — since PR 9 —
+//! the **scalar-vs-SWAR kernel comparison** (`bfs_pull_simd/…` and
+//! `ppr_simd/…`: the same forced-pull traversal with the vector kernels
+//! pinned off and on via [`SimdPolicy`], paired rows distinguished by a
+//! `simd: 0/1` extra field), on a fixed synthetic corpus.  Results are
+//! written as JSON rows
 //! `{bench, backend, direction, threads, host_cores, ms, ms_min,
 //! ms_median}` so every future PR has a perf trajectory to compare against
-//! (`BENCH_PR8.json` for this PR).  Execution mode is encoded in the bench
+//! (`BENCH_PR9.json` for this PR).  Execution mode is encoded in the bench
 //! name (`pagerank_fused/…` vs `pagerank_unfused/…`; `bfs_multi_batched/…`
 //! vs `bfs_multi_seq/…` and `ppr_multi_batched/…` vs `ppr_multi_seq/…`,
 //! all k = 8 sources); the `bfs_push_sharded/…` / `sssp_push_sharded/…`
@@ -43,7 +47,7 @@
 //! * `--smoke` — one tiny graph end-to-end, for CI: proves the harness runs
 //!   and emits parseable JSON (including the fused, batched and
 //!   sharded-push rows CI asserts on) in a couple of seconds.
-//! * `--out PATH` — output path (default `BENCH_PR8.json`).
+//! * `--out PATH` — output path (default `BENCH_PR9.json`).
 //!
 //! The headline comparisons — BFS `Direction::Auto` vs always-pull, fused
 //! vs unfused PageRank, batched vs sequential multi-source BFS/SSSP, and
@@ -58,7 +62,7 @@ use bitgblas_core::grb::{Context, Direction, Fusion, Op, Vector};
 use bitgblas_core::shard::machine_parallelism;
 use bitgblas_core::{
     Backend, EdgeDelta, FailSpec, FaultAction, FaultInjector, FaultPlan, InjectedPanic, Matrix,
-    Semiring, TileSize,
+    Semiring, SimdPolicy, TileSize,
 };
 use bitgblas_datagen::generators;
 use bitgblas_serve::{GraphService, Query, Tick};
@@ -68,7 +72,7 @@ use rand::{Rng, SeedableRng};
 
 use bitgblas_algorithms::{
     betweenness_centrality, bfs_dir, bfs_multi, connected_components, pagerank, ppr, ppr_multi,
-    sssp_dir, sssp_multi, sssp_with, triangle_count, PageRankConfig, PprConfig,
+    ppr_multi_dir, sssp_dir, sssp_multi, sssp_with, triangle_count, PageRankConfig, PprConfig,
 };
 
 /// One emitted JSON row.
@@ -838,6 +842,64 @@ fn bench_query_under_mutation(
     }
 }
 
+/// Time the scalar-vs-SWAR pull sweep (PR 9): forced-pull BFS with the
+/// vector kernels pinned off (`simd: 0`) and on (`simd: 1`) via the
+/// context's [`SimdPolicy`].  Both rows compute bit-identical outputs (the
+/// `simd_parity` harness proves it), so the pair isolates the pure kernel
+/// cost of the lane-parallel sweep.  Bit backends only — the float-CSR
+/// baseline has no packed-tile path to vectorize.
+fn bench_bfs_pull_simd(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
+    if !matches!(backend, Backend::Bit(_)) {
+        return;
+    }
+    for (policy, flag) in [
+        (SimdPolicy::ForceScalar, 0.0),
+        (SimdPolicy::ForceVector, 1.0),
+    ] {
+        m.context().set_simd_policy(policy);
+        let stats = time_stats_ms(|| bfs_dir(m, 0, Direction::Pull));
+        rows.push(Row {
+            bench: format!("bfs_pull_simd/{name}"),
+            backend: backend_name(backend),
+            direction: "pull".to_string(),
+            stats,
+            threads: 0,
+            extras: vec![("simd", flag)],
+        });
+    }
+    m.context().set_simd_policy(SimdPolicy::Auto);
+}
+
+/// Time batched personalized PageRank under both kernel policies (PR 9):
+/// the dense `n × k` arithmetic sweep is the lane-word batched path
+/// (`bmm_bin_full`) where the SWAR engine amortizes one tile load across
+/// all `BATCH_K` lanes.  Same `simd: 0/1` row pairing as
+/// [`bench_bfs_pull_simd`].
+fn bench_ppr_simd(rows: &mut Vec<Row>, name: &str, m: &Matrix, backend: Backend) {
+    if !matches!(backend, Backend::Bit(_)) {
+        return;
+    }
+    let n = m.nrows();
+    let seeds: Vec<usize> = (0..BATCH_K).map(|i| i * n / BATCH_K).collect();
+    let config = PprConfig::default();
+    for (policy, flag) in [
+        (SimdPolicy::ForceScalar, 0.0),
+        (SimdPolicy::ForceVector, 1.0),
+    ] {
+        m.context().set_simd_policy(policy);
+        let stats = time_stats_ms(|| ppr_multi_dir(m, &seeds, &config, Direction::Pull));
+        rows.push(Row {
+            bench: format!("ppr_simd/{name}"),
+            backend: backend_name(backend),
+            direction: "pull".to_string(),
+            stats,
+            threads: 0,
+            extras: vec![("simd", flag)],
+        });
+    }
+    m.context().set_simd_policy(SimdPolicy::Auto);
+}
+
 /// Thread budgets of the PR-5 sharded-push scaling rows.
 const SHARD_THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -909,7 +971,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
     quiet_injected_panics();
 
     let mut rows = Vec::new();
@@ -927,6 +989,8 @@ fn main() {
             bench_fusion(&mut rows, name, &m, backend);
             bench_multi(&mut rows, name, &m, backend);
             bench_ppr_multi(&mut rows, name, &m, backend);
+            bench_bfs_pull_simd(&mut rows, name, &m, backend);
+            bench_ppr_simd(&mut rows, name, &m, backend);
             bench_sharded_push(&mut rows, name, adj, backend);
             bench_serve_openloop(&mut rows, name, &m, backend, smoke);
             bench_serve_faults(&mut rows, name, &m, backend, smoke);
@@ -1097,6 +1161,26 @@ fn main() {
                     get("wait_p99_us"),
                     if get("conserved") == 1.0 { "yes" } else { "NO" },
                 );
+            }
+            // PR-9 kernel comparison: the forced-pull sweep with the SWAR
+            // engine off vs on (bit backends only).
+            for alg in ["bfs_pull_simd", "ppr_simd"] {
+                let at = |flag: f64| {
+                    rows.iter()
+                        .find(|r| {
+                            r.bench == format!("{alg}/{name}")
+                                && r.backend == backend
+                                && r.extras.iter().any(|&(k, v)| k == "simd" && v == flag)
+                        })
+                        .map(|r| r.stats.mean_ms)
+                };
+                if let (Some(scalar), Some(vector)) = (at(0.0), at(1.0)) {
+                    println!(
+                        "{alg}/{name} [{backend}]: scalar {scalar:.3} ms, vector {vector:.3} ms  \
+                         ({:.2}x)",
+                        scalar / vector
+                    );
+                }
             }
             // PR-5 thread-scaling curve: serial-push baseline vs sharded.
             for alg in ["bfs_push_sharded", "sssp_push_sharded"] {

@@ -39,4 +39,4 @@ pub mod word;
 
 pub use intrinsics::{ballot, brev_u32, popc_u32, shfl, FULL_MASK};
 pub use warp::{Warp, WARP_SIZE};
-pub use word::BitWord;
+pub use word::{pack_chunk_u64_generic, BitWord};

@@ -86,17 +86,33 @@ pub trait BitWord:
     /// word whose set bits are enumerated in one `trailing_zeros` loop,
     /// instead of scanning the tile row-word by row-word.
     ///
+    /// The concrete word types override this with branch-free full-chunk
+    /// fast paths (a full `u8` chunk is one little-endian `u64` load);
+    /// [`pack_chunk_u64_generic`] is the reference shift-OR loop every
+    /// override must agree with, and the fallback for partial chunks.
+    ///
     /// # Panics
     /// Debug-asserts that the chunk fits (`words.len() * BITS <= 64`).
     #[inline]
     fn pack_chunk_u64(words: &[Self]) -> u64 {
-        debug_assert!(words.len() as u32 * Self::BITS <= 64);
-        let mut packed = 0u64;
-        for (k, &w) in words.iter().enumerate() {
-            packed |= w.to_u64() << (k as u32 * Self::BITS);
-        }
-        packed
+        pack_chunk_u64_generic(words)
     }
+}
+
+/// The reference shift-OR implementation of [`BitWord::pack_chunk_u64`]:
+/// word `k` of the chunk lands at bits `[k·BITS, (k+1)·BITS)`.  The
+/// per-type overrides are tested against this loop.
+///
+/// # Panics
+/// Debug-asserts that the chunk fits (`words.len() * BITS <= 64`).
+#[inline]
+pub fn pack_chunk_u64_generic<W: BitWord>(words: &[W]) -> u64 {
+    debug_assert!(words.len() as u32 * W::BITS <= 64);
+    let mut packed = 0u64;
+    for (k, &w) in words.iter().enumerate() {
+        packed |= w.to_u64() << (k as u32 * W::BITS);
+    }
+    packed
 }
 
 /// Iterator over set-bit positions of a [`BitWord`].
@@ -128,7 +144,7 @@ impl<W: BitWord> Iterator for BitIter<W> {
 impl<W: BitWord> ExactSizeIterator for BitIter<W> {}
 
 macro_rules! impl_bitword {
-    ($ty:ty, $bits:expr) => {
+    ($ty:ty, $bits:expr, $pack:path) => {
         impl BitWord for $ty {
             const BITS: u32 = $bits;
             const ZERO: Self = 0;
@@ -177,14 +193,60 @@ macro_rules! impl_bitword {
             fn trailing_zeros(self) -> u32 {
                 <$ty>::trailing_zeros(self)
             }
+
+            #[inline(always)]
+            fn pack_chunk_u64(words: &[Self]) -> u64 {
+                $pack(words)
+            }
         }
     };
 }
 
-impl_bitword!(u8, 8);
-impl_bitword!(u16, 16);
-impl_bitword!(u32, 32);
-impl_bitword!(u64, 64);
+/// Full 8-byte chunks (a whole 8×8 tile, or two B2SR-4 tiles' worth of
+/// rows) are a single little-endian `u64` load — the hot case of the
+/// tile-granular sweeps.
+#[inline(always)]
+fn pack_chunk_u8(words: &[u8]) -> u64 {
+    match <[u8; 8]>::try_from(words) {
+        Ok(bytes) => u64::from_le_bytes(bytes),
+        Err(_) => pack_chunk_u64_generic(words),
+    }
+}
+
+/// Full 4-halfword chunks (a quarter of a 16×16 tile) pack with three
+/// shift-ORs, no loop.
+#[inline(always)]
+fn pack_chunk_u16(words: &[u16]) -> u64 {
+    match words {
+        [a, b, c, d] => {
+            (*a as u64) | ((*b as u64) << 16) | ((*c as u64) << 32) | ((*d as u64) << 48)
+        }
+        _ => pack_chunk_u64_generic(words),
+    }
+}
+
+/// Full 2-word chunks (two rows of a 32×32 tile) pack with one shift-OR.
+#[inline(always)]
+fn pack_chunk_u32(words: &[u32]) -> u64 {
+    match words {
+        [a, b] => (*a as u64) | ((*b as u64) << 32),
+        _ => pack_chunk_u64_generic(words),
+    }
+}
+
+/// A `u64` "chunk" is the word itself.
+#[inline(always)]
+fn pack_chunk_u64_word(words: &[u64]) -> u64 {
+    match words {
+        [a] => *a,
+        _ => pack_chunk_u64_generic(words),
+    }
+}
+
+impl_bitword!(u8, 8, pack_chunk_u8);
+impl_bitword!(u16, 16, pack_chunk_u16);
+impl_bitword!(u32, 32, pack_chunk_u32);
+impl_bitword!(u64, 64, pack_chunk_u64_word);
 
 #[cfg(test)]
 mod tests {
@@ -250,6 +312,45 @@ mod tests {
                 let packed = u16::pack_chunk_u64(&halves);
                 assert_ne!(packed & (1u64 << (k as u32 * 16 + b)), 0);
             }
+        }
+    }
+
+    #[test]
+    fn pack_chunk_fast_paths_match_the_generic_loop() {
+        // Full and partial chunks of every word type must agree with the
+        // reference shift-OR loop the overrides replace.
+        let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..64 {
+            let bytes: Vec<u8> = (0..8).map(|_| next() as u8).collect();
+            for len in 0..=8 {
+                assert_eq!(
+                    u8::pack_chunk_u64(&bytes[..len]),
+                    pack_chunk_u64_generic(&bytes[..len])
+                );
+            }
+            let halves: Vec<u16> = (0..4).map(|_| next() as u16).collect();
+            for len in 0..=4 {
+                assert_eq!(
+                    u16::pack_chunk_u64(&halves[..len]),
+                    pack_chunk_u64_generic(&halves[..len])
+                );
+            }
+            let words: Vec<u32> = (0..2).map(|_| next() as u32).collect();
+            for len in 0..=2 {
+                assert_eq!(
+                    u32::pack_chunk_u64(&words[..len]),
+                    pack_chunk_u64_generic(&words[..len])
+                );
+            }
+            let w = next();
+            assert_eq!(u64::pack_chunk_u64(&[w]), w);
+            assert_eq!(u64::pack_chunk_u64(&[]), 0);
         }
     }
 

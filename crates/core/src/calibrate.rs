@@ -1,0 +1,468 @@
+//! Empirical device calibration (PR 9).
+//!
+//! The planner's cost model used to run entirely on *static* constants: the
+//! scatter penalty α came from the modelled GPU's transaction width
+//! ([`crate::grb::scatter_penalty`]), the shard cache
+//! budget from the modelled L2 size
+//! ([`ShardConfig::from_device`](crate::shard::ShardConfig)), and the
+//! scalar-vs-SWAR kernel choice from a hardcoded per-tile-size mask
+//! ([`DEFAULT_LANE_MASK`]).  Those constants describe the *paper's* Table-VI
+//! devices — not the machine actually executing the kernels.  This module
+//! measures the executing host and distills the measurements into a
+//! [`CalibratedProfile`] that the [`Context`](crate::grb::Context) persists
+//! and feeds back into direction choice, shard sizing, and SIMD selection.
+//!
+//! The design splits *measuring* from *deciding* so the decision logic is
+//! deterministic and unit-testable:
+//!
+//! * [`CalibrationSamples`] is a plain bag of raw timings — produced either
+//!   by the real micro-benchmarks ([`CalibrationSamples::measure`]) or by a
+//!   pinned stub in tests.
+//! * [`CalibratedProfile::from_samples`] is a **pure function** from samples
+//!   (plus the static fallback) to a profile.  Degenerate samples — zeros,
+//!   negatives, NaNs, the zero-resolution-clock case in CI — fall back to
+//!   the static device-derived profile field by field, so calibration can
+//!   only ever refine the model, never break it.
+//!
+//! Profiles round-trip through `Display`/`FromStr` (a single `key=value`
+//! line) so a calibrated profile can be persisted across processes via a
+//! file or environment variable.
+
+use std::time::Instant;
+
+use bitgblas_perfmodel::DeviceProfile;
+
+use crate::grb::scatter_penalty;
+use crate::kernels::simd::{lane_popcounts, DEFAULT_LANE_MASK};
+
+/// Where a [`CalibratedProfile`]'s numbers came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CalibrationSource {
+    /// Derived from the modelled device profile's static constants (the
+    /// pre-calibration behavior, and the degenerate-measurement fallback).
+    #[default]
+    Static,
+    /// Distilled from micro-benchmark samples of the executing host.
+    Measured,
+}
+
+/// The empirical device model the planner consumes.
+///
+/// Defaults (and degenerate-measurement fallbacks) reproduce the static
+/// constants exactly, so a context that never calibrates — or calibrates on
+/// a broken clock — plans identically to the pre-calibration code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibratedProfile {
+    /// Base scatter penalty α: the modelled cost of one random (push) write
+    /// relative to one streamed (pull) edge.  Feeds
+    /// [`scatter_penalty_parallel_alpha`](crate::grb::scatter_penalty_parallel_alpha)
+    /// and the Beamer-style direction threshold.
+    pub scatter_alpha: f64,
+    /// Effective last-level cache budget in bytes; feeds the
+    /// [`ShardConfig`](crate::shard::ShardConfig) that sizes push shards.
+    pub l2_bytes: usize,
+    /// Per-tile-size SWAR profitability mask for
+    /// [`SimdPolicy::Auto`](crate::kernels::simd::SimdPolicy): bit `i`
+    /// enables the vector path for tiles of dimension `4 << i`.
+    pub simd_lane_mask: u8,
+    /// Whether these numbers are static constants or host measurements.
+    pub source: CalibrationSource,
+}
+
+impl CalibratedProfile {
+    /// The static profile implied by a modelled device — bit-compatible
+    /// with the pre-calibration constants.
+    pub fn from_device(device: &DeviceProfile) -> Self {
+        CalibratedProfile {
+            scatter_alpha: scatter_penalty(device),
+            l2_bytes: device.l2_kb.max(1) * 1024,
+            simd_lane_mask: DEFAULT_LANE_MASK,
+            source: CalibrationSource::Static,
+        }
+    }
+
+    /// Distill raw measurement samples into a profile, falling back to the
+    /// static `device` constants field by field when a sample is degenerate
+    /// (non-finite, non-positive, or empty — e.g. a zero-resolution clock
+    /// timing every pass at 0 ns).  Pure and deterministic: the same samples
+    /// always yield the same profile.
+    pub fn from_samples(samples: &CalibrationSamples, device: &DeviceProfile) -> Self {
+        let fallback = Self::from_device(device);
+        let finite_pos = |v: f64| v.is_finite() && v > 0.0;
+
+        let scatter_alpha =
+            if finite_pos(samples.seq_ns_per_word) && finite_pos(samples.rand_ns_per_word) {
+                (samples.rand_ns_per_word / samples.seq_ns_per_word).clamp(4.0, 32.0)
+            } else {
+                fallback.scatter_alpha
+            };
+
+        // Effective L2: the largest working-set size whose per-word cost is
+        // still within 1.5× of the fastest size on the curve.
+        let mut l2_bytes = fallback.l2_bytes;
+        let valid_curve = !samples.l2_curve.is_empty()
+            && samples
+                .l2_curve
+                .iter()
+                .all(|&(bytes, ns)| bytes > 0 && finite_pos(ns));
+        if valid_curve {
+            let best = samples
+                .l2_curve
+                .iter()
+                .map(|&(_, ns)| ns)
+                .fold(f64::INFINITY, f64::min);
+            if let Some(bytes) = samples
+                .l2_curve
+                .iter()
+                .filter(|&&(_, ns)| ns <= best * 1.5)
+                .map(|&(bytes, _)| bytes)
+                .max()
+            {
+                l2_bytes = bytes;
+            }
+        }
+
+        // SIMD crossover: tile size `4 << i` takes the vector path iff the
+        // measured scalar/vector time ratio shows an actual speedup.
+        let speedups_valid = samples.simd_speedup.iter().all(|&s| finite_pos(s));
+        let simd_lane_mask = if speedups_valid {
+            samples
+                .simd_speedup
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s > 1.0)
+                .fold(0u8, |mask, (i, _)| mask | (1 << i))
+        } else {
+            fallback.simd_lane_mask
+        };
+
+        let measured = scatter_alpha != fallback.scatter_alpha
+            || l2_bytes != fallback.l2_bytes
+            || simd_lane_mask != fallback.simd_lane_mask
+            || (finite_pos(samples.seq_ns_per_word)
+                && finite_pos(samples.rand_ns_per_word)
+                && valid_curve
+                && speedups_valid);
+        CalibratedProfile {
+            scatter_alpha,
+            l2_bytes,
+            simd_lane_mask,
+            source: if measured {
+                CalibrationSource::Measured
+            } else {
+                CalibrationSource::Static
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for CalibratedProfile {
+    /// One `key=value` line — the persistence format [`std::str::FromStr`] parses
+    /// back, e.g. `alpha=12.5 l2=4194304 lanes=0b0111 source=measured`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "alpha={} l2={} lanes={:#06b} source={}",
+            self.scatter_alpha,
+            self.l2_bytes,
+            self.simd_lane_mask,
+            match self.source {
+                CalibrationSource::Static => "static",
+                CalibrationSource::Measured => "measured",
+            }
+        )
+    }
+}
+
+impl std::str::FromStr for CalibratedProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut profile = CalibratedProfile {
+            scatter_alpha: 0.0,
+            l2_bytes: 0,
+            simd_lane_mask: 0,
+            source: CalibrationSource::Static,
+        };
+        let (mut saw_alpha, mut saw_l2, mut saw_lanes) = (false, false, false);
+        for field in s.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+            match key {
+                "alpha" => {
+                    profile.scatter_alpha = value
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad alpha {value:?}: {e}"))?;
+                    saw_alpha = true;
+                }
+                "l2" => {
+                    profile.l2_bytes = value
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad l2 {value:?}: {e}"))?;
+                    saw_l2 = true;
+                }
+                "lanes" => {
+                    let digits = value.strip_prefix("0b").unwrap_or(value);
+                    profile.simd_lane_mask = u8::from_str_radix(digits, 2)
+                        .map_err(|e| format!("bad lanes {value:?}: {e}"))?;
+                    saw_lanes = true;
+                }
+                "source" => {
+                    profile.source = match value {
+                        "static" => CalibrationSource::Static,
+                        "measured" => CalibrationSource::Measured,
+                        other => return Err(format!("bad source {other:?}")),
+                    };
+                }
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        if !(saw_alpha && saw_l2 && saw_lanes) {
+            return Err("missing alpha=, l2= or lanes= field".into());
+        }
+        Ok(profile)
+    }
+}
+
+/// Raw micro-benchmark timings — the measurement half of calibration,
+/// separated from the decision half so tests can pin it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationSamples {
+    /// Nanoseconds per word of a sequential streaming pass.
+    pub seq_ns_per_word: f64,
+    /// Nanoseconds per word of a random-stride scatter pass over the same
+    /// footprint.  `rand / seq` is the empirical scatter penalty α.
+    pub rand_ns_per_word: f64,
+    /// `(working_set_bytes, ns_per_word)` pairs of a pointer-chase sweep at
+    /// growing footprints; the knee locates the effective L2 size.
+    pub l2_curve: Vec<(usize, f64)>,
+    /// Scalar-time / vector-time ratio of the tile sweep per tile size
+    /// (index `i` = dimension `4 << i`); > 1 means SWAR wins.
+    pub simd_speedup: [f64; 4],
+}
+
+impl CalibrationSamples {
+    /// Micro-benchmark the executing host.  Kept deliberately small (a few
+    /// MiB of traffic, well under 50 ms) — this runs synchronously inside
+    /// [`Context::calibrate`](crate::grb::Context::calibrate).
+    pub fn measure() -> Self {
+        // -- streaming vs scattered writes ---------------------------------
+        const WORDS: usize = 1 << 16;
+        let mut buf = vec![0u64; WORDS];
+        // Warm the buffer (and the allocator) before timing anything.
+        for (i, w) in buf.iter_mut().enumerate() {
+            *w = i as u64;
+        }
+        let seq_ns = {
+            let t = Instant::now();
+            let mut acc = 0u64;
+            for &w in &buf {
+                acc = acc.wrapping_add(w);
+            }
+            std::hint::black_box(acc);
+            t.elapsed().as_nanos() as f64
+        };
+        let rand_ns = {
+            // Large-stride index walk: every write lands on a fresh cache
+            // line.  The LCG step is a full-period odd multiplier mod 2^16.
+            let t = Instant::now();
+            let mut idx = 1usize;
+            for i in 0..WORDS {
+                buf[idx] = buf[idx].wrapping_add(i as u64);
+                idx = (idx.wrapping_mul(25_173).wrapping_add(13_849)) & (WORDS - 1);
+            }
+            std::hint::black_box(&buf);
+            t.elapsed().as_nanos() as f64
+        };
+
+        // -- cache-size knee ------------------------------------------------
+        let mut l2_curve = Vec::new();
+        for shift in [14usize, 16, 18, 20, 22] {
+            let words = (1usize << shift) / 8;
+            let slice = &mut buf[..words.min(WORDS)];
+            let t = Instant::now();
+            let mut idx = 1usize;
+            let n = slice.len();
+            for i in 0..n * 4 {
+                slice[idx] = slice[idx].wrapping_add(i as u64);
+                idx = (idx.wrapping_mul(25_173).wrapping_add(13_849)) % n.max(1);
+            }
+            std::hint::black_box(&slice);
+            let ns = t.elapsed().as_nanos() as f64 / (n * 4).max(1) as f64;
+            l2_curve.push((1usize << shift, ns));
+        }
+
+        // -- scalar vs SWAR sweep crossover ---------------------------------
+        // Time the core per-chunk operation of each path over the same
+        // words: per-row popcount (scalar) vs one SWAR lane popcount.
+        let simd_speedup = std::array::from_fn(|i| {
+            let bits = 4u32 << i.min(3);
+            let scalar = {
+                let t = Instant::now();
+                let mut acc = 0u64;
+                for &w in &buf {
+                    // One popcount per `bits`-wide lane, like the scalar
+                    // kernel's per-row loop.
+                    let mut rest = w;
+                    for _ in 0..(64 / bits.max(8)) {
+                        acc = acc.wrapping_add((rest & 0xff).count_ones() as u64);
+                        rest >>= 8;
+                    }
+                }
+                std::hint::black_box(acc);
+                t.elapsed().as_nanos() as f64
+            };
+            let vector = {
+                let t = Instant::now();
+                let mut acc = 0u64;
+                for &w in &buf {
+                    acc = acc.wrapping_add(match bits {
+                        4 | 8 => lane_popcounts::<u8>(w),
+                        16 => lane_popcounts::<u16>(w),
+                        _ => lane_popcounts::<u32>(w),
+                    });
+                }
+                std::hint::black_box(acc);
+                t.elapsed().as_nanos() as f64
+            };
+            if vector > 0.0 {
+                scalar / vector
+            } else {
+                0.0
+            }
+        });
+
+        CalibrationSamples {
+            seq_ns_per_word: seq_ns / WORDS as f64,
+            rand_ns_per_word: rand_ns / WORDS as f64,
+            l2_curve,
+            simd_speedup,
+        }
+    }
+
+    /// Samples that are degenerate in every field (what a zero-resolution
+    /// clock produces) — [`CalibratedProfile::from_samples`] maps these to
+    /// the static fallback.  Public so tests outside the crate can exercise
+    /// the fallback path.
+    pub fn degenerate() -> Self {
+        CalibrationSamples {
+            seq_ns_per_word: 0.0,
+            rand_ns_per_word: 0.0,
+            l2_curve: Vec::new(),
+            simd_speedup: [0.0; 4],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgblas_perfmodel::pascal_gtx1080;
+
+    fn pinned_samples() -> CalibrationSamples {
+        CalibrationSamples {
+            seq_ns_per_word: 1.0,
+            rand_ns_per_word: 12.5,
+            l2_curve: vec![
+                (1 << 14, 1.0),
+                (1 << 16, 1.05),
+                (1 << 18, 1.2),
+                (1 << 20, 1.4),
+                (1 << 22, 9.0),
+            ],
+            simd_speedup: [2.0, 3.0, 1.5, 0.7],
+        }
+    }
+
+    #[test]
+    fn static_profile_reproduces_the_device_constants() {
+        let dev = pascal_gtx1080();
+        let p = CalibratedProfile::from_device(&dev);
+        assert_eq!(p.scatter_alpha, scatter_penalty(&dev));
+        assert_eq!(p.l2_bytes, dev.l2_kb * 1024);
+        assert_eq!(p.simd_lane_mask, DEFAULT_LANE_MASK);
+        assert_eq!(p.source, CalibrationSource::Static);
+    }
+
+    #[test]
+    fn from_samples_is_pure_and_deterministic() {
+        let dev = pascal_gtx1080();
+        let a = CalibratedProfile::from_samples(&pinned_samples(), &dev);
+        let b = CalibratedProfile::from_samples(&pinned_samples(), &dev);
+        assert_eq!(a, b);
+        assert_eq!(a.scatter_alpha, 12.5);
+        // Knee: 1 << 20 is the largest size within 1.5× of the 1.0 floor.
+        assert_eq!(a.l2_bytes, 1 << 20);
+        // Speedups > 1 at S4/S8/S16, ≤ 1 at S32.
+        assert_eq!(a.simd_lane_mask, 0b0111);
+        assert_eq!(a.source, CalibrationSource::Measured);
+    }
+
+    #[test]
+    fn alpha_is_clamped_to_the_model_range() {
+        let dev = pascal_gtx1080();
+        let mut s = pinned_samples();
+        s.rand_ns_per_word = 1000.0;
+        assert_eq!(
+            CalibratedProfile::from_samples(&s, &dev).scatter_alpha,
+            32.0
+        );
+        s.rand_ns_per_word = 1.0;
+        assert_eq!(CalibratedProfile::from_samples(&s, &dev).scatter_alpha, 4.0);
+    }
+
+    #[test]
+    fn degenerate_samples_fall_back_to_the_static_profile() {
+        let dev = pascal_gtx1080();
+        let fallback = CalibratedProfile::from_device(&dev);
+        assert_eq!(
+            CalibratedProfile::from_samples(&CalibrationSamples::degenerate(), &dev),
+            fallback
+        );
+        // Partial degeneracy falls back field by field.
+        let mut s = pinned_samples();
+        s.seq_ns_per_word = f64::NAN;
+        let p = CalibratedProfile::from_samples(&s, &dev);
+        assert_eq!(p.scatter_alpha, fallback.scatter_alpha);
+        assert_eq!(p.l2_bytes, 1 << 20, "valid curve still refines L2");
+        let mut s = pinned_samples();
+        s.l2_curve.push((0, 1.0));
+        let p = CalibratedProfile::from_samples(&s, &dev);
+        assert_eq!(p.l2_bytes, fallback.l2_bytes);
+        let mut s = pinned_samples();
+        s.simd_speedup[2] = -1.0;
+        let p = CalibratedProfile::from_samples(&s, &dev);
+        assert_eq!(p.simd_lane_mask, fallback.simd_lane_mask);
+    }
+
+    #[test]
+    fn profile_round_trips_through_display() {
+        let dev = pascal_gtx1080();
+        for p in [
+            CalibratedProfile::from_device(&dev),
+            CalibratedProfile::from_samples(&pinned_samples(), &dev),
+        ] {
+            let text = p.to_string();
+            let back: CalibratedProfile = text.parse().unwrap();
+            assert_eq!(back, p, "{text}");
+        }
+        assert!("alpha=1.0".parse::<CalibratedProfile>().is_err());
+        assert!("alpha=x l2=1 lanes=0b1"
+            .parse::<CalibratedProfile>()
+            .is_err());
+        assert!("alpha=1 l2=1 lanes=0b1 source=warp"
+            .parse::<CalibratedProfile>()
+            .is_err());
+    }
+
+    #[test]
+    fn real_measurement_produces_a_usable_profile() {
+        // Whatever this host's clock does, the distilled profile must stay
+        // inside the model's sane ranges (that is the fallback's job).
+        let dev = pascal_gtx1080();
+        let p = CalibratedProfile::from_samples(&CalibrationSamples::measure(), &dev);
+        assert!((4.0..=32.0).contains(&p.scatter_alpha));
+        assert!(p.l2_bytes > 0);
+    }
+}

@@ -26,13 +26,16 @@ use bitgblas_sparse::{ops as float_ops, Csr};
 
 use crate::b2sr::{B2sr, B2srMatrix, TileSize};
 use crate::kernels::{
-    bmm_bin_bin_sum_masked, bmm_bin_bits_into, bmm_bin_full_into, bmm_push_bin_full,
-    bmm_push_bin_full_sharded, bmm_push_bits, bmm_push_bits_sharded, bmv_bin_bin_bin,
-    bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked, bmv_bin_bin_bin_masked_into, bmv_bin_full_full,
-    bmv_bin_full_full_fused_into, bmv_bin_full_full_into, bmv_bin_full_full_masked,
-    bmv_bin_full_full_masked_into, bmv_push_bin_bin, bmv_push_bin_bin_sharded, bmv_push_bin_full,
-    bmv_push_bin_full_sharded, pack_vector_bits, pack_vector_bits_into, pack_vector_tilewise,
-    pack_vector_tilewise_into, unpack_vector_bits,
+    bmm_bin_bin_sum_masked, bmm_bin_bits_into, bmm_bin_bits_simd_into, bmm_bin_full_into,
+    bmm_bin_full_simd_into, bmm_push_bin_full, bmm_push_bin_full_sharded, bmm_push_bits,
+    bmm_push_bits_sharded, bmv_bin_bin_bin, bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked,
+    bmv_bin_bin_bin_masked_into, bmv_bin_bin_bin_masked_simd_into, bmv_bin_bin_bin_simd_into,
+    bmv_bin_full_full, bmv_bin_full_full_fused_into, bmv_bin_full_full_into,
+    bmv_bin_full_full_masked, bmv_bin_full_full_masked_into, bmv_bin_full_full_masked_simd_into,
+    bmv_bin_full_full_simd_into, bmv_push_bin_bin, bmv_push_bin_bin_sharded, bmv_push_bin_full,
+    bmv_push_bin_full_sharded, pack_vector_bits, pack_vector_bits_into, pack_vector_bits_simd_into,
+    pack_vector_tilewise, pack_vector_tilewise_into, pack_vector_tilewise_simd_into,
+    unpack_vector_bits,
 };
 use crate::semiring::{BinaryOp, Semiring};
 use crate::shard::{worth_sharding, ShardConfig, ShardPlan};
@@ -980,21 +983,35 @@ impl GrbBackend for BitB2sr {
             ($m:expr, $w:ty) => {{
                 let m = $m;
                 let dim = m.tile_dim();
+                // Scalar vs SWAR-vector sweep: the workspace policy decides
+                // (forced, env-seeded, or the calibrated Auto mask).  Both
+                // paths are bit-identical — tests/simd_parity.rs.
+                let simd = ws.simd_enabled(dim);
                 match semiring {
                     Semiring::Boolean => {
                         let mut xp: Vec<$w> = ws.take_empty();
-                        pack_vector_tilewise_into(x, dim, &mut xp);
+                        if simd {
+                            pack_vector_tilewise_simd_into(x, dim, &mut xp);
+                        } else {
+                            pack_vector_tilewise_into(x, dim, &mut xp);
+                        }
                         let mut yw: Vec<$w> = ws.take(m.n_tile_rows(), <$w as BitWord>::ZERO);
                         match mask {
                             Some(mk) => {
                                 let mut sup: Vec<bool> = ws.take_empty();
                                 mk.suppressed_into(&mut sup);
                                 let mut mp: Vec<$w> = ws.take_empty();
-                                pack_vector_bits_into(&sup, dim, &mut mp);
-                                bmv_bin_bin_bin_masked_into(m, &xp, &mp, &mut yw);
+                                if simd {
+                                    pack_vector_bits_simd_into(&sup, dim, &mut mp);
+                                    bmv_bin_bin_bin_masked_simd_into(m, &xp, &mp, &mut yw);
+                                } else {
+                                    pack_vector_bits_into(&sup, dim, &mut mp);
+                                    bmv_bin_bin_bin_masked_into(m, &xp, &mp, &mut yw);
+                                }
                                 ws.give(sup);
                                 ws.give(mp);
                             }
+                            None if simd => bmv_bin_bin_bin_simd_into(m, &xp, &mut yw),
                             None => bmv_bin_bin_bin_into(m, &xp, &mut yw),
                         }
                         out.clear();
@@ -1011,9 +1028,14 @@ impl GrbBackend for BitB2sr {
                             Some(mk) => {
                                 let mut sup: Vec<bool> = ws.take_empty();
                                 mk.suppressed_into(&mut sup);
-                                bmv_bin_full_full_masked_into(m, x, &sup, semiring, out);
+                                if simd {
+                                    bmv_bin_full_full_masked_simd_into(m, x, &sup, semiring, out);
+                                } else {
+                                    bmv_bin_full_full_masked_into(m, x, &sup, semiring, out);
+                                }
                                 ws.give(sup);
                             }
+                            None if simd => bmv_bin_full_full_simd_into(m, x, semiring, out),
                             None => bmv_bin_full_full_into(m, x, semiring, out),
                         }
                         out.truncate(m.nrows());
@@ -1125,12 +1147,19 @@ impl GrbBackend for BitB2sr {
                 // nothing).
                 let mut active: Vec<bool> = ws.take_empty();
                 let mut xa: Vec<$w> = ws.take_empty();
+                // Batched sweeps: same per-tile-size scalar/vector decision
+                // as the single-vector pull path.
+                let simd = ws.simd_enabled(dim);
                 if semiring.push_safe() {
                     active.extend(
                         x.chunks_exact(k)
                             .map(|lanes| lanes.iter().any(|&v| !semiring.is_identity(v))),
                     );
-                    pack_vector_bits_into(&active, dim, &mut xa);
+                    if simd {
+                        pack_vector_bits_simd_into(&active, dim, &mut xa);
+                    } else {
+                        pack_vector_bits_into(&active, dim, &mut xa);
+                    }
                 }
                 match semiring {
                     Semiring::Boolean => {
@@ -1156,7 +1185,11 @@ impl GrbBackend for BitB2sr {
                             mw
                         });
                         let mut yw: Vec<u64> = ws.take(m.n_tile_rows() * dim * wpn, 0);
-                        bmm_bin_bits_into(m, &xw, k, &xa, sup.as_deref(), &mut yw);
+                        if simd {
+                            bmm_bin_bits_simd_into(m, &xw, k, &xa, sup.as_deref(), &mut yw);
+                        } else {
+                            bmm_bin_bits_into(m, &xw, k, &xa, sup.as_deref(), &mut yw);
+                        }
                         out.clear();
                         out.resize(nrows * k, 0.0);
                         // The mask was already applied word-wise by the kernel.
@@ -1171,7 +1204,11 @@ impl GrbBackend for BitB2sr {
                         out.clear();
                         out.resize(m.n_tile_rows() * dim * k, semiring.identity());
                         let xa_opt = semiring.push_safe().then_some(xa.as_slice());
-                        bmm_bin_full_into(m, x, k, semiring, xa_opt, out);
+                        if simd {
+                            bmm_bin_full_simd_into(m, x, k, semiring, xa_opt, out);
+                        } else {
+                            bmm_bin_full_into(m, x, k, semiring, xa_opt, out);
+                        }
                         out.truncate(nrows * k);
                         if let Some(mk) = mask {
                             let identity = semiring.identity();

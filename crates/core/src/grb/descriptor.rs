@@ -1,6 +1,7 @@
 //! Masks and descriptors for the GrB-style operations.
 
 use super::direction::Direction;
+use crate::kernels::simd::SimdPolicy;
 
 /// A vector mask: controls which output positions an operation may write.
 ///
@@ -108,6 +109,11 @@ pub struct Descriptor {
     /// (dense sweep), or per-operation automatic selection (the default —
     /// see [`Direction`]).
     pub direction: Direction,
+    /// Per-operation override of the scalar/vector kernel selection
+    /// ([`SimdPolicy`]); `None` (the default) inherits the context's policy.
+    /// Both paths are bit-identical, so this only affects which code runs —
+    /// it is the knob the differential harness uses to pin each side.
+    pub simd: Option<SimdPolicy>,
 }
 
 #[allow(unused_imports)]
@@ -179,6 +185,7 @@ mod tests {
             Descriptor::with_direction(Direction::Push).direction,
             Direction::Push
         );
+        assert_eq!(d.simd, None, "no per-op SIMD override by default");
     }
 
     #[test]

@@ -86,8 +86,19 @@ pub fn scatter_penalty_parallel(
     push_threads: usize,
     pull_threads: usize,
 ) -> f64 {
+    scatter_penalty_parallel_alpha(scatter_penalty(device), push_threads, pull_threads)
+}
+
+/// [`scatter_penalty_parallel`] with an explicit base penalty α (PR 9).
+///
+/// The static entry points derive α from the device profile's transaction
+/// width; a [`Context`](super::Context) that has run
+/// [`calibrate`](super::Context::calibrate) passes the *measured*
+/// random-vs-sequential bandwidth ratio instead, so the direction model
+/// prices scattered writes at what this host actually charges for them.
+pub fn scatter_penalty_parallel_alpha(alpha: f64, push_threads: usize, pull_threads: usize) -> f64 {
     let ratio = (pull_threads.max(1) as f64 / push_threads.max(1) as f64).max(1.0);
-    (scatter_penalty(device) * ratio).clamp(4.0, 256.0)
+    (alpha * ratio).clamp(4.0, 256.0)
 }
 
 /// Resolve [`Direction::Auto`] for one operation: `frontier_nnz` active
@@ -134,11 +145,36 @@ pub fn choose_direction_cfg(
     push_threads: usize,
     pull_threads: usize,
 ) -> Direction {
+    choose_direction_tuned(
+        frontier_nnz,
+        n,
+        nnz,
+        semiring,
+        scatter_penalty(device),
+        push_threads,
+        pull_threads,
+    )
+}
+
+/// [`choose_direction_cfg`] with an explicit base scatter penalty α — the
+/// entry point the planner uses once a [`Context`](super::Context) carries a
+/// calibrated profile (PR 9).  Identical threshold, only the source of α
+/// changes: static device constant vs measured random-write cost.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_direction_tuned(
+    frontier_nnz: usize,
+    n: usize,
+    nnz: usize,
+    semiring: Semiring,
+    alpha: f64,
+    push_threads: usize,
+    pull_threads: usize,
+) -> Direction {
     if !semiring.push_safe() {
         return Direction::Pull;
     }
     let avg_deg = (nnz as f64 / n.max(1) as f64).max(1.0);
-    let alpha = scatter_penalty_parallel(device, push_threads, pull_threads);
+    let alpha = scatter_penalty_parallel_alpha(alpha, push_threads, pull_threads);
     let merge = if push_threads > 1 { n as f64 } else { 0.0 };
     let push_cost = frontier_nnz as f64 * avg_deg * alpha + merge;
     let pull_cost = nnz as f64 + n as f64;
@@ -195,6 +231,29 @@ pub fn choose_direction_multi_cfg(
         nnz,
         semiring,
         device,
+        push_threads,
+        pull_threads,
+    )
+}
+
+/// [`choose_direction_multi_cfg`] with an explicit base scatter penalty —
+/// the batched counterpart of [`choose_direction_tuned`].
+#[allow(clippy::too_many_arguments)]
+pub fn choose_direction_multi_tuned(
+    active_nodes: usize,
+    n: usize,
+    nnz: usize,
+    semiring: Semiring,
+    alpha: f64,
+    push_threads: usize,
+    pull_threads: usize,
+) -> Direction {
+    choose_direction_tuned(
+        active_nodes,
+        n,
+        nnz,
+        semiring,
+        alpha,
         push_threads,
         pull_threads,
     )
@@ -287,6 +346,41 @@ mod tests {
             choose_direction(f, n, nnz, sr, &dev),
             choose_direction_cfg(f, n, nnz, sr, &dev, 1, 1)
         );
+    }
+
+    #[test]
+    fn tuned_threshold_honors_a_measured_alpha() {
+        let dev = pascal_gtx1080();
+        let (n, nnz) = (8192, 8192 * 16);
+        let sr = Semiring::Boolean;
+        // The static entry points are exactly the tuned ones evaluated at
+        // the device-derived α.
+        for f in [1usize, 64, 512, 4096] {
+            assert_eq!(
+                choose_direction_cfg(f, n, nnz, sr, &dev, 4, 8),
+                choose_direction_tuned(f, n, nnz, sr, scatter_penalty(&dev), 4, 8),
+                "f={f}"
+            );
+        }
+        // A frontier right between the α=8 and α=32 crossovers flips with
+        // the measured penalty.
+        let f = (nnz + n) / (16 * 16);
+        assert_eq!(
+            choose_direction_tuned(f, n, nnz, sr, 8.0, 1, 1),
+            Direction::Push
+        );
+        assert_eq!(
+            choose_direction_tuned(f, n, nnz, sr, 32.0, 1, 1),
+            Direction::Pull
+        );
+        // The batched variant delegates to the same threshold.
+        assert_eq!(
+            choose_direction_multi_tuned(f, n, nnz, sr, 8.0, 1, 1),
+            Direction::Push
+        );
+        // α is still clamped (a degenerate measurement cannot zero it out).
+        assert_eq!(scatter_penalty_parallel_alpha(0.0, 1, 1), 4.0);
+        assert_eq!(scatter_penalty_parallel_alpha(1e9, 1, 1), 256.0);
     }
 
     #[test]

@@ -94,7 +94,8 @@ pub use backend::{BitB2sr, FloatCsr, GrbBackend};
 pub use descriptor::{Descriptor, Mask};
 pub use direction::{
     choose_direction, choose_direction_cfg, choose_direction_multi, choose_direction_multi_cfg,
-    scatter_penalty, scatter_penalty_parallel, Direction,
+    choose_direction_multi_tuned, choose_direction_tuned, scatter_penalty,
+    scatter_penalty_parallel, scatter_penalty_parallel_alpha, Direction,
 };
 pub use error::GrbError;
 pub use ewise::assign_masked;
@@ -104,4 +105,4 @@ pub use multivec::{lane_words_per_node, MultiVec};
 pub use op::{Context, Op};
 pub use plan::MxvPipeline;
 pub use vector::Vector;
-pub use workspace::{ExecCounts, ExecStats, Workspace};
+pub use workspace::{ExecCounts, ExecStats, Workspace, SIMD_ENV_VAR};

@@ -46,17 +46,52 @@
 //! allocates nothing (`crates/core/tests/zero_alloc.rs`).
 
 use crate::faultinject::{FaultAction, InjectedPanic};
+use crate::kernels::simd::SimdPolicy;
 use crate::semiring::{BinaryOp, Semiring};
 
 use super::backend::GrbBackend;
-use super::descriptor::Mask;
-use super::direction::{choose_direction_cfg, choose_direction_multi_cfg, Direction};
+use super::descriptor::{Descriptor, Mask};
+use super::direction::{choose_direction_multi_tuned, choose_direction_tuned, Direction};
 use super::error::GrbError;
 use super::expr::{eval_stages, Expr, Fusion, MultiExpr, MultiProducer, Producer, Stage};
 use super::multivec::MultiVec;
 use super::op::Context;
 use super::vector::Vector;
 use super::workspace::Workspace;
+
+/// Scope guard applying a descriptor's per-operation
+/// [`Descriptor::simd`] override to the context's workspace for the
+/// dispatch, restoring the previous policy on drop (normal return, error
+/// and panic paths alike).
+///
+/// The policy is a relaxed atomic on the shared workspace, so a concurrent
+/// operation on the *same* context may observe the override mid-flight —
+/// benign by construction: the scalar and vector paths are bit-identical
+/// (`tests/simd_parity.rs`), so which one a racing op runs never changes
+/// its result.
+struct SimdOverride<'a> {
+    ws: &'a Workspace,
+    saved: Option<SimdPolicy>,
+}
+
+impl<'a> SimdOverride<'a> {
+    fn apply(ws: &'a Workspace, desc: &Descriptor) -> Self {
+        let saved = desc.simd.map(|policy| {
+            let prev = ws.simd_policy();
+            ws.set_simd_policy(policy);
+            prev
+        });
+        SimdOverride { ws, saved }
+    }
+}
+
+impl Drop for SimdOverride<'_> {
+    fn drop(&mut self) {
+        if let Some(prev) = self.saved {
+            self.ws.set_simd_policy(prev);
+        }
+    }
+}
 
 /// Poll the named fail point on the context's injector (if any): a
 /// `Transient` action becomes a typed [`GrbError::FaultInjected`], a
@@ -416,6 +451,7 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Result<Vector, GrbError> {
 
     let state = a.state();
     let ws = ctx.workspace();
+    let _simd = SimdOverride::apply(ws, &desc);
     let mut out = ws.take_empty::<f32>();
 
     // Materialize the scaled operand (if any) into pooled scratch; the
@@ -437,7 +473,10 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Result<Vector, GrbError> {
     // with a read-only scan, an explicit push on an unsafe semiring is
     // coerced back to pull.  The threshold is parallelism-aware (PR 5): the
     // push side is priced at the context's scatter thread budget, the pull
-    // side at the host parallelism its rayon sweeps fan out to.
+    // side at the host parallelism its rayon sweeps fan out to.  The base
+    // scatter penalty comes from the context's calibrated profile (PR 9) —
+    // the static device constant until `Context::calibrate` measures the
+    // host.
     let direction = match desc.direction {
         Direction::Push if !semiring.push_safe() => Direction::Pull,
         Direction::Auto => {
@@ -445,12 +484,12 @@ fn execute_mxv(expr: &Expr<'_>, ctx: &Context) -> Result<Vector, GrbError> {
                 .iter()
                 .filter(|&&v| !semiring.is_identity(v))
                 .count();
-            choose_direction_cfg(
+            choose_direction_tuned(
                 n_active,
                 contracted,
                 a.nnz(),
                 semiring,
-                &ctx.device,
+                ctx.profile().scatter_alpha,
                 effective_push_threads(state, transpose == flip, ctx),
                 crate::shard::machine_parallelism(),
             )
@@ -679,6 +718,7 @@ fn execute_mxm(expr: &MultiExpr<'_>, ctx: &Context) -> Result<MultiVec, GrbError
 
     let state = a.state();
     let ws = ctx.workspace();
+    let _simd = SimdOverride::apply(ws, &desc);
     let mut out = ws.take_empty::<f32>();
 
     // Materialize the per-node input scaling (if any) into pooled scratch,
@@ -705,12 +745,12 @@ fn execute_mxm(expr: &MultiExpr<'_>, ctx: &Context) -> Result<MultiVec, GrbError
     };
     let direction = match desc.direction {
         Direction::Push if !semiring.push_safe() => Direction::Pull,
-        Direction::Auto => choose_direction_multi_cfg(
+        Direction::Auto => choose_direction_multi_tuned(
             count_active(),
             contracted,
             a.nnz(),
             semiring,
-            &ctx.device,
+            ctx.profile().scatter_alpha,
             effective_push_threads(state, !transpose, ctx),
             crate::shard::machine_parallelism(),
         ),

@@ -428,6 +428,229 @@ fn bit_fused_sweep<W, C, R, F>(
 }
 
 // ---------------------------------------------------------------------------
+// SWAR-vector pull kernels (PR 9)
+// ---------------------------------------------------------------------------
+//
+// Each `_simd` kernel computes bit-for-bit the same output as its scalar
+// counterpart above — it parallelises across tile rows (lanes), never across
+// one row's reduction terms, so per-row fold order is unchanged — but the
+// inner loop runs on whole 64-bit tile chunks ([`BitWord::pack_chunk_u64`])
+// with branch-free lane arithmetic from [`super::simd`].  The scalar kernels
+// stay compiled as the runtime fallback and differential reference; which
+// path executes is the backend's per-context [`SimdPolicy`] decision.
+
+use super::simd::{broadcast_lanes, lsb_lanes, nonzero_lane_msbs};
+
+/// SWAR-vector variant of [`bmv_bin_bin_bin_into`]: instead of testing the
+/// `dim` row words of a tile one by one, each 64-bit chunk of the tile is
+/// ANDed against the broadcast vector word and a single SWAR non-zero-lane
+/// test yields the reachable rows of up to `64 / BITS` tile rows at once.
+pub fn bmv_bin_bin_bin_simd_into<W: BitWord>(a: &B2sr<W>, x: &[W], y: &mut [W]) {
+    debug_assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
+    debug_assert!(y.len() >= a.n_tile_rows(), "output has too few tile words");
+    let dim = a.tile_dim();
+    let per = (64 / W::BITS) as usize;
+    y.par_iter_mut().enumerate().for_each(|(tr, out)| {
+        if tr >= a.n_tile_rows() {
+            *out = W::ZERO;
+            return;
+        }
+        let mut acc = W::ZERO;
+        for idx in a.tile_row_range(tr) {
+            let tc = a.tile_colind()[idx];
+            let xb = broadcast_lanes::<W>(x[tc]);
+            let words = a.tile_words(idx);
+            for (ci, chunk) in words[..dim.min(words.len())].chunks(per).enumerate() {
+                // One AND + one SWAR non-zero test covers `per` tile rows;
+                // each surviving lane MSB is one reachable row.
+                let mut nz = nonzero_lane_msbs::<W>(W::pack_chunk_u64(chunk) & xb);
+                let r0 = (ci * per) as u32;
+                while nz != 0 {
+                    let b = nz.trailing_zeros();
+                    nz &= nz - 1;
+                    acc = acc.with_bit(r0 + b / W::BITS);
+                }
+            }
+        }
+        *out = acc;
+    });
+}
+
+/// SWAR-vector variant of [`bmv_bin_bin_bin_masked_into`] — the
+/// [`bmv_bin_bin_bin_simd_into`] sweep with the visited filter ANDed in
+/// right before the store, exactly like the scalar kernel.
+pub fn bmv_bin_bin_bin_masked_simd_into<W: BitWord>(a: &B2sr<W>, x: &[W], mask: &[W], y: &mut [W]) {
+    debug_assert!(mask.len() >= a.n_tile_rows(), "mask has too few tile words");
+    bmv_bin_bin_bin_simd_into(a, x, y);
+    let n = a.n_tile_rows();
+    y.par_iter_mut().enumerate().for_each(|(tr, out)| {
+        if tr < n {
+            *out &= !mask[tr];
+        }
+    });
+}
+
+/// SWAR-vector variant of [`bmv_bin_bin_full`]: per chunk, one AND plus one
+/// SWAR per-lane popcount produces the reachable-column counts of up to
+/// `64 / BITS` rows at once (the scalar kernel pays one word AND + `popc`
+/// per row).
+pub fn bmv_bin_bin_full_simd<W: BitWord>(a: &B2sr<W>, x: &[W]) -> Vec<f32> {
+    debug_assert!(x.len() >= a.n_tile_cols(), "vector has too few tile words");
+    let dim = a.tile_dim();
+    let per = (64 / W::BITS) as usize;
+    let lane_ones = ((1u128 << W::BITS) - 1) as u64;
+    let padded = a.n_tile_rows() * dim;
+    let mut y = vec![0.0f32; padded];
+    y.par_chunks_mut(dim).enumerate().for_each(|(tr, out)| {
+        for idx in a.tile_row_range(tr) {
+            let tc = a.tile_colind()[idx];
+            let xb = broadcast_lanes::<W>(x[tc]);
+            let words = a.tile_words(idx);
+            for (ci, chunk) in words[..dim.min(words.len())].chunks(per).enumerate() {
+                let counts = super::simd::lane_popcounts::<W>(W::pack_chunk_u64(chunk) & xb);
+                let r0 = ci * per;
+                for r in 0..chunk.len() {
+                    // Adding an exact small integer (possibly 0) keeps the
+                    // accumulation identical to the scalar `+= popcount`.
+                    out[r0 + r] += ((counts >> (r as u32 * W::BITS)) & lane_ones) as f32;
+                }
+            }
+        }
+    });
+    y.truncate(a.nrows());
+    y
+}
+
+/// SWAR-vector variant of [`bmv_bin_full_full_into`].
+///
+/// The scalar kernel gathers row by row (`combine(x[j])` recomputed for
+/// every row that holds column `j`).  This sweep goes column-major inside
+/// each tile: the tile's set columns are enumerated once (from the OR of
+/// its row words), `combine(x[j])` is hoisted to one evaluation per column,
+/// and a SWAR column-strobe against the packed tile chunks yields exactly
+/// the rows holding that column.  For any fixed output row the columns
+/// still arrive in ascending order within each tile and tiles in the same
+/// order as the scalar kernel, so every per-row semiring fold — including
+/// the non-associative float `+` — produces the same bits.
+pub fn bmv_bin_full_full_simd_into<W: BitWord>(
+    a: &B2sr<W>,
+    x: &[f32],
+    semiring: Semiring,
+    y: &mut [f32],
+) {
+    debug_assert!(x.len() >= a.ncols(), "vector shorter than matrix columns");
+    let dim = a.tile_dim();
+    let per = (64 / W::BITS) as usize;
+    let padded = a.n_tile_rows() * dim;
+    debug_assert!(
+        y.len() >= padded,
+        "output shorter than the padded row count"
+    );
+    debug_assert!(dim <= 32, "B2SR tiles are at most 32x32");
+    y.par_chunks_mut(dim).enumerate().for_each(|(tr, out)| {
+        for v in out.iter_mut() {
+            *v = semiring.identity();
+        }
+        if tr >= a.n_tile_rows() {
+            return;
+        }
+        let mut acc = [0.0f32; 32];
+        for slot in acc[..dim].iter_mut() {
+            *slot = semiring.identity();
+        }
+        // Packed chunks of the current tile (at most 16 for a 32×32 tile).
+        let mut packed = [0u64; 16];
+        for idx in a.tile_row_range(tr) {
+            let tc = a.tile_colind()[idx];
+            let base = tc * dim;
+            let words = a.tile_words(idx);
+            let mut union = W::ZERO;
+            let n_chunks = dim.min(words.len()).div_ceil(per);
+            for (ci, chunk) in words[..dim.min(words.len())].chunks(per).enumerate() {
+                packed[ci] = W::pack_chunk_u64(chunk);
+            }
+            for &w in &words[..dim.min(words.len())] {
+                union |= w;
+            }
+            for j in union.iter_ones() {
+                let col = base + j as usize;
+                // Guard the ragged last tile-column (ncols % dim != 0).
+                if col >= x.len() {
+                    continue;
+                }
+                let cx = semiring.combine(x[col]);
+                // Column strobe: bit `r·BITS + j` of a chunk is row `r`,
+                // column `j` — one mask picks column `j` of every lane.
+                let strobe = lsb_lanes::<W>() << j;
+                for (ci, &p) in packed[..n_chunks].iter().enumerate() {
+                    let mut hits = p & strobe;
+                    while hits != 0 {
+                        let b = hits.trailing_zeros();
+                        hits &= hits - 1;
+                        let r = ci * per + (b / W::BITS) as usize;
+                        acc[r] = semiring.reduce(acc[r], cx);
+                    }
+                }
+            }
+        }
+        let n = out.len().min(dim);
+        out[..n].copy_from_slice(&acc[..n]);
+    });
+}
+
+/// SWAR-vector variant of [`bmv_bin_full_full_masked_into`]: the
+/// [`bmv_bin_full_full_simd_into`] sweep with masked rows forced to the
+/// semiring identity afterwards, exactly like the scalar kernel.
+pub fn bmv_bin_full_full_masked_simd_into<W: BitWord>(
+    a: &B2sr<W>,
+    x: &[f32],
+    mask: &[bool],
+    semiring: Semiring,
+    y: &mut [f32],
+) {
+    debug_assert!(mask.len() >= a.nrows(), "mask shorter than matrix rows");
+    bmv_bin_full_full_simd_into(a, x, semiring, y);
+    let n = a.nrows();
+    y[..n].par_iter_mut().enumerate().for_each(|(i, v)| {
+        if mask[i] {
+            *v = semiring.identity();
+        }
+    });
+}
+
+/// Branch-free variant of [`pack_vector_tilewise_into`]: each output word
+/// is assembled from its tile-segment with shift-OR lane writes instead of
+/// a per-element conditional store, which the compiler turns into straight
+/// compare+shift vector code.  Bit-identical to the scalar packing.
+pub fn pack_vector_tilewise_simd_into<W: BitWord>(v: &[f32], tile_dim: usize, words: &mut Vec<W>) {
+    assert!(tile_dim as u32 <= W::BITS);
+    words.clear();
+    words.resize(v.len().div_ceil(tile_dim), W::ZERO);
+    for (w, chunk) in words.iter_mut().zip(v.chunks(tile_dim)) {
+        let mut bits = 0u64;
+        for (i, &x) in chunk.iter().enumerate() {
+            bits |= ((x != 0.0) as u64) << i;
+        }
+        *w = W::from_u64(bits);
+    }
+}
+
+/// Branch-free variant of [`pack_vector_bits_into`] (see
+/// [`pack_vector_tilewise_simd_into`]).
+pub fn pack_vector_bits_simd_into<W: BitWord>(v: &[bool], tile_dim: usize, words: &mut Vec<W>) {
+    assert!(tile_dim as u32 <= W::BITS);
+    words.clear();
+    words.resize(v.len().div_ceil(tile_dim), W::ZERO);
+    for (w, chunk) in words.iter_mut().zip(v.chunks(tile_dim)) {
+        let mut bits = 0u64;
+        for (i, &b) in chunk.iter().enumerate() {
+            bits |= (b as u64) << i;
+        }
+        *w = W::from_u64(bits);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Push (sparse-frontier) kernels
 // ---------------------------------------------------------------------------
 
@@ -1088,5 +1311,140 @@ mod tests {
         assert!(bmv_bin_bin_full(&b, &xp).iter().all(|&v| v == 0.0));
         let y = bmv_bin_full_full(&b, &[1.0; 20], Semiring::MinPlus(1.0));
         assert!(y.iter().all(|&v| v == f32::INFINITY));
+    }
+
+    // -- differential SWAR-vector vs scalar (PR 9) --------------------------
+    //
+    // Sizes 97/103 deliberately straddle tile boundaries for every dim, so
+    // the ragged last tile-row/-column is exercised on both paths.
+
+    #[test]
+    fn simd_bin_bin_bin_is_bit_identical_to_scalar() {
+        let a = sample(103, 31);
+        let x = sample_x(103);
+        macro_rules! check {
+            ($w:ty, $dim:expr) => {{
+                let b = from_csr::<$w>(&a, $dim);
+                let xp = pack_vector_tilewise::<$w>(&x, $dim);
+                let mut scalar = vec![<$w>::MAX; b.n_tile_rows()];
+                let mut vector = vec![0 as $w; b.n_tile_rows()];
+                bmv_bin_bin_bin_into(&b, &xp, &mut scalar);
+                bmv_bin_bin_bin_simd_into(&b, &xp, &mut vector);
+                assert_eq!(scalar, vector, "dim {}", $dim);
+                // Masked: identical word for word too.
+                let visited: Vec<bool> = (0..103).map(|i| i % 2 == 0).collect();
+                let mp = pack_vector_bits::<$w>(&visited, $dim);
+                bmv_bin_bin_bin_masked_into(&b, &xp, &mp, &mut scalar);
+                bmv_bin_bin_bin_masked_simd_into(&b, &xp, &mp, &mut vector);
+                assert_eq!(scalar, vector, "masked dim {}", $dim);
+            }};
+        }
+        check!(u8, 4);
+        check!(u8, 8);
+        check!(u16, 16);
+        check!(u32, 32);
+    }
+
+    #[test]
+    fn simd_bin_bin_full_is_bit_identical_to_scalar() {
+        let a = sample(97, 37);
+        let x = sample_x(97);
+        macro_rules! check {
+            ($w:ty, $dim:expr) => {{
+                let b = from_csr::<$w>(&a, $dim);
+                let xp = pack_vector_tilewise::<$w>(&x, $dim);
+                let scalar = bmv_bin_bin_full(&b, &xp);
+                let vector = bmv_bin_bin_full_simd(&b, &xp);
+                let sbits: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+                let vbits: Vec<u32> = vector.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(sbits, vbits, "dim {}", $dim);
+            }};
+        }
+        check!(u8, 4);
+        check!(u8, 8);
+        check!(u16, 16);
+        check!(u32, 32);
+    }
+
+    #[test]
+    fn simd_bin_full_full_is_bit_identical_to_scalar_across_semirings() {
+        let a = sample(97, 41);
+        // Mixed finite/infinite operand so tropical identities flow through.
+        let x: Vec<f32> = (0..97)
+            .map(|i| match i % 5 {
+                0 => 0.25 * i as f32,
+                1 => f32::INFINITY,
+                2 => -1.5,
+                _ => (i % 11) as f32,
+            })
+            .collect();
+        for semiring in [
+            Semiring::Arithmetic,
+            Semiring::Boolean,
+            Semiring::MinPlus(1.0),
+            Semiring::MaxTimes(0.5),
+        ] {
+            macro_rules! check {
+                ($w:ty, $dim:expr) => {{
+                    let b = from_csr::<$w>(&a, $dim);
+                    let padded = b.n_tile_rows() * $dim;
+                    let mut scalar = vec![42.0f32; padded];
+                    let mut vector = vec![-7.0f32; padded];
+                    bmv_bin_full_full_into(&b, &x, semiring, &mut scalar);
+                    bmv_bin_full_full_simd_into(&b, &x, semiring, &mut vector);
+                    let sbits: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+                    let vbits: Vec<u32> = vector.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(sbits, vbits, "{semiring:?} dim {}", $dim);
+                    // Masked: identical bits too.
+                    let mask: Vec<bool> = (0..97).map(|i| i % 3 == 0).collect();
+                    bmv_bin_full_full_masked_into(&b, &x, &mask, semiring, &mut scalar);
+                    bmv_bin_full_full_masked_simd_into(&b, &x, &mask, semiring, &mut vector);
+                    let sbits: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+                    let vbits: Vec<u32> = vector.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(sbits, vbits, "masked {semiring:?} dim {}", $dim);
+                }};
+            }
+            check!(u8, 4);
+            check!(u8, 8);
+            check!(u16, 16);
+            check!(u32, 32);
+        }
+    }
+
+    #[test]
+    fn simd_packing_is_bit_identical_to_scalar() {
+        let f: Vec<f32> = (0..101)
+            .map(|i| if i % 3 == 0 { -0.5 * i as f32 } else { 0.0 })
+            .collect();
+        let b: Vec<bool> = (0..101).map(|i| i % 7 < 3).collect();
+        macro_rules! check {
+            ($w:ty, $dim:expr) => {{
+                let mut scalar: Vec<$w> = Vec::new();
+                let mut vector: Vec<$w> = Vec::new();
+                pack_vector_tilewise_into(&f, $dim, &mut scalar);
+                pack_vector_tilewise_simd_into(&f, $dim, &mut vector);
+                assert_eq!(scalar, vector, "tilewise dim {}", $dim);
+                pack_vector_bits_into(&b, $dim, &mut scalar);
+                pack_vector_bits_simd_into(&b, $dim, &mut vector);
+                assert_eq!(scalar, vector, "bits dim {}", $dim);
+            }};
+        }
+        check!(u8, 4);
+        check!(u8, 8);
+        check!(u16, 16);
+        check!(u32, 32);
+    }
+
+    #[test]
+    fn simd_kernels_handle_empty_and_tiny_inputs() {
+        let a = Csr::empty(20, 20);
+        let b = from_csr::<u8>(&a, 4);
+        let xp = pack_vector_tilewise::<u8>(&[1.0; 20], 4);
+        let mut y = vec![0xFFu8; b.n_tile_rows()];
+        bmv_bin_bin_bin_simd_into(&b, &xp, &mut y);
+        assert!(y.iter().all(|&w| w == 0));
+        let mut yf = vec![0.0f32; b.n_tile_rows() * 4];
+        bmv_bin_full_full_simd_into(&b, &[1.0; 20], Semiring::MinPlus(1.0), &mut yf);
+        assert!(yf.iter().all(|&v| v == f32::INFINITY));
     }
 }

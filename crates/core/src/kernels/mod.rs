@@ -33,16 +33,21 @@
 
 pub mod bmm;
 pub mod bmv;
+pub mod simd;
 
 pub use bmm::{
-    bmm_bin_bin_sum, bmm_bin_bin_sum_masked, bmm_bin_bits_into, bmm_bin_full_into,
-    bmm_push_bin_full, bmm_push_bin_full_sharded, bmm_push_bits, bmm_push_bits_sharded,
+    bmm_bin_bin_sum, bmm_bin_bin_sum_masked, bmm_bin_bits_into, bmm_bin_bits_simd_into,
+    bmm_bin_full_into, bmm_bin_full_simd_into, bmm_push_bin_full, bmm_push_bin_full_sharded,
+    bmm_push_bits, bmm_push_bits_sharded,
 };
 pub use bmv::{
     bmv_bin_bin_bin, bmv_bin_bin_bin_into, bmv_bin_bin_bin_masked, bmv_bin_bin_bin_masked_into,
-    bmv_bin_bin_full, bmv_bin_bin_full_masked, bmv_bin_full_full, bmv_bin_full_full_fused_into,
-    bmv_bin_full_full_into, bmv_bin_full_full_masked, bmv_bin_full_full_masked_into,
+    bmv_bin_bin_bin_masked_simd_into, bmv_bin_bin_bin_simd_into, bmv_bin_bin_full,
+    bmv_bin_bin_full_masked, bmv_bin_bin_full_simd, bmv_bin_full_full,
+    bmv_bin_full_full_fused_into, bmv_bin_full_full_into, bmv_bin_full_full_masked,
+    bmv_bin_full_full_masked_into, bmv_bin_full_full_masked_simd_into, bmv_bin_full_full_simd_into,
     bmv_push_bin_bin, bmv_push_bin_bin_sharded, bmv_push_bin_full, bmv_push_bin_full_sharded,
-    pack_vector_bits, pack_vector_bits_into, pack_vector_tilewise, pack_vector_tilewise_into,
-    unpack_vector_bits,
+    pack_vector_bits, pack_vector_bits_into, pack_vector_bits_simd_into, pack_vector_tilewise,
+    pack_vector_tilewise_into, pack_vector_tilewise_simd_into, unpack_vector_bits,
 };
+pub use simd::{SimdPolicy, DEFAULT_LANE_MASK};

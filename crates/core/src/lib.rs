@@ -41,11 +41,19 @@
 //!   versioned epoch publication behind [`grb::Matrix::snapshot`], and
 //!   explicit compaction that re-tiles the base and re-plans row shards
 //!   incrementally.
+//!
+//! * **Vector kernels + calibration (PR 9)** — [`kernels::simd`] is the
+//!   SWAR vector engine behind the `_simd` kernel variants (runtime-selected
+//!   with the scalar kernels always compiled as fallback and differential
+//!   reference), and [`calibrate`] micro-benches the executing host into a
+//!   [`CalibratedProfile`] that replaces the static device constants in
+//!   direction choice, shard sizing, and the scalar/vector crossover.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod b2sr;
+pub mod calibrate;
 pub mod delta;
 pub mod faultinject;
 pub mod grb;
@@ -54,6 +62,7 @@ pub mod semiring;
 pub mod shard;
 
 pub use b2sr::{B2sr, B2srMatrix, TileSize};
+pub use calibrate::{CalibratedProfile, CalibrationSamples, CalibrationSource};
 pub use delta::{
     CompactReport, DeltaOp, DeltaOverlay, DeltaSnapshot, EdgeDelta, StagedRows, VersionCell,
     DELTA_MERGE_POINT,
@@ -63,5 +72,6 @@ pub use grb::{
     Backend, Context, Descriptor, Direction, Expr, Fusion, GrbBackend, GrbError, Matrix, MultiVec,
     Op, Snapshot, Vector,
 };
+pub use kernels::simd::SimdPolicy;
 pub use semiring::{BinaryOp, Semiring};
 pub use shard::{ShardConfig, ShardPlan};

@@ -16,7 +16,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bitgblas_core::grb::{Context, Direction, Mask, Op, Vector};
-use bitgblas_core::{Backend, BinaryOp, Matrix, Semiring, TileSize};
+use bitgblas_core::{Backend, BinaryOp, Matrix, Semiring, SimdPolicy, TileSize};
 use bitgblas_sparse::Coo;
 
 /// Counts every allocation and reallocation passing through the global
@@ -299,6 +299,99 @@ fn sharded_push_path_is_allocation_free_after_warmup() {
         32,
         "every measured iteration must have taken the sharded path"
     );
+}
+
+/// The SWAR-vector pull path (PR 9) must meet the same bar as the scalar
+/// paths: after warm-up, a masked Boolean pull sweep with the vector
+/// kernels forced allocates **zero** bytes per iteration — the packed
+/// frontier words, the tile-row output words and the result vector all
+/// cycle through the workspace pool exactly as on the scalar path.
+#[test]
+fn simd_pull_bfs_inner_loop_is_allocation_free_after_warmup() {
+    let n = 512;
+    let a = chain(n);
+    let ctx = a.context();
+    ctx.set_simd_policy(SimdPolicy::ForceVector);
+
+    let mut levels = vec![-1i64; n];
+    levels[0] = 0;
+    let mut visited = {
+        let mut flags = vec![false; n];
+        flags[0] = true;
+        Mask::complemented(flags)
+    };
+    let mut frontier = Vector::indicator(n, &[0]);
+
+    let mut level_pull = |frontier: &mut Vector, visited: &mut Mask, level: i64| {
+        let next = Op::vxm(&*frontier, &a)
+            .semiring(Semiring::Boolean)
+            .mask(visited)
+            .direction(Direction::Pull)
+            .run(ctx);
+        for (v, &x) in next.as_slice().iter().enumerate() {
+            if x != 0.0 {
+                visited.set(v, true);
+                levels[v] = level;
+            }
+        }
+        ctx.recycle(std::mem::replace(frontier, next));
+    };
+
+    for level in 1..=8i64 {
+        level_pull(&mut frontier, &mut visited, level);
+    }
+    let before = allocations();
+    for level in 9..=40i64 {
+        level_pull(&mut frontier, &mut visited, level);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "vector-forced pull BFS loop allocated in steady state"
+    );
+    assert_eq!(levels[40], 40);
+    assert_eq!(levels[41], -1);
+}
+
+/// The vector-forced min-plus pull relaxation (SSSP's dense sweep) must
+/// also run allocation-free in steady state — the float lane blocks of the
+/// SWAR sweep are workspace buffers, not per-call temporaries.
+#[test]
+fn simd_pull_sssp_relaxation_is_allocation_free_after_warmup() {
+    let n = 256;
+    let a = chain(n);
+    let ctx = a.context();
+    ctx.set_simd_policy(SimdPolicy::ForceVector);
+    let semiring = Semiring::MinPlus(1.0);
+    let mut dist = Vector::identity(n, semiring);
+    dist.set(0, 0.0);
+
+    let round = |dist: &mut Vector| {
+        let relaxed = Op::vxm(&*dist, &a)
+            .semiring(semiring)
+            .direction(Direction::Pull)
+            .run(ctx);
+        for (d, &r) in dist.as_mut_slice().iter_mut().zip(relaxed.as_slice()) {
+            if r < *d {
+                *d = r;
+            }
+        }
+        ctx.recycle(relaxed);
+    };
+
+    for _ in 0..8 {
+        round(&mut dist);
+    }
+    let before = allocations();
+    for _ in 0..24 {
+        round(&mut dist);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "vector-forced pull SSSP relaxation allocated in steady state"
+    );
+    assert_eq!(dist.get(20), 20.0);
 }
 
 #[test]

@@ -86,7 +86,7 @@ pub mod prelude {
         Context, Descriptor, Direction, Expr, Fusion, GrbBackend, Mask, MultiVec, Op, Snapshot,
     };
     pub use bitgblas_core::{
-        B2srMatrix, Backend, BinaryOp, EdgeDelta, Matrix, Semiring, TileSize, Vector,
+        B2srMatrix, Backend, BinaryOp, EdgeDelta, Matrix, Semiring, SimdPolicy, TileSize, Vector,
     };
     pub use bitgblas_sparse::{Coo, Csr, DenseVec};
 }

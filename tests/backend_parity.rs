@@ -8,6 +8,8 @@
 //! family the paper's corpus covers — so the automatic format selection is
 //! exercised across patterns that resolve to different backends.
 
+mod common;
+
 use proptest::prelude::*;
 
 use bit_graphblas::algorithms::{
@@ -17,58 +19,10 @@ use bit_graphblas::core::grb::scatter_penalty;
 use bit_graphblas::datagen::generators;
 use bit_graphblas::prelude::*;
 
-/// The backends whose results must be indistinguishable.
-fn parity_backends() -> Vec<Backend> {
-    vec![
-        Backend::Bit(TileSize::S4),
-        Backend::Bit(TileSize::S8),
-        Backend::Bit(TileSize::S16),
-        Backend::FloatCsr,
-        Backend::Auto,
-    ]
-}
-
-/// The backends the ISSUE-2 direction engine must keep exact: every bit
-/// tile size named by the acceptance bar plus the float baseline.
-fn direction_backends() -> Vec<Backend> {
-    vec![
-        Backend::Bit(TileSize::S4),
-        Backend::Bit(TileSize::S8),
-        Backend::Bit(TileSize::S16),
-        Backend::FloatCsr,
-    ]
-}
-
-/// Strategy: a random structured graph from one of the generator families
-/// (dot, diagonal, block, stripe, road), sized to keep the suite fast.
-fn graph_strategy() -> impl Strategy<Value = Csr> {
-    (0usize..5, 1u64..1_000).prop_map(|(family, seed)| match family {
-        0 => generators::erdos_renyi(60 + (seed % 60) as usize, 0.04, seed % 2 == 0, seed),
-        1 => generators::banded(
-            80 + (seed % 80) as usize,
-            1 + (seed % 4) as usize,
-            0.7,
-            seed,
-        ),
-        2 => generators::block_community(3 + (seed % 4) as usize, 24, 0.4, 1e-3, seed),
-        3 => generators::stripes(90 + (seed % 60) as usize, &[1, 17, 40], 0.8, seed),
-        _ => {
-            let side = 7 + (seed % 6) as usize;
-            generators::grid2d(side, side + 1)
-        }
-    })
-}
-
-fn assert_f32_slices_match(got: &[f32], want: &[f32], what: &str, backend: Backend) {
-    assert_eq!(got.len(), want.len());
-    for (v, (g, w)) in got.iter().zip(want).enumerate() {
-        let both_inf = g.is_infinite() && w.is_infinite();
-        assert!(
-            both_inf || (g - w).abs() < 1e-4,
-            "{what} / {backend:?}: vertex {v}: {g} vs {w}"
-        );
-    }
-}
+use common::{
+    assert_f32_slices_match, direction_backends, graph_strategy, parity_backends,
+    shardable_graph_strategy,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -344,17 +298,6 @@ proptest! {
 // ---------------------------------------------------------------------------
 // Sharded parallel push determinism (PR 5)
 // ---------------------------------------------------------------------------
-
-/// Strategy: graphs large enough that the shard planner actually partitions
-/// them (≥ `threads × SHARD_ALIGN` rows) — the small `graph_strategy`
-/// corpus stays on single-shard plans by design.
-fn shardable_graph_strategy() -> impl Strategy<Value = Csr> {
-    (0usize..3, 1u64..1_000).prop_map(|(family, seed)| match family {
-        0 => generators::rmat(11, 12, 0.57, 0.19, 0.19, seed).symmetrized(),
-        1 => generators::erdos_renyi(1536 + (seed % 512) as usize, 0.008, seed % 2 == 0, seed),
-        _ => generators::banded(2048, 6, 0.7, seed),
-    })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]

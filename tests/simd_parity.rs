@@ -1,0 +1,411 @@
+//! Differential SIMD parity harness (PR 9): the scalar and SWAR-vector
+//! kernel paths must be **bit-identical** — not approximately equal — on
+//! every semiring, tile size, direction, mask shape and thread budget.
+//!
+//! Each property pins one side of the differential with
+//! [`SimdPolicy::ForceScalar`] and the other with
+//! [`SimdPolicy::ForceVector`], runs the same whole algorithm on both, and
+//! compares outputs exactly (`f32::to_bits` for float results).  Because
+//! the vector kernels preserve the scalar kernels' per-row reduction order
+//! (they parallelize across lanes, never across one row's fold), equality
+//! is exact even for the non-associative float `+` of the arithmetic
+//! semiring.
+//!
+//! Also covered here: the `BITGBLAS_SIMD` env knob, the per-operation
+//! descriptor override (and its restore-on-drop), and the `Context`
+//! calibration surface the runtime selection feeds on.
+
+mod common;
+
+use proptest::prelude::*;
+
+use bit_graphblas::algorithms::{bfs_multi_dir, sssp_multi_dir};
+use bit_graphblas::core::grb::SIMD_ENV_VAR;
+use bit_graphblas::core::{CalibratedProfile, CalibrationSamples, CalibrationSource};
+use bit_graphblas::datagen::generators;
+use bit_graphblas::prelude::*;
+
+use common::{graph_strategy, simd_backends};
+
+/// Run `run` on `m` with the matrix context pinned to `policy`.
+fn forced<T>(m: &Matrix, policy: SimdPolicy, run: impl FnOnce(&Matrix) -> T) -> T {
+    m.context().set_simd_policy(policy);
+    run(m)
+}
+
+/// Exact bit pattern of a float slice — the comparison currency of the
+/// whole harness.
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// BFS levels and SSSP distances are bit-identical between the forced
+    /// scalar and forced vector paths on every SIMD-capable backend, in
+    /// pull and in the per-iteration auto switch (whose push iterations
+    /// are scalar on both sides — the differential isolates the pull
+    /// sweeps the vector engine replaces).
+    #[test]
+    fn bfs_and_sssp_vector_equals_scalar(adj in graph_strategy(), src in 0usize..1_000) {
+        let src = src % adj.nrows();
+        for backend in simd_backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            for dir in [Direction::Pull, Direction::Auto] {
+                let scalar = forced(&m, SimdPolicy::ForceScalar, |m| bfs_dir(m, src, dir));
+                let vector = forced(&m, SimdPolicy::ForceVector, |m| bfs_dir(m, src, dir));
+                prop_assert_eq!(&vector.levels, &scalar.levels, "bfs {:?} {:?}", backend, dir);
+
+                let scalar = forced(&m, SimdPolicy::ForceScalar, |m| sssp_dir(m, src, dir));
+                let vector = forced(&m, SimdPolicy::ForceVector, |m| sssp_dir(m, src, dir));
+                prop_assert_eq!(
+                    bits(&vector.distances),
+                    bits(&scalar.distances),
+                    "sssp {:?} {:?}",
+                    backend,
+                    dir
+                );
+            }
+        }
+    }
+
+    /// PageRank and personalized PageRank — dense arithmetic-semiring
+    /// iterations, the float case where reduction order matters most —
+    /// produce bit-identical ranks under both policies.
+    #[test]
+    fn pagerank_and_ppr_vector_equals_scalar(adj in graph_strategy(), seed in 0usize..1_000) {
+        let n = adj.nrows();
+        let pr_cfg = PageRankConfig { max_iterations: 12, ..Default::default() };
+        let ppr_cfg = PprConfig::default();
+        for backend in simd_backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            let scalar = forced(&m, SimdPolicy::ForceScalar, |m| pagerank(m, &pr_cfg));
+            let vector = forced(&m, SimdPolicy::ForceVector, |m| pagerank(m, &pr_cfg));
+            prop_assert_eq!(vector.iterations, scalar.iterations, "{:?}", backend);
+            prop_assert_eq!(bits(&vector.ranks), bits(&scalar.ranks), "pagerank {:?}", backend);
+
+            let s = seed % n;
+            let scalar = forced(&m, SimdPolicy::ForceScalar, |m| ppr(m, s, &ppr_cfg));
+            let vector = forced(&m, SimdPolicy::ForceVector, |m| ppr(m, s, &ppr_cfg));
+            prop_assert_eq!(bits(&vector.scores), bits(&scalar.scores), "ppr {:?}", backend);
+        }
+    }
+
+    /// The differential holds at every thread budget — 1, 2, 4 and 8 — and
+    /// the vector path is additionally bit-identical *across* budgets
+    /// (lane parallelism must not perturb the fold grouping).
+    #[test]
+    fn vector_equals_scalar_across_thread_budgets(adj in graph_strategy(), src in 0usize..1_000) {
+        let src = src % adj.nrows();
+        for backend in simd_backends() {
+            let ctx = Context::with_threads(8);
+            let m = Matrix::from_csr_ctx(&adj, backend, &ctx);
+            let mut ref_levels: Option<Vec<i64>> = None;
+            let mut ref_dist: Option<Vec<u32>> = None;
+            for threads in [1usize, 2, 4, 8] {
+                m.context().set_threads(threads);
+                let s_bfs = forced(&m, SimdPolicy::ForceScalar, |m| {
+                    bfs_dir(m, src, Direction::Pull).levels
+                });
+                let v_bfs = forced(&m, SimdPolicy::ForceVector, |m| {
+                    bfs_dir(m, src, Direction::Pull).levels
+                });
+                prop_assert_eq!(&v_bfs, &s_bfs, "bfs {:?} threads={}", backend, threads);
+
+                let s_dist = forced(&m, SimdPolicy::ForceScalar, |m| {
+                    bits(&sssp_dir(m, src, Direction::Pull).distances)
+                });
+                let v_dist = forced(&m, SimdPolicy::ForceVector, |m| {
+                    bits(&sssp_dir(m, src, Direction::Pull).distances)
+                });
+                prop_assert_eq!(&v_dist, &s_dist, "sssp {:?} threads={}", backend, threads);
+
+                match (&ref_levels, &ref_dist) {
+                    (None, _) => {
+                        ref_levels = Some(v_bfs);
+                        ref_dist = Some(v_dist);
+                    }
+                    (Some(rl), Some(rd)) => {
+                        prop_assert_eq!(&v_bfs, rl, "{:?} diverged at {} threads", backend, threads);
+                        prop_assert_eq!(&v_dist, rd, "{:?} diverged at {} threads", backend, threads);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// Batched multi-source traversal, including the `k > 64` lane spill where
+/// frontiers occupy more than one `u64` word per node: every lane of the
+/// vector path equals the scalar path bit-for-bit.
+#[test]
+fn multi_source_lane_spill_vector_equals_scalar() {
+    let adj = generators::erdos_renyi(160, 0.03, true, 11);
+    let n = adj.nrows();
+    for k in [1usize, 63, 64, 70] {
+        let sources: Vec<usize> = (0..k).map(|i| (i * 7 + 3) % n).collect();
+        for backend in simd_backends() {
+            let m = Matrix::from_csr(&adj, backend);
+            for dir in [Direction::Pull, Direction::Auto] {
+                let s = forced(&m, SimdPolicy::ForceScalar, |m| {
+                    bfs_multi_dir(m, &sources, dir)
+                });
+                let v = forced(&m, SimdPolicy::ForceVector, |m| {
+                    bfs_multi_dir(m, &sources, dir)
+                });
+                assert_eq!(v.levels, s.levels, "bfs_multi {backend:?} {dir:?} k={k}");
+
+                let s = forced(&m, SimdPolicy::ForceScalar, |m| {
+                    sssp_multi_dir(m, &sources, dir)
+                });
+                let v = forced(&m, SimdPolicy::ForceVector, |m| {
+                    sssp_multi_dir(m, &sources, dir)
+                });
+                for l in 0..k {
+                    for vtx in 0..n {
+                        assert_eq!(
+                            v.distance(vtx, l).to_bits(),
+                            s.distance(vtx, l).to_bits(),
+                            "sssp_multi {backend:?} {dir:?} k={k} lane {l} vertex {vtx}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Empty frontiers: an all-identity operand stays the identity through the
+/// vector pull sweep on every semiring, exactly as on the scalar path, and
+/// BFS from an out-degree-0 vertex terminates identically.
+#[test]
+fn empty_frontier_is_identity_on_the_vector_path() {
+    let adj = generators::erdos_renyi(96, 0.04, true, 42);
+    let zero = Vector::zeros(96);
+    let inf = Vector::identity(96, Semiring::MinPlus(1.0));
+    for backend in simd_backends() {
+        let ctx = Context::default();
+        let m = Matrix::from_csr_ctx(&adj, backend, &ctx);
+        for policy in [SimdPolicy::ForceScalar, SimdPolicy::ForceVector] {
+            ctx.set_simd_policy(policy);
+            let bool_out = Op::vxm(&zero, &m)
+                .semiring(Semiring::Boolean)
+                .direction(Direction::Pull)
+                .run(&ctx);
+            assert_eq!(bool_out.nnz(), 0, "{backend:?} {policy:?}");
+            let minplus_out = Op::vxm(&inf, &m)
+                .semiring(Semiring::MinPlus(1.0))
+                .direction(Direction::Pull)
+                .run(&ctx);
+            assert!(
+                minplus_out.as_slice().iter().all(|v| v.is_infinite()),
+                "{backend:?} {policy:?}"
+            );
+        }
+    }
+
+    let mut coo = Coo::new(8, 8);
+    coo.push_edge(1, 2).unwrap();
+    let m = Matrix::from_csr(&coo.to_binary_csr(), Backend::Bit(TileSize::S4));
+    let s = forced(&m, SimdPolicy::ForceScalar, |m| {
+        bfs_dir(m, 0, Direction::Pull)
+    });
+    let v = forced(&m, SimdPolicy::ForceVector, |m| {
+        bfs_dir(m, 0, Direction::Pull)
+    });
+    assert_eq!((v.n_reached, v.iterations), (s.n_reached, s.iterations));
+    assert_eq!(v.levels, s.levels);
+}
+
+/// Shapes that straddle tile boundaries (n = 17, 33, 65: one row/column
+/// past a tile edge for every tile size) — the partial-tile tails the
+/// vector masks must handle exactly like the scalar bounds checks.
+#[test]
+fn tile_straddling_shapes_vector_equals_scalar() {
+    for n in [17usize, 33, 65] {
+        for adj in [
+            generators::erdos_renyi(n, 0.15, true, n as u64),
+            generators::cycle(n),
+        ] {
+            for backend in simd_backends() {
+                let m = Matrix::from_csr(&adj, backend);
+                let s = forced(&m, SimdPolicy::ForceScalar, |m| {
+                    bfs_dir(m, 0, Direction::Pull)
+                });
+                let v = forced(&m, SimdPolicy::ForceVector, |m| {
+                    bfs_dir(m, 0, Direction::Pull)
+                });
+                assert_eq!(v.levels, s.levels, "bfs n={n} {backend:?}");
+
+                let s = forced(&m, SimdPolicy::ForceScalar, |m| {
+                    sssp_dir(m, 0, Direction::Pull)
+                });
+                let v = forced(&m, SimdPolicy::ForceVector, |m| {
+                    sssp_dir(m, 0, Direction::Pull)
+                });
+                assert_eq!(
+                    bits(&v.distances),
+                    bits(&s.distances),
+                    "sssp n={n} {backend:?}"
+                );
+
+                let cfg = PageRankConfig {
+                    max_iterations: 8,
+                    ..Default::default()
+                };
+                let s = forced(&m, SimdPolicy::ForceScalar, |m| pagerank(m, &cfg));
+                let v = forced(&m, SimdPolicy::ForceVector, |m| pagerank(m, &cfg));
+                assert_eq!(bits(&v.ranks), bits(&s.ranks), "pagerank n={n} {backend:?}");
+            }
+        }
+    }
+}
+
+/// The `BITGBLAS_SIMD` environment variable seeds the policy of freshly
+/// constructed contexts; unparseable values fall back to `Auto`.
+///
+/// (Every other test in this binary pins its policy explicitly before each
+/// measured run, so the transient seed cannot perturb them.)
+#[test]
+fn env_var_seeds_fresh_contexts() {
+    for (value, expect) in [
+        ("scalar", SimdPolicy::ForceScalar),
+        ("off", SimdPolicy::ForceScalar),
+        ("vector", SimdPolicy::ForceVector),
+        ("on", SimdPolicy::ForceVector),
+        ("auto", SimdPolicy::Auto),
+        ("warp-speed", SimdPolicy::Auto),
+    ] {
+        std::env::set_var(SIMD_ENV_VAR, value);
+        assert_eq!(Context::default().simd_policy(), expect, "{value:?}");
+    }
+    std::env::remove_var(SIMD_ENV_VAR);
+    assert_eq!(Context::default().simd_policy(), SimdPolicy::Auto);
+}
+
+/// A per-operation descriptor override wins for that operation only: the
+/// result matches the context-pinned run bit-for-bit, and the context's
+/// policy is restored afterwards (the drop guard).
+#[test]
+fn descriptor_override_wins_for_one_op_and_restores_the_policy() {
+    let adj = generators::erdos_renyi(120, 0.05, true, 9);
+    let ctx = Context::default();
+    let m = Matrix::from_csr_ctx(&adj, Backend::Bit(TileSize::S8), &ctx);
+    let x = Vector::from_vec((0..120).map(|i| (i % 5) as f32 * 0.25).collect());
+
+    ctx.set_simd_policy(SimdPolicy::ForceScalar);
+    let scalar = Op::vxm(&x, &m)
+        .semiring(Semiring::Arithmetic)
+        .direction(Direction::Pull)
+        .run(&ctx);
+    let overridden = Op::vxm(&x, &m)
+        .semiring(Semiring::Arithmetic)
+        .direction(Direction::Pull)
+        .simd(SimdPolicy::ForceVector)
+        .run(&ctx);
+    assert_eq!(
+        bits(overridden.as_slice()),
+        bits(scalar.as_slice()),
+        "override must be invisible in the output"
+    );
+    assert_eq!(
+        ctx.simd_policy(),
+        SimdPolicy::ForceScalar,
+        "the override must restore the context policy on drop"
+    );
+
+    // The same knob through a prebuilt descriptor.
+    let desc = Descriptor {
+        direction: Direction::Pull,
+        simd: Some(SimdPolicy::ForceVector),
+        ..Default::default()
+    };
+    let via_desc = Op::vxm(&x, &m)
+        .semiring(Semiring::Arithmetic)
+        .desc(desc)
+        .run(&ctx);
+    assert_eq!(bits(via_desc.as_slice()), bits(scalar.as_slice()));
+    assert_eq!(ctx.simd_policy(), SimdPolicy::ForceScalar);
+}
+
+/// Pinned samples the decision logic distills deterministically — the same
+/// fixture as the crate's unit tests, exercised through the public
+/// `Context` surface.
+fn pinned_samples() -> CalibrationSamples {
+    CalibrationSamples {
+        seq_ns_per_word: 1.0,
+        rand_ns_per_word: 12.5,
+        l2_curve: vec![
+            (1 << 14, 1.0),
+            (1 << 16, 1.05),
+            (1 << 18, 1.2),
+            (1 << 20, 1.4),
+            (1 << 22, 9.0),
+        ],
+        simd_speedup: [2.0, 3.0, 1.5, 0.7],
+    }
+}
+
+/// Calibration from a pinned measurement stub is deterministic, persists in
+/// the context, survives a `Context` clone, and feeds the shard sizing.
+#[test]
+fn calibration_is_deterministic_and_round_trips_through_clone() {
+    let ctx = Context::default();
+    let a = ctx.calibrate_from(&pinned_samples());
+    let b = Context::default().calibrate_from(&pinned_samples());
+    assert_eq!(a, b, "same samples must distill to the same profile");
+    assert_eq!(a.source, CalibrationSource::Measured);
+    assert_eq!(a.scatter_alpha, 12.5);
+    assert_eq!(a.l2_bytes, 1 << 20);
+    assert_eq!(a.simd_lane_mask, 0b0111);
+    assert_eq!(ctx.profile(), a, "calibrate_from must persist its result");
+
+    let cloned = ctx.clone();
+    assert_eq!(cloned.profile(), a, "profiles must survive a context clone");
+    assert_eq!(
+        cloned.shard_config().cache_bytes,
+        a.l2_bytes,
+        "shard sizing must follow the calibrated L2"
+    );
+
+    // The persistence format round-trips the profile exactly.
+    let text = a.to_string();
+    let back: CalibratedProfile = text.parse().unwrap();
+    assert_eq!(back, a, "{text}");
+}
+
+/// Degenerate timings (a zero-resolution clock) degrade to the static
+/// device-derived profile — calibration can refine the model, never break it.
+#[test]
+fn degenerate_calibration_degrades_to_the_static_profile() {
+    let ctx = Context::default();
+    let static_profile = ctx.profile();
+    assert_eq!(static_profile.source, CalibrationSource::Static);
+    let p = ctx.calibrate_from(&CalibrationSamples::degenerate());
+    assert_eq!(p, static_profile);
+    assert_eq!(ctx.profile(), static_profile);
+}
+
+/// A live `Context::calibrate` on this host stays inside the model's sane
+/// ranges, and the calibrated lane mask cannot perturb results: auto
+/// dispatch under the measured profile equals the forced-scalar run.
+#[test]
+fn live_calibration_stays_in_range_and_preserves_parity() {
+    let adj = generators::erdos_renyi(140, 0.04, true, 5);
+    let ctx = Context::default();
+    let m = Matrix::from_csr_ctx(&adj, Backend::Bit(TileSize::S8), &ctx);
+
+    ctx.set_simd_policy(SimdPolicy::ForceScalar);
+    let reference = bfs_dir(&m, 0, Direction::Pull).levels;
+
+    let p = ctx.calibrate();
+    assert!((4.0..=32.0).contains(&p.scatter_alpha), "{p}");
+    assert!(p.l2_bytes > 0, "{p}");
+    assert_eq!(ctx.profile(), p);
+
+    ctx.set_simd_policy(SimdPolicy::Auto);
+    let auto = bfs_dir(&m, 0, Direction::Pull).levels;
+    assert_eq!(auto, reference, "calibrated auto dispatch must stay exact");
+}
